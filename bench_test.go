@@ -1,0 +1,293 @@
+// Benchmarks: one per table and figure of the paper's evaluation (run the
+// corresponding experiment end to end on the prepared corpus), plus
+// micro-benchmarks of the pipeline stages. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The workspace (corpus generation + full analysis of all 31 networks) is
+// built once and shared; per-iteration work is the experiment itself.
+package routinglens
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"routinglens/internal/addrspace"
+	"routinglens/internal/anonymize"
+	"routinglens/internal/ciscoparse"
+	"routinglens/internal/experiments"
+	"routinglens/internal/instance"
+	"routinglens/internal/net15"
+	"routinglens/internal/netaddr"
+	"routinglens/internal/netgen"
+	"routinglens/internal/paperexample"
+	"routinglens/internal/pathway"
+	"routinglens/internal/procgraph"
+	"routinglens/internal/reach"
+	"routinglens/internal/simroute"
+	"routinglens/internal/topology"
+	"routinglens/internal/trace"
+)
+
+var (
+	benchOnce sync.Once
+	benchWS   *experiments.Workspace
+	benchErr  error
+)
+
+func workspace(b *testing.B) *experiments.Workspace {
+	b.Helper()
+	benchOnce.Do(func() { benchWS, benchErr = experiments.BuildWorkspace(experiments.DefaultSeed) })
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchWS
+}
+
+func runExperiment(b *testing.B, f func(*experiments.Workspace) experiments.Result) {
+	b.Helper()
+	ws := workspace(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := f(ws)
+		if !r.OK() {
+			b.Fatalf("%s failed: %+v", r.ID, r.Claims)
+		}
+	}
+}
+
+// --- one benchmark per paper table/figure ---
+
+func BenchmarkTable1ProtocolRoles(b *testing.B) { runExperiment(b, experiments.Table1) }
+func BenchmarkTable2Net15Policies(b *testing.B) { runExperiment(b, experiments.Table2) }
+func BenchmarkTable3InterfaceMix(b *testing.B)  { runExperiment(b, experiments.Table3) }
+func BenchmarkFigure4ConfigSizes(b *testing.B)  { runExperiment(b, experiments.Figure4) }
+func BenchmarkFigure5ProcessGraph(b *testing.B) { runExperiment(b, experiments.Figure5) }
+func BenchmarkFigure7Pathways(b *testing.B)     { runExperiment(b, experiments.Figure7) }
+func BenchmarkFigure8SizeDistribution(b *testing.B) {
+	runExperiment(b, experiments.Figure8)
+}
+func BenchmarkFigure9Net5Instances(b *testing.B) { runExperiment(b, experiments.Figure9) }
+func BenchmarkFigure10Net5Pathway(b *testing.B)  { runExperiment(b, experiments.Figure10) }
+func BenchmarkFigure11FilterCDF(b *testing.B)    { runExperiment(b, experiments.Figure11) }
+func BenchmarkFigure12Net15Reachability(b *testing.B) {
+	runExperiment(b, experiments.Figure12)
+}
+func BenchmarkSection2Unnumbered(b *testing.B) { runExperiment(b, experiments.Section2Unnumbered) }
+func BenchmarkSection5Net5Structure(b *testing.B) {
+	runExperiment(b, experiments.Section5Net5)
+}
+func BenchmarkSection7Taxonomy(b *testing.B) { runExperiment(b, experiments.Section7Taxonomy) }
+func BenchmarkAnonymizeRoundTrip(b *testing.B) {
+	runExperiment(b, experiments.AnonymizationInvariance)
+}
+
+// --- ablation benchmarks (DESIGN.md Section 5) ---
+
+func BenchmarkAblationClosure(b *testing.B)  { runExperiment(b, experiments.AblationClosure) }
+func BenchmarkAblationNextHop(b *testing.B)  { runExperiment(b, experiments.AblationNextHop) }
+func BenchmarkAblationJoinBits(b *testing.B) { runExperiment(b, experiments.AblationJoinBits) }
+
+// --- pipeline-stage micro-benchmarks ---
+
+// BenchmarkParseConfig measures single-configuration parse throughput.
+func BenchmarkParseConfig(b *testing.B) {
+	cfg := paperexample.Configs()["r2"]
+	b.SetBytes(int64(len(cfg)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ciscoparse.Parse("r2", strings.NewReader(cfg)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParseNet5 measures parsing the full 881-router network.
+func BenchmarkParseNet5(b *testing.B) {
+	g := workspace(b).Corpus.ByName("net5")
+	var bytes int64
+	for _, cfg := range g.Configs {
+		bytes += int64(len(cfg))
+	}
+	b.SetBytes(bytes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Build(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTopologyNet5 measures link inference on 881 routers.
+func BenchmarkTopologyNet5(b *testing.B) {
+	na := workspace(b).ByName("net5")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		topology.Build(na.Net)
+	}
+}
+
+// BenchmarkProcGraphNet5 measures routing-process-graph construction.
+func BenchmarkProcGraphNet5(b *testing.B) {
+	na := workspace(b).ByName("net5")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		procgraph.Build(na.Net, na.Top)
+	}
+}
+
+// BenchmarkInstancesNet5 measures routing-instance computation (union-find
+// closure plus instance-graph construction).
+func BenchmarkInstancesNet5(b *testing.B) {
+	na := workspace(b).ByName("net5")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		instance.Compute(na.Graph)
+	}
+}
+
+// BenchmarkPathwayNet5 measures route-pathway BFS on the net5 model.
+func BenchmarkPathwayNet5(b *testing.B) {
+	na := workspace(b).ByName("net5")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pathway.Compute(na.Model, "r50"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAddrspaceNet5 measures address-block discovery over net5.
+func BenchmarkAddrspaceNet5(b *testing.B) {
+	na := workspace(b).ByName("net5")
+	subnets := addrspace.CollectSubnets(na.Net)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addrspace.Discover(subnets, addrspace.Options{})
+	}
+}
+
+// BenchmarkSimrouteNet15 measures the control-plane simulation to fixpoint.
+func BenchmarkSimrouteNet15(b *testing.B) {
+	na := workspace(b).ByName("net15")
+	ext := net15.ExternalRoutes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := simroute.New(na.Graph, ext)
+		s.Run()
+	}
+}
+
+// BenchmarkReachNet15 measures the full reachability analysis.
+func BenchmarkReachNet15(b *testing.B) {
+	na := workspace(b).ByName("net15")
+	space := addrspace.Discover(addrspace.CollectSubnets(na.Net), addrspace.Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		an := reach.Analyze(na.Model, space, net15.ExternalRoutes())
+		if an.HasDefaultRoute() {
+			b.Fatal("unexpected default route")
+		}
+	}
+}
+
+// BenchmarkAnonymizeConfig measures anonymization throughput.
+func BenchmarkAnonymizeConfig(b *testing.B) {
+	cfg := paperexample.Configs()["r2"]
+	a := anonymize.New("bench")
+	b.SetBytes(int64(len(cfg)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sb strings.Builder
+		if err := a.AnonymizeConfig(strings.NewReader(cfg), &sb); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGenerateCorpus measures full corpus generation (31 networks).
+func BenchmarkGenerateCorpus(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := netgen.GenerateCorpus(int64(i))
+		if len(c.Networks) != 31 {
+			b.Fatal("bad corpus")
+		}
+	}
+}
+
+// BenchmarkFullPipelineCorpus measures the end-to-end cost the paper's
+// methodology implies at corpus scale: parse all 31 networks (~9k routers)
+// and extract every design abstraction.
+func BenchmarkFullPipelineCorpus(b *testing.B) {
+	c := netgen.GenerateCorpus(experiments.DefaultSeed)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, g := range c.Networks {
+			n, err := g.Build()
+			if err != nil {
+				b.Fatal(err)
+			}
+			top := topology.Build(n)
+			instance.Compute(procgraph.Build(n, top))
+		}
+	}
+}
+
+// net5Sim caches the completed net5 simulation: benchmark functions are
+// re-invoked for every calibration round, and the simulation setup must
+// not be re-paid each time.
+var (
+	net5SimOnce sync.Once
+	net5Sim     *simroute.Sim
+)
+
+func net5Simulation(b *testing.B) *simroute.Sim {
+	b.Helper()
+	na := workspace(b).ByName("net5")
+	net5SimOnce.Do(func() {
+		net5Sim = simroute.New(na.Graph, []simroute.ExternalRoute{
+			{Prefix: mustPrefix("0.0.0.0/0")},
+		})
+		net5Sim.Run()
+	})
+	return net5Sim
+}
+
+// BenchmarkSimrouteNet5 measures the control-plane fixpoint over the full
+// 881-router network with a default route injected at all 18 peers.
+func BenchmarkSimrouteNet5(b *testing.B) {
+	na := workspace(b).ByName("net5")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := simroute.New(na.Graph, []simroute.ExternalRoute{
+			{Prefix: mustPrefix("0.0.0.0/0")},
+		})
+		s.Run()
+	}
+}
+
+// BenchmarkTraceNet5 measures static traceroute reconstruction across the
+// 881-router network (simulation cached; the trace itself is measured).
+func BenchmarkTraceNet5(b *testing.B) {
+	tr := trace.New(net5Simulation(b))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := tr.Trace("k100", mustPrefix("0.0.0.0/0").Addr()+8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(p.Hops) == 0 {
+			b.Fatal("empty trace")
+		}
+	}
+}
+
+func mustPrefix(s string) netaddr.Prefix {
+	p, err := netaddr.ParsePrefix(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

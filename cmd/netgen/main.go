@@ -1,0 +1,114 @@
+// Command netgen writes the synthetic 31-network configuration corpus to
+// disk: one directory per network, one file per router. The corpus is the
+// substitute for the paper's 8,035 proprietary configurations (see
+// DESIGN.md) and is deterministic for a given seed.
+//
+// Usage:
+//
+//	netgen -out corpus/ [-seed 2004] [-net net5] [-anon]
+//
+// -net restricts output to one network; -anon additionally anonymizes
+// every file (comments stripped, names hashed, addresses remapped
+// prefix-preservingly) and names files config1, config2, ... as in the
+// paper's methodology.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"routinglens/internal/anonymize"
+	"routinglens/internal/ciscoparse"
+	"routinglens/internal/junosemit"
+	"routinglens/internal/netgen"
+)
+
+func main() {
+	out := flag.String("out", "", "output directory (required)")
+	seed := flag.Int64("seed", 2004, "corpus generation seed")
+	only := flag.String("net", "", "write only this network (e.g. net5)")
+	anon := flag.Bool("anon", false, "anonymize the emitted configurations")
+	key := flag.String("key", "netgen-default-key", "anonymization secret (with -anon)")
+	dialect := flag.String("dialect", "ios", "emit configurations as 'ios' or 'junos' (junos requires EIGRP-free networks)")
+	flag.Parse()
+
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "netgen: -out is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	corpus := netgen.GenerateCorpus(*seed)
+	wrote := 0
+	for _, g := range corpus.Networks {
+		if *only != "" && g.Name != *only {
+			continue
+		}
+		dir := filepath.Join(*out, g.Name)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			fatal(err)
+		}
+		configs := g.Configs
+		if *dialect == "junos" {
+			translated := make(map[string]string, len(configs))
+			failed := false
+			for host, cfg := range configs {
+				res, err := ciscoparse.Parse(host, strings.NewReader(cfg))
+				if err != nil {
+					fatal(err)
+				}
+				out, err := junosemit.Emit(res.Device)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "netgen: skipping %s: %v\n", g.Name, err)
+					failed = true
+					break
+				}
+				translated[host] = out
+			}
+			if failed {
+				continue
+			}
+			configs = translated
+		}
+		if *anon {
+			if *dialect == "junos" {
+				fatal(fmt.Errorf("the anonymizer is IOS-specific (as in the paper); use -dialect ios"))
+			}
+			var err error
+			configs, err = anonymize.New(*key).MapNetwork(configs)
+			if err != nil {
+				fatal(err)
+			}
+		}
+		names := make([]string, 0, len(configs))
+		for n := range configs {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fn := n
+			if !*anon {
+				fn += ".cfg"
+			}
+			if err := os.WriteFile(filepath.Join(dir, fn), []byte(configs[n]), 0o644); err != nil {
+				fatal(err)
+			}
+			wrote++
+		}
+		fmt.Printf("%s: %d routers (%s)\n", g.Name, g.Routers, g.Kind)
+	}
+	if wrote == 0 {
+		fmt.Fprintf(os.Stderr, "netgen: no network named %q\n", *only)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d configuration files under %s\n", wrote, *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "netgen: %v\n", err)
+	os.Exit(1)
+}

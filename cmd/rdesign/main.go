@@ -1,0 +1,159 @@
+// Command rdesign reverse engineers the routing design of a network from a
+// directory of router configuration files.
+//
+// Usage:
+//
+//	rdesign -dir path/to/configs [flag]
+//
+// With only -dir it prints the design summary: routing instances, the
+// instance graph with policies, classification evidence, and filter
+// statistics. One additional mode flag selects a deeper analysis:
+//
+//	-pathway R          route pathway graph of router R (Section 3.3)
+//	-influence R        forward blast radius of router R
+//	-trace SRC,DEST     static traceroute from SRC toward address DEST
+//	-blocks             recovered address-space tree (Section 3.4)
+//	-suspects           probable missing routers
+//	-audit              best-common-practice findings (Section 8.1)
+//	-whatif             survivability / failure analysis (Section 8.1)
+//	-monitors           route-monitor placement suggestion
+//	-diff OLDDIR        longitudinal diff against an older snapshot
+//	-dot KIND           Graphviz DOT (instances | processes | a router name)
+//
+// Both Cisco IOS and JunOS configuration files are accepted; the dialect
+// is detected per file.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"routinglens/internal/core"
+	"routinglens/internal/netaddr"
+	"routinglens/internal/simroute"
+)
+
+func main() {
+	dir := flag.String("dir", "", "directory of router configuration files (required)")
+	pathwayHost := flag.String("pathway", "", "print the route pathway graph for this router")
+	blocks := flag.Bool("blocks", false, "print the recovered address-space structure")
+	suspects := flag.Bool("suspects", false, "print suspected missing routers")
+	doAudit := flag.Bool("audit", false, "print best-common-practice findings")
+	doWhatif := flag.Bool("whatif", false, "print the survivability (failure) analysis")
+	diffDir := flag.String("diff", "", "diff against an older snapshot in this directory")
+	dotKind := flag.String("dot", "", "emit Graphviz DOT: 'instances', 'processes', or a router name for its pathway")
+	influence := flag.String("influence", "", "print the forward influence (blast radius) of this router")
+	monitors := flag.Bool("monitors", false, "suggest route-monitor placement covering all external entry points")
+	traceSpec := flag.String("trace", "", "static traceroute: 'SRC-ROUTER,DEST-ADDR' (injects a default route at every external peer)")
+	diags := flag.Bool("diags", false, "print parse diagnostics")
+	flag.Parse()
+
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "rdesign: -dir is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	design, parseDiags, err := core.AnalyzeDir(*dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rdesign: %v\n", err)
+		os.Exit(1)
+	}
+	if *diags {
+		for _, d := range parseDiags {
+			fmt.Fprintf(os.Stderr, "warning: %s\n", d)
+		}
+	} else if len(parseDiags) > 0 {
+		fmt.Fprintf(os.Stderr, "rdesign: %d parse warnings (re-run with -diags to see them)\n", len(parseDiags))
+	}
+
+	switch {
+	case *traceSpec != "":
+		parts := strings.SplitN(*traceSpec, ",", 2)
+		if len(parts) != 2 {
+			fmt.Fprintln(os.Stderr, "rdesign: -trace wants 'SRC-ROUTER,DEST-ADDR'")
+			os.Exit(2)
+		}
+		dest, err := netaddr.ParseAddr(parts[1])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rdesign: %v\n", err)
+			os.Exit(2)
+		}
+		def := netaddr.PrefixFrom(0, 0)
+		path, err := design.Trace(parts[0], dest, []simroute.ExternalRoute{{Prefix: def}})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rdesign: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(path.String())
+	case *dotKind != "":
+		switch *dotKind {
+		case "instances":
+			fmt.Print(design.DOTInstanceGraph())
+		case "processes":
+			fmt.Print(design.DOTProcessGraph())
+		default:
+			out, err := design.DOTPathway(*dotKind)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rdesign: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Print(out)
+		}
+	case *influence != "":
+		inf, err := design.Influence(*influence)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rdesign: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(inf.String())
+	case *monitors:
+		mp := design.MonitorPlacement()
+		if len(mp.Monitors) == 0 {
+			fmt.Println("no external route entry points; nothing to monitor")
+			return
+		}
+		for _, in := range mp.Monitors {
+			fmt.Printf("monitor instance %d %s — observes %d entry point(s)\n",
+				in.ID, in.Label(), len(mp.Covers[in]))
+		}
+	case *diffDir != "":
+		older, _, err := core.AnalyzeDir(*diffDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rdesign: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(design.DiffFrom(older).String())
+	case *doAudit:
+		rep := design.Audit()
+		fmt.Print(rep.Summary())
+		for _, f := range rep.Findings {
+			fmt.Println(f)
+		}
+	case *doWhatif:
+		fmt.Print(design.Survivability().Summary())
+	case *pathwayHost != "":
+		pw, err := design.Pathway(*pathwayHost)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rdesign: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(pw.String())
+	case *blocks:
+		fmt.Print(design.AddressSpace.String())
+	case *suspects:
+		ss := design.SuspectedMissingRouters()
+		if len(ss) == 0 {
+			fmt.Println("no suspected missing routers")
+			return
+		}
+		for _, s := range ss {
+			fmt.Printf("%s/%s (%s): external-facing inside block %s (%.0f%% internal)\n",
+				s.Device.Hostname, s.Interface.Name, s.Addr, s.Block, 100*s.InternalShare)
+		}
+	default:
+		fmt.Print(design.Summary())
+	}
+}

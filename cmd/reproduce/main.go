@@ -1,0 +1,67 @@
+// Command reproduce regenerates every table and figure of the paper's
+// evaluation against the synthetic corpus and prints paper-reported values
+// next to measured ones, with a pass/fail verdict on each shape claim.
+//
+// Usage:
+//
+//	reproduce [-seed 2004] [-only F11] [-quiet]
+//
+// Exit status is nonzero if any claim fails.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"routinglens/internal/experiments"
+)
+
+func main() {
+	seed := flag.Int64("seed", experiments.DefaultSeed, "corpus generation seed")
+	only := flag.String("only", "", "run only the experiment with this id (e.g. T1, F11)")
+	quiet := flag.Bool("quiet", false, "print only the verdict lines, not the tables")
+	flag.Parse()
+
+	t0 := time.Now()
+	ws, err := experiments.BuildWorkspace(*seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "reproduce: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("corpus: %d networks, %d routers (seed %d, analyzed in %v)\n\n",
+		len(ws.Corpus.Networks), ws.Corpus.TotalRouters(), *seed, time.Since(t0).Round(time.Millisecond))
+
+	failures := 0
+	ran := 0
+	for _, r := range experiments.All(ws) {
+		if *only != "" && r.ID != *only {
+			continue
+		}
+		ran++
+		if *quiet {
+			fmt.Printf("== %s: %s ==\n", r.ID, r.Title)
+			for _, c := range r.Claims {
+				mark := "PASS"
+				if !c.OK {
+					mark = "FAIL"
+				}
+				fmt.Printf("[%s] %s\n", mark, c.Text)
+			}
+		} else {
+			fmt.Println(r.String())
+		}
+		if !r.OK() {
+			failures++
+		}
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "reproduce: no experiment with id %q\n", *only)
+		os.Exit(2)
+	}
+	fmt.Printf("\n%d experiments, %d failing, total %v\n", ran, failures, time.Since(t0).Round(time.Millisecond))
+	if failures > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,3 @@
+module routinglens
+
+go 1.22

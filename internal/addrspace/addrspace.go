@@ -1,0 +1,380 @@
+// Package addrspace recovers the structure of a network's address space
+// usage (paper Section 3.4). Starting from every subnet mentioned in the
+// configuration files, it repeatedly joins subnets whose network numbers
+// differ in no more than the least two bits — i.e. it expands blocks as
+// long as at least half the addresses in the enlarged block are used —
+// yielding a hierarchical tree of address blocks.
+//
+// The structure serves two purposes in the paper: associating compact
+// address blocks with routing instances (simplifying policy analysis, as in
+// Table 2), and detecting routers missing from the corpus (an
+// "external-facing" interface whose address sits in the middle of a block
+// of internal-facing addresses probably connects to a router whose
+// configuration was not collected).
+package addrspace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"routinglens/internal/devmodel"
+	"routinglens/internal/netaddr"
+	"routinglens/internal/topology"
+)
+
+// Block is one node of the address-space tree.
+type Block struct {
+	Prefix   netaddr.Prefix
+	Children []*Block
+	// Leaf marks blocks that were mentioned directly in configurations
+	// (interface subnets, statics, policy targets) rather than produced by
+	// joining.
+	Leaf bool
+}
+
+// walk visits the block and its descendants in pre-order.
+func (b *Block) walk(f func(*Block)) {
+	f(b)
+	for _, c := range b.Children {
+		c.walk(f)
+	}
+}
+
+// NumLeaves counts the original subnets under the block.
+func (b *Block) NumLeaves() int {
+	n := 0
+	b.walk(func(x *Block) {
+		if x.Leaf {
+			n++
+		}
+	})
+	return n
+}
+
+// Structure is the discovered address-space hierarchy: a forest of disjoint
+// top-level blocks.
+type Structure struct {
+	Roots []*Block
+}
+
+// Options tune the discovery process.
+type Options struct {
+	// JoinBits is how many low bits of the network number two blocks may
+	// differ in and still be joined (the paper uses 2). The ablation bench
+	// uses 1 (pure buddy merging).
+	JoinBits int
+}
+
+// Discover runs the join process over the given subnets (duplicates and
+// nested subnets are tolerated) and returns the block structure.
+func Discover(subnets []netaddr.Prefix, opts Options) *Structure {
+	if opts.JoinBits <= 0 {
+		opts.JoinBits = 2
+	}
+
+	// Deduplicate and drop subnets contained in other subnets: the working
+	// set must be disjoint so coverage sums are exact.
+	leaves := dedupe(subnets)
+	work := make([]netaddr.Prefix, len(leaves))
+	copy(work, leaves)
+
+	// children records, for every block produced by a join, the blocks it
+	// absorbed; used to reconstruct the tree afterwards.
+	children := make(map[netaddr.Prefix][]netaddr.Prefix)
+
+	for {
+		sort.Slice(work, func(i, j int) bool { return work[i].Less(work[j]) })
+		// Among all qualifying joins this round, apply the one producing
+		// the smallest supernet (buddy joins before two-bit expansions);
+		// this keeps the resulting tree maximally hierarchical.
+		best := netaddr.Prefix{}
+		haveBest := false
+		for i := 0; i+1 < len(work); i++ {
+			s, ok := joinCandidate(work[i], work[i+1], opts.JoinBits)
+			if !ok {
+				continue
+			}
+			// "At least half the addresses in the enlarged subnet are
+			// used." The work list is sorted and disjoint, so the blocks
+			// inside s form a contiguous run around i.
+			var covered uint64
+			for j := i; j >= 0 && s.ContainsPrefix(work[j]); j-- {
+				covered += work[j].NumAddrs()
+			}
+			for j := i + 1; j < len(work) && s.ContainsPrefix(work[j]); j++ {
+				covered += work[j].NumAddrs()
+			}
+			if covered*2 < s.NumAddrs() {
+				continue
+			}
+			if !haveBest || s.Bits() > best.Bits() {
+				best = s
+				haveBest = true
+			}
+		}
+		if !haveBest {
+			break
+		}
+		var rest, absorbed []netaddr.Prefix
+		for _, w := range work {
+			if best.ContainsPrefix(w) {
+				absorbed = append(absorbed, w)
+			} else {
+				rest = append(rest, w)
+			}
+		}
+		children[best] = absorbed
+		work = append(rest, best)
+	}
+
+	// Reconstruct the tree from join history.
+	leafSet := make(map[netaddr.Prefix]bool, len(leaves))
+	for _, l := range leaves {
+		leafSet[l] = true
+	}
+	var build func(p netaddr.Prefix) *Block
+	build = func(p netaddr.Prefix) *Block {
+		blk := &Block{Prefix: p, Leaf: leafSet[p]}
+		for _, c := range children[p] {
+			if c == p {
+				continue
+			}
+			blk.Children = append(blk.Children, build(c))
+		}
+		return blk
+	}
+	s := &Structure{}
+	sort.Slice(work, func(i, j int) bool { return work[i].Less(work[j]) })
+	for _, p := range work {
+		s.Roots = append(s.Roots, build(p))
+	}
+	return s
+}
+
+// dedupe sorts, removes duplicates, and removes prefixes nested inside
+// other prefixes.
+func dedupe(subnets []netaddr.Prefix) []netaddr.Prefix {
+	if len(subnets) == 0 {
+		return nil
+	}
+	sorted := make([]netaddr.Prefix, len(subnets))
+	copy(sorted, subnets)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Less(sorted[j]) })
+	var out []netaddr.Prefix
+	for _, p := range sorted {
+		if len(out) > 0 {
+			last := out[len(out)-1]
+			if last == p || last.ContainsPrefix(p) {
+				continue
+			}
+		}
+		// A shorter prefix sorting later could still contain earlier ones
+		// only if it shares the address, which the ordering rules out —
+		// shorter prefixes at the same address sort first.
+		out = append(out, p)
+	}
+	return out
+}
+
+// joinCandidate returns the smallest common supernet of a and b if their
+// network numbers differ in no more than the lowest joinBits bits of the
+// shorter network number, i.e. the supernet shortens the shorter prefix by
+// at most joinBits.
+func joinCandidate(a, b netaddr.Prefix, joinBits int) (netaddr.Prefix, bool) {
+	minBits := a.Bits()
+	if b.Bits() < minBits {
+		minBits = b.Bits()
+	}
+	limit := minBits - joinBits
+	if limit < 0 {
+		limit = 0
+	}
+	for bits := minBits - 1; bits >= limit; bits-- {
+		s := netaddr.PrefixFrom(a.Addr(), bits)
+		if s.ContainsPrefix(a) && s.ContainsPrefix(b) {
+			return s, true
+		}
+	}
+	return netaddr.Prefix{}, false
+}
+
+// RootOf returns the top-level block containing the address, or nil.
+func (s *Structure) RootOf(a netaddr.Addr) *Block {
+	for _, r := range s.Roots {
+		if r.Prefix.Contains(a) {
+			return r
+		}
+	}
+	return nil
+}
+
+// RootPrefixes returns the top-level block prefixes.
+func (s *Structure) RootPrefixes() []netaddr.Prefix {
+	out := make([]netaddr.Prefix, len(s.Roots))
+	for i, r := range s.Roots {
+		out[i] = r.Prefix
+	}
+	return out
+}
+
+// String renders the forest as an indented tree.
+func (s *Structure) String() string {
+	var b strings.Builder
+	var rec func(blk *Block, depth int)
+	rec = func(blk *Block, depth int) {
+		mark := ""
+		if blk.Leaf {
+			mark = " *"
+		}
+		fmt.Fprintf(&b, "%s%s%s\n", strings.Repeat("  ", depth), blk.Prefix, mark)
+		for _, c := range blk.Children {
+			rec(c, depth+1)
+		}
+	}
+	for _, r := range s.Roots {
+		rec(r, 0)
+	}
+	return b.String()
+}
+
+// CollectInterfaceSubnets gathers only the subnets assigned to interfaces
+// — the "used" address space, without the (often much coarser) blocks
+// named by policies and static routes.
+func CollectInterfaceSubnets(n *devmodel.Network) []netaddr.Prefix {
+	var out []netaddr.Prefix
+	for _, d := range n.Devices {
+		for _, i := range d.Interfaces {
+			for _, a := range i.Addrs {
+				if p, ok := a.Prefix(); ok {
+					out = append(out, p)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// CollectSubnets gathers every subnet mentioned in the network's
+// configurations: interface subnets, static route targets, and the address
+// space named by routing policies.
+func CollectSubnets(n *devmodel.Network) []netaddr.Prefix {
+	var out []netaddr.Prefix
+	for _, d := range n.Devices {
+		for _, i := range d.Interfaces {
+			for _, a := range i.Addrs {
+				if p, ok := a.Prefix(); ok {
+					out = append(out, p)
+				}
+			}
+		}
+		for _, sr := range d.Statics {
+			out = append(out, sr.Prefix)
+		}
+		for _, acl := range d.AccessLists {
+			out = append(out, acl.PermittedSpace()...)
+		}
+	}
+	return out
+}
+
+// InstanceBlocks maps each routing-instance ID (keyed by any identifier the
+// caller supplies) to the set of root blocks whose addresses appear on
+// interfaces covered by that instance. The caller provides the
+// interface-coverage relation; this keeps addrspace decoupled from the
+// instance package.
+func InstanceBlocks(s *Structure, addrs []netaddr.Addr) []*Block {
+	seen := make(map[*Block]bool)
+	var out []*Block
+	for _, a := range addrs {
+		if r := s.RootOf(a); r != nil && !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Prefix.Less(out[j].Prefix) })
+	return out
+}
+
+// Suspect is a probable missing router: an external-facing interface whose
+// address lies inside a block dominated by internal-facing addresses.
+type Suspect struct {
+	Device    *devmodel.Device
+	Interface *devmodel.Interface
+	Addr      netaddr.Addr
+	Block     netaddr.Prefix
+	// InternalShare is the fraction of the block's observed interface
+	// addresses that are internal-facing.
+	InternalShare float64
+}
+
+// SuspectMissingRouters applies the paper's missing-router heuristic: for
+// every external-facing interface, find its top-level block; if the block's
+// other observed addresses are predominantly internal-facing, the
+// "external" peer is probably a router whose configuration is missing from
+// the corpus.
+func SuspectMissingRouters(top *topology.Topology, s *Structure) []Suspect {
+	type facing struct {
+		internal, external int
+	}
+	perBlock := make(map[*Block]*facing)
+	classify := func(d *devmodel.Device, i *devmodel.Interface) {
+		ext := top.ExternalFacing(d, i.Name)
+		for _, a := range i.Addrs {
+			blk := s.RootOf(a.Addr)
+			if blk == nil {
+				continue
+			}
+			f := perBlock[blk]
+			if f == nil {
+				f = &facing{}
+				perBlock[blk] = f
+			}
+			if ext {
+				f.external++
+			} else {
+				f.internal++
+			}
+		}
+	}
+	for _, d := range top.Network.Devices {
+		for _, i := range d.Interfaces {
+			if i.HasAddr() {
+				classify(d, i)
+			}
+		}
+	}
+	var out []Suspect
+	for _, d := range top.Network.Devices {
+		for _, i := range d.Interfaces {
+			if !i.HasAddr() || !top.ExternalFacing(d, i.Name) {
+				continue
+			}
+			for _, a := range i.Addrs {
+				blk := s.RootOf(a.Addr)
+				if blk == nil {
+					continue
+				}
+				f := perBlock[blk]
+				total := f.internal + f.external
+				if total < 3 {
+					continue // too little evidence
+				}
+				share := float64(f.internal) / float64(total)
+				if share >= 0.5 {
+					out = append(out, Suspect{
+						Device: d, Interface: i, Addr: a.Addr,
+						Block: blk.Prefix, InternalShare: share,
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Device.Hostname != out[j].Device.Hostname {
+			return out[i].Device.Hostname < out[j].Device.Hostname
+		}
+		return out[i].Interface.Name < out[j].Interface.Name
+	})
+	return out
+}

@@ -1,0 +1,229 @@
+package addrspace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"routinglens/internal/ciscoparse"
+	"routinglens/internal/devmodel"
+	"routinglens/internal/netaddr"
+	"routinglens/internal/topology"
+)
+
+func pfx(t *testing.T, ss ...string) []netaddr.Prefix {
+	t.Helper()
+	out := make([]netaddr.Prefix, len(ss))
+	for i, s := range ss {
+		out[i] = netaddr.MustParsePrefix(s)
+	}
+	return out
+}
+
+func roots(s *Structure) []string {
+	var out []string
+	for _, r := range s.Roots {
+		out = append(out, r.Prefix.String())
+	}
+	return out
+}
+
+func TestBuddyJoin(t *testing.T) {
+	// Two adjacent /24s differing in one bit join into a /23.
+	s := Discover(pfx(t, "10.0.0.0/24", "10.0.1.0/24"), Options{})
+	got := roots(s)
+	if len(got) != 1 || got[0] != "10.0.0.0/23" {
+		t.Errorf("roots = %v, want [10.0.0.0/23]", got)
+	}
+	if s.Roots[0].NumLeaves() != 2 {
+		t.Errorf("leaves = %d", s.Roots[0].NumLeaves())
+	}
+}
+
+func TestTwoBitJoin(t *testing.T) {
+	// /24s at .0 and .2 differ in the second-lowest network bit: the /22
+	// they share is exactly half used, so they join under the paper rule.
+	s := Discover(pfx(t, "10.0.0.0/24", "10.0.2.0/24"), Options{})
+	got := roots(s)
+	if len(got) != 1 || got[0] != "10.0.0.0/22" {
+		t.Errorf("roots = %v, want [10.0.0.0/22]", got)
+	}
+}
+
+func TestOneBitOptionRejectsTwoBitJoin(t *testing.T) {
+	// With JoinBits=1 (buddy merging) the same pair must stay separate.
+	s := Discover(pfx(t, "10.0.0.0/24", "10.0.2.0/24"), Options{JoinBits: 1})
+	if len(s.Roots) != 2 {
+		t.Errorf("roots = %v, want 2 separate blocks", roots(s))
+	}
+}
+
+func TestHalfUsageGate(t *testing.T) {
+	// A /24 and a /25 under a /22: (256+128)/1024 < half — no join beyond
+	// what the halves allow.
+	s := Discover(pfx(t, "10.0.0.0/24", "10.0.2.0/25"), Options{})
+	if len(s.Roots) != 2 {
+		t.Errorf("under-used supernet should not form: %v", roots(s))
+	}
+}
+
+func TestCascadingJoins(t *testing.T) {
+	// Four consecutive /24s collapse into one /22 through two rounds.
+	s := Discover(pfx(t, "10.0.0.0/24", "10.0.1.0/24", "10.0.2.0/24", "10.0.3.0/24"), Options{})
+	got := roots(s)
+	if len(got) != 1 || got[0] != "10.0.0.0/22" {
+		t.Errorf("roots = %v, want [10.0.0.0/22]", got)
+	}
+	// The tree should be hierarchical: /22 -> two /23s -> four /24 leaves.
+	if s.Roots[0].NumLeaves() != 4 {
+		t.Errorf("leaves = %d, want 4", s.Roots[0].NumLeaves())
+	}
+	rendered := s.String()
+	for _, want := range []string{"10.0.0.0/22", "10.0.0.0/23", "10.0.2.0/23", "10.0.1.0/24 *"} {
+		if !strings.Contains(rendered, want) {
+			t.Errorf("tree missing %q:\n%s", want, rendered)
+		}
+	}
+}
+
+func TestDistantBlocksStaySeparate(t *testing.T) {
+	s := Discover(pfx(t, "10.0.0.0/24", "192.168.0.0/24"), Options{})
+	if len(s.Roots) != 2 {
+		t.Errorf("roots = %v", roots(s))
+	}
+}
+
+func TestNestedAndDuplicateInput(t *testing.T) {
+	s := Discover(pfx(t, "10.0.0.0/16", "10.0.1.0/24", "10.0.0.0/16", "10.0.2.0/30"), Options{})
+	got := roots(s)
+	if len(got) != 1 || got[0] != "10.0.0.0/16" {
+		t.Errorf("roots = %v, want just the /16", got)
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	s := Discover(nil, Options{})
+	if len(s.Roots) != 0 {
+		t.Errorf("roots = %v", roots(s))
+	}
+	if s.RootOf(netaddr.MustParseAddr("10.0.0.1")) != nil {
+		t.Error("RootOf on empty structure should be nil")
+	}
+}
+
+func TestRootOf(t *testing.T) {
+	s := Discover(pfx(t, "10.0.0.0/24", "10.0.1.0/24", "192.168.0.0/24"), Options{})
+	r := s.RootOf(netaddr.MustParseAddr("10.0.1.77"))
+	if r == nil || r.Prefix.String() != "10.0.0.0/23" {
+		t.Errorf("RootOf = %v", r)
+	}
+	if s.RootOf(netaddr.MustParseAddr("11.0.0.1")) != nil {
+		t.Error("address outside all blocks should map to nil")
+	}
+}
+
+// Property: every input subnet is contained in exactly one root, and roots
+// are pairwise disjoint.
+func TestDiscoverInvariants(t *testing.T) {
+	f := func(seeds []uint32) bool {
+		var subnets []netaddr.Prefix
+		for _, u := range seeds {
+			bits := 16 + int(u%17) // /16../32
+			subnets = append(subnets, netaddr.PrefixFrom(netaddr.Addr(u), bits))
+		}
+		s := Discover(subnets, Options{})
+		for _, p := range subnets {
+			n := 0
+			for _, r := range s.Roots {
+				if r.Prefix.ContainsPrefix(p) {
+					n++
+				}
+			}
+			if n != 1 {
+				return false
+			}
+		}
+		for i := range s.Roots {
+			for j := i + 1; j < len(s.Roots); j++ {
+				if s.Roots[i].Prefix.Overlaps(s.Roots[j].Prefix) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCollectSubnets(t *testing.T) {
+	cfg := `hostname r
+interface Ethernet0
+ ip address 10.0.0.1 255.255.255.0
+ip route 192.168.0.0 255.255.0.0 10.0.0.2
+access-list 10 permit 172.16.0.0 0.0.255.255
+`
+	res, err := ciscoparse.Parse("t", strings.NewReader(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := &devmodel.Network{Devices: []*devmodel.Device{res.Device}}
+	subnets := CollectSubnets(n)
+	want := map[string]bool{"10.0.0.0/24": true, "192.168.0.0/16": true, "172.16.0.0/16": true}
+	if len(subnets) != 3 {
+		t.Fatalf("subnets = %v", subnets)
+	}
+	for _, p := range subnets {
+		if !want[p.String()] {
+			t.Errorf("unexpected subnet %s", p)
+		}
+	}
+}
+
+func TestInstanceBlocks(t *testing.T) {
+	s := Discover(pfx(t, "10.0.0.0/24", "10.0.1.0/24", "192.168.0.0/24"), Options{})
+	blocks := InstanceBlocks(s, []netaddr.Addr{
+		netaddr.MustParseAddr("10.0.0.5"),
+		netaddr.MustParseAddr("10.0.1.5"), // same root as above
+		netaddr.MustParseAddr("192.168.0.9"),
+		netaddr.MustParseAddr("8.8.8.8"), // outside all blocks
+	})
+	if len(blocks) != 2 {
+		t.Errorf("blocks = %d, want 2", len(blocks))
+	}
+}
+
+func TestSuspectMissingRouters(t *testing.T) {
+	// Three routers with internal-facing /30s inside 10.0.0.0/24, plus one
+	// "external" /30 in the middle of the same block: a classic missing
+	// router. A genuinely external interface from a different block (a
+	// lone /30 in 203.0.113.0/24) must not be flagged.
+	cfgs := []string{
+		"hostname a\ninterface Serial0\n ip address 10.0.0.1 255.255.255.252\ninterface Serial1\n ip address 10.0.0.5 255.255.255.252\n",
+		"hostname b\ninterface Serial0\n ip address 10.0.0.2 255.255.255.252\ninterface Serial1\n ip address 10.0.0.9 255.255.255.252\n",
+		"hostname c\ninterface Serial0\n ip address 10.0.0.6 255.255.255.252\ninterface Serial1\n ip address 10.0.0.10 255.255.255.252\ninterface Serial2\n ip address 10.0.0.13 255.255.255.252\ninterface Serial3\n ip address 203.0.113.1 255.255.255.252\n",
+	}
+	n := &devmodel.Network{Name: "t"}
+	for _, c := range cfgs {
+		res, err := ciscoparse.Parse("t", strings.NewReader(c))
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.Devices = append(n.Devices, res.Device)
+	}
+	top := topology.Build(n)
+	s := Discover(CollectSubnets(n), Options{})
+	suspects := SuspectMissingRouters(top, s)
+	if len(suspects) != 1 {
+		t.Fatalf("suspects = %+v, want exactly 1", suspects)
+	}
+	sp := suspects[0]
+	if sp.Device.Hostname != "c" || sp.Interface.Name != "Serial2" {
+		t.Errorf("suspect = %s/%s", sp.Device.Hostname, sp.Interface.Name)
+	}
+	if sp.InternalShare < 0.5 {
+		t.Errorf("internal share = %f", sp.InternalShare)
+	}
+}

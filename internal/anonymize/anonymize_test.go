@@ -1,0 +1,254 @@
+package anonymize
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"routinglens/internal/ciscoparse"
+	"routinglens/internal/devmodel"
+	"routinglens/internal/instance"
+	"routinglens/internal/netaddr"
+	"routinglens/internal/paperexample"
+	"routinglens/internal/procgraph"
+	"routinglens/internal/topology"
+)
+
+func TestPrefixPreservation(t *testing.T) {
+	a := New("k")
+	f := func(u1, u2 uint32, k uint8) bool {
+		bits := int(k % 33)
+		mask := uint32(0)
+		if bits > 0 {
+			mask = ^uint32(0) << (32 - bits)
+		}
+		// Force a shared prefix of length bits.
+		u2 = (u1 & mask) | (u2 &^ mask)
+		a1 := uint32(a.AnonymizeAddr(netaddr.Addr(u1)))
+		a2 := uint32(a.AnonymizeAddr(netaddr.Addr(u2)))
+		if u1 == 0 || u1 == ^uint32(0) || u2 == 0 || u2 == ^uint32(0) {
+			return true // structural addresses are exempt
+		}
+		return a1&mask == a2&mask
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAnonymizationInjective(t *testing.T) {
+	a := New("k")
+	f := func(u1, u2 uint32) bool {
+		if u1 == u2 {
+			return true
+		}
+		return a.AnonymizeAddr(netaddr.Addr(u1)) != a.AnonymizeAddr(netaddr.Addr(u2))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClassPreserved(t *testing.T) {
+	a := New("k")
+	cases := []string{"10.1.2.3", "172.16.5.5", "192.168.1.1", "8.8.8.8", "224.0.0.1"}
+	for _, s := range cases {
+		orig := netaddr.MustParseAddr(s)
+		anon := a.AnonymizeAddr(orig)
+		if devmodel.ClassfulPrefix(orig).Bits() != devmodel.ClassfulPrefix(anon).Bits() {
+			t.Errorf("class changed for %s -> %s", orig, anon)
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a1, a2 := New("same"), New("same")
+	addr := netaddr.MustParseAddr("10.1.2.3")
+	if a1.AnonymizeAddr(addr) != a2.AnonymizeAddr(addr) {
+		t.Error("same key should give same mapping")
+	}
+	if a1.HashName("CORP-EDGE") != a2.HashName("CORP-EDGE") {
+		t.Error("same key should give same name hash")
+	}
+	b := New("different")
+	if a1.AnonymizeAddr(addr) == b.AnonymizeAddr(addr) {
+		t.Error("different keys should (almost surely) differ")
+	}
+}
+
+func TestMasksPreserved(t *testing.T) {
+	a := New("k")
+	line := "ip address 10.1.2.3 255.255.255.252"
+	out := a.AnonymizeLine(line)
+	if !strings.HasSuffix(out, "255.255.255.252") {
+		t.Errorf("mask must survive: %q", out)
+	}
+	if strings.Contains(out, "10.1.2.3") {
+		t.Errorf("address must be anonymized: %q", out)
+	}
+	wl := a.AnonymizeLine("network 10.1.0.0 0.0.0.255 area 0")
+	if !strings.Contains(wl, "0.0.0.255") || !strings.HasSuffix(wl, "area 0") {
+		t.Errorf("wildcard and area must survive: %q", wl)
+	}
+}
+
+func TestASNumbers(t *testing.T) {
+	a := New("k")
+	// Private AS preserved.
+	if got := a.AnonymizeLine("router bgp 65001"); got != "router bgp 65001" {
+		t.Errorf("private AS changed: %q", got)
+	}
+	// Public AS remapped consistently across contexts.
+	l1 := a.AnonymizeLine("router bgp 7018")
+	l2 := a.AnonymizeLine("neighbor 10.0.0.1 remote-as 7018")
+	as1 := strings.Fields(l1)[2]
+	f2 := strings.Fields(l2)
+	as2 := f2[len(f2)-1]
+	if as1 != as2 {
+		t.Errorf("inconsistent AS mapping: %q vs %q", as1, as2)
+	}
+	if as1 == "7018" {
+		t.Error("public AS should be remapped")
+	}
+}
+
+func TestNamesHashedVocabularyKept(t *testing.T) {
+	a := New("k")
+	out := a.AnonymizeLine("redistribute ospf 64 route-map CORP-POLICY")
+	if strings.Contains(out, "CORP-POLICY") {
+		t.Errorf("route-map name must be hashed: %q", out)
+	}
+	for _, kw := range []string{"redistribute", "ospf", "64", "route-map"} {
+		if !strings.Contains(out, kw) {
+			t.Errorf("keyword %q lost: %q", kw, out)
+		}
+	}
+	// The hash is used wherever the name appears, preserving references.
+	def := a.AnonymizeLine("route-map CORP-POLICY permit 10")
+	hashed := strings.Fields(out)[len(strings.Fields(out))-1]
+	if !strings.Contains(def, hashed) {
+		t.Errorf("name reference broken: %q vs %q", out, def)
+	}
+}
+
+func TestInterfaceNamesPreserved(t *testing.T) {
+	a := New("k")
+	for _, name := range []string{"Serial1/0.5", "POS0/0", "Loopback0", "Port-channel1"} {
+		out := a.AnonymizeLine("interface " + name)
+		if out != "interface "+name {
+			t.Errorf("interface name mangled: %q", out)
+		}
+	}
+}
+
+func TestCommentsStripped(t *testing.T) {
+	a := New("k")
+	var sb strings.Builder
+	in := "! top secret: ACME Corp backbone\nhostname acme-gw\n! another comment\ninterface Serial0\n ip address 10.0.0.1 255.255.255.252\n"
+	if err := a.AnonymizeConfig(strings.NewReader(in), &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Contains(out, "ACME") || strings.Contains(out, "comment") {
+		t.Errorf("comments leaked: %q", out)
+	}
+	if strings.Contains(out, "acme-gw") {
+		t.Errorf("hostname leaked: %q", out)
+	}
+	if !strings.Contains(out, " ip address") {
+		t.Errorf("indentation lost: %q", out)
+	}
+}
+
+// The headline property: anonymize-then-analyze produces a routing design
+// isomorphic to analyze-then-anonymize — instance count, sizes, protocols,
+// and edge structure all survive.
+func TestDesignInvariance(t *testing.T) {
+	cfgs := paperexample.Configs()
+	a := New("invariance-test")
+	anonCfgs, err := a.MapNetwork(cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	analyze := func(cfgs map[string]string) *instance.Model {
+		n := &devmodel.Network{Name: "x"}
+		names := make([]string, 0, len(cfgs))
+		for name := range cfgs {
+			names = append(names, name)
+		}
+		// Deterministic order.
+		for i := 1; i < len(names); i++ {
+			for j := i; j > 0 && names[j] < names[j-1]; j-- {
+				names[j], names[j-1] = names[j-1], names[j]
+			}
+		}
+		for _, name := range names {
+			res, err := ciscoparse.Parse(name, strings.NewReader(cfgs[name]))
+			if err != nil {
+				t.Fatal(err)
+			}
+			n.Devices = append(n.Devices, res.Device)
+		}
+		return instance.Compute(procgraph.Build(n, topology.Build(n)))
+	}
+
+	orig := analyze(cfgs)
+	anon := analyze(anonCfgs)
+
+	if len(orig.Instances) != len(anon.Instances) {
+		for _, in := range anon.Instances {
+			t.Logf("anon instance: %s size=%d", in.Label(), in.Size())
+		}
+		t.Fatalf("instance count changed: %d -> %d", len(orig.Instances), len(anon.Instances))
+	}
+	sizes := func(m *instance.Model) map[string]int {
+		out := make(map[string]int)
+		for _, in := range m.Instances {
+			out[in.Protocol.String()+"/"+itoa(in.Size())]++
+		}
+		return out
+	}
+	so, sa := sizes(orig), sizes(anon)
+	for k, v := range so {
+		if sa[k] != v {
+			t.Errorf("instance shape %s: %d -> %d", k, v, sa[k])
+		}
+	}
+	if len(orig.Edges) != len(anon.Edges) {
+		t.Errorf("instance edges changed: %d -> %d", len(orig.Edges), len(anon.Edges))
+	}
+	if len(orig.Graph.ExternalNodes()) != len(anon.Graph.ExternalNodes()) {
+		t.Errorf("external nodes changed: %d -> %d",
+			len(orig.Graph.ExternalNodes()), len(anon.Graph.ExternalNodes()))
+	}
+}
+
+func itoa(i int) string {
+	return string(rune('0' + i%10)) // sizes here are < 10
+}
+
+func TestMapNetworkFileNames(t *testing.T) {
+	a := New("k")
+	out, err := a.MapNetwork(map[string]string{
+		"zurich-gw.cfg": "hostname z\n",
+		"austin-gw.cfg": "hostname a\n",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := out["config1"]; !ok {
+		t.Errorf("expected config1, got %v", keysOf(out))
+	}
+	if _, ok := out["config2"]; !ok {
+		t.Errorf("expected config2, got %v", keysOf(out))
+	}
+}
+
+func keysOf(m map[string]string) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,333 @@
+// Package audit implements the vulnerability assessment the paper
+// describes in Section 8.1: use the extracted routing design to find
+// violations of best common practices — connections to neighboring domains
+// without packet or route filters, redistribution without policy,
+// half-configured protocol adjacencies, and missing anti-spoofing at the
+// edge.
+package audit
+
+import (
+	"fmt"
+	"sort"
+
+	"routinglens/internal/devmodel"
+	"routinglens/internal/netaddr"
+	"routinglens/internal/procgraph"
+	"routinglens/internal/topology"
+)
+
+// Severity ranks findings.
+type Severity int
+
+// Severities.
+const (
+	Info Severity = iota
+	Warning
+	Critical
+)
+
+// String names the severity.
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "info"
+	case Warning:
+		return "warning"
+	case Critical:
+		return "critical"
+	}
+	return "?"
+}
+
+// Check identifies the rule a finding violates.
+type Check string
+
+// Checks.
+const (
+	// CheckEdgePacketFilter: an external-facing interface carries no
+	// inbound packet filter (RFC 2267 anti-spoofing, the paper's [6]).
+	CheckEdgePacketFilter Check = "edge-packet-filter"
+	// CheckEBGPRouteFilter: an EBGP session to an external peer has no
+	// inbound or no outbound route filter.
+	CheckEBGPRouteFilter Check = "ebgp-route-filter"
+	// CheckUnfilteredRedistribution: routes are redistributed between
+	// protocols without a route-map — the classic redistribution-loop
+	// hazard.
+	CheckUnfilteredRedistribution Check = "unfiltered-redistribution"
+	// CheckHalfAdjacency: an internal link where one side runs a routing
+	// process covering the interface but the other side does not — an
+	// incomplete protocol adjacency.
+	CheckHalfAdjacency Check = "half-adjacency"
+	// CheckAntiSpoofing: an edge filter exists but does not deny packets
+	// sourced from the network's own internal address space.
+	CheckAntiSpoofing Check = "anti-spoofing"
+)
+
+// Finding is one best-practice violation.
+type Finding struct {
+	Check    Check
+	Severity Severity
+	Device   *devmodel.Device
+	// Interface is set for interface-scoped findings.
+	Interface *devmodel.Interface
+	// Detail is a human-readable explanation.
+	Detail string
+}
+
+// String renders "severity check device[/intf]: detail".
+func (f Finding) String() string {
+	loc := f.Device.Hostname
+	if f.Interface != nil {
+		loc += "/" + f.Interface.Name
+	}
+	return fmt.Sprintf("%-8s %-26s %s: %s", f.Severity, f.Check, loc, f.Detail)
+}
+
+// Report is the set of findings for one network.
+type Report struct {
+	Findings []Finding
+}
+
+// BySeverity returns findings at exactly the given severity.
+func (r *Report) BySeverity(s Severity) []Finding {
+	var out []Finding
+	for _, f := range r.Findings {
+		if f.Severity == s {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// ByCheck returns findings for one check.
+func (r *Report) ByCheck(c Check) []Finding {
+	var out []Finding
+	for _, f := range r.Findings {
+		if f.Check == c {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Run audits the network against the best-common-practice checks.
+func Run(n *devmodel.Network, top *topology.Topology, g *procgraph.Graph) *Report {
+	r := &Report{}
+	internalSpace := internalBlocks(n, top)
+	for _, d := range n.Devices {
+		auditEdgeInterfaces(r, top, d, internalSpace)
+		auditBGPSessions(r, top, d)
+		auditRedistribution(r, d)
+	}
+	auditHalfAdjacencies(r, top, g)
+	sort.SliceStable(r.Findings, func(i, j int) bool {
+		a, b := r.Findings[i], r.Findings[j]
+		if a.Severity != b.Severity {
+			return a.Severity > b.Severity
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Device.Hostname < b.Device.Hostname
+	})
+	return r
+}
+
+// internalBlocks approximates the network's own address space: the
+// classful ancestors of the internal-facing interface subnets. Peering
+// subnets on external-facing interfaces are excluded — packets sourced
+// from them are the peer's own and not spoofs.
+func internalBlocks(n *devmodel.Network, top *topology.Topology) []netaddr.Prefix {
+	seen := make(map[netaddr.Prefix]bool)
+	var out []netaddr.Prefix
+	for _, d := range n.Devices {
+		for _, i := range d.Interfaces {
+			if !i.HasAddr() || top.ExternalFacing(d, i.Name) {
+				continue
+			}
+			for _, a := range i.Addrs {
+				p := devmodel.ClassfulPrefix(a.Addr)
+				if !seen[p] {
+					seen[p] = true
+					out = append(out, p)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func auditEdgeInterfaces(r *Report, top *topology.Topology, d *devmodel.Device, internal []netaddr.Prefix) {
+	for _, i := range d.Interfaces {
+		if !i.HasAddr() || !top.ExternalFacing(d, i.Name) {
+			continue
+		}
+		if i.AccessGroupIn == "" {
+			r.Findings = append(r.Findings, Finding{
+				Check: CheckEdgePacketFilter, Severity: Warning,
+				Device: d, Interface: i,
+				Detail: "external-facing interface has no inbound packet filter",
+			})
+			continue
+		}
+		acl := d.AccessLists[i.AccessGroupIn]
+		if acl == nil {
+			r.Findings = append(r.Findings, Finding{
+				Check: CheckEdgePacketFilter, Severity: Warning,
+				Device: d, Interface: i,
+				Detail: fmt.Sprintf("inbound filter %q is not defined", i.AccessGroupIn),
+			})
+			continue
+		}
+		// Anti-spoofing: the filter must deny IP traffic sourced from the
+		// internal blocks. Protocol- or port-specific clauses do not
+		// count — a "deny tcp any any eq 23" does not stop spoofed UDP.
+		spoofable := false
+		for _, blk := range internal {
+			if permitsIPSource(acl, blk.First()+1) {
+				spoofable = true
+				break
+			}
+		}
+		if spoofable {
+			r.Findings = append(r.Findings, Finding{
+				Check: CheckAntiSpoofing, Severity: Warning,
+				Device: d, Interface: i,
+				Detail: "edge filter admits packets sourced from internal address space",
+			})
+		}
+	}
+}
+
+// permitsIPSource evaluates whether a generic IP packet with the given
+// source address passes the filter: only clauses matching all IP traffic
+// (no protocol or port qualifier) decide; the implicit trailing deny
+// applies.
+func permitsIPSource(acl *devmodel.AccessList, src netaddr.Addr) bool {
+	for _, c := range acl.Clauses {
+		if c.Proto != "" && c.Proto != "ip" {
+			continue
+		}
+		if c.SrcPortOp != "" || c.DstPortOp != "" {
+			continue
+		}
+		if c.MatchesAddr(src) {
+			return c.Action == devmodel.ActionPermit
+		}
+	}
+	return false
+}
+
+func auditBGPSessions(r *Report, top *topology.Topology, d *devmodel.Device) {
+	for _, proc := range d.ProcessesOf(devmodel.ProtoBGP) {
+		for _, nb := range proc.Neighbors {
+			if nb.IsPeerGroupName || nb.RemoteAS == 0 {
+				continue
+			}
+			if _, owned := top.AddrOwner(nb.Addr); owned {
+				continue // internal session; route filters optional
+			}
+			missing := ""
+			if nb.DistributeListIn == "" && nb.RouteMapIn == "" && nb.PrefixListIn == "" {
+				missing = "inbound"
+			}
+			if nb.DistributeListOut == "" && nb.RouteMapOut == "" && nb.PrefixListOut == "" {
+				if missing != "" {
+					missing = "inbound and outbound"
+				} else {
+					missing = "outbound"
+				}
+			}
+			if missing != "" {
+				sev := Warning
+				if missing == "inbound and outbound" {
+					sev = Critical
+				}
+				r.Findings = append(r.Findings, Finding{
+					Check: CheckEBGPRouteFilter, Severity: sev, Device: d,
+					Detail: fmt.Sprintf("EBGP session to %s (AS %d) has no %s route filter", nb.Addr, nb.RemoteAS, missing),
+				})
+			}
+		}
+	}
+}
+
+func auditRedistribution(r *Report, d *devmodel.Device) {
+	for _, proc := range d.Processes {
+		for _, rd := range proc.Redistributions {
+			// Connected/static into an IGP is routine; protocol-to-protocol
+			// transfer without a policy risks loops and route leaking.
+			if rd.From == devmodel.ProtoConnected || rd.From == devmodel.ProtoStatic {
+				continue
+			}
+			if rd.RouteMap == "" {
+				r.Findings = append(r.Findings, Finding{
+					Check: CheckUnfilteredRedistribution, Severity: Warning, Device: d,
+					Detail: fmt.Sprintf("redistribute %s into %s without a route-map", rd.From, proc.Key()),
+				})
+			}
+		}
+	}
+}
+
+// auditHalfAdjacencies finds internal links where exactly one endpoint's
+// device runs a non-passive routing process covering the link.
+func auditHalfAdjacencies(r *Report, top *topology.Topology, g *procgraph.Graph) {
+	for _, link := range top.InternalLinks() {
+		// Collect, per endpoint, whether some IGP process covers it.
+		type cov struct {
+			ep      topology.Endpoint
+			covered bool
+		}
+		var eps []cov
+		for _, ep := range link.Endpoints {
+			covered := false
+			for _, p := range ep.Device.Processes {
+				if !p.Protocol.IsIGP() {
+					continue
+				}
+				if p.CoversAddr(ep.Addr) && !p.IsPassive(ep.Intf.Name) {
+					covered = true
+				}
+			}
+			eps = append(eps, cov{ep, covered})
+		}
+		// Point-to-point only: a LAN legitimately mixes covered routers
+		// and plain hosts.
+		if link.Prefix.Bits() < 30 || len(eps) != 2 {
+			continue
+		}
+		if eps[0].covered != eps[1].covered {
+			bare := eps[0]
+			if bare.covered {
+				bare = eps[1]
+			}
+			r.Findings = append(r.Findings, Finding{
+				Check: CheckHalfAdjacency, Severity: Info,
+				Device: bare.ep.Device, Interface: bare.ep.Intf,
+				Detail: fmt.Sprintf("peer runs a routing protocol on %s but this side does not", link.Prefix),
+			})
+		}
+	}
+}
+
+// Summary renders counts per check and severity.
+func (r *Report) Summary() string {
+	bySev := map[Severity]int{}
+	byCheck := map[Check]int{}
+	for _, f := range r.Findings {
+		bySev[f.Severity]++
+		byCheck[f.Check]++
+	}
+	s := fmt.Sprintf("findings: %d (critical %d, warning %d, info %d)\n",
+		len(r.Findings), bySev[Critical], bySev[Warning], bySev[Info])
+	checks := make([]string, 0, len(byCheck))
+	for c := range byCheck {
+		checks = append(checks, string(c))
+	}
+	sort.Strings(checks)
+	for _, c := range checks {
+		s += fmt.Sprintf("  %-26s %d\n", c, byCheck[Check(c)])
+	}
+	return s
+}

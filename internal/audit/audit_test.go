@@ -1,0 +1,210 @@
+package audit
+
+import (
+	"strings"
+	"testing"
+
+	"routinglens/internal/ciscoparse"
+	"routinglens/internal/devmodel"
+	"routinglens/internal/netgen"
+	"routinglens/internal/procgraph"
+	"routinglens/internal/topology"
+)
+
+func reportOf(t *testing.T, cfgs ...string) *Report {
+	t.Helper()
+	n := &devmodel.Network{Name: "t"}
+	for _, c := range cfgs {
+		res, err := ciscoparse.Parse("cfg", strings.NewReader(c))
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.Devices = append(n.Devices, res.Device)
+	}
+	top := topology.Build(n)
+	return Run(n, top, procgraph.Build(n, top))
+}
+
+func TestUnfilteredEdgeInterface(t *testing.T) {
+	r := reportOf(t,
+		"hostname a\ninterface Serial0\n ip address 172.16.0.1 255.255.255.252\n")
+	fs := r.ByCheck(CheckEdgePacketFilter)
+	if len(fs) != 1 {
+		t.Fatalf("findings = %+v", r.Findings)
+	}
+	if fs[0].Severity != Warning || fs[0].Interface.Name != "Serial0" {
+		t.Errorf("finding = %+v", fs[0])
+	}
+}
+
+func TestUndefinedEdgeACL(t *testing.T) {
+	r := reportOf(t,
+		"hostname a\ninterface Serial0\n ip address 172.16.0.1 255.255.255.252\n ip access-group 99 in\n")
+	fs := r.ByCheck(CheckEdgePacketFilter)
+	if len(fs) != 1 || !strings.Contains(fs[0].Detail, "not defined") {
+		t.Errorf("findings = %+v", fs)
+	}
+}
+
+func TestAntiSpoofing(t *testing.T) {
+	// Filter exists but permits internal sources: anti-spoofing finding.
+	bad := `hostname a
+interface Ethernet0
+ ip address 10.1.0.1 255.255.255.0
+interface Serial0
+ ip address 172.16.0.1 255.255.255.252
+ ip access-group 120 in
+access-list 120 deny tcp any any eq 23
+access-list 120 permit ip any any
+`
+	r := reportOf(t, bad)
+	if len(r.ByCheck(CheckAntiSpoofing)) != 1 {
+		t.Errorf("expected anti-spoofing finding: %+v", r.Findings)
+	}
+	// Proper anti-spoofing filter: no finding.
+	good := strings.Replace(bad,
+		"access-list 120 deny tcp any any eq 23",
+		"access-list 120 deny ip 10.0.0.0 0.255.255.255 any", 1)
+	r = reportOf(t, good)
+	if len(r.ByCheck(CheckAntiSpoofing)) != 0 {
+		t.Errorf("good filter flagged: %+v", r.Findings)
+	}
+}
+
+func TestEBGPWithoutRouteFilters(t *testing.T) {
+	r := reportOf(t, `hostname a
+interface Serial0
+ ip address 172.16.0.1 255.255.255.252
+ ip access-group 120 in
+router bgp 65001
+ neighbor 172.16.0.2 remote-as 3320
+access-list 120 deny ip 172.16.0.0 0.15.255.255 any
+access-list 120 permit ip any any
+`)
+	fs := r.ByCheck(CheckEBGPRouteFilter)
+	if len(fs) != 1 || fs[0].Severity != Critical {
+		t.Fatalf("findings = %+v", fs)
+	}
+	if !strings.Contains(fs[0].Detail, "inbound and outbound") {
+		t.Errorf("detail = %q", fs[0].Detail)
+	}
+}
+
+func TestEBGPPartialFilter(t *testing.T) {
+	r := reportOf(t, `hostname a
+interface Serial0
+ ip address 172.16.0.1 255.255.255.252
+router bgp 65001
+ neighbor 172.16.0.2 remote-as 3320
+ neighbor 172.16.0.2 distribute-list 4 in
+access-list 4 permit any
+`)
+	fs := r.ByCheck(CheckEBGPRouteFilter)
+	if len(fs) != 1 || fs[0].Severity != Warning || !strings.Contains(fs[0].Detail, "outbound") {
+		t.Errorf("findings = %+v", fs)
+	}
+}
+
+func TestInternalIBGPSessionNotFlagged(t *testing.T) {
+	r := reportOf(t,
+		`hostname a
+interface Serial0
+ ip address 10.0.0.1 255.255.255.252
+router bgp 65001
+ neighbor 10.0.0.2 remote-as 65001
+`,
+		`hostname b
+interface Serial0
+ ip address 10.0.0.2 255.255.255.252
+router bgp 65001
+ neighbor 10.0.0.1 remote-as 65001
+`)
+	if len(r.ByCheck(CheckEBGPRouteFilter)) != 0 {
+		t.Errorf("internal sessions should not require route filters: %+v", r.Findings)
+	}
+}
+
+func TestUnfilteredRedistribution(t *testing.T) {
+	r := reportOf(t, `hostname a
+interface Ethernet0
+ ip address 10.0.0.1 255.255.255.0
+router ospf 1
+ network 10.0.0.0 0.0.0.255 area 0
+ redistribute bgp 65001
+ redistribute connected subnets
+router bgp 65001
+ redistribute ospf 1 route-map SAFE
+route-map SAFE permit 10
+`)
+	fs := r.ByCheck(CheckUnfilteredRedistribution)
+	if len(fs) != 1 {
+		t.Fatalf("findings = %+v", fs)
+	}
+	if !strings.Contains(fs[0].Detail, "redistribute bgp into ospf 1") {
+		t.Errorf("detail = %q", fs[0].Detail)
+	}
+}
+
+func TestHalfAdjacency(t *testing.T) {
+	r := reportOf(t,
+		"hostname a\ninterface Serial0\n ip address 10.0.0.1 255.255.255.252\nrouter ospf 1\n network 10.0.0.0 0.0.0.3 area 0\n",
+		"hostname b\ninterface Serial0\n ip address 10.0.0.2 255.255.255.252\n",
+	)
+	fs := r.ByCheck(CheckHalfAdjacency)
+	if len(fs) != 1 || fs[0].Device.Hostname != "b" {
+		t.Fatalf("findings = %+v", fs)
+	}
+}
+
+func TestCleanLinkNoFindings(t *testing.T) {
+	r := reportOf(t,
+		"hostname a\ninterface Serial0\n ip address 10.0.0.1 255.255.255.252\nrouter ospf 1\n network 10.0.0.0 0.0.0.3 area 0\n",
+		"hostname b\ninterface Serial0\n ip address 10.0.0.2 255.255.255.252\nrouter ospf 1\n network 10.0.0.0 0.0.0.3 area 0\n",
+	)
+	if len(r.Findings) != 0 {
+		t.Errorf("clean network should have no findings: %+v", r.Findings)
+	}
+}
+
+func TestSeverityOrderingAndSummary(t *testing.T) {
+	r := reportOf(t, `hostname a
+interface Serial0
+ ip address 172.16.0.1 255.255.255.252
+router bgp 65001
+ neighbor 172.16.0.2 remote-as 3320
+`)
+	if len(r.Findings) < 2 {
+		t.Fatalf("findings = %+v", r.Findings)
+	}
+	for i := 1; i < len(r.Findings); i++ {
+		if r.Findings[i-1].Severity < r.Findings[i].Severity {
+			t.Error("findings should be sorted most severe first")
+		}
+	}
+	s := r.Summary()
+	if !strings.Contains(s, "critical 1") || !strings.Contains(s, "ebgp-route-filter") {
+		t.Errorf("summary = %q", s)
+	}
+	if len(r.BySeverity(Critical)) != 1 {
+		t.Error("BySeverity wrong")
+	}
+	if !strings.Contains(r.Findings[0].String(), "critical") {
+		t.Errorf("finding string = %q", r.Findings[0])
+	}
+}
+
+// The generated backbones follow best practices at the edge; the audit
+// should report no critical findings for them, while finding the
+// deliberately unfiltered sessions elsewhere in the corpus.
+func TestCorpusBackboneMostlyClean(t *testing.T) {
+	g := netgen.GenerateCorpus(2004).ByName("net1")
+	n, err := g.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := topology.Build(n)
+	r := Run(n, top, procgraph.Build(n, top))
+	if c := len(r.BySeverity(Critical)); c != 0 {
+		t.Errorf("backbone should have no critical findings, got %d: %v", c, r.BySeverity(Critical)[0])
+	}
+}

@@ -1,0 +1,72 @@
+// Package ciscoparse parses Cisco IOS-style router configuration files into
+// the devmodel representation.
+//
+// The parser is line-oriented, like the language: a configuration file is a
+// sequence of commands; mode-entering commands (interface, router,
+// route-map, ip access-list) open a section whose sub-commands follow,
+// indented by at least one space in the canonical "show running-config"
+// rendering. The parser is deliberately tolerant — unknown commands are
+// counted but otherwise ignored, matching the reality that production
+// configurations contain hundreds of commands irrelevant to routing design.
+package ciscoparse
+
+import (
+	"bufio"
+	"io"
+	"strings"
+)
+
+// line is one logical configuration line.
+type line struct {
+	num      int    // 1-based line number in the source
+	indent   int    // count of leading spaces
+	text     string // trimmed text
+	negated  bool   // line started with "no "
+	original string
+}
+
+// fields returns the whitespace-separated tokens of the line (after any
+// leading "no" has been stripped into negated).
+func (l line) fields() []string { return strings.Fields(l.text) }
+
+// readLines scans the reader into logical lines, dropping blank lines and
+// comment/separator lines ("!", "! text"). Banner blocks and other
+// free-text regions are not specially handled; their lines simply fail to
+// match any command and are ignored by the parser.
+func readLines(r io.Reader) ([]line, int, error) {
+	var out []line
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	n := 0
+	total := 0
+	for sc.Scan() {
+		n++
+		raw := sc.Text()
+		trimmed := strings.TrimRight(raw, " \t\r")
+		if trimmed == "" {
+			continue
+		}
+		body := strings.TrimLeft(trimmed, " \t")
+		if body == "" || body[0] == '!' {
+			continue
+		}
+		total++
+		indent := 0
+		for indent < len(trimmed) && (trimmed[indent] == ' ' || trimmed[indent] == '\t') {
+			indent++
+		}
+		neg := false
+		if body == "no" {
+			continue
+		}
+		if strings.HasPrefix(body, "no ") {
+			neg = true
+			body = strings.TrimSpace(body[3:])
+		}
+		out = append(out, line{num: n, indent: indent, text: body, negated: neg, original: raw})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, err
+	}
+	return out, total, nil
+}

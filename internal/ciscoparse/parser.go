@@ -1,0 +1,910 @@
+package ciscoparse
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"routinglens/internal/devmodel"
+	"routinglens/internal/netaddr"
+)
+
+// Diagnostic records a non-fatal parsing issue (malformed address, unknown
+// sub-command in a routing stanza, ...). Static analysis must degrade
+// gracefully: one bad line must not discard a router.
+type Diagnostic struct {
+	File string
+	Line int
+	Msg  string
+}
+
+// String renders "file:line: msg".
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: %s", d.File, d.Line, d.Msg)
+}
+
+// Result is the outcome of parsing one configuration file.
+type Result struct {
+	Device      *devmodel.Device
+	Diagnostics []Diagnostic
+}
+
+// Parse parses a single configuration from r. name is used for diagnostics
+// and stored as the device's FileName.
+func Parse(name string, r io.Reader) (*Result, error) {
+	lines, total, err := readLines(r)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{
+		dev:  devmodel.NewDevice(),
+		file: name,
+	}
+	p.dev.FileName = name
+	p.dev.RawLines = total
+	p.run(lines)
+	if p.dev.Hostname == "" {
+		// Anonymized corpora name files "config1", "config2", ...; fall back
+		// to the file base name so every device has a stable identity.
+		base := filepath.Base(name)
+		p.dev.Hostname = strings.TrimSuffix(base, filepath.Ext(base))
+	}
+	return &Result{Device: p.dev, Diagnostics: p.diags}, nil
+}
+
+// ParseFile parses the configuration file at path.
+func ParseFile(path string) (*Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Parse(path, f)
+}
+
+// ParseDir parses every regular file in dir (non-recursively) as a router
+// configuration and assembles them into a Network named after the directory.
+// Files are visited in sorted order so results are deterministic.
+func ParseDir(dir string) (*devmodel.Network, []Diagnostic, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if e.Type().IsRegular() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	net := &devmodel.Network{Name: filepath.Base(dir)}
+	var diags []Diagnostic
+	for _, n := range names {
+		res, err := ParseFile(filepath.Join(dir, n))
+		if err != nil {
+			return nil, diags, fmt.Errorf("parsing %s: %w", n, err)
+		}
+		net.Devices = append(net.Devices, res.Device)
+		diags = append(diags, res.Diagnostics...)
+	}
+	return net, diags, nil
+}
+
+type sectionKind int
+
+const (
+	secNone sectionKind = iota
+	secInterface
+	secRouter
+	secRouteMap
+	secNamedACL
+	secOther // recognized mode we skip (line vty, class-map, ...)
+)
+
+type parser struct {
+	dev   *devmodel.Device
+	file  string
+	diags []Diagnostic
+
+	section    sectionKind
+	curIntf    *devmodel.Interface
+	curProc    *devmodel.RoutingProcess
+	curRM      *devmodel.RouteMap
+	curRMEntry *devmodel.RouteMapEntry
+	curACL     *devmodel.AccessList
+}
+
+func (p *parser) diag(l line, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{File: p.file, Line: l.num, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (p *parser) run(lines []line) {
+	for _, l := range lines {
+		if l.indent > 0 && p.section != secNone {
+			p.subCommand(l)
+			continue
+		}
+		p.topCommand(l)
+	}
+	p.closeSection()
+}
+
+func (p *parser) closeSection() {
+	if p.curRMEntry != nil && p.curRM != nil {
+		p.curRM.Entries = append(p.curRM.Entries, *p.curRMEntry)
+	}
+	p.section = secNone
+	p.curIntf = nil
+	p.curProc = nil
+	p.curRM = nil
+	p.curRMEntry = nil
+	p.curACL = nil
+}
+
+// modeEntering reports whether the command opens a configuration mode whose
+// sub-commands will follow indented.
+var otherModes = map[string]bool{
+	"line": true, "class-map": true, "policy-map": true, "controller": true,
+	"vrf": true, "key": true, "crypto": true, "archive": true,
+	"ip vrf": true, "voice": true, "dial-peer": true, "banner": true,
+}
+
+func (p *parser) topCommand(l line) {
+	f := l.fields()
+	if len(f) == 0 {
+		return
+	}
+	switch f[0] {
+	case "hostname":
+		p.closeSection()
+		if len(f) >= 2 {
+			p.dev.Hostname = f[1]
+		}
+	case "interface":
+		p.closeSection()
+		if len(f) < 2 {
+			p.diag(l, "interface without name")
+			return
+		}
+		if l.negated {
+			return
+		}
+		// Re-entering an existing interface stanza edits it (IOS
+		// semantics).
+		intf := p.dev.Interface(f[1])
+		if intf == nil {
+			intf = &devmodel.Interface{Name: f[1]}
+			p.dev.Interfaces = append(p.dev.Interfaces, intf)
+		}
+		if len(f) >= 3 && f[2] == "point-to-point" {
+			intf.PointToPoint = true
+		}
+		p.curIntf = intf
+		p.section = secInterface
+	case "router":
+		p.closeSection()
+		if len(f) < 2 {
+			p.diag(l, "router without protocol")
+			return
+		}
+		proto := devmodel.ParseProtocol(f[1])
+		if proto == devmodel.ProtoUnknown {
+			p.diag(l, "unknown routing protocol %q", f[1])
+			p.section = secOther
+			return
+		}
+		proc := &devmodel.RoutingProcess{Protocol: proto}
+		if len(f) >= 3 {
+			proc.ID = f[2]
+			if asn, err := strconv.ParseUint(f[2], 10, 32); err == nil {
+				proc.ASN = uint32(asn)
+			}
+		}
+		// Re-entering an existing process stanza edits it (IOS semantics).
+		if existing := p.dev.Process(proc.Key()); existing != nil {
+			proc = existing
+		} else {
+			p.dev.Processes = append(p.dev.Processes, proc)
+		}
+		p.curProc = proc
+		p.section = secRouter
+	case "route-map":
+		p.closeSection()
+		p.startRouteMapEntry(l, f)
+	case "access-list":
+		p.closeSection()
+		p.numberedACL(l, f)
+	case "ip":
+		if len(f) >= 2 && f[1] == "route" {
+			p.closeSection()
+			p.staticRoute(l, f)
+			return
+		}
+		if len(f) >= 3 && f[1] == "access-list" {
+			p.closeSection()
+			p.namedACL(l, f)
+			return
+		}
+		if len(f) >= 2 && f[1] == "prefix-list" {
+			p.closeSection()
+			p.prefixList(l, f)
+			return
+		}
+		// Other global ip commands (ip classless, ip subnet-zero, ...).
+		p.closeSection()
+	default:
+		p.closeSection()
+		if otherModes[f[0]] {
+			p.section = secOther
+		}
+	}
+}
+
+func (p *parser) subCommand(l line) {
+	switch p.section {
+	case secInterface:
+		p.interfaceSub(l)
+	case secRouter:
+		p.routerSub(l)
+	case secRouteMap:
+		p.routeMapSub(l)
+	case secNamedACL:
+		p.namedACLSub(l)
+	case secOther:
+		// Skipped mode.
+	}
+}
+
+func (p *parser) interfaceSub(l line) {
+	f := l.fields()
+	i := p.curIntf
+	if len(f) == 0 || i == nil {
+		return
+	}
+	switch {
+	case f[0] == "description":
+		i.Description = strings.TrimSpace(strings.TrimPrefix(l.text, "description"))
+	case f[0] == "shutdown":
+		i.Shutdown = !l.negated
+	case f[0] == "encapsulation" && len(f) >= 2:
+		i.Encapsulation = f[1]
+	case f[0] == "ip" && len(f) >= 2 && f[1] == "address":
+		if l.negated {
+			i.Addrs = nil
+			return
+		}
+		if len(f) < 4 {
+			p.diag(l, "ip address needs address and mask")
+			return
+		}
+		a, err1 := netaddr.ParseAddr(f[2])
+		m, err2 := netaddr.ParseMask(f[3])
+		if err1 != nil || err2 != nil {
+			p.diag(l, "bad ip address %q %q", f[2], f[3])
+			return
+		}
+		sec := len(f) >= 5 && f[4] == "secondary"
+		i.Addrs = append(i.Addrs, devmodel.InterfaceAddr{Addr: a, Mask: m, Secondary: sec})
+	case f[0] == "ip" && len(f) >= 2 && f[1] == "unnumbered":
+		i.Unnumbered = true
+	case f[0] == "ip" && len(f) >= 4 && f[1] == "access-group":
+		switch f[3] {
+		case "in":
+			i.AccessGroupIn = f[2]
+		case "out":
+			i.AccessGroupOut = f[2]
+		default:
+			p.diag(l, "access-group direction %q", f[3])
+		}
+	}
+}
+
+func (p *parser) routerSub(l line) {
+	f := l.fields()
+	proc := p.curProc
+	if len(f) == 0 || proc == nil {
+		return
+	}
+	switch f[0] {
+	case "network":
+		p.networkStmt(l, f, proc)
+	case "redistribute":
+		p.redistribute(l, f, proc)
+	case "neighbor":
+		p.neighbor(l, f, proc)
+	case "distribute-list":
+		p.distributeList(l, f, proc)
+	case "passive-interface":
+		if len(f) >= 2 {
+			if f[1] == "default" {
+				proc.PassiveDefault = !l.negated
+				return
+			}
+			proc.PassiveIntfs = append(proc.PassiveIntfs, f[1])
+		}
+	case "default-information":
+		if len(f) >= 2 && f[1] == "originate" {
+			proc.DefaultOriginate = !l.negated
+		}
+	case "router-id":
+		if len(f) >= 2 {
+			if a, err := netaddr.ParseAddr(f[1]); err == nil {
+				proc.RouterID = a
+				proc.HasRouterID = true
+			}
+		}
+	case "bgp", "version", "auto-summary", "maximum-paths", "timers", "area",
+		"synchronization", "log-neighbor-changes", "no-summary", "summary-address",
+		"default-metric", "variance", "eigrp":
+		// Recognized but irrelevant to routing design extraction.
+	default:
+		// Unknown router sub-commands are common; keep quiet unless they
+		// resemble route flow commands we failed to parse.
+	}
+}
+
+func (p *parser) networkStmt(l line, f []string, proc *devmodel.RoutingProcess) {
+	if len(f) < 2 {
+		p.diag(l, "network without address")
+		return
+	}
+	a, err := netaddr.ParseAddr(f[1])
+	if err != nil {
+		p.diag(l, "bad network address %q", f[1])
+		return
+	}
+	st := devmodel.NetworkStmt{Addr: a}
+	rest := f[2:]
+	for len(rest) > 0 {
+		switch rest[0] {
+		case "area":
+			if len(rest) >= 2 {
+				st.Area = rest[1]
+				rest = rest[2:]
+				continue
+			}
+			rest = rest[1:]
+		case "mask":
+			if len(rest) >= 2 {
+				if m, err := netaddr.ParseMask(rest[1]); err == nil {
+					st.Mask = m
+					st.HasMask = true
+				}
+				rest = rest[2:]
+				continue
+			}
+			rest = rest[1:]
+		default:
+			// Bare dotted quad after the address is a wildcard mask.
+			if m, err := netaddr.ParseMask(rest[0]); err == nil {
+				st.Wildcard = m
+				st.HasWild = true
+			} else {
+				p.diag(l, "unparsed network token %q", rest[0])
+			}
+			rest = rest[1:]
+		}
+	}
+	proc.Networks = append(proc.Networks, st)
+}
+
+func (p *parser) redistribute(l line, f []string, proc *devmodel.RoutingProcess) {
+	if len(f) < 2 {
+		p.diag(l, "redistribute without source")
+		return
+	}
+	rd := devmodel.Redistribution{From: devmodel.ParseProtocol(f[1])}
+	if rd.From == devmodel.ProtoUnknown {
+		p.diag(l, "redistribute from unknown protocol %q", f[1])
+		return
+	}
+	rest := f[2:]
+	// Optional source process id directly after the protocol keyword.
+	if len(rest) > 0 {
+		if _, err := strconv.Atoi(rest[0]); err == nil {
+			rd.FromID = rest[0]
+			rest = rest[1:]
+		}
+	}
+	for len(rest) > 0 {
+		switch rest[0] {
+		case "route-map":
+			if len(rest) >= 2 {
+				rd.RouteMap = rest[1]
+				rest = rest[2:]
+				continue
+			}
+			rest = rest[1:]
+		case "metric":
+			if len(rest) >= 2 {
+				rd.Metric = rest[1]
+				rest = rest[2:]
+				continue
+			}
+			rest = rest[1:]
+		case "metric-type":
+			if len(rest) >= 2 {
+				rd.MetricTyp = rest[1]
+				rest = rest[2:]
+				continue
+			}
+			rest = rest[1:]
+		case "subnets":
+			rd.Subnets = true
+			rest = rest[1:]
+		default:
+			rest = rest[1:]
+		}
+	}
+	proc.Redistributions = append(proc.Redistributions, rd)
+}
+
+// findOrAddNeighbor returns the neighbor record for token, creating it if
+// needed. The token may be an IP address (a real peer) or a word (a
+// peer-group name).
+func (p *parser) findOrAddNeighbor(proc *devmodel.RoutingProcess, token string) *devmodel.BGPNeighbor {
+	addr, err := netaddr.ParseAddr(token)
+	isAddr := err == nil
+	for i := range proc.Neighbors {
+		nb := &proc.Neighbors[i]
+		if isAddr && !nb.IsPeerGroupName && nb.Addr == addr {
+			return nb
+		}
+		if !isAddr && nb.IsPeerGroupName && nb.PeerGroup == token {
+			return nb
+		}
+	}
+	nb := devmodel.BGPNeighbor{}
+	if isAddr {
+		nb.Addr = addr
+	} else {
+		nb.IsPeerGroupName = true
+		nb.PeerGroup = token
+	}
+	proc.Neighbors = append(proc.Neighbors, nb)
+	return &proc.Neighbors[len(proc.Neighbors)-1]
+}
+
+func (p *parser) neighbor(l line, f []string, proc *devmodel.RoutingProcess) {
+	if len(f) < 3 {
+		p.diag(l, "incomplete neighbor command")
+		return
+	}
+	nb := p.findOrAddNeighbor(proc, f[1])
+	switch f[2] {
+	case "remote-as":
+		if len(f) >= 4 {
+			if asn, err := strconv.ParseUint(f[3], 10, 32); err == nil {
+				nb.RemoteAS = uint32(asn)
+			} else {
+				p.diag(l, "bad remote-as %q", f[3])
+			}
+		}
+	case "description":
+		nb.Description = strings.Join(f[3:], " ")
+	case "distribute-list":
+		if len(f) >= 5 {
+			if f[4] == "in" {
+				nb.DistributeListIn = f[3]
+			} else {
+				nb.DistributeListOut = f[3]
+			}
+		}
+	case "route-map":
+		if len(f) >= 5 {
+			if f[4] == "in" {
+				nb.RouteMapIn = f[3]
+			} else {
+				nb.RouteMapOut = f[3]
+			}
+		}
+	case "prefix-list":
+		if len(f) >= 5 {
+			if f[4] == "in" {
+				nb.PrefixListIn = f[3]
+			} else {
+				nb.PrefixListOut = f[3]
+			}
+		}
+	case "update-source":
+		if len(f) >= 4 {
+			nb.UpdateSource = f[3]
+		}
+	case "route-reflector-client":
+		nb.RouteReflectorClient = true
+	case "peer-group":
+		if len(f) >= 4 {
+			// "neighbor A peer-group G": membership.
+			nb.PeerGroup = f[3]
+		}
+		// "neighbor G peer-group": definition — already flagged by
+		// findOrAddNeighbor when the token was not an address.
+	case "next-hop-self", "send-community", "soft-reconfiguration",
+		"version", "password", "timers", "ebgp-multihop", "shutdown",
+		"activate", "weight", "maximum-prefix":
+		// Recognized, not needed for design extraction.
+	default:
+		p.diag(l, "unknown neighbor attribute %q", f[2])
+	}
+}
+
+func (p *parser) distributeList(l line, f []string, proc *devmodel.RoutingProcess) {
+	if len(f) < 3 {
+		p.diag(l, "incomplete distribute-list")
+		return
+	}
+	b := devmodel.DistListBinding{ACL: f[1], Direction: f[2]}
+	if len(f) >= 4 {
+		b.Interface = f[3]
+	}
+	proc.DistributeLists = append(proc.DistributeLists, b)
+}
+
+func (p *parser) startRouteMapEntry(l line, f []string) {
+	if len(f) < 2 {
+		p.diag(l, "route-map without name")
+		return
+	}
+	name := f[1]
+	rm := p.dev.RouteMaps[name]
+	if rm == nil {
+		rm = &devmodel.RouteMap{Name: name}
+		p.dev.RouteMaps[name] = rm
+	}
+	entry := devmodel.RouteMapEntry{Action: devmodel.ActionPermit, Sequence: 10 * (len(rm.Entries) + 1)}
+	if len(f) >= 3 {
+		switch f[2] {
+		case "permit":
+			entry.Action = devmodel.ActionPermit
+		case "deny":
+			entry.Action = devmodel.ActionDeny
+		default:
+			p.diag(l, "route-map action %q", f[2])
+		}
+	}
+	if len(f) >= 4 {
+		if seq, err := strconv.Atoi(f[3]); err == nil {
+			entry.Sequence = seq
+		}
+	}
+	p.curRM = rm
+	p.curRMEntry = &entry
+	p.section = secRouteMap
+}
+
+func (p *parser) routeMapSub(l line) {
+	f := l.fields()
+	e := p.curRMEntry
+	if len(f) == 0 || e == nil {
+		return
+	}
+	switch f[0] {
+	case "match":
+		if len(f) >= 4 && f[1] == "ip" && f[2] == "address" {
+			if f[3] == "prefix-list" {
+				e.MatchPrefixLists = append(e.MatchPrefixLists, f[4:]...)
+			} else {
+				e.MatchACLs = append(e.MatchACLs, f[3:]...)
+			}
+			return
+		}
+		if len(f) >= 3 && f[1] == "tag" {
+			e.MatchTags = append(e.MatchTags, f[2:]...)
+		}
+	case "set":
+		if len(f) < 3 {
+			return
+		}
+		switch f[1] {
+		case "tag":
+			e.SetTag = f[2]
+		case "metric":
+			e.SetMetric = f[2]
+		case "local-preference":
+			e.SetLocalPref = f[2]
+		case "community":
+			e.SetCommunity = append(e.SetCommunity, f[2:]...)
+		}
+	}
+}
+
+// numberedACL handles "access-list N permit|deny ...". Ranges 1-99 and
+// 1300-1999 are standard; 100-199 and 2000-2699 are extended.
+func (p *parser) numberedACL(l line, f []string) {
+	if len(f) < 3 {
+		p.diag(l, "incomplete access-list")
+		return
+	}
+	name := f[1]
+	n, err := strconv.Atoi(name)
+	if err != nil {
+		p.diag(l, "non-numeric access-list number %q", name)
+		return
+	}
+	extended := (n >= 100 && n <= 199) || (n >= 2000 && n <= 2699)
+	// Extended-range lists written with standard syntax (the paper's Figure 2
+	// does this with list 143) are treated as standard lists.
+	if extended && len(f) >= 4 && !isACLProtocol(f[3]) {
+		extended = false
+	}
+	acl := p.dev.AccessLists[name]
+	if acl == nil {
+		acl = &devmodel.AccessList{Name: name, Extended: extended}
+		p.dev.AccessLists[name] = acl
+	}
+	clause, ok := p.parseClause(l, f[2:], extended)
+	if ok {
+		acl.Clauses = append(acl.Clauses, clause)
+	}
+}
+
+func (p *parser) namedACL(l line, f []string) {
+	// ip access-list standard|extended NAME
+	if len(f) < 4 {
+		p.diag(l, "incomplete ip access-list")
+		return
+	}
+	extended := f[2] == "extended"
+	name := f[3]
+	acl := p.dev.AccessLists[name]
+	if acl == nil {
+		acl = &devmodel.AccessList{Name: name, Extended: extended}
+		p.dev.AccessLists[name] = acl
+	}
+	p.curACL = acl
+	p.section = secNamedACL
+}
+
+func (p *parser) namedACLSub(l line) {
+	f := l.fields()
+	if len(f) == 0 || p.curACL == nil {
+		return
+	}
+	// Optional leading sequence number.
+	if _, err := strconv.Atoi(f[0]); err == nil {
+		f = f[1:]
+		if len(f) == 0 {
+			return
+		}
+	}
+	clause, ok := p.parseClause(l, f, p.curACL.Extended)
+	if ok {
+		p.curACL.Clauses = append(p.curACL.Clauses, clause)
+	}
+}
+
+// parseClause parses "[permit|deny] ..." for standard or extended lists.
+func (p *parser) parseClause(l line, f []string, extended bool) (devmodel.ACLClause, bool) {
+	var c devmodel.ACLClause
+	if len(f) == 0 {
+		return c, false
+	}
+	switch f[0] {
+	case "permit":
+		c.Action = devmodel.ActionPermit
+	case "deny":
+		c.Action = devmodel.ActionDeny
+	case "remark":
+		return c, false
+	default:
+		p.diag(l, "ACL clause action %q", f[0])
+		return c, false
+	}
+	rest := f[1:]
+	if extended && len(rest) > 0 && !isACLProtocol(rest[0]) {
+		// Some configurations (including the paper's Figure 2) use
+		// extended-range numbers with standard-list syntax; fall back.
+		extended = false
+	}
+	if extended {
+		if len(rest) == 0 {
+			p.diag(l, "extended clause missing protocol")
+			return c, false
+		}
+		c.Proto = rest[0]
+		rest = rest[1:]
+		var ok bool
+		rest, ok = p.parseEndpoint(l, rest, &c.SrcAny, &c.SrcHost, &c.Src, &c.SrcWildcard)
+		if !ok {
+			return c, false
+		}
+		rest = parsePortQualifier(rest, &c.SrcPortOp, &c.SrcPorts)
+		rest, ok = p.parseEndpoint(l, rest, &c.DstAny, &c.DstHost, &c.Dst, &c.DstWildcard)
+		if !ok {
+			return c, false
+		}
+		rest = parsePortQualifier(rest, &c.DstPortOp, &c.DstPorts)
+	} else {
+		var ok bool
+		rest, ok = p.parseEndpoint(l, rest, &c.SrcAny, &c.SrcHost, &c.Src, &c.SrcWildcard)
+		if !ok {
+			return c, false
+		}
+	}
+	for _, tok := range rest {
+		if tok == "log" || tok == "log-input" {
+			c.Log = true
+		}
+	}
+	return c, true
+}
+
+// isACLProtocol reports whether tok is a protocol keyword (or numeric
+// protocol) that can begin the body of an extended ACL clause.
+func isACLProtocol(tok string) bool {
+	switch tok {
+	case "ip", "tcp", "udp", "icmp", "igmp", "gre", "esp", "ahp", "ospf",
+		"eigrp", "pim", "igrp", "ipinip", "nos", "pcp":
+		return true
+	}
+	if n, err := strconv.Atoi(tok); err == nil && n >= 0 && n <= 255 && !strings.Contains(tok, ".") {
+		return true
+	}
+	return false
+}
+
+// parseEndpoint consumes "any" | "host A" | "A [wildcard]" from rest.
+func (p *parser) parseEndpoint(l line, rest []string, anyFlag, hostFlag *bool, addr *netaddr.Addr, wc *netaddr.Mask) ([]string, bool) {
+	if len(rest) == 0 {
+		p.diag(l, "ACL clause missing endpoint")
+		return rest, false
+	}
+	switch rest[0] {
+	case "any":
+		*anyFlag = true
+		return rest[1:], true
+	case "host":
+		if len(rest) < 2 {
+			p.diag(l, "host without address")
+			return rest, false
+		}
+		a, err := netaddr.ParseAddr(rest[1])
+		if err != nil {
+			p.diag(l, "bad host address %q", rest[1])
+			return rest, false
+		}
+		*hostFlag = true
+		*addr = a
+		return rest[2:], true
+	}
+	a, err := netaddr.ParseAddr(rest[0])
+	if err != nil {
+		p.diag(l, "bad ACL address %q", rest[0])
+		return rest, false
+	}
+	*addr = a
+	rest = rest[1:]
+	if len(rest) > 0 {
+		if m, err := netaddr.ParseMask(rest[0]); err == nil {
+			*wc = m
+			return rest[1:], true
+		}
+	}
+	// Bare address without wildcard: exact host in standard ACL syntax.
+	*hostFlag = true
+	return rest, true
+}
+
+// parsePortQualifier consumes "eq P...", "range A B", "gt P", "lt P",
+// "neq P" if present.
+func parsePortQualifier(rest []string, op *string, ports *[]string) []string {
+	if len(rest) == 0 {
+		return rest
+	}
+	switch rest[0] {
+	case "eq", "neq", "gt", "lt":
+		*op = rest[0]
+		if len(rest) >= 2 {
+			*ports = append(*ports, rest[1])
+			return rest[2:]
+		}
+		return rest[1:]
+	case "range":
+		*op = "range"
+		if len(rest) >= 3 {
+			*ports = append(*ports, rest[1], rest[2])
+			return rest[3:]
+		}
+		return rest[1:]
+	}
+	return rest
+}
+
+// prefixList parses "ip prefix-list NAME [seq N] permit|deny P [ge G] [le L]".
+func (p *parser) prefixList(l line, f []string) {
+	if len(f) < 4 {
+		p.diag(l, "incomplete ip prefix-list")
+		return
+	}
+	name := f[2]
+	rest := f[3:]
+	var e devmodel.PrefixListEntry
+	if rest[0] == "seq" {
+		if len(rest) < 3 {
+			p.diag(l, "prefix-list seq without number")
+			return
+		}
+		if n, err := strconv.Atoi(rest[1]); err == nil {
+			e.Seq = n
+		}
+		rest = rest[2:]
+	}
+	switch rest[0] {
+	case "permit":
+		e.Action = devmodel.ActionPermit
+	case "deny":
+		e.Action = devmodel.ActionDeny
+	case "description":
+		return
+	default:
+		p.diag(l, "prefix-list action %q", rest[0])
+		return
+	}
+	rest = rest[1:]
+	if len(rest) == 0 {
+		p.diag(l, "prefix-list missing prefix")
+		return
+	}
+	pfx, err := netaddr.ParsePrefix(rest[0])
+	if err != nil {
+		p.diag(l, "bad prefix %q", rest[0])
+		return
+	}
+	e.Prefix = pfx
+	rest = rest[1:]
+	for len(rest) >= 2 {
+		switch rest[0] {
+		case "ge":
+			if n, err := strconv.Atoi(rest[1]); err == nil {
+				e.Ge = n
+			}
+		case "le":
+			if n, err := strconv.Atoi(rest[1]); err == nil {
+				e.Le = n
+			}
+		}
+		rest = rest[2:]
+	}
+	pl := p.dev.PrefixLists[name]
+	if pl == nil {
+		pl = &devmodel.PrefixList{Name: name}
+		p.dev.PrefixLists[name] = pl
+	}
+	pl.Entries = append(pl.Entries, e)
+}
+
+func (p *parser) staticRoute(l line, f []string) {
+	// ip route PREFIX MASK (NEXTHOP|INTERFACE) [distance]
+	if len(f) < 5 {
+		p.diag(l, "incomplete ip route")
+		return
+	}
+	a, err1 := netaddr.ParseAddr(f[2])
+	m, err2 := netaddr.ParseMask(f[3])
+	if err1 != nil || err2 != nil {
+		p.diag(l, "bad ip route target")
+		return
+	}
+	pfx, err := netaddr.PrefixFromMask(a, m)
+	if err != nil {
+		p.diag(l, "non-contiguous static route mask")
+		return
+	}
+	sr := devmodel.StaticRoute{Prefix: pfx, Distance: 1}
+	if hop, err := netaddr.ParseAddr(f[4]); err == nil {
+		sr.NextHop = hop
+		sr.HasHop = true
+	} else {
+		sr.ExitIntf = f[4]
+	}
+	if len(f) >= 6 {
+		if d, err := strconv.Atoi(f[5]); err == nil {
+			sr.Distance = d
+		}
+	}
+	p.dev.Statics = append(p.dev.Statics, sr)
+}

@@ -1,0 +1,456 @@
+package ciscoparse
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"routinglens/internal/devmodel"
+	"routinglens/internal/netaddr"
+)
+
+// figure2 is the configlet from Figure 2 of the paper (router R2),
+// re-indented as "show running-config" renders it.
+const figure2 = `hostname r2
+!
+interface Ethernet0
+ ip address 66.251.75.144 255.255.255.128
+ ip access-group 143 in
+!
+interface Serial1/0.5 point-to-point
+ ip address 66.253.32.85 255.255.255.252
+ ip access-group 143 in
+ frame-relay interface-dlci 28
+!
+interface Hssi2/0 point-to-point
+ ip address 66.253.160.67 255.255.255.252
+!
+router ospf 64
+ redistribute connected metric-type 1 subnets
+ redistribute bgp 64780 metric 1 subnets
+ network 66.251.75.128 0.0.0.127 area 0
+!
+router ospf 128
+ redistribute connected metric-type 1 subnets
+ network 66.253.32.84 0.0.0.3 area 11
+ distribute-list 44 in Serial1/0.5
+ distribute-list 45 out
+!
+router bgp 64780
+ redistribute ospf 64 route-map 8aTzlvBrbaW
+ neighbor 66.253.160.68 remote-as 12762
+ neighbor 66.253.160.68 distribute-list 4 in
+ neighbor 66.253.160.68 distribute-list 3 out
+!
+access-list 143 deny 134.161.0.0 0.0.255.255
+access-list 143 permit any
+route-map 8aTzlvBrbaW deny 10
+ match ip address 4
+route-map 8aTzlvBrbaW permit 20
+ match ip address 7
+ip route 10.235.240.71 255.255.0.0 10.234.12.7
+`
+
+func parseFigure2(t *testing.T) *devmodel.Device {
+	t.Helper()
+	res, err := Parse("r2.cfg", strings.NewReader(figure2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range res.Diagnostics {
+		t.Logf("diag: %s", d)
+	}
+	return res.Device
+}
+
+func TestParseFigure2Interfaces(t *testing.T) {
+	d := parseFigure2(t)
+	if d.Hostname != "r2" {
+		t.Errorf("hostname = %q", d.Hostname)
+	}
+	if len(d.Interfaces) != 3 {
+		t.Fatalf("interfaces = %d, want 3", len(d.Interfaces))
+	}
+	e0 := d.Interface("Ethernet0")
+	if e0 == nil {
+		t.Fatal("Ethernet0 missing")
+	}
+	p, ok := e0.PrimaryPrefix()
+	if !ok || p.String() != "66.251.75.128/25" {
+		t.Errorf("Ethernet0 prefix = %v", p)
+	}
+	if e0.AccessGroupIn != "143" {
+		t.Errorf("Ethernet0 access-group in = %q", e0.AccessGroupIn)
+	}
+	s := d.Interface("Serial1/0.5")
+	if s == nil || !s.PointToPoint {
+		t.Error("Serial1/0.5 should be point-to-point")
+	}
+	sp, _ := s.PrimaryPrefix()
+	if sp.String() != "66.253.32.84/30" {
+		t.Errorf("Serial prefix = %v", sp)
+	}
+	h := d.Interface("Hssi2/0")
+	if h == nil || h.Type() != "Hssi" {
+		t.Error("Hssi2/0 missing or mistyped")
+	}
+}
+
+func TestParseFigure2Processes(t *testing.T) {
+	d := parseFigure2(t)
+	if len(d.Processes) != 3 {
+		t.Fatalf("processes = %d, want 3", len(d.Processes))
+	}
+	o64 := d.Process("ospf 64")
+	if o64 == nil {
+		t.Fatal("ospf 64 missing")
+	}
+	if len(o64.Redistributions) != 2 {
+		t.Fatalf("ospf 64 redistributions = %d", len(o64.Redistributions))
+	}
+	if o64.Redistributions[0].From != devmodel.ProtoConnected || !o64.Redistributions[0].Subnets || o64.Redistributions[0].MetricTyp != "1" {
+		t.Errorf("redistribute connected parsed wrong: %+v", o64.Redistributions[0])
+	}
+	rb := o64.Redistributions[1]
+	if rb.From != devmodel.ProtoBGP || rb.FromID != "64780" || rb.Metric != "1" {
+		t.Errorf("redistribute bgp parsed wrong: %+v", rb)
+	}
+	if len(o64.Networks) != 1 || o64.Networks[0].Area != "0" || !o64.Networks[0].HasWild {
+		t.Errorf("ospf 64 network parsed wrong: %+v", o64.Networks)
+	}
+	if !o64.CoversAddr(netaddr.MustParseAddr("66.251.75.144")) {
+		t.Error("ospf 64 should cover Ethernet0 address")
+	}
+	if o64.CoversAddr(netaddr.MustParseAddr("66.253.32.85")) {
+		t.Error("ospf 64 should not cover Serial address")
+	}
+
+	o128 := d.Process("ospf 128")
+	if o128 == nil {
+		t.Fatal("ospf 128 missing")
+	}
+	if len(o128.DistributeLists) != 2 {
+		t.Fatalf("ospf 128 distribute-lists = %d", len(o128.DistributeLists))
+	}
+	if o128.DistributeLists[0].ACL != "44" || o128.DistributeLists[0].Direction != "in" || o128.DistributeLists[0].Interface != "Serial1/0.5" {
+		t.Errorf("distribute-list in parsed wrong: %+v", o128.DistributeLists[0])
+	}
+	if o128.DistributeLists[1].ACL != "45" || o128.DistributeLists[1].Direction != "out" {
+		t.Errorf("distribute-list out parsed wrong: %+v", o128.DistributeLists[1])
+	}
+
+	bgp := d.Process("bgp 64780")
+	if bgp == nil {
+		t.Fatal("bgp 64780 missing")
+	}
+	if bgp.ASN != 64780 {
+		t.Errorf("ASN = %d", bgp.ASN)
+	}
+	if len(bgp.Redistributions) != 1 || bgp.Redistributions[0].RouteMap != "8aTzlvBrbaW" || bgp.Redistributions[0].FromID != "64" {
+		t.Errorf("bgp redistribute parsed wrong: %+v", bgp.Redistributions)
+	}
+	if len(bgp.Neighbors) != 1 {
+		t.Fatalf("bgp neighbors = %d (merging by address failed?)", len(bgp.Neighbors))
+	}
+	nb := bgp.Neighbors[0]
+	if nb.RemoteAS != 12762 || nb.DistributeListIn != "4" || nb.DistributeListOut != "3" {
+		t.Errorf("neighbor parsed wrong: %+v", nb)
+	}
+}
+
+func TestParseFigure2Policies(t *testing.T) {
+	d := parseFigure2(t)
+	acl := d.AccessLists["143"]
+	if acl == nil {
+		t.Fatal("access-list 143 missing")
+	}
+	if acl.Extended {
+		t.Error("143 should be standard")
+	}
+	if len(acl.Clauses) != 2 {
+		t.Fatalf("143 clauses = %d", len(acl.Clauses))
+	}
+	if acl.PermitsAddr(netaddr.MustParseAddr("134.161.5.5")) {
+		t.Error("134.161/16 should be denied")
+	}
+	if !acl.PermitsAddr(netaddr.MustParseAddr("8.8.8.8")) {
+		t.Error("other addresses should be permitted")
+	}
+	rm := d.RouteMaps["8aTzlvBrbaW"]
+	if rm == nil {
+		t.Fatal("route-map missing")
+	}
+	if len(rm.Entries) != 2 {
+		t.Fatalf("route-map entries = %d", len(rm.Entries))
+	}
+	if rm.Entries[0].Action != devmodel.ActionDeny || rm.Entries[0].Sequence != 10 || rm.Entries[0].MatchACLs[0] != "4" {
+		t.Errorf("entry 10 parsed wrong: %+v", rm.Entries[0])
+	}
+	if rm.Entries[1].Action != devmodel.ActionPermit || rm.Entries[1].Sequence != 20 || rm.Entries[1].MatchACLs[0] != "7" {
+		t.Errorf("entry 20 parsed wrong: %+v", rm.Entries[1])
+	}
+}
+
+func TestParseFigure2Static(t *testing.T) {
+	d := parseFigure2(t)
+	if len(d.Statics) != 1 {
+		t.Fatalf("statics = %d", len(d.Statics))
+	}
+	sr := d.Statics[0]
+	if sr.Prefix.String() != "10.235.0.0/16" {
+		t.Errorf("static prefix = %s (should be canonicalized)", sr.Prefix)
+	}
+	if !sr.HasHop || sr.NextHop.String() != "10.234.12.7" {
+		t.Errorf("static next hop wrong: %+v", sr)
+	}
+}
+
+func TestRawLineCount(t *testing.T) {
+	d := parseFigure2(t)
+	// figure2 has 31 command lines (bangs and blanks excluded).
+	if d.RawLines != 31 {
+		t.Errorf("RawLines = %d, want 31", d.RawLines)
+	}
+}
+
+func TestExtendedACL(t *testing.T) {
+	cfg := `hostname r
+access-list 101 permit tcp 10.0.0.0 0.0.0.255 any eq 80
+access-list 101 deny udp any host 10.1.1.1 eq 53
+access-list 101 permit ip any any
+ip access-list extended EDGE
+ permit tcp host 10.2.2.2 eq 443 any
+ deny ip 10.3.0.0 0.0.255.255 any log
+`
+	res, err := Parse("t", strings.NewReader(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	acl := res.Device.AccessLists["101"]
+	if acl == nil || !acl.Extended || len(acl.Clauses) != 3 {
+		t.Fatalf("acl 101 wrong: %+v", acl)
+	}
+	c0 := acl.Clauses[0]
+	if c0.Proto != "tcp" || c0.SrcAny || !c0.DstAny || c0.DstPortOp != "eq" || c0.DstPorts[0] != "80" {
+		t.Errorf("clause 0 wrong: %+v", c0)
+	}
+	c1 := acl.Clauses[1]
+	if !c1.SrcAny || !c1.DstHost || c1.Dst.String() != "10.1.1.1" || c1.DstPorts[0] != "53" {
+		t.Errorf("clause 1 wrong: %+v", c1)
+	}
+	edge := res.Device.AccessLists["EDGE"]
+	if edge == nil || !edge.Extended || len(edge.Clauses) != 2 {
+		t.Fatalf("named acl wrong: %+v", edge)
+	}
+	if edge.Clauses[0].SrcPortOp != "eq" || edge.Clauses[0].SrcPorts[0] != "443" {
+		t.Errorf("src port qualifier wrong: %+v", edge.Clauses[0])
+	}
+	if !edge.Clauses[1].Log {
+		t.Error("log flag not set")
+	}
+}
+
+func TestBGPNetworkMaskAndPeerGroups(t *testing.T) {
+	cfg := `hostname r
+router bgp 65001
+ network 10.0.0.0 mask 255.255.0.0
+ neighbor IBGP peer-group
+ neighbor IBGP remote-as 65001
+ neighbor 10.0.0.2 peer-group IBGP
+ neighbor 10.0.0.3 peer-group IBGP
+ neighbor 10.0.0.3 route-reflector-client
+`
+	res, err := Parse("t", strings.NewReader(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bgp := res.Device.Process("bgp 65001")
+	if bgp == nil {
+		t.Fatal("bgp missing")
+	}
+	if len(bgp.Networks) != 1 || !bgp.Networks[0].HasMask {
+		t.Fatalf("network mask form wrong: %+v", bgp.Networks)
+	}
+	if !bgp.Networks[0].Covers(netaddr.MustParseAddr("10.0.200.1")) {
+		t.Error("network mask coverage wrong")
+	}
+	var pg, n2, n3 *devmodel.BGPNeighbor
+	for i := range bgp.Neighbors {
+		nb := &bgp.Neighbors[i]
+		switch {
+		case nb.IsPeerGroupName:
+			pg = nb
+		case nb.Addr == netaddr.MustParseAddr("10.0.0.2"):
+			n2 = nb
+		case nb.Addr == netaddr.MustParseAddr("10.0.0.3"):
+			n3 = nb
+		}
+	}
+	if pg == nil || pg.RemoteAS != 65001 {
+		t.Errorf("peer-group definition wrong: %+v", pg)
+	}
+	if n2 == nil || n2.PeerGroup != "IBGP" {
+		t.Errorf("peer-group membership wrong: %+v", n2)
+	}
+	if n3 == nil || !n3.RouteReflectorClient {
+		t.Errorf("route-reflector-client wrong: %+v", n3)
+	}
+}
+
+func TestPassiveAndUnnumbered(t *testing.T) {
+	cfg := `hostname r
+interface Serial0
+ ip unnumbered Loopback0
+interface Loopback0
+ ip address 10.9.9.9 255.255.255.255
+router rip
+ passive-interface default
+ no passive-interface Serial0
+ network 10.0.0.0
+`
+	res, err := Parse("t", strings.NewReader(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := res.Device
+	s := d.Interface("Serial0")
+	if s == nil || !s.Unnumbered || s.HasAddr() {
+		t.Errorf("unnumbered parsing wrong: %+v", s)
+	}
+	rip := d.Process("rip")
+	if rip == nil {
+		t.Fatal("rip missing")
+	}
+	if rip.IsPassive("Serial0") {
+		t.Error("no passive-interface exception ignored")
+	}
+	if !rip.IsPassive("Ethernet0") {
+		t.Error("passive default not applied")
+	}
+}
+
+func TestPrefixListParsing(t *testing.T) {
+	cfg := `hostname r
+ip prefix-list CUST seq 5 permit 10.0.0.0/8 le 24
+ip prefix-list CUST seq 10 deny 0.0.0.0/0 le 32
+`
+	res, err := Parse("t", strings.NewReader(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := res.Device.PrefixLists["CUST"]
+	if pl == nil || len(pl.Entries) != 2 {
+		t.Fatalf("prefix-list wrong: %+v", pl)
+	}
+	if pl.Entries[0].Le != 24 || pl.Entries[0].Prefix.String() != "10.0.0.0/8" {
+		t.Errorf("entry 0 wrong: %+v", pl.Entries[0])
+	}
+	if !pl.Permits(netaddr.MustParsePrefix("10.1.0.0/16")) {
+		t.Error("10.1/16 should be permitted")
+	}
+	if pl.Permits(netaddr.MustParsePrefix("11.0.0.0/8")) {
+		t.Error("11/8 should be denied")
+	}
+}
+
+func TestSecondaryAddress(t *testing.T) {
+	cfg := `hostname r
+interface Ethernet0
+ ip address 10.0.0.1 255.255.255.0
+ ip address 10.0.1.1 255.255.255.0 secondary
+`
+	res, err := Parse("t", strings.NewReader(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := res.Device.Interface("Ethernet0")
+	if len(e.Addrs) != 2 || !e.Addrs[1].Secondary || e.Addrs[0].Secondary {
+		t.Errorf("secondary parsing wrong: %+v", e.Addrs)
+	}
+}
+
+func TestMalformedLinesProduceDiagnosticsNotFailure(t *testing.T) {
+	cfg := `hostname r
+interface Ethernet0
+ ip address banana 255.255.255.0
+router ospf 1
+ network banana 0.0.0.255 area 0
+access-list 7 permit
+ip route 10.0.0.0
+`
+	res, err := Parse("t", strings.NewReader(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Diagnostics) < 3 {
+		t.Errorf("expected diagnostics, got %v", res.Diagnostics)
+	}
+	if res.Device.Interface("Ethernet0") == nil {
+		t.Error("device should still carry the interface")
+	}
+}
+
+func TestSkippedModes(t *testing.T) {
+	cfg := `hostname r
+line vty 0 4
+ password secret
+ login
+interface Ethernet0
+ ip address 10.0.0.1 255.255.255.0
+`
+	res, err := Parse("t", strings.NewReader(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Device.Interface("Ethernet0") == nil {
+		t.Error("parser lost track after skipped line-vty mode")
+	}
+}
+
+func TestParseDir(t *testing.T) {
+	dir := t.TempDir()
+	cfg1 := "hostname alpha\ninterface Ethernet0\n ip address 10.0.0.1 255.255.255.252\n"
+	cfg2 := "interface Ethernet0\n ip address 10.0.0.2 255.255.255.252\n"
+	if err := os.WriteFile(filepath.Join(dir, "config1"), []byte(cfg1), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "config2"), []byte(cfg2), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	net, diags, err := ParseDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("unexpected diagnostics: %v", diags)
+	}
+	if len(net.Devices) != 2 {
+		t.Fatalf("devices = %d", len(net.Devices))
+	}
+	if net.Devices[0].Hostname != "alpha" {
+		t.Errorf("hostname from config = %q", net.Devices[0].Hostname)
+	}
+	if net.Devices[1].Hostname != "config2" {
+		t.Errorf("fallback hostname = %q", net.Devices[1].Hostname)
+	}
+}
+
+func TestNegatedShutdown(t *testing.T) {
+	cfg := `hostname r
+interface Ethernet0
+ no shutdown
+interface Ethernet1
+ shutdown
+`
+	res, err := Parse("t", strings.NewReader(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Device.Interface("Ethernet0").Shutdown {
+		t.Error("no shutdown should leave interface up")
+	}
+	if !res.Device.Interface("Ethernet1").Shutdown {
+		t.Error("shutdown not recorded")
+	}
+}

@@ -1,0 +1,100 @@
+package ciscoparse
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// The parser must never panic or error fatally on corrupted input: static
+// analysis of operational configs meets truncated files, editor debris,
+// and unknown commands constantly. This test mutates a valid configuration
+// thousands of ways and requires graceful degradation.
+func TestParserRobustToCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	base := figure2
+	mutations := []func(string) string{
+		// Truncate at a random byte.
+		func(s string) string {
+			if len(s) == 0 {
+				return s
+			}
+			return s[:rng.Intn(len(s))]
+		},
+		// Delete a random line.
+		func(s string) string {
+			lines := strings.Split(s, "\n")
+			i := rng.Intn(len(lines))
+			return strings.Join(append(lines[:i:i], lines[i+1:]...), "\n")
+		},
+		// Duplicate a random line.
+		func(s string) string {
+			lines := strings.Split(s, "\n")
+			i := rng.Intn(len(lines))
+			out := append(lines[:i:i], lines[i])
+			return strings.Join(append(out, lines[i:]...), "\n")
+		},
+		// Replace a random byte with garbage.
+		func(s string) string {
+			if len(s) == 0 {
+				return s
+			}
+			b := []byte(s)
+			b[rng.Intn(len(b))] = byte(rng.Intn(256))
+			return string(b)
+		},
+		// Shuffle two lines.
+		func(s string) string {
+			lines := strings.Split(s, "\n")
+			if len(lines) < 2 {
+				return s
+			}
+			i, j := rng.Intn(len(lines)), rng.Intn(len(lines))
+			lines[i], lines[j] = lines[j], lines[i]
+			return strings.Join(lines, "\n")
+		},
+		// Strip all indentation (sub-commands become top-level).
+		func(s string) string {
+			lines := strings.Split(s, "\n")
+			for i := range lines {
+				lines[i] = strings.TrimLeft(lines[i], " \t")
+			}
+			return strings.Join(lines, "\n")
+		},
+	}
+	for i := 0; i < 3000; i++ {
+		src := base
+		for n := rng.Intn(3) + 1; n > 0; n-- {
+			src = mutations[rng.Intn(len(mutations))](src)
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on mutated input (iteration %d): %v\ninput:\n%s", i, r, src)
+				}
+			}()
+			if _, err := Parse("fuzz", strings.NewReader(src)); err != nil {
+				// I/O errors cannot happen on a strings.Reader; any error
+				// would be a scanner failure on pathological lines.
+				t.Fatalf("hard error on mutated input (iteration %d): %v", i, err)
+			}
+		}()
+	}
+}
+
+// Deeply nested and extremely long lines must not break the line scanner.
+func TestParserLongLines(t *testing.T) {
+	long := "hostname r\n" + "description " + strings.Repeat("x", 500000) + "\n"
+	if _, err := Parse("long", strings.NewReader(long)); err != nil {
+		t.Fatalf("long line: %v", err)
+	}
+	many := strings.Repeat("interface Ethernet0\n ip address 10.0.0.1 255.255.255.0\n", 20000)
+	res, err := Parse("many", strings.NewReader(many))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interface re-opening merges: one interface, many addresses appended.
+	if len(res.Device.Interfaces) != 1 {
+		t.Errorf("interfaces = %d (re-opening should merge)", len(res.Device.Interfaces))
+	}
+}

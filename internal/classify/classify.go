@@ -1,0 +1,273 @@
+// Package classify implements the paper's role and design classification:
+// which protocol instances perform intra- vs inter-domain routing (Table 1,
+// Section 5.2), and which networks follow the canonical backbone or
+// enterprise architectures versus unclassifiable designs (Section 7).
+package classify
+
+import (
+	"fmt"
+	"sort"
+
+	"routinglens/internal/devmodel"
+	"routinglens/internal/instance"
+	"routinglens/internal/procgraph"
+)
+
+// RoleCounts tallies, for one protocol, how many instances (or sessions,
+// for EBGP) perform intra- versus inter-domain routing.
+type RoleCounts struct {
+	Intra int
+	Inter int
+}
+
+// Total returns Intra+Inter.
+func (r RoleCounts) Total() int { return r.Intra + r.Inter }
+
+// Roles is the Table 1 structure: per-protocol role counts. The EBGP entry
+// counts sessions; IGP entries count instances, following the paper.
+type Roles struct {
+	OSPF  RoleCounts
+	EIGRP RoleCounts // includes IGRP, as in the paper
+	RIP   RoleCounts
+	ISIS  RoleCounts
+	EBGP  RoleCounts // sessions: Intra = EBGP used inside the network
+}
+
+// Add accumulates another network's counts.
+func (r *Roles) Add(o Roles) {
+	r.OSPF.Intra += o.OSPF.Intra
+	r.OSPF.Inter += o.OSPF.Inter
+	r.EIGRP.Intra += o.EIGRP.Intra
+	r.EIGRP.Inter += o.EIGRP.Inter
+	r.RIP.Intra += o.RIP.Intra
+	r.RIP.Inter += o.RIP.Inter
+	r.ISIS.Intra += o.ISIS.Intra
+	r.ISIS.Inter += o.ISIS.Inter
+	r.EBGP.Intra += o.EBGP.Intra
+	r.EBGP.Inter += o.EBGP.Inter
+}
+
+// ProtocolRoles computes the Table 1 classification for one network.
+//
+// An IGP instance performs inter-domain routing when it has adjacencies
+// with routers outside the network (external peers); otherwise it is
+// intra-domain. An EBGP session is inter-domain when its peer is outside
+// the corpus, and intra-domain when both ends are routers of this network
+// (EBGP used as an internal protocol).
+func ProtocolRoles(m *instance.Model) Roles {
+	var r Roles
+	for _, in := range m.Instances {
+		var rc *RoleCounts
+		switch in.Protocol {
+		case devmodel.ProtoOSPF:
+			rc = &r.OSPF
+		case devmodel.ProtoEIGRP, devmodel.ProtoIGRP:
+			rc = &r.EIGRP
+		case devmodel.ProtoRIP:
+			rc = &r.RIP
+		case devmodel.ProtoISIS:
+			rc = &r.ISIS
+		default:
+			continue
+		}
+		if in.ExternalPeers > 0 {
+			rc.Inter++
+		} else {
+			rc.Intra++
+		}
+	}
+	// EBGP sessions: adjacency edges marked EBGP. Internal sessions appear
+	// as a directed pair; external sessions as a pair to/from the external
+	// node. Count sessions, not directed edges.
+	intraPairs := make(map[string]bool)
+	interPairs := make(map[string]bool)
+	for _, e := range m.Graph.Edges {
+		if e.Kind != procgraph.Adjacency || !e.EBGP {
+			continue
+		}
+		a, b := e.From.ID(), e.To.ID()
+		if a > b {
+			a, b = b, a
+		}
+		key := a + "|" + b
+		if e.From.Kind == procgraph.External || e.To.Kind == procgraph.External {
+			interPairs[key] = true
+		} else {
+			intraPairs[key] = true
+		}
+	}
+	r.EBGP.Intra = len(intraPairs)
+	r.EBGP.Inter = len(interPairs)
+	return r
+}
+
+// Design is the architecture category of a network (Section 7.1).
+type Design int
+
+// Designs.
+const (
+	// DesignBackbone: many external EBGP sessions, IBGP distributes
+	// external routes internally, a small number of IGP instances carrying
+	// infrastructure routes, and no redistribution of BGP into the IGP.
+	DesignBackbone Design = iota
+	// DesignEnterprise: a small number of BGP speakers inject external
+	// routes into a small number of IGP instances serving most routers.
+	DesignEnterprise
+	// DesignTier2: backbone-like BGP structure plus many single-router
+	// "staging" IGP instances connecting non-BGP customers.
+	DesignTier2
+	// DesignOther: everything else — the paper found 20 of 31 networks
+	// defied classification.
+	DesignOther
+)
+
+// String names the design.
+func (d Design) String() string {
+	switch d {
+	case DesignBackbone:
+		return "backbone"
+	case DesignEnterprise:
+		return "enterprise"
+	case DesignTier2:
+		return "tier2"
+	case DesignOther:
+		return "other"
+	}
+	return "?"
+}
+
+// Evidence explains a classification.
+type Evidence struct {
+	Design Design
+
+	Routers          int
+	BGPRouters       int // routers running BGP
+	ExternalPeers    int // EBGP sessions to outside the corpus
+	InternalEBGP     int // EBGP sessions inside the network
+	IGPInstances     int // non-staging IGP instances
+	StagingInstances int
+	LargestIGPShare  float64 // fraction of routers in the largest IGP instance
+	BGPMeshShare     float64 // fraction of routers in the largest BGP instance
+	BGPIntoIGP       bool    // some BGP instance redistributes into an IGP
+	InternalASNs     int
+}
+
+// String summarizes the evidence.
+func (e Evidence) String() string {
+	return fmt.Sprintf("%s: routers=%d bgpRouters=%d extPeers=%d intEBGP=%d igpInst=%d staging=%d largestIGP=%.2f bgpMesh=%.2f bgpIntoIGP=%v internalAS=%d",
+		e.Design, e.Routers, e.BGPRouters, e.ExternalPeers, e.InternalEBGP,
+		e.IGPInstances, e.StagingInstances, e.LargestIGPShare, e.BGPMeshShare,
+		e.BGPIntoIGP, e.InternalASNs)
+}
+
+// ClassifyDesign categorizes one network's routing design.
+func ClassifyDesign(m *instance.Model) Evidence {
+	ev := Evidence{Routers: len(m.Graph.Network.Devices)}
+
+	bgpRouters := make(map[*devmodel.Device]bool)
+	for _, d := range m.Graph.Network.Devices {
+		if len(d.ProcessesOf(devmodel.ProtoBGP)) > 0 {
+			bgpRouters[d] = true
+		}
+	}
+	ev.BGPRouters = len(bgpRouters)
+	ev.InternalASNs = len(m.BGPASNs())
+
+	largestIGP, largestBGP := 0, 0
+	for _, in := range m.Instances {
+		switch {
+		case in.Protocol == devmodel.ProtoBGP:
+			if in.Size() > largestBGP {
+				largestBGP = in.Size()
+			}
+		case in.Protocol.IsIGP():
+			if in.IsStagingIGP() {
+				ev.StagingInstances++
+				continue
+			}
+			ev.IGPInstances++
+			if in.Size() > largestIGP {
+				largestIGP = in.Size()
+			}
+		}
+	}
+	if ev.Routers > 0 {
+		ev.LargestIGPShare = float64(largestIGP) / float64(ev.Routers)
+		ev.BGPMeshShare = float64(largestBGP) / float64(ev.Routers)
+	}
+
+	roles := ProtocolRoles(m)
+	ev.ExternalPeers = roles.EBGP.Inter
+	ev.InternalEBGP = roles.EBGP.Intra
+
+	for _, e := range m.Edges {
+		if e.Kind == instance.EdgeRedistribution && e.From != nil && e.To != nil &&
+			e.From.Protocol == devmodel.ProtoBGP && e.To.Protocol.IsIGP() {
+			ev.BGPIntoIGP = true
+		}
+	}
+
+	ev.Design = decide(ev)
+	return ev
+}
+
+func decide(ev Evidence) Design {
+	backboneBGP := ev.BGPMeshShare >= 0.5 && ev.ExternalPeers >= 2 &&
+		!ev.BGPIntoIGP && ev.IGPInstances <= 3 && ev.InternalASNs <= 2
+	switch {
+	case backboneBGP && ev.StagingInstances >= 5:
+		return DesignTier2
+	case backboneBGP:
+		return DesignBackbone
+	}
+	// Textbook enterprise: few border BGP speakers injecting into at most
+	// two IGP instances that cover most of the network — or a small pure-IGP
+	// network with the same IGP shape.
+	fewBorders := ev.BGPRouters <= 3 || (ev.Routers > 0 && float64(ev.BGPRouters)/float64(ev.Routers) <= 0.1)
+	igpShape := ev.IGPInstances >= 1 && ev.IGPInstances <= 2 && ev.LargestIGPShare >= 0.4
+	injects := ev.BGPIntoIGP || ev.BGPRouters == 0
+	// IGP instances peering with external networks (staging or RIP-style
+	// edges) disqualify the textbook-enterprise label: the textbook design
+	// speaks only BGP to the outside.
+	if fewBorders && igpShape && injects && ev.InternalASNs <= 1 &&
+		ev.InternalEBGP == 0 && ev.StagingInstances == 0 {
+		return DesignEnterprise
+	}
+	return DesignOther
+}
+
+// InterfaceMix tallies interface types across a set of networks (Table 3).
+func InterfaceMix(nets []*devmodel.Network) map[string]int {
+	mix := make(map[string]int)
+	for _, n := range nets {
+		for _, d := range n.Devices {
+			for _, i := range d.Interfaces {
+				mix[i.Type()]++
+			}
+		}
+	}
+	return mix
+}
+
+// SortedMix renders the mix as (type,count) pairs sorted ascending by
+// count, as in Table 3.
+func SortedMix(mix map[string]int) []struct {
+	Type  string
+	Count int
+} {
+	type tc = struct {
+		Type  string
+		Count int
+	}
+	var out []tc
+	for k, v := range mix {
+		out = append(out, tc{k, v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count < out[j].Count
+		}
+		return out[i].Type < out[j].Type
+	})
+	return out
+}

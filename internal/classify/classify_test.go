@@ -1,0 +1,196 @@
+package classify
+
+import (
+	"strings"
+	"testing"
+
+	"routinglens/internal/ciscoparse"
+	"routinglens/internal/devmodel"
+	"routinglens/internal/instance"
+	"routinglens/internal/paperexample"
+	"routinglens/internal/procgraph"
+	"routinglens/internal/topology"
+)
+
+func modelOf(t *testing.T, n *devmodel.Network) *instance.Model {
+	t.Helper()
+	return instance.Compute(procgraph.Build(n, topology.Build(n)))
+}
+
+func parseNet(t *testing.T, cfgs ...string) *devmodel.Network {
+	t.Helper()
+	n := &devmodel.Network{Name: "t"}
+	for _, c := range cfgs {
+		res, err := ciscoparse.Parse("cfg", strings.NewReader(c))
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.Devices = append(n.Devices, res.Device)
+	}
+	return n
+}
+
+func TestEnterpriseRoles(t *testing.T) {
+	n, err := paperexample.BuildEnterprise()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := ProtocolRoles(modelOf(t, n))
+	if r.OSPF.Intra != 2 || r.OSPF.Inter != 0 {
+		t.Errorf("OSPF roles = %+v, want 2 intra", r.OSPF)
+	}
+	if r.EBGP.Inter != 1 || r.EBGP.Intra != 0 {
+		t.Errorf("EBGP roles = %+v, want 1 inter", r.EBGP)
+	}
+}
+
+func TestCombinedExampleEBGPIntra(t *testing.T) {
+	// In the combined corpus the r2<->r6 session is EBGP between two known
+	// routers: EBGP used for intra-network routing.
+	n, err := paperexample.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := ProtocolRoles(modelOf(t, n))
+	if r.EBGP.Intra != 1 {
+		t.Errorf("EBGP intra = %d, want 1", r.EBGP.Intra)
+	}
+	if r.EBGP.Inter != 1 { // r4's session to R7
+		t.Errorf("EBGP inter = %d, want 1", r.EBGP.Inter)
+	}
+}
+
+func TestIGPAsEdgeProtocolIsInter(t *testing.T) {
+	cfg := `hostname a
+interface Serial0
+ ip address 10.0.0.1 255.255.255.252
+router rip
+ network 10.0.0.0
+`
+	r := ProtocolRoles(modelOf(t, parseNet(t, cfg)))
+	if r.RIP.Inter != 1 || r.RIP.Intra != 0 {
+		t.Errorf("RIP roles = %+v, want 1 inter", r.RIP)
+	}
+}
+
+func TestRolesAdd(t *testing.T) {
+	a := Roles{OSPF: RoleCounts{Intra: 1, Inter: 2}, EBGP: RoleCounts{Intra: 3, Inter: 4}}
+	b := Roles{OSPF: RoleCounts{Intra: 10}, EIGRP: RoleCounts{Inter: 5}}
+	a.Add(b)
+	if a.OSPF.Intra != 11 || a.OSPF.Inter != 2 || a.EIGRP.Inter != 5 || a.EBGP.Total() != 7 {
+		t.Errorf("Add wrong: %+v", a)
+	}
+}
+
+func TestClassifyBackbone(t *testing.T) {
+	n, err := paperexample.BuildBackbone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := ClassifyDesign(modelOf(t, n))
+	if ev.Design != DesignBackbone {
+		t.Errorf("backbone classified as %s (%s)", ev.Design, ev)
+	}
+	if ev.BGPIntoIGP {
+		t.Error("backbone must not redistribute BGP into IGP")
+	}
+}
+
+func TestClassifyEnterprise(t *testing.T) {
+	n, err := paperexample.BuildEnterprise()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := ClassifyDesign(modelOf(t, n))
+	if ev.Design != DesignEnterprise {
+		t.Errorf("enterprise classified as %s (%s)", ev.Design, ev)
+	}
+	if !ev.BGPIntoIGP {
+		t.Error("enterprise should redistribute BGP into IGP")
+	}
+}
+
+func TestClassifyPureIGPEnterprise(t *testing.T) {
+	// Three networks in the paper use no BGP at all; with a single IGP
+	// instance they still look like textbook enterprises.
+	cfgs := []string{
+		"hostname a\ninterface Serial0\n ip address 10.0.0.1 255.255.255.252\nrouter ospf 1\n network 10.0.0.0 0.0.255.255 area 0\n",
+		"hostname b\ninterface Serial0\n ip address 10.0.0.2 255.255.255.252\nrouter ospf 1\n network 10.0.0.0 0.0.255.255 area 0\n",
+	}
+	ev := ClassifyDesign(modelOf(t, parseNet(t, cfgs...)))
+	if ev.Design != DesignEnterprise {
+		t.Errorf("pure-IGP network classified as %s (%s)", ev.Design, ev)
+	}
+}
+
+func TestClassifyOtherForCompartmentalized(t *testing.T) {
+	// A miniature net5: two EIGRP compartments bridged by two BGP ASes with
+	// mutual redistribution — internal EBGP and multiple internal ASNs must
+	// defy classification.
+	cfgs := []string{
+		// Compartment 1.
+		`hostname a
+interface Serial0
+ ip address 10.1.0.1 255.255.255.252
+router eigrp 10
+ network 10.0.0.0
+`,
+		// Border 1: EIGRP 10 + BGP 65001, EBGP to border 2.
+		`hostname b
+interface Serial0
+ ip address 10.1.0.2 255.255.255.252
+interface Serial1
+ ip address 10.9.0.1 255.255.255.252
+router eigrp 10
+ network 10.0.0.0
+ redistribute bgp 65001
+router bgp 65001
+ redistribute eigrp 10
+ neighbor 10.9.0.2 remote-as 65010
+`,
+		// Border 2: BGP 65010 + EIGRP 20.
+		`hostname c
+interface Serial0
+ ip address 10.9.0.2 255.255.255.252
+interface Serial1
+ ip address 10.2.0.1 255.255.255.252
+router eigrp 20
+ network 10.0.0.0
+ redistribute bgp 65010
+router bgp 65010
+ redistribute eigrp 20
+ neighbor 10.9.0.1 remote-as 65001
+`,
+		// Compartment 2.
+		`hostname d
+interface Serial0
+ ip address 10.2.0.2 255.255.255.252
+router eigrp 20
+ network 10.0.0.0
+`,
+	}
+	ev := ClassifyDesign(modelOf(t, parseNet(t, cfgs...)))
+	if ev.Design != DesignOther {
+		t.Errorf("compartmentalized design classified as %s (%s)", ev.Design, ev)
+	}
+	if ev.InternalEBGP != 1 {
+		t.Errorf("internal EBGP sessions = %d, want 1", ev.InternalEBGP)
+	}
+	if ev.InternalASNs != 2 {
+		t.Errorf("internal ASNs = %d, want 2", ev.InternalASNs)
+	}
+}
+
+func TestInterfaceMix(t *testing.T) {
+	n := parseNet(t,
+		"hostname a\ninterface Serial0\n ip address 10.0.0.1 255.255.255.252\ninterface Serial1\n ip address 10.0.0.5 255.255.255.252\ninterface POS0/0\n ip address 10.0.1.1 255.255.255.252\n",
+	)
+	mix := InterfaceMix([]*devmodel.Network{n})
+	if mix["Serial"] != 2 || mix["POS"] != 1 {
+		t.Errorf("mix = %v", mix)
+	}
+	sorted := SortedMix(mix)
+	if sorted[0].Type != "POS" || sorted[len(sorted)-1].Type != "Serial" {
+		t.Errorf("SortedMix = %v", sorted)
+	}
+}

@@ -1,0 +1,287 @@
+// Package core assembles the complete routing-design extraction pipeline:
+// parse a network's configuration files, infer its topology, build the
+// routing process graph, compute routing instances, recover the address
+// space structure, analyze packet filters, and classify the design. It is
+// the implementation behind the module's public routinglens package.
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"routinglens/internal/addrspace"
+	"routinglens/internal/audit"
+	"routinglens/internal/ciscoparse"
+	"routinglens/internal/classify"
+	"routinglens/internal/designdiff"
+	"routinglens/internal/devmodel"
+	"routinglens/internal/dot"
+	"routinglens/internal/filters"
+	"routinglens/internal/instance"
+	"routinglens/internal/junosparse"
+	"routinglens/internal/netaddr"
+	"routinglens/internal/pathway"
+	"routinglens/internal/procgraph"
+	"routinglens/internal/reach"
+	"routinglens/internal/report"
+	"routinglens/internal/simroute"
+	"routinglens/internal/topology"
+	"routinglens/internal/trace"
+	"routinglens/internal/whatif"
+)
+
+// Design is the reverse-engineered routing design of one network: every
+// global view the paper derives from the per-router configuration state.
+type Design struct {
+	Network        *devmodel.Network
+	Topology       *topology.Topology
+	ProcessGraph   *procgraph.Graph
+	Instances      *instance.Model
+	AddressSpace   *addrspace.Structure
+	Filters        *filters.NetworkStats
+	Classification classify.Evidence
+}
+
+// Analyze runs the full extraction pipeline over a parsed network.
+func Analyze(n *devmodel.Network) *Design {
+	top := topology.Build(n)
+	graph := procgraph.Build(n, top)
+	model := instance.Compute(graph)
+	return &Design{
+		Network:        n,
+		Topology:       top,
+		ProcessGraph:   graph,
+		Instances:      model,
+		AddressSpace:   addrspace.Discover(addrspace.CollectSubnets(n), addrspace.Options{}),
+		Filters:        filters.Analyze(n, top),
+		Classification: classify.ClassifyDesign(model),
+	}
+}
+
+// parseOne dispatches a configuration to the right dialect front end:
+// JunOS-style brace-structured files go to junosparse, everything else to
+// the Cisco IOS parser.
+func parseOne(name, text string) (*devmodel.Device, []ciscoparse.Diagnostic, error) {
+	if junosparse.LooksLikeJunOS(text) {
+		res, err := junosparse.Parse(name, strings.NewReader(text))
+		if err != nil {
+			return nil, nil, err
+		}
+		diags := make([]ciscoparse.Diagnostic, len(res.Diagnostics))
+		for i, d := range res.Diagnostics {
+			diags[i] = ciscoparse.Diagnostic{File: d.File, Line: d.Line, Msg: d.Msg}
+		}
+		return res.Device, diags, nil
+	}
+	res, err := ciscoparse.Parse(name, strings.NewReader(text))
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Device, res.Diagnostics, nil
+}
+
+// AnalyzeDir parses every file in dir as a router configuration —
+// detecting Cisco IOS and JunOS dialects per file — and analyzes the
+// resulting network. Parse diagnostics are returned alongside the design;
+// they are warnings, not errors.
+func AnalyzeDir(dir string) (*Design, []ciscoparse.Diagnostic, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	configs := make(map[string]string)
+	for _, e := range entries {
+		if !e.Type().IsRegular() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, nil, err
+		}
+		configs[e.Name()] = string(data)
+	}
+	return AnalyzeConfigs(filepath.Base(dir), configs)
+}
+
+// AnalyzeConfigs parses an in-memory set of configurations (hostname or
+// filename -> text), auto-detecting the dialect of each, and analyzes the
+// network.
+func AnalyzeConfigs(name string, configs map[string]string) (*Design, []ciscoparse.Diagnostic, error) {
+	names := make([]string, 0, len(configs))
+	for k := range configs {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	n := &devmodel.Network{Name: name}
+	var diags []ciscoparse.Diagnostic
+	for _, fn := range names {
+		dev, ds, err := parseOne(fn, configs[fn])
+		if err != nil {
+			return nil, diags, fmt.Errorf("core: parsing %s: %w", fn, err)
+		}
+		n.Devices = append(n.Devices, dev)
+		diags = append(diags, ds...)
+	}
+	return Analyze(n), diags, nil
+}
+
+// Pathway computes the route pathway graph for the named router.
+func (d *Design) Pathway(hostname string) (*pathway.Graph, error) {
+	return pathway.Compute(d.Instances, hostname)
+}
+
+// Reachability runs the control-plane simulation with the given external
+// route injections and returns the reachability analysis.
+func (d *Design) Reachability(external []simroute.ExternalRoute) *reach.Analysis {
+	return reach.Analyze(d.Instances, d.AddressSpace, external)
+}
+
+// Summary renders a human-readable overview of the design: the routing
+// instance graph, classification evidence, address blocks, and filter
+// statistics.
+func (d *Design) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "network %s: %d routers, %d interfaces (%d unnumbered)\n",
+		d.Network.Name, len(d.Network.Devices), d.Topology.TotalInterfaces, d.Topology.UnnumberedInterfaces)
+	fmt.Fprintf(&b, "design classification: %s\n", d.Classification)
+	fmt.Fprintf(&b, "\nrouting instances (%d):\n", len(d.Instances.Instances))
+
+	t := report.NewTable("id", "instance", "routers", "external peers")
+	shown := 0
+	for _, in := range d.Instances.Instances {
+		if shown >= 40 && in.Size() == 1 {
+			continue // keep giant singleton lists out of the summary
+		}
+		shown++
+		t.Addf("%d\t%s\t%d\t%d", in.ID, in.Label(), in.Size(), in.ExternalPeers)
+	}
+	b.WriteString(t.String())
+	if shown < len(d.Instances.Instances) {
+		fmt.Fprintf(&b, "... and %d more single-router instances\n", len(d.Instances.Instances)-shown)
+	}
+
+	fmt.Fprintf(&b, "\ninstance-graph edges (%d):\n", len(d.Instances.Edges))
+	et := report.NewTable("from", "to", "kind", "policies")
+	for _, e := range d.Instances.Edges {
+		if len(et.String()) > 8192 {
+			break
+		}
+		from, to := "External World", "External World"
+		if e.From != nil {
+			from = fmt.Sprintf("%d %s", e.From.ID, e.From.Label())
+		}
+		if e.To != nil {
+			to = fmt.Sprintf("%d %s", e.To.ID, e.To.Label())
+		}
+		pol := strings.Join(e.Policies(), ",")
+		if pol == "" {
+			pol = "-"
+		}
+		et.Addf("%s\t%s\t%s\t%s", from, to, e.Kind.String(), pol)
+	}
+	b.WriteString(et.String())
+
+	fmt.Fprintf(&b, "\ntop-level address blocks: %d\n", len(d.AddressSpace.Roots))
+	if d.Filters.HasFilters {
+		fmt.Fprintf(&b, "packet filters: %d applied rules, %.0f%% on internal links\n",
+			d.Filters.TotalRules, d.Filters.PercentInternal())
+	} else {
+		b.WriteString("packet filters: none\n")
+	}
+	return b.String()
+}
+
+// SuspectedMissingRouters applies the address-space heuristic for
+// detecting routers absent from the corpus.
+func (d *Design) SuspectedMissingRouters() []addrspace.Suspect {
+	return addrspace.SuspectMissingRouters(d.Topology, d.AddressSpace)
+}
+
+// Survivability runs the "what if" failure analysis (paper Section 8.1):
+// which single router or adjacency failures partition a routing instance,
+// which routers bridge instance pairs, and which destinations rely on
+// static routes from multiple routers.
+func (d *Design) Survivability() *whatif.Analysis {
+	return whatif.Analyze(d.Instances)
+}
+
+// Audit checks the design against best common practices (paper Section
+// 8.1's vulnerability assessment): unfiltered edge interfaces, EBGP
+// sessions without route filters, unfiltered redistribution, and
+// half-configured adjacencies.
+func (d *Design) Audit() *audit.Report {
+	return audit.Run(d.Network, d.Topology, d.ProcessGraph)
+}
+
+// DiffFrom compares an older snapshot of the same network against this
+// one (paper Section 8.2's longitudinal analysis).
+func (d *Design) DiffFrom(older *Design) *designdiff.Diff {
+	return designdiff.Compare(older.Instances, d.Instances)
+}
+
+// Influence computes the forward blast-radius of a router: every instance
+// and router its routes can propagate to.
+func (d *Design) Influence(hostname string) (*pathway.Influence, error) {
+	return pathway.ComputeInfluence(d.Instances, hostname)
+}
+
+// MonitorPlacement suggests a minimal set of routing instances to observe
+// so that every external route entry point is covered (paper Section 8.1:
+// "where to place the measurement devices").
+func (d *Design) MonitorPlacement() *pathway.MonitorPlacement {
+	return pathway.PlaceMonitors(d.Instances)
+}
+
+// DOTInstanceGraph renders the routing instance graph in Graphviz DOT.
+func (d *Design) DOTInstanceGraph() string { return dot.InstanceGraph(d.Instances) }
+
+// DOTProcessGraph renders the routing process graph in Graphviz DOT.
+func (d *Design) DOTProcessGraph() string { return dot.ProcessGraph(d.ProcessGraph) }
+
+// DOTPathway renders a router's route pathway graph in Graphviz DOT.
+func (d *Design) DOTPathway(hostname string) (string, error) {
+	pw, err := d.Pathway(hostname)
+	if err != nil {
+		return "", err
+	}
+	return dot.Pathway(pw), nil
+}
+
+// Trace reconstructs the forwarding path implied by the design from the
+// named source router toward the destination address (a static
+// traceroute), under the given external route injections.
+func (d *Design) Trace(src string, dest netaddr.Addr, external []simroute.ExternalRoute) (*trace.Path, error) {
+	an := d.Reachability(external)
+	return trace.New(an.Sim).Trace(src, dest)
+}
+
+// InstanceBlocks associates each routing instance with the top-level
+// address blocks attached to it (paper Section 3.4: "we can associate with
+// each routing instance the set of address blocks that are connected to
+// the instance"), keyed by instance ID. An address is attached to an
+// instance when a member process covers the interface carrying it.
+func (d *Design) InstanceBlocks() map[int][]netaddr.Prefix {
+	out := make(map[int][]netaddr.Prefix, len(d.Instances.Instances))
+	for _, in := range d.Instances.Instances {
+		var addrs []netaddr.Addr
+		for _, node := range in.Nodes {
+			for _, i := range node.Device.Interfaces {
+				for _, a := range i.Addrs {
+					if node.Proc.CoversAddr(a.Addr) {
+						addrs = append(addrs, a.Addr)
+					}
+				}
+			}
+		}
+		blocks := addrspace.InstanceBlocks(d.AddressSpace, addrs)
+		ps := make([]netaddr.Prefix, len(blocks))
+		for i, b := range blocks {
+			ps[i] = b.Prefix
+		}
+		out[in.ID] = ps
+	}
+	return out
+}

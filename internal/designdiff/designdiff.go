@@ -1,0 +1,268 @@
+// Package designdiff compares two snapshots of a network's routing design
+// — the longitudinal analysis the paper proposes in Section 8.2 ("routing
+// design is not a discrete activity ... acquiring a deeper understanding
+// of the evolution of the routing design requires a longitudinal analysis
+// with multiple snapshots of the router configuration data over time").
+//
+// The diff works at the level of the extracted design, not raw text:
+// routers added and removed, routing instances that appeared, disappeared,
+// or changed membership, route-exchange edges gained or lost, and changes
+// to the design classification. Instances are matched between snapshots by
+// protocol plus member overlap, so renumbered process IDs (which have no
+// network-wide semantics) do not produce spurious churn.
+package designdiff
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"routinglens/internal/classify"
+	"routinglens/internal/devmodel"
+	"routinglens/internal/instance"
+)
+
+// InstanceChange describes one matched instance whose shape changed.
+type InstanceChange struct {
+	Before, After  *instance.Instance
+	AddedRouters   []string
+	RemovedRouters []string
+}
+
+// EdgeChange describes a route-exchange edge present in only one snapshot.
+type EdgeChange struct {
+	// From/To are instance labels ("ospf 1", "BGP AS 65001",
+	// "External World").
+	From, To string
+	Kind     string
+}
+
+// Diff is the change report between two design snapshots.
+type Diff struct {
+	RoutersAdded   []string
+	RoutersRemoved []string
+
+	InstancesAdded   []*instance.Instance
+	InstancesRemoved []*instance.Instance
+	InstancesChanged []InstanceChange
+
+	EdgesAdded   []EdgeChange
+	EdgesRemoved []EdgeChange
+
+	ClassificationBefore classify.Design
+	ClassificationAfter  classify.Design
+}
+
+// Empty reports whether the two snapshots have identical designs at this
+// granularity.
+func (d *Diff) Empty() bool {
+	return len(d.RoutersAdded) == 0 && len(d.RoutersRemoved) == 0 &&
+		len(d.InstancesAdded) == 0 && len(d.InstancesRemoved) == 0 &&
+		len(d.InstancesChanged) == 0 &&
+		len(d.EdgesAdded) == 0 && len(d.EdgesRemoved) == 0 &&
+		d.ClassificationBefore == d.ClassificationAfter
+}
+
+// Compare diffs two instance models of (snapshots of) the same network.
+func Compare(before, after *instance.Model) *Diff {
+	d := &Diff{
+		ClassificationBefore: classify.ClassifyDesign(before).Design,
+		ClassificationAfter:  classify.ClassifyDesign(after).Design,
+	}
+	d.diffRouters(before, after)
+	d.diffInstances(before, after)
+	d.diffEdges(before, after)
+	return d
+}
+
+func hostSet(m *instance.Model) map[string]bool {
+	out := make(map[string]bool)
+	for _, dev := range m.Graph.Network.Devices {
+		out[dev.Hostname] = true
+	}
+	return out
+}
+
+func (d *Diff) diffRouters(before, after *instance.Model) {
+	b, a := hostSet(before), hostSet(after)
+	for h := range a {
+		if !b[h] {
+			d.RoutersAdded = append(d.RoutersAdded, h)
+		}
+	}
+	for h := range b {
+		if !a[h] {
+			d.RoutersRemoved = append(d.RoutersRemoved, h)
+		}
+	}
+	sort.Strings(d.RoutersAdded)
+	sort.Strings(d.RoutersRemoved)
+}
+
+// members returns the hostname set of an instance.
+func members(in *instance.Instance) map[string]bool {
+	out := make(map[string]bool, len(in.Devices))
+	for _, dev := range in.Devices {
+		out[dev.Hostname] = true
+	}
+	return out
+}
+
+// diffInstances matches instances across snapshots by protocol (and AS for
+// BGP) plus maximal member overlap.
+func (d *Diff) diffInstances(before, after *instance.Model) {
+	unmatchedAfter := make(map[*instance.Instance]bool, len(after.Instances))
+	for _, in := range after.Instances {
+		unmatchedAfter[in] = true
+	}
+
+	for _, b := range before.Instances {
+		bm := members(b)
+		var best *instance.Instance
+		bestOverlap := 0
+		for a := range unmatchedAfter {
+			if a.Protocol != b.Protocol {
+				continue
+			}
+			if b.Protocol == devmodel.ProtoBGP && a.ASN != b.ASN {
+				continue
+			}
+			overlap := 0
+			for _, dev := range a.Devices {
+				if bm[dev.Hostname] {
+					overlap++
+				}
+			}
+			if overlap > bestOverlap {
+				bestOverlap = overlap
+				best = a
+			}
+		}
+		if best == nil {
+			d.InstancesRemoved = append(d.InstancesRemoved, b)
+			continue
+		}
+		delete(unmatchedAfter, best)
+		am := members(best)
+		var added, removed []string
+		for h := range am {
+			if !bm[h] {
+				added = append(added, h)
+			}
+		}
+		for h := range bm {
+			if !am[h] {
+				removed = append(removed, h)
+			}
+		}
+		if len(added) > 0 || len(removed) > 0 {
+			sort.Strings(added)
+			sort.Strings(removed)
+			d.InstancesChanged = append(d.InstancesChanged, InstanceChange{
+				Before: b, After: best, AddedRouters: added, RemovedRouters: removed,
+			})
+		}
+	}
+	for a := range unmatchedAfter {
+		d.InstancesAdded = append(d.InstancesAdded, a)
+	}
+	sort.Slice(d.InstancesAdded, func(i, j int) bool {
+		return d.InstancesAdded[i].Label() < d.InstancesAdded[j].Label()
+	})
+	sort.Slice(d.InstancesRemoved, func(i, j int) bool {
+		return d.InstancesRemoved[i].Label() < d.InstancesRemoved[j].Label()
+	})
+	sort.Slice(d.InstancesChanged, func(i, j int) bool {
+		return d.InstancesChanged[i].Before.Label() < d.InstancesChanged[j].Before.Label()
+	})
+}
+
+// edgeKey labels an instance edge independently of instance IDs.
+func edgeKey(e *instance.Edge) EdgeChange {
+	from, to := "External World", "External World"
+	if e.From != nil {
+		from = e.From.Label()
+	}
+	if e.To != nil {
+		to = e.To.Label()
+	}
+	return EdgeChange{From: from, To: to, Kind: e.Kind.String()}
+}
+
+func (d *Diff) diffEdges(before, after *instance.Model) {
+	b := make(map[EdgeChange]bool)
+	for _, e := range before.Edges {
+		b[edgeKey(e)] = true
+	}
+	a := make(map[EdgeChange]bool)
+	for _, e := range after.Edges {
+		a[edgeKey(e)] = true
+	}
+	for k := range a {
+		if !b[k] {
+			d.EdgesAdded = append(d.EdgesAdded, k)
+		}
+	}
+	for k := range b {
+		if !a[k] {
+			d.EdgesRemoved = append(d.EdgesRemoved, k)
+		}
+	}
+	sortEdges(d.EdgesAdded)
+	sortEdges(d.EdgesRemoved)
+}
+
+func sortEdges(es []EdgeChange) {
+	sort.Slice(es, func(i, j int) bool {
+		a, b := es[i], es[j]
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		if a.To != b.To {
+			return a.To < b.To
+		}
+		return a.Kind < b.Kind
+	})
+}
+
+// String renders the diff as a change report.
+func (d *Diff) String() string {
+	if d.Empty() {
+		return "no design changes\n"
+	}
+	var b strings.Builder
+	if d.ClassificationBefore != d.ClassificationAfter {
+		fmt.Fprintf(&b, "classification: %s -> %s\n", d.ClassificationBefore, d.ClassificationAfter)
+	}
+	listStr := func(title string, items []string) {
+		if len(items) == 0 {
+			return
+		}
+		fmt.Fprintf(&b, "%s (%d): %s\n", title, len(items), strings.Join(items, ", "))
+	}
+	listStr("routers added", d.RoutersAdded)
+	listStr("routers removed", d.RoutersRemoved)
+	for _, in := range d.InstancesAdded {
+		fmt.Fprintf(&b, "instance added: %s (%d routers)\n", in.Label(), in.Size())
+	}
+	for _, in := range d.InstancesRemoved {
+		fmt.Fprintf(&b, "instance removed: %s (%d routers)\n", in.Label(), in.Size())
+	}
+	for _, c := range d.InstancesChanged {
+		fmt.Fprintf(&b, "instance %s: %d -> %d routers", c.Before.Label(), c.Before.Size(), c.After.Size())
+		if len(c.AddedRouters) > 0 {
+			fmt.Fprintf(&b, "; joined: %s", strings.Join(c.AddedRouters, ", "))
+		}
+		if len(c.RemovedRouters) > 0 {
+			fmt.Fprintf(&b, "; left: %s", strings.Join(c.RemovedRouters, ", "))
+		}
+		b.WriteString("\n")
+	}
+	for _, e := range d.EdgesAdded {
+		fmt.Fprintf(&b, "route exchange added: %s -> %s (%s)\n", e.From, e.To, e.Kind)
+	}
+	for _, e := range d.EdgesRemoved {
+		fmt.Fprintf(&b, "route exchange removed: %s -> %s (%s)\n", e.From, e.To, e.Kind)
+	}
+	return b.String()
+}

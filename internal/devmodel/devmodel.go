@@ -1,0 +1,639 @@
+// Package devmodel defines the parsed model of a single router
+// configuration: interfaces, routing processes, policies, and static routes.
+//
+// The model corresponds to Section 2 of the paper ("Background"): it is the
+// router-level substrate from which the global abstractions (process graphs,
+// routing instances, pathway graphs, address-space structure) are derived.
+// It is deliberately vendor-neutral; the ciscoparse package populates it from
+// Cisco IOS text, and other front ends could populate it from other dialects.
+package devmodel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"routinglens/internal/netaddr"
+)
+
+// Protocol identifies a routing protocol or a pseudo-protocol source of
+// routes (connected subnets, static routes).
+type Protocol int
+
+// Protocols. Connected and Static are pseudo-protocols feeding the local
+// RIB in the paper's model (Figure 3).
+const (
+	ProtoUnknown Protocol = iota
+	ProtoOSPF
+	ProtoEIGRP
+	ProtoIGRP
+	ProtoRIP
+	ProtoBGP
+	ProtoISIS
+	ProtoConnected
+	ProtoStatic
+)
+
+var protoNames = map[Protocol]string{
+	ProtoUnknown:   "unknown",
+	ProtoOSPF:      "ospf",
+	ProtoEIGRP:     "eigrp",
+	ProtoIGRP:      "igrp",
+	ProtoRIP:       "rip",
+	ProtoBGP:       "bgp",
+	ProtoISIS:      "isis",
+	ProtoConnected: "connected",
+	ProtoStatic:    "static",
+}
+
+// String returns the lower-case protocol keyword as used in IOS.
+func (p Protocol) String() string {
+	if s, ok := protoNames[p]; ok {
+		return s
+	}
+	return fmt.Sprintf("protocol(%d)", int(p))
+}
+
+// ParseProtocol maps an IOS keyword to a Protocol.
+func ParseProtocol(s string) Protocol {
+	switch strings.ToLower(s) {
+	case "ospf":
+		return ProtoOSPF
+	case "eigrp":
+		return ProtoEIGRP
+	case "igrp":
+		return ProtoIGRP
+	case "rip":
+		return ProtoRIP
+	case "bgp":
+		return ProtoBGP
+	case "isis", "is-is":
+		return ProtoISIS
+	case "connected":
+		return ProtoConnected
+	case "static":
+		return ProtoStatic
+	}
+	return ProtoUnknown
+}
+
+// IsIGP reports whether the protocol is conventionally classified as an
+// Interior Gateway Protocol (the classification the paper challenges).
+func (p Protocol) IsIGP() bool {
+	switch p {
+	case ProtoOSPF, ProtoEIGRP, ProtoIGRP, ProtoRIP, ProtoISIS:
+		return true
+	}
+	return false
+}
+
+// AdminDistance returns the default Cisco administrative distance used by
+// route selection into the router RIB. Lower wins.
+func (p Protocol) AdminDistance() int {
+	switch p {
+	case ProtoConnected:
+		return 0
+	case ProtoStatic:
+		return 1
+	case ProtoEIGRP:
+		return 90
+	case ProtoIGRP:
+		return 100
+	case ProtoOSPF:
+		return 110
+	case ProtoISIS:
+		return 115
+	case ProtoRIP:
+		return 120
+	case ProtoBGP:
+		return 20 // EBGP; IBGP is 200, simroute refines this
+	}
+	return 255
+}
+
+// InterfaceAddr is one IP address bound to an interface together with its
+// subnet mask.
+type InterfaceAddr struct {
+	Addr      netaddr.Addr
+	Mask      netaddr.Mask
+	Secondary bool
+}
+
+// Prefix returns the subnet of the address. Non-contiguous masks yield
+// ok=false (never produced by real configs, but the model tolerates them).
+func (ia InterfaceAddr) Prefix() (netaddr.Prefix, bool) {
+	p, err := netaddr.PrefixFromMask(ia.Addr, ia.Mask)
+	if err != nil {
+		return netaddr.Prefix{}, false
+	}
+	return p, true
+}
+
+// Interface models one interface stanza of a configuration file.
+type Interface struct {
+	Name        string // e.g. "Serial1/0.5"
+	Description string
+	Addrs       []InterfaceAddr // empty => unnumbered
+	Unnumbered  bool            // explicit "ip unnumbered"
+	Shutdown    bool
+	// Packet filters bound with "ip access-group N in|out".
+	AccessGroupIn  string
+	AccessGroupOut string
+	// Encapsulation and circuit details, retained for interface typing.
+	Encapsulation string
+	PointToPoint  bool
+}
+
+// HasAddr reports whether the interface carries any IP address.
+func (i *Interface) HasAddr() bool { return len(i.Addrs) > 0 }
+
+// PrimaryPrefix returns the subnet of the primary address.
+func (i *Interface) PrimaryPrefix() (netaddr.Prefix, bool) {
+	for _, a := range i.Addrs {
+		if !a.Secondary {
+			return a.Prefix()
+		}
+	}
+	if len(i.Addrs) > 0 {
+		return i.Addrs[0].Prefix()
+	}
+	return netaddr.Prefix{}, false
+}
+
+// Type returns the canonical interface type derived from the name: the
+// leading alphabetic (plus '-') portion, normalized to the spellings used in
+// the paper's Table 3 (e.g. "POS", "Hssi", "BRI", "Port" for Port-channel).
+func (i *Interface) Type() string { return InterfaceType(i.Name) }
+
+// InterfaceType derives the canonical type from an interface name.
+func InterfaceType(name string) string {
+	j := 0
+	for j < len(name) {
+		c := name[j]
+		if c >= '0' && c <= '9' {
+			break
+		}
+		j++
+	}
+	head := name[:j]
+	// Normalize separator-bearing names such as "Port-channel" and
+	// "Virtual-Template" to the short labels used in the paper.
+	if k := strings.IndexByte(head, '-'); k >= 0 {
+		head = head[:k]
+	}
+	switch strings.ToLower(head) {
+	case "serial":
+		return "Serial"
+	case "fastethernet":
+		return "FastEthernet"
+	case "gigabitethernet":
+		return "GigabitEthernet"
+	case "ethernet":
+		return "Ethernet"
+	case "atm":
+		return "ATM"
+	case "pos":
+		return "POS"
+	case "hssi":
+		return "Hssi"
+	case "tokenring":
+		return "TokenRing"
+	case "dialer":
+		return "Dialer"
+	case "bri":
+		return "BRI"
+	case "tunnel":
+		return "Tunnel"
+	case "port":
+		return "Port"
+	case "async":
+		return "Async"
+	case "virtual":
+		return "Virtual"
+	case "channel":
+		return "Channel"
+	case "cbr":
+		return "CBR"
+	case "fddi":
+		return "Fddi"
+	case "multilink":
+		return "Multilink"
+	case "null":
+		return "Null"
+	case "loopback":
+		return "Loopback"
+	case "vlan":
+		return "Vlan"
+	}
+	if head == "" {
+		return "Unknown"
+	}
+	return head
+}
+
+// NetworkStmt is a "network" command associating interfaces with a routing
+// process. For OSPF it carries a wildcard and area; for EIGRP/RIP/IGRP the
+// classful or wildcard form; for BGP a prefix announcement.
+type NetworkStmt struct {
+	Addr     netaddr.Addr
+	Wildcard netaddr.Mask // wildcard (inverse) mask; 0 means host/classful form
+	HasWild  bool
+	Area     string // OSPF area, "" otherwise
+	Mask     netaddr.Mask
+	HasMask  bool // BGP "network ... mask ..." form
+}
+
+// Covers reports whether the statement covers (associates) the address.
+func (n NetworkStmt) Covers(a netaddr.Addr) bool {
+	if n.HasWild {
+		return netaddr.WildcardMatch(n.Addr, a, n.Wildcard)
+	}
+	if n.HasMask {
+		p, err := netaddr.PrefixFromMask(n.Addr, n.Mask)
+		if err != nil {
+			return false
+		}
+		return p.Contains(a)
+	}
+	// Classful form: derive the class A/B/C network of Addr.
+	return classfulPrefix(n.Addr).Contains(a)
+}
+
+// classfulPrefix returns the class A/B/C network containing a.
+func classfulPrefix(a netaddr.Addr) netaddr.Prefix {
+	switch {
+	case a>>31 == 0: // class A
+		return netaddr.PrefixFrom(a, 8)
+	case a>>30 == 0b10: // class B
+		return netaddr.PrefixFrom(a, 16)
+	case a>>29 == 0b110: // class C
+		return netaddr.PrefixFrom(a, 24)
+	}
+	return netaddr.PrefixFrom(a, 32)
+}
+
+// ClassfulPrefix exposes classful derivation for other packages.
+func ClassfulPrefix(a netaddr.Addr) netaddr.Prefix { return classfulPrefix(a) }
+
+// Redistribution is a "redistribute <proto> [<id>] [route-map M] [metric ...]"
+// command: a directed route transfer into the process that carries it.
+type Redistribution struct {
+	From      Protocol
+	FromID    string // source process id / AS, "" if unspecified
+	RouteMap  string
+	Metric    string
+	Subnets   bool // OSPF "subnets" keyword
+	MetricTyp string
+}
+
+// BGPNeighbor is one "neighbor <addr> ..." peer of a BGP process.
+type BGPNeighbor struct {
+	Addr                 netaddr.Addr
+	RemoteAS             uint32
+	Description          string
+	RouteMapIn           string
+	RouteMapOut          string
+	DistributeListIn     string
+	DistributeListOut    string
+	PrefixListIn         string
+	PrefixListOut        string
+	UpdateSource         string
+	RouteReflectorClient bool
+	PeerGroup            string
+	IsPeerGroupName      bool // entry defines a peer-group, not a real neighbor
+}
+
+// DistListBinding is a process-level "distribute-list N in|out [intf]".
+type DistListBinding struct {
+	ACL       string
+	Direction string // "in" or "out"
+	Interface string // optional scoping interface
+}
+
+// RoutingProcess is one "router <proto> <id>" stanza.
+type RoutingProcess struct {
+	Protocol Protocol
+	// ID is the process id (OSPF), AS number (BGP/EIGRP/IGRP), or "" (RIP).
+	ID string
+	// ASN is the numeric AS for BGP/EIGRP/IGRP processes (0 otherwise).
+	ASN uint32
+
+	Networks         []NetworkStmt
+	Redistributions  []Redistribution
+	Neighbors        []BGPNeighbor
+	DistributeLists  []DistListBinding
+	PassiveIntfs     []string
+	PassiveDefault   bool
+	DefaultOriginate bool
+	RouterID         netaddr.Addr
+	HasRouterID      bool
+}
+
+// Key returns a per-router-unique identifier for the process, e.g.
+// "ospf 64", "bgp 64780", "rip".
+func (rp *RoutingProcess) Key() string {
+	if rp.ID == "" {
+		return rp.Protocol.String()
+	}
+	return rp.Protocol.String() + " " + rp.ID
+}
+
+// CoversAddr reports whether any network statement of the process covers a.
+func (rp *RoutingProcess) CoversAddr(a netaddr.Addr) bool {
+	for _, n := range rp.Networks {
+		if n.Covers(a) {
+			return true
+		}
+	}
+	return false
+}
+
+// IsPassive reports whether the named interface is passive under this
+// process (explicitly listed, or passive-by-default without an exception).
+func (rp *RoutingProcess) IsPassive(intf string) bool {
+	listed := false
+	for _, p := range rp.PassiveIntfs {
+		if strings.EqualFold(p, intf) {
+			listed = true
+			break
+		}
+	}
+	if rp.PassiveDefault {
+		return !listed // listed entries are "no passive-interface" exceptions
+	}
+	return listed
+}
+
+// StaticRoute is an "ip route <prefix> <mask> <next-hop|interface>" command.
+type StaticRoute struct {
+	Prefix   netaddr.Prefix
+	NextHop  netaddr.Addr
+	HasHop   bool
+	ExitIntf string
+	Distance int
+}
+
+// ACLAction is permit or deny.
+type ACLAction int
+
+// Actions.
+const (
+	ActionDeny ACLAction = iota
+	ActionPermit
+)
+
+// String returns "permit" or "deny".
+func (a ACLAction) String() string {
+	if a == ActionPermit {
+		return "permit"
+	}
+	return "deny"
+}
+
+// ACLClause is one "if condition then action" rule of an access list. A
+// standard ACL matches only Src*; an extended ACL may match protocol, source
+// and destination addresses and ports.
+type ACLClause struct {
+	Action      ACLAction
+	Proto       string // "ip", "tcp", "udp", "icmp", "pim", ... ("" for standard)
+	SrcAny      bool
+	Src         netaddr.Addr
+	SrcWildcard netaddr.Mask
+	SrcHost     bool
+	DstAny      bool
+	Dst         netaddr.Addr
+	DstWildcard netaddr.Mask
+	DstHost     bool
+	// Port qualifiers such as "eq 80", "range 100 200"; kept as tokens.
+	SrcPortOp string
+	SrcPorts  []string
+	DstPortOp string
+	DstPorts  []string
+	Log       bool
+}
+
+// MatchesAddr reports whether the clause's source matches the address
+// (the semantics used for route filtering with standard ACLs).
+func (c ACLClause) MatchesAddr(a netaddr.Addr) bool {
+	if c.SrcAny {
+		return true
+	}
+	if c.SrcHost {
+		return c.Src == a
+	}
+	return netaddr.WildcardMatch(c.Src, a, c.SrcWildcard)
+}
+
+// MatchesPrefix reports whether a route for prefix p matches the clause's
+// source (distribute-list semantics: match the network address).
+func (c ACLClause) MatchesPrefix(p netaddr.Prefix) bool {
+	return c.MatchesAddr(p.Addr())
+}
+
+// AccessList is a numbered or named access list: an ordered clause list with
+// an implicit trailing deny.
+type AccessList struct {
+	Name     string // "143" or a name
+	Extended bool
+	Clauses  []ACLClause
+}
+
+// PermitsAddr evaluates the list against an address with the implicit
+// trailing deny.
+func (l *AccessList) PermitsAddr(a netaddr.Addr) bool {
+	for _, c := range l.Clauses {
+		if c.MatchesAddr(a) {
+			return c.Action == ActionPermit
+		}
+	}
+	return false
+}
+
+// PermitsPrefix evaluates the list against a route prefix.
+func (l *AccessList) PermitsPrefix(p netaddr.Prefix) bool {
+	return l.PermitsAddr(p.Addr())
+}
+
+// PermittedSpace returns the prefixes named by permit clauses with
+// contiguous wildcards — the "routes listed by the policy" in the paper's
+// Table 2 sense. Deny-shadowed space is not subtracted; the paper's analysis
+// also works at the level of mentioned blocks.
+func (l *AccessList) PermittedSpace() []netaddr.Prefix {
+	var out []netaddr.Prefix
+	for _, c := range l.Clauses {
+		if c.Action != ActionPermit || c.SrcAny {
+			continue
+		}
+		if c.SrcHost {
+			out = append(out, netaddr.PrefixFrom(c.Src, 32))
+			continue
+		}
+		if p, ok := netaddr.WildcardToPrefix(c.Src, c.SrcWildcard); ok {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// RouteMapEntry is one sequenced clause of a route-map.
+type RouteMapEntry struct {
+	Action   ACLAction
+	Sequence int
+	// Match conditions (empty means match-all).
+	MatchACLs        []string
+	MatchTags        []string
+	MatchPrefixLists []string
+	// Set actions.
+	SetTag       string
+	SetMetric    string
+	SetLocalPref string
+	SetCommunity []string
+}
+
+// RouteMap is a named, ordered policy.
+type RouteMap struct {
+	Name    string
+	Entries []RouteMapEntry
+}
+
+// PrefixListEntry is one "ip prefix-list NAME seq N permit|deny P [ge|le]".
+type PrefixListEntry struct {
+	Action ACLAction
+	Seq    int
+	Prefix netaddr.Prefix
+	Ge     int // 0 = unset
+	Le     int // 0 = unset
+}
+
+// Matches reports whether the entry matches prefix p under ge/le semantics.
+func (e PrefixListEntry) Matches(p netaddr.Prefix) bool {
+	if !e.Prefix.ContainsPrefix(p) {
+		return false
+	}
+	min, max := e.Prefix.Bits(), e.Prefix.Bits()
+	if e.Ge > 0 {
+		min = e.Ge
+		max = 32
+	}
+	if e.Le > 0 {
+		max = e.Le
+	}
+	return p.Bits() >= min && p.Bits() <= max
+}
+
+// PrefixList is a named ordered prefix filter with implicit trailing deny.
+type PrefixList struct {
+	Name    string
+	Entries []PrefixListEntry
+}
+
+// Permits evaluates the list against a prefix.
+func (l *PrefixList) Permits(p netaddr.Prefix) bool {
+	for _, e := range l.Entries {
+		if e.Matches(p) {
+			return e.Action == ActionPermit
+		}
+	}
+	return false
+}
+
+// Device is the complete parsed model of one router configuration file.
+type Device struct {
+	Hostname string
+	FileName string
+	// RawLines is the number of configuration lines in the source file
+	// (used for the Figure 4 size distribution).
+	RawLines int
+
+	Interfaces  []*Interface
+	Processes   []*RoutingProcess
+	Statics     []StaticRoute
+	AccessLists map[string]*AccessList
+	RouteMaps   map[string]*RouteMap
+	PrefixLists map[string]*PrefixList
+}
+
+// NewDevice returns an empty device with initialized maps.
+func NewDevice() *Device {
+	return &Device{
+		AccessLists: make(map[string]*AccessList),
+		RouteMaps:   make(map[string]*RouteMap),
+		PrefixLists: make(map[string]*PrefixList),
+	}
+}
+
+// Interface returns the named interface, or nil.
+func (d *Device) Interface(name string) *Interface {
+	for _, i := range d.Interfaces {
+		if strings.EqualFold(i.Name, name) {
+			return i
+		}
+	}
+	return nil
+}
+
+// Process returns the routing process with the given key ("ospf 64"), or nil.
+func (d *Device) Process(key string) *RoutingProcess {
+	for _, p := range d.Processes {
+		if p.Key() == key {
+			return p
+		}
+	}
+	return nil
+}
+
+// ProcessesOf returns all processes of the protocol, in config order.
+func (d *Device) ProcessesOf(proto Protocol) []*RoutingProcess {
+	var out []*RoutingProcess
+	for _, p := range d.Processes {
+		if p.Protocol == proto {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// OwnAddrs returns every IP address configured on the device.
+func (d *Device) OwnAddrs() []netaddr.Addr {
+	var out []netaddr.Addr
+	for _, i := range d.Interfaces {
+		for _, a := range i.Addrs {
+			out = append(out, a.Addr)
+		}
+	}
+	return out
+}
+
+// Network is a set of devices constituting one administrative network — the
+// unit of analysis in the paper (one directory of config files).
+type Network struct {
+	Name    string
+	Devices []*Device
+}
+
+// Device returns the device with the given hostname, or nil.
+func (n *Network) Device(hostname string) *Device {
+	for _, d := range n.Devices {
+		if d.Hostname == hostname {
+			return d
+		}
+	}
+	return nil
+}
+
+// NumInterfaces counts interfaces across all devices.
+func (n *Network) NumInterfaces() int {
+	c := 0
+	for _, d := range n.Devices {
+		c += len(d.Interfaces)
+	}
+	return c
+}
+
+// SortDevices orders devices by hostname for deterministic iteration.
+func (n *Network) SortDevices() {
+	sort.Slice(n.Devices, func(i, j int) bool {
+		return n.Devices[i].Hostname < n.Devices[j].Hostname
+	})
+}

@@ -1,0 +1,268 @@
+package devmodel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"routinglens/internal/netaddr"
+)
+
+func TestParseProtocol(t *testing.T) {
+	cases := map[string]Protocol{
+		"ospf": ProtoOSPF, "OSPF": ProtoOSPF,
+		"eigrp": ProtoEIGRP, "igrp": ProtoIGRP,
+		"rip": ProtoRIP, "bgp": ProtoBGP,
+		"isis": ProtoISIS, "is-is": ProtoISIS,
+		"connected": ProtoConnected, "static": ProtoStatic,
+		"bogus": ProtoUnknown,
+	}
+	for in, want := range cases {
+		if got := ParseProtocol(in); got != want {
+			t.Errorf("ParseProtocol(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestProtocolStringRoundTrip(t *testing.T) {
+	for _, p := range []Protocol{ProtoOSPF, ProtoEIGRP, ProtoIGRP, ProtoRIP, ProtoBGP, ProtoISIS, ProtoConnected, ProtoStatic} {
+		if ParseProtocol(p.String()) != p {
+			t.Errorf("round trip failed for %v", p)
+		}
+	}
+}
+
+func TestIsIGP(t *testing.T) {
+	if !ProtoOSPF.IsIGP() || !ProtoEIGRP.IsIGP() || !ProtoRIP.IsIGP() || !ProtoIGRP.IsIGP() || !ProtoISIS.IsIGP() {
+		t.Error("IGPs misclassified")
+	}
+	if ProtoBGP.IsIGP() || ProtoConnected.IsIGP() || ProtoStatic.IsIGP() {
+		t.Error("non-IGPs misclassified")
+	}
+}
+
+func TestAdminDistanceOrdering(t *testing.T) {
+	// Connected < static < EBGP < EIGRP < OSPF < RIP (Cisco defaults).
+	order := []Protocol{ProtoConnected, ProtoStatic, ProtoBGP, ProtoEIGRP, ProtoIGRP, ProtoOSPF, ProtoISIS, ProtoRIP}
+	for i := 1; i < len(order); i++ {
+		if order[i-1].AdminDistance() >= order[i].AdminDistance() {
+			t.Errorf("AdminDistance(%v)=%d should be < AdminDistance(%v)=%d",
+				order[i-1], order[i-1].AdminDistance(), order[i], order[i].AdminDistance())
+		}
+	}
+}
+
+func TestInterfaceType(t *testing.T) {
+	cases := map[string]string{
+		"Serial1/0.5":        "Serial",
+		"Ethernet0":          "Ethernet",
+		"FastEthernet0/1":    "FastEthernet",
+		"GigabitEthernet2/0": "GigabitEthernet",
+		"Hssi2/0":            "Hssi",
+		"ATM1/0.100":         "ATM",
+		"POS3/0":             "POS",
+		"TokenRing0":         "TokenRing",
+		"Dialer1":            "Dialer",
+		"BRI0":               "BRI",
+		"Tunnel99":           "Tunnel",
+		"Port-channel1":      "Port",
+		"Async65":            "Async",
+		"Virtual-Template1":  "Virtual",
+		"Channel3/0":         "Channel",
+		"CBR1/0":             "CBR",
+		"Fddi0":              "Fddi",
+		"Multilink4":         "Multilink",
+		"Null0":              "Null",
+		"Loopback0":          "Loopback",
+		"Vlan100":            "Vlan",
+		"":                   "Unknown",
+	}
+	for name, want := range cases {
+		if got := InterfaceType(name); got != want {
+			t.Errorf("InterfaceType(%q) = %q, want %q", name, got, want)
+		}
+	}
+}
+
+func TestNetworkStmtCovers(t *testing.T) {
+	// Wildcard form (OSPF style).
+	n := NetworkStmt{Addr: netaddr.MustParseAddr("66.251.75.128"), Wildcard: netaddr.Mask(netaddr.MustParseAddr("0.0.0.127")), HasWild: true}
+	if !n.Covers(netaddr.MustParseAddr("66.251.75.144")) {
+		t.Error("wildcard network should cover interface address")
+	}
+	if n.Covers(netaddr.MustParseAddr("66.251.76.1")) {
+		t.Error("wildcard network should not cover outside address")
+	}
+	// Mask form (BGP style).
+	m := NetworkStmt{Addr: netaddr.MustParseAddr("10.1.0.0"), Mask: netaddr.MaskFromBits(16), HasMask: true}
+	if !m.Covers(netaddr.MustParseAddr("10.1.200.1")) || m.Covers(netaddr.MustParseAddr("10.2.0.1")) {
+		t.Error("mask form coverage wrong")
+	}
+	// Classful form (EIGRP/RIP style).
+	c := NetworkStmt{Addr: netaddr.MustParseAddr("10.0.0.0")}
+	if !c.Covers(netaddr.MustParseAddr("10.99.1.1")) {
+		t.Error("classful A should cover 10.99.1.1")
+	}
+	cb := NetworkStmt{Addr: netaddr.MustParseAddr("172.16.0.0")}
+	if !cb.Covers(netaddr.MustParseAddr("172.16.40.1")) || cb.Covers(netaddr.MustParseAddr("172.17.0.1")) {
+		t.Error("classful B coverage wrong")
+	}
+	cc := NetworkStmt{Addr: netaddr.MustParseAddr("192.168.5.0")}
+	if !cc.Covers(netaddr.MustParseAddr("192.168.5.77")) || cc.Covers(netaddr.MustParseAddr("192.168.6.1")) {
+		t.Error("classful C coverage wrong")
+	}
+}
+
+func TestClassfulPrefixProperty(t *testing.T) {
+	f := func(u uint32) bool {
+		a := netaddr.Addr(u)
+		p := ClassfulPrefix(a)
+		return p.Contains(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProcessKey(t *testing.T) {
+	p := &RoutingProcess{Protocol: ProtoOSPF, ID: "64"}
+	if p.Key() != "ospf 64" {
+		t.Errorf("Key = %q", p.Key())
+	}
+	r := &RoutingProcess{Protocol: ProtoRIP}
+	if r.Key() != "rip" {
+		t.Errorf("Key = %q", r.Key())
+	}
+}
+
+func TestIsPassive(t *testing.T) {
+	p := &RoutingProcess{PassiveIntfs: []string{"Serial0"}}
+	if !p.IsPassive("Serial0") || p.IsPassive("Ethernet0") {
+		t.Error("explicit passive list wrong")
+	}
+	pd := &RoutingProcess{PassiveDefault: true, PassiveIntfs: []string{"Ethernet0"}}
+	if pd.IsPassive("Ethernet0") || !pd.IsPassive("Serial0") {
+		t.Error("passive-interface default semantics wrong")
+	}
+}
+
+func TestACLEvaluation(t *testing.T) {
+	l := &AccessList{Name: "143", Clauses: []ACLClause{
+		{Action: ActionDeny, Src: netaddr.MustParseAddr("134.161.0.0"), SrcWildcard: netaddr.Mask(netaddr.MustParseAddr("0.0.255.255"))},
+		{Action: ActionPermit, SrcAny: true},
+	}}
+	if l.PermitsAddr(netaddr.MustParseAddr("134.161.3.4")) {
+		t.Error("denied block permitted")
+	}
+	if !l.PermitsAddr(netaddr.MustParseAddr("10.0.0.1")) {
+		t.Error("permit any failed")
+	}
+	// Implicit deny.
+	empty := &AccessList{Name: "9"}
+	if empty.PermitsAddr(netaddr.MustParseAddr("10.0.0.1")) {
+		t.Error("empty ACL should deny")
+	}
+	// Host clause.
+	h := &AccessList{Clauses: []ACLClause{{Action: ActionPermit, SrcHost: true, Src: netaddr.MustParseAddr("10.0.0.5")}}}
+	if !h.PermitsAddr(netaddr.MustParseAddr("10.0.0.5")) || h.PermitsAddr(netaddr.MustParseAddr("10.0.0.6")) {
+		t.Error("host clause wrong")
+	}
+}
+
+func TestPermittedSpace(t *testing.T) {
+	l := &AccessList{Clauses: []ACLClause{
+		{Action: ActionPermit, Src: netaddr.MustParseAddr("10.2.0.0"), SrcWildcard: netaddr.Mask(netaddr.MustParseAddr("0.0.255.255"))},
+		{Action: ActionDeny, Src: netaddr.MustParseAddr("10.3.0.0"), SrcWildcard: netaddr.Mask(netaddr.MustParseAddr("0.0.255.255"))},
+		{Action: ActionPermit, SrcHost: true, Src: netaddr.MustParseAddr("10.1.1.1")},
+		{Action: ActionPermit, SrcAny: true},
+	}}
+	got := l.PermittedSpace()
+	if len(got) != 2 {
+		t.Fatalf("PermittedSpace len = %d, want 2 (%v)", len(got), got)
+	}
+	if got[0].String() != "10.1.1.1/32" || got[1].String() != "10.2.0.0/16" {
+		t.Errorf("PermittedSpace = %v", got)
+	}
+}
+
+func TestPrefixListSemantics(t *testing.T) {
+	pl := &PrefixList{Name: "P", Entries: []PrefixListEntry{
+		{Action: ActionPermit, Seq: 5, Prefix: netaddr.MustParsePrefix("10.0.0.0/8"), Le: 24},
+		{Action: ActionDeny, Seq: 10, Prefix: netaddr.MustParsePrefix("0.0.0.0/0"), Ge: 0},
+	}}
+	if !pl.Permits(netaddr.MustParsePrefix("10.1.0.0/16")) {
+		t.Error("10.1/16 should be permitted (le 24)")
+	}
+	if pl.Permits(netaddr.MustParsePrefix("10.1.2.0/25")) {
+		t.Error("/25 exceeds le 24")
+	}
+	if pl.Permits(netaddr.MustParsePrefix("11.0.0.0/8")) {
+		t.Error("11/8 should hit the deny")
+	}
+	ge := PrefixListEntry{Action: ActionPermit, Prefix: netaddr.MustParsePrefix("10.0.0.0/8"), Ge: 16}
+	if ge.Matches(netaddr.MustParsePrefix("10.0.0.0/8")) {
+		t.Error("ge 16 should exclude the /8 itself")
+	}
+	if !ge.Matches(netaddr.MustParsePrefix("10.5.0.0/16")) || !ge.Matches(netaddr.MustParsePrefix("10.5.5.0/30")) {
+		t.Error("ge 16 should include longer prefixes")
+	}
+}
+
+func TestDeviceLookups(t *testing.T) {
+	d := NewDevice()
+	d.Hostname = "r1"
+	d.Interfaces = append(d.Interfaces, &Interface{Name: "Ethernet0", Addrs: []InterfaceAddr{{Addr: netaddr.MustParseAddr("10.0.0.1"), Mask: netaddr.MaskFromBits(24)}}})
+	d.Processes = append(d.Processes,
+		&RoutingProcess{Protocol: ProtoOSPF, ID: "1"},
+		&RoutingProcess{Protocol: ProtoBGP, ID: "65000", ASN: 65000})
+	if d.Interface("ethernet0") == nil {
+		t.Error("case-insensitive interface lookup failed")
+	}
+	if d.Interface("Serial0") != nil {
+		t.Error("missing interface should be nil")
+	}
+	if d.Process("ospf 1") == nil || d.Process("ospf 2") != nil {
+		t.Error("process lookup wrong")
+	}
+	if len(d.ProcessesOf(ProtoBGP)) != 1 {
+		t.Error("ProcessesOf wrong")
+	}
+	if len(d.OwnAddrs()) != 1 {
+		t.Error("OwnAddrs wrong")
+	}
+}
+
+func TestNetworkHelpers(t *testing.T) {
+	n := &Network{Name: "net1"}
+	d1, d2 := NewDevice(), NewDevice()
+	d1.Hostname, d2.Hostname = "b", "a"
+	d1.Interfaces = []*Interface{{Name: "Ethernet0"}, {Name: "Serial0"}}
+	n.Devices = []*Device{d1, d2}
+	if n.NumInterfaces() != 2 {
+		t.Error("NumInterfaces wrong")
+	}
+	n.SortDevices()
+	if n.Devices[0].Hostname != "a" {
+		t.Error("SortDevices wrong")
+	}
+	if n.Device("b") != d1 || n.Device("zzz") != nil {
+		t.Error("Device lookup wrong")
+	}
+}
+
+func TestInterfacePrimaryPrefix(t *testing.T) {
+	i := &Interface{Name: "Ethernet0", Addrs: []InterfaceAddr{
+		{Addr: netaddr.MustParseAddr("10.0.1.1"), Mask: netaddr.MaskFromBits(24), Secondary: true},
+		{Addr: netaddr.MustParseAddr("10.0.0.1"), Mask: netaddr.MaskFromBits(24)},
+	}}
+	p, ok := i.PrimaryPrefix()
+	if !ok || p.String() != "10.0.0.0/24" {
+		t.Errorf("PrimaryPrefix = %v %v", p, ok)
+	}
+	empty := &Interface{Name: "Serial0"}
+	if _, ok := empty.PrimaryPrefix(); ok {
+		t.Error("unnumbered interface should have no primary prefix")
+	}
+	if empty.HasAddr() {
+		t.Error("HasAddr on empty interface")
+	}
+}

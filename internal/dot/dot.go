@@ -1,0 +1,172 @@
+// Package dot renders the extracted routing-design graphs in Graphviz DOT
+// format, producing machine-drawable versions of the paper's figures: the
+// routing process graph (Figure 5), the routing instance graph (Figure 6),
+// and route pathway graphs (Figures 7 and 10).
+//
+// The output is plain text with no external dependencies; pipe it to
+// `dot -Tsvg` to draw.
+package dot
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"routinglens/internal/instance"
+	"routinglens/internal/pathway"
+	"routinglens/internal/procgraph"
+)
+
+// quote escapes a DOT string literal.
+func quote(s string) string {
+	return `"` + strings.ReplaceAll(s, `"`, `\"`) + `"`
+}
+
+// ProcessGraph renders the routing process graph: RIB nodes clustered per
+// router, with adjacency, redistribution, and selection edges.
+func ProcessGraph(g *procgraph.Graph) string {
+	var b strings.Builder
+	b.WriteString("digraph process_graph {\n")
+	b.WriteString("  rankdir=LR;\n  node [shape=box, fontsize=10];\n")
+
+	// Cluster nodes per device.
+	byDevice := make(map[string][]*procgraph.Node)
+	var external []*procgraph.Node
+	for _, n := range g.Nodes {
+		if n.Kind == procgraph.External {
+			external = append(external, n)
+			continue
+		}
+		byDevice[n.Device.Hostname] = append(byDevice[n.Device.Hostname], n)
+	}
+	hosts := make([]string, 0, len(byDevice))
+	for h := range byDevice {
+		hosts = append(hosts, h)
+	}
+	sort.Strings(hosts)
+	for i, h := range hosts {
+		fmt.Fprintf(&b, "  subgraph cluster_%d {\n    label=%s;\n", i, quote(h))
+		nodes := byDevice[h]
+		sort.Slice(nodes, func(a, c int) bool { return nodes[a].ID() < nodes[c].ID() })
+		for _, n := range nodes {
+			label := n.ID()
+			shape := "box"
+			switch n.Kind {
+			case procgraph.RouterRIB:
+				label = "Router RIB"
+				shape = "box3d"
+			case procgraph.LocalRIB:
+				label = "local RIB"
+				shape = "folder"
+			case procgraph.ProcRIB:
+				label = n.Proc.Key()
+			}
+			fmt.Fprintf(&b, "    %s [label=%s, shape=%s];\n", quote(n.ID()), quote(label), shape)
+		}
+		b.WriteString("  }\n")
+	}
+	for _, n := range external {
+		fmt.Fprintf(&b, "  %s [label=%s, shape=doublecircle];\n", quote(n.ID()), quote(n.ID()))
+	}
+
+	for _, e := range g.Edges {
+		attrs := []string{}
+		switch e.Kind {
+		case procgraph.Adjacency:
+			if e.EBGP {
+				attrs = append(attrs, "color=red", `label="EBGP"`)
+			} else {
+				attrs = append(attrs, "color=blue")
+			}
+		case procgraph.Redistribution:
+			attrs = append(attrs, "style=dashed")
+			if e.RouteMap != "" {
+				attrs = append(attrs, fmt.Sprintf("label=%s", quote(e.RouteMap)))
+			}
+		case procgraph.Selection:
+			attrs = append(attrs, "style=dotted", "arrowhead=open")
+		}
+		fmt.Fprintf(&b, "  %s -> %s [%s];\n", quote(e.From.ID()), quote(e.To.ID()), strings.Join(attrs, ", "))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// InstanceGraph renders the routing instance graph with route-exchange
+// edges annotated by their policies, the machine version of Figure 6.
+func InstanceGraph(m *instance.Model) string {
+	var b strings.Builder
+	b.WriteString("digraph instance_graph {\n")
+	b.WriteString("  rankdir=LR;\n  node [fontsize=11];\n")
+	b.WriteString("  external [label=\"External World\", shape=doubleoctagon];\n")
+
+	for _, in := range m.Instances {
+		label := fmt.Sprintf("%d %s\\n%d routers", in.ID, in.Label(), in.Size())
+		shape := "ellipse"
+		if in.Protocol.IsIGP() {
+			shape = "box"
+		}
+		fmt.Fprintf(&b, "  i%d [label=%s, shape=%s];\n", in.ID, quote(label), shape)
+	}
+	name := func(in *instance.Instance) string {
+		if in == nil {
+			return "external"
+		}
+		return fmt.Sprintf("i%d", in.ID)
+	}
+	for _, e := range m.Edges {
+		attrs := []string{}
+		switch e.Kind {
+		case instance.EdgeRedistribution:
+			attrs = append(attrs, "style=dashed")
+		case instance.EdgeEBGP:
+			attrs = append(attrs, "color=red")
+		case instance.EdgeExternal:
+			attrs = append(attrs, "color=gray")
+		}
+		if pol := e.Policies(); len(pol) > 0 {
+			attrs = append(attrs, fmt.Sprintf("label=%s", quote(strings.Join(pol, ","))))
+		}
+		fmt.Fprintf(&b, "  %s -> %s [%s];\n", name(e.From), name(e.To), strings.Join(attrs, ", "))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Pathway renders a route pathway graph: the instances feeding the
+// router's RIB, with depth encoded left to right.
+func Pathway(g *pathway.Graph) string {
+	var b strings.Builder
+	b.WriteString("digraph pathway {\n")
+	b.WriteString("  rankdir=LR;\n  node [fontsize=11];\n")
+	rib := "rib_" + g.Router.Hostname
+	fmt.Fprintf(&b, "  %s [label=%s, shape=box3d];\n", quote(rib), quote("Router RIB "+g.Router.Hostname))
+	for _, h := range g.Hops {
+		if h.Instance == nil {
+			b.WriteString("  external [label=\"External World\", shape=doubleoctagon];\n")
+			continue
+		}
+		fmt.Fprintf(&b, "  i%d [label=%s];\n", h.Instance.ID, quote(h.Label()))
+	}
+	for _, in := range g.Feeders {
+		fmt.Fprintf(&b, "  i%d -> %s [style=dotted];\n", in.ID, quote(rib))
+	}
+	name := func(in *instance.Instance) string {
+		if in == nil {
+			return "external"
+		}
+		return fmt.Sprintf("i%d", in.ID)
+	}
+	for _, e := range g.Edges {
+		attrs := []string{}
+		if len(e.Policies) > 0 {
+			attrs = append(attrs, fmt.Sprintf("label=%s", quote(strings.Join(e.Policies, ","))))
+		}
+		if e.Kind == instance.EdgeRedistribution {
+			attrs = append(attrs, "style=dashed")
+		}
+		fmt.Fprintf(&b, "  %s -> %s [%s];\n", name(e.From), name(e.To), strings.Join(attrs, ", "))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,114 @@
+package dot
+
+import (
+	"strings"
+	"testing"
+
+	"routinglens/internal/instance"
+	"routinglens/internal/paperexample"
+	"routinglens/internal/pathway"
+	"routinglens/internal/procgraph"
+	"routinglens/internal/topology"
+)
+
+func exampleGraphs(t *testing.T) (*procgraph.Graph, *instance.Model) {
+	t.Helper()
+	n, err := paperexample.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := procgraph.Build(n, topology.Build(n))
+	return g, instance.Compute(g)
+}
+
+// balancedBraces checks the output is structurally sane DOT.
+func balancedBraces(t *testing.T, s string) {
+	t.Helper()
+	depth := 0
+	for _, c := range s {
+		switch c {
+		case '{':
+			depth++
+		case '}':
+			depth--
+		}
+		if depth < 0 {
+			t.Fatal("unbalanced braces")
+		}
+	}
+	if depth != 0 {
+		t.Fatalf("unbalanced braces: depth %d at end", depth)
+	}
+}
+
+func TestProcessGraphDOT(t *testing.T) {
+	g, _ := exampleGraphs(t)
+	out := ProcessGraph(g)
+	balancedBraces(t, out)
+	for _, want := range []string{
+		"digraph process_graph",
+		`label="r2"`,         // per-router cluster
+		`"r2/ospf 64"`,       // a process RIB node
+		`"Router RIB"`,       // selection target
+		"style=dashed",       // redistribution
+		`label="EBGP"`,       // the r2<->r6 session
+		"shape=doublecircle", // external R7
+		`label="ENT-OUT"`,    // redistribution route-map annotation
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q", want)
+		}
+	}
+}
+
+func TestInstanceGraphDOT(t *testing.T) {
+	_, m := exampleGraphs(t)
+	out := InstanceGraph(m)
+	balancedBraces(t, out)
+	for _, want := range []string{
+		"digraph instance_graph",
+		"External World",
+		"BGP AS 12762",
+		"color=red",    // EBGP edge
+		"style=dashed", // redistribution edge
+		`label="ENT-OUT"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q in:\n%s", want, out)
+		}
+	}
+	// IGP instances are boxes, BGP ellipses.
+	if !strings.Contains(out, "shape=box") || !strings.Contains(out, "shape=ellipse") {
+		t.Error("node shapes should distinguish IGP from BGP instances")
+	}
+}
+
+func TestPathwayDOT(t *testing.T) {
+	n, err := paperexample.BuildEnterprise()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := instance.Compute(procgraph.Build(n, topology.Build(n)))
+	pw, err := pathway.Compute(m, "r1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Pathway(pw)
+	balancedBraces(t, out)
+	for _, want := range []string{
+		"digraph pathway",
+		"Router RIB r1",
+		"External World",
+		"style=dotted", // feeder edge into the RIB
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestQuoteEscapes(t *testing.T) {
+	if quote(`a"b`) != `"a\"b"` {
+		t.Errorf("quote = %s", quote(`a"b`))
+	}
+}

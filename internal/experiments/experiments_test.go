@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	wsOnce sync.Once
+	ws     *Workspace
+	wsErr  error
+)
+
+func sharedWS(t *testing.T) *Workspace {
+	t.Helper()
+	wsOnce.Do(func() { ws, wsErr = BuildWorkspace(DefaultSeed) })
+	if wsErr != nil {
+		t.Fatal(wsErr)
+	}
+	return ws
+}
+
+// Every experiment must pass all of its claims on the default corpus —
+// this is the end-to-end reproduction check.
+func TestAllExperimentsPass(t *testing.T) {
+	results := All(sharedWS(t))
+	if len(results) != 18 {
+		t.Fatalf("experiments = %d, want 18", len(results))
+	}
+	seen := make(map[string]bool)
+	for _, r := range results {
+		if seen[r.ID] {
+			t.Errorf("duplicate experiment id %s", r.ID)
+		}
+		seen[r.ID] = true
+		if len(r.Claims) == 0 {
+			t.Errorf("%s: no claims checked", r.ID)
+		}
+		for _, c := range r.Claims {
+			if !c.OK {
+				t.Errorf("%s: claim failed: %s", r.ID, c.Text)
+			}
+		}
+		if r.Body == "" {
+			t.Errorf("%s: empty body", r.ID)
+		}
+	}
+}
+
+// The reproduction must not be tuned to one lucky corpus: every claim has
+// to hold for an arbitrary seed, because the generator's calibration is
+// structural (designs and ratios), not numeric.
+func TestExperimentsPassOnOtherSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, seed := range []int64{7, 987654321} {
+		ws, err := BuildWorkspace(seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, r := range All(ws) {
+			for _, c := range r.Claims {
+				if !c.OK {
+					t.Errorf("seed %d: %s: claim failed: %s", seed, r.ID, c.Text)
+				}
+			}
+		}
+	}
+}
+
+func TestWorkspaceLookups(t *testing.T) {
+	w := sharedWS(t)
+	if len(w.Nets) != 31 {
+		t.Fatalf("networks = %d", len(w.Nets))
+	}
+	if w.ByName("net5") == nil || w.ByName("net15") == nil {
+		t.Error("case-study networks missing")
+	}
+	if w.ByName("bogus") != nil {
+		t.Error("missing network should be nil")
+	}
+	for _, na := range w.Nets {
+		if na.Net == nil || na.Top == nil || na.Graph == nil || na.Model == nil || na.Filters == nil {
+			t.Errorf("%s: incomplete analysis", na.Gen.Name)
+		}
+	}
+}
+
+func TestResultRendering(t *testing.T) {
+	w := sharedWS(t)
+	r := Table1(w)
+	s := r.String()
+	for _, want := range []string{"T1", "OSPF", "PASS", "EBGP"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendered result missing %q:\n%s", want, s)
+		}
+	}
+	bad := Result{ID: "X", Title: "t"}
+	bad.claim(false, "nope")
+	if bad.OK() {
+		t.Error("failed claim should make result not OK")
+	}
+	if !strings.Contains(bad.String(), "FAIL") {
+		t.Error("rendered failure should show FAIL")
+	}
+}
+
+func TestRepositorySizesDeterministic(t *testing.T) {
+	a := repositorySizes(100)
+	b := repositorySizes(100)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("repository model must be deterministic")
+		}
+	}
+	small := 0
+	for _, s := range a {
+		if s < 10 {
+			small++
+		}
+	}
+	if small < 30 {
+		t.Errorf("repository model should skew small: %d/100 below 10 routers", small)
+	}
+}
+
+func TestFigure10PicksBGPFreeRouter(t *testing.T) {
+	w := sharedWS(t)
+	r := Figure10(w)
+	if !r.OK() {
+		t.Fatalf("Figure10 failed: %+v", r.Claims)
+	}
+	if !strings.Contains(r.Body, "route pathways into") {
+		t.Errorf("body should render a pathway:\n%s", r.Body)
+	}
+}
+
+func TestClaimFormatting(t *testing.T) {
+	var r Result
+	r.claim(true, "value %d within %s", 42, "range")
+	if r.Claims[0].Text != "value 42 within range" {
+		t.Errorf("claim text = %q", r.Claims[0].Text)
+	}
+}
+
+func TestJoinAndPct(t *testing.T) {
+	if join(nil) != "(none)" {
+		t.Error("join(nil)")
+	}
+	if join([]string{"a", "b"}) != "a, b" {
+		t.Error("join two")
+	}
+	if pct(1, 4) != 25 {
+		t.Error("pct")
+	}
+	if pct(1, 0) != 0 {
+		t.Error("pct zero total")
+	}
+}
+
+func TestItoaAndRange(t *testing.T) {
+	if itoa(0) != "0" || itoa(105) != "105" || itoa(-3) != "-3" {
+		t.Errorf("itoa wrong: %s %s %s", itoa(0), itoa(105), itoa(-3))
+	}
+	if rangeOf(nil) != "-" || rangeOf([]int{3, 9}) != "3-9" {
+		t.Error("rangeOf wrong")
+	}
+}

@@ -1,0 +1,293 @@
+package experiments
+
+import (
+	"sort"
+	"strings"
+
+	"routinglens/internal/addrspace"
+	"routinglens/internal/anonymize"
+	"routinglens/internal/ciscoparse"
+	"routinglens/internal/classify"
+	"routinglens/internal/devmodel"
+	"routinglens/internal/instance"
+	"routinglens/internal/procgraph"
+	"routinglens/internal/report"
+	"routinglens/internal/stats"
+	"routinglens/internal/topology"
+)
+
+// Section5Net5 reproduces the structural facts of net5 (Section 5.1).
+func Section5Net5(ws *Workspace) Result {
+	res := Result{ID: "S5", Title: "net5 structure (Section 5.1)"}
+	na := ws.ByName("net5")
+	m := na.Model
+
+	t := report.NewTable("fact", "paper", "measured")
+	t.Addf("routers\t881\t%d", len(na.Net.Devices))
+	t.Addf("routing instances\t24\t%d", len(m.Instances))
+	t.Addf("internal BGP ASes\t14\t%d", len(m.BGPASNs()))
+	t.Addf("external peer ASes\t16\t%d", len(m.ExternalASNs()))
+	largest, smallest := 0, 1<<30
+	for _, in := range m.Instances {
+		if in.Size() > largest {
+			largest = in.Size()
+		}
+		if in.Size() < smallest {
+			smallest = in.Size()
+		}
+	}
+	t.Addf("largest instance\t445\t%d", largest)
+	t.Addf("smallest instance\t1\t%d", smallest)
+
+	var big, as65001 *instance.Instance
+	for _, in := range m.Instances {
+		if in.Protocol == devmodel.ProtoEIGRP && in.Size() == 445 {
+			big = in
+		}
+		if in.Protocol == devmodel.ProtoBGP && in.ASN == 65001 {
+			as65001 = in
+		}
+	}
+	cut := 0
+	if big != nil && as65001 != nil {
+		cut = len(m.CutRouters(big, as65001))
+	}
+	t.Addf("redundant bridge routers (inst 1 <-> 4)\t6\t%d", cut)
+	res.Body = t.String()
+
+	res.claim(len(na.Net.Devices) == 881, "881 routers")
+	res.claim(len(m.Instances) == 24, "24 routing instances (measured %d)", len(m.Instances))
+	res.claim(len(m.BGPASNs()) == 14, "14 BGP ASes internal to the network (measured %d)", len(m.BGPASNs()))
+	res.claim(len(m.ExternalASNs()) == 16, "EBGP sessions with 16 external ASes (measured %d)", len(m.ExternalASNs()))
+	res.claim(largest == 445 && smallest == 1, "instances range from 445 routers down to 1 (measured %d..%d)", smallest, largest)
+	res.claim(cut == 6, "6 redundant routers bridge instance 1 and instance 4 (measured %d)", cut)
+	return res
+}
+
+// Section7Taxonomy reproduces the design taxonomy and size statistics of
+// Section 7.
+func Section7Taxonomy(ws *Workspace) Result {
+	res := Result{ID: "S7", Title: "Design taxonomy and network sizes (Section 7)"}
+
+	var backboneSizes, enterpriseSizes, otherSizes []int
+	designs := make(map[classify.Design]int)
+	for _, na := range ws.Nets {
+		designs[na.Design.Design]++
+		switch na.Design.Design {
+		case classify.DesignBackbone:
+			backboneSizes = append(backboneSizes, len(na.Net.Devices))
+		case classify.DesignEnterprise:
+			enterpriseSizes = append(enterpriseSizes, len(na.Net.Devices))
+		default:
+			otherSizes = append(otherSizes, len(na.Net.Devices))
+		}
+	}
+	sort.Ints(backboneSizes)
+	sort.Ints(enterpriseSizes)
+	sort.Ints(otherSizes)
+
+	t := report.NewTable("fact", "paper", "measured")
+	t.Addf("backbone networks\t4\t%d", len(backboneSizes))
+	t.Addf("backbone size range\t400-600\t%v", rangeOf(backboneSizes))
+	t.Addf("backbone mean size\t540\t%.0f", stats.MeanInts(backboneSizes))
+	t.Addf("textbook enterprises\t7\t%d", len(enterpriseSizes))
+	t.Addf("enterprise size range\t19-101\t%v", rangeOf(enterpriseSizes))
+	t.Addf("unclassifiable networks\t20\t%d", len(otherSizes))
+	t.Addf("unclassifiable median size\t36\t%.0f", stats.MedianInts(otherSizes))
+	larger := 0
+	for _, s := range otherSizes {
+		if len(backboneSizes) > 0 && s > backboneSizes[len(backboneSizes)-1] {
+			larger++
+		}
+	}
+	t.Addf("unclassifiable networks larger than any backbone\t4\t%d", larger)
+	res.Body = t.String()
+
+	res.claim(len(backboneSizes) == 4, "exactly four networks follow the backbone architecture")
+	res.claim(len(enterpriseSizes) == 7, "exactly seven follow the textbook enterprise architecture")
+	res.claim(designs[classify.DesignTier2] == 2, "tier-2 ISPs show backbone BGP plus staging IGP instances (measured %d)", designs[classify.DesignTier2])
+	mean := stats.MeanInts(backboneSizes)
+	res.claim(mean > 500 && mean < 580, "backbone mean size near 540 (measured %.0f)", mean)
+	med := stats.MedianInts(otherSizes)
+	res.claim(med >= 25 && med <= 50, "unclassifiable networks skew small, median near 36 (measured %.0f)", med)
+	res.claim(larger == 4, "four unclassifiable networks exceed the largest backbone (measured %d)", larger)
+	return res
+}
+
+func rangeOf(xs []int) string {
+	if len(xs) == 0 {
+		return "-"
+	}
+	return itoa(xs[0]) + "-" + itoa(xs[len(xs)-1])
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [12]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// Section2Unnumbered reproduces the unnumbered-interface count: rare but
+// present (the paper found 528 of 96,487).
+func Section2Unnumbered(ws *Workspace) Result {
+	res := Result{ID: "S2", Title: "Unnumbered interfaces (Section 2.1)"}
+	total, unnumbered := 0, 0
+	for _, na := range ws.Nets {
+		total += na.Top.TotalInterfaces
+		unnumbered += na.Top.UnnumberedInterfaces
+	}
+	t := report.NewTable("fact", "paper", "measured")
+	t.Addf("total interfaces\t96487\t%d", total)
+	t.Addf("unnumbered\t528\t%d", unnumbered)
+	t.Addf("share\t0.5%%\t%.2f%%", pct(unnumbered, total))
+	res.Body = t.String()
+	res.claim(unnumbered > 0, "unnumbered interfaces exist (measured %d)", unnumbered)
+	res.claim(pct(unnumbered, total) < 1.5, "they are rare (<1.5%%; measured %.2f%%)", pct(unnumbered, total))
+	return res
+}
+
+// AnonymizationInvariance reproduces the Section 4 methodology check: the
+// routing design extracted from anonymized configurations is isomorphic to
+// the original design.
+func AnonymizationInvariance(ws *Workspace) Result {
+	res := Result{ID: "A1", Title: "Structure-preserving anonymization (Section 4.1)"}
+	na := ws.ByName("net15")
+	anon := anonymize.New("experiment-key")
+	anonCfgs, err := anon.MapNetwork(na.Gen.Configs)
+	if err != nil {
+		res.claim(false, "anonymization failed: %v", err)
+		return res
+	}
+	names := make([]string, 0, len(anonCfgs))
+	for name := range anonCfgs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	n2 := &devmodel.Network{Name: "net15-anon"}
+	for _, name := range names {
+		pres, err := ciscoparse.Parse(name, strings.NewReader(anonCfgs[name]))
+		if err != nil {
+			res.claim(false, "parsing anonymized config: %v", err)
+			return res
+		}
+		n2.Devices = append(n2.Devices, pres.Device)
+	}
+	m2 := instance.Compute(procgraph.Build(n2, topology.Build(n2)))
+
+	t := report.NewTable("fact", "original", "anonymized")
+	t.Addf("instances\t%d\t%d", len(na.Model.Instances), len(m2.Instances))
+	t.Addf("instance edges\t%d\t%d", len(na.Model.Edges), len(m2.Edges))
+	t.Addf("external peers\t%d\t%d", len(na.Model.Graph.ExternalNodes()), len(m2.Graph.ExternalNodes()))
+	res.Body = t.String()
+
+	res.claim(len(m2.Instances) == len(na.Model.Instances),
+		"instance count survives anonymization (%d vs %d)", len(na.Model.Instances), len(m2.Instances))
+	res.claim(len(m2.Edges) == len(na.Model.Edges),
+		"instance-graph edges survive anonymization (%d vs %d)", len(na.Model.Edges), len(m2.Edges))
+	res.claim(len(m2.Graph.ExternalNodes()) == len(na.Model.Graph.ExternalNodes()),
+		"external peers survive anonymization")
+	sizes := func(m *instance.Model) string {
+		var ss []int
+		for _, in := range m.Instances {
+			ss = append(ss, in.Size())
+		}
+		sort.Ints(ss)
+		parts := make([]string, len(ss))
+		for i, s := range ss {
+			parts[i] = itoa(s)
+		}
+		return strings.Join(parts, ",")
+	}
+	res.claim(sizes(na.Model) == sizes(m2), "instance size multiset survives anonymization")
+	return res
+}
+
+// AblationClosure shows why the instance closure must stop at EBGP
+// boundaries between different ASes: without the stop, net5's 14 BGP
+// instances collapse.
+func AblationClosure(ws *Workspace) Result {
+	res := Result{ID: "AB1", Title: "Ablation: instance closure without the AS-boundary stop"}
+	na := ws.ByName("net5")
+	def := na.Model
+	abl := instance.ComputeWith(na.Graph, instance.Options{IgnoreASBoundary: true})
+
+	t := report.NewTable("variant", "instances", "BGP instances")
+	t.Addf("paper rule (stop at EBGP AS boundary)\t%d\t%d", len(def.Instances), len(def.InstancesOf(devmodel.ProtoBGP)))
+	t.Addf("ablated (merge across EBGP)\t%d\t%d", len(abl.Instances), len(abl.InstancesOf(devmodel.ProtoBGP)))
+	res.Body = t.String()
+
+	res.claim(len(abl.Instances) < len(def.Instances),
+		"removing the AS-boundary stop collapses instances (%d -> %d)", len(def.Instances), len(abl.Instances))
+	res.claim(len(abl.InstancesOf(devmodel.ProtoBGP)) < len(def.InstancesOf(devmodel.ProtoBGP)),
+		"distinct BGP ASes merge into fewer instances (%d -> %d)",
+		len(def.InstancesOf(devmodel.ProtoBGP)), len(abl.InstancesOf(devmodel.ProtoBGP)))
+	// Recompute to leave the shared graph's node annotations correct.
+	instance.Compute(na.Graph)
+	return res
+}
+
+// AblationNextHop shows the value of the multipoint next-hop heuristic for
+// external-facing classification (Section 5.2).
+func AblationNextHop(ws *Workspace) Result {
+	res := Result{ID: "AB2", Title: "Ablation: external-facing detection without the next-hop rule"}
+	withRule, withoutRule := 0, 0
+	for _, na := range ws.Nets {
+		for _, l := range na.Top.ExternalLinks() {
+			if l.Reason == "foreign-next-hop" || l.Reason == "ebgp-peer" {
+				withRule++
+			}
+		}
+		ablTop := topology.BuildWith(na.Net, topology.Options{DisableNextHopRule: true})
+		withoutRule += len(ablTop.ExternalLinks())
+	}
+	full := 0
+	for _, na := range ws.Nets {
+		full += len(na.Top.ExternalLinks())
+	}
+	t := report.NewTable("variant", "external links detected")
+	t.Addf("full heuristics\t%d", full)
+	t.Addf("without next-hop rule\t%d", withoutRule)
+	t.Addf("recovered by the rule\t%d", withRule)
+	res.Body = t.String()
+	res.claim(withRule > 0, "the next-hop rule recovers multipoint external links (measured %d)", withRule)
+	res.claim(withoutRule < full, "disabling it loses external links (%d -> %d)", full, withoutRule)
+	return res
+}
+
+// AblationJoinBits compares the paper's two-bit address join with plain
+// buddy (one-bit) merging.
+func AblationJoinBits(ws *Workspace) Result {
+	res := Result{ID: "AB3", Title: "Ablation: address-space join with one vs two low bits"}
+	// net12's address plan reserves growth space between LAN /24s, so the
+	// two-bit rule can bridge the gaps while buddy merging cannot. Only
+	// interface subnets enter the comparison: the border policies name a
+	// /10 that would swallow the structure either way.
+	na := ws.ByName("net12")
+	subnets := addrspace.CollectInterfaceSubnets(na.Net)
+	two := addrspace.Discover(subnets, addrspace.Options{JoinBits: 2})
+	one := addrspace.Discover(subnets, addrspace.Options{JoinBits: 1})
+	t := report.NewTable("variant", "top-level blocks")
+	t.Addf("paper rule (2 low bits)\t%d", len(two.Roots))
+	t.Addf("buddy merge (1 low bit)\t%d", len(one.Roots))
+	res.Body = t.String()
+	res.claim(len(two.Roots) < len(one.Roots),
+		"the two-bit rule aggregates strictly more than buddy merging (%d vs %d roots)", len(two.Roots), len(one.Roots))
+	res.claim(len(two.Roots) < len(subnets), "discovery compresses the raw subnet list (%d -> %d)", len(subnets), len(two.Roots))
+	return res
+}

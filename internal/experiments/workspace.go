@@ -1,0 +1,140 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation against the synthetic corpus, reporting paper-reported values
+// next to measured ones. The absolute numbers differ — the corpus is a
+// calibrated substitute for the proprietary configurations — but each
+// experiment states the property that must hold for the paper's claim and
+// checks it.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"routinglens/internal/classify"
+	"routinglens/internal/devmodel"
+	"routinglens/internal/filters"
+	"routinglens/internal/instance"
+	"routinglens/internal/netgen"
+	"routinglens/internal/procgraph"
+	"routinglens/internal/topology"
+)
+
+// NetworkAnalysis bundles every model derived from one network.
+type NetworkAnalysis struct {
+	Gen     *netgen.Generated
+	Net     *devmodel.Network
+	Top     *topology.Topology
+	Graph   *procgraph.Graph
+	Model   *instance.Model
+	Design  classify.Evidence
+	Filters *filters.NetworkStats
+}
+
+// Workspace is the fully analyzed corpus shared by all experiments.
+type Workspace struct {
+	Corpus *netgen.Corpus
+	Nets   []*NetworkAnalysis
+
+	byName map[string]*NetworkAnalysis
+}
+
+// DefaultSeed is the corpus seed used by cmd/reproduce and the benches.
+const DefaultSeed = 2004 // the paper's publication year
+
+// BuildWorkspace generates the corpus and runs the full extraction pipeline
+// on every network.
+func BuildWorkspace(seed int64) (*Workspace, error) {
+	c := netgen.GenerateCorpus(seed)
+	ws := &Workspace{Corpus: c, byName: make(map[string]*NetworkAnalysis)}
+	for _, g := range c.Networks {
+		n, err := g.Build()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %w", err)
+		}
+		top := topology.Build(n)
+		graph := procgraph.Build(n, top)
+		model := instance.Compute(graph)
+		na := &NetworkAnalysis{
+			Gen: g, Net: n, Top: top, Graph: graph, Model: model,
+			Design:  classify.ClassifyDesign(model),
+			Filters: filters.Analyze(n, top),
+		}
+		ws.Nets = append(ws.Nets, na)
+		ws.byName[g.Name] = na
+	}
+	return ws, nil
+}
+
+// ByName returns the analysis for a network.
+func (ws *Workspace) ByName(name string) *NetworkAnalysis { return ws.byName[name] }
+
+// Result is one reproduced experiment.
+type Result struct {
+	// ID is the paper artifact identifier: "T1", "F11", "S7", "A1", ...
+	ID    string
+	Title string
+	// Body is the rendered table/figure text.
+	Body string
+	// Claims lists the shape properties checked, with pass/fail.
+	Claims []Claim
+}
+
+// Claim is one checked property.
+type Claim struct {
+	Text string
+	OK   bool
+}
+
+// OK reports whether all claims hold.
+func (r Result) OK() bool {
+	for _, c := range r.Claims {
+		if !c.OK {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the result for the terminal.
+func (r Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	b.WriteString(r.Body)
+	for _, c := range r.Claims {
+		mark := "PASS"
+		if !c.OK {
+			mark = "FAIL"
+		}
+		fmt.Fprintf(&b, "[%s] %s\n", mark, c.Text)
+	}
+	return b.String()
+}
+
+// claim appends a checked property to the result.
+func (r *Result) claim(ok bool, format string, args ...any) {
+	r.Claims = append(r.Claims, Claim{Text: fmt.Sprintf(format, args...), OK: ok})
+}
+
+// All runs every experiment in paper order.
+func All(ws *Workspace) []Result {
+	return []Result{
+		Figure4(ws),
+		Figure5(ws),
+		Figure7(ws),
+		Figure8(ws),
+		Table1(ws),
+		Figure9(ws),
+		Figure10(ws),
+		Section5Net5(ws),
+		Figure11(ws),
+		Table2(ws),
+		Figure12(ws),
+		Section7Taxonomy(ws),
+		Table3(ws),
+		Section2Unnumbered(ws),
+		AnonymizationInvariance(ws),
+		AblationClosure(ws),
+		AblationNextHop(ws),
+		AblationJoinBits(ws),
+	}
+}

@@ -1,0 +1,140 @@
+// Package filters analyzes packet-filter usage (paper Section 5.3): how
+// many filter rules each network defines, what fraction is applied to
+// internal versus external links (Figure 11), and what the filters do
+// (protocol blocking, port-based restrictions, host-scoped policies).
+//
+// Following the paper, the unit of measurement is the clause: each
+// "if condition then action" line of an access list counts as one filter
+// rule, regardless of how clauses are grouped into lists.
+package filters
+
+import (
+	"sort"
+
+	"routinglens/internal/devmodel"
+	"routinglens/internal/topology"
+)
+
+// Binding is one packet filter attached to one interface in one direction.
+type Binding struct {
+	Device    *devmodel.Device
+	Interface *devmodel.Interface
+	Direction string // "in" or "out"
+	ACL       *devmodel.AccessList
+	// Internal reports whether the interface is internal-facing.
+	Internal bool
+	// Rules is the clause count of the ACL.
+	Rules int
+}
+
+// NetworkStats summarizes packet filtering in one network.
+type NetworkStats struct {
+	Network *devmodel.Network
+	// HasFilters reports whether any packet filter is defined (networks
+	// without filters are excluded from the Figure 11 CDF, as in the
+	// paper: 3 of 31 networks had none).
+	HasFilters bool
+	// Bindings are all interface attachments of filters.
+	Bindings []Binding
+	// TotalRules and InternalRules count applied clauses; a clause applied
+	// on several interfaces counts once per application, measuring "the
+	// total amount of filtering policy on a link".
+	TotalRules    int
+	InternalRules int
+	// MaxClausesPerFilter is the largest single ACL (the paper observed a
+	// 47-clause filter mixing several policies).
+	MaxClausesPerFilter int
+	// ProtocolsDenied are protocol keywords appearing in deny clauses
+	// (e.g. "pim", "udp"), sorted.
+	ProtocolsDenied []string
+	// PortRules counts clauses with TCP/UDP port qualifiers.
+	PortRules int
+}
+
+// PercentInternal returns the percentage of applied rules on internal
+// links.
+func (s *NetworkStats) PercentInternal() float64 {
+	if s.TotalRules == 0 {
+		return 0
+	}
+	return 100 * float64(s.InternalRules) / float64(s.TotalRules)
+}
+
+// Analyze computes packet-filter statistics for a network given its
+// topology.
+func Analyze(n *devmodel.Network, top *topology.Topology) *NetworkStats {
+	s := &NetworkStats{Network: n}
+	deniedProto := make(map[string]bool)
+
+	for _, d := range n.Devices {
+		for _, acl := range d.AccessLists {
+			if len(acl.Clauses) > 0 {
+				s.HasFilters = true
+			}
+			if len(acl.Clauses) > s.MaxClausesPerFilter {
+				s.MaxClausesPerFilter = len(acl.Clauses)
+			}
+		}
+		for _, i := range d.Interfaces {
+			for _, dir := range []struct {
+				name string
+				acl  string
+			}{{"in", i.AccessGroupIn}, {"out", i.AccessGroupOut}} {
+				if dir.acl == "" {
+					continue
+				}
+				acl := d.AccessLists[dir.acl]
+				if acl == nil {
+					continue // binding to an undefined list filters nothing
+				}
+				internal := !top.ExternalFacing(d, i.Name)
+				b := Binding{
+					Device: d, Interface: i, Direction: dir.name,
+					ACL: acl, Internal: internal, Rules: len(acl.Clauses),
+				}
+				s.Bindings = append(s.Bindings, b)
+				s.TotalRules += b.Rules
+				if internal {
+					s.InternalRules += b.Rules
+				}
+				for _, c := range acl.Clauses {
+					if c.Action == devmodel.ActionDeny && c.Proto != "" && c.Proto != "ip" {
+						deniedProto[c.Proto] = true
+					}
+					if c.SrcPortOp != "" || c.DstPortOp != "" {
+						s.PortRules++
+					}
+				}
+			}
+		}
+	}
+	for p := range deniedProto {
+		s.ProtocolsDenied = append(s.ProtocolsDenied, p)
+	}
+	sort.Strings(s.ProtocolsDenied)
+	sort.Slice(s.Bindings, func(i, j int) bool {
+		a, b := s.Bindings[i], s.Bindings[j]
+		if a.Device.Hostname != b.Device.Hostname {
+			return a.Device.Hostname < b.Device.Hostname
+		}
+		if a.Interface.Name != b.Interface.Name {
+			return a.Interface.Name < b.Interface.Name
+		}
+		return a.Direction < b.Direction
+	})
+	return s
+}
+
+// InternalPercentages extracts, from the per-network stats of a corpus, the
+// Figure 11 samples: percent of filter rules on internal links, for
+// networks that define filters.
+func InternalPercentages(all []*NetworkStats) []float64 {
+	var out []float64
+	for _, s := range all {
+		if !s.HasFilters {
+			continue
+		}
+		out = append(out, s.PercentInternal())
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+package filters
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"routinglens/internal/ciscoparse"
+	"routinglens/internal/devmodel"
+	"routinglens/internal/topology"
+)
+
+func parseNet(t *testing.T, cfgs ...string) *devmodel.Network {
+	t.Helper()
+	n := &devmodel.Network{Name: "t"}
+	for _, c := range cfgs {
+		res, err := ciscoparse.Parse("cfg", strings.NewReader(c))
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.Devices = append(n.Devices, res.Device)
+	}
+	return n
+}
+
+func TestAnalyzeBasics(t *testing.T) {
+	// a--b internal /30 with a 2-clause inbound filter on a's internal
+	// side; a also has an external /30 with a 3-clause filter.
+	n := parseNet(t,
+		`hostname a
+interface Serial0
+ ip address 10.0.0.1 255.255.255.252
+ ip access-group 101 in
+interface Serial1
+ ip address 10.0.1.1 255.255.255.252
+ ip access-group 102 in
+access-list 101 deny udp any any eq 161
+access-list 101 permit ip any any
+access-list 102 deny pim any any
+access-list 102 deny tcp any any eq 23
+access-list 102 permit ip any any
+`,
+		`hostname b
+interface Serial0
+ ip address 10.0.0.2 255.255.255.252
+`)
+	top := topology.Build(n)
+	s := Analyze(n, top)
+	if !s.HasFilters {
+		t.Fatal("HasFilters = false")
+	}
+	if s.TotalRules != 5 {
+		t.Errorf("TotalRules = %d, want 5", s.TotalRules)
+	}
+	if s.InternalRules != 2 {
+		t.Errorf("InternalRules = %d, want 2 (only the matched /30)", s.InternalRules)
+	}
+	if math.Abs(s.PercentInternal()-40) > 1e-9 {
+		t.Errorf("PercentInternal = %f, want 40", s.PercentInternal())
+	}
+	if s.MaxClausesPerFilter != 3 {
+		t.Errorf("MaxClausesPerFilter = %d", s.MaxClausesPerFilter)
+	}
+	if len(s.ProtocolsDenied) != 3 || s.ProtocolsDenied[0] != "pim" && s.ProtocolsDenied[1] != "pim" {
+		t.Errorf("ProtocolsDenied = %v", s.ProtocolsDenied)
+	}
+	if s.PortRules != 2 {
+		t.Errorf("PortRules = %d", s.PortRules)
+	}
+	if len(s.Bindings) != 2 {
+		t.Errorf("Bindings = %d", len(s.Bindings))
+	}
+}
+
+func TestRulesCountPerApplication(t *testing.T) {
+	// The same ACL applied to two interfaces counts twice, measuring the
+	// amount of policy on links.
+	n := parseNet(t,
+		`hostname a
+interface Serial0
+ ip address 10.0.0.1 255.255.255.252
+ ip access-group 7 in
+interface Serial1
+ ip address 10.0.0.5 255.255.255.252
+ ip access-group 7 out
+access-list 7 permit 10.0.0.0 0.255.255.255
+`)
+	s := Analyze(n, topology.Build(n))
+	if s.TotalRules != 2 {
+		t.Errorf("TotalRules = %d, want 2 (1 clause x 2 applications)", s.TotalRules)
+	}
+}
+
+func TestNoFilters(t *testing.T) {
+	n := parseNet(t, "hostname a\ninterface Ethernet0\n ip address 10.0.0.1 255.255.255.0\n")
+	s := Analyze(n, topology.Build(n))
+	if s.HasFilters || s.TotalRules != 0 {
+		t.Errorf("expected empty stats: %+v", s)
+	}
+}
+
+func TestUndefinedACLBindingIgnored(t *testing.T) {
+	n := parseNet(t,
+		`hostname a
+interface Ethernet0
+ ip address 10.0.0.1 255.255.255.0
+ ip access-group 99 in
+`)
+	s := Analyze(n, topology.Build(n))
+	if len(s.Bindings) != 0 || s.TotalRules != 0 {
+		t.Errorf("undefined ACL should not bind: %+v", s)
+	}
+}
+
+func TestInternalPercentages(t *testing.T) {
+	withFilters := &NetworkStats{HasFilters: true, TotalRules: 10, InternalRules: 4}
+	noFilters := &NetworkStats{HasFilters: false}
+	ps := InternalPercentages([]*NetworkStats{withFilters, noFilters})
+	if len(ps) != 1 || math.Abs(ps[0]-40) > 1e-9 {
+		t.Errorf("InternalPercentages = %v", ps)
+	}
+}
+
+func TestPercentInternalZeroRules(t *testing.T) {
+	s := &NetworkStats{HasFilters: true}
+	if s.PercentInternal() != 0 {
+		t.Error("zero rules should yield 0 percent")
+	}
+}

@@ -1,0 +1,200 @@
+// Package junosparse parses JunOS-style (curly-brace hierarchical) router
+// configurations into the same devmodel representation as the Cisco IOS
+// parser, so every analysis — topology inference, process graphs,
+// instances, pathways, reachability — works unchanged on mixed-vendor
+// networks.
+//
+// The paper's model anticipates this: "JunOS and Gated use import and
+// export commands, which always go through the router RIB, but this can be
+// modeled in our framework" (Section 2.4). Import/export policies map to
+// the same policy annotations the IOS front end produces.
+package junosparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// node is one element of the parsed configuration tree: a statement (no
+// children, terminated by ';') or a block (children inside braces). The
+// words slice holds the leading tokens, e.g. ["route-filter",
+// "10.0.0.0/8", "orlonger"] or ["interfaces"].
+type node struct {
+	words    []string
+	children []*node
+	line     int
+}
+
+// kw returns the first word ("" when absent).
+func (n *node) kw() string {
+	if len(n.words) == 0 {
+		return ""
+	}
+	return n.words[0]
+}
+
+// arg returns the i-th word after the keyword, or "".
+func (n *node) arg(i int) string {
+	if i+1 >= len(n.words) {
+		return ""
+	}
+	return n.words[i+1]
+}
+
+// child returns the first child block/statement whose keyword matches.
+func (n *node) child(kw string) *node {
+	for _, c := range n.children {
+		if c.kw() == kw {
+			return c
+		}
+	}
+	return nil
+}
+
+// each visits all children with the given keyword.
+func (n *node) each(kw string, f func(*node)) {
+	for _, c := range n.children {
+		if c.kw() == kw {
+			f(c)
+		}
+	}
+}
+
+type token struct {
+	text string
+	line int
+}
+
+// lex splits the configuration into words, braces, and semicolons,
+// dropping '#' line comments, "//" comments, and C-style block comments.
+// JunOS annotations ("/* ... */") vanish the same way.
+func lex(src string) []token {
+	var toks []token
+	line := 1
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '#':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < n && src[i+1] == '*':
+			i += 2
+			for i+1 < n && !(src[i] == '*' && src[i+1] == '/') {
+				if src[i] == '\n' {
+					line++
+				}
+				i++
+			}
+			i += 2
+		case c == '{' || c == '}' || c == ';':
+			toks = append(toks, token{string(c), line})
+			i++
+		case c == '"':
+			j := i + 1
+			for j < n && src[j] != '"' {
+				if src[j] == '\n' {
+					line++
+				}
+				j++
+			}
+			toks = append(toks, token{src[i+1 : j], line})
+			i = j + 1
+		default:
+			j := i
+			for j < n && !isDelim(src[j]) {
+				j++
+			}
+			if j == i {
+				// A delimiter byte not handled above (e.g. a non-ASCII
+				// unicode space from corrupted input): skip it.
+				i++
+				continue
+			}
+			toks = append(toks, token{src[i:j], line})
+			i = j
+		}
+	}
+	return toks
+}
+
+func isDelim(c byte) bool {
+	return c == '{' || c == '}' || c == ';' || c == '"' || c == '#' ||
+		unicode.IsSpace(rune(c))
+}
+
+// parseTree builds the node tree from tokens.
+func parseTree(toks []token) (*node, error) {
+	root := &node{}
+	stack := []*node{root}
+	var words []string
+	wordLine := 0
+	for _, t := range toks {
+		switch t.text {
+		case "{":
+			if len(words) == 0 {
+				return nil, fmt.Errorf("junos: line %d: block without a name", t.line)
+			}
+			blk := &node{words: words, line: wordLine}
+			top := stack[len(stack)-1]
+			top.children = append(top.children, blk)
+			stack = append(stack, blk)
+			words = nil
+		case "}":
+			if len(words) > 0 {
+				return nil, fmt.Errorf("junos: line %d: missing ';' before '}'", t.line)
+			}
+			if len(stack) == 1 {
+				return nil, fmt.Errorf("junos: line %d: unbalanced '}'", t.line)
+			}
+			stack = stack[:len(stack)-1]
+		case ";":
+			if len(words) > 0 {
+				top := stack[len(stack)-1]
+				top.children = append(top.children, &node{words: words, line: wordLine})
+				words = nil
+			}
+		default:
+			if len(words) == 0 {
+				wordLine = t.line
+			}
+			words = append(words, t.text)
+		}
+	}
+	if len(stack) != 1 {
+		return nil, fmt.Errorf("junos: unbalanced braces at end of input (%d open)", len(stack)-1)
+	}
+	if len(words) > 0 {
+		return nil, fmt.Errorf("junos: trailing tokens without ';': %s", strings.Join(words, " "))
+	}
+	return root, nil
+}
+
+// LooksLikeJunOS heuristically detects the dialect: JunOS configurations
+// are brace-structured with semicolon-terminated statements.
+func LooksLikeJunOS(src string) bool {
+	braces := strings.Count(src, "{")
+	if braces < 2 || strings.Count(src, "}") < 2 {
+		return false
+	}
+	// IOS configs occasionally contain braces in banners; require the
+	// characteristic top-level sections.
+	for _, marker := range []string{"interfaces {", "protocols {", "system {", "routing-options {"} {
+		if strings.Contains(src, marker) {
+			return true
+		}
+	}
+	return false
+}

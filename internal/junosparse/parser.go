@@ -1,0 +1,519 @@
+package junosparse
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"routinglens/internal/devmodel"
+	"routinglens/internal/netaddr"
+)
+
+// Diagnostic records a non-fatal conversion issue.
+type Diagnostic struct {
+	File string
+	Line int
+	Msg  string
+}
+
+// String renders "file:line: msg".
+func (d Diagnostic) String() string { return fmt.Sprintf("%s:%d: %s", d.File, d.Line, d.Msg) }
+
+// Result is the outcome of parsing one JunOS configuration.
+type Result struct {
+	Device      *devmodel.Device
+	Diagnostics []Diagnostic
+}
+
+// Parse converts a JunOS configuration into the device model.
+func Parse(name string, r io.Reader) (*Result, error) {
+	src, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	root, err := parseTree(lex(string(src)))
+	if err != nil {
+		return nil, err
+	}
+	c := &converter{dev: devmodel.NewDevice(), file: name}
+	c.dev.FileName = name
+	c.dev.RawLines = countStatements(root)
+	c.run(root)
+	if c.dev.Hostname == "" {
+		base := name
+		if i := strings.LastIndexByte(base, '/'); i >= 0 {
+			base = base[i+1:]
+		}
+		if i := strings.LastIndexByte(base, '.'); i > 0 {
+			base = base[:i]
+		}
+		c.dev.Hostname = base
+	}
+	return &Result{Device: c.dev, Diagnostics: c.diags}, nil
+}
+
+// countStatements counts leaf statements, the JunOS analogue of command
+// lines (used for the Figure 4 size metric).
+func countStatements(n *node) int {
+	if len(n.children) == 0 {
+		return 1
+	}
+	total := 0
+	for _, c := range n.children {
+		total += countStatements(c)
+	}
+	return total
+}
+
+type converter struct {
+	dev   *devmodel.Device
+	file  string
+	diags []Diagnostic
+	// myAS is routing-options autonomous-system, used for internal BGP
+	// groups.
+	myAS uint32
+}
+
+func (c *converter) diag(n *node, format string, args ...any) {
+	c.diags = append(c.diags, Diagnostic{File: c.file, Line: n.line, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (c *converter) run(root *node) {
+	if sys := root.child("system"); sys != nil {
+		if hn := sys.child("host-name"); hn != nil {
+			c.dev.Hostname = hn.arg(0)
+		}
+	}
+	if ro := root.child("routing-options"); ro != nil {
+		c.routingOptions(ro)
+	}
+	if po := root.child("policy-options"); po != nil {
+		c.policyOptions(po)
+	}
+	if fw := root.child("firewall"); fw != nil {
+		c.firewall(fw)
+	}
+	if ifs := root.child("interfaces"); ifs != nil {
+		c.interfaces(ifs)
+	}
+	if prot := root.child("protocols"); prot != nil {
+		c.protocols(prot)
+	}
+}
+
+// --- interfaces ---
+
+func (c *converter) interfaces(ifs *node) {
+	for _, phys := range ifs.children {
+		physName := phys.kw()
+		if physName == "" {
+			continue
+		}
+		hasUnit := false
+		phys.each("unit", func(u *node) {
+			hasUnit = true
+			unitName := physName + "." + u.arg(0)
+			intf := &devmodel.Interface{Name: unitName}
+			c.dev.Interfaces = append(c.dev.Interfaces, intf)
+			if u.child("disable") != nil || phys.child("disable") != nil {
+				intf.Shutdown = true
+			}
+			if d := u.child("description"); d != nil {
+				intf.Description = strings.Join(d.words[1:], " ")
+			} else if d := phys.child("description"); d != nil {
+				intf.Description = strings.Join(d.words[1:], " ")
+			}
+			fam := u.child("family")
+			if fam == nil || fam.arg(0) != "inet" {
+				return
+			}
+			fam.each("address", func(a *node) {
+				p, err := netaddr.ParsePrefix(a.arg(0))
+				if err != nil {
+					c.diag(a, "bad address %q", a.arg(0))
+					return
+				}
+				// JunOS writes the interface's own address with the
+				// subnet length; recover both pieces.
+				host, err := netaddr.ParseAddr(strings.SplitN(a.arg(0), "/", 2)[0])
+				if err != nil {
+					c.diag(a, "bad address %q", a.arg(0))
+					return
+				}
+				intf.Addrs = append(intf.Addrs, devmodel.InterfaceAddr{
+					Addr: host, Mask: p.Mask(),
+				})
+			})
+			if filt := fam.child("filter"); filt != nil {
+				if in := filt.child("input"); in != nil {
+					intf.AccessGroupIn = in.arg(0)
+				}
+				if out := filt.child("output"); out != nil {
+					intf.AccessGroupOut = out.arg(0)
+				}
+			}
+		})
+		if !hasUnit {
+			// A physical interface without units still exists (unnumbered).
+			c.dev.Interfaces = append(c.dev.Interfaces, &devmodel.Interface{Name: physName})
+		}
+	}
+}
+
+// --- routing-options ---
+
+func (c *converter) routingOptions(ro *node) {
+	if as := ro.child("autonomous-system"); as != nil {
+		if v, err := strconv.ParseUint(as.arg(0), 10, 32); err == nil {
+			c.myAS = uint32(v)
+		} else {
+			c.diag(as, "bad autonomous-system %q", as.arg(0))
+		}
+	}
+	if st := ro.child("static"); st != nil {
+		st.each("route", func(rt *node) {
+			p, err := netaddr.ParsePrefix(rt.arg(0))
+			if err != nil {
+				c.diag(rt, "bad static route %q", rt.arg(0))
+				return
+			}
+			sr := devmodel.StaticRoute{Prefix: p, Distance: 5} // JunOS static preference
+			// Inline form: route P next-hop A;
+			for i, w := range rt.words {
+				if w == "next-hop" && i+1 < len(rt.words) {
+					if hop, err := netaddr.ParseAddr(rt.words[i+1]); err == nil {
+						sr.NextHop = hop
+						sr.HasHop = true
+					}
+				}
+			}
+			// Block form: route P { next-hop A; }
+			if nh := rt.child("next-hop"); nh != nil {
+				if hop, err := netaddr.ParseAddr(nh.arg(0)); err == nil {
+					sr.NextHop = hop
+					sr.HasHop = true
+				}
+			}
+			c.dev.Statics = append(c.dev.Statics, sr)
+		})
+	}
+}
+
+// --- policy-options ---
+
+func (c *converter) policyOptions(po *node) {
+	po.each("prefix-list", func(pl *node) {
+		list := &devmodel.PrefixList{Name: pl.arg(0)}
+		for _, entry := range pl.children {
+			p, err := netaddr.ParsePrefix(entry.kw())
+			if err != nil {
+				continue
+			}
+			list.Entries = append(list.Entries, devmodel.PrefixListEntry{
+				Action: devmodel.ActionPermit, Prefix: p,
+			})
+		}
+		c.dev.PrefixLists[list.Name] = list
+	})
+
+	po.each("policy-statement", func(ps *node) {
+		rm := &devmodel.RouteMap{Name: ps.arg(0)}
+		seq := 0
+		addTerm := func(term *node, termName string) {
+			seq += 10
+			entry := devmodel.RouteMapEntry{Action: devmodel.ActionPermit, Sequence: seq}
+			if then := term.child("then"); then != nil {
+				if !thenAccepts(then) {
+					entry.Action = devmodel.ActionDeny
+				}
+				if tag := then.child("tag"); tag != nil {
+					entry.SetTag = tag.arg(0)
+				}
+				if then.arg(0) == "tag" {
+					entry.SetTag = then.arg(1)
+				}
+			}
+			if from := term.child("from"); from != nil {
+				// route-filter prefixes become a synthetic prefix-list so
+				// the shared policy evaluator can match them.
+				var entries []devmodel.PrefixListEntry
+				from.each("route-filter", func(rf *node) {
+					p, err := netaddr.ParsePrefix(rf.arg(0))
+					if err != nil {
+						c.diag(rf, "bad route-filter %q", rf.arg(0))
+						return
+					}
+					e := devmodel.PrefixListEntry{Action: devmodel.ActionPermit, Prefix: p}
+					switch rf.arg(1) {
+					case "orlonger":
+						e.Ge = p.Bits()
+						e.Le = 32
+					case "longer":
+						e.Ge = p.Bits() + 1
+						e.Le = 32
+					case "upto":
+						if v, err := strconv.Atoi(strings.TrimPrefix(rf.arg(2), "/")); err == nil {
+							e.Le = v
+						}
+					case "exact", "":
+						// exact match: ge/le unset.
+					}
+					entries = append(entries, e)
+				})
+				if len(entries) > 0 {
+					synth := fmt.Sprintf("%s.%s.routefilter", rm.Name, termName)
+					c.dev.PrefixLists[synth] = &devmodel.PrefixList{Name: synth, Entries: entries}
+					entry.MatchPrefixLists = append(entry.MatchPrefixLists, synth)
+				}
+				from.each("prefix-list", func(pl *node) {
+					entry.MatchPrefixLists = append(entry.MatchPrefixLists, pl.arg(0))
+				})
+				if tag := from.child("tag"); tag != nil {
+					entry.MatchTags = append(entry.MatchTags, tag.arg(0))
+				}
+			}
+			rm.Entries = append(rm.Entries, entry)
+		}
+		hadTerm := false
+		ps.each("term", func(term *node) {
+			hadTerm = true
+			addTerm(term, term.arg(0))
+		})
+		if !hadTerm {
+			// Unterned policy: the statement body is a single implicit term.
+			addTerm(ps, "0")
+		}
+		c.dev.RouteMaps[rm.Name] = rm
+	})
+}
+
+// --- firewall ---
+
+func (c *converter) firewall(fw *node) {
+	walkFilters := func(parent *node) {
+		parent.each("filter", func(f *node) {
+			acl := &devmodel.AccessList{Name: f.arg(0), Extended: true}
+			f.each("term", func(term *node) {
+				clause := devmodel.ACLClause{Action: devmodel.ActionPermit, Proto: "ip", SrcAny: true, DstAny: true}
+				if then := term.child("then"); then != nil && !thenAccepts(then) {
+					clause.Action = devmodel.ActionDeny
+				}
+				if from := term.child("from"); from != nil {
+					if pr := from.child("protocol"); pr != nil {
+						clause.Proto = pr.arg(0)
+					}
+					if sa := from.child("source-address"); sa != nil {
+						c.fillEndpoint(sa, &clause.SrcAny, &clause.Src, &clause.SrcWildcard)
+					}
+					if da := from.child("destination-address"); da != nil {
+						c.fillEndpoint(da, &clause.DstAny, &clause.Dst, &clause.DstWildcard)
+					}
+					if dp := from.child("destination-port"); dp != nil {
+						clause.DstPortOp = "eq"
+						clause.DstPorts = append(clause.DstPorts, dp.words[1:]...)
+					}
+					if sp := from.child("source-port"); sp != nil {
+						clause.SrcPortOp = "eq"
+						clause.SrcPorts = append(clause.SrcPorts, sp.words[1:]...)
+					}
+				}
+				acl.Clauses = append(acl.Clauses, clause)
+			})
+			c.dev.AccessLists[acl.Name] = acl
+		})
+	}
+	// Filters live either directly under firewall or under family inet.
+	walkFilters(fw)
+	fw.each("family", func(fam *node) {
+		if fam.arg(0) == "inet" {
+			walkFilters(fam)
+		}
+	})
+}
+
+// thenAccepts decides whether a "then" clause accepts traffic or routes.
+// JunOS allows both the inline form ("then reject;") and the block form
+// ("then { reject; }"); absent an explicit verdict the default is accept.
+func thenAccepts(then *node) bool {
+	for _, verdict := range []string{"reject", "discard"} {
+		if then.child(verdict) != nil || then.arg(0) == verdict {
+			return false
+		}
+	}
+	return true
+}
+
+// fillEndpoint converts an address block ("source-address { 10.0.0.0/8; }"
+// or inline "source-address 10.0.0.0/8") into clause address/wildcard.
+func (c *converter) fillEndpoint(n *node, anyFlag *bool, addr *netaddr.Addr, wc *netaddr.Mask) {
+	set := func(s string) {
+		p, err := netaddr.ParsePrefix(s)
+		if err != nil {
+			c.diag(n, "bad address %q", s)
+			return
+		}
+		*anyFlag = false
+		*addr = p.Addr()
+		*wc = p.Mask().Invert()
+	}
+	if len(n.words) > 1 {
+		set(n.arg(0))
+		return
+	}
+	for _, child := range n.children {
+		set(child.kw())
+		return // the model holds a single src/dst; keep the first
+	}
+}
+
+// --- protocols ---
+
+func (c *converter) protocols(prot *node) {
+	if ospf := prot.child("ospf"); ospf != nil {
+		c.ospf(ospf)
+	}
+	if rip := prot.child("rip"); rip != nil {
+		c.rip(rip)
+	}
+	if bgp := prot.child("bgp"); bgp != nil {
+		c.bgp(bgp)
+	}
+}
+
+// coverStmtFor synthesizes a network statement covering exactly the named
+// interface's addresses; JunOS associates interfaces with protocols
+// explicitly rather than by address coverage.
+func (c *converter) coverStmtFor(proc *devmodel.RoutingProcess, owner *node, intfName, area string) {
+	intf := c.dev.Interface(intfName)
+	if intf == nil {
+		c.diag(owner, "protocol references unknown interface %q", intfName)
+		return
+	}
+	for _, a := range intf.Addrs {
+		proc.Networks = append(proc.Networks, devmodel.NetworkStmt{
+			Addr: a.Addr, HasWild: true, Wildcard: 0, Area: area,
+		})
+	}
+}
+
+func (c *converter) ospf(ospf *node) {
+	proc := &devmodel.RoutingProcess{Protocol: devmodel.ProtoOSPF, ID: "1"}
+	c.dev.Processes = append(c.dev.Processes, proc)
+	ospf.each("area", func(area *node) {
+		areaID := area.arg(0)
+		area.each("interface", func(in *node) {
+			name := in.arg(0)
+			if name == "all" {
+				// Cover every configured interface.
+				for _, intf := range c.dev.Interfaces {
+					c.coverStmtFor(proc, in, intf.Name, areaID)
+				}
+				return
+			}
+			c.coverStmtFor(proc, in, name, areaID)
+			if in.child("passive") != nil {
+				proc.PassiveIntfs = append(proc.PassiveIntfs, name)
+			}
+		})
+	})
+	ospf.each("export", func(e *node) {
+		c.applyExport(proc, e.arg(0))
+	})
+}
+
+func (c *converter) rip(rip *node) {
+	proc := &devmodel.RoutingProcess{Protocol: devmodel.ProtoRIP}
+	c.dev.Processes = append(c.dev.Processes, proc)
+	rip.each("group", func(g *node) {
+		g.each("neighbor", func(nb *node) {
+			c.coverStmtFor(proc, nb, nb.arg(0), "")
+		})
+		g.each("export", func(e *node) {
+			c.applyExport(proc, e.arg(0))
+		})
+	})
+}
+
+// applyExport models a JunOS export policy as redistribution into the
+// process: exporting from the routing table pulls in connected/static and
+// anything the policy matches; the policy name is preserved so the
+// annotation survives into the process graph.
+func (c *converter) applyExport(proc *devmodel.RoutingProcess, policy string) {
+	proc.Redistributions = append(proc.Redistributions,
+		devmodel.Redistribution{From: devmodel.ProtoConnected, RouteMap: policy},
+		devmodel.Redistribution{From: devmodel.ProtoStatic, RouteMap: policy},
+	)
+	// Exporting BGP into an IGP is the enterprise pattern; include it when
+	// a BGP process exists (added later — resolved lazily by procgraph via
+	// protocol, not pointer).
+	proc.Redistributions = append(proc.Redistributions,
+		devmodel.Redistribution{From: devmodel.ProtoBGP, RouteMap: policy})
+}
+
+func (c *converter) bgp(bgp *node) {
+	if c.myAS == 0 {
+		c.diag(bgp, "protocols bgp without routing-options autonomous-system")
+	}
+	proc := &devmodel.RoutingProcess{
+		Protocol: devmodel.ProtoBGP,
+		ID:       strconv.FormatUint(uint64(c.myAS), 10),
+		ASN:      c.myAS,
+	}
+	c.dev.Processes = append(c.dev.Processes, proc)
+	bgp.each("group", func(g *node) {
+		groupType := ""
+		if t := g.child("type"); t != nil {
+			groupType = t.arg(0)
+		}
+		groupPeerAS := uint32(0)
+		if pa := g.child("peer-as"); pa != nil {
+			if v, err := strconv.ParseUint(pa.arg(0), 10, 32); err == nil {
+				groupPeerAS = uint32(v)
+			}
+		}
+		groupImport, groupExport := "", ""
+		if im := g.child("import"); im != nil {
+			groupImport = im.arg(0)
+		}
+		if ex := g.child("export"); ex != nil {
+			groupExport = ex.arg(0)
+		}
+		g.each("neighbor", func(nbNode *node) {
+			addr, err := netaddr.ParseAddr(nbNode.arg(0))
+			if err != nil {
+				c.diag(nbNode, "bad neighbor %q", nbNode.arg(0))
+				return
+			}
+			nb := devmodel.BGPNeighbor{Addr: addr, RouteMapIn: groupImport, RouteMapOut: groupExport}
+			switch {
+			case groupType == "internal":
+				nb.RemoteAS = c.myAS
+			case groupPeerAS != 0:
+				nb.RemoteAS = groupPeerAS
+			}
+			if pa := nbNode.child("peer-as"); pa != nil {
+				if v, err := strconv.ParseUint(pa.arg(0), 10, 32); err == nil {
+					nb.RemoteAS = uint32(v)
+				}
+			}
+			if im := nbNode.child("import"); im != nil {
+				nb.RouteMapIn = im.arg(0)
+			}
+			if ex := nbNode.child("export"); ex != nil {
+				nb.RouteMapOut = ex.arg(0)
+			}
+			if nb.RemoteAS == 0 {
+				c.diag(nbNode, "neighbor %s has no peer AS", addr)
+			}
+			proc.Neighbors = append(proc.Neighbors, nb)
+		})
+	})
+	bgp.each("export", func(e *node) {
+		// Top-level export: the common "announce our IGP" pattern.
+		proc.Redistributions = append(proc.Redistributions,
+			devmodel.Redistribution{From: devmodel.ProtoOSPF, RouteMap: e.arg(0)},
+			devmodel.Redistribution{From: devmodel.ProtoConnected, RouteMap: e.arg(0)},
+		)
+	})
+}

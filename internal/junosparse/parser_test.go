@@ -1,0 +1,396 @@
+package junosparse
+
+import (
+	"strings"
+	"testing"
+
+	"routinglens/internal/ciscoparse"
+	"routinglens/internal/devmodel"
+	"routinglens/internal/instance"
+	"routinglens/internal/netaddr"
+	"routinglens/internal/procgraph"
+	"routinglens/internal/topology"
+)
+
+const sampleJunos = `
+/* border router of the JunOS test network */
+system {
+    host-name j1;
+}
+interfaces {
+    ge-0/0/0 {
+        description "to core";
+        unit 0 {
+            family inet {
+                address 10.0.0.1/30;
+            }
+        }
+    }
+    ge-0/0/1 {
+        unit 0 {
+            family inet {
+                address 172.16.0.1/30;
+                filter {
+                    input edge-in;
+                }
+            }
+        }
+    }
+    lo0 {
+        unit 0 { family inet { address 10.9.9.1/32; } }
+    }
+}
+routing-options {
+    autonomous-system 65001;
+    static {
+        route 192.168.50.0/24 next-hop 10.0.0.2;
+    }
+}
+protocols {
+    ospf {
+        export announce-statics;
+        area 0.0.0.0 {
+            interface ge-0/0/0.0;
+            interface lo0.0 {
+                passive;
+            }
+        }
+    }
+    bgp {
+        group upstream {
+            type external;
+            peer-as 701;
+            neighbor 172.16.0.2 {
+                import cust-in;
+                export cust-out;
+            }
+        }
+    }
+}
+policy-options {
+    prefix-list corp {
+        10.0.0.0/8;
+    }
+    policy-statement cust-in {
+        term corp-routes {
+            from {
+                route-filter 10.128.0.0/16 orlonger;
+            }
+            then accept;
+        }
+        term no-default {
+            from {
+                route-filter 0.0.0.0/0 exact;
+            }
+            then reject;
+        }
+        term rest {
+            then accept;
+        }
+    }
+    policy-statement cust-out {
+        term ours {
+            from {
+                prefix-list corp;
+            }
+            then accept;
+        }
+        term deny {
+            then reject;
+        }
+    }
+    policy-statement announce-statics {
+        term t { then accept; }
+    }
+}
+firewall {
+    family inet {
+        filter edge-in {
+            term no-spoof {
+                from {
+                    source-address {
+                        10.0.0.0/8;
+                    }
+                }
+                then discard;
+            }
+            term no-telnet {
+                from {
+                    protocol tcp;
+                    destination-port 23;
+                }
+                then discard;
+            }
+            term ok {
+                then accept;
+            }
+        }
+    }
+}
+`
+
+func parseSample(t *testing.T) *devmodel.Device {
+	t.Helper()
+	res, err := Parse("j1.conf", strings.NewReader(sampleJunos))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range res.Diagnostics {
+		t.Logf("diag: %s", d)
+	}
+	return res.Device
+}
+
+func TestHostnameAndInterfaces(t *testing.T) {
+	d := parseSample(t)
+	if d.Hostname != "j1" {
+		t.Errorf("hostname = %q", d.Hostname)
+	}
+	if len(d.Interfaces) != 3 {
+		t.Fatalf("interfaces = %d, want 3", len(d.Interfaces))
+	}
+	ge0 := d.Interface("ge-0/0/0.0")
+	if ge0 == nil {
+		t.Fatal("ge-0/0/0.0 missing")
+	}
+	p, ok := ge0.PrimaryPrefix()
+	if !ok || p.String() != "10.0.0.0/30" {
+		t.Errorf("prefix = %v", p)
+	}
+	if ge0.Description != "to core" {
+		t.Errorf("description = %q", ge0.Description)
+	}
+	edge := d.Interface("ge-0/0/1.0")
+	if edge == nil || edge.AccessGroupIn != "edge-in" {
+		t.Errorf("filter binding missing: %+v", edge)
+	}
+	lo := d.Interface("lo0.0")
+	if lo == nil || lo.Addrs[0].Addr.String() != "10.9.9.1" {
+		t.Errorf("loopback wrong: %+v", lo)
+	}
+}
+
+func TestStaticRoute(t *testing.T) {
+	d := parseSample(t)
+	if len(d.Statics) != 1 {
+		t.Fatalf("statics = %d", len(d.Statics))
+	}
+	sr := d.Statics[0]
+	if sr.Prefix.String() != "192.168.50.0/24" || !sr.HasHop || sr.NextHop.String() != "10.0.0.2" {
+		t.Errorf("static = %+v", sr)
+	}
+}
+
+func TestOSPFCoverage(t *testing.T) {
+	d := parseSample(t)
+	ospf := d.Process("ospf 1")
+	if ospf == nil {
+		t.Fatal("ospf missing")
+	}
+	if !ospf.CoversAddr(netaddr.MustParseAddr("10.0.0.1")) {
+		t.Error("ospf should cover ge-0/0/0.0")
+	}
+	if ospf.CoversAddr(netaddr.MustParseAddr("172.16.0.1")) {
+		t.Error("ospf should not cover the edge interface")
+	}
+	if !ospf.IsPassive("lo0.0") {
+		t.Error("lo0.0 should be passive")
+	}
+	if len(ospf.Redistributions) == 0 {
+		t.Error("export policy should produce redistributions")
+	}
+}
+
+func TestBGPNeighbor(t *testing.T) {
+	d := parseSample(t)
+	bgp := d.Process("bgp 65001")
+	if bgp == nil {
+		t.Fatal("bgp missing")
+	}
+	if bgp.ASN != 65001 {
+		t.Errorf("ASN = %d", bgp.ASN)
+	}
+	if len(bgp.Neighbors) != 1 {
+		t.Fatalf("neighbors = %d", len(bgp.Neighbors))
+	}
+	nb := bgp.Neighbors[0]
+	if nb.RemoteAS != 701 || nb.RouteMapIn != "cust-in" || nb.RouteMapOut != "cust-out" {
+		t.Errorf("neighbor = %+v", nb)
+	}
+}
+
+func TestPolicyStatementConversion(t *testing.T) {
+	d := parseSample(t)
+	rm := d.RouteMaps["cust-in"]
+	if rm == nil {
+		t.Fatal("cust-in missing")
+	}
+	if len(rm.Entries) != 3 {
+		t.Fatalf("entries = %d", len(rm.Entries))
+	}
+	// Term 1: orlonger route-filter accepted via a synthetic prefix-list.
+	e0 := rm.Entries[0]
+	if e0.Action != devmodel.ActionPermit || len(e0.MatchPrefixLists) != 1 {
+		t.Errorf("entry 0 = %+v", e0)
+	}
+	pl := d.PrefixLists[e0.MatchPrefixLists[0]]
+	if pl == nil {
+		t.Fatal("synthetic prefix-list missing")
+	}
+	if !pl.Permits(netaddr.MustParsePrefix("10.128.7.0/24")) {
+		t.Error("orlonger should match longer prefixes")
+	}
+	if pl.Permits(netaddr.MustParsePrefix("10.129.0.0/16")) {
+		t.Error("outside the filter range")
+	}
+	// Term 2: exact default route rejected.
+	if rm.Entries[1].Action != devmodel.ActionDeny {
+		t.Errorf("entry 1 should deny: %+v", rm.Entries[1])
+	}
+	// cust-out references the named prefix-list.
+	out := d.RouteMaps["cust-out"]
+	if out == nil || out.Entries[0].MatchPrefixLists[0] != "corp" {
+		t.Errorf("cust-out = %+v", out)
+	}
+	if d.PrefixLists["corp"] == nil {
+		t.Error("prefix-list corp missing")
+	}
+}
+
+func TestFirewallFilter(t *testing.T) {
+	d := parseSample(t)
+	acl := d.AccessLists["edge-in"]
+	if acl == nil {
+		t.Fatal("edge-in missing")
+	}
+	if len(acl.Clauses) != 3 {
+		t.Fatalf("clauses = %d", len(acl.Clauses))
+	}
+	spoof := acl.Clauses[0]
+	if spoof.Action != devmodel.ActionDeny || spoof.SrcAny {
+		t.Errorf("no-spoof clause = %+v", spoof)
+	}
+	if !spoof.MatchesAddr(netaddr.MustParseAddr("10.5.5.5")) {
+		t.Error("no-spoof should match internal sources")
+	}
+	telnet := acl.Clauses[1]
+	if telnet.Proto != "tcp" || telnet.DstPorts[0] != "23" {
+		t.Errorf("telnet clause = %+v", telnet)
+	}
+	if acl.Clauses[2].Action != devmodel.ActionPermit {
+		t.Error("final accept wrong")
+	}
+}
+
+func TestLooksLikeJunOS(t *testing.T) {
+	if !LooksLikeJunOS(sampleJunos) {
+		t.Error("sample should be detected as JunOS")
+	}
+	ios := "hostname r1\ninterface Ethernet0\n ip address 10.0.0.1 255.255.255.0\n"
+	if LooksLikeJunOS(ios) {
+		t.Error("IOS config misdetected")
+	}
+}
+
+func TestSyntaxErrors(t *testing.T) {
+	cases := []string{
+		"interfaces { ge-0/0/0 { }", // unbalanced
+		"interfaces { } }",          // extra close
+		"system { host-name x }",    // missing ';'
+		"{ }",                       // block without name
+	}
+	for _, src := range cases {
+		if _, err := Parse("bad", strings.NewReader(src)); err == nil {
+			t.Errorf("expected parse error for %q", src)
+		}
+	}
+}
+
+func TestCommentsAndQuotes(t *testing.T) {
+	src := `
+# line comment
+system {
+    host-name "my router"; // trailing comment
+}
+/* block
+   comment */
+`
+	res, err := Parse("t", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Device.Hostname != "my router" {
+		t.Errorf("hostname = %q", res.Device.Hostname)
+	}
+}
+
+// The headline capability: a mixed-vendor network — a JunOS router and an
+// IOS router forming one OSPF instance and an IBGP session — analyzed by
+// the same pipeline.
+func TestMixedVendorNetwork(t *testing.T) {
+	junos := `
+system { host-name jrtr; }
+interfaces {
+    ge-0/0/0 { unit 0 { family inet { address 10.0.0.1/30; } } }
+    lo0 { unit 0 { family inet { address 10.9.9.1/32; } } }
+}
+routing-options { autonomous-system 65001; }
+protocols {
+    ospf { area 0.0.0.0 { interface ge-0/0/0.0; interface lo0.0; } }
+    bgp {
+        group ibgp {
+            type internal;
+            neighbor 10.9.9.2;
+        }
+    }
+}
+`
+	ios := `hostname crtr
+interface Serial0
+ ip address 10.0.0.2 255.255.255.252
+interface Loopback0
+ ip address 10.9.9.2 255.255.255.255
+router ospf 1
+ network 10.0.0.0 0.0.0.3 area 0
+ network 10.9.9.2 0.0.0.0 area 0
+router bgp 65001
+ neighbor 10.9.9.1 remote-as 65001
+`
+	jres, err := Parse("jrtr", strings.NewReader(junos))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ires, err := ciscoparse.Parse("crtr", strings.NewReader(ios))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := &devmodel.Network{Name: "mixed", Devices: []*devmodel.Device{jres.Device, ires.Device}}
+	m := instance.Compute(procgraph.Build(n, topology.Build(n)))
+
+	// One OSPF instance spanning both vendors, one IBGP instance.
+	var ospfSize, bgpSize int
+	for _, in := range m.Instances {
+		switch in.Protocol {
+		case devmodel.ProtoOSPF:
+			ospfSize = in.Size()
+		case devmodel.ProtoBGP:
+			bgpSize = in.Size()
+		}
+	}
+	if ospfSize != 2 {
+		for _, in := range m.Instances {
+			t.Logf("%s size=%d", in.Label(), in.Size())
+		}
+		t.Errorf("cross-vendor OSPF instance size = %d, want 2", ospfSize)
+	}
+	if bgpSize != 2 {
+		t.Errorf("cross-vendor IBGP instance size = %d, want 2", bgpSize)
+	}
+}
+
+func TestStatementCountForFigure4(t *testing.T) {
+	d := parseSample(t)
+	if d.RawLines < 20 {
+		t.Errorf("RawLines = %d, should count leaf statements", d.RawLines)
+	}
+}

@@ -1,0 +1,78 @@
+package junosparse
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// The JunOS front end must degrade gracefully on corrupted input: either a
+// clean parse error or a partial device, never a panic.
+func TestJunosRobustToCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	base := sampleJunos
+	mutations := []func(string) string{
+		func(s string) string {
+			if len(s) == 0 {
+				return s
+			}
+			return s[:rng.Intn(len(s))]
+		},
+		func(s string) string { return strings.Replace(s, "{", "", 1) },
+		func(s string) string { return strings.Replace(s, "}", "", 1) },
+		func(s string) string { return strings.Replace(s, ";", "", 1) },
+		func(s string) string {
+			if len(s) == 0 {
+				return s
+			}
+			b := []byte(s)
+			b[rng.Intn(len(b))] = byte(rng.Intn(256))
+			return string(b)
+		},
+		func(s string) string { return s + "}" },
+		func(s string) string { return "{" + s },
+	}
+	for i := 0; i < 2000; i++ {
+		src := base
+		for n := rng.Intn(3) + 1; n > 0; n-- {
+			src = mutations[rng.Intn(len(mutations))](src)
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on mutated input (iteration %d): %v", i, r)
+				}
+			}()
+			_, _ = Parse("fuzz", strings.NewReader(src)) // error is acceptable, panic is not
+		}()
+	}
+}
+
+func TestLexerEdgeCases(t *testing.T) {
+	cases := []string{
+		"",
+		"   \n\t\n",
+		"# only a comment\n",
+		"/* unterminated",
+		`system { host-name "unterminated`,
+		"a;;;;b;",
+		strings.Repeat("x ", 100000) + ";",
+	}
+	for _, src := range cases {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on %q: %v", src[:min(len(src), 40)], r)
+				}
+			}()
+			_, _ = Parse("edge", strings.NewReader(src))
+		}()
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

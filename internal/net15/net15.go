@@ -1,0 +1,208 @@
+// Package net15 generates a configurable analogue of the paper's second
+// case study network (Section 6.2, Figure 12, Table 2): an enterprise of
+// two sites, each with its own OSPF instance and border BGP instance
+// peering with a different public AS, where ingress and egress
+// distribute-lists restrict reachability so tightly that
+//
+//   - hosts have no route to the Internet at large (no default route is
+//     permitted in),
+//   - only the blocks named by policies A1/A3/A5 are admitted,
+//   - and the two sites cannot reach each other at all (the egress policy
+//     of one site and the ingress policy of the other intersect in the
+//     empty set: A2 ∩ A5 = A2 ∩ A3 = A4 ∩ A1 = ∅).
+package net15
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"routinglens/internal/ciscoparse"
+	"routinglens/internal/devmodel"
+	"routinglens/internal/netaddr"
+	"routinglens/internal/simroute"
+)
+
+// Address blocks of the design, mirroring the paper's AB0..AB4.
+// The blocks are deliberately scattered across 10/8 (as in real address
+// plans) so the address-space discovery keeps them distinct.
+var (
+	// AB0 is remote corporate space reachable from both sites.
+	AB0 = netaddr.MustParsePrefix("10.128.0.0/16")
+	// AB1 is additional remote space admitted only at the left site.
+	AB1 = netaddr.MustParsePrefix("10.160.0.0/16")
+	// AB2 is the left site's own host space (announced out via A2).
+	AB2 = netaddr.MustParsePrefix("10.40.0.0/16")
+	// AB3 is additional remote space admitted only at the right site.
+	AB3 = netaddr.MustParsePrefix("10.192.0.0/16")
+	// AB4 is the right site's own host space (announced out via A4).
+	AB4 = netaddr.MustParsePrefix("10.80.0.0/16")
+)
+
+// External AS numbers (the paper anonymized these as 25286 and 12762).
+const (
+	LeftPeerAS  = 25286
+	RightPeerAS = 12762
+	LeftBGPAS   = 65201
+	RightBGPAS  = 65202
+)
+
+// Params sizes the generated network.
+type Params struct {
+	// RoutersPerSite is the number of interior OSPF routers per site
+	// (besides the border router). The paper's net15 has 79 routers total.
+	RoutersPerSite int
+	// ExtraLeftRouters adds interior routers to the left site only, for
+	// odd total router counts (2*(RoutersPerSite+1)+ExtraLeftRouters).
+	ExtraLeftRouters int
+}
+
+// Generate produces the configuration files, keyed by hostname.
+func Generate(p Params) map[string]string {
+	if p.RoutersPerSite < 1 {
+		p.RoutersPerSite = 1
+	}
+	cfgs := make(map[string]string)
+	genSite(cfgs, "l", 1, p.RoutersPerSite+p.ExtraLeftRouters, LeftBGPAS, LeftPeerAS, AB2,
+		[]netaddr.Prefix{AB0, AB1}, // A1: admitted in
+	)
+	genSite(cfgs, "r", 2, p.RoutersPerSite, RightBGPAS, RightPeerAS, AB4,
+		[]netaddr.Prefix{AB0, AB3}, // A3: admitted in
+	)
+	return cfgs
+}
+
+// genSite emits one site: a border router with EBGP + policy, a chain of
+// interior OSPF routers carrying host LANs from hostBlock, and — when the
+// site is large enough — a two-router "pod" running its own OSPF instance,
+// joined to the site by mutual redistribution. The pods give the network
+// the paper's six routing instances (Figure 12 shows six rounded boxes).
+func genSite(cfgs map[string]string, prefix string, siteNum, interior int,
+	bgpAS, peerAS uint32, hostBlock netaddr.Prefix, admitted []netaddr.Prefix) {
+
+	// Site addressing: infrastructure /30s from 10.(140+site).0.0/16,
+	// peering /30 from 192.0.2.0/24-like space per site.
+	infra := fmt.Sprintf("10.%d", 140+siteNum)
+	peerNet := fmt.Sprintf("172.%d.0", 20+siteNum)
+
+	inACL := 11 + (siteNum-1)*2  // A1 / A3
+	outACL := 12 + (siteNum-1)*2 // A2 / A4
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "hostname %s0\n", prefix)
+	fmt.Fprintf(&b, "interface Serial0\n ip address %s.1 255.255.255.252\n", peerNet)
+	// Links to interior router 1.
+	fmt.Fprintf(&b, "interface Serial1\n ip address %s.0.1 255.255.255.252\n", infra)
+	fmt.Fprintf(&b, "router ospf %d\n", siteNum)
+	fmt.Fprintf(&b, " network %s.0.0 0.0.255.255 area 0\n", infra)
+	fmt.Fprintf(&b, " redistribute bgp %d subnets\n", bgpAS)
+	fmt.Fprintf(&b, " redistribute connected subnets\n")
+	fmt.Fprintf(&b, "router bgp %d\n", bgpAS)
+	fmt.Fprintf(&b, " redistribute ospf %d route-map SITE%d-OUT\n", siteNum, siteNum)
+	fmt.Fprintf(&b, " neighbor %s.2 remote-as %d\n", peerNet, peerAS)
+	fmt.Fprintf(&b, " neighbor %s.2 distribute-list %d in\n", peerNet, inACL)
+	fmt.Fprintf(&b, " neighbor %s.2 distribute-list %d out\n", peerNet, outACL)
+	for _, p := range admitted {
+		fmt.Fprintf(&b, "access-list %d permit %s %s\n", inACL, p.Addr(), p.Mask().Invert())
+	}
+	fmt.Fprintf(&b, "access-list %d permit %s %s\n", outACL, hostBlock.Addr(), hostBlock.Mask().Invert())
+	fmt.Fprintf(&b, "access-list %d permit %s %s\n", 30+siteNum, hostBlock.Addr(), hostBlock.Mask().Invert())
+	fmt.Fprintf(&b, "route-map SITE%d-OUT permit 10\n match ip address %d\n", siteNum, 30+siteNum)
+	cfgs[prefix+"0"] = b.String()
+
+	// Carve two interior slots for the pod when the site is big enough.
+	chain := interior
+	pod := 0
+	if interior >= 6 {
+		chain = interior - 2
+		pod = 2
+	}
+
+	for i := 1; i <= chain; i++ {
+		var ib strings.Builder
+		fmt.Fprintf(&ib, "hostname %s%d\n", prefix, i)
+		// Uplink /30 toward previous router in the chain.
+		fmt.Fprintf(&ib, "interface Serial0\n ip address %s.%d.2 255.255.255.252\n", infra, i-1)
+		if i < chain {
+			fmt.Fprintf(&ib, "interface Serial1\n ip address %s.%d.1 255.255.255.252\n", infra, i)
+		}
+		// Host LAN from the site's host block.
+		lan := netaddr.PrefixFrom(netaddr.Addr(uint32(hostBlock.Addr())+uint32(i)<<8), 24)
+		fmt.Fprintf(&ib, "interface Ethernet0\n ip address %s 255.255.255.0\n", netaddr.Addr(uint32(lan.Addr())+1))
+		if pod > 0 && i == 1 {
+			// Downlink toward the pod border (pod infrastructure block).
+			fmt.Fprintf(&ib, "interface Serial2\n ip address 10.%d.0.1 255.255.255.252\n", 150+siteNum)
+			fmt.Fprintf(&ib, "router ospf %d\n", siteNum)
+			fmt.Fprintf(&ib, " network 10.%d.0.0 0.0.0.3 area 0\n", 150+siteNum)
+		}
+		fmt.Fprintf(&ib, "router ospf %d\n", siteNum)
+		fmt.Fprintf(&ib, " network %s.0.0 0.0.255.255 area 0\n", infra)
+		fmt.Fprintf(&ib, " redistribute connected subnets\n")
+		cfgs[fmt.Sprintf("%s%d", prefix, i)] = ib.String()
+	}
+
+	if pod > 0 {
+		podInfra := fmt.Sprintf("10.%d", 150+siteNum)
+		podID := siteNum + 10
+		// Pod border: runs both the site OSPF (uplink) and the pod OSPF,
+		// with mutual redistribution — a distinct routing instance.
+		var pb strings.Builder
+		fmt.Fprintf(&pb, "hostname %sp1\n", prefix)
+		fmt.Fprintf(&pb, "interface Serial0\n ip address %s.0.2 255.255.255.252\n", podInfra)
+		fmt.Fprintf(&pb, "interface Serial1\n ip address %s.1.1 255.255.255.252\n", podInfra)
+		fmt.Fprintf(&pb, "router ospf %d\n", siteNum)
+		fmt.Fprintf(&pb, " network %s.0.0 0.0.0.3 area 0\n", podInfra)
+		fmt.Fprintf(&pb, " redistribute ospf %d subnets\n", podID)
+		fmt.Fprintf(&pb, "router ospf %d\n", podID)
+		fmt.Fprintf(&pb, " network %s.1.0 0.0.0.3 area 0\n", podInfra)
+		fmt.Fprintf(&pb, " redistribute ospf %d subnets\n", siteNum)
+		fmt.Fprintf(&pb, " redistribute connected subnets\n")
+		cfgs[prefix+"p1"] = pb.String()
+
+		// Pod inner router with a host LAN from the site's block.
+		var pi strings.Builder
+		fmt.Fprintf(&pi, "hostname %sp2\n", prefix)
+		fmt.Fprintf(&pi, "interface Serial0\n ip address %s.1.2 255.255.255.252\n", podInfra)
+		lan := netaddr.PrefixFrom(netaddr.Addr(uint32(hostBlock.Addr())+250<<8), 24)
+		fmt.Fprintf(&pi, "interface Ethernet0\n ip address %s 255.255.255.0\n", netaddr.Addr(uint32(lan.Addr())+1))
+		fmt.Fprintf(&pi, "router ospf %d\n", podID)
+		fmt.Fprintf(&pi, " network %s.1.0 0.0.0.3 area 0\n", podInfra)
+		fmt.Fprintf(&pi, " redistribute connected subnets\n")
+		cfgs[fmt.Sprintf("%sp2", prefix)] = pi.String()
+	}
+}
+
+// Build parses the generated configurations into a Network.
+func Build(p Params) (*devmodel.Network, error) {
+	cfgs := Generate(p)
+	n := &devmodel.Network{Name: "net15"}
+	names := make([]string, 0, len(cfgs))
+	for name := range cfgs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		res, err := ciscoparse.Parse(name+".cfg", strings.NewReader(cfgs[name]))
+		if err != nil {
+			return nil, fmt.Errorf("net15: parsing %s: %w", name, err)
+		}
+		n.Devices = append(n.Devices, res.Device)
+	}
+	return n, nil
+}
+
+// ExternalRoutes returns the route injections used in the paper's analysis:
+// each public peer announces a default route, the admitted corporate
+// blocks, and some Internet space that the policies must reject.
+func ExternalRoutes() []simroute.ExternalRoute {
+	return []simroute.ExternalRoute{
+		{Prefix: netaddr.MustParsePrefix("0.0.0.0/0"), AS: LeftPeerAS},
+		{Prefix: netaddr.MustParsePrefix("0.0.0.0/0"), AS: RightPeerAS},
+		{Prefix: AB0, AS: LeftPeerAS},
+		{Prefix: AB1, AS: LeftPeerAS},
+		{Prefix: AB0, AS: RightPeerAS},
+		{Prefix: AB3, AS: RightPeerAS},
+		{Prefix: netaddr.MustParsePrefix("198.51.100.0/24"), AS: LeftPeerAS},
+		{Prefix: netaddr.MustParsePrefix("203.0.113.0/24"), AS: RightPeerAS},
+	}
+}

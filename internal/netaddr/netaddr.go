@@ -1,0 +1,260 @@
+// Package netaddr provides IPv4 address, mask, and prefix arithmetic for
+// static analysis of router configurations.
+//
+// The package is written from scratch (rather than wrapping net/netip)
+// because router configuration languages use two mask conventions that the
+// standard library does not model directly: dotted subnet masks
+// (255.255.255.252) and Cisco wildcard (inverse) masks (0.0.0.3), both of
+// which may in principle be non-contiguous. All types are small value types
+// that are comparable and usable as map keys.
+package netaddr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Addr is an IPv4 address stored host byte order (big endian in the uint32).
+type Addr uint32
+
+// ParseAddr parses dotted-quad notation ("192.0.2.1").
+func ParseAddr(s string) (Addr, error) {
+	var parts [4]uint32
+	rest := s
+	for i := 0; i < 4; i++ {
+		var tok string
+		if i == 3 {
+			tok = rest
+		} else {
+			dot := strings.IndexByte(rest, '.')
+			if dot < 0 {
+				return 0, fmt.Errorf("netaddr: invalid IPv4 address %q", s)
+			}
+			tok, rest = rest[:dot], rest[dot+1:]
+		}
+		if tok == "" || len(tok) > 3 {
+			return 0, fmt.Errorf("netaddr: invalid IPv4 address %q", s)
+		}
+		n, err := strconv.ParseUint(tok, 10, 32)
+		if err != nil || n > 255 {
+			return 0, fmt.Errorf("netaddr: invalid IPv4 address %q", s)
+		}
+		parts[i] = uint32(n)
+	}
+	return Addr(parts[0]<<24 | parts[1]<<16 | parts[2]<<8 | parts[3]), nil
+}
+
+// MustParseAddr is ParseAddr that panics on error; for tests and literals.
+func MustParseAddr(s string) Addr {
+	a, err := ParseAddr(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// String renders the address in dotted-quad notation.
+func (a Addr) String() string {
+	var b [15]byte
+	out := strconv.AppendUint(b[:0], uint64(a>>24), 10)
+	out = append(out, '.')
+	out = strconv.AppendUint(out, uint64(a>>16&0xff), 10)
+	out = append(out, '.')
+	out = strconv.AppendUint(out, uint64(a>>8&0xff), 10)
+	out = append(out, '.')
+	out = strconv.AppendUint(out, uint64(a&0xff), 10)
+	return string(out)
+}
+
+// Octets returns the four octets of the address.
+func (a Addr) Octets() [4]byte {
+	return [4]byte{byte(a >> 24), byte(a >> 16), byte(a >> 8), byte(a)}
+}
+
+// Mask is an IPv4 netmask or wildcard mask. Masks need not be contiguous,
+// although contiguous masks are the overwhelmingly common case.
+type Mask uint32
+
+// MaskFromBits returns the contiguous netmask with the given prefix length.
+// It panics if bits is outside [0,32].
+func MaskFromBits(bits int) Mask {
+	if bits < 0 || bits > 32 {
+		panic(fmt.Sprintf("netaddr: prefix length %d out of range", bits))
+	}
+	if bits == 0 {
+		return 0
+	}
+	return Mask(^uint32(0) << (32 - bits))
+}
+
+// ParseMask parses a dotted-quad netmask ("255.255.255.0").
+func ParseMask(s string) (Mask, error) {
+	a, err := ParseAddr(s)
+	if err != nil {
+		return 0, err
+	}
+	return Mask(a), nil
+}
+
+// Bits returns the prefix length of a contiguous mask and true, or (0,false)
+// for a non-contiguous mask.
+func (m Mask) Bits() (int, bool) {
+	u := uint32(m)
+	// A contiguous mask is all-ones followed by all-zeros.
+	ones := 0
+	for u&0x80000000 != 0 {
+		ones++
+		u <<= 1
+	}
+	if u != 0 {
+		return 0, false
+	}
+	return ones, true
+}
+
+// Contiguous reports whether the mask is a run of ones followed by zeros.
+func (m Mask) Contiguous() bool {
+	_, ok := m.Bits()
+	return ok
+}
+
+// Invert returns the bitwise complement: converts a netmask to a Cisco
+// wildcard mask and vice versa (255.255.255.252 <-> 0.0.0.3).
+func (m Mask) Invert() Mask { return ^m }
+
+// String renders the mask in dotted-quad notation.
+func (m Mask) String() string { return Addr(m).String() }
+
+// Prefix is an IPv4 subnet: a network address plus a prefix length.
+// The network address is always stored canonically masked.
+type Prefix struct {
+	addr Addr
+	bits uint8
+}
+
+// PrefixFrom builds a Prefix, masking addr down to the network address.
+func PrefixFrom(addr Addr, bits int) Prefix {
+	m := MaskFromBits(bits)
+	return Prefix{addr: addr & Addr(m), bits: uint8(bits)}
+}
+
+// PrefixFromMask builds a Prefix from an address and a contiguous netmask.
+// It returns an error if the mask is non-contiguous.
+func PrefixFromMask(addr Addr, mask Mask) (Prefix, error) {
+	bits, ok := mask.Bits()
+	if !ok {
+		return Prefix{}, fmt.Errorf("netaddr: non-contiguous mask %s", mask)
+	}
+	return PrefixFrom(addr, bits), nil
+}
+
+// ParsePrefix parses "a.b.c.d/len" notation.
+func ParsePrefix(s string) (Prefix, error) {
+	slash := strings.IndexByte(s, '/')
+	if slash < 0 {
+		return Prefix{}, fmt.Errorf("netaddr: missing '/' in prefix %q", s)
+	}
+	a, err := ParseAddr(s[:slash])
+	if err != nil {
+		return Prefix{}, err
+	}
+	bits, err := strconv.Atoi(s[slash+1:])
+	if err != nil || bits < 0 || bits > 32 {
+		return Prefix{}, fmt.Errorf("netaddr: invalid prefix length in %q", s)
+	}
+	return PrefixFrom(a, bits), nil
+}
+
+// MustParsePrefix is ParsePrefix that panics on error.
+func MustParsePrefix(s string) Prefix {
+	p, err := ParsePrefix(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Addr returns the (masked) network address.
+func (p Prefix) Addr() Addr { return p.addr }
+
+// Bits returns the prefix length.
+func (p Prefix) Bits() int { return int(p.bits) }
+
+// Mask returns the contiguous netmask of the prefix.
+func (p Prefix) Mask() Mask { return MaskFromBits(int(p.bits)) }
+
+// Contains reports whether the prefix covers the address.
+func (p Prefix) Contains(a Addr) bool {
+	return a&Addr(p.Mask()) == p.addr
+}
+
+// ContainsPrefix reports whether p covers all of q (p is a supernet of, or
+// equal to, q).
+func (p Prefix) ContainsPrefix(q Prefix) bool {
+	return p.bits <= q.bits && p.Contains(q.addr)
+}
+
+// Overlaps reports whether the two prefixes share any address.
+func (p Prefix) Overlaps(q Prefix) bool {
+	return p.ContainsPrefix(q) || q.ContainsPrefix(p)
+}
+
+// NumAddrs returns the number of addresses covered by the prefix.
+func (p Prefix) NumAddrs() uint64 {
+	return uint64(1) << (32 - p.bits)
+}
+
+// First returns the first (network) address in the prefix.
+func (p Prefix) First() Addr { return p.addr }
+
+// Last returns the last (broadcast) address in the prefix.
+func (p Prefix) Last() Addr {
+	return p.addr | ^Addr(MaskFromBits(int(p.bits)))
+}
+
+// Supernet returns the prefix one bit shorter that contains p. For a /0 it
+// returns p unchanged.
+func (p Prefix) Supernet() Prefix {
+	if p.bits == 0 {
+		return p
+	}
+	return PrefixFrom(p.addr, int(p.bits)-1)
+}
+
+// IsZero reports whether p is the zero Prefix (0.0.0.0/0 compares false:
+// use p == Prefix{} semantics only through IsZero for clarity). The zero
+// value of Prefix happens to equal 0.0.0.0/0; callers that need "unset"
+// should track it separately.
+func (p Prefix) IsZero() bool { return p == Prefix{} }
+
+// String renders "a.b.c.d/len".
+func (p Prefix) String() string {
+	return p.addr.String() + "/" + strconv.Itoa(int(p.bits))
+}
+
+// Less orders prefixes by network address then by prefix length (shorter
+// first). It provides a deterministic order for reports.
+func (p Prefix) Less(q Prefix) bool {
+	if p.addr != q.addr {
+		return p.addr < q.addr
+	}
+	return p.bits < q.bits
+}
+
+// WildcardMatch reports whether addr matches base under a Cisco wildcard
+// mask: bits set in the wildcard are "don't care".
+func WildcardMatch(base, addr Addr, wildcard Mask) bool {
+	return (base^addr)&^Addr(wildcard) == 0
+}
+
+// WildcardToPrefix converts an (address, wildcard) pair with a contiguous
+// wildcard into the equivalent Prefix. The second return is false if the
+// wildcard is not the complement of a contiguous netmask.
+func WildcardToPrefix(base Addr, wildcard Mask) (Prefix, bool) {
+	bits, ok := wildcard.Invert().Bits()
+	if !ok {
+		return Prefix{}, false
+	}
+	return PrefixFrom(base, bits), true
+}

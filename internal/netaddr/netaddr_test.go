@@ -1,0 +1,232 @@
+package netaddr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseAddr(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Addr
+		ok   bool
+	}{
+		{"0.0.0.0", 0, true},
+		{"255.255.255.255", 0xffffffff, true},
+		{"192.0.2.1", 0xc0000201, true},
+		{"10.1.2.3", 0x0a010203, true},
+		{"256.0.0.1", 0, false},
+		{"1.2.3", 0, false},
+		{"1.2.3.4.5", 0, false},
+		{"", 0, false},
+		{"a.b.c.d", 0, false},
+		{"1..2.3", 0, false},
+		{"01.2.3.4", 0x01020304, true}, // leading zero tolerated like IOS
+		{"1.2.3.1000", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParseAddr(c.in)
+		if (err == nil) != c.ok {
+			t.Errorf("ParseAddr(%q) err=%v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && got != c.want {
+			t.Errorf("ParseAddr(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestAddrStringRoundTrip(t *testing.T) {
+	f := func(u uint32) bool {
+		a := Addr(u)
+		back, err := ParseAddr(a.String())
+		return err == nil && back == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaskBits(t *testing.T) {
+	for bits := 0; bits <= 32; bits++ {
+		m := MaskFromBits(bits)
+		got, ok := m.Bits()
+		if !ok || got != bits {
+			t.Errorf("MaskFromBits(%d).Bits() = %d,%v", bits, got, ok)
+		}
+	}
+	if _, ok := Mask(0xff00ff00).Bits(); ok {
+		t.Error("non-contiguous mask reported contiguous")
+	}
+	if Mask(0xff00ff00).Contiguous() {
+		t.Error("Contiguous(0xff00ff00) = true")
+	}
+}
+
+func TestMaskInvert(t *testing.T) {
+	m := MustParseAddr("255.255.255.252")
+	w := Mask(m).Invert()
+	if w.String() != "0.0.0.3" {
+		t.Errorf("Invert(/30 mask) = %s, want 0.0.0.3", w)
+	}
+	if w.Invert() != Mask(m) {
+		t.Error("double invert is not identity")
+	}
+}
+
+func TestPrefixBasics(t *testing.T) {
+	p := MustParsePrefix("10.1.2.200/24")
+	if p.Addr().String() != "10.1.2.0" {
+		t.Errorf("prefix not canonicalized: %s", p.Addr())
+	}
+	if p.Bits() != 24 {
+		t.Errorf("Bits = %d", p.Bits())
+	}
+	if p.String() != "10.1.2.0/24" {
+		t.Errorf("String = %s", p)
+	}
+	if !p.Contains(MustParseAddr("10.1.2.7")) {
+		t.Error("Contains(10.1.2.7) = false")
+	}
+	if p.Contains(MustParseAddr("10.1.3.7")) {
+		t.Error("Contains(10.1.3.7) = true")
+	}
+	if p.NumAddrs() != 256 {
+		t.Errorf("NumAddrs = %d", p.NumAddrs())
+	}
+	if p.Last().String() != "10.1.2.255" {
+		t.Errorf("Last = %s", p.Last())
+	}
+}
+
+func TestPrefixContainsPrefix(t *testing.T) {
+	outer := MustParsePrefix("10.0.0.0/8")
+	inner := MustParsePrefix("10.5.0.0/16")
+	other := MustParsePrefix("11.0.0.0/8")
+	if !outer.ContainsPrefix(inner) {
+		t.Error("10/8 should contain 10.5/16")
+	}
+	if inner.ContainsPrefix(outer) {
+		t.Error("10.5/16 should not contain 10/8")
+	}
+	if !outer.ContainsPrefix(outer) {
+		t.Error("prefix should contain itself")
+	}
+	if outer.ContainsPrefix(other) || outer.Overlaps(other) {
+		t.Error("10/8 should not contain or overlap 11/8")
+	}
+	if !outer.Overlaps(inner) || !inner.Overlaps(outer) {
+		t.Error("Overlaps should be symmetric for nested prefixes")
+	}
+}
+
+func TestPrefixFromMask(t *testing.T) {
+	p, err := PrefixFromMask(MustParseAddr("66.253.32.85"), Mask(MustParseAddr("255.255.255.252")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.String() != "66.253.32.84/30" {
+		t.Errorf("got %s", p)
+	}
+	if _, err := PrefixFromMask(0, Mask(0xff00ff00)); err == nil {
+		t.Error("expected error for non-contiguous mask")
+	}
+}
+
+func TestSupernet(t *testing.T) {
+	p := MustParsePrefix("10.1.3.0/24")
+	s := p.Supernet()
+	if s.String() != "10.1.2.0/23" {
+		t.Errorf("Supernet = %s", s)
+	}
+	zero := MustParsePrefix("0.0.0.0/0")
+	if zero.Supernet() != zero {
+		t.Error("Supernet of /0 should be itself")
+	}
+}
+
+func TestWildcardMatch(t *testing.T) {
+	base := MustParseAddr("66.251.75.128")
+	wc := Mask(MustParseAddr("0.0.0.127"))
+	if !WildcardMatch(base, MustParseAddr("66.251.75.144"), wc) {
+		t.Error("should match within /25 wildcard")
+	}
+	if WildcardMatch(base, MustParseAddr("66.251.76.1"), wc) {
+		t.Error("should not match outside wildcard")
+	}
+}
+
+func TestWildcardToPrefix(t *testing.T) {
+	p, ok := WildcardToPrefix(MustParseAddr("66.253.32.84"), Mask(MustParseAddr("0.0.0.3")))
+	if !ok || p.String() != "66.253.32.84/30" {
+		t.Errorf("got %v %v", p, ok)
+	}
+	if _, ok := WildcardToPrefix(0, Mask(0x00ff00ff)); ok {
+		t.Error("non-contiguous wildcard should fail")
+	}
+}
+
+// Property: for random addresses and prefix lengths, the canonical prefix
+// contains the original address, and every contained address maps back to
+// the same prefix.
+func TestPrefixContainmentProperty(t *testing.T) {
+	f := func(u uint32, b uint8) bool {
+		bits := int(b % 33)
+		a := Addr(u)
+		p := PrefixFrom(a, bits)
+		if !p.Contains(a) {
+			return false
+		}
+		return PrefixFrom(p.Last(), bits) == p && PrefixFrom(p.First(), bits) == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Supernet always contains its argument and has one fewer bit.
+func TestSupernetProperty(t *testing.T) {
+	f := func(u uint32, b uint8) bool {
+		bits := 1 + int(b%32)
+		p := PrefixFrom(Addr(u), bits)
+		s := p.Supernet()
+		return s.Bits() == bits-1 && s.ContainsPrefix(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: prefix string round-trips.
+func TestPrefixStringRoundTrip(t *testing.T) {
+	f := func(u uint32, b uint8) bool {
+		p := PrefixFrom(Addr(u), int(b%33))
+		q, err := ParsePrefix(p.String())
+		return err == nil && q == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPrefixLess(t *testing.T) {
+	a := MustParsePrefix("10.0.0.0/8")
+	b := MustParsePrefix("10.0.0.0/16")
+	c := MustParsePrefix("11.0.0.0/8")
+	if !a.Less(b) || b.Less(a) {
+		t.Error("shorter prefix should sort first at same address")
+	}
+	if !a.Less(c) || c.Less(a) {
+		t.Error("lower address should sort first")
+	}
+	if a.Less(a) {
+		t.Error("Less must be irreflexive")
+	}
+}
+
+func TestOctets(t *testing.T) {
+	o := MustParseAddr("1.2.3.4").Octets()
+	if o != [4]byte{1, 2, 3, 4} {
+		t.Errorf("Octets = %v", o)
+	}
+}

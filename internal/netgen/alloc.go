@@ -1,0 +1,130 @@
+package netgen
+
+import (
+	"fmt"
+
+	"routinglens/internal/netaddr"
+)
+
+// alloc hands out non-overlapping subnets within a network's address plan.
+// Each generated network gets its own allocator; addresses may repeat
+// across networks (each network is an independent corpus directory).
+type alloc struct {
+	// p2p allocates /30s sequentially from a /10.
+	p2pNext uint32
+	p2pEnd  uint32
+	// lan allocates /24s from a /10, leaving periodic gaps as real
+	// address plans do (reserved growth space). The gaps are what make
+	// the paper's two-low-bit address join strictly stronger than plain
+	// buddy merging (ablation AB3).
+	lanNext  uint32
+	lanEnd   uint32
+	lanCount int
+	// ext allocates /30s for external peering from a distinct block, so
+	// external-facing and internal-facing addresses live in different
+	// blocks (the property the paper's missing-router heuristic relies
+	// on).
+	extNext uint32
+	extEnd  uint32
+	// lo allocates /32 loopbacks.
+	loNext uint32
+	// misc allocates /30s for access interfaces (BRI, Dialer, ...) from a
+	// block no routing process covers — outside 10/8, so even classful
+	// "network 10.0.0.0" statements never cover them.
+	miscNext uint32
+	// dmz allocates /24s for shared multipoint peering LANs.
+	dmzNext uint32
+}
+
+// newAlloc builds the standard plan:
+// internal /30s from 10.192.0.0/10, LANs from 10.0.0.0/10,
+// external peering /30s from 172.16.0.0/12, loopbacks from 10.127.0.0/16.
+func newAlloc() *alloc {
+	return &alloc{
+		p2pNext: u32("10.192.0.0"), p2pEnd: u32("10.255.255.252"),
+		lanNext: u32("10.0.0.0"), lanEnd: u32("10.63.255.0"),
+		extNext: u32("172.16.0.0"), extEnd: u32("172.31.255.252"),
+		loNext:   u32("10.127.0.1"),
+		miscNext: u32("192.168.0.0"),
+		dmzNext:  u32("172.31.0.0"),
+	}
+}
+
+// dmz returns the router-side and peer-side addresses of a fresh shared
+// /24 peering LAN (a "DMZ" in the paper's Section 5.2 terminology), plus
+// its prefix.
+func (a *alloc) dmz() (inside, outside netaddr.Addr, p netaddr.Prefix) {
+	base := a.dmzNext
+	a.dmzNext += 256
+	return netaddr.Addr(base + 1), netaddr.Addr(base + 2), netaddr.PrefixFrom(netaddr.Addr(base), 24)
+}
+
+// misc returns the router-side address of a fresh access-interface /30.
+func (a *alloc) misc() netaddr.Addr {
+	base := a.miscNext
+	a.miscNext += 4
+	return netaddr.Addr(base + 1)
+}
+
+func u32(s string) uint32 { return uint32(netaddr.MustParseAddr(s)) }
+
+// netaddrFrom parses a literal address; for generator constants.
+func netaddrFrom(s string) netaddr.Addr { return netaddr.MustParseAddr(s) }
+
+// addrOf converts a raw uint32 to an address.
+func addrOf(u uint32) netaddr.Addr { return netaddr.Addr(u) }
+
+// p2p returns the two host addresses and the prefix of a fresh internal
+// /30.
+func (a *alloc) p2p() (x, y netaddr.Addr, p netaddr.Prefix) {
+	if a.p2pNext > a.p2pEnd {
+		panic("netgen: internal /30 space exhausted")
+	}
+	base := a.p2pNext
+	a.p2pNext += 4
+	return netaddr.Addr(base + 1), netaddr.Addr(base + 2), netaddr.PrefixFrom(netaddr.Addr(base), 30)
+}
+
+// ext returns the inside and outside addresses of a fresh external-peering
+// /30.
+func (a *alloc) ext() (inside, outside netaddr.Addr, p netaddr.Prefix) {
+	if a.extNext > a.extEnd {
+		panic("netgen: external /30 space exhausted")
+	}
+	base := a.extNext
+	a.extNext += 4
+	return netaddr.Addr(base + 1), netaddr.Addr(base + 2), netaddr.PrefixFrom(netaddr.Addr(base), 30)
+}
+
+// lan returns the router address and prefix of a fresh /24 LAN. The plan
+// reserves the adjacent /24 of every site for growth, so exactly half of
+// each covering block is in use — the situation the paper's "at least half
+// the addresses used" join rule is designed for.
+func (a *alloc) lan() (router netaddr.Addr, p netaddr.Prefix) {
+	if a.lanNext > a.lanEnd {
+		panic("netgen: LAN space exhausted")
+	}
+	base := a.lanNext
+	a.lanNext += 512 // the next /24 is reserved growth space
+	a.lanCount++
+	return netaddr.Addr(base + 1), netaddr.PrefixFrom(netaddr.Addr(base), 24)
+}
+
+// loopback returns a fresh /32.
+func (a *alloc) loopback() netaddr.Addr {
+	v := a.loNext
+	a.loNext++
+	return netaddr.Addr(v)
+}
+
+// maskP2P and maskLAN are the dotted masks used in emitted configs.
+const (
+	maskP2P = "255.255.255.252"
+	maskLAN = "255.255.255.0"
+	maskLo  = "255.255.255.255"
+)
+
+// ifaceAddr renders "ip address A MASK".
+func ifaceAddr(a netaddr.Addr, mask string) string {
+	return fmt.Sprintf(" ip address %s %s", a, mask)
+}

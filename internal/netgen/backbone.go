@@ -1,0 +1,224 @@
+package netgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"routinglens/internal/netaddr"
+)
+
+// router is the in-progress state of one generated device.
+type router struct {
+	name string
+	w    cw
+	// tail collects lines emitted after interfaces (router stanzas, ACLs).
+	tail cw
+	// emittedACLs guards one-time ACL body emission per router.
+	emittedACLs map[int]bool
+	// interface counters for unique naming.
+	nSerial, nPOS, nHssi, nATM, nFE, nGE, nEth, nTR, nLo int
+	nMisc                                                int
+}
+
+func newRouter(name string) *router {
+	r := &router{name: name}
+	r.w.hostname(name)
+	return r
+}
+
+func (r *router) config() string { return r.w.String() + r.tail.String() }
+
+func (r *router) addIface(kind string, addr netaddr.Addr, mask string, extra ...string) string {
+	var name string
+	switch kind {
+	case "Serial":
+		name = fmt.Sprintf("Serial%d/0", r.nSerial)
+		r.nSerial++
+	case "POS":
+		name = fmt.Sprintf("POS%d/0", r.nPOS)
+		r.nPOS++
+	case "Hssi":
+		name = fmt.Sprintf("Hssi%d/0", r.nHssi)
+		r.nHssi++
+	case "ATM":
+		name = fmt.Sprintf("ATM%d/0.%d", r.nATM/8, r.nATM%8+1)
+		r.nATM++
+	case "FastEthernet":
+		name = fmt.Sprintf("FastEthernet0/%d", r.nFE)
+		r.nFE++
+	case "GigabitEthernet":
+		name = fmt.Sprintf("GigabitEthernet%d/0", r.nGE)
+		r.nGE++
+	case "Ethernet":
+		name = fmt.Sprintf("Ethernet%d", r.nEth)
+		r.nEth++
+	case "TokenRing":
+		name = fmt.Sprintf("TokenRing%d", r.nTR)
+		r.nTR++
+	case "Loopback":
+		name = fmt.Sprintf("Loopback%d", r.nLo)
+		r.nLo++
+	case "BRI", "Dialer", "Async", "Multilink", "Fddi", "CBR", "Channel":
+		name = fmt.Sprintf("%s%d", kind, r.nMisc)
+		r.nMisc++
+	case "Tunnel":
+		name = fmt.Sprintf("Tunnel%d", r.nMisc)
+		r.nMisc++
+	case "Virtual":
+		name = fmt.Sprintf("Virtual-Template%d", r.nMisc+1)
+		r.nMisc++
+	case "Port":
+		name = fmt.Sprintf("Port-channel%d", r.nMisc+1)
+		r.nMisc++
+	default:
+		panic("netgen: unknown interface kind " + kind)
+	}
+	r.w.f("interface %s\n", name)
+	r.w.line(ifaceAddr(addr, mask))
+	for _, e := range extra {
+		r.w.line(" " + e)
+	}
+	return name
+}
+
+// addUnnumbered emits an interface borrowing its address from another
+// ("ip unnumbered"); the paper found 528 such interfaces among 96,487.
+func (r *router) addUnnumbered(kind, borrowFrom string) {
+	var name string
+	switch kind {
+	case "Serial":
+		name = fmt.Sprintf("Serial%d/0", r.nSerial)
+		r.nSerial++
+	default:
+		name = fmt.Sprintf("Tunnel%d", r.nSerial)
+		r.nSerial++
+	}
+	r.w.f("interface %s\n ip unnumbered %s\n", name, borrowFrom)
+}
+
+// genBackbone emits a canonical transit backbone: POS (or HSSI+ATM) core,
+// one OSPF instance for infrastructure routes, a single BGP AS with route
+// reflection, and EBGP sessions to many external peers at the edge.
+// External routes are never redistributed into the IGP.
+func genBackbone(rng *rand.Rand, name string, size int, hssiCore bool, internalShare float64) *Generated {
+	g := &Generated{Name: name, Kind: KindBackbone, Routers: size, WantFilters: true}
+	a := newAlloc()
+	as := uint32(2000 + rng.Intn(1000))
+
+	routers := make([]*router, size)
+	loops := make([]netaddr.Addr, size)
+	for i := range routers {
+		routers[i] = newRouter(fmt.Sprintf("r%d", i+1))
+		loops[i] = a.loopback()
+		routers[i].addIface("Loopback", loops[i], maskLo)
+	}
+
+	coreKind := "POS"
+	aggKind := "POS"
+	if hssiCore {
+		coreKind, aggKind = "Hssi", "ATM"
+	}
+
+	core := size / 10
+	if core < 4 {
+		core = 4
+	}
+	link := func(i, j int, kind string) {
+		x, y, _ := a.p2p()
+		routers[i].addIface(kind, x, maskP2P)
+		routers[j].addIface(kind, y, maskP2P)
+	}
+	// Core ring plus chords.
+	for i := 0; i < core; i++ {
+		link(i, (i+1)%core, coreKind)
+	}
+	for i := 0; i < core/2; i++ {
+		x, y := rng.Intn(core), rng.Intn(core)
+		if x != y {
+			link(x, y, coreKind)
+		}
+	}
+	// Every other router dual-homes into the core (or an earlier agg).
+	for i := core; i < size; i++ {
+		link(i, rng.Intn(core), aggKind)
+		link(i, rng.Intn(i), "Serial")
+	}
+
+	// Management LANs on a subset, alternating FastEthernet and
+	// GigabitEthernet.
+	for i := 0; i < size; i += 3 {
+		addr, _ := a.lan()
+		kind := "FastEthernet"
+		if i%2 == 1 {
+			kind = "GigabitEthernet"
+		}
+		routers[i].addIface(kind, addr, maskLAN)
+	}
+
+	// OSPF over all infrastructure on every router.
+	for _, r := range routers {
+		r.tail.f("router ospf 100\n")
+		r.tail.line(" network 10.192.0.0 0.63.255.255 area 0")
+		r.tail.line(" network 10.127.0.0 0.0.255.255 area 0")
+		r.tail.line(" network 10.0.0.0 0.63.255.255 area 0")
+	}
+
+	// IBGP route reflection: the first three routers reflect for everyone.
+	rrs := []int{0, 1, 2}
+	for i, r := range routers {
+		r.tail.f("router bgp %d\n", as)
+		r.tail.f(" network 10.0.0.0 mask 255.192.0.0\n")
+		if i < 3 {
+			for j := range routers {
+				if j == i {
+					continue
+				}
+				r.tail.f(" neighbor %s remote-as %d\n", loops[j], as)
+				r.tail.f(" neighbor %s update-source Loopback0\n", loops[j])
+				if j >= 3 {
+					r.tail.f(" neighbor %s route-reflector-client\n", loops[j])
+				}
+			}
+		} else {
+			for _, rr := range rrs {
+				r.tail.f(" neighbor %s remote-as %d\n", loops[rr], as)
+				r.tail.f(" neighbor %s update-source Loopback0\n", loops[rr])
+			}
+		}
+	}
+
+	// Edge routers peer with external customers and providers.
+	edgeStart := size * 3 / 4
+	edgeACL := 120
+	edgeBindings := 0
+	for i := edgeStart; i < size; i++ {
+		r := routers[i]
+		peers := 1 + rng.Intn(4)
+		for p := 0; p < peers; p++ {
+			inside, outside, _ := a.ext()
+			r.addIface("Serial", inside, maskP2P,
+				fmt.Sprintf("ip access-group %d in", edgeACL))
+			peerAS := uint32(3000 + rng.Intn(20000))
+			r.tail.f(" neighbor %s remote-as %d\n", outside, peerAS)
+			r.tail.f(" neighbor %s distribute-list 40 in\n", outside)
+			r.tail.f(" neighbor %s distribute-list 41 out\n", outside)
+			g.ExternalPeerSessions++
+			edgeBindings++
+		}
+		emitEdgeACLOnce(r, edgeACL)
+		r.tail.line("access-list 40 permit any")
+		r.tail.line("access-list 41 permit 10.0.0.0 0.63.255.255")
+	}
+
+	// Internal filtering on management LANs, sized to the network's target
+	// share (backbones keep most filtering at the edge).
+	nInternal := internalBindingsFor(edgeBindings*edgeACLClauses, internalShare)
+	spreadInternalFilters(routers[:edgeStart], a, nInternal, 160)
+	g.TargetInternalFilterPct = 100 * internalShare
+
+	g.Configs = make(map[string]string, size)
+	for _, r := range routers {
+		g.Configs[r.name] = r.config()
+	}
+	return g
+}

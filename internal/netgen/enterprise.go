@@ -1,0 +1,138 @@
+package netgen
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// genEnterprise emits a textbook enterprise (Section 3.1 of the paper's
+// taxonomy): a tree of serial links, LANs on every router, one IGP
+// instance (two when split is set, joined by mutual redistribution at the
+// border), and a single border router speaking EBGP to one provider and
+// redistributing the learned routes into the IGP.
+func genEnterprise(rng *rand.Rand, name string, size int, split bool, internalShare float64) *Generated {
+	g := &Generated{Name: name, Kind: KindEnterprise, Routers: size, WantFilters: true}
+	a := newAlloc()
+
+	routers := make([]*router, size)
+	for i := range routers {
+		routers[i] = newRouter(fmt.Sprintf("r%d", i+1))
+	}
+
+	// Tree topology: router i uplinks to a random earlier router. In split
+	// mode, the second half forms its own tree (rooted at router size/2)
+	// so the two IGP instances share no links.
+	half := size / 2
+	for i := 1; i < size; i++ {
+		var parent int
+		if split && i > half {
+			parent = half + rng.Intn(i-half)
+		} else if split && i == half {
+			continue // joined by the dedicated bridge link below
+		} else {
+			parent = rng.Intn(i)
+		}
+		x, y, _ := a.p2p()
+		routers[parent].addIface("Serial", x, maskP2P)
+		routers[i].addIface("Serial", y, maskP2P)
+	}
+
+	// LANs: every router has one or two; mostly FastEthernet with legacy
+	// Ethernet and TokenRing sprinkled in.
+	lanKind := func() string {
+		switch r := rng.Intn(10); {
+		case r < 6:
+			return "FastEthernet"
+		case r < 8:
+			return "Ethernet"
+		case r < 9:
+			return "TokenRing"
+		default:
+			return "GigabitEthernet"
+		}
+	}
+	for i, r := range routers {
+		n := 1 + rng.Intn(2)
+		for j := 0; j < n; j++ {
+			addr, _ := a.lan()
+			r.addIface(lanKind(), addr, maskLAN)
+		}
+		// Legacy access interfaces: ISDN backup and dial pools.
+		switch {
+		case i%8 == 3:
+			r.addIface("BRI", a.misc(), maskP2P)
+		case i%11 == 5:
+			r.addIface("Dialer", a.misc(), maskP2P)
+		case i%17 == 7:
+			r.addIface("Async", a.misc(), maskP2P)
+		}
+	}
+
+	// IGP: OSPF 1 everywhere, or split into OSPF 1 / OSPF 2 halves glued
+	// at router 0 by mutual redistribution over a dedicated bridge subnet
+	// (10.126.0.0/16) that only OSPF 2 covers.
+	for i, r := range routers {
+		id := 1
+		if split && i >= half {
+			id = 2
+		}
+		r.tail.f("router ospf %d\n", id)
+		r.tail.line(" network 10.192.0.0 0.63.255.255 area 0")
+		r.tail.line(" network 10.0.0.0 0.63.255.255 area 0")
+		r.tail.line(" redistribute connected subnets")
+	}
+	if split {
+		routers[0].addIface("Serial", netaddrFrom("10.126.0.1"), maskP2P)
+		routers[half].addIface("Serial", netaddrFrom("10.126.0.2"), maskP2P)
+		routers[half].tail.line("router ospf 2")
+		routers[half].tail.line(" network 10.126.0.0 0.0.255.255 area 0")
+		routers[0].tail.line("router ospf 2")
+		routers[0].tail.line(" network 10.126.0.0 0.0.255.255 area 0")
+		routers[0].tail.line(" redistribute ospf 1 subnets")
+		routers[0].tail.line("router ospf 1")
+		routers[0].tail.line(" redistribute ospf 2 subnets")
+	}
+
+	// Border router 0: EBGP to the provider, redistribute into the IGP,
+	// announce a LAN summary out.
+	border := routers[0]
+	var inside, outside = netaddrFrom("0.0.0.0"), netaddrFrom("0.0.0.0")
+	if size%2 == 1 {
+		// A shared "DMZ" Ethernet connects border and provider (the
+		// multipoint external links of Section 5.2).
+		inside, outside, _ = a.dmz()
+		border.addIface("Ethernet", inside, maskLAN, "ip access-group 110 in")
+	} else {
+		inside, outside, _ = a.ext()
+		border.addIface("Serial", inside, maskP2P, "ip access-group 110 in")
+	}
+	providerAS := uint32(3000 + rng.Intn(5000))
+	myAS := uint32(64600 + rng.Intn(400))
+	border.tail.f("router bgp %d\n", myAS)
+	border.tail.f(" redistribute ospf 1 route-map %s-OUT\n", "CORP")
+	border.tail.f(" neighbor %s remote-as %d\n", outside, providerAS)
+	border.tail.f(" neighbor %s distribute-list 20 in\n", outside)
+	border.tail.f(" neighbor %s distribute-list 21 out\n", outside)
+	border.tail.line("router ospf 1")
+	border.tail.f(" redistribute bgp %d metric 1 subnets\n", myAS)
+	border.tail.line("access-list 20 permit any")
+	border.tail.line("access-list 21 permit 10.0.0.0 0.63.255.255")
+	border.tail.line("access-list 22 permit 10.0.0.0 0.63.255.255")
+	border.tail.line("route-map CORP-OUT permit 10")
+	border.tail.line(" match ip address 22")
+	emitEdgeACLOnce(border, 110)
+	g.ExternalPeerSessions = 1
+
+	// Internal packet filters: enterprises restrict reachability inside
+	// the network (Section 5.3) — LAN filters blocking protocols and
+	// ports, sized to the network's target internal share.
+	nInternal := internalBindingsFor(edgeACLClauses, internalShare)
+	spreadInternalFilters(routers[1:], a, nInternal, 160)
+	g.TargetInternalFilterPct = 100 * internalShare
+
+	g.Configs = make(map[string]string, size)
+	for _, r := range routers {
+		g.Configs[r.name] = r.config()
+	}
+	return g
+}

@@ -1,0 +1,103 @@
+package netgen
+
+import (
+	"fmt"
+	"math"
+)
+
+// Packet-filter emission shared by the generators. Each network gets a
+// target share t of filter rules on internal links (Figure 11); the
+// generator emits its edge filters, counts the edge rules, and then places
+// just enough 2-clause internal LAN filters to land near the target:
+//
+//	internalBindings = edgeRules * t/(1-t) / 2
+//
+// For t=1 no edge filters exist and a fixed number of internal bindings is
+// used instead.
+
+// edgeACLClauses is the rule count of the standard edge filter.
+const edgeACLClauses = 12
+
+// emitEdgeACL defines the standard edge packet filter on the router:
+// anti-spoofing denies plus control-plane port protection (12 clauses).
+func emitEdgeACL(r *router, num int) {
+	r.tail.f("access-list %d deny ip 10.0.0.0 0.255.255.255 any\n", num)
+	r.tail.f("access-list %d deny ip 172.16.0.0 0.15.255.255 any\n", num)
+	r.tail.f("access-list %d deny ip 192.168.0.0 0.0.255.255 any\n", num)
+	r.tail.f("access-list %d deny ip 127.0.0.0 0.255.255.255 any\n", num)
+	r.tail.f("access-list %d deny udp any any eq 161\n", num)
+	r.tail.f("access-list %d deny udp any any eq 162\n", num)
+	r.tail.f("access-list %d deny tcp any any eq 23\n", num)
+	r.tail.f("access-list %d deny tcp any any eq 179\n", num)
+	r.tail.f("access-list %d deny udp any any eq 69\n", num)
+	r.tail.f("access-list %d deny tcp any any eq 513\n", num)
+	r.tail.f("access-list %d deny tcp any any eq 514\n", num)
+	r.tail.f("access-list %d permit ip any any\n", num)
+}
+
+// emitEdgeACLOnce emits the standard edge ACL at most once per router.
+func emitEdgeACLOnce(r *router, num int) {
+	if r.emittedACLs == nil {
+		r.emittedACLs = make(map[int]bool)
+	}
+	if r.emittedACLs[num] {
+		return
+	}
+	r.emittedACLs[num] = true
+	emitEdgeACL(r, num)
+}
+
+// internalBindingsFor computes the number of 2-clause internal bindings
+// that approximates an internal-rule share of t given edgeRules applied
+// edge rules.
+func internalBindingsFor(edgeRules int, t float64) int {
+	if t <= 0 {
+		return 0
+	}
+	if t >= 1 {
+		return 0 // caller handles the all-internal case explicitly
+	}
+	return int(math.Round(float64(edgeRules) * t / (1 - t) / 2))
+}
+
+// internalFilterMenu cycles through a few 2-clause internal policies so
+// the corpus shows the paper's diversity of internal filter goals
+// (protocol disabling, port blocking, application scoping).
+var internalFilterMenu = []string{
+	"deny pim any any",
+	"deny udp any any eq 137",
+	"deny udp any any eq 69",
+	"deny tcp any any eq 6667",
+	"deny tcp any any eq 79",
+	"deny udp any any eq 514",
+}
+
+// addInternalFilter attaches a fresh filtered LAN to the router: a
+// 2-clause ACL (one deny from the menu plus permit any) bound inbound.
+// The ACL body is emitted once per router; every binding contributes
+// exactly two applied rules, keeping the Figure 11 calibration exact.
+func addInternalFilter(r *router, a *alloc, num, variant int) {
+	idx := variant % len(internalFilterMenu)
+	acl := num + idx
+	if r.emittedACLs == nil {
+		r.emittedACLs = make(map[int]bool)
+	}
+	if !r.emittedACLs[acl] {
+		r.emittedACLs[acl] = true
+		r.tail.f("access-list %d %s\n", acl, internalFilterMenu[idx])
+		r.tail.f("access-list %d permit ip any any\n", acl)
+	}
+	addr, _ := a.lan()
+	r.addIface("FastEthernet", addr, maskLAN, fmt.Sprintf("ip access-group %d in", acl))
+}
+
+// spreadInternalFilters places n internal bindings across the routers,
+// round-robin.
+func spreadInternalFilters(rs []*router, a *alloc, n, aclBase int) {
+	if len(rs) == 0 {
+		return
+	}
+	for i := 0; i < n; i++ {
+		addInternalFilter(rs[i%len(rs)], a, aclBase, i)
+	}
+}

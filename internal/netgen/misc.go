@@ -1,0 +1,415 @@
+package netgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"routinglens/internal/net15"
+)
+
+// genNet15 wraps the net15 fixture at the paper's scale: 79 routers.
+func genNet15(rng *rand.Rand, name string) *Generated {
+	_ = rng // net15 is fully deterministic
+	cfgs := net15.Generate(net15.Params{RoutersPerSite: 38, ExtraLeftRouters: 1})
+	g := &Generated{
+		Name: name, Kind: KindNet15, Configs: cfgs, Routers: len(cfgs),
+		ExternalPeerSessions: 2, WantFilters: false,
+	}
+	// net15 restricts reachability with route filters, not packet filters;
+	// the paper counts packet filters for Figure 11, so add a small set on
+	// border links.
+	for _, h := range []string{"l0", "r0"} {
+		g.Configs[h] = g.Configs[h] +
+			"access-list 115 deny ip 192.168.0.0 0.0.255.255 any\naccess-list 115 permit ip any any\n"
+		// Rebind Serial0 (the external uplink) with the filter.
+		g.Configs[h] = g.Configs[h] + "interface Serial0\n ip access-group 115 in\n"
+	}
+	g.WantFilters = true
+	g.TargetInternalFilterPct = 0
+	return g
+}
+
+// genCompartments emits a net5-style compartmentalized enterprise at an
+// arbitrary scale: k EIGRP compartments bridged by BGP ASes with mutual
+// tagged redistribution, internal EBGP between adjacent compartment
+// borders, and a share of "island" routers whose private IGP instances
+// serve only their own LANs (singleton intra-domain instances).
+func genCompartments(rng *rand.Rand, name string, size, k int, internalShare float64) *Generated {
+	g := &Generated{Name: name, Kind: KindCompartments, Routers: size, WantFilters: true}
+	a := newAlloc()
+
+	per := size / k
+	var all []*router
+	comps := make([][]*router, k)
+	idx := 1
+	for c := 0; c < k; c++ {
+		n := per
+		if c == k-1 {
+			n = size - per*(k-1)
+		}
+		comps[c] = make([]*router, n)
+		for i := range comps[c] {
+			comps[c][i] = newRouter(fmt.Sprintf("r%d", idx))
+			idx++
+		}
+		all = append(all, comps[c]...)
+	}
+
+	// Compartment interiors: serial trees, per-compartment EIGRP AS.
+	for c, rs := range comps {
+		for i := 1; i < len(rs); i++ {
+			parent := rng.Intn(i)
+			x, y, _ := a.p2p()
+			rs[parent].addIface("Serial", x, maskP2P)
+			rs[i].addIface("Serial", y, maskP2P)
+		}
+		for ri, r := range rs {
+			r.addIface("Loopback", a.loopback(), maskLo)
+			// Half the interior routers are islands: they run their own
+			// single-router IGP instance for local LANs besides the
+			// compartment EIGRP — the mergers-and-acquisitions debris the
+			// paper attributes the huge instance counts to. The island
+			// protocol mix (60% OSPF, 25% EIGRP, 15% RIP) shapes Table 1's
+			// intra-domain rows.
+			island := ri > 1 && ri%2 == 0
+			if island {
+				addr, p := a.lan()
+				r.addIface("Ethernet", addr, maskLAN)
+				switch m := ri % 20; {
+				case m < 12:
+					r.tail.f("router ospf %d\n", 300+ri%97)
+					r.tail.f(" network %s 0.0.0.255 area 0\n", p.Addr())
+				case m < 17:
+					r.tail.f("router eigrp %d\n", 1000+ri+c*1000)
+					r.tail.f(" network %s\n", p.Addr())
+				default:
+					r.tail.line("router rip")
+					r.tail.f(" network %s\n", p.Addr())
+					r.tail.f(" passive-interface Serial0\n")
+				}
+				r.tail.f("router eigrp %d\n", 10+c)
+				r.tail.line(" network 10.192.0.0")
+				r.tail.line(" redistribute connected")
+				if ri%30 == 0 {
+					r.addUnnumbered("Serial", "Ethernet0")
+				}
+				switch {
+				case ri%12 == 2:
+					r.addIface("BRI", a.misc(), maskP2P)
+				case ri%14 == 4:
+					r.addIface("Dialer", a.misc(), maskP2P)
+				case ri%25 == 6:
+					r.addIface("Tunnel", a.misc(), maskP2P)
+				case ri%40 == 8:
+					r.addIface("Multilink", a.misc(), maskP2P)
+				case ri%60 == 10:
+					r.addIface("Virtual", a.misc(), maskP2P)
+				case ri%80 == 12:
+					r.addIface("Async", a.misc(), maskP2P)
+				case ri%100 == 14:
+					r.addIface("Channel", a.misc(), maskP2P)
+				case ri%120 == 16:
+					r.addIface("CBR", a.misc(), maskP2P)
+				case ri%150 == 18:
+					addr, _ := a.lan()
+					r.addIface("Fddi", addr, maskLAN)
+				case ri%240 == 20:
+					r.w.line("interface Null0")
+				}
+			} else {
+				if rng.Intn(2) == 0 {
+					addr, _ := a.lan()
+					r.addIface("FastEthernet", addr, maskLAN)
+				}
+				r.tail.f("router eigrp %d\n", 10+c)
+				r.tail.line(" network 10.0.0.0")
+				r.tail.line(" redistribute connected")
+			}
+		}
+	}
+
+	// Borders: compartments c and c+1 are bridged by a pair of BGP ASes.
+	// Several border routers on each side carry redundant EBGP sessions
+	// (EBGP as an intra-domain protocol); same-AS borders form an IBGP
+	// mesh over loopbacks, and every border mutually redistributes with
+	// its compartment's EIGRP under tag-based loop prevention.
+	borderLoops := make(map[*router]string)
+	bgpLoop := func(r *router) string {
+		if lo, ok := borderLoops[r]; ok {
+			return lo
+		}
+		lo := a.loopback()
+		r.addIface("Loopback", lo, maskLo)
+		borderLoops[r] = lo.String()
+		return borderLoops[r]
+	}
+	asOf := func(c int) uint32 { return uint32(65000 + c*10) }
+	// The shared tag namespace: any tagged route is blocked from re-export
+	// (see net5gen for the rationale).
+	tagDeny := ""
+	for c := 0; c < k; c++ {
+		tagDeny += fmt.Sprintf(" %d", 800+c)
+	}
+	borderSet := make(map[int][]*router)
+	nBorders := func(c int) int {
+		m := len(comps[c]) / 20
+		if m < 1 {
+			m = 1
+		}
+		if m > 14 {
+			m = 14
+		}
+		if m > len(comps[c]) {
+			m = len(comps[c])
+		}
+		return m
+	}
+	for c := range comps {
+		borderSet[c] = comps[c][:nBorders(c)]
+	}
+	// Per-compartment: BGP stanza with IBGP mesh and tagged redistribution.
+	for c := 0; c < k; c++ {
+		borders := borderSet[c]
+		tag := 800 + c
+		addrs := make([]string, len(borders))
+		for i, b := range borders {
+			addrs[i] = bgpLoop(b)
+		}
+		for i, b := range borders {
+			b.tail.f("router bgp %d\n", asOf(c))
+			b.tail.f(" redistribute eigrp %d route-map XTAG-%d-OUT\n", 10+c, tag)
+			for j, peer := range addrs {
+				if j != i {
+					b.tail.f(" neighbor %s remote-as %d\n", peer, asOf(c))
+				}
+			}
+			b.tail.f("router eigrp %d\n redistribute bgp %d route-map XTAG-%d-IN\n", 10+c, asOf(c), tag)
+			b.tail.f("route-map XTAG-%d-OUT deny 10\n match tag%s\nroute-map XTAG-%d-OUT permit 20\n", tag, tagDeny, tag)
+			b.tail.f("route-map XTAG-%d-IN permit 10\n set tag %d\n", tag, tag)
+		}
+	}
+	// Boundary EBGP sessions between paired borders of adjacent
+	// compartments.
+	for c := 0; c+1 < k; c++ {
+		left, right := borderSet[c], borderSet[c+1]
+		m := len(left)
+		if len(right) < m {
+			m = len(right)
+		}
+		for j := 0; j < m; j++ {
+			b1, b2 := left[j], right[j]
+			x, y, _ := a.p2p()
+			b1.addIface("Serial", x, maskP2P)
+			b2.addIface("Serial", y, maskP2P)
+			b1.tail.f("router bgp %d\n neighbor %s remote-as %d\n", asOf(c), bgpLoop(b2), asOf(c+1))
+			b2.tail.f("router bgp %d\n neighbor %s remote-as %d\n", asOf(c+1), bgpLoop(b1), asOf(c))
+			g.InternalEBGPSessions++
+		}
+	}
+
+	// External peers on the first compartment's border.
+	for p := 0; p < 2; p++ {
+		b := comps[0][0]
+		inside, outside, _ := a.ext()
+		b.addIface("Serial", inside, maskP2P, "ip access-group 122 in")
+		b.tail.f("router bgp %d\n neighbor %s remote-as %d\n", 65000, outside, 5000+p)
+		emitEdgeACLOnce(b, 122)
+		g.ExternalPeerSessions++
+	}
+
+	// Internal filters sized to the target share.
+	nInternal := internalBindingsFor(g.ExternalPeerSessions*edgeACLClauses, internalShare)
+	spreadInternalFilters(comps[0][1:], a, nInternal, 160)
+	g.TargetInternalFilterPct = 100 * internalShare
+
+	g.Configs = make(map[string]string, len(all))
+	for _, r := range all {
+		g.Configs[r.name] = r.config()
+	}
+	return g
+}
+
+// genRIPEdge emits an enterprise that uses IGPs as edge protocols: an OSPF
+// core, with border routers speaking RIP to their providers (the paper's
+// Section 5.2 observation that IGPs are widely used in the EGP role —
+// easier to configure and lighter on memory than BGP). When useBGP is
+// false the network has no BGP process at all (three of the paper's 31
+// networks had none).
+func genRIPEdge(rng *rand.Rand, name string, size int, useBGP bool, internalShare float64) *Generated {
+	g := &Generated{Name: name, Kind: KindRIPEdge, Routers: size, WantFilters: internalShare >= 0}
+	a := newAlloc()
+
+	routers := make([]*router, size)
+	for i := range routers {
+		routers[i] = newRouter(fmt.Sprintf("r%d", i+1))
+	}
+	for i := 1; i < size; i++ {
+		parent := rng.Intn(i)
+		x, y, _ := a.p2p()
+		routers[parent].addIface("Serial", x, maskP2P)
+		routers[i].addIface("Serial", y, maskP2P)
+	}
+	for _, r := range routers {
+		addr, _ := a.lan()
+		r.addIface("FastEthernet", addr, maskLAN)
+		r.tail.line("router ospf 1")
+		r.tail.line(" network 10.192.0.0 0.63.255.255 area 0")
+		r.tail.line(" redistribute connected subnets")
+	}
+
+	// Border: RIP toward the provider, mutually redistributed with OSPF.
+	nBorders := 1
+	if size > 20 {
+		nBorders = 2
+	}
+	edgeBindings := 0
+	for b := 0; b < nBorders && b < size; b++ {
+		r := routers[b]
+		inside, _, p := a.ext()
+		if g.WantFilters {
+			r.addIface("Serial", inside, maskP2P, "ip access-group 110 in")
+			emitEdgeACLOnce(r, 110)
+			edgeBindings++
+		} else {
+			r.addIface("Serial", inside, maskP2P)
+		}
+		// The second border of larger networks staged its customers on
+		// EIGRP rather than RIP (merger legacy) — EIGRP in the EGP role.
+		if b == 1 && size > 30 {
+			r.tail.f("router eigrp %d\n", 400+b)
+			r.tail.f(" network %s\n", p.Addr())
+			r.tail.line(" redistribute ospf 1")
+			r.tail.line("router ospf 1")
+			r.tail.line(" redistribute eigrp 401 subnets")
+		} else {
+			r.tail.line("router rip")
+			r.tail.f(" network %s\n", p.Addr())
+			r.tail.line(" redistribute ospf 1 metric 3")
+			r.tail.line("router ospf 1")
+			r.tail.line(" redistribute rip subnets")
+		}
+		g.IGPEdgeInstances++
+	}
+
+	if useBGP && size > 2 {
+		r := routers[size-1]
+		inside, outside, _ := a.ext()
+		r.addIface("Serial", inside, maskP2P)
+		r.tail.f("router bgp %d\n", 64700)
+		r.tail.f(" neighbor %s remote-as %d\n", outside, 5500)
+		r.tail.line(" redistribute ospf 1")
+		r.tail.line("router ospf 1")
+		r.tail.line(" redistribute bgp 64700 subnets")
+		g.ExternalPeerSessions++
+	}
+
+	if g.WantFilters {
+		nInternal := internalBindingsFor(edgeBindings*edgeACLClauses, internalShare)
+		spreadInternalFilters(routers, a, nInternal, 160)
+		g.TargetInternalFilterPct = 100 * internalShare
+	}
+
+	g.Configs = make(map[string]string, size)
+	for _, r := range routers {
+		g.Configs[r.name] = r.config()
+	}
+	return g
+}
+
+// genHubSpoke emits a hub-and-spoke enterprise: two hub routers running an
+// OSPF core, and spokes that either share a RIP instance with the hubs or
+// run a private single-router EIGRP instance for their LANs with a static
+// default — the source of the huge singleton-instance counts behind the
+// paper's Table 1.
+func genHubSpoke(rng *rand.Rand, name string, size int, internalShare float64) *Generated {
+	g := &Generated{Name: name, Kind: KindHubSpoke, Routers: size, WantFilters: internalShare >= 0}
+	a := newAlloc()
+
+	hubs := []*router{newRouter("hub1"), newRouter("hub2")}
+	x, y, _ := a.p2p()
+	hubs[0].addIface("Serial", x, maskP2P)
+	hubs[1].addIface("Serial", y, maskP2P)
+	for _, h := range hubs {
+		h.tail.line("router ospf 1")
+		h.tail.line(" network 10.192.0.0 0.63.255.255 area 0")
+		h.tail.line(" redistribute connected subnets")
+		h.tail.line(" redistribute static subnets")
+		h.tail.line(" redistribute rip subnets")
+		h.tail.line("router rip")
+		h.tail.line(" network 10.64.0.0")
+	}
+	// hub1 is the BGP border to the provider, attached over a shared DMZ
+	// Ethernet; a static default through the provider gives the
+	// foreign-next-hop evidence of Section 5.2.
+	{
+		inside, outside, _ := a.dmz()
+		hubs[0].addIface("Ethernet", inside, maskLAN)
+		hubs[0].tail.f("ip route 0.0.0.0 0.0.0.0 %s\n", outside)
+		hubs[0].tail.f("router bgp %d\n", 64650)
+		hubs[0].tail.f(" neighbor %s remote-as %d\n", outside, 5600)
+		hubs[0].tail.line(" redistribute ospf 1")
+		hubs[0].tail.line("router ospf 1")
+		hubs[0].tail.line(" redistribute bgp 64650 subnets")
+		g.ExternalPeerSessions++
+	}
+
+	all := append([]*router{}, hubs...)
+	for i := 2; i < size; i++ {
+		k := newRouter(fmt.Sprintf("sp%d", i-1))
+		all = append(all, k)
+		hub := hubs[i%2]
+		// RIP spokes share the hub's RIP instance over a 10.64/16 link;
+		// island spokes default statically and keep a private EIGRP.
+		ripSpoke := i%2 == 0
+		if ripSpoke {
+			base := u32("10.64.0.0") + uint32(i)*4
+			hub.addIface("Serial", addrOf(base+1), maskP2P)
+			k.addIface("Serial", addrOf(base+2), maskP2P)
+			addr, _ := a.lan()
+			k.addIface("Ethernet", addr, maskLAN)
+			k.tail.line("router rip")
+			k.tail.line(" network 10.64.0.0")
+			k.tail.line(" redistribute connected")
+		} else {
+			px, py, _ := a.p2p()
+			hub.addIface("Serial", px, maskP2P)
+			k.addIface("Serial", py, maskP2P)
+			addr, p := a.lan()
+			k.addIface("TokenRing", addr, maskLAN)
+			k.tail.f("router eigrp %d\n", 2000+i)
+			k.tail.f(" network %s\n", p.Addr())
+			k.tail.f("ip route 0.0.0.0 0.0.0.0 %s\n", px)
+			hub.tail.f("ip route %s 255.255.255.0 %s\n", p.Addr(), py)
+		}
+		if i%10 == 0 {
+			k.addUnnumbered("Serial", "Ethernet0")
+		}
+		switch {
+		case i%4 == 3:
+			k.addIface("BRI", a.misc(), maskP2P)
+		case i%6 == 1:
+			k.addIface("Dialer", a.misc(), maskP2P)
+		}
+	}
+	// Filters: hub-and-spoke networks keep nearly all filtering internal.
+	if g.WantFilters {
+		all2 := all
+		var nInternal int
+		if internalShare >= 1 {
+			nInternal = size / 2
+		} else {
+			inside, _, _ := a.ext()
+			hubs[0].addIface("Serial", inside, maskP2P, "ip access-group 111 in")
+			emitEdgeACLOnce(hubs[0], 111)
+			nInternal = internalBindingsFor(edgeACLClauses, internalShare)
+		}
+		spreadInternalFilters(all2[2:], a, nInternal, 160)
+		g.TargetInternalFilterPct = 100 * internalShare
+	}
+
+	g.Configs = make(map[string]string, len(all))
+	for _, r := range all {
+		g.Configs[r.name] = r.config()
+	}
+	return g
+}

@@ -1,0 +1,310 @@
+package netgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"routinglens/internal/netaddr"
+)
+
+// genNet5 reconstructs the paper's first case study (Section 5.1 and 6.1)
+// at full scale: 881 routers in a compartmentalized design.
+//
+// Ground truth of the analogue (matching the paper's reported facts):
+//
+//   - three main EIGRP compartments of 445, 64, and 32 routers
+//     (instances 1, 7, and 6 in the paper's Figure 9);
+//   - 14 BGP AS numbers internal to the network, forming 14 BGP
+//     instances: AS 65001 (6 routers, bridging compartments A and B —
+//     the paper's redundant-redistribution routers), AS 65010
+//     (39 routers), AS 65040 (7 routers, EBGP'd to AS 65010 — EBGP used
+//     as an intra-domain protocol), AS 10436 (3 routers), and ten
+//     single-router ASes;
+//   - seven single-router OSPF islands (server farms), for 24 routing
+//     instances in all;
+//   - 16 distinct external peer ASes;
+//   - 340 static-only spoke routers (no routing process), so the router
+//     total reaches 881 while the instance count stays 24;
+//   - routes are tagged as they are first redistributed into the IGP, so
+//     route selection can key off the tag instead of BGP attributes
+//     (Section 6.1's "avoiding an IBGP mesh").
+func genNet5(rng *rand.Rand, name string) *Generated {
+	g := &Generated{Name: name, Kind: KindNet5, WantFilters: true}
+	a := newAlloc()
+
+	var all []*router
+	mk := func(prefix string, n int) []*router {
+		rs := make([]*router, n)
+		for i := range rs {
+			rs[i] = newRouter(fmt.Sprintf("%s%d", prefix, i+1))
+		}
+		all = append(all, rs...)
+		return rs
+	}
+
+	compA := mk("r", 445) // instance 1
+	compC := mk("t", 64)  // instance 7
+	compB := mk("s", 32)  // instance 6
+	spokes := mk("k", 340)
+
+	// Tree links inside each compartment; every router gets a loopback and
+	// a LAN.
+	buildCompartment := func(rs []*router, eigrpAS int) {
+		for i := 1; i < len(rs); i++ {
+			parent := rng.Intn(i)
+			x, y, _ := a.p2p()
+			rs[parent].addIface("Serial", x, maskP2P)
+			rs[i].addIface("Serial", y, maskP2P)
+		}
+		for _, r := range rs {
+			r.addIface("Loopback", a.loopback(), maskLo)
+			if rng.Intn(3) == 0 {
+				addr, _ := a.lan()
+				r.addIface("FastEthernet", addr, maskLAN)
+			}
+		}
+		for _, r := range rs {
+			r.tail.f("router eigrp %d\n", eigrpAS)
+			r.tail.line(" network 10.0.0.0")
+			r.tail.line(" redistribute connected")
+			r.tail.line(" redistribute static")
+		}
+	}
+	buildCompartment(compA, 10)
+	buildCompartment(compC, 30)
+	buildCompartment(compB, 20)
+
+	// Operational padding gives the Figure 4 config-size distribution its
+	// body (mean of a couple hundred command lines) and heavy tail.
+	for i, r := range all[:541] {
+		tail := 0
+		if i%30 == 7 {
+			tail = rng.Intn(1500)
+		}
+		padConfig(&r.tail, rng, 180+rng.Intn(120), tail)
+	}
+
+	// Track dedicated loopbacks for IBGP session addressing.
+	loops := make(map[*router]string)
+	assignBGPLoop := func(r *router) string {
+		if lo, ok := loops[r]; ok {
+			return lo
+		}
+		lo := a.loopback()
+		r.addIface("Loopback", lo, maskLo)
+		loops[r] = lo.String()
+		return loops[r]
+	}
+
+	// Instance 4: AS 65001 — six redundant routers bridging compartment A
+	// to the AS (the paper's "6 routers in net5 that serve this same
+	// purpose ... redundant backups for each other"), plus one member in
+	// compartment B connecting instance 6.
+	bridge65001 := []*router{compA[1], compA[2], compA[3], compA[4], compA[5], compA[6], compB[0]}
+	// allTags is the network's tag namespace: every redistribution into an
+	// IGP stamps its source-specific tag, and every export policy denies
+	// routes carrying ANY tag — the paper's Section 6.1 design ("external
+	// routes were tagged to indicate their source as they were first
+	// redistributed into the network's IGP instances"), which both records
+	// provenance and prevents redistribution loops.
+	allTags := []int{651, 6510, 6540, 1043, 700, 701, 702, 703, 704, 705, 706, 707, 708, 709}
+	tagDeny := ""
+	for _, t := range allTags {
+		tagDeny += fmt.Sprintf(" %d", t)
+	}
+
+	// meshBGPPair wires the routers into one BGP AS with a full IBGP mesh
+	// over dedicated loopbacks. Each member mutually redistributes with its
+	// own compartment's EIGRP process; routes are tagged on the way into
+	// the IGP and any tag blocks re-export.
+	meshBGPPair := func(rs []*router, as uint32, eigrpOf func(*router) int, tag int) {
+		addrs := make([]string, len(rs))
+		for i, r := range rs {
+			addrs[i] = assignBGPLoop(r)
+		}
+		for i, r := range rs {
+			eAS := eigrpOf(r)
+			r.tail.f("router bgp %d\n", as)
+			r.tail.f(" redistribute eigrp %d route-map TAG-%d-OUT\n", eAS, tag)
+			for j, peer := range addrs {
+				if j == i {
+					continue
+				}
+				r.tail.f(" neighbor %s remote-as %d\n", peer, as)
+				r.tail.f(" neighbor %s update-source Loopback1\n", peer)
+			}
+			r.tail.f("router eigrp %d\n", eAS)
+			r.tail.f(" redistribute bgp %d route-map TAG-%d-IN\n", as, tag)
+			r.tail.f("route-map TAG-%d-OUT deny 10\n match tag%s\nroute-map TAG-%d-OUT permit 20\n", tag, tagDeny, tag)
+			r.tail.f("route-map TAG-%d-IN permit 10\n set tag %d\n", tag, tag)
+		}
+	}
+	meshBGP := func(rs []*router, as uint32, eigrpAS int, tag int) {
+		meshBGPPair(rs, as, func(*router) int { return eigrpAS }, tag)
+	}
+	eigrpOf := func(r *router) int {
+		for _, s := range compB {
+			if s == r {
+				return 20
+			}
+		}
+		for _, t := range compC {
+			if t == r {
+				return 30
+			}
+		}
+		return 10
+	}
+	meshBGPPair(bridge65001, 65001, eigrpOf, 651)
+
+	// Instance 2: AS 65010 — 39 routers inside compartment A.
+	group65010 := compA[10:49]
+	meshBGP(group65010, 65010, 10, 6510)
+
+	// Instance 3: AS 65040 — 7 routers inside compartment C, EBGP'd to
+	// AS 65010 (EBGP used as an intra-domain protocol).
+	group65040 := compC[0:7]
+	meshBGP(group65040, 65040, 30, 6540)
+	for i, r := range group65040 {
+		peer := group65010[i%len(group65010)]
+		peerLo := loops[peer]
+		r.tail.f("router bgp %d\n", 65040)
+		r.tail.f(" neighbor %s remote-as %d\n", peerLo, 65010)
+		peer.tail.f("router bgp %d\n", 65010)
+		peer.tail.f(" neighbor %s remote-as %d\n", loops[r], 65040)
+		g.InternalEBGPSessions++
+	}
+
+	// Instance 5: AS 10436 — 3 routers in compartment B with external
+	// peers in AS 1629.
+	group10436 := []*router{compB[4], compB[5], compB[6]}
+	meshBGP(group10436, 10436, 20, 1043)
+	extAS := []uint32{1629, 6470}
+	for i := 0; i < 14; i++ {
+		extAS = append(extAS, uint32(4000+i*13))
+	}
+	extIdx := 0
+	aclEmitted := make(map[*router]bool)
+	dmzPeers := 0
+	addExternalPeer := func(r *router, as uint32, peerAS uint32) {
+		var inside, outside netaddr.Addr
+		if dmzPeers < 3 {
+			// A few peers attach over shared DMZ Ethernets rather than
+			// point-to-point serials (Section 5.2's multipoint case).
+			dmzPeers++
+			inside, outside, _ = a.dmz()
+			r.addIface("Ethernet", inside, maskLAN, "ip access-group 121 in")
+		} else {
+			inside, outside, _ = a.ext()
+			r.addIface("Serial", inside, maskP2P, "ip access-group 121 in")
+		}
+		r.tail.f("router bgp %d\n", as)
+		r.tail.f(" neighbor %s remote-as %d\n", outside, peerAS)
+		r.tail.f(" neighbor %s distribute-list 45 in\n", outside)
+		r.tail.f(" neighbor %s distribute-list 46 out\n", outside)
+		emitEdgeACLOnce(r, 121)
+		if !aclEmitted[r] {
+			aclEmitted[r] = true
+			r.tail.line("access-list 45 permit any")
+			r.tail.line("access-list 46 permit 10.0.0.0 0.255.255.255")
+		}
+		g.ExternalPeerSessions++
+	}
+	for _, r := range group10436 {
+		addExternalPeer(r, 10436, 1629)
+	}
+	// AS 65040's external peer (the paper's AS 6470).
+	addExternalPeer(group65040[0], 65040, 6470)
+
+	// Ten single-router ASes hanging off compartment A, each with one or
+	// two external peers drawn from the remaining pool.
+	for i := 0; i < 10; i++ {
+		r := compA[100+i]
+		as := uint32(64900 + i)
+		assignBGPLoop(r)
+		tag := 700 + i
+		r.tail.f("router bgp %d\n", as)
+		r.tail.f(" redistribute eigrp 10 route-map TAG-%d-OUT\n", tag)
+		r.tail.f("router eigrp 10\n redistribute bgp %d route-map TAG-%d-IN\n", as, tag)
+		r.tail.f("route-map TAG-%d-OUT deny 10\n match tag%s\nroute-map TAG-%d-OUT permit 20\n", tag, tagDeny, tag)
+		r.tail.f("route-map TAG-%d-IN permit 10\n set tag %d\n", tag, tag)
+		npeers := 1
+		if i < 4 {
+			npeers = 2
+		}
+		for p := 0; p < npeers; p++ {
+			addExternalPeer(r, as, extAS[2+extIdx%14])
+			extIdx++
+		}
+	}
+
+	// Seven single-router OSPF islands (server farms) on compartment C
+	// routers: isolated IGP instances.
+	for i := 0; i < 7; i++ {
+		r := compC[20+i]
+		addr, p := a.lan()
+		r.addIface("GigabitEthernet", addr, maskLAN)
+		r.tail.f("router ospf %d\n", 500+i)
+		r.tail.f(" network %s 0.0.0.255 area 0\n", p.Addr())
+	}
+
+	// 340 static-only spoke routers: each uplinks into compartment A over
+	// a /30, carries one or two LANs, and routes via a static default; the
+	// hub redistributes its statics into EIGRP.
+	for i, k := range spokes {
+		hub := compA[rng.Intn(60)]
+		x, y, _ := a.p2p()
+		hub.addIface("Serial", x, maskP2P)
+		k.addIface("Serial", y, maskP2P)
+		nlan := 1 + i%2
+		for j := 0; j < nlan; j++ {
+			addr, p := a.lan()
+			k.addIface("Ethernet", addr, maskLAN)
+			hub.tail.f("ip route %s %s %s\n", p.Addr(), "255.255.255.0", y)
+		}
+		k.tail.f("ip route 0.0.0.0 0.0.0.0 %s\n", x)
+		if i%15 == 0 {
+			k.addUnnumbered("Serial", "Ethernet0")
+		}
+		switch {
+		case i%3 == 0:
+			k.addIface("BRI", a.misc(), maskP2P) // ISDN dial backup
+		case i%5 == 0:
+			k.addIface("Dialer", a.misc(), maskP2P)
+		case i%16 == 0:
+			addr, _ := a.lan()
+			k.addIface("TokenRing", addr, maskLAN)
+		case i%50 == 1:
+			addr, _ := a.lan()
+			k.addIface("Fddi", addr, maskLAN)
+		}
+		padConfig(&k.tail, rng, 20+rng.Intn(100), 0)
+	}
+
+	// Internal packet filters in compartment A: protocol and port
+	// restrictions on internal LANs, including one 47-clause filter (the
+	// paper's observation about IOS forcing many policies into a single
+	// list). Sized so roughly 55% of applied rules sit on internal links.
+	{
+		r := compA[199]
+		for j := 0; j < 46; j++ {
+			r.tail.f("access-list 147 deny tcp any any eq %d\n", 1000+j)
+		}
+		r.tail.line("access-list 147 permit ip any any")
+		addr, _ := a.lan()
+		r.addIface("FastEthernet", addr, maskLAN, "ip access-group 147 in")
+	}
+	nInternal := internalBindingsFor(g.ExternalPeerSessions*edgeACLClauses, 0.55) - 24
+	if nInternal < 0 {
+		nInternal = 0
+	}
+	spreadInternalFilters(compA[200:340], a, nInternal, 160)
+	g.TargetInternalFilterPct = 55
+
+	g.Routers = len(all)
+	g.Configs = make(map[string]string, len(all))
+	for _, r := range all {
+		g.Configs[r.name] = r.config()
+	}
+	return g
+}

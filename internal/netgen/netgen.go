@@ -1,0 +1,225 @@
+// Package netgen generates the synthetic configuration corpus that stands
+// in for the paper's 8,035 proprietary router configurations (see
+// DESIGN.md, "The data gate and our substitution").
+//
+// GenerateCorpus emits 31 networks calibrated to the population statistics
+// the paper reports:
+//
+//   - 4 backbone networks (400–600 routers, mean ≈540) built from POS/HSSI
+//     cores with IBGP route reflection and an infrastructure-only IGP;
+//   - 7 textbook enterprises (19–101 routers), the largest split across
+//     two IGP instances;
+//   - 20 networks with unconventional designs (4–1750 routers, median 36),
+//     including an 881-router analogue of the paper's net5 (three EIGRP
+//     compartments of 445/64/32 routers bridged by four BGP ASes), a
+//     79-router analogue of net15 (reachability-restricted twin sites),
+//     and tier-2 ISPs with many single-router "staging" IGP instances.
+//
+// Interface mixes, config sizes, protocol roles, and packet-filter
+// placement are all drawn to match the shapes of Tables 1 and 3 and
+// Figures 4, 8, and 11. Generation is fully deterministic for a given
+// seed.
+package netgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"routinglens/internal/ciscoparse"
+	"routinglens/internal/devmodel"
+)
+
+// Kind is the intended design of a generated network.
+type Kind int
+
+// Network kinds.
+const (
+	KindBackbone Kind = iota
+	KindEnterprise
+	KindNet5
+	KindNet15
+	KindTier2
+	KindCompartments // net5-like multi-AS designs at smaller scale
+	KindRIPEdge      // enterprises using RIP/OSPF as the edge protocol
+	KindHubSpoke     // hub-and-spoke with staging spokes
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindBackbone:
+		return "backbone"
+	case KindEnterprise:
+		return "enterprise"
+	case KindNet5:
+		return "net5"
+	case KindNet15:
+		return "net15"
+	case KindTier2:
+		return "tier2"
+	case KindCompartments:
+		return "compartments"
+	case KindRIPEdge:
+		return "rip-edge"
+	case KindHubSpoke:
+		return "hub-spoke"
+	}
+	return "?"
+}
+
+// Generated is one synthetic network: its configs plus ground truth about
+// how it was constructed (used to validate the analysis pipeline).
+type Generated struct {
+	Name    string
+	Kind    Kind
+	Configs map[string]string // hostname -> configuration text
+
+	// Ground truth.
+	Routers int
+	// InternalEBGPSessions is the number of EBGP sessions between routers
+	// of this network (EBGP used as an interior protocol).
+	InternalEBGPSessions int
+	// ExternalPeerSessions is the number of EBGP sessions to routers
+	// outside the corpus.
+	ExternalPeerSessions int
+	// IGPEdgeInstances counts IGP instances deliberately used to peer with
+	// external routers (IGP serving as an EGP).
+	IGPEdgeInstances int
+	// WantFilters reports whether the network defines packet filters.
+	WantFilters bool
+	// TargetInternalFilterPct is the intended share of filter rules on
+	// internal links (0 when WantFilters is false).
+	TargetInternalFilterPct float64
+}
+
+// Build parses the generated configs into a devmodel.Network.
+func (g *Generated) Build() (*devmodel.Network, error) {
+	n := &devmodel.Network{Name: g.Name}
+	names := make([]string, 0, len(g.Configs))
+	for name := range g.Configs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		res, err := ciscoparse.Parse(name+".cfg", strings.NewReader(g.Configs[name]))
+		if err != nil {
+			return nil, fmt.Errorf("netgen: parsing %s/%s: %w", g.Name, name, err)
+		}
+		n.Devices = append(n.Devices, res.Device)
+	}
+	return n, nil
+}
+
+// Corpus is the full 31-network synthetic data set.
+type Corpus struct {
+	Networks []*Generated
+}
+
+// TotalRouters sums the router counts.
+func (c *Corpus) TotalRouters() int {
+	n := 0
+	for _, g := range c.Networks {
+		n += g.Routers
+	}
+	return n
+}
+
+// ByName returns the named network, or nil.
+func (c *Corpus) ByName(name string) *Generated {
+	for _, g := range c.Networks {
+		if g.Name == name {
+			return g
+		}
+	}
+	return nil
+}
+
+// GenerateCorpus builds the 31-network corpus deterministically from the
+// seed. The same seed always yields byte-identical configurations.
+func GenerateCorpus(seed int64) *Corpus {
+	rng := rand.New(rand.NewSource(seed))
+	c := &Corpus{}
+	add := func(g *Generated) { c.Networks = append(c.Networks, g) }
+
+	// --- net1..net4: backbones of 460, 540, 560, 600 routers (mean 540).
+	backboneSizes := []int{460, 540, 560, 600}
+	backboneShares := []float64{0.05, 0.10, 0.15, 0.20}
+	for i, size := range backboneSizes {
+		// Three of four use POS cores; the fourth is HSSI+ATM (Section 7.3).
+		hssi := i == 3
+		add(genBackbone(rng, fmt.Sprintf("net%d", i+1), size, hssi, backboneShares[i]))
+	}
+
+	// --- net5: the paper's first case study (881 routers). ---
+	add(genNet5(rng, "net5"))
+
+	// --- net6..net12: textbook enterprises. ---
+	entSizes := []int{19, 24, 33, 48, 64, 87, 101}
+	entShares := []float64{0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.45}
+	for i, size := range entSizes {
+		split := size == 101 // the largest splits into two IGP instances
+		add(genEnterprise(rng, fmt.Sprintf("net%d", 6+i), size, split, entShares[i]))
+	}
+
+	// --- net13, net14: tier-2 ISPs with staging IGP instances. ---
+	add(genTier2(rng, "net13", 590, 90, 0.08))
+	add(genTier2(rng, "net14", 760, 80, 0.12))
+
+	// --- net15: the paper's second case study (79 routers). ---
+	add(genNet15(rng, "net15"))
+
+	// --- net16..net31: the remaining unconventional designs. ---
+	add(genCompartments(rng, "net16", 1750, 6, 0.15))
+	add(genCompartments(rng, "net17", 1430, 5, 0.25))
+	add(genCompartments(rng, "net18", 300, 4, 0.35))
+	add(genCompartments(rng, "net19", 150, 3, 0.50))
+	// Three of the small networks (net20, net24, net29) use no BGP at all,
+	// matching the paper's Section 5.2 observation.
+	add(genRIPEdge(rng, "net20", 55, false, 0.55))
+	add(genRIPEdge(rng, "net21", 42, true, 0.65))
+	add(genHubSpoke(rng, "net22", 36, 0.88))
+	add(genHubSpoke(rng, "net23", 36, 1.0))
+	add(genRIPEdge(rng, "net24", 34, false, 0.75))
+	add(genHubSpoke(rng, "net25", 30, 1.0))
+	add(genCompartments(rng, "net26", 28, 2, 0.45))
+	add(genRIPEdge(rng, "net27", 21, true, 0.70))
+	add(genHubSpoke(rng, "net28", 14, -1))
+	add(genRIPEdge(rng, "net29", 12, false, -1))
+	add(genHubSpoke(rng, "net30", 9, 1.0))
+	add(genRIPEdge(rng, "net31", 4, true, -1))
+
+	return c
+}
+
+// padConfig appends base+tail no-op operational lines (logging, SNMP, NTP
+// targets) to the writer. The lines are irrelevant to routing design — the
+// parser counts and ignores them — but they reproduce the config-file size
+// distribution of production routers (Figure 4).
+func padConfig(w *cw, rng *rand.Rand, base, tail int) {
+	n := base + tail
+	for j := 0; j < n; j++ {
+		switch j % 3 {
+		case 0:
+			w.f("logging host 10.65.%d.%d\n", j/250%250, j%250)
+		case 1:
+			w.f("snmp-server host 10.65.%d.%d public\n", j/250%250, j%250)
+		default:
+			w.f("ntp server 10.65.%d.%d\n", j/250%250, j%250)
+		}
+	}
+}
+
+// cw is a config writer with convenience helpers shared by the generators.
+type cw struct {
+	b strings.Builder
+}
+
+func (w *cw) f(format string, args ...any) {
+	fmt.Fprintf(&w.b, format, args...)
+}
+
+func (w *cw) line(s string)     { w.b.WriteString(s + "\n") }
+func (w *cw) String() string    { return w.b.String() }
+func (w *cw) hostname(h string) { w.f("hostname %s\n", h) }

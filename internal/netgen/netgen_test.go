@@ -1,0 +1,432 @@
+package netgen
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"routinglens/internal/ciscoparse"
+	"routinglens/internal/classify"
+	"routinglens/internal/devmodel"
+	"routinglens/internal/filters"
+	"routinglens/internal/instance"
+	"routinglens/internal/procgraph"
+	"routinglens/internal/topology"
+)
+
+// The corpus and its per-network analyses are expensive; compute once.
+var (
+	corpusOnce sync.Once
+	corpus     *Corpus
+	built      map[string]*analysis
+)
+
+type analysis struct {
+	net   *devmodel.Network
+	top   *topology.Topology
+	model *instance.Model
+	ev    classify.Evidence
+	fil   *filters.NetworkStats
+}
+
+func sharedCorpus(t *testing.T) (*Corpus, map[string]*analysis) {
+	t.Helper()
+	corpusOnce.Do(func() {
+		corpus = GenerateCorpus(1)
+		built = make(map[string]*analysis, len(corpus.Networks))
+		for _, g := range corpus.Networks {
+			n, err := g.Build()
+			if err != nil {
+				t.Fatalf("building %s: %v", g.Name, err)
+			}
+			top := topology.Build(n)
+			m := instance.Compute(procgraph.Build(n, top))
+			built[g.Name] = &analysis{
+				net: n, top: top, model: m,
+				ev:  classify.ClassifyDesign(m),
+				fil: filters.Analyze(n, top),
+			}
+		}
+	})
+	if corpus == nil {
+		t.Fatal("corpus construction failed")
+	}
+	return corpus, built
+}
+
+func TestCorpusShape(t *testing.T) {
+	c, _ := sharedCorpus(t)
+	if len(c.Networks) != 31 {
+		t.Fatalf("networks = %d, want 31", len(c.Networks))
+	}
+	if got := c.ByName("net5").Routers; got != 881 {
+		t.Errorf("net5 routers = %d, want 881", got)
+	}
+	if got := c.ByName("net15").Routers; got != 79 {
+		t.Errorf("net15 routers = %d, want 79", got)
+	}
+	if c.ByName("nope") != nil {
+		t.Error("ByName for missing network should be nil")
+	}
+	total := c.TotalRouters()
+	if total < 7000 || total > 11000 {
+		t.Errorf("total routers = %d, out of calibrated range", total)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := GenerateCorpus(7)
+	b := GenerateCorpus(7)
+	for i, ga := range a.Networks {
+		gb := b.Networks[i]
+		if ga.Name != gb.Name || len(ga.Configs) != len(gb.Configs) {
+			t.Fatalf("network %d differs between runs", i)
+		}
+		for h, cfg := range ga.Configs {
+			if gb.Configs[h] != cfg {
+				t.Fatalf("%s/%s differs between identically-seeded runs", ga.Name, h)
+			}
+		}
+	}
+	other := GenerateCorpus(8)
+	if other.Networks[0].Configs["r1"] == a.Networks[0].Configs["r1"] {
+		t.Error("different seeds should differ (random AS numbers)")
+	}
+}
+
+func TestAllConfigsParseCleanly(t *testing.T) {
+	c, _ := sharedCorpus(t)
+	for _, g := range c.Networks {
+		for h, cfg := range g.Configs {
+			res, err := ciscoparse.Parse(h, strings.NewReader(cfg))
+			if err != nil {
+				t.Fatalf("%s/%s: %v", g.Name, h, err)
+			}
+			if len(res.Diagnostics) != 0 {
+				t.Errorf("%s/%s: unexpected diagnostics %v", g.Name, h, res.Diagnostics[:min(3, len(res.Diagnostics))])
+			}
+		}
+	}
+}
+
+func TestRouterCountsMatchGroundTruth(t *testing.T) {
+	c, built := sharedCorpus(t)
+	for _, g := range c.Networks {
+		if got := len(built[g.Name].net.Devices); got != g.Routers {
+			t.Errorf("%s: parsed %d devices, ground truth %d", g.Name, got, g.Routers)
+		}
+	}
+}
+
+func TestDesignClassification(t *testing.T) {
+	c, built := sharedCorpus(t)
+	counts := map[classify.Design]int{}
+	for _, g := range c.Networks {
+		ev := built[g.Name].ev
+		counts[ev.Design]++
+		var want classify.Design
+		switch g.Kind {
+		case KindBackbone:
+			want = classify.DesignBackbone
+		case KindEnterprise:
+			want = classify.DesignEnterprise
+		case KindTier2:
+			want = classify.DesignTier2
+		default:
+			want = classify.DesignOther
+		}
+		if ev.Design != want {
+			t.Errorf("%s (%s): classified %s, want %s (%s)", g.Name, g.Kind, ev.Design, want, ev)
+		}
+	}
+	// Section 7: 4 backbones, 7 textbook enterprises, the rest defy
+	// classification (tier-2s are reported separately).
+	if counts[classify.DesignBackbone] != 4 || counts[classify.DesignEnterprise] != 7 || counts[classify.DesignTier2] != 2 {
+		t.Errorf("design counts = %v", counts)
+	}
+}
+
+func TestNet5GroundTruth(t *testing.T) {
+	_, built := sharedCorpus(t)
+	a := built["net5"]
+	m := a.model
+	if len(m.Instances) != 24 {
+		for _, in := range m.Instances {
+			t.Logf("instance %d %s size=%d", in.ID, in.Label(), in.Size())
+		}
+		t.Errorf("net5 instances = %d, want 24", len(m.Instances))
+	}
+	if got := len(m.BGPASNs()); got != 14 {
+		t.Errorf("net5 internal BGP ASes = %d, want 14", got)
+	}
+	if got := len(m.ExternalASNs()); got != 16 {
+		t.Errorf("net5 external ASes = %d, want 16 (%v)", got, m.ExternalASNs())
+	}
+	// The three EIGRP compartments: 445, 64, 32 routers.
+	var sizes []int
+	for _, in := range m.InstancesOf(devmodel.ProtoEIGRP) {
+		if in.Size() > 1 {
+			sizes = append(sizes, in.Size())
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(sizes)))
+	if len(sizes) < 3 || sizes[0] != 445 || sizes[1] != 64 || sizes[2] != 32 {
+		t.Errorf("EIGRP compartment sizes = %v, want [445 64 32 ...]", sizes)
+	}
+	// Six redundant routers bridge the 445-router EIGRP instance and BGP
+	// AS 65001 (paper Section 5.1).
+	var big *instance.Instance
+	var as65001 *instance.Instance
+	for _, in := range m.Instances {
+		if in.Protocol == devmodel.ProtoEIGRP && in.Size() == 445 {
+			big = in
+		}
+		if in.Protocol == devmodel.ProtoBGP && in.ASN == 65001 {
+			as65001 = in
+		}
+	}
+	if big == nil || as65001 == nil {
+		t.Fatal("net5 key instances missing")
+	}
+	cut := m.CutRouters(big, as65001)
+	if len(cut) != 6 {
+		t.Errorf("bridging routers = %d, want 6", len(cut))
+	}
+}
+
+func TestNet5ConfigSizeDistribution(t *testing.T) {
+	c, built := sharedCorpus(t)
+	g := c.ByName("net5")
+	var sizes []int
+	sum := 0
+	max := 0
+	for _, d := range built[g.Name].net.Devices {
+		sizes = append(sizes, d.RawLines)
+		sum += d.RawLines
+		if d.RawLines > max {
+			max = d.RawLines
+		}
+	}
+	mean := float64(sum) / float64(len(sizes))
+	// Figure 4 shape: a few hundred lines on average with a heavy tail.
+	if mean < 30 || mean > 500 {
+		t.Errorf("net5 mean config size = %.0f lines, outside plausible band", mean)
+	}
+	if float64(max) < 4*mean {
+		t.Errorf("net5 max config (%d) should be a long tail over the mean (%.0f)", max, mean)
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	c, built := sharedCorpus(t)
+	var roles classify.Roles
+	for _, g := range c.Networks {
+		roles.Add(classify.ProtocolRoles(built[g.Name].model))
+	}
+	share := func(rc classify.RoleCounts) float64 {
+		if rc.Total() == 0 {
+			return 0
+		}
+		return float64(rc.Intra) / float64(rc.Total())
+	}
+	if s := share(roles.OSPF); s < 0.75 || s > 0.97 {
+		t.Errorf("OSPF intra share = %.2f, want ~0.9 (paper: 0.89)", s)
+	}
+	if s := share(roles.EIGRP); s < 0.85 {
+		t.Errorf("EIGRP intra share = %.2f, want >0.85 (paper: 0.99)", s)
+	}
+	if s := share(roles.RIP); s < 0.75 {
+		t.Errorf("RIP intra share = %.2f, want >0.75 (paper: 0.89)", s)
+	}
+	ebgpInter := 1 - share(roles.EBGP)
+	if ebgpInter < 0.8 || ebgpInter > 0.97 {
+		t.Errorf("EBGP inter share = %.2f, want ~0.9 (paper: 0.90)", ebgpInter)
+	}
+	// The headline claim: a significant minority breaks the IGP/EGP
+	// convention in both directions.
+	if roles.OSPF.Inter+roles.EIGRP.Inter+roles.RIP.Inter < 50 {
+		t.Error("too few IGP-as-EGP instances to support the paper's claim")
+	}
+	if roles.EBGP.Intra < 20 {
+		t.Error("too few internal EBGP sessions to support the paper's claim")
+	}
+}
+
+func TestFigure11Shape(t *testing.T) {
+	c, built := sharedCorpus(t)
+	var stats []*filters.NetworkStats
+	noFilters := 0
+	for _, g := range c.Networks {
+		fs := built[g.Name].fil
+		stats = append(stats, fs)
+		if !fs.HasFilters {
+			noFilters++
+			if g.WantFilters {
+				t.Errorf("%s: expected filters, found none", g.Name)
+			}
+		}
+	}
+	if noFilters != 3 {
+		t.Errorf("networks without filters = %d, want 3 (as in the paper)", noFilters)
+	}
+	ps := filters.InternalPercentages(stats)
+	if len(ps) != 28 {
+		t.Fatalf("filtered networks = %d, want 28", len(ps))
+	}
+	atLeast40 := 0
+	for _, p := range ps {
+		if p >= 40 {
+			atLeast40++
+		}
+	}
+	frac := float64(atLeast40) / float64(len(ps))
+	// Paper: "in more than 30% of the networks, at least 40% of the packet
+	// filter rules are applied at internal interfaces".
+	if frac <= 0.30 || frac > 0.60 {
+		t.Errorf("fraction of networks with >=40%% internal rules = %.2f, want (0.30,0.60]", frac)
+	}
+}
+
+func TestFilterTargetsRoughlyMet(t *testing.T) {
+	c, built := sharedCorpus(t)
+	for _, g := range c.Networks {
+		if !g.WantFilters {
+			continue
+		}
+		got := built[g.Name].fil.PercentInternal()
+		if diff := got - g.TargetInternalFilterPct; diff > 15 || diff < -15 {
+			t.Errorf("%s: internal filter share %.1f%%, target %.1f%%", g.Name, got, g.TargetInternalFilterPct)
+		}
+	}
+}
+
+func TestInterfaceMixShape(t *testing.T) {
+	c, built := sharedCorpus(t)
+	var nets []*devmodel.Network
+	for _, g := range c.Networks {
+		nets = append(nets, built[g.Name].net)
+	}
+	mix := classify.InterfaceMix(nets)
+	if mix["Serial"] <= mix["FastEthernet"] || mix["Serial"] <= mix["ATM"] {
+		t.Errorf("Serial should dominate: %v", mix)
+	}
+	if mix["FastEthernet"] <= mix["ATM"] {
+		t.Errorf("FastEthernet should exceed ATM (paper Table 3): fe=%d atm=%d", mix["FastEthernet"], mix["ATM"])
+	}
+	for _, typ := range []string{"POS", "Hssi", "TokenRing", "Dialer", "BRI", "Tunnel", "Port", "Async", "Virtual", "Channel", "CBR", "Fddi", "Multilink", "Null", "GigabitEthernet", "Ethernet"} {
+		if mix[typ] == 0 {
+			t.Errorf("interface type %s missing from corpus", typ)
+		}
+	}
+}
+
+func TestPOSConcentratedInBackbones(t *testing.T) {
+	c, built := sharedCorpus(t)
+	for _, g := range c.Networks {
+		mix := classify.InterfaceMix([]*devmodel.Network{built[g.Name].net})
+		pos := mix["POS"] > 0
+		switch g.Name {
+		case "net1", "net2", "net3":
+			if !pos {
+				t.Errorf("%s: POS-core backbone has no POS interfaces", g.Name)
+			}
+		case "net4":
+			if pos {
+				t.Error("net4 (the HSSI/ATM backbone) should have no POS")
+			}
+			if mix["Hssi"] == 0 || mix["ATM"] == 0 {
+				t.Error("net4 should be built from HSSI and ATM")
+			}
+		}
+	}
+}
+
+func TestUnnumberedInterfacesPresentButRare(t *testing.T) {
+	c, built := sharedCorpus(t)
+	total, unnumbered := 0, 0
+	for _, g := range c.Networks {
+		top := built[g.Name].top
+		total += top.TotalInterfaces
+		unnumbered += top.UnnumberedInterfaces
+	}
+	if unnumbered == 0 {
+		t.Fatal("corpus should contain unnumbered interfaces (paper: 528)")
+	}
+	frac := float64(unnumbered) / float64(total)
+	if frac > 0.015 {
+		t.Errorf("unnumbered fraction = %.3f, should stay rare (paper: 0.005)", frac)
+	}
+}
+
+func TestSection7SizeStatistics(t *testing.T) {
+	c, _ := sharedCorpus(t)
+	var backbone, enterprise, other []int
+	for _, g := range c.Networks {
+		switch g.Kind {
+		case KindBackbone:
+			backbone = append(backbone, g.Routers)
+		case KindEnterprise:
+			enterprise = append(enterprise, g.Routers)
+		default:
+			other = append(other, g.Routers)
+		}
+	}
+	for _, s := range backbone {
+		if s < 400 || s > 600 {
+			t.Errorf("backbone size %d outside the paper's 400-600", s)
+		}
+	}
+	mean := 0
+	for _, s := range backbone {
+		mean += s
+	}
+	if m := mean / len(backbone); m < 500 || m > 580 {
+		t.Errorf("backbone mean %d, paper reports 540", m)
+	}
+	sort.Ints(enterprise)
+	if enterprise[0] != 19 || enterprise[len(enterprise)-1] != 101 {
+		t.Errorf("enterprise sizes = %v, want range 19..101", enterprise)
+	}
+	sort.Ints(other)
+	if len(other) != 20 {
+		t.Fatalf("unconventional networks = %d, want 20", len(other))
+	}
+	median := (other[9] + other[10]) / 2
+	if median < 25 || median > 50 {
+		t.Errorf("median of unconventional sizes = %d, paper reports 36", median)
+	}
+	if other[len(other)-1] != 1750 {
+		t.Errorf("largest unconventional = %d, paper reports 1750", other[len(other)-1])
+	}
+	larger := 0
+	for _, s := range other {
+		if s > 600 {
+			larger++
+		}
+	}
+	if larger != 4 {
+		t.Errorf("unconventional networks larger than the largest backbone = %d, paper reports 4", larger)
+	}
+}
+
+func TestInternalEBGPGroundTruth(t *testing.T) {
+	c, built := sharedCorpus(t)
+	for _, g := range c.Networks {
+		if g.InternalEBGPSessions == 0 {
+			continue
+		}
+		roles := classify.ProtocolRoles(built[g.Name].model)
+		if roles.EBGP.Intra != g.InternalEBGPSessions {
+			t.Errorf("%s: measured %d internal EBGP sessions, ground truth %d",
+				g.Name, roles.EBGP.Intra, g.InternalEBGPSessions)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

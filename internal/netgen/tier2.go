@@ -1,0 +1,136 @@
+package netgen
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// genTier2 emits a tier-2 ISP (Section 7.1): the BGP structure of a
+// backbone — one AS, route reflection, external EBGP peers — plus a large
+// number of "staging" IGP instances: single-router OSPF processes whose
+// only adjacencies are customer routers outside the corpus. Network
+// designers prefer these to static routes because the IGP validates that
+// the customer link is still up.
+func genTier2(rng *rand.Rand, name string, size, staging int, internalShare float64) *Generated {
+	g := &Generated{Name: name, Kind: KindTier2, Routers: size, WantFilters: true}
+	a := newAlloc()
+	as := uint32(6000 + rng.Intn(2000))
+
+	routers := make([]*router, size)
+	loops := make([]string, size)
+	for i := range routers {
+		routers[i] = newRouter(fmt.Sprintf("r%d", i+1))
+		lo := a.loopback()
+		routers[i].addIface("Loopback", lo, maskLo)
+		loops[i] = lo.String()
+	}
+
+	// Core ring + dual-homed aggregation, ATM/POS mix.
+	core := size / 12
+	if core < 4 {
+		core = 4
+	}
+	link := func(i, j int, kind string) {
+		x, y, _ := a.p2p()
+		routers[i].addIface(kind, x, maskP2P)
+		routers[j].addIface(kind, y, maskP2P)
+	}
+	for i := 0; i < core; i++ {
+		link(i, (i+1)%core, "POS")
+		routers[i].addIface("Port", a.misc(), maskP2P)
+	}
+	for i := core; i < size; i++ {
+		link(i, rng.Intn(core), "ATM")
+		link(i, rng.Intn(i), "Serial")
+		if i%2 == 0 {
+			addr, _ := a.lan()
+			routers[i].addIface("FastEthernet", addr, maskLAN)
+		}
+		if i%97 == 5 {
+			routers[i].addIface("Channel", a.misc(), maskP2P)
+		}
+	}
+
+	// Infrastructure OSPF everywhere.
+	for _, r := range routers {
+		r.tail.line("router ospf 100")
+		r.tail.line(" network 10.192.0.0 0.63.255.255 area 0")
+		r.tail.line(" network 10.127.0.0 0.0.255.255 area 0")
+	}
+
+	// IBGP route reflection from the first two routers.
+	for i, r := range routers {
+		r.tail.f("router bgp %d\n", as)
+		r.tail.line(" network 10.0.0.0 mask 255.192.0.0")
+		if i < 2 {
+			for j := range routers {
+				if j == i {
+					continue
+				}
+				r.tail.f(" neighbor %s remote-as %d\n", loops[j], as)
+				if j >= 2 {
+					r.tail.f(" neighbor %s route-reflector-client\n", loops[j])
+				}
+			}
+		} else {
+			for j := 0; j < 2; j++ {
+				r.tail.f(" neighbor %s remote-as %d\n", loops[j], as)
+			}
+		}
+	}
+
+	// Upstream and peer EBGP sessions at the core.
+	edgeBindings := 0
+	for i := 0; i < core; i++ {
+		inside, outside, _ := a.ext()
+		routers[i].addIface("Serial", inside, maskP2P, "ip access-group 120 in")
+		routers[i].tail.f("router bgp %d\n", as)
+		routers[i].tail.f(" neighbor %s remote-as %d\n", outside, 3300+uint32(rng.Intn(900)))
+		emitEdgeACLOnce(routers[i], 120)
+		g.ExternalPeerSessions++
+		edgeBindings++
+	}
+
+	// Staging IGP instances: the last `staging` routers each run an extra
+	// OSPF process that covers only customer-facing /30s. The customers'
+	// configurations are not in the corpus, so these instances peer with
+	// the outside world — IGPs serving as EGPs (Table 1's OSPF "inter"
+	// rows).
+	stagingStart := size - staging
+	if stagingStart < core {
+		stagingStart = core
+	}
+	for i := stagingStart; i < size; i++ {
+		r := routers[i]
+		customers := 1 + rng.Intn(3)
+		if i%8 == 0 {
+			// A minority of customers are staged on EIGRP.
+			r.tail.f("router eigrp %d\n", 400+i)
+			for c := 0; c < customers; c++ {
+				inside, _, p := a.ext()
+				r.addIface("Serial", inside, maskP2P)
+				r.tail.f(" network %s\n", p.Addr())
+				_ = inside
+			}
+		} else {
+			r.tail.f("router ospf %d\n", 200+i)
+			for c := 0; c < customers; c++ {
+				inside, _, p := a.ext()
+				r.addIface("Serial", inside, maskP2P)
+				r.tail.f(" network %s 0.0.0.3 area 0\n", p.Addr())
+				_ = inside
+			}
+			r.tail.line(" redistribute connected subnets")
+		}
+		g.IGPEdgeInstances++
+	}
+
+	nInternal := internalBindingsFor(edgeBindings*edgeACLClauses, internalShare)
+	spreadInternalFilters(routers[core:size-staging], a, nInternal, 160)
+	g.TargetInternalFilterPct = 100 * internalShare
+	g.Configs = make(map[string]string, size)
+	for _, r := range routers {
+		g.Configs[r.name] = r.config()
+	}
+	return g
+}

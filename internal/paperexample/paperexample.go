@@ -1,0 +1,180 @@
+// Package paperexample reconstructs the running example of the paper
+// (Figures 1, 2, 5, 6, and 7): a small enterprise network (R1–R3) attached
+// to a transit backbone (R4–R6), which also serves an external customer
+// router R7 that is outside the configuration corpus.
+//
+// The enterprise follows the canonical enterprise design: a single border
+// router (R2) speaks EBGP to the provider and redistributes the learned
+// routes into its IGP. The backbone follows the canonical backbone design:
+// EBGP at the edges, a full IBGP mesh inside, and an IGP that carries only
+// infrastructure routes — external routes are never redistributed into the
+// IGP.
+package paperexample
+
+import (
+	"fmt"
+	"strings"
+
+	"routinglens/internal/ciscoparse"
+	"routinglens/internal/devmodel"
+)
+
+// AS numbers used in the example (as in the paper's figures).
+const (
+	EnterpriseAS = 64780
+	BackboneAS   = 12762
+	CustomerAS   = 8342
+)
+
+// Configs returns the configuration text for each router of the example,
+// keyed by hostname. R7 is deliberately absent: it is external.
+func Configs() map[string]string {
+	cfgs := make(map[string]string)
+
+	// --- Enterprise network: R1 -- R2 -- R3, R2 is the border router. ---
+
+	cfgs["r1"] = `hostname r1
+interface Ethernet0
+ ip address 10.1.0.1 255.255.255.252
+interface Ethernet1
+ ip address 10.10.1.1 255.255.255.0
+router ospf 64
+ network 10.1.0.0 0.0.0.3 area 0
+ network 10.10.1.0 0.0.0.255 area 0
+ redistribute connected metric-type 1 subnets
+`
+
+	cfgs["r2"] = `hostname r2
+interface Ethernet0
+ ip address 10.1.0.2 255.255.255.252
+interface Ethernet1
+ ip address 10.1.0.5 255.255.255.252
+interface Serial0
+ ip address 10.2.0.1 255.255.255.252
+router ospf 64
+ redistribute connected metric-type 1 subnets
+ redistribute bgp 64780 metric 1 subnets
+ network 10.1.0.0 0.0.0.3 area 0
+router ospf 128
+ redistribute connected metric-type 1 subnets
+ network 10.1.0.4 0.0.0.3 area 11
+router bgp 64780
+ redistribute ospf 64 route-map ENT-OUT
+ neighbor 10.2.0.2 remote-as 12762
+ neighbor 10.2.0.2 distribute-list 4 in
+ neighbor 10.2.0.2 distribute-list 3 out
+access-list 3 permit 10.10.0.0 0.0.255.255
+access-list 4 permit any
+route-map ENT-OUT permit 10
+ match ip address 3
+`
+
+	cfgs["r3"] = `hostname r3
+interface Ethernet0
+ ip address 10.1.0.6 255.255.255.252
+interface Ethernet1
+ ip address 10.10.3.1 255.255.255.0
+router ospf 128
+ network 10.1.0.4 0.0.0.3 area 11
+ network 10.10.3.0 0.0.0.255 area 11
+ redistribute connected metric-type 1 subnets
+`
+
+	// --- Backbone network: R4 -- R5 -- R6, EBGP at R4 (to R7) and R6
+	// (to the enterprise's R2), full IBGP mesh, OSPF carries
+	// infrastructure routes only. ---
+
+	ibgp := func(self string, peers ...string) string {
+		var b strings.Builder
+		for _, p := range peers {
+			if p == self {
+				continue
+			}
+			fmt.Fprintf(&b, " neighbor %s remote-as %d\n", p, BackboneAS)
+		}
+		return b.String()
+	}
+	lo := map[string]string{"r4": "10.3.255.4", "r5": "10.3.255.5", "r6": "10.3.255.6"}
+	all := []string{lo["r4"], lo["r5"], lo["r6"]}
+
+	cfgs["r4"] = `hostname r4
+interface Loopback0
+ ip address ` + lo["r4"] + ` 255.255.255.255
+interface POS0/0
+ ip address 10.3.0.1 255.255.255.252
+interface Serial1/0
+ ip address 10.4.0.1 255.255.255.252
+router ospf 100
+ network 10.3.0.0 0.0.255.255 area 0
+router bgp 12762
+ neighbor 10.4.0.2 remote-as 8342
+` + ibgp(lo["r4"], all...)
+
+	cfgs["r5"] = `hostname r5
+interface Loopback0
+ ip address ` + lo["r5"] + ` 255.255.255.255
+interface POS0/0
+ ip address 10.3.0.2 255.255.255.252
+interface POS0/1
+ ip address 10.3.0.5 255.255.255.252
+router ospf 100
+ network 10.3.0.0 0.0.255.255 area 0
+router bgp 12762
+` + ibgp(lo["r5"], all...)
+
+	cfgs["r6"] = `hostname r6
+interface Loopback0
+ ip address ` + lo["r6"] + ` 255.255.255.255
+interface POS0/0
+ ip address 10.3.0.6 255.255.255.252
+interface Serial1/0
+ ip address 10.2.0.2 255.255.255.252
+router ospf 100
+ network 10.3.0.0 0.0.255.255 area 0
+router bgp 12762
+ neighbor 10.2.0.1 remote-as 64780
+` + ibgp(lo["r6"], all...)
+
+	return cfgs
+}
+
+// EnterpriseHosts and BackboneHosts name the routers of the two networks.
+var (
+	EnterpriseHosts = []string{"r1", "r2", "r3"}
+	BackboneHosts   = []string{"r4", "r5", "r6"}
+)
+
+// Build parses the whole example (enterprise plus backbone) as a single
+// corpus, mirroring the paper's combined Figure 5.
+func Build() (*devmodel.Network, error) {
+	return build("paper-example", append(append([]string{}, EnterpriseHosts...), BackboneHosts...))
+}
+
+// BuildEnterprise parses only the enterprise network (R1–R3). R6 becomes an
+// external EBGP peer.
+func BuildEnterprise() (*devmodel.Network, error) {
+	return build("paper-enterprise", EnterpriseHosts)
+}
+
+// BuildBackbone parses only the backbone network (R4–R6). R2 and R7 become
+// external EBGP peers.
+func BuildBackbone() (*devmodel.Network, error) {
+	return build("paper-backbone", BackboneHosts)
+}
+
+func build(name string, hosts []string) (*devmodel.Network, error) {
+	cfgs := Configs()
+	n := &devmodel.Network{Name: name}
+	for _, h := range hosts {
+		cfg, ok := cfgs[h]
+		if !ok {
+			return nil, fmt.Errorf("paperexample: no config for %q", h)
+		}
+		res, err := ciscoparse.Parse(h+".cfg", strings.NewReader(cfg))
+		if err != nil {
+			return nil, fmt.Errorf("paperexample: parsing %s: %w", h, err)
+		}
+		n.Devices = append(n.Devices, res.Device)
+	}
+	return n, nil
+}

@@ -1,0 +1,70 @@
+package paperexample
+
+import (
+	"strings"
+	"testing"
+
+	"routinglens/internal/ciscoparse"
+)
+
+func TestConfigsParseCleanly(t *testing.T) {
+	for host, cfg := range Configs() {
+		res, err := ciscoparse.Parse(host, strings.NewReader(cfg))
+		if err != nil {
+			t.Fatalf("%s: %v", host, err)
+		}
+		if len(res.Diagnostics) != 0 {
+			t.Errorf("%s: diagnostics %v", host, res.Diagnostics)
+		}
+		if res.Device.Hostname != host {
+			t.Errorf("%s: hostname %q", host, res.Device.Hostname)
+		}
+	}
+}
+
+func TestBuildVariants(t *testing.T) {
+	full, err := Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Devices) != 6 {
+		t.Errorf("full devices = %d", len(full.Devices))
+	}
+	ent, err := BuildEnterprise()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ent.Devices) != 3 || ent.Device("r4") != nil {
+		t.Errorf("enterprise devices wrong")
+	}
+	bb, err := BuildBackbone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bb.Devices) != 3 || bb.Device("r1") != nil {
+		t.Errorf("backbone devices wrong")
+	}
+}
+
+func TestBackboneIBGPMesh(t *testing.T) {
+	bb, err := BuildBackbone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range BackboneHosts {
+		d := bb.Device(h)
+		bgp := d.Process("bgp 12762")
+		if bgp == nil {
+			t.Fatalf("%s: bgp process missing", h)
+		}
+		ibgp := 0
+		for _, nb := range bgp.Neighbors {
+			if nb.RemoteAS == BackboneAS {
+				ibgp++
+			}
+		}
+		if ibgp != 2 {
+			t.Errorf("%s: IBGP peers = %d, want 2 (full mesh)", h, ibgp)
+		}
+	}
+}

@@ -1,0 +1,223 @@
+package pathway
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"routinglens/internal/devmodel"
+	"routinglens/internal/instance"
+)
+
+// Influence is the forward complement of the route pathway graph: starting
+// from the instances a router originates routes into, it follows the
+// instance-level route-flow edges forward to find every instance — and
+// every router — that can learn routes from it. The paper's anomaly
+// detection and maintenance use cases (Section 8.1) need exactly this
+// blast-radius view: which part of the network is affected if this
+// router's routes flap or disappear.
+type Influence struct {
+	Router *devmodel.Device
+	// Origins are the instances the router participates in directly.
+	Origins []*instance.Instance
+	// Reached lists every instance the router's routes can propagate to
+	// (including the origins), in instance-ID order.
+	Reached []*instance.Instance
+	// ReachesExternal reports whether the router's routes can be announced
+	// to the outside world.
+	ReachesExternal bool
+}
+
+// ComputeInfluence builds the forward influence view for the named router.
+func ComputeInfluence(m *instance.Model, hostname string) (*Influence, error) {
+	d := m.Graph.Network.Device(hostname)
+	if d == nil {
+		return nil, fmt.Errorf("pathway: router %q not in network %q", hostname, m.Graph.Network.Name)
+	}
+	inf := &Influence{Router: d}
+
+	seen := make(map[*instance.Instance]bool)
+	var frontier []*instance.Instance
+	for _, p := range d.Processes {
+		in := m.OfProcess(p)
+		if in != nil && !seen[in] {
+			seen[in] = true
+			frontier = append(frontier, in)
+		}
+	}
+	sort.Slice(frontier, func(i, j int) bool { return frontier[i].ID < frontier[j].ID })
+	inf.Origins = append(inf.Origins, frontier...)
+
+	for len(frontier) > 0 {
+		var next []*instance.Instance
+		for _, cur := range frontier {
+			for _, e := range m.EdgesFrom(cur) {
+				if e.To == nil {
+					inf.ReachesExternal = true
+					continue
+				}
+				if !seen[e.To] {
+					seen[e.To] = true
+					next = append(next, e.To)
+				}
+			}
+		}
+		sort.Slice(next, func(i, j int) bool { return next[i].ID < next[j].ID })
+		frontier = next
+	}
+	for in := range seen {
+		inf.Reached = append(inf.Reached, in)
+	}
+	sort.Slice(inf.Reached, func(i, j int) bool { return inf.Reached[i].ID < inf.Reached[j].ID })
+	return inf, nil
+}
+
+// AffectedRouters returns the distinct routers (other than the origin)
+// participating in any reached instance: the set that may see routing
+// churn if this router misbehaves.
+func (inf *Influence) AffectedRouters() []*devmodel.Device {
+	seen := make(map[*devmodel.Device]bool)
+	var out []*devmodel.Device
+	for _, in := range inf.Reached {
+		for _, d := range in.Devices {
+			if d != inf.Router && !seen[d] {
+				seen[d] = true
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Hostname < out[j].Hostname })
+	return out
+}
+
+// String renders the influence report.
+func (inf *Influence) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "influence of %s\n", inf.Router.Hostname)
+	for _, in := range inf.Origins {
+		fmt.Fprintf(&b, "  originates into instance %d %s\n", in.ID, in.Label())
+	}
+	fmt.Fprintf(&b, "  reaches %d instances, %d other routers\n",
+		len(inf.Reached), len(inf.AffectedRouters()))
+	if inf.ReachesExternal {
+		b.WriteString("  routes can be announced to the external world\n")
+	}
+	return b.String()
+}
+
+// MonitorPlacement suggests where to place route monitors (the paper's
+// "deciding where to place the measurement devices to collect the most
+// useful data"): a greedy minimum set of instances that covers every entry
+// point of external routing information — each instance with an edge from
+// the external world or from another network's AS must be observed either
+// directly or through an instance its routes flow into.
+type MonitorPlacement struct {
+	// Monitors are the chosen instances, in choice order.
+	Monitors []*instance.Instance
+	// Covers maps each chosen instance to the entry-point instances it
+	// observes.
+	Covers map[*instance.Instance][]*instance.Instance
+}
+
+// PlaceMonitors computes a greedy set-cover placement.
+func PlaceMonitors(m *instance.Model) *MonitorPlacement {
+	// Entry points: instances fed directly by the external world.
+	var entries []*instance.Instance
+	for _, e := range m.EdgesFrom(nil) {
+		if e.To != nil {
+			entries = append(entries, e.To)
+		}
+	}
+	entries = dedupeInstances(entries)
+
+	// observers[x] = set of instances whose RIBs see routes entering at x:
+	// forward closure from x.
+	observers := make(map[*instance.Instance][]*instance.Instance)
+	for _, entry := range entries {
+		observers[entry] = forwardClosure(m, entry)
+	}
+
+	// Greedy cover: pick the instance observing the most uncovered
+	// entries.
+	uncovered := make(map[*instance.Instance]bool, len(entries))
+	for _, e := range entries {
+		uncovered[e] = true
+	}
+	// candidate -> entries it observes
+	coverage := make(map[*instance.Instance][]*instance.Instance)
+	for entry, seen := range observers {
+		for _, obs := range seen {
+			coverage[obs] = append(coverage[obs], entry)
+		}
+	}
+
+	mp := &MonitorPlacement{Covers: make(map[*instance.Instance][]*instance.Instance)}
+	for len(uncovered) > 0 {
+		var best *instance.Instance
+		bestGain := 0
+		for cand, ents := range coverage {
+			gain := 0
+			for _, e := range ents {
+				if uncovered[e] {
+					gain++
+				}
+			}
+			if gain > bestGain || (gain == bestGain && gain > 0 && (best == nil || cand.ID < best.ID)) {
+				best = cand
+				bestGain = gain
+			}
+		}
+		if best == nil {
+			break // disconnected entry (shouldn't happen: entry observes itself)
+		}
+		var got []*instance.Instance
+		for _, e := range coverage[best] {
+			if uncovered[e] {
+				delete(uncovered, e)
+				got = append(got, e)
+			}
+		}
+		sort.Slice(got, func(i, j int) bool { return got[i].ID < got[j].ID })
+		mp.Monitors = append(mp.Monitors, best)
+		mp.Covers[best] = got
+	}
+	return mp
+}
+
+// forwardClosure returns every instance reachable from start along
+// route-flow edges, including start itself.
+func forwardClosure(m *instance.Model, start *instance.Instance) []*instance.Instance {
+	seen := map[*instance.Instance]bool{start: true}
+	frontier := []*instance.Instance{start}
+	for len(frontier) > 0 {
+		var next []*instance.Instance
+		for _, cur := range frontier {
+			for _, e := range m.EdgesFrom(cur) {
+				if e.To != nil && !seen[e.To] {
+					seen[e.To] = true
+					next = append(next, e.To)
+				}
+			}
+		}
+		frontier = next
+	}
+	out := make([]*instance.Instance, 0, len(seen))
+	for in := range seen {
+		out = append(out, in)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+func dedupeInstances(ins []*instance.Instance) []*instance.Instance {
+	seen := make(map[*instance.Instance]bool)
+	var out []*instance.Instance
+	for _, in := range ins {
+		if !seen[in] {
+			seen[in] = true
+			out = append(out, in)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

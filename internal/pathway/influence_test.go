@@ -1,0 +1,123 @@
+package pathway
+
+import (
+	"strings"
+	"testing"
+
+	"routinglens/internal/instance"
+	"routinglens/internal/netgen"
+	"routinglens/internal/paperexample"
+	"routinglens/internal/procgraph"
+	"routinglens/internal/topology"
+)
+
+func exampleModel(t *testing.T) *instance.Model {
+	t.Helper()
+	n, err := paperexample.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return instance.Compute(procgraph.Build(n, topology.Build(n)))
+}
+
+func TestInfluenceEnterpriseLeaf(t *testing.T) {
+	m := exampleModel(t)
+	inf, err := ComputeInfluence(m, "r1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// r1 originates into ospf 64; routes flow ospf 64 -> bgp 64780 ->
+	// bgp 12762 (EBGP) and onward to the external world.
+	if len(inf.Origins) != 1 || inf.Origins[0].Label() != "ospf 64" {
+		t.Errorf("origins = %v", inf.Origins)
+	}
+	if !inf.ReachesExternal {
+		t.Error("r1's routes should be announceable externally")
+	}
+	labels := make(map[string]bool)
+	for _, in := range inf.Reached {
+		labels[in.Label()] = true
+	}
+	for _, want := range []string{"ospf 64", "BGP AS 64780", "BGP AS 12762"} {
+		if !labels[want] {
+			t.Errorf("influence should reach %s (got %v)", want, labels)
+		}
+	}
+	// ospf 128 receives nothing from ospf 64 in the example design (r2
+	// only redistributes connected into it).
+	if labels["ospf 128"] {
+		t.Error("influence should not reach ospf 128")
+	}
+	affected := inf.AffectedRouters()
+	if len(affected) < 3 {
+		t.Errorf("affected routers = %d, want at least r2,r4,r5,r6 subset", len(affected))
+	}
+	if !strings.Contains(inf.String(), "originates into instance") {
+		t.Error("String() rendering incomplete")
+	}
+}
+
+func TestInfluenceUnknownRouter(t *testing.T) {
+	m := exampleModel(t)
+	if _, err := ComputeInfluence(m, "nope"); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestMonitorPlacementExample(t *testing.T) {
+	m := exampleModel(t)
+	mp := PlaceMonitors(m)
+	// One entry point (BGP AS 12762 via R7): one monitor suffices.
+	if len(mp.Monitors) != 1 {
+		t.Fatalf("monitors = %d, want 1", len(mp.Monitors))
+	}
+	if got := mp.Covers[mp.Monitors[0]]; len(got) != 1 {
+		t.Errorf("coverage = %v", got)
+	}
+}
+
+func TestMonitorPlacementNet5(t *testing.T) {
+	g := netgen.GenerateCorpus(2004).ByName("net5")
+	n, err := g.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := instance.Compute(procgraph.Build(n, topology.Build(n)))
+	mp := PlaceMonitors(m)
+	if len(mp.Monitors) == 0 {
+		t.Fatal("net5 has external entry points; monitors expected")
+	}
+	// net5's external routes all redistribute into compartment EIGRPs, so
+	// a handful of monitors must cover all ~14 entry instances.
+	entries := 0
+	for _, got := range mp.Covers {
+		entries += len(got)
+	}
+	if entries < 10 {
+		t.Errorf("covered entries = %d, expected all external entry points", entries)
+	}
+	if len(mp.Monitors) > entries {
+		t.Errorf("placement should not need more monitors (%d) than entries (%d)", len(mp.Monitors), entries)
+	}
+	// The big EIGRP compartment sees routes from many small ASes: greedy
+	// cover should exploit that and use far fewer monitors than entries.
+	if len(mp.Monitors) >= entries {
+		t.Errorf("greedy cover should consolidate: %d monitors for %d entries", len(mp.Monitors), entries)
+	}
+}
+
+func TestForwardClosureContainsSelf(t *testing.T) {
+	m := exampleModel(t)
+	for _, in := range m.Instances {
+		fc := forwardClosure(m, in)
+		found := false
+		for _, x := range fc {
+			if x == in {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("closure of %s must contain itself", in.Label())
+		}
+	}
+}

@@ -1,0 +1,189 @@
+// Package pathway computes route pathway graphs (paper Section 3.3): for a
+// given router, a breadth-first search backwards through the routing
+// instance model that shows where the routes in that router's RIB come
+// from, which instances they traverse, and where routing policy is applied
+// along the way.
+package pathway
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"routinglens/internal/devmodel"
+	"routinglens/internal/instance"
+)
+
+// Hop is one instance (or the external world) reached by the backward
+// search, at a given depth from the router RIB.
+type Hop struct {
+	// Instance is nil for the external world.
+	Instance *instance.Instance
+	// Depth is the BFS distance from the router RIB (direct feeders are
+	// depth 1).
+	Depth int
+}
+
+// Label renders the hop for reports.
+func (h Hop) Label() string {
+	if h.Instance == nil {
+		return "External World"
+	}
+	return fmt.Sprintf("instance %d %s", h.Instance.ID, h.Instance.Label())
+}
+
+// Edge is an instance-level route-flow edge traversed by the pathway,
+// together with the policies applied along it.
+type Edge struct {
+	From, To *instance.Instance // nil = external world
+	Kind     instance.EdgeKind
+	Policies []string
+}
+
+// Graph is the route pathway graph of one router.
+type Graph struct {
+	Router *devmodel.Device
+	// Feeders are the instances whose routes feed the router RIB directly
+	// (via route selection), in instance-ID order.
+	Feeders []*instance.Instance
+	// Hops lists every instance reached, in BFS order.
+	Hops []Hop
+	// Edges are the traversed instance edges.
+	Edges []*Edge
+	// ReachesExternal reports whether some pathway originates outside the
+	// network.
+	ReachesExternal bool
+	// LocalOnly reports that the router learns routes only from its own
+	// connected/static configuration.
+	LocalOnly bool
+}
+
+// Compute builds the route pathway graph for the named router within the
+// instance model. It returns an error if the router is not in the model's
+// network.
+func Compute(m *instance.Model, hostname string) (*Graph, error) {
+	d := m.Graph.Network.Device(hostname)
+	if d == nil {
+		return nil, fmt.Errorf("pathway: router %q not in network %q", hostname, m.Graph.Network.Name)
+	}
+	g := &Graph{Router: d}
+
+	// Depth 1: instances feeding the router RIB via selection edges.
+	seen := make(map[*instance.Instance]bool)
+	var frontier []*instance.Instance
+	for _, p := range d.Processes {
+		in := m.OfProcess(p)
+		if in == nil || seen[in] {
+			continue
+		}
+		seen[in] = true
+		frontier = append(frontier, in)
+	}
+	sort.Slice(frontier, func(i, j int) bool { return frontier[i].ID < frontier[j].ID })
+	g.Feeders = append(g.Feeders, frontier...)
+	if len(frontier) == 0 {
+		g.LocalOnly = true
+		return g, nil
+	}
+	for _, in := range frontier {
+		g.Hops = append(g.Hops, Hop{Instance: in, Depth: 1})
+	}
+
+	// BFS backwards over instance edges.
+	depth := 1
+	extSeen := false
+	for len(frontier) > 0 {
+		depth++
+		var next []*instance.Instance
+		for _, cur := range frontier {
+			for _, e := range m.EdgesInto(cur) {
+				if e.From == nil {
+					g.addEdge(e)
+					if !extSeen {
+						extSeen = true
+						g.ReachesExternal = true
+						g.Hops = append(g.Hops, Hop{Instance: nil, Depth: depth})
+					}
+					continue
+				}
+				g.addEdge(e)
+				if !seen[e.From] {
+					seen[e.From] = true
+					next = append(next, e.From)
+					g.Hops = append(g.Hops, Hop{Instance: e.From, Depth: depth})
+				}
+			}
+		}
+		sort.Slice(next, func(i, j int) bool { return next[i].ID < next[j].ID })
+		frontier = next
+	}
+	return g, nil
+}
+
+func (g *Graph) addEdge(e *instance.Edge) {
+	for _, have := range g.Edges {
+		if have.From == e.From && have.To == e.To && have.Kind == e.Kind {
+			return
+		}
+	}
+	g.Edges = append(g.Edges, &Edge{From: e.From, To: e.To, Kind: e.Kind, Policies: e.Policies()})
+}
+
+// PolicyPoints returns the edges on the pathway that carry policy, i.e. the
+// places where route filtering shapes what this router sees.
+func (g *Graph) PolicyPoints() []*Edge {
+	var out []*Edge
+	for _, e := range g.Edges {
+		if len(e.Policies) > 0 {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// MaxDepth returns the length of the longest pathway (number of instance
+// layers routes traverse before reaching the router, counting the external
+// world as a layer when reached).
+func (g *Graph) MaxDepth() int {
+	max := 0
+	for _, h := range g.Hops {
+		if h.Depth > max {
+			max = h.Depth
+		}
+	}
+	return max
+}
+
+// String renders the pathway as an indented text tree, deepest origins
+// first — the textual analogue of the paper's Figures 7 and 10.
+func (g *Graph) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "route pathways into %s\n", g.Router.Hostname)
+	if g.LocalOnly {
+		b.WriteString("  (local routes only)\n")
+		return b.String()
+	}
+	byDepth := make(map[int][]Hop)
+	maxDepth := g.MaxDepth()
+	for _, h := range g.Hops {
+		byDepth[h.Depth] = append(byDepth[h.Depth], h)
+	}
+	for depth := maxDepth; depth >= 1; depth-- {
+		for _, h := range byDepth[depth] {
+			fmt.Fprintf(&b, "%s%s\n", strings.Repeat("  ", maxDepth-depth+1), h.Label())
+		}
+	}
+	fmt.Fprintf(&b, "  Router RIB %s\n", g.Router.Hostname)
+	for _, e := range g.PolicyPoints() {
+		from := "External World"
+		if e.From != nil {
+			from = e.From.Label()
+		}
+		to := "External World"
+		if e.To != nil {
+			to = e.To.Label()
+		}
+		fmt.Fprintf(&b, "  policy on %s -> %s: %s\n", from, to, strings.Join(e.Policies, ", "))
+	}
+	return b.String()
+}

@@ -1,0 +1,131 @@
+package pathway
+
+import (
+	"strings"
+	"testing"
+
+	"routinglens/internal/instance"
+	"routinglens/internal/paperexample"
+	"routinglens/internal/procgraph"
+	"routinglens/internal/topology"
+)
+
+func TestEnterprisePathway(t *testing.T) {
+	n, err := paperexample.BuildEnterprise()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := instance.Compute(procgraph.Build(n, topology.Build(n)))
+	// Figure 7(a): router 1 learns from ospf 64, which learns from BGP AS
+	// 64780, which learns from the external world.
+	g, err := Compute(m, "r1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Feeders) != 1 || g.Feeders[0].Label() != "ospf 64" {
+		t.Fatalf("r1 feeders = %v", g.Feeders)
+	}
+	if !g.ReachesExternal {
+		t.Error("enterprise pathway should reach the external world")
+	}
+	// Depth: ospf 64 (1) <- bgp 64780 (2) <- external (3).
+	if g.MaxDepth() != 3 {
+		t.Errorf("max depth = %d, want 3", g.MaxDepth())
+	}
+	// The redistribution policy ENT-OUT governs ospf->bgp, not the path
+	// into r1; the pathway into r1 passes bgp->ospf (unfiltered) and the
+	// external edges carrying distribute-lists 3/4.
+	found := false
+	for _, e := range g.PolicyPoints() {
+		for _, p := range e.Policies {
+			if p == "4" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Errorf("inbound distribute-list 4 should appear on the pathway; points=%v", g.PolicyPoints())
+	}
+}
+
+func TestBackbonePathway(t *testing.T) {
+	n, err := paperexample.BuildBackbone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := instance.Compute(procgraph.Build(n, topology.Build(n)))
+	// Figure 7(b): router 5 learns from its OSPF instance and from the
+	// IBGP-connected BGP instance; external routes come only via BGP.
+	g, err := Compute(m, "r5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Feeders) != 2 {
+		t.Fatalf("r5 feeders = %d, want 2 (ospf + bgp)", len(g.Feeders))
+	}
+	if !g.ReachesExternal {
+		t.Error("backbone pathway should reach the external world")
+	}
+	// The hallmark of the backbone design: no redistribution edge anywhere
+	// on the pathway — external routes stay in BGP.
+	for _, e := range g.Edges {
+		if e.Kind == instance.EdgeRedistribution {
+			t.Errorf("backbone pathway should have no redistribution edges, got %v -> %v", e.From, e.To)
+		}
+	}
+	// In the combined-corpus view the external world reaches r5 at depth 2
+	// (via the BGP instance).
+	if g.MaxDepth() != 2 {
+		t.Errorf("max depth = %d, want 2", g.MaxDepth())
+	}
+}
+
+func TestPathwayUnknownRouter(t *testing.T) {
+	n, err := paperexample.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := instance.Compute(procgraph.Build(n, topology.Build(n)))
+	if _, err := Compute(m, "nope"); err == nil {
+		t.Error("expected error for unknown router")
+	}
+}
+
+func TestPathwayString(t *testing.T) {
+	n, err := paperexample.BuildEnterprise()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := instance.Compute(procgraph.Build(n, topology.Build(n)))
+	g, err := Compute(m, "r1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := g.String()
+	for _, want := range []string{"route pathways into r1", "External World", "ospf 64", "Router RIB r1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestLocalOnlyPathway(t *testing.T) {
+	n, err := paperexample.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strip r3's processes to simulate a static-only router.
+	r3 := n.Device("r3")
+	r3.Processes = nil
+	m := instance.Compute(procgraph.Build(n, topology.Build(n)))
+	g, err := Compute(m, "r3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.LocalOnly || len(g.Feeders) != 0 {
+		t.Errorf("static-only router should be LocalOnly: %+v", g)
+	}
+	if !strings.Contains(g.String(), "local routes only") {
+		t.Error("String() should mention local-only")
+	}
+}

@@ -1,0 +1,412 @@
+package procgraph
+
+import (
+	"strings"
+	"testing"
+
+	"routinglens/internal/ciscoparse"
+	"routinglens/internal/devmodel"
+	"routinglens/internal/netaddr"
+	"routinglens/internal/paperexample"
+	"routinglens/internal/topology"
+)
+
+func buildExample(t *testing.T) *Graph {
+	t.Helper()
+	n, err := paperexample.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Build(n, topology.Build(n))
+}
+
+func TestNodeInventory(t *testing.T) {
+	g := buildExample(t)
+	// 6 devices: 6 local + 6 router RIBs. Processes: r1:1, r2:3, r3:1,
+	// r4:2, r5:2, r6:2 = 11. External: R7 (AS 8342) = 1.
+	procs := len(g.ProcNodes())
+	if procs != 11 {
+		t.Errorf("process nodes = %d, want 11", procs)
+	}
+	ext := g.ExternalNodes()
+	if len(ext) != 1 {
+		t.Fatalf("external nodes = %d, want 1 (%v)", len(ext), ext)
+	}
+	if ext[0].ExtAS != paperexample.CustomerAS {
+		t.Errorf("external AS = %d", ext[0].ExtAS)
+	}
+	total := 0
+	for range g.Nodes {
+		total++
+	}
+	if total != 6+6+11+1 {
+		t.Errorf("total nodes = %d, want 24", total)
+	}
+}
+
+func TestSelectionEdges(t *testing.T) {
+	g := buildExample(t)
+	n := g.Network
+	r2 := n.Device("r2")
+	router := g.RouterNode(r2)
+	in := g.InEdges(router)
+	// local + 3 processes.
+	if len(in) != 4 {
+		t.Fatalf("selection edges into r2 RIB = %d, want 4", len(in))
+	}
+	for _, e := range in {
+		if e.Kind != Selection {
+			t.Errorf("edge into router RIB has kind %v", e.Kind)
+		}
+	}
+}
+
+func TestRedistributionEdges(t *testing.T) {
+	g := buildExample(t)
+	r2 := g.Network.Device("r2")
+	ospf64 := g.ProcNode(r2.Process("ospf 64"))
+	bgp := g.ProcNode(r2.Process("bgp 64780"))
+	local := g.LocalNode(r2)
+
+	var bgpToOspf, localToOspf, ospfToBgp bool
+	for _, e := range g.Edges {
+		if e.Kind != Redistribution {
+			continue
+		}
+		switch {
+		case e.From == bgp && e.To == ospf64:
+			bgpToOspf = true
+		case e.From == local && e.To == ospf64:
+			localToOspf = true
+		case e.From == ospf64 && e.To == bgp:
+			ospfToBgp = true
+			if e.RouteMap != "ENT-OUT" {
+				t.Errorf("redistribution route-map = %q", e.RouteMap)
+			}
+		}
+	}
+	if !bgpToOspf || !localToOspf || !ospfToBgp {
+		t.Errorf("missing redistribution edges: bgp->ospf=%v local->ospf=%v ospf->bgp=%v",
+			bgpToOspf, localToOspf, ospfToBgp)
+	}
+}
+
+func TestIGPAdjacency(t *testing.T) {
+	g := buildExample(t)
+	n := g.Network
+	o64r1 := g.ProcNode(n.Device("r1").Process("ospf 64"))
+	o64r2 := g.ProcNode(n.Device("r2").Process("ospf 64"))
+	o128r2 := g.ProcNode(n.Device("r2").Process("ospf 128"))
+	o128r3 := g.ProcNode(n.Device("r3").Process("ospf 128"))
+
+	adj := func(a, b *Node) bool {
+		for _, e := range g.Edges {
+			if e.Kind == Adjacency && e.From == a && e.To == b {
+				return true
+			}
+		}
+		return false
+	}
+	if !adj(o64r1, o64r2) || !adj(o64r2, o64r1) {
+		t.Error("ospf 64 adjacency r1<->r2 missing")
+	}
+	if !adj(o128r2, o128r3) || !adj(o128r3, o128r2) {
+		t.Error("ospf 128 adjacency r2<->r3 missing")
+	}
+	// The two OSPF processes on r2 must NOT be adjacent to each other or to
+	// the wrong remote process.
+	if adj(o64r2, o128r2) || adj(o64r1, o128r3) {
+		t.Error("spurious OSPF adjacency across process boundaries")
+	}
+}
+
+func TestBGPAdjacencies(t *testing.T) {
+	g := buildExample(t)
+	n := g.Network
+	bgpR2 := g.ProcNode(n.Device("r2").Process("bgp 64780"))
+	bgpR4 := g.ProcNode(n.Device("r4").Process("bgp 12762"))
+	bgpR5 := g.ProcNode(n.Device("r5").Process("bgp 12762"))
+	bgpR6 := g.ProcNode(n.Device("r6").Process("bgp 12762"))
+
+	var r2r6EBGP, ibgpCount int
+	for _, e := range g.Edges {
+		if e.Kind != Adjacency {
+			continue
+		}
+		if (e.From == bgpR2 && e.To == bgpR6) || (e.From == bgpR6 && e.To == bgpR2) {
+			if !e.EBGP {
+				t.Error("r2<->r6 session should be EBGP")
+			}
+			r2r6EBGP++
+		}
+		bgps := map[*Node]bool{bgpR4: true, bgpR5: true, bgpR6: true}
+		if bgps[e.From] && bgps[e.To] && !e.EBGP {
+			ibgpCount++
+		}
+	}
+	if r2r6EBGP != 2 {
+		t.Errorf("r2<->r6 EBGP edges = %d, want 2", r2r6EBGP)
+	}
+	// Full IBGP mesh of 3 routers: 3 sessions x 2 directions = 6.
+	if ibgpCount != 6 {
+		t.Errorf("IBGP edges = %d, want 6", ibgpCount)
+	}
+	// r4 must have an EBGP adjacency to the external R7.
+	ext := g.ExternalNodes()[0]
+	found := false
+	for _, e := range g.Edges {
+		if e.Kind == Adjacency && e.From == ext && e.To == bgpR4 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("external adjacency ext->r4 missing")
+	}
+}
+
+func TestNeighborPolicyAnnotations(t *testing.T) {
+	// Parse only the enterprise: R6 becomes external, so R2's neighbor
+	// policies annotate external edges.
+	n, err := paperexample.BuildEnterprise()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Build(n, topology.Build(n))
+	ext := g.ExternalNodes()
+	if len(ext) != 1 || ext[0].ExtAS != paperexample.BackboneAS {
+		t.Fatalf("enterprise external nodes wrong: %v", ext)
+	}
+	var inEdge, outEdge *Edge
+	for _, e := range g.Edges {
+		if e.Kind != Adjacency {
+			continue
+		}
+		if e.From == ext[0] {
+			inEdge = e
+		}
+		if e.To == ext[0] {
+			outEdge = e
+		}
+	}
+	if inEdge == nil || len(inEdge.DistributeLists) != 1 || inEdge.DistributeLists[0] != "4" {
+		t.Errorf("inbound policy annotation wrong: %+v", inEdge)
+	}
+	if outEdge == nil || len(outEdge.DistributeLists) != 1 || outEdge.DistributeLists[0] != "3" {
+		t.Errorf("outbound policy annotation wrong: %+v", outEdge)
+	}
+}
+
+func TestIGPExternalAdjacent(t *testing.T) {
+	// In the enterprise-only view none of the OSPF processes face external
+	// links (the border speaks BGP); the backbone-only view likewise. Build
+	// a tiny network where RIP covers an unmatched /30.
+	n, err := paperexample.BuildEnterprise()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Build(n, topology.Build(n))
+	for _, d := range n.Devices {
+		for _, p := range d.Processes {
+			if p.Protocol.IsIGP() && g.IGPExternalAdjacent(p) {
+				// r2's ospf processes only cover internal links.
+				t.Errorf("%s/%s should not be externally adjacent", d.Hostname, p.Key())
+			}
+		}
+	}
+}
+
+func TestEIGRPASMatching(t *testing.T) {
+	cfgA := `hostname a
+interface Serial0
+ ip address 10.0.0.1 255.255.255.252
+router eigrp 10
+ network 10.0.0.0
+`
+	cfgB := `hostname b
+interface Serial0
+ ip address 10.0.0.2 255.255.255.252
+router eigrp 20
+ network 10.0.0.0
+`
+	n := parseNet(t, cfgA, cfgB)
+	g := Build(n, topology.Build(n))
+	for _, e := range g.Edges {
+		if e.Kind == Adjacency {
+			t.Errorf("EIGRP processes in different ASes must not be adjacent: %v -> %v", e.From.ID(), e.To.ID())
+		}
+	}
+}
+
+func TestPassiveInterfaceBlocksAdjacency(t *testing.T) {
+	cfgA := `hostname a
+interface Serial0
+ ip address 10.0.0.1 255.255.255.252
+router ospf 1
+ network 10.0.0.0 0.0.0.3 area 0
+ passive-interface Serial0
+`
+	cfgB := `hostname b
+interface Serial0
+ ip address 10.0.0.2 255.255.255.252
+router ospf 1
+ network 10.0.0.0 0.0.0.3 area 0
+`
+	n := parseNet(t, cfgA, cfgB)
+	g := Build(n, topology.Build(n))
+	for _, e := range g.Edges {
+		if e.Kind == Adjacency {
+			t.Error("passive interface should block adjacency")
+		}
+	}
+}
+
+func TestIGPExternalAdjacentPositive(t *testing.T) {
+	cfg := `hostname a
+interface Serial0
+ ip address 10.0.0.1 255.255.255.252
+router rip
+ network 10.0.0.0
+`
+	n := parseNet(t, cfg)
+	g := Build(n, topology.Build(n))
+	p := n.Devices[0].Process("rip")
+	if !g.IGPExternalAdjacent(p) {
+		t.Error("RIP covering an unmatched /30 should be externally adjacent")
+	}
+}
+
+func TestKindStringsAndIDs(t *testing.T) {
+	g := buildExample(t)
+	if ProcRIB.String() != "proc" || LocalRIB.String() != "local" ||
+		RouterRIB.String() != "router" || External.String() != "external" || NodeKind(9).String() != "?" {
+		t.Error("NodeKind strings wrong")
+	}
+	if Adjacency.String() != "adjacency" || Redistribution.String() != "redistribution" ||
+		Selection.String() != "selection" || EdgeKind(9).String() != "?" {
+		t.Error("EdgeKind strings wrong")
+	}
+	r2 := g.Network.Device("r2")
+	if g.LocalNode(r2).ID() != "r2/local" || g.RouterNode(r2).ID() != "r2/rib" {
+		t.Error("node IDs wrong")
+	}
+	if g.ProcNode(r2.Process("ospf 64")).ID() != "r2/ospf 64" {
+		t.Error("proc node ID wrong")
+	}
+	ext := g.ExternalNodes()[0]
+	if !strings.HasPrefix(ext.ID(), "ext/AS") {
+		t.Errorf("external ID = %q", ext.ID())
+	}
+}
+
+func TestOutAndInEdges(t *testing.T) {
+	g := buildExample(t)
+	r2 := g.Network.Device("r2")
+	router := g.RouterNode(r2)
+	if len(g.OutEdges(router)) != 0 {
+		t.Error("router RIB should have no outgoing edges")
+	}
+	in := g.InEdges(router)
+	if len(in) != 4 {
+		t.Errorf("in edges = %d, want 4", len(in))
+	}
+	ospf := g.ProcNode(r2.Process("ospf 64"))
+	if len(g.OutEdges(ospf)) == 0 {
+		t.Error("ospf 64 should have outgoing edges (selection + adjacency + redistribution)")
+	}
+}
+
+func TestRedistSourceFallbacks(t *testing.T) {
+	// "redistribute ospf 99" with only ospf 1 present: falls back to the
+	// first process of the protocol (IOS behaviour when the id is stale).
+	cfg := `hostname a
+interface Ethernet0
+ ip address 10.0.0.1 255.255.255.0
+router ospf 1
+ network 10.0.0.0 0.0.0.255 area 0
+router bgp 65001
+ redistribute ospf 99
+`
+	n := parseNet(t, cfg)
+	g := Build(n, topology.Build(n))
+	d := n.Devices[0]
+	bgp := g.ProcNode(d.Process("bgp 65001"))
+	found := false
+	for _, e := range g.InEdges(bgp) {
+		if e.Kind == Redistribution && e.From == g.ProcNode(d.Process("ospf 1")) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("stale-id redistribution should fall back to the first matching process")
+	}
+	// Redistribution from a protocol with no process: no edge at all.
+	cfg2 := `hostname b
+interface Ethernet0
+ ip address 10.0.0.1 255.255.255.0
+router bgp 65001
+ redistribute rip
+`
+	n2 := parseNet(t, cfg2)
+	g2 := Build(n2, topology.Build(n2))
+	bgp2 := g2.ProcNode(n2.Devices[0].Process("bgp 65001"))
+	for _, e := range g2.InEdges(bgp2) {
+		if e.Kind == Redistribution {
+			t.Error("redistribution from an absent protocol should produce no edge")
+		}
+	}
+}
+
+func TestInterfaceScopedDistributeList(t *testing.T) {
+	cfgA := `hostname a
+interface Serial0
+ ip address 10.0.0.1 255.255.255.252
+interface Serial1
+ ip address 10.0.0.5 255.255.255.252
+router ospf 1
+ network 10.0.0.0 0.0.255.255 area 0
+ distribute-list 7 in Serial0
+access-list 7 permit any
+`
+	cfgB := `hostname b
+interface Serial0
+ ip address 10.0.0.2 255.255.255.252
+router ospf 1
+ network 10.0.0.0 0.0.255.255 area 0
+`
+	cfgC := `hostname c
+interface Serial0
+ ip address 10.0.0.6 255.255.255.252
+router ospf 1
+ network 10.0.0.0 0.0.255.255 area 0
+`
+	n := parseNet(t, cfgA, cfgB, cfgC)
+	g := Build(n, topology.Build(n))
+	a := n.Device("a")
+	ospfA := g.ProcNode(a.Process("ospf 1"))
+	for _, e := range g.InEdges(ospfA) {
+		if e.Kind != Adjacency {
+			continue
+		}
+		scoped := len(e.DistributeLists) == 1 && e.DistributeLists[0] == "7"
+		viaSerial0 := e.Link.Contains(netaddr.MustParseAddr("10.0.0.1"))
+		if viaSerial0 && !scoped {
+			t.Errorf("Serial0 adjacency should carry distribute-list 7: %+v", e)
+		}
+		if !viaSerial0 && scoped {
+			t.Errorf("Serial1 adjacency must not carry the Serial0-scoped list: %+v", e)
+		}
+	}
+}
+
+func parseNet(t *testing.T, cfgs ...string) *devmodel.Network {
+	t.Helper()
+	n := &devmodel.Network{Name: "t"}
+	for _, c := range cfgs {
+		res, err := ciscoparse.Parse("cfg", strings.NewReader(c))
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.Devices = append(n.Devices, res.Device)
+	}
+	return n
+}

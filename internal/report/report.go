@@ -1,0 +1,123 @@
+// Package report renders experiment results as aligned ASCII tables and
+// terminal figures, the output format of cmd/reproduce.
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"routinglens/internal/stats"
+)
+
+// Table is a simple aligned-column renderer.
+type Table struct {
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(headers ...string) *Table {
+	return &Table{headers: headers}
+}
+
+// Add appends one row; missing cells render empty.
+func (t *Table) Add(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+// Addf appends one row built from formatted values.
+func (t *Table) Addf(format string, args ...any) {
+	t.Add(strings.Split(fmt.Sprintf(format, args...), "\t")...)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	ncols := len(t.headers)
+	for _, r := range t.rows {
+		if len(r) > ncols {
+			ncols = len(r)
+		}
+	}
+	widths := make([]int, ncols)
+	measure := func(cells []string) {
+		for i, c := range cells {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.headers)
+	for _, r := range t.rows {
+		measure(r)
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i := 0; i < ncols; i++ {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.headers)
+	sep := make([]string, ncols)
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// CDFPlot renders an empirical CDF as an ASCII step plot.
+func CDFPlot(c *stats.CDF, xLabel string, width int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "CDF of %s (n=%d)\n", xLabel, c.N())
+	if c.N() == 0 {
+		return b.String()
+	}
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 1.0} {
+		v := c.Quantile(q)
+		fmt.Fprintf(&b, "  p%-3.0f %8.1f  %s\n", q*100, v, stats.AsciiBar(q, width))
+	}
+	return b.String()
+}
+
+// Histogram renders bucket rows with proportional bars.
+func Histogram(rows []stats.BucketRow, width int) string {
+	var b strings.Builder
+	maxLabel := 0
+	for _, r := range rows {
+		if len(r.Label) > maxLabel {
+			maxLabel = len(r.Label)
+		}
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-*s %5d  %s\n", maxLabel, r.Label, r.Count, stats.AsciiBar(r.Fraction, width))
+	}
+	return b.String()
+}
+
+// Verdict compares a measured value to the paper's value, declaring the
+// shape preserved when the measured value is within the tolerance factor.
+func Verdict(paper, measured, tolFactor float64) string {
+	if paper == 0 {
+		if measured == 0 {
+			return "match"
+		}
+		return "differs"
+	}
+	ratio := measured / paper
+	if ratio >= 1/tolFactor && ratio <= tolFactor {
+		return "shape-ok"
+	}
+	return "differs"
+}

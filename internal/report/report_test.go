@@ -1,0 +1,103 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"routinglens/internal/stats"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("name", "count")
+	tb.Add("alpha", "1")
+	tb.Add("b", "22222")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d, want header+sep+2 rows", len(lines))
+	}
+	// All lines are padded to equal visual width per column.
+	if !strings.HasPrefix(lines[0], "name ") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "----") {
+		t.Errorf("separator = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "alpha") || !strings.HasPrefix(lines[3], "b    ") {
+		t.Errorf("rows misaligned:\n%s", out)
+	}
+}
+
+func TestTableAddf(t *testing.T) {
+	tb := NewTable("a", "b", "c")
+	tb.Addf("%d\t%s\t%.1f", 1, "x", 2.5)
+	out := tb.String()
+	for _, want := range []string{"1", "x", "2.5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in %q", want, out)
+		}
+	}
+}
+
+func TestTableExtraCells(t *testing.T) {
+	tb := NewTable("one")
+	tb.Add("a", "overflow")
+	out := tb.String()
+	if !strings.Contains(out, "overflow") {
+		t.Error("extra cells should still render")
+	}
+}
+
+func TestTableMissingCells(t *testing.T) {
+	tb := NewTable("a", "b")
+	tb.Add("only")
+	if out := tb.String(); !strings.Contains(out, "only") {
+		t.Errorf("row lost: %q", out)
+	}
+}
+
+func TestCDFPlot(t *testing.T) {
+	c := stats.NewCDF([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	out := CDFPlot(c, "widgets", 20)
+	for _, want := range []string{"CDF of widgets", "n=10", "p50", "p100"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot missing %q:\n%s", want, out)
+		}
+	}
+	empty := CDFPlot(stats.NewCDF(nil), "nothing", 10)
+	if !strings.Contains(empty, "n=0") {
+		t.Errorf("empty plot = %q", empty)
+	}
+}
+
+func TestHistogramRendering(t *testing.T) {
+	h := stats.NewDoublingHistogram(10, 40)
+	h.Add(5)
+	h.Add(15)
+	h.Add(15)
+	out := Histogram(h.Buckets(), 10)
+	if !strings.Contains(out, "<10") || !strings.Contains(out, "10-20") {
+		t.Errorf("histogram = %q", out)
+	}
+	if !strings.Contains(out, "#") {
+		t.Error("bars missing")
+	}
+}
+
+func TestVerdict(t *testing.T) {
+	cases := []struct {
+		paper, measured, tol float64
+		want                 string
+	}{
+		{100, 95, 2, "shape-ok"},
+		{100, 300, 2, "differs"},
+		{100, 55, 2, "shape-ok"},
+		{0, 0, 2, "match"},
+		{0, 5, 2, "differs"},
+	}
+	for _, c := range cases {
+		if got := Verdict(c.paper, c.measured, c.tol); got != c.want {
+			t.Errorf("Verdict(%v,%v,%v) = %q, want %q", c.paper, c.measured, c.tol, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,191 @@
+// Package stats provides the small statistical toolkit the experiments
+// need: empirical CDFs, quantiles, and the doubling histogram used by the
+// paper's Figure 8.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// CDF is an empirical cumulative distribution over float64 samples.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds a CDF from samples (the input is copied).
+func NewCDF(samples []float64) *CDF {
+	s := make([]float64, len(samples))
+	copy(s, samples)
+	sort.Float64s(s)
+	return &CDF{sorted: s}
+}
+
+// N returns the sample count.
+func (c *CDF) N() int { return len(c.sorted) }
+
+// FractionAtMost returns P(X <= x).
+func (c *CDF) FractionAtMost(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(c.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(c.sorted))
+}
+
+// FractionAtLeast returns P(X >= x).
+func (c *CDF) FractionAtLeast(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(c.sorted, x)
+	return float64(len(c.sorted)-i) / float64(len(c.sorted))
+}
+
+// Quantile returns the q-th quantile (0<=q<=1) using the nearest-rank
+// method.
+func (c *CDF) Quantile(q float64) float64 {
+	if len(c.sorted) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return c.sorted[0]
+	}
+	if q >= 1 {
+		return c.sorted[len(c.sorted)-1]
+	}
+	rank := int(math.Ceil(q*float64(len(c.sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return c.sorted[rank]
+}
+
+// Values returns the sorted samples (callers must not mutate).
+func (c *CDF) Values() []float64 { return c.sorted }
+
+// Points renders the CDF as (x, fraction<=x) steps for plotting.
+func (c *CDF) Points() [][2]float64 {
+	out := make([][2]float64, 0, len(c.sorted))
+	n := float64(len(c.sorted))
+	for i, v := range c.sorted {
+		if i+1 < len(c.sorted) && c.sorted[i+1] == v {
+			continue
+		}
+		out = append(out, [2]float64{v, float64(i+1) / n})
+	}
+	return out
+}
+
+// Mean returns the arithmetic mean.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// MeanInts returns the mean of integer samples.
+func MeanInts(xs []int) float64 {
+	fs := make([]float64, len(xs))
+	for i, x := range xs {
+		fs[i] = float64(x)
+	}
+	return Mean(fs)
+}
+
+// Median returns the median (lower of the two middles for even n).
+func Median(xs []float64) float64 {
+	return NewCDF(xs).Quantile(0.5)
+}
+
+// MedianInts returns the median of integer samples.
+func MedianInts(xs []int) float64 {
+	fs := make([]float64, len(xs))
+	for i, x := range xs {
+		fs[i] = float64(x)
+	}
+	return Median(fs)
+}
+
+// DoublingHistogram is the bucket scheme of the paper's Figure 8:
+// <lo, lo..2lo, ..., >hi, with doubling bucket edges.
+type DoublingHistogram struct {
+	Lo, Hi int // first edge and last edge (powers scale: lo, 2lo, ...)
+	edges  []int
+	counts []int
+	total  int
+}
+
+// NewDoublingHistogram creates buckets (<lo), [lo,2lo), ..., (>=hi).
+// Figure 8 uses lo=10, hi=1280.
+func NewDoublingHistogram(lo, hi int) *DoublingHistogram {
+	var edges []int
+	for e := lo; e <= hi; e *= 2 {
+		edges = append(edges, e)
+	}
+	return &DoublingHistogram{
+		Lo: lo, Hi: hi,
+		edges:  edges,
+		counts: make([]int, len(edges)+1),
+	}
+}
+
+// Add records one sample.
+func (h *DoublingHistogram) Add(x int) {
+	h.total++
+	for i, e := range h.edges {
+		if x < e {
+			h.counts[i]++
+			return
+		}
+	}
+	h.counts[len(h.counts)-1]++
+}
+
+// Buckets returns (label, count, fraction) rows.
+func (h *DoublingHistogram) Buckets() []BucketRow {
+	rows := make([]BucketRow, len(h.counts))
+	for i := range h.counts {
+		var label string
+		switch {
+		case i == 0:
+			label = fmt.Sprintf("<%d", h.edges[0])
+		case i == len(h.counts)-1:
+			label = fmt.Sprintf(">=%d", h.edges[len(h.edges)-1])
+		default:
+			label = fmt.Sprintf("%d-%d", h.edges[i-1], h.edges[i])
+		}
+		frac := 0.0
+		if h.total > 0 {
+			frac = float64(h.counts[i]) / float64(h.total)
+		}
+		rows[i] = BucketRow{Label: label, Count: h.counts[i], Fraction: frac}
+	}
+	return rows
+}
+
+// BucketRow is one histogram bucket.
+type BucketRow struct {
+	Label    string
+	Count    int
+	Fraction float64
+}
+
+// AsciiBar renders a proportional bar for terminal figures.
+func AsciiBar(fraction float64, width int) string {
+	if fraction < 0 {
+		fraction = 0
+	}
+	if fraction > 1 {
+		fraction = 1
+	}
+	n := int(math.Round(fraction * float64(width)))
+	return strings.Repeat("#", n) + strings.Repeat(".", width-n)
+}

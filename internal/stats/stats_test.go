@@ -1,0 +1,153 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestCDFFractions(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4})
+	cases := []struct {
+		x  float64
+		le float64
+		ge float64
+	}{
+		{0, 0, 1},
+		{1, 0.25, 1},
+		{2.5, 0.5, 0.5},
+		{4, 1, 0.25},
+		{5, 1, 0},
+	}
+	for _, cse := range cases {
+		if got := c.FractionAtMost(cse.x); math.Abs(got-cse.le) > 1e-9 {
+			t.Errorf("FractionAtMost(%v) = %v, want %v", cse.x, got, cse.le)
+		}
+		if got := c.FractionAtLeast(cse.x); math.Abs(got-cse.ge) > 1e-9 {
+			t.Errorf("FractionAtLeast(%v) = %v, want %v", cse.x, got, cse.ge)
+		}
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	c := NewCDF(nil)
+	if c.N() != 0 || c.FractionAtMost(1) != 0 || c.FractionAtLeast(1) != 0 {
+		t.Error("empty CDF should report zeros")
+	}
+	if !math.IsNaN(c.Quantile(0.5)) {
+		t.Error("quantile of empty CDF should be NaN")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	c := NewCDF([]float64{10, 20, 30, 40, 50})
+	if c.Quantile(0.5) != 30 {
+		t.Errorf("median = %v", c.Quantile(0.5))
+	}
+	if c.Quantile(0) != 10 || c.Quantile(1) != 50 {
+		t.Errorf("extremes wrong: %v %v", c.Quantile(0), c.Quantile(1))
+	}
+	if c.Quantile(0.2) != 10 {
+		t.Errorf("q0.2 = %v", c.Quantile(0.2))
+	}
+}
+
+func TestCDFMonotoneProperty(t *testing.T) {
+	f := func(samples []float64, a, b float64) bool {
+		for _, s := range samples {
+			if math.IsNaN(s) {
+				return true
+			}
+		}
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		c := NewCDF(samples)
+		lo, hi := a, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return c.FractionAtMost(lo) <= c.FractionAtMost(hi)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCDFDoesNotMutateInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	NewCDF(in)
+	if sort.Float64sAreSorted(in) {
+		t.Error("NewCDF sorted the caller's slice")
+	}
+}
+
+func TestMeanMedian(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Error("Mean wrong")
+	}
+	if MeanInts([]int{2, 4}) != 3 {
+		t.Error("MeanInts wrong")
+	}
+	if Median([]float64{1, 3, 100}) != 3 {
+		t.Error("Median wrong")
+	}
+	if MedianInts([]int{1, 2, 3, 4}) != 2 {
+		t.Error("MedianInts (even n, lower middle) wrong")
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean(nil) should be NaN")
+	}
+}
+
+func TestDoublingHistogram(t *testing.T) {
+	h := NewDoublingHistogram(10, 1280)
+	// Buckets: <10, 10-20, 20-40, 40-80, 80-160, 160-320, 320-640,
+	// 640-1280, >=1280 — nine buckets.
+	rows := h.Buckets()
+	if len(rows) != 9 {
+		t.Fatalf("buckets = %d, want 9", len(rows))
+	}
+	h.Add(5)
+	h.Add(10)
+	h.Add(19)
+	h.Add(1280)
+	h.Add(99999)
+	rows = h.Buckets()
+	if rows[0].Count != 1 {
+		t.Errorf("<10 count = %d", rows[0].Count)
+	}
+	if rows[1].Count != 2 {
+		t.Errorf("10-20 count = %d", rows[1].Count)
+	}
+	if rows[8].Count != 2 {
+		t.Errorf(">=1280 count = %d", rows[8].Count)
+	}
+	if rows[0].Label != "<10" || rows[8].Label != ">=1280" || rows[1].Label != "10-20" {
+		t.Errorf("labels wrong: %v %v %v", rows[0].Label, rows[1].Label, rows[8].Label)
+	}
+	if math.Abs(rows[1].Fraction-0.4) > 1e-9 {
+		t.Errorf("fraction = %v", rows[1].Fraction)
+	}
+}
+
+func TestAsciiBar(t *testing.T) {
+	if AsciiBar(0.5, 10) != "#####....." {
+		t.Errorf("bar = %q", AsciiBar(0.5, 10))
+	}
+	if AsciiBar(-1, 4) != "...." || AsciiBar(2, 4) != "####" {
+		t.Error("clamping wrong")
+	}
+}
+
+func TestCDFPoints(t *testing.T) {
+	c := NewCDF([]float64{1, 1, 2})
+	pts := c.Points()
+	if len(pts) != 2 {
+		t.Fatalf("points = %v", pts)
+	}
+	if pts[0] != [2]float64{1, 2.0 / 3.0} || pts[1] != [2]float64{2, 1} {
+		t.Errorf("points = %v", pts)
+	}
+}

@@ -1,0 +1,267 @@
+// Package topology infers the link-level topology of a network from its
+// parsed device models, and classifies interfaces as internal- or
+// external-facing.
+//
+// Logical IP links are inferred by matching interfaces with the same subnet
+// (paper Section 2.1). External-facing classification follows Section 5.2:
+// a point-to-point /30 whose peer address is absent from the corpus is
+// external-facing; a multipoint link is external-facing when an address in
+// its subnet that is not owned by any known router is used as a next hop
+// (static route) or as an EBGP neighbor.
+package topology
+
+import (
+	"sort"
+
+	"routinglens/internal/devmodel"
+	"routinglens/internal/netaddr"
+)
+
+// Endpoint is one interface's attachment to a link.
+type Endpoint struct {
+	Device *devmodel.Device
+	Intf   *devmodel.Interface
+	Addr   netaddr.Addr
+}
+
+// Link is a logical IP link: the set of interfaces sharing one subnet.
+type Link struct {
+	Prefix    netaddr.Prefix
+	Endpoints []Endpoint
+	// External reports that an external router is (or is presumed to be)
+	// attached to this link.
+	External bool
+	// Reason documents why the link was classified external:
+	// "unmatched-p2p", "foreign-next-hop", "ebgp-peer", or "" for internal.
+	Reason string
+}
+
+// IsLoopback reports whether the link is a /32 host subnet (loopbacks and
+// host routes never form links).
+func (l *Link) IsLoopback() bool { return l.Prefix.Bits() == 32 }
+
+// Devices returns the distinct devices attached to the link, sorted by
+// hostname.
+func (l *Link) Devices() []*devmodel.Device {
+	seen := make(map[*devmodel.Device]bool)
+	var out []*devmodel.Device
+	for _, e := range l.Endpoints {
+		if !seen[e.Device] {
+			seen[e.Device] = true
+			out = append(out, e.Device)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Hostname < out[j].Hostname })
+	return out
+}
+
+// Topology is the inferred link-level view of one network.
+type Topology struct {
+	Network *devmodel.Network
+	Links   []*Link
+
+	// owner maps every configured interface address to its device.
+	owner map[netaddr.Addr]*devmodel.Device
+	// linkOf maps a device+interface-name pair to its link.
+	linkOf map[endpointKey]*Link
+
+	// UnnumberedInterfaces counts interfaces with no IP address.
+	UnnumberedInterfaces int
+	// TotalInterfaces counts all interfaces in the network.
+	TotalInterfaces int
+}
+
+type endpointKey struct {
+	dev  *devmodel.Device
+	intf string
+}
+
+// Options tune the classification heuristics, primarily for ablation
+// experiments.
+type Options struct {
+	// DisableNextHopRule turns off the multipoint foreign-next-hop
+	// external-facing heuristic (paper Section 5.2). Used by the ablation
+	// bench to measure how many external links the rule recovers.
+	DisableNextHopRule bool
+}
+
+// Build infers the topology of the network with default options.
+func Build(n *devmodel.Network) *Topology { return BuildWith(n, Options{}) }
+
+// BuildWith infers the topology with explicit options.
+func BuildWith(n *devmodel.Network, opts Options) *Topology {
+	t := &Topology{
+		Network: n,
+		owner:   make(map[netaddr.Addr]*devmodel.Device),
+		linkOf:  make(map[endpointKey]*Link),
+	}
+
+	// Pass 1: ownership and endpoint grouping by subnet.
+	groups := make(map[netaddr.Prefix][]Endpoint)
+	for _, d := range n.Devices {
+		for _, i := range d.Interfaces {
+			t.TotalInterfaces++
+			if !i.HasAddr() {
+				t.UnnumberedInterfaces++
+				continue
+			}
+			for _, a := range i.Addrs {
+				t.owner[a.Addr] = d
+				p, ok := a.Prefix()
+				if !ok {
+					continue
+				}
+				groups[p] = append(groups[p], Endpoint{Device: d, Intf: i, Addr: a.Addr})
+			}
+		}
+	}
+
+	// Foreign next hops: addresses inside the network's subnets that are
+	// referenced as next hops or BGP peers but not owned by any device.
+	foreign := make(map[netaddr.Addr]string) // addr -> reason
+	for _, d := range n.Devices {
+		for _, sr := range d.Statics {
+			if sr.HasHop {
+				if _, owned := t.owner[sr.NextHop]; !owned {
+					foreign[sr.NextHop] = "foreign-next-hop"
+				}
+			}
+		}
+		for _, proc := range d.ProcessesOf(devmodel.ProtoBGP) {
+			for _, nb := range proc.Neighbors {
+				if nb.IsPeerGroupName {
+					continue
+				}
+				if _, owned := t.owner[nb.Addr]; !owned {
+					foreign[nb.Addr] = "ebgp-peer"
+				}
+			}
+		}
+	}
+
+	// Deterministic link order.
+	prefixes := make([]netaddr.Prefix, 0, len(groups))
+	for p := range groups {
+		prefixes = append(prefixes, p)
+	}
+	sort.Slice(prefixes, func(i, j int) bool { return prefixes[i].Less(prefixes[j]) })
+
+	// Pass 2: build links and classify.
+	for _, p := range prefixes {
+		eps := groups[p]
+		sort.Slice(eps, func(i, j int) bool {
+			if eps[i].Device.Hostname != eps[j].Device.Hostname {
+				return eps[i].Device.Hostname < eps[j].Device.Hostname
+			}
+			return eps[i].Intf.Name < eps[j].Intf.Name
+		})
+		link := &Link{Prefix: p, Endpoints: eps}
+		t.classify(link, foreign, opts)
+		t.Links = append(t.Links, link)
+		for _, e := range eps {
+			t.linkOf[endpointKey{e.Device, e.Intf.Name}] = link
+		}
+	}
+	return t
+}
+
+func (t *Topology) classify(link *Link, foreign map[netaddr.Addr]string, opts Options) {
+	if link.IsLoopback() {
+		return // loopbacks are internal by definition
+	}
+	distinct := len(link.Devices())
+	switch {
+	case link.Prefix.Bits() >= 30:
+		// Point-to-point: internal iff both usable addresses are present.
+		if distinct < 2 {
+			link.External = true
+			link.Reason = "unmatched-p2p"
+		}
+	default:
+		// Multipoint: external if a foreign next hop or EBGP peer lives in
+		// the subnet; otherwise assumed to connect internal hosts.
+		if opts.DisableNextHopRule {
+			return
+		}
+		for a, reason := range foreign {
+			if link.Prefix.Contains(a) {
+				link.External = true
+				link.Reason = reason
+				return
+			}
+		}
+	}
+}
+
+// AddrOwner returns the device that owns (has configured) the address.
+func (t *Topology) AddrOwner(a netaddr.Addr) (*devmodel.Device, bool) {
+	d, ok := t.owner[a]
+	return d, ok
+}
+
+// LinkAt returns the link attached to the named interface of the device.
+func (t *Topology) LinkAt(d *devmodel.Device, intfName string) (*Link, bool) {
+	l, ok := t.linkOf[endpointKey{d, intfName}]
+	return l, ok
+}
+
+// ExternalFacing reports whether the named interface of the device is
+// external-facing: its link is classified external, or it carries an
+// address but matched no link at all.
+func (t *Topology) ExternalFacing(d *devmodel.Device, intfName string) bool {
+	l, ok := t.linkOf[endpointKey{d, intfName}]
+	if !ok {
+		i := d.Interface(intfName)
+		return i != nil && i.HasAddr()
+	}
+	return l.External
+}
+
+// InternalLinks returns links classified internal that connect at least two
+// distinct devices (true router-to-router links).
+func (t *Topology) InternalLinks() []*Link {
+	var out []*Link
+	for _, l := range t.Links {
+		if !l.External && !l.IsLoopback() && len(l.Devices()) >= 2 {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// ExternalLinks returns links classified external.
+func (t *Topology) ExternalLinks() []*Link {
+	var out []*Link
+	for _, l := range t.Links {
+		if l.External {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// Neighbors returns the devices sharing an internal link with d.
+func (t *Topology) Neighbors(d *devmodel.Device) []*devmodel.Device {
+	seen := make(map[*devmodel.Device]bool)
+	var out []*devmodel.Device
+	for _, l := range t.Links {
+		onLink := false
+		for _, e := range l.Endpoints {
+			if e.Device == d {
+				onLink = true
+				break
+			}
+		}
+		if !onLink {
+			continue
+		}
+		for _, other := range l.Devices() {
+			if other != d && !seen[other] {
+				seen[other] = true
+				out = append(out, other)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Hostname < out[j].Hostname })
+	return out
+}

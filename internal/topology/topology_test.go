@@ -1,0 +1,214 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+
+	"routinglens/internal/ciscoparse"
+	"routinglens/internal/devmodel"
+	"routinglens/internal/netaddr"
+)
+
+// buildNet parses the given config texts into a Network.
+func buildNet(t *testing.T, configs ...string) *devmodel.Network {
+	t.Helper()
+	n := &devmodel.Network{Name: "test"}
+	for i, cfg := range configs {
+		res, err := ciscoparse.Parse("cfg", strings.NewReader(cfg))
+		if err != nil {
+			t.Fatalf("config %d: %v", i, err)
+		}
+		n.Devices = append(n.Devices, res.Device)
+	}
+	return n
+}
+
+func TestLinkInferenceP2P(t *testing.T) {
+	n := buildNet(t,
+		"hostname r1\ninterface Serial0\n ip address 10.0.0.1 255.255.255.252\n",
+		"hostname r2\ninterface Serial0\n ip address 10.0.0.2 255.255.255.252\n",
+	)
+	top := Build(n)
+	if len(top.Links) != 1 {
+		t.Fatalf("links = %d, want 1", len(top.Links))
+	}
+	l := top.Links[0]
+	if l.External {
+		t.Errorf("matched /30 should be internal (reason %q)", l.Reason)
+	}
+	if len(l.Endpoints) != 2 || len(l.Devices()) != 2 {
+		t.Errorf("endpoints = %d devices = %d", len(l.Endpoints), len(l.Devices()))
+	}
+	if l.Prefix.String() != "10.0.0.0/30" {
+		t.Errorf("prefix = %s", l.Prefix)
+	}
+}
+
+func TestUnmatchedP2PIsExternal(t *testing.T) {
+	n := buildNet(t,
+		"hostname r1\ninterface Serial0\n ip address 10.0.0.1 255.255.255.252\n",
+	)
+	top := Build(n)
+	if len(top.Links) != 1 || !top.Links[0].External || top.Links[0].Reason != "unmatched-p2p" {
+		t.Errorf("unmatched /30 should be external: %+v", top.Links[0])
+	}
+	if !top.ExternalFacing(n.Devices[0], "Serial0") {
+		t.Error("ExternalFacing should be true")
+	}
+}
+
+func TestMultipointInternalByDefault(t *testing.T) {
+	n := buildNet(t,
+		"hostname r1\ninterface Ethernet0\n ip address 10.1.1.1 255.255.255.0\n",
+	)
+	top := Build(n)
+	if top.Links[0].External {
+		t.Error("multipoint with no foreign evidence should be internal (host LAN)")
+	}
+}
+
+func TestMultipointForeignNextHop(t *testing.T) {
+	n := buildNet(t,
+		`hostname r1
+interface Ethernet0
+ ip address 10.1.1.1 255.255.255.0
+ip route 192.168.0.0 255.255.0.0 10.1.1.254
+`,
+	)
+	top := Build(n)
+	l := top.Links[0]
+	if !l.External || l.Reason != "foreign-next-hop" {
+		t.Errorf("foreign next hop should mark multipoint external: %+v", l)
+	}
+}
+
+func TestMultipointEBGPPeer(t *testing.T) {
+	n := buildNet(t,
+		`hostname r1
+interface Ethernet0
+ ip address 10.1.1.1 255.255.255.0
+router bgp 65001
+ neighbor 10.1.1.9 remote-as 701
+`,
+	)
+	top := Build(n)
+	if !top.Links[0].External || top.Links[0].Reason != "ebgp-peer" {
+		t.Errorf("EBGP peer should mark multipoint external: %+v", top.Links[0])
+	}
+}
+
+func TestNextHopRuleAblation(t *testing.T) {
+	n := buildNet(t,
+		`hostname r1
+interface Ethernet0
+ ip address 10.1.1.1 255.255.255.0
+ip route 192.168.0.0 255.255.0.0 10.1.1.254
+`,
+	)
+	top := BuildWith(n, Options{DisableNextHopRule: true})
+	if top.Links[0].External {
+		t.Error("ablated build should not apply the next-hop rule")
+	}
+}
+
+func TestInternalNextHopDoesNotMarkExternal(t *testing.T) {
+	n := buildNet(t,
+		`hostname r1
+interface Ethernet0
+ ip address 10.1.1.1 255.255.255.0
+ip route 192.168.0.0 255.255.0.0 10.1.1.2
+`,
+		`hostname r2
+interface Ethernet0
+ ip address 10.1.1.2 255.255.255.0
+`,
+	)
+	top := Build(n)
+	if top.Links[0].External {
+		t.Error("next hop owned by a known router should stay internal")
+	}
+}
+
+func TestLoopbacksAreNotExternal(t *testing.T) {
+	n := buildNet(t,
+		"hostname r1\ninterface Loopback0\n ip address 10.9.9.9 255.255.255.255\n",
+	)
+	top := Build(n)
+	l := top.Links[0]
+	if !l.IsLoopback() || l.External {
+		t.Errorf("loopback misclassified: %+v", l)
+	}
+}
+
+func TestUnnumberedCount(t *testing.T) {
+	n := buildNet(t,
+		"hostname r1\ninterface Serial0\n ip unnumbered Loopback0\ninterface Loopback0\n ip address 10.9.9.9 255.255.255.255\n",
+	)
+	top := Build(n)
+	if top.UnnumberedInterfaces != 1 || top.TotalInterfaces != 2 {
+		t.Errorf("unnumbered=%d total=%d", top.UnnumberedInterfaces, top.TotalInterfaces)
+	}
+}
+
+func TestAddrOwnerAndNeighbors(t *testing.T) {
+	n := buildNet(t,
+		"hostname r1\ninterface Serial0\n ip address 10.0.0.1 255.255.255.252\ninterface Serial1\n ip address 10.0.0.5 255.255.255.252\n",
+		"hostname r2\ninterface Serial0\n ip address 10.0.0.2 255.255.255.252\n",
+		"hostname r3\ninterface Serial0\n ip address 10.0.0.6 255.255.255.252\n",
+	)
+	top := Build(n)
+	d, ok := top.AddrOwner(netaddr.MustParseAddr("10.0.0.2"))
+	if !ok || d.Hostname != "r2" {
+		t.Errorf("AddrOwner wrong: %v %v", d, ok)
+	}
+	if _, ok := top.AddrOwner(netaddr.MustParseAddr("10.0.0.9")); ok {
+		t.Error("unowned address reported owned")
+	}
+	r1 := n.Device("r1")
+	nbrs := top.Neighbors(r1)
+	if len(nbrs) != 2 || nbrs[0].Hostname != "r2" || nbrs[1].Hostname != "r3" {
+		t.Errorf("Neighbors(r1) = %v", nbrs)
+	}
+	if len(top.InternalLinks()) != 2 {
+		t.Errorf("internal links = %d", len(top.InternalLinks()))
+	}
+	if len(top.ExternalLinks()) != 0 {
+		t.Errorf("external links = %d", len(top.ExternalLinks()))
+	}
+}
+
+func TestLinkAt(t *testing.T) {
+	n := buildNet(t,
+		"hostname r1\ninterface Serial0\n ip address 10.0.0.1 255.255.255.252\n",
+		"hostname r2\ninterface Serial0\n ip address 10.0.0.2 255.255.255.252\n",
+	)
+	top := Build(n)
+	l, ok := top.LinkAt(n.Device("r1"), "Serial0")
+	if !ok || l.Prefix.String() != "10.0.0.0/30" {
+		t.Errorf("LinkAt wrong: %v %v", l, ok)
+	}
+	if _, ok := top.LinkAt(n.Device("r1"), "Serial9"); ok {
+		t.Error("missing interface should not have a link")
+	}
+}
+
+func TestSecondaryAddressesFormLinks(t *testing.T) {
+	n := buildNet(t,
+		"hostname r1\ninterface Ethernet0\n ip address 10.0.0.1 255.255.255.0\n ip address 10.0.1.1 255.255.255.0 secondary\n",
+		"hostname r2\ninterface Ethernet0\n ip address 10.0.1.2 255.255.255.0\n",
+	)
+	top := Build(n)
+	if len(top.Links) != 2 {
+		t.Fatalf("links = %d, want 2", len(top.Links))
+	}
+	// The secondary subnet link should join r1 and r2.
+	var joint *Link
+	for _, l := range top.Links {
+		if l.Prefix.String() == "10.0.1.0/24" {
+			joint = l
+		}
+	}
+	if joint == nil || len(joint.Devices()) != 2 {
+		t.Errorf("secondary-subnet link wrong: %+v", joint)
+	}
+}

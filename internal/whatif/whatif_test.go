@@ -1,0 +1,189 @@
+package whatif
+
+import (
+	"strings"
+	"testing"
+
+	"routinglens/internal/ciscoparse"
+	"routinglens/internal/devmodel"
+	"routinglens/internal/instance"
+	"routinglens/internal/netgen"
+	"routinglens/internal/procgraph"
+	"routinglens/internal/topology"
+)
+
+func parseNet(t *testing.T, cfgs ...string) *devmodel.Network {
+	t.Helper()
+	n := &devmodel.Network{Name: "t"}
+	for _, c := range cfgs {
+		res, err := ciscoparse.Parse("cfg", strings.NewReader(c))
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.Devices = append(n.Devices, res.Device)
+	}
+	return n
+}
+
+func modelOf(t *testing.T, n *devmodel.Network) *instance.Model {
+	t.Helper()
+	return instance.Compute(procgraph.Build(n, topology.Build(n)))
+}
+
+// chainCfg builds a linear chain a-b-c-... of OSPF routers.
+func chainCfg(t *testing.T, hosts int) *devmodel.Network {
+	t.Helper()
+	var cfgs []string
+	for i := 0; i < hosts; i++ {
+		var b strings.Builder
+		b.WriteString("hostname h" + string(rune('a'+i)) + "\n")
+		if i > 0 {
+			b.WriteString("interface Serial0\n")
+			b.WriteString(" ip address 10.0." + itoa(i-1) + ".2 255.255.255.252\n")
+		}
+		if i < hosts-1 {
+			b.WriteString("interface Serial1\n")
+			b.WriteString(" ip address 10.0." + itoa(i) + ".1 255.255.255.252\n")
+		}
+		b.WriteString("router ospf 1\n network 10.0.0.0 0.0.255.255 area 0\n")
+		cfgs = append(cfgs, b.String())
+	}
+	return parseNet(t, cfgs...)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	s := ""
+	for n > 0 {
+		s = string(rune('0'+n%10)) + s
+		n /= 10
+	}
+	return s
+}
+
+func TestChainArticulationsAndBridges(t *testing.T) {
+	// a - b - c: b is an articulation point; both links are bridges.
+	n := chainCfg(t, 3)
+	a := Analyze(modelOf(t, n))
+	if len(a.RouterFailures) != 1 || a.RouterFailures[0].Router.Hostname != "hb" {
+		t.Fatalf("RouterFailures = %+v, want just hb", a.RouterFailures)
+	}
+	if a.RouterFailures[0].Pieces != 2 {
+		t.Errorf("pieces = %d, want 2", a.RouterFailures[0].Pieces)
+	}
+	if len(a.LinkFailures) != 2 {
+		t.Errorf("LinkFailures = %d, want 2", len(a.LinkFailures))
+	}
+}
+
+func TestRingHasNoSinglePointOfFailure(t *testing.T) {
+	// a - b - c - a: removing any one router or link leaves the rest
+	// connected.
+	cfgs := []string{
+		"hostname a\ninterface Serial0\n ip address 10.0.0.1 255.255.255.252\ninterface Serial1\n ip address 10.0.2.2 255.255.255.252\nrouter ospf 1\n network 10.0.0.0 0.0.255.255 area 0\n",
+		"hostname b\ninterface Serial0\n ip address 10.0.0.2 255.255.255.252\ninterface Serial1\n ip address 10.0.1.1 255.255.255.252\nrouter ospf 1\n network 10.0.0.0 0.0.255.255 area 0\n",
+		"hostname c\ninterface Serial0\n ip address 10.0.1.2 255.255.255.252\ninterface Serial1\n ip address 10.0.2.1 255.255.255.252\nrouter ospf 1\n network 10.0.0.0 0.0.255.255 area 0\n",
+	}
+	a := Analyze(modelOf(t, parseNet(t, cfgs...)))
+	if len(a.RouterFailures) != 0 {
+		t.Errorf("ring should have no articulation routers: %+v", a.RouterFailures)
+	}
+	if len(a.LinkFailures) != 0 {
+		t.Errorf("ring should have no bridge links: %+v", a.LinkFailures)
+	}
+}
+
+func TestStarCenterSplitsIntoManyPieces(t *testing.T) {
+	// hub with three leaves: hub failure gives 3 pieces.
+	cfgs := []string{
+		"hostname hub\ninterface Serial0\n ip address 10.0.0.1 255.255.255.252\ninterface Serial1\n ip address 10.0.1.1 255.255.255.252\ninterface Serial2\n ip address 10.0.2.1 255.255.255.252\nrouter ospf 1\n network 10.0.0.0 0.0.255.255 area 0\n",
+		"hostname l1\ninterface Serial0\n ip address 10.0.0.2 255.255.255.252\nrouter ospf 1\n network 10.0.0.0 0.0.255.255 area 0\n",
+		"hostname l2\ninterface Serial0\n ip address 10.0.1.2 255.255.255.252\nrouter ospf 1\n network 10.0.0.0 0.0.255.255 area 0\n",
+		"hostname l3\ninterface Serial0\n ip address 10.0.2.2 255.255.255.252\nrouter ospf 1\n network 10.0.0.0 0.0.255.255 area 0\n",
+	}
+	a := Analyze(modelOf(t, parseNet(t, cfgs...)))
+	if len(a.RouterFailures) != 1 || a.RouterFailures[0].Router.Hostname != "hub" {
+		t.Fatalf("RouterFailures = %+v", a.RouterFailures)
+	}
+	if a.RouterFailures[0].Pieces != 3 {
+		t.Errorf("pieces = %d, want 3", a.RouterFailures[0].Pieces)
+	}
+}
+
+func TestParallelLinksAreNotBridges(t *testing.T) {
+	// a == b (two parallel /30s): neither link is a bridge; no
+	// articulation.
+	cfgs := []string{
+		"hostname a\ninterface Serial0\n ip address 10.0.0.1 255.255.255.252\ninterface Serial1\n ip address 10.0.1.1 255.255.255.252\nrouter ospf 1\n network 10.0.0.0 0.0.255.255 area 0\n",
+		"hostname b\ninterface Serial0\n ip address 10.0.0.2 255.255.255.252\ninterface Serial1\n ip address 10.0.1.2 255.255.255.252\nrouter ospf 1\n network 10.0.0.0 0.0.255.255 area 0\n",
+	}
+	a := Analyze(modelOf(t, parseNet(t, cfgs...)))
+	if len(a.LinkFailures) != 0 {
+		t.Errorf("parallel links should not be bridges: %+v", a.LinkFailures)
+	}
+}
+
+func TestInstanceBridgesNet5(t *testing.T) {
+	// The paper's question: 6 redundant routers bridge instances 1 and 4
+	// in net5.
+	g := netgen.GenerateCorpus(experimentsSeed).ByName("net5")
+	n, err := g.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := modelOf(t, n)
+	a := Analyze(m)
+	found := false
+	for _, b := range a.Bridges {
+		big := b.From.Size() == 445 || b.To.Size() == 445
+		as65001 := b.From.ASN == 65001 || b.To.ASN == 65001
+		if big && as65001 {
+			found = true
+			if len(b.Routers) != 6 {
+				t.Errorf("bridge routers = %d, want 6", len(b.Routers))
+			}
+		}
+	}
+	if !found {
+		t.Error("instance 1 <-> instance 4 bridge not reported")
+	}
+}
+
+const experimentsSeed = 2004
+
+func TestStaticRisks(t *testing.T) {
+	cfgs := []string{
+		"hostname a\ninterface Ethernet0\n ip address 10.0.0.1 255.255.255.0\nip route 192.168.1.0 255.255.255.0 10.0.0.9\n",
+		"hostname b\ninterface Ethernet0\n ip address 10.0.0.2 255.255.255.0\nip route 192.168.1.0 255.255.255.0 10.0.0.9\n",
+		"hostname c\ninterface Ethernet0\n ip address 10.0.0.3 255.255.255.0\nip route 192.168.2.0 255.255.255.0 10.0.0.9\n",
+	}
+	a := Analyze(modelOf(t, parseNet(t, cfgs...)))
+	if len(a.StaticRisks) != 1 {
+		t.Fatalf("StaticRisks = %+v, want 1", a.StaticRisks)
+	}
+	r := a.StaticRisks[0]
+	if r.Prefix.String() != "192.168.1.0/24" || len(r.Routers) != 2 {
+		t.Errorf("risk = %+v", r)
+	}
+}
+
+func TestSummaryRenders(t *testing.T) {
+	n := chainCfg(t, 3)
+	a := Analyze(modelOf(t, n))
+	s := a.Summary()
+	for _, want := range []string{"single-router failures", "hb splits instance", "single-adjacency failures"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestSingletonInstancesSkipped(t *testing.T) {
+	n := parseNet(t, "hostname a\ninterface Ethernet0\n ip address 10.0.0.1 255.255.255.0\nrouter ospf 1\n network 10.0.0.0 0.0.0.255 area 0\n")
+	a := Analyze(modelOf(t, n))
+	if len(a.RouterFailures) != 0 || len(a.LinkFailures) != 0 {
+		t.Errorf("single-router instance should yield nothing: %+v", a)
+	}
+}

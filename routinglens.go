@@ -1,0 +1,130 @@
+// Package routinglens reverse engineers the routing design of an IP
+// network from the static analysis of its routers' configuration files,
+// implementing the methodology of "Routing Design in Operational Networks:
+// A Look from the Inside" (SIGCOMM 2004).
+//
+// The entry points take a directory (or in-memory set) of Cisco IOS-style
+// configuration files and return a Design: the network's link-level
+// topology, routing process graph, routing instances, address-space
+// structure, packet-filter statistics, and architecture classification.
+// From a Design you can compute route pathway graphs per router and run
+// static reachability analysis against injected external routes.
+//
+//	design, diags, err := routinglens.AnalyzeDir("testdata/mynet")
+//	if err != nil { ... }
+//	fmt.Println(design.Summary())
+//	pw, _ := design.Pathway("edge-router-7")
+//	fmt.Println(pw)
+//
+// The heavy lifting lives in the internal packages; this package is the
+// stable public surface, re-exporting the types a consumer needs.
+package routinglens
+
+import (
+	"routinglens/internal/addrspace"
+	"routinglens/internal/anonymize"
+	"routinglens/internal/audit"
+	"routinglens/internal/ciscoparse"
+	"routinglens/internal/classify"
+	"routinglens/internal/core"
+	"routinglens/internal/designdiff"
+	"routinglens/internal/devmodel"
+	"routinglens/internal/instance"
+	"routinglens/internal/netaddr"
+	"routinglens/internal/netgen"
+	"routinglens/internal/pathway"
+	"routinglens/internal/reach"
+	"routinglens/internal/simroute"
+	"routinglens/internal/topology"
+	"routinglens/internal/trace"
+	"routinglens/internal/whatif"
+)
+
+// Re-exported model types. These aliases let consumers name the types the
+// public functions return without importing internal packages.
+type (
+	// Design is the fully extracted routing design of one network.
+	Design = core.Design
+	// Network is the parsed model of a set of router configurations.
+	Network = devmodel.Network
+	// Device is the parsed model of one router configuration.
+	Device = devmodel.Device
+	// Diagnostic is a non-fatal configuration parsing issue.
+	Diagnostic = ciscoparse.Diagnostic
+	// Topology is the inferred link-level view of a network.
+	Topology = topology.Topology
+	// Instance is one routing instance (paper Section 3.2).
+	Instance = instance.Instance
+	// InstanceModel is the routing instance graph of a network.
+	InstanceModel = instance.Model
+	// PathwayGraph is a route pathway graph (paper Section 3.3).
+	PathwayGraph = pathway.Graph
+	// AddressBlock is one node of the address-space tree (Section 3.4).
+	AddressBlock = addrspace.Block
+	// Reachability is a static reachability analysis (Section 6.2).
+	Reachability = reach.Analysis
+	// ExternalRoute is a route injected at an external peer for
+	// reachability analysis.
+	ExternalRoute = simroute.ExternalRoute
+	// DesignClass is the architecture category of a network (Section 7).
+	DesignClass = classify.Design
+	// Anonymizer rewrites configurations structure-preservingly
+	// (Section 4.1).
+	Anonymizer = anonymize.Anonymizer
+	// Addr is an IPv4 address.
+	Addr = netaddr.Addr
+	// Prefix is an IPv4 subnet.
+	Prefix = netaddr.Prefix
+	// Corpus is the synthetic 31-network configuration corpus standing in
+	// for the paper's proprietary data set.
+	Corpus = netgen.Corpus
+	// Survivability is the "what if" failure analysis (Section 8.1).
+	Survivability = whatif.Analysis
+	// AuditReport lists best-common-practice violations (Section 8.1).
+	AuditReport = audit.Report
+	// AuditFinding is one best-practice violation.
+	AuditFinding = audit.Finding
+	// DesignDiff is the longitudinal change report between two snapshots
+	// of the same network (Section 8.2).
+	DesignDiff = designdiff.Diff
+	// TracePath is a reconstructed forwarding path (static traceroute).
+	TracePath = trace.Path
+)
+
+// Design classifications (paper Section 7.1).
+const (
+	DesignBackbone   = classify.DesignBackbone
+	DesignEnterprise = classify.DesignEnterprise
+	DesignTier2      = classify.DesignTier2
+	DesignOther      = classify.DesignOther
+)
+
+// AnalyzeDir parses every file in dir as a router configuration and
+// extracts the network's routing design. The returned diagnostics are
+// warnings about individual malformed lines; they do not prevent analysis.
+func AnalyzeDir(dir string) (*Design, []Diagnostic, error) {
+	return core.AnalyzeDir(dir)
+}
+
+// AnalyzeConfigs extracts the routing design from an in-memory set of
+// configurations, keyed by hostname or file name.
+func AnalyzeConfigs(name string, configs map[string]string) (*Design, []Diagnostic, error) {
+	return core.AnalyzeConfigs(name, configs)
+}
+
+// Analyze extracts the routing design from an already-parsed network.
+func Analyze(n *Network) *Design { return core.Analyze(n) }
+
+// ParsePrefix parses "a.b.c.d/len" notation.
+func ParsePrefix(s string) (Prefix, error) { return netaddr.ParsePrefix(s) }
+
+// ParseAddr parses dotted-quad IPv4 notation.
+func ParseAddr(s string) (Addr, error) { return netaddr.ParseAddr(s) }
+
+// NewAnonymizer creates a structure-preserving configuration anonymizer
+// keyed by the given secret.
+func NewAnonymizer(key string) *Anonymizer { return anonymize.New(key) }
+
+// GenerateCorpus deterministically generates the synthetic 31-network
+// corpus used by the paper-reproduction experiments.
+func GenerateCorpus(seed int64) *Corpus { return netgen.GenerateCorpus(seed) }
