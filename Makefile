@@ -1,0 +1,17 @@
+# Verification tiers. tier1 is the gate every PR must keep green; tier2
+# adds vet and the race detector (the telemetry layer is exercised
+# concurrently); benchsmoke runs the instrumented pipeline benches once
+# so stage-instrumentation overhead stays visible in CI output.
+
+.PHONY: tier1 tier2 benchsmoke all
+
+all: tier1 tier2 benchsmoke
+
+tier1:
+	go build ./... && go test ./...
+
+tier2:
+	go vet ./... && go test -race ./...
+
+benchsmoke:
+	go test -run '^$$' -bench BenchmarkAnalyze -benchtime=1x .

@@ -9,6 +9,7 @@
 package routinglens
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -16,6 +17,7 @@ import (
 	"routinglens/internal/addrspace"
 	"routinglens/internal/anonymize"
 	"routinglens/internal/ciscoparse"
+	"routinglens/internal/core"
 	"routinglens/internal/experiments"
 	"routinglens/internal/instance"
 	"routinglens/internal/net15"
@@ -26,6 +28,7 @@ import (
 	"routinglens/internal/procgraph"
 	"routinglens/internal/reach"
 	"routinglens/internal/simroute"
+	"routinglens/internal/telemetry"
 	"routinglens/internal/topology"
 	"routinglens/internal/trace"
 )
@@ -90,6 +93,20 @@ func BenchmarkAblationNextHop(b *testing.B)  { runExperiment(b, experiments.Abla
 func BenchmarkAblationJoinBits(b *testing.B) { runExperiment(b, experiments.AblationJoinBits) }
 
 // --- pipeline-stage micro-benchmarks ---
+
+// BenchmarkAnalyzeNet5 measures the instrumented extraction pipeline
+// (core.Analyze) end to end on the 881-router network: topology,
+// process graph, instances, address space, filters, classification.
+func BenchmarkAnalyzeNet5(b *testing.B) {
+	na := workspace(b).ByName("net5")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := core.Analyze(na.Net)
+		if len(d.Instances.Instances) == 0 {
+			b.Fatal("no instances")
+		}
+	}
+}
 
 // BenchmarkParseConfig measures single-configuration parse throughput.
 func BenchmarkParseConfig(b *testing.B) {
@@ -232,6 +249,45 @@ func BenchmarkFullPipelineCorpus(b *testing.B) {
 			top := topology.Build(n)
 			instance.Compute(procgraph.Build(n, top))
 		}
+	}
+}
+
+// --- telemetry overhead micro-benchmarks ---
+
+// BenchmarkSpanStartEnd measures the cost one instrumented stage adds:
+// a StartSpan/End pair including the histogram observation.
+func BenchmarkSpanStartEnd(b *testing.B) {
+	ctx := telemetry.WithRegistry(
+		telemetry.WithCollector(context.Background(), telemetry.NewCollector()),
+		telemetry.NewRegistry())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, s := telemetry.StartSpan(ctx, "bench")
+		s.End()
+	}
+}
+
+// BenchmarkCounterInc measures a counter increment including the
+// by-name registry lookup, the pattern the parse hot loop uses.
+func BenchmarkCounterInc(b *testing.B) {
+	r := telemetry.NewRegistry()
+	lbl := telemetry.L("dialect", "ios")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Counter("bench_total", lbl).Inc()
+	}
+}
+
+// BenchmarkHistogramObserve measures one latency observation.
+func BenchmarkHistogramObserve(b *testing.B) {
+	r := telemetry.NewRegistry()
+	h := r.Histogram("bench_seconds", nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.017)
 	}
 }
 

@@ -9,6 +9,9 @@
 // Usage:
 //
 //	anonymize -in configs/ -out anon/ -key SECRET
+//
+// Observability: -v/-vv, -log-format, -metrics, and -pprof behave as in
+// cmd/rdesign.
 package main
 
 import (
@@ -19,14 +22,21 @@ import (
 	"sort"
 
 	"routinglens/internal/anonymize"
+	"routinglens/internal/telemetry"
 )
+
+var tele = telemetry.NewCLI("anonymize")
 
 func main() {
 	in := flag.String("in", "", "input directory of configuration files (required)")
 	out := flag.String("out", "", "output directory (required)")
 	key := flag.String("key", "", "anonymization secret (required; same key => same mapping)")
+	tele.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
+	if err := tele.Activate(); err != nil {
+		fatal(err)
+	}
 	if *in == "" || *out == "" || *key == "" {
 		fmt.Fprintln(os.Stderr, "anonymize: -in, -out, and -key are required")
 		flag.Usage()
@@ -50,8 +60,10 @@ func main() {
 	}
 	if len(configs) == 0 {
 		fmt.Fprintf(os.Stderr, "anonymize: no regular files in %s\n", *in)
+		tele.Finish()
 		os.Exit(1)
 	}
+	telemetry.Logger().Debug("read input configurations", "dir", *in, "files", len(configs))
 
 	anonConfigs, err := anonymize.New(*key).MapNetwork(configs)
 	if err != nil {
@@ -71,9 +83,13 @@ func main() {
 		}
 	}
 	fmt.Printf("anonymized %d configurations into %s\n", len(anonConfigs), *out)
+	if tele.Finish() != nil {
+		os.Exit(1)
+	}
 }
 
 func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "anonymize: %v\n", err)
+	tele.Finish()
 	os.Exit(1)
 }

@@ -11,6 +11,9 @@
 // every file (comments stripped, names hashed, addresses remapped
 // prefix-preservingly) and names files config1, config2, ... as in the
 // paper's methodology.
+//
+// Observability: -v/-vv, -log-format, -metrics, and -pprof behave as in
+// cmd/rdesign.
 package main
 
 import (
@@ -25,7 +28,10 @@ import (
 	"routinglens/internal/ciscoparse"
 	"routinglens/internal/junosemit"
 	"routinglens/internal/netgen"
+	"routinglens/internal/telemetry"
 )
+
+var tele = telemetry.NewCLI("netgen")
 
 func main() {
 	out := flag.String("out", "", "output directory (required)")
@@ -34,8 +40,13 @@ func main() {
 	anon := flag.Bool("anon", false, "anonymize the emitted configurations")
 	key := flag.String("key", "netgen-default-key", "anonymization secret (with -anon)")
 	dialect := flag.String("dialect", "ios", "emit configurations as 'ios' or 'junos' (junos requires EIGRP-free networks)")
+	tele.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
+	if err := tele.Activate(); err != nil {
+		fatal(err)
+	}
+	log := telemetry.Logger()
 	if *out == "" {
 		fmt.Fprintln(os.Stderr, "netgen: -out is required")
 		flag.Usage()
@@ -100,15 +111,21 @@ func main() {
 			wrote++
 		}
 		fmt.Printf("%s: %d routers (%s)\n", g.Name, g.Routers, g.Kind)
+		log.Debug("network written", "network", g.Name, "routers", g.Routers, "dir", dir)
 	}
 	if wrote == 0 {
 		fmt.Fprintf(os.Stderr, "netgen: no network named %q\n", *only)
+		tele.Finish()
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %d configuration files under %s\n", wrote, *out)
+	if tele.Finish() != nil {
+		os.Exit(1)
+	}
 }
 
 func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "netgen: %v\n", err)
+	tele.Finish()
 	os.Exit(1)
 }

@@ -20,20 +20,38 @@
 //	-diff OLDDIR        longitudinal diff against an older snapshot
 //	-dot KIND           Graphviz DOT (instances | processes | a router name)
 //
+// Observability flags (shared by every binary in cmd/): -v and -vv raise
+// the structured-log level (info, debug) and print an end-of-run
+// stage-timing summary; -log-format json switches logs to JSON;
+// -metrics FILE exports run metrics (-metrics-format prom|json); and
+// -pprof ADDR serves net/http/pprof for the duration of the run.
+//
 // Both Cisco IOS and JunOS configuration files are accepted; the dialect
 // is detected per file.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"routinglens/internal/core"
+	"routinglens/internal/diag"
 	"routinglens/internal/netaddr"
 	"routinglens/internal/simroute"
+	"routinglens/internal/telemetry"
 )
+
+// exit runs the deferred telemetry flush before terminating; os.Exit
+// skips deferred calls, so every early return funnels through here.
+func exit(tele *telemetry.CLI, code int) {
+	if tele.Finish() != nil && code == 0 {
+		code = 1
+	}
+	os.Exit(code)
+}
 
 func main() {
 	dir := flag.String("dir", "", "directory of router configuration files (required)")
@@ -47,45 +65,45 @@ func main() {
 	influence := flag.String("influence", "", "print the forward influence (blast radius) of this router")
 	monitors := flag.Bool("monitors", false, "suggest route-monitor placement covering all external entry points")
 	traceSpec := flag.String("trace", "", "static traceroute: 'SRC-ROUTER,DEST-ADDR' (injects a default route at every external peer)")
-	diags := flag.Bool("diags", false, "print parse diagnostics")
+	diags := flag.Bool("diags", false, "print parse diagnostics grouped by severity")
+	tele := telemetry.NewCLI("rdesign")
+	tele.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
+	if err := tele.Activate(); err != nil {
+		fmt.Fprintf(os.Stderr, "rdesign: %v\n", err)
+		os.Exit(2)
+	}
 	if *dir == "" {
 		fmt.Fprintln(os.Stderr, "rdesign: -dir is required")
 		flag.Usage()
-		os.Exit(2)
+		exit(tele, 2)
 	}
 
-	design, parseDiags, err := core.AnalyzeDir(*dir)
+	design, parseDiags, err := core.AnalyzeDirContext(context.Background(), *dir)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rdesign: %v\n", err)
-		os.Exit(1)
+		exit(tele, 1)
 	}
-	if *diags {
-		for _, d := range parseDiags {
-			fmt.Fprintf(os.Stderr, "warning: %s\n", d)
-		}
-	} else if len(parseDiags) > 0 {
-		fmt.Fprintf(os.Stderr, "rdesign: %d parse warnings (re-run with -diags to see them)\n", len(parseDiags))
-	}
+	printDiagnostics(parseDiags, *diags)
 
 	switch {
 	case *traceSpec != "":
 		parts := strings.SplitN(*traceSpec, ",", 2)
 		if len(parts) != 2 {
 			fmt.Fprintln(os.Stderr, "rdesign: -trace wants 'SRC-ROUTER,DEST-ADDR'")
-			os.Exit(2)
+			exit(tele, 2)
 		}
 		dest, err := netaddr.ParseAddr(parts[1])
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "rdesign: %v\n", err)
-			os.Exit(2)
+			exit(tele, 2)
 		}
 		def := netaddr.PrefixFrom(0, 0)
 		path, err := design.Trace(parts[0], dest, []simroute.ExternalRoute{{Prefix: def}})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "rdesign: %v\n", err)
-			os.Exit(1)
+			exit(tele, 1)
 		}
 		fmt.Print(path.String())
 	case *dotKind != "":
@@ -98,7 +116,7 @@ func main() {
 			out, err := design.DOTPathway(*dotKind)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "rdesign: %v\n", err)
-				os.Exit(1)
+				exit(tele, 1)
 			}
 			fmt.Print(out)
 		}
@@ -106,14 +124,14 @@ func main() {
 		inf, err := design.Influence(*influence)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "rdesign: %v\n", err)
-			os.Exit(1)
+			exit(tele, 1)
 		}
 		fmt.Print(inf.String())
 	case *monitors:
 		mp := design.MonitorPlacement()
 		if len(mp.Monitors) == 0 {
 			fmt.Println("no external route entry points; nothing to monitor")
-			return
+			break
 		}
 		for _, in := range mp.Monitors {
 			fmt.Printf("monitor instance %d %s — observes %d entry point(s)\n",
@@ -123,7 +141,7 @@ func main() {
 		older, _, err := core.AnalyzeDir(*diffDir)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "rdesign: %v\n", err)
-			os.Exit(1)
+			exit(tele, 1)
 		}
 		fmt.Print(design.DiffFrom(older).String())
 	case *doAudit:
@@ -138,7 +156,7 @@ func main() {
 		pw, err := design.Pathway(*pathwayHost)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "rdesign: %v\n", err)
-			os.Exit(1)
+			exit(tele, 1)
 		}
 		fmt.Print(pw.String())
 	case *blocks:
@@ -147,7 +165,7 @@ func main() {
 		ss := design.SuspectedMissingRouters()
 		if len(ss) == 0 {
 			fmt.Println("no suspected missing routers")
-			return
+			break
 		}
 		for _, s := range ss {
 			fmt.Printf("%s/%s (%s): external-facing inside block %s (%.0f%% internal)\n",
@@ -156,4 +174,40 @@ func main() {
 	default:
 		fmt.Print(design.Summary())
 	}
+	exit(tele, 0)
+}
+
+// printDiagnostics renders the parse diagnostics: grouped by severity
+// (most severe first) when verbose is set, otherwise a one-line count
+// summary per severity.
+func printDiagnostics(ds []core.Diagnostic, verbose bool) {
+	if len(ds) == 0 {
+		return
+	}
+	counts := core.CountBySeverity(ds)
+	if verbose {
+		levels := diag.Levels()
+		for i := len(levels) - 1; i >= 0; i-- {
+			sev := levels[i]
+			if counts[sev] == 0 {
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "%d %s diagnostic(s):\n", counts[sev], sev)
+			for _, d := range ds {
+				if d.Severity == sev {
+					fmt.Fprintf(os.Stderr, "  %s:%d: %s\n", d.File, d.Line, d.Msg)
+				}
+			}
+		}
+		return
+	}
+	var parts []string
+	levels := diag.Levels()
+	for i := len(levels) - 1; i >= 0; i-- {
+		if n := counts[levels[i]]; n > 0 {
+			parts = append(parts, fmt.Sprintf("%d %s", n, levels[i]))
+		}
+	}
+	fmt.Fprintf(os.Stderr, "rdesign: %d parse diagnostics (%s) — re-run with -diags to see them\n",
+		len(ds), strings.Join(parts, ", "))
 }

@@ -6,29 +6,49 @@
 //
 //	reproduce [-seed 2004] [-only F11] [-quiet]
 //
+// Observability: -v/-vv raise the structured-log level and print an
+// end-of-run stage-timing summary (per-network analysis and per-
+// experiment spans), -log-format json switches logs to JSON, -metrics
+// FILE exports run metrics, and -pprof ADDR serves net/http/pprof.
+//
 // Exit status is nonzero if any claim fails.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"routinglens/internal/experiments"
+	"routinglens/internal/telemetry"
 )
 
 func main() {
 	seed := flag.Int64("seed", experiments.DefaultSeed, "corpus generation seed")
 	only := flag.String("only", "", "run only the experiment with this id (e.g. T1, F11)")
 	quiet := flag.Bool("quiet", false, "print only the verdict lines, not the tables")
+	tele := telemetry.NewCLI("reproduce")
+	tele.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
+	exit := func(code int) {
+		if tele.Finish() != nil && code == 0 {
+			code = 1
+		}
+		os.Exit(code)
+	}
+	if err := tele.Activate(); err != nil {
+		fmt.Fprintf(os.Stderr, "reproduce: %v\n", err)
+		os.Exit(2)
+	}
+
 	t0 := time.Now()
-	ws, err := experiments.BuildWorkspace(*seed)
+	ws, err := experiments.BuildWorkspaceContext(context.Background(), *seed)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "reproduce: %v\n", err)
-		os.Exit(1)
+		exit(1)
 	}
 	fmt.Printf("corpus: %d networks, %d routers (seed %d, analyzed in %v)\n\n",
 		len(ws.Corpus.Networks), ws.Corpus.TotalRouters(), *seed, time.Since(t0).Round(time.Millisecond))
@@ -58,10 +78,11 @@ func main() {
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "reproduce: no experiment with id %q\n", *only)
-		os.Exit(2)
+		exit(2)
 	}
 	fmt.Printf("\n%d experiments, %d failing, total %v\n", ran, failures, time.Since(t0).Round(time.Millisecond))
 	if failures > 0 {
-		os.Exit(1)
+		exit(1)
 	}
+	exit(0)
 }

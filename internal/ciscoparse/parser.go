@@ -10,21 +10,25 @@ import (
 	"strings"
 
 	"routinglens/internal/devmodel"
+	"routinglens/internal/diag"
 	"routinglens/internal/netaddr"
 )
 
 // Diagnostic records a non-fatal parsing issue (malformed address, unknown
 // sub-command in a routing stanza, ...). Static analysis must degrade
-// gracefully: one bad line must not discard a router.
+// gracefully: one bad line must not discard a router. Severity says how
+// much was lost: info (unmodeled token), warning (dropped line or
+// clause), error (dropped construct — interface, process, BGP session).
 type Diagnostic struct {
-	File string
-	Line int
-	Msg  string
+	File     string
+	Line     int
+	Severity diag.Severity
+	Msg      string
 }
 
-// String renders "file:line: msg".
+// String renders "file:line: severity: msg".
 func (d Diagnostic) String() string {
-	return fmt.Sprintf("%s:%d: %s", d.File, d.Line, d.Msg)
+	return fmt.Sprintf("%s:%d: %s: %s", d.File, d.Line, d.Severity, d.Msg)
 }
 
 // Result is the outcome of parsing one configuration file.
@@ -118,8 +122,15 @@ type parser struct {
 	curACL     *devmodel.AccessList
 }
 
+// diag records a warning-severity diagnostic, the common case: a
+// malformed value dropped one line while the enclosing construct
+// survived. Sites that lose more (or less) use diagSev.
 func (p *parser) diag(l line, format string, args ...any) {
-	p.diags = append(p.diags, Diagnostic{File: p.file, Line: l.num, Msg: fmt.Sprintf(format, args...)})
+	p.diagSev(diag.SevWarn, l, format, args...)
+}
+
+func (p *parser) diagSev(sev diag.Severity, l line, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{File: p.file, Line: l.num, Severity: sev, Msg: fmt.Sprintf(format, args...)})
 }
 
 func (p *parser) run(lines []line) {
@@ -167,7 +178,7 @@ func (p *parser) topCommand(l line) {
 	case "interface":
 		p.closeSection()
 		if len(f) < 2 {
-			p.diag(l, "interface without name")
+			p.diagSev(diag.SevError, l, "interface without name")
 			return
 		}
 		if l.negated {
@@ -188,12 +199,12 @@ func (p *parser) topCommand(l line) {
 	case "router":
 		p.closeSection()
 		if len(f) < 2 {
-			p.diag(l, "router without protocol")
+			p.diagSev(diag.SevError, l, "router without protocol")
 			return
 		}
 		proto := devmodel.ParseProtocol(f[1])
 		if proto == devmodel.ProtoUnknown {
-			p.diag(l, "unknown routing protocol %q", f[1])
+			p.diagSev(diag.SevError, l, "unknown routing protocol %q", f[1])
 			p.section = secOther
 			return
 		}
@@ -384,7 +395,7 @@ func (p *parser) networkStmt(l line, f []string, proc *devmodel.RoutingProcess) 
 				st.Wildcard = m
 				st.HasWild = true
 			} else {
-				p.diag(l, "unparsed network token %q", rest[0])
+				p.diagSev(diag.SevInfo, l, "unparsed network token %q", rest[0])
 			}
 			rest = rest[1:]
 		}
@@ -399,7 +410,7 @@ func (p *parser) redistribute(l line, f []string, proc *devmodel.RoutingProcess)
 	}
 	rd := devmodel.Redistribution{From: devmodel.ParseProtocol(f[1])}
 	if rd.From == devmodel.ProtoUnknown {
-		p.diag(l, "redistribute from unknown protocol %q", f[1])
+		p.diagSev(diag.SevError, l, "redistribute from unknown protocol %q", f[1])
 		return
 	}
 	rest := f[2:]
@@ -481,7 +492,7 @@ func (p *parser) neighbor(l line, f []string, proc *devmodel.RoutingProcess) {
 			if asn, err := strconv.ParseUint(f[3], 10, 32); err == nil {
 				nb.RemoteAS = uint32(asn)
 			} else {
-				p.diag(l, "bad remote-as %q", f[3])
+				p.diagSev(diag.SevError, l, "bad remote-as %q", f[3])
 			}
 		}
 	case "description":
@@ -528,7 +539,7 @@ func (p *parser) neighbor(l line, f []string, proc *devmodel.RoutingProcess) {
 		"activate", "weight", "maximum-prefix":
 		// Recognized, not needed for design extraction.
 	default:
-		p.diag(l, "unknown neighbor attribute %q", f[2])
+		p.diagSev(diag.SevInfo, l, "unknown neighbor attribute %q", f[2])
 	}
 }
 
@@ -546,7 +557,7 @@ func (p *parser) distributeList(l line, f []string, proc *devmodel.RoutingProces
 
 func (p *parser) startRouteMapEntry(l line, f []string) {
 	if len(f) < 2 {
-		p.diag(l, "route-map without name")
+		p.diagSev(diag.SevError, l, "route-map without name")
 		return
 	}
 	name := f[1]

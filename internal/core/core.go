@@ -6,11 +6,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"routinglens/internal/addrspace"
 	"routinglens/internal/audit"
@@ -28,10 +30,33 @@ import (
 	"routinglens/internal/reach"
 	"routinglens/internal/report"
 	"routinglens/internal/simroute"
+	"routinglens/internal/telemetry"
 	"routinglens/internal/topology"
 	"routinglens/internal/trace"
 	"routinglens/internal/whatif"
 )
+
+// Metric names the pipeline records into the run's telemetry registry.
+const (
+	MetricDevicesParsed  = "routinglens_devices_parsed_total"
+	MetricConfigLines    = "routinglens_config_lines_total"
+	MetricDiagnostics    = "routinglens_diagnostics_total"
+	MetricParseLinesRate = "routinglens_parse_lines_per_second"
+	MetricInstances      = "routinglens_instances"
+	MetricProcesses      = "routinglens_processes"
+)
+
+// registerHelp attaches export HELP strings to the pipeline metrics; it
+// is idempotent, so the hot path may call it per run.
+func registerHelp(reg *telemetry.Registry) {
+	reg.SetHelp(MetricDevicesParsed, "Router configurations parsed, by dialect.")
+	reg.SetHelp(MetricConfigLines, "Configuration lines (or JunOS statements) parsed.")
+	reg.SetHelp(MetricDiagnostics, "Parse diagnostics emitted, by severity.")
+	reg.SetHelp(MetricParseLinesRate, "Parse throughput of the last network, in lines per second.")
+	reg.SetHelp(MetricInstances, "Routing instances extracted, by network.")
+	reg.SetHelp(MetricProcesses, "Routing process graph nodes, by network.")
+	reg.SetHelp(telemetry.StageSecondsMetric, "Pipeline stage latency, by stage.")
+}
 
 // Design is the reverse-engineered routing design of one network: every
 // global view the paper derives from the per-router configuration state.
@@ -47,47 +72,75 @@ type Design struct {
 
 // Analyze runs the full extraction pipeline over a parsed network.
 func Analyze(n *devmodel.Network) *Design {
-	top := topology.Build(n)
-	graph := procgraph.Build(n, top)
-	model := instance.Compute(graph)
-	return &Design{
-		Network:        n,
-		Topology:       top,
-		ProcessGraph:   graph,
-		Instances:      model,
-		AddressSpace:   addrspace.Discover(addrspace.CollectSubnets(n), addrspace.Options{}),
-		Filters:        filters.Analyze(n, top),
-		Classification: classify.ClassifyDesign(model),
+	return AnalyzeContext(context.Background(), n)
+}
+
+// AnalyzeContext runs the full extraction pipeline over a parsed
+// network, emitting one telemetry span per stage (topology, procgraph,
+// instance, addrspace, filters, classify) into the context's collector
+// and recording instance/process gauges in its registry.
+func AnalyzeContext(ctx context.Context, n *devmodel.Network) *Design {
+	ctx, root := telemetry.StartSpan(ctx, "analyze")
+	defer root.End()
+	log := telemetry.Logger().With("network", n.Name)
+	reg := telemetry.RegistryFrom(ctx)
+
+	stage := func(name string, f func()) {
+		_, sp := telemetry.StartSpan(ctx, name)
+		f()
+		d := sp.End()
+		log.Debug("stage complete", "stage", name, "duration", d)
 	}
+
+	d := &Design{Network: n}
+	stage("topology", func() { d.Topology = topology.Build(n) })
+	stage("procgraph", func() { d.ProcessGraph = procgraph.Build(n, d.Topology) })
+	stage("instance", func() { d.Instances = instance.Compute(d.ProcessGraph) })
+	stage("addrspace", func() {
+		d.AddressSpace = addrspace.Discover(addrspace.CollectSubnets(n), addrspace.Options{})
+	})
+	stage("filters", func() { d.Filters = filters.Analyze(n, d.Topology) })
+	stage("classify", func() { d.Classification = classify.ClassifyDesign(d.Instances) })
+
+	net := telemetry.L("network", n.Name)
+	reg.Gauge(MetricInstances, net).Set(float64(len(d.Instances.Instances)))
+	reg.Gauge(MetricProcesses, net).Set(float64(len(d.ProcessGraph.Nodes)))
+	log.Info("analysis complete",
+		"routers", len(n.Devices),
+		"instances", len(d.Instances.Instances),
+		"classification", d.Classification.String())
+	return d
 }
 
 // parseOne dispatches a configuration to the right dialect front end:
 // JunOS-style brace-structured files go to junosparse, everything else to
-// the Cisco IOS parser.
-func parseOne(name, text string) (*devmodel.Device, []ciscoparse.Diagnostic, error) {
+// the Cisco IOS parser. Both dialects' diagnostics are converted to the
+// shared core.Diagnostic, preserving file, line, and severity.
+func parseOne(name, text string) (*devmodel.Device, []Diagnostic, error) {
 	if junosparse.LooksLikeJunOS(text) {
 		res, err := junosparse.Parse(name, strings.NewReader(text))
 		if err != nil {
 			return nil, nil, err
 		}
-		diags := make([]ciscoparse.Diagnostic, len(res.Diagnostics))
-		for i, d := range res.Diagnostics {
-			diags[i] = ciscoparse.Diagnostic{File: d.File, Line: d.Line, Msg: d.Msg}
-		}
-		return res.Device, diags, nil
+		return res.Device, fromJunos(res.Diagnostics), nil
 	}
 	res, err := ciscoparse.Parse(name, strings.NewReader(text))
 	if err != nil {
 		return nil, nil, err
 	}
-	return res.Device, res.Diagnostics, nil
+	return res.Device, fromCisco(res.Diagnostics), nil
 }
 
 // AnalyzeDir parses every file in dir as a router configuration —
 // detecting Cisco IOS and JunOS dialects per file — and analyzes the
 // resulting network. Parse diagnostics are returned alongside the design;
 // they are warnings, not errors.
-func AnalyzeDir(dir string) (*Design, []ciscoparse.Diagnostic, error) {
+func AnalyzeDir(dir string) (*Design, []Diagnostic, error) {
+	return AnalyzeDirContext(context.Background(), dir)
+}
+
+// AnalyzeDirContext is AnalyzeDir with the caller's telemetry context.
+func AnalyzeDirContext(ctx context.Context, dir string) (*Design, []Diagnostic, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, nil, err
@@ -103,29 +156,71 @@ func AnalyzeDir(dir string) (*Design, []ciscoparse.Diagnostic, error) {
 		}
 		configs[e.Name()] = string(data)
 	}
-	return AnalyzeConfigs(filepath.Base(dir), configs)
+	return AnalyzeConfigsContext(ctx, filepath.Base(dir), configs)
 }
 
 // AnalyzeConfigs parses an in-memory set of configurations (hostname or
 // filename -> text), auto-detecting the dialect of each, and analyzes the
 // network.
-func AnalyzeConfigs(name string, configs map[string]string) (*Design, []ciscoparse.Diagnostic, error) {
+func AnalyzeConfigs(name string, configs map[string]string) (*Design, []Diagnostic, error) {
+	return AnalyzeConfigsContext(context.Background(), name, configs)
+}
+
+// AnalyzeConfigsContext is AnalyzeConfigs with the caller's telemetry
+// context: it emits a "parse" span (one "parse-file" child per
+// configuration), per-file debug logs, and parse-throughput metrics
+// before handing the network to AnalyzeContext.
+func AnalyzeConfigsContext(ctx context.Context, name string, configs map[string]string) (*Design, []Diagnostic, error) {
 	names := make([]string, 0, len(configs))
 	for k := range configs {
 		names = append(names, k)
 	}
 	sort.Strings(names)
+
+	reg := telemetry.RegistryFrom(ctx)
+	registerHelp(reg)
+	log := telemetry.Logger().With("network", name)
+	pctx, parseSpan := telemetry.StartSpan(ctx, "parse")
 	n := &devmodel.Network{Name: name}
-	var diags []ciscoparse.Diagnostic
+	var diags []Diagnostic
+	var totalLines int64
 	for _, fn := range names {
+		_, fileSpan := telemetry.StartSpan(pctx, "parse-file")
 		dev, ds, err := parseOne(fn, configs[fn])
 		if err != nil {
+			fileSpan.Fail(err)
+			fileSpan.End()
+			parseSpan.Fail(err)
+			parseSpan.End()
 			return nil, diags, fmt.Errorf("core: parsing %s: %w", fn, err)
 		}
+		fileDur := fileSpan.End()
+		dialect := "ios"
+		if len(ds) > 0 {
+			dialect = ds[0].Dialect
+		} else if junosparse.LooksLikeJunOS(configs[fn]) {
+			dialect = "junos"
+		}
+		reg.Counter(MetricDevicesParsed, telemetry.L("dialect", dialect)).Inc()
+		reg.Counter(MetricConfigLines).Add(int64(dev.RawLines))
+		totalLines += int64(dev.RawLines)
+		for _, d := range ds {
+			reg.Counter(MetricDiagnostics, telemetry.L("severity", d.Severity.String())).Inc()
+		}
+		log.Debug("parsed configuration",
+			"file", fn, "dialect", dialect, "lines", dev.RawLines,
+			"diagnostics", len(ds), "duration", fileDur)
 		n.Devices = append(n.Devices, dev)
 		diags = append(diags, ds...)
 	}
-	return Analyze(n), diags, nil
+	parseDur := parseSpan.End()
+	if secs := parseDur.Seconds(); secs > 0 {
+		reg.Gauge(MetricParseLinesRate).Set(float64(totalLines) / secs)
+	}
+	log.Info("parsed network",
+		"files", len(names), "lines", totalLines,
+		"diagnostics", len(diags), "duration", parseDur.Round(time.Microsecond))
+	return AnalyzeContext(ctx, n), diags, nil
 }
 
 // Pathway computes the route pathway graph for the named router.

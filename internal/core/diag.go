@@ -1,0 +1,51 @@
+package core
+
+import (
+	"fmt"
+
+	"routinglens/internal/ciscoparse"
+	"routinglens/internal/diag"
+	"routinglens/internal/junosparse"
+)
+
+// Diagnostic is the dialect-neutral parse diagnostic the pipeline
+// returns. Both front ends (ciscoparse, junosparse) convert into it
+// losslessly — file, line, and severity survive — and Dialect records
+// which parser produced it.
+type Diagnostic struct {
+	File     string
+	Line     int
+	Severity diag.Severity
+	Dialect  string // "ios" or "junos"
+	Msg      string
+}
+
+// String renders "file:line: severity: msg".
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s", d.File, d.Line, d.Severity, d.Msg)
+}
+
+func fromCisco(ds []ciscoparse.Diagnostic) []Diagnostic {
+	out := make([]Diagnostic, len(ds))
+	for i, d := range ds {
+		out[i] = Diagnostic{File: d.File, Line: d.Line, Severity: d.Severity, Dialect: "ios", Msg: d.Msg}
+	}
+	return out
+}
+
+func fromJunos(ds []junosparse.Diagnostic) []Diagnostic {
+	out := make([]Diagnostic, len(ds))
+	for i, d := range ds {
+		out[i] = Diagnostic{File: d.File, Line: d.Line, Severity: d.Severity, Dialect: "junos", Msg: d.Msg}
+	}
+	return out
+}
+
+// CountBySeverity tallies diagnostics per severity level.
+func CountBySeverity(ds []Diagnostic) map[diag.Severity]int {
+	out := make(map[diag.Severity]int)
+	for _, d := range ds {
+		out[d.Severity]++
+	}
+	return out
+}

@@ -1,0 +1,41 @@
+// Package diag defines the severity scale shared by the configuration
+// parser front ends (ciscoparse, junosparse) and the merged pipeline
+// diagnostics in core. It is a leaf package so every dialect can tag its
+// diagnostics without the front ends importing each other.
+package diag
+
+// Severity classifies how much of the configuration a diagnostic cost.
+type Severity int
+
+const (
+	// SevInfo marks benign notes: a token the parser recognized but does
+	// not model (unknown neighbor attribute, unparsed trailing token).
+	// Nothing was lost that the extraction pipeline uses.
+	SevInfo Severity = iota
+	// SevWarn marks a malformed value that forced the parser to drop one
+	// line or clause (bad address, incomplete command) while the rest of
+	// the enclosing construct survived.
+	SevWarn
+	// SevError marks a dropped construct: a whole interface, routing
+	// process, or BGP session the pipeline will never see. The extracted
+	// design may be missing an edge the network really has.
+	SevError
+)
+
+// String renders the conventional lowercase name.
+func (s Severity) String() string {
+	switch s {
+	case SevInfo:
+		return "info"
+	case SevWarn:
+		return "warning"
+	case SevError:
+		return "error"
+	default:
+		return "unknown"
+	}
+}
+
+// Levels lists every severity from least to most severe, for iteration in
+// display order.
+func Levels() []Severity { return []Severity{SevInfo, SevWarn, SevError} }

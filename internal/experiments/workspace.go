@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -16,6 +17,7 @@ import (
 	"routinglens/internal/instance"
 	"routinglens/internal/netgen"
 	"routinglens/internal/procgraph"
+	"routinglens/internal/telemetry"
 	"routinglens/internal/topology"
 )
 
@@ -44,21 +46,51 @@ const DefaultSeed = 2004 // the paper's publication year
 // BuildWorkspace generates the corpus and runs the full extraction pipeline
 // on every network.
 func BuildWorkspace(seed int64) (*Workspace, error) {
+	return BuildWorkspaceContext(context.Background(), seed)
+}
+
+// BuildWorkspaceContext is BuildWorkspace with the caller's telemetry
+// context: a "workspace" span wraps the run, with one "corpus-generate"
+// child and a "network-analyze" child per network.
+func BuildWorkspaceContext(ctx context.Context, seed int64) (*Workspace, error) {
+	ctx, root := telemetry.StartSpan(ctx, "workspace")
+	defer root.End()
+	log := telemetry.Logger()
+
+	_, genSpan := telemetry.StartSpan(ctx, "corpus-generate")
 	c := netgen.GenerateCorpus(seed)
+	genDur := genSpan.End()
+	log.Info("corpus generated", "networks", len(c.Networks), "seed", seed, "duration", genDur)
+
 	ws := &Workspace{Corpus: c, byName: make(map[string]*NetworkAnalysis)}
 	for _, g := range c.Networks {
+		nctx, netSpan := telemetry.StartSpan(ctx, "network-analyze")
 		n, err := g.Build()
 		if err != nil {
-			return nil, fmt.Errorf("experiments: %w", err)
+			err = fmt.Errorf("experiments: %w", err)
+			netSpan.Fail(err)
+			netSpan.End()
+			root.Fail(err)
+			return nil, err
 		}
-		top := topology.Build(n)
-		graph := procgraph.Build(n, top)
-		model := instance.Compute(graph)
-		na := &NetworkAnalysis{
-			Gen: g, Net: n, Top: top, Graph: graph, Model: model,
-			Design:  classify.ClassifyDesign(model),
-			Filters: filters.Analyze(n, top),
+		var top *topology.Topology
+		var graph *procgraph.Graph
+		var model *instance.Model
+		stage := func(name string, f func()) {
+			_, sp := telemetry.StartSpan(nctx, name)
+			f()
+			sp.End()
 		}
+		stage("topology", func() { top = topology.Build(n) })
+		stage("procgraph", func() { graph = procgraph.Build(n, top) })
+		stage("instance", func() { model = instance.Compute(graph) })
+		na := &NetworkAnalysis{Gen: g, Net: n, Top: top, Graph: graph, Model: model}
+		stage("classify", func() { na.Design = classify.ClassifyDesign(model) })
+		stage("filters", func() { na.Filters = filters.Analyze(n, top) })
+		d := netSpan.End()
+		log.Debug("network analyzed",
+			"network", g.Name, "routers", g.Routers, "kind", g.Kind,
+			"instances", len(model.Instances), "duration", d)
 		ws.Nets = append(ws.Nets, na)
 		ws.byName[g.Name] = na
 	}
@@ -115,26 +147,56 @@ func (r *Result) claim(ok bool, format string, args ...any) {
 	r.Claims = append(r.Claims, Claim{Text: fmt.Sprintf(format, args...), OK: ok})
 }
 
-// All runs every experiment in paper order.
+// All runs every experiment in paper order, one telemetry span each.
 func All(ws *Workspace) []Result {
-	return []Result{
-		Figure4(ws),
-		Figure5(ws),
-		Figure7(ws),
-		Figure8(ws),
-		Table1(ws),
-		Figure9(ws),
-		Figure10(ws),
-		Section5Net5(ws),
-		Figure11(ws),
-		Table2(ws),
-		Figure12(ws),
-		Section7Taxonomy(ws),
-		Table3(ws),
-		Section2Unnumbered(ws),
-		AnonymizationInvariance(ws),
-		AblationClosure(ws),
-		AblationNextHop(ws),
-		AblationJoinBits(ws),
+	drivers := []func(*Workspace) Result{
+		Figure4,
+		Figure5,
+		Figure7,
+		Figure8,
+		Table1,
+		Figure9,
+		Figure10,
+		Section5Net5,
+		Figure11,
+		Table2,
+		Figure12,
+		Section7Taxonomy,
+		Table3,
+		Section2Unnumbered,
+		AnonymizationInvariance,
+		AblationClosure,
+		AblationNextHop,
+		AblationJoinBits,
 	}
+	out := make([]Result, 0, len(drivers))
+	for _, f := range drivers {
+		out = append(out, runTimed(f, ws))
+	}
+	return out
+}
+
+// runTimed wraps one experiment driver in a span named after the
+// experiment id and logs its verdict.
+func runTimed(f func(*Workspace) Result, ws *Workspace) Result {
+	_, sp := telemetry.StartSpan(context.Background(), "experiment")
+	r := f(ws)
+	sp.SetName("experiment:" + r.ID)
+	if !r.OK() {
+		sp.Fail(fmt.Errorf("experiment %s: %d claims failing", r.ID, failing(r)))
+	}
+	d := sp.End()
+	telemetry.Logger().Info("experiment complete",
+		"id", r.ID, "title", r.Title, "ok", r.OK(), "claims", len(r.Claims), "duration", d)
+	return r
+}
+
+func failing(r Result) int {
+	n := 0
+	for _, c := range r.Claims {
+		if !c.OK {
+			n++
+		}
+	}
+	return n
 }

@@ -7,18 +7,24 @@ import (
 	"strings"
 
 	"routinglens/internal/devmodel"
+	"routinglens/internal/diag"
 	"routinglens/internal/netaddr"
 )
 
-// Diagnostic records a non-fatal conversion issue.
+// Diagnostic records a non-fatal conversion issue. Severity says how
+// much was lost: info (unmodeled token), warning (dropped statement),
+// error (dropped construct — interface binding, BGP session, AS).
 type Diagnostic struct {
-	File string
-	Line int
-	Msg  string
+	File     string
+	Line     int
+	Severity diag.Severity
+	Msg      string
 }
 
-// String renders "file:line: msg".
-func (d Diagnostic) String() string { return fmt.Sprintf("%s:%d: %s", d.File, d.Line, d.Msg) }
+// String renders "file:line: severity: msg".
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s", d.File, d.Line, d.Severity, d.Msg)
+}
 
 // Result is the outcome of parsing one JunOS configuration.
 type Result struct {
@@ -75,8 +81,15 @@ type converter struct {
 	myAS uint32
 }
 
+// diag records a warning-severity diagnostic, the common case: one
+// malformed statement dropped. Sites that lose a whole construct use
+// diagSev with diag.SevError.
 func (c *converter) diag(n *node, format string, args ...any) {
-	c.diags = append(c.diags, Diagnostic{File: c.file, Line: n.line, Msg: fmt.Sprintf(format, args...)})
+	c.diagSev(diag.SevWarn, n, format, args...)
+}
+
+func (c *converter) diagSev(sev diag.Severity, n *node, format string, args ...any) {
+	c.diags = append(c.diags, Diagnostic{File: c.file, Line: n.line, Severity: sev, Msg: fmt.Sprintf(format, args...)})
 }
 
 func (c *converter) run(root *node) {
@@ -168,7 +181,7 @@ func (c *converter) routingOptions(ro *node) {
 		if v, err := strconv.ParseUint(as.arg(0), 10, 32); err == nil {
 			c.myAS = uint32(v)
 		} else {
-			c.diag(as, "bad autonomous-system %q", as.arg(0))
+			c.diagSev(diag.SevError, as, "bad autonomous-system %q", as.arg(0))
 		}
 	}
 	if st := ro.child("static"); st != nil {
@@ -387,7 +400,7 @@ func (c *converter) protocols(prot *node) {
 func (c *converter) coverStmtFor(proc *devmodel.RoutingProcess, owner *node, intfName, area string) {
 	intf := c.dev.Interface(intfName)
 	if intf == nil {
-		c.diag(owner, "protocol references unknown interface %q", intfName)
+		c.diagSev(diag.SevError, owner, "protocol references unknown interface %q", intfName)
 		return
 	}
 	for _, a := range intf.Addrs {
@@ -453,7 +466,7 @@ func (c *converter) applyExport(proc *devmodel.RoutingProcess, policy string) {
 
 func (c *converter) bgp(bgp *node) {
 	if c.myAS == 0 {
-		c.diag(bgp, "protocols bgp without routing-options autonomous-system")
+		c.diagSev(diag.SevError, bgp, "protocols bgp without routing-options autonomous-system")
 	}
 	proc := &devmodel.RoutingProcess{
 		Protocol: devmodel.ProtoBGP,
@@ -504,7 +517,7 @@ func (c *converter) bgp(bgp *node) {
 				nb.RouteMapOut = ex.arg(0)
 			}
 			if nb.RemoteAS == 0 {
-				c.diag(nbNode, "neighbor %s has no peer AS", addr)
+				c.diagSev(diag.SevError, nbNode, "neighbor %s has no peer AS", addr)
 			}
 			proc.Neighbors = append(proc.Neighbors, nb)
 		})

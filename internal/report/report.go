@@ -5,6 +5,7 @@ package report
 import (
 	"fmt"
 	"strings"
+	"unicode/utf8"
 
 	"routinglens/internal/stats"
 )
@@ -39,10 +40,12 @@ func (t *Table) String() string {
 		}
 	}
 	widths := make([]int, ncols)
+	// Widths are in runes, not bytes, so multibyte cells ("µs", "—")
+	// stay aligned.
 	measure := func(cells []string) {
 		for i, c := range cells {
-			if len(c) > widths[i] {
-				widths[i] = len(c)
+			if n := utf8.RuneCountInString(c); n > widths[i] {
+				widths[i] = n
 			}
 		}
 	}
@@ -61,7 +64,7 @@ func (t *Table) String() string {
 				b.WriteString("  ")
 			}
 			b.WriteString(c)
-			b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			b.WriteString(strings.Repeat(" ", widths[i]-utf8.RuneCountInString(c)))
 		}
 		b.WriteString("\n")
 	}

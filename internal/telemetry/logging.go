@@ -1,0 +1,53 @@
+package telemetry
+
+import (
+	"io"
+	"log/slog"
+	"sync/atomic"
+)
+
+// The package-level default logger. Before a CLI configures it, it
+// discards everything so library consumers and tests stay silent; the
+// pipeline packages log unconditionally and rely on the handler's level
+// gate.
+var defaultLogger atomic.Pointer[slog.Logger]
+
+func init() {
+	defaultLogger.Store(slog.New(slog.NewTextHandler(io.Discard, nil)))
+}
+
+// Logger returns the current default logger.
+func Logger() *slog.Logger { return defaultLogger.Load() }
+
+// SetLogger replaces the default logger.
+func SetLogger(l *slog.Logger) {
+	if l != nil {
+		defaultLogger.Store(l)
+	}
+}
+
+// VerbosityLevel maps a CLI verbosity count to a slog level: 0 logs only
+// warnings and errors, 1 (-v) adds info, 2+ (-vv) adds debug.
+func VerbosityLevel(v int) slog.Level {
+	switch {
+	case v <= 0:
+		return slog.LevelWarn
+	case v == 1:
+		return slog.LevelInfo
+	default:
+		return slog.LevelDebug
+	}
+}
+
+// NewLogger builds a logger writing to w in the given format ("json" or
+// "text") at the given level.
+func NewLogger(w io.Writer, format string, level slog.Level) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: level}
+	var h slog.Handler
+	if format == "json" {
+		h = slog.NewJSONHandler(w, opts)
+	} else {
+		h = slog.NewTextHandler(w, opts)
+	}
+	return slog.New(h)
+}

@@ -1,0 +1,425 @@
+// Package telemetry is the observability layer of the extraction
+// pipeline: structured logging on log/slog, lightweight tracing spans,
+// and a metrics registry (counters, gauges, histograms) exportable in
+// Prometheus text format and JSON. It deliberately has zero external
+// dependencies — everything is built on the standard library — so the
+// pipeline packages can instrument freely without pulling a client
+// library into the module.
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one key=value dimension of a metric series.
+type Label struct{ Key, Value string }
+
+// L builds a Label; it keeps call sites short.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing metric. Safe for concurrent use.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add increases the counter by n (n must be >= 0; negative deltas are
+// ignored to preserve monotonicity).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down. Safe for concurrent use.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// DefBuckets is the default histogram bucketing, in seconds, tuned for
+// pipeline stages that run from sub-millisecond (one file parse) to
+// minutes (a full corpus build).
+var DefBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// Histogram is a fixed-bucket distribution metric. Safe for concurrent
+// use.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // upper bounds, ascending
+	counts []uint64  // len(bounds)+1; last is +Inf
+	count  uint64
+	sum    float64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.count++
+	h.sum += v
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the sum of all observed samples.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// snapshot returns cumulative bucket counts (Prometheus convention),
+// total count, and sum.
+func (h *Histogram) snapshot() (bounds []float64, cumulative []uint64, count uint64, sum float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cumulative = make([]uint64, len(h.counts))
+	var acc uint64
+	for i, c := range h.counts {
+		acc += c
+		cumulative[i] = acc
+	}
+	return h.bounds, cumulative, h.count, h.sum
+}
+
+type kind int
+
+const (
+	counterKind kind = iota
+	gaugeKind
+	histogramKind
+)
+
+func (k kind) String() string {
+	switch k {
+	case counterKind:
+		return "counter"
+	case gaugeKind:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// series is one labeled instance of a metric family.
+type series struct {
+	labels []Label
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// family groups every series sharing a metric name.
+type family struct {
+	name    string
+	help    string
+	kind    kind
+	kindSet bool // false while only SetHelp has touched the family
+	series  map[string]*series // keyed by rendered label set
+}
+
+// Registry holds the metric families of one pipeline run. The zero value
+// is not usable; call NewRegistry. All methods are safe for concurrent
+// use; get-or-create lookups are idempotent, so hot paths can re-look-up
+// by name instead of holding the handle.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Default is the process-wide registry the pipeline instruments into
+// unless a context carries another one (see WithRegistry).
+var Default = NewRegistry()
+
+func labelKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, l := range labels {
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+func (r *Registry) lookup(name string, k kind, labels []Label) *series {
+	sorted := make([]Label, len(labels))
+	copy(sorted, labels)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, series: make(map[string]*series)}
+		r.families[name] = f
+	}
+	if !f.kindSet {
+		f.kind, f.kindSet = k, true
+	} else if f.kind != k {
+		panic(fmt.Sprintf("telemetry: metric %q registered as %s, requested as %s", name, f.kind, k))
+	}
+	key := labelKey(sorted)
+	s := f.series[key]
+	if s == nil {
+		s = &series{labels: sorted}
+		f.series[key] = s
+	}
+	return s
+}
+
+// Counter returns (creating if needed) the counter series for name+labels.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	s := r.lookup(name, counterKind, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s.c == nil {
+		s.c = &Counter{}
+	}
+	return s.c
+}
+
+// Gauge returns (creating if needed) the gauge series for name+labels.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	s := r.lookup(name, gaugeKind, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s.g == nil {
+		s.g = &Gauge{}
+	}
+	return s.g
+}
+
+// Histogram returns (creating if needed) the histogram series for
+// name+labels. buckets (upper bounds, ascending) is only consulted on
+// first creation; nil means DefBuckets.
+func (r *Registry) Histogram(name string, buckets []float64, labels ...Label) *Histogram {
+	s := r.lookup(name, histogramKind, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s.h == nil {
+		if buckets == nil {
+			buckets = DefBuckets
+		}
+		s.h = &Histogram{bounds: buckets, counts: make([]uint64, len(buckets)+1)}
+	}
+	return s.h
+}
+
+// SetHelp attaches a HELP string to the named metric family, rendered in
+// the Prometheus export.
+func (r *Registry) SetHelp(name, help string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f := r.families[name]; f != nil {
+		f.help = help
+	} else {
+		r.families[name] = &family{name: name, help: help, series: make(map[string]*series)}
+	}
+}
+
+// Reset drops every metric family; tests use it to start clean.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.families = make(map[string]*family)
+}
+
+// sortedFamilies snapshots family and series pointers in deterministic
+// order. Metric values are read outside the registry lock.
+func (r *Registry) sortedFamilies() []*family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}
+
+func (f *family) sortedSeries() []*series {
+	keys := make([]string, 0, len(f.series))
+	for k := range f.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*series, len(keys))
+	for i, k := range keys {
+		out[i] = f.series[k]
+	}
+	return out
+}
+
+func promLabels(labels []Label, extra ...Label) string {
+	all := append(append([]Label{}, labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	parts := make([]string, len(all))
+	for i, l := range all {
+		parts[i] = fmt.Sprintf("%s=%q", l.Key, l.Value)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// formatFloat renders a float the way Prometheus expects: integers bare,
+// +Inf spelled out.
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// WritePrometheus renders every metric in the Prometheus text exposition
+// format (v0.0.4), families and series in deterministic sorted order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.sortedFamilies() {
+		if len(f.series) == 0 {
+			continue
+		}
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		for _, s := range f.sortedSeries() {
+			var err error
+			switch f.kind {
+			case counterKind:
+				_, err = fmt.Fprintf(w, "%s%s %d\n", f.name, promLabels(s.labels), s.c.Value())
+			case gaugeKind:
+				_, err = fmt.Fprintf(w, "%s%s %s\n", f.name, promLabels(s.labels), formatFloat(s.g.Value()))
+			case histogramKind:
+				bounds, cum, count, sum := s.h.snapshot()
+				for i, b := range bounds {
+					if _, err = fmt.Fprintf(w, "%s_bucket%s %d\n",
+						f.name, promLabels(s.labels, L("le", formatFloat(b))), cum[i]); err != nil {
+						return err
+					}
+				}
+				if _, err = fmt.Fprintf(w, "%s_bucket%s %d\n",
+					f.name, promLabels(s.labels, L("le", "+Inf")), cum[len(cum)-1]); err != nil {
+					return err
+				}
+				if _, err = fmt.Fprintf(w, "%s_sum%s %s\n", f.name, promLabels(s.labels), formatFloat(sum)); err != nil {
+					return err
+				}
+				_, err = fmt.Fprintf(w, "%s_count%s %d\n", f.name, promLabels(s.labels), count)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// jsonSeries is the JSON export shape of one series.
+type jsonSeries struct {
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  *float64          `json:"value,omitempty"`
+	Count  *uint64           `json:"count,omitempty"`
+	Sum    *float64          `json:"sum,omitempty"`
+	// Buckets maps upper bound -> cumulative count, bound "+Inf" included.
+	Buckets map[string]uint64 `json:"buckets,omitempty"`
+}
+
+type jsonFamily struct {
+	Name   string       `json:"name"`
+	Type   string       `json:"type"`
+	Help   string       `json:"help,omitempty"`
+	Series []jsonSeries `json:"series"`
+}
+
+// WriteJSON renders every metric as a deterministic JSON document: a
+// sorted array of families, each with its labeled series.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	var doc []jsonFamily
+	for _, f := range r.sortedFamilies() {
+		if len(f.series) == 0 {
+			continue
+		}
+		jf := jsonFamily{Name: f.name, Type: f.kind.String(), Help: f.help}
+		for _, s := range f.sortedSeries() {
+			js := jsonSeries{}
+			if len(s.labels) > 0 {
+				js.Labels = make(map[string]string, len(s.labels))
+				for _, l := range s.labels {
+					js.Labels[l.Key] = l.Value
+				}
+			}
+			switch f.kind {
+			case counterKind:
+				v := float64(s.c.Value())
+				js.Value = &v
+			case gaugeKind:
+				v := s.g.Value()
+				js.Value = &v
+			case histogramKind:
+				bounds, cum, count, sum := s.h.snapshot()
+				js.Count = &count
+				js.Sum = &sum
+				js.Buckets = make(map[string]uint64, len(bounds)+1)
+				for i, b := range bounds {
+					js.Buckets[formatFloat(b)] = cum[i]
+				}
+				js.Buckets["+Inf"] = cum[len(cum)-1]
+			}
+			jf.Series = append(jf.Series, js)
+		}
+		doc = append(doc, jf)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

@@ -1,0 +1,87 @@
+package telemetry
+
+import (
+	"fmt"
+	"time"
+
+	"routinglens/internal/report"
+)
+
+// stageAgg accumulates the records sharing one span name.
+type stageAgg struct {
+	name     string
+	calls    int
+	errs     int
+	total    time.Duration
+	min, max time.Duration
+}
+
+// StageSummary aggregates the collector's spans by name and renders an
+// aligned end-of-run table: calls, total, mean, min, max, and error
+// count per stage, in first-seen order.
+func StageSummary(c *Collector) string {
+	recs := c.Records()
+	if len(recs) == 0 {
+		return "no stages recorded\n"
+	}
+	byName := make(map[string]*stageAgg)
+	var order []*stageAgg
+	for _, r := range recs {
+		a := byName[r.Name]
+		if a == nil {
+			a = &stageAgg{name: r.Name, min: r.Duration, max: r.Duration}
+			byName[r.Name] = a
+			order = append(order, a)
+		}
+		a.calls++
+		a.total += r.Duration
+		if r.Duration < a.min {
+			a.min = r.Duration
+		}
+		if r.Duration > a.max {
+			a.max = r.Duration
+		}
+		if r.Err != "" {
+			a.errs++
+		}
+	}
+	t := report.NewTable("stage", "calls", "total", "mean", "min", "max", "errors")
+	for _, a := range order {
+		mean := a.total / time.Duration(a.calls)
+		t.Addf("%s\t%d\t%s\t%s\t%s\t%s\t%d",
+			a.name, a.calls, round(a.total), round(mean), round(a.min), round(a.max), a.errs)
+	}
+	return t.String()
+}
+
+// round trims durations to a readable precision: microseconds below a
+// millisecond, otherwise 10µs granularity.
+func round(d time.Duration) string {
+	switch {
+	case d < time.Millisecond:
+		return d.Round(time.Microsecond).String()
+	case d < time.Second:
+		return d.Round(10 * time.Microsecond).String()
+	default:
+		return d.Round(time.Millisecond).String()
+	}
+}
+
+// Tree renders the collector's spans as an indented call tree in end
+// order, for -vv debugging of one run.
+func Tree(c *Collector) string {
+	recs := c.Records()
+	out := ""
+	for _, r := range recs {
+		indent := ""
+		for i := 0; i < r.Depth; i++ {
+			indent += "  "
+		}
+		status := ""
+		if r.Err != "" {
+			status = " ERROR " + r.Err
+		}
+		out += fmt.Sprintf("%s%s %s%s\n", indent, r.Name, round(r.Duration), status)
+	}
+	return out
+}

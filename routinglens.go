@@ -49,8 +49,11 @@ type (
 	Network = devmodel.Network
 	// Device is the parsed model of one router configuration.
 	Device = devmodel.Device
-	// Diagnostic is a non-fatal configuration parsing issue.
-	Diagnostic = ciscoparse.Diagnostic
+	// Diagnostic is a non-fatal configuration parsing issue, merged
+	// across dialects with file, line, and severity preserved.
+	Diagnostic = core.Diagnostic
+	// ParserDiagnostic is the Cisco IOS front end's native diagnostic.
+	ParserDiagnostic = ciscoparse.Diagnostic
 	// Topology is the inferred link-level view of a network.
 	Topology = topology.Topology
 	// Instance is one routing instance (paper Section 3.2).
