@@ -1,9 +1,12 @@
 # Verification tiers. tier1 is the gate every PR must keep green; tier2
-# adds vet and the race detector (the telemetry layer is exercised
-# concurrently); benchsmoke runs the instrumented pipeline benches once
-# so stage-instrumentation overhead stays visible in CI output.
+# adds vet and the race detector over every package — that includes the
+# worker pools in core/experiments and the telemetry layer they share;
+# benchsmoke runs the instrumented pipeline benches once so
+# stage-instrumentation overhead stays visible in CI output; benchcmp
+# runs the sequential-vs-parallel sweeps and records the speedups (with
+# the host's GOMAXPROCS) in BENCH_parallel.json.
 
-.PHONY: tier1 tier2 benchsmoke all
+.PHONY: tier1 tier2 benchsmoke benchcmp all
 
 all: tier1 tier2 benchsmoke
 
@@ -15,3 +18,7 @@ tier2:
 
 benchsmoke:
 	go test -run '^$$' -bench BenchmarkAnalyze -benchtime=1x .
+
+benchcmp:
+	go test -run '^$$' -bench 'BenchmarkAnalyzeNet5$$|Parallel$$/j' -benchtime=2x . \
+		| go run ./tools/benchcmp -out BENCH_parallel.json

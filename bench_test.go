@@ -10,6 +10,8 @@ package routinglens
 
 import (
 	"context"
+	"fmt"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -105,6 +107,91 @@ func BenchmarkAnalyzeNet5(b *testing.B) {
 		if len(d.Instances.Instances) == 0 {
 			b.Fatal("no instances")
 		}
+	}
+}
+
+// jLevels are the worker-pool sizes the parallel benchmarks sweep:
+// sequential and all-cores (deduplicated on single-core machines).
+func jLevels() []int {
+	max := runtime.GOMAXPROCS(0)
+	if max == 1 {
+		return []int{1}
+	}
+	return []int{1, max}
+}
+
+// BenchmarkAnalyzeNet5Parallel measures the analysis pipeline on the
+// 881-router network with the independent stages fanned out: j1 is the
+// sequential baseline, jN uses all cores.
+func BenchmarkAnalyzeNet5Parallel(b *testing.B) {
+	na := workspace(b).ByName("net5")
+	for _, j := range jLevels() {
+		b.Run(fmt.Sprintf("j%d", j), func(b *testing.B) {
+			an := core.NewAnalyzer(core.WithParallelism(j))
+			for i := 0; i < b.N; i++ {
+				d := an.Analyze(context.Background(), na.Net)
+				if len(d.Instances.Instances) == 0 {
+					b.Fatal("no instances")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAnalyzeConfigsNet5Parallel measures the full parse+analyze
+// path on the 881 net5 configurations — the embarrassingly parallel
+// workload the paper's methodology implies — at each pool size.
+func BenchmarkAnalyzeConfigsNet5Parallel(b *testing.B) {
+	g := workspace(b).Corpus.ByName("net5")
+	for _, j := range jLevels() {
+		b.Run(fmt.Sprintf("j%d", j), func(b *testing.B) {
+			an := core.NewAnalyzer(core.WithParallelism(j))
+			for i := 0; i < b.N; i++ {
+				d, _, err := an.AnalyzeConfigs(context.Background(), g.Name, g.Configs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(d.Instances.Instances) == 0 {
+					b.Fatal("no instances")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCorpusParallel is the corpus-wide benchmark: generate the 31
+// networks and run the full extraction pipeline on each, over a worker
+// pool of j networks at a time. The j1/jN ratio is the PR's headline
+// speedup, recorded in BENCH_parallel.json by `make benchcmp`.
+func BenchmarkCorpusParallel(b *testing.B) {
+	for _, j := range jLevels() {
+		b.Run(fmt.Sprintf("j%d", j), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ws, err := experiments.BuildWorkspaceParallel(context.Background(), experiments.DefaultSeed, j)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(ws.Nets) != 31 {
+					b.Fatal("bad workspace")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExperimentsParallel measures running all 18 experiments over
+// the prepared workspace at each pool size.
+func BenchmarkExperimentsParallel(b *testing.B) {
+	ws := workspace(b)
+	for _, j := range jLevels() {
+		b.Run(fmt.Sprintf("j%d", j), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rs := experiments.AllParallel(context.Background(), ws, j)
+				if len(rs) != 18 {
+					b.Fatal("missing results")
+				}
+			}
+		})
 	}
 }
 

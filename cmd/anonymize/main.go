@@ -8,7 +8,12 @@
 //
 // Usage:
 //
-//	anonymize -in configs/ -out anon/ -key SECRET
+//	anonymize -in configs/ -out anon/ -key SECRET [-j N]
+//
+// The keyed rewriting itself is sequential — the Anonymizer keeps one
+// shared renaming table so the mapping is consistent across files — but
+// the configuration reads and writes fan out over -j workers (0, the
+// default, uses GOMAXPROCS).
 //
 // Observability: -v/-vv, -log-format, -metrics, and -pprof behave as in
 // cmd/rdesign.
@@ -20,6 +25,8 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"routinglens/internal/anonymize"
 	"routinglens/internal/telemetry"
@@ -47,21 +54,32 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	configs := make(map[string]string)
+	var files []string
 	for _, e := range entries {
-		if !e.Type().IsRegular() {
-			continue
+		if e.Type().IsRegular() {
+			files = append(files, e.Name())
 		}
-		data, err := os.ReadFile(filepath.Join(*in, e.Name()))
-		if err != nil {
-			fatal(err)
-		}
-		configs[e.Name()] = string(data)
 	}
-	if len(configs) == 0 {
+	if len(files) == 0 {
 		fmt.Fprintf(os.Stderr, "anonymize: no regular files in %s\n", *in)
 		tele.Finish()
 		os.Exit(1)
+	}
+
+	texts := make([]string, len(files))
+	readErrs := make([]error, len(files))
+	forEach(tele.Parallelism(), len(files), func(i int) {
+		data, err := os.ReadFile(filepath.Join(*in, files[i]))
+		texts[i], readErrs[i] = string(data), err
+	})
+	for _, err := range readErrs {
+		if err != nil {
+			fatal(err)
+		}
+	}
+	configs := make(map[string]string, len(files))
+	for i, n := range files {
+		configs[n] = texts[i]
 	}
 	telemetry.Logger().Debug("read input configurations", "dir", *in, "files", len(configs))
 
@@ -77,8 +95,12 @@ func main() {
 		names = append(names, n)
 	}
 	sort.Strings(names)
-	for _, n := range names {
-		if err := os.WriteFile(filepath.Join(*out, n), []byte(anonConfigs[n]), 0o644); err != nil {
+	writeErrs := make([]error, len(names))
+	forEach(tele.Parallelism(), len(names), func(i int) {
+		writeErrs[i] = os.WriteFile(filepath.Join(*out, names[i]), []byte(anonConfigs[names[i]]), 0o644)
+	})
+	for _, err := range writeErrs {
+		if err != nil {
 			fatal(err)
 		}
 	}
@@ -92,4 +114,34 @@ func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "anonymize: %v\n", err)
 	tele.Finish()
 	os.Exit(1)
+}
+
+// forEach runs n index-addressed work items over a pool of workers; each
+// item writes only its own index, so results stay in input order.
+func forEach(workers, n int, work func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			work(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				work(i)
+			}
+		}()
+	}
+	wg.Wait()
 }

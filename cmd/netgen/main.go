@@ -5,12 +5,14 @@
 //
 // Usage:
 //
-//	netgen -out corpus/ [-seed 2004] [-net net5] [-anon]
+//	netgen -out corpus/ [-seed 2004] [-net net5] [-anon] [-j N]
 //
 // -net restricts output to one network; -anon additionally anonymizes
 // every file (comments stripped, names hashed, addresses remapped
 // prefix-preservingly) and names files config1, config2, ... as in the
-// paper's methodology.
+// paper's methodology. -j bounds the worker pool writing the networks
+// (0, the default, uses GOMAXPROCS); the files and the printed summary
+// are identical whatever N.
 //
 // Observability: -v/-vv, -log-format, -metrics, and -pprof behave as in
 // cmd/rdesign.
@@ -23,6 +25,8 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"routinglens/internal/anonymize"
 	"routinglens/internal/ciscoparse"
@@ -53,46 +57,53 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *anon && *dialect == "junos" {
+		fatal(fmt.Errorf("the anonymizer is IOS-specific (as in the paper); use -dialect ios"))
+	}
+
 	corpus := netgen.GenerateCorpus(*seed)
-	wrote := 0
+	var selected []*netgen.Generated
 	for _, g := range corpus.Networks {
-		if *only != "" && g.Name != *only {
-			continue
+		if *only == "" || g.Name == *only {
+			selected = append(selected, g)
 		}
+	}
+
+	// Networks are written concurrently (-j workers); results are
+	// collected per network and reported in corpus order so the summary
+	// never depends on scheduling.
+	type netResult struct {
+		wrote   int
+		skipped string // stderr notice for a skipped network
+		err     error
+	}
+	results := make([]netResult, len(selected))
+	writeOne := func(g *netgen.Generated) netResult {
 		dir := filepath.Join(*out, g.Name)
 		if err := os.MkdirAll(dir, 0o755); err != nil {
-			fatal(err)
+			return netResult{err: err}
 		}
 		configs := g.Configs
 		if *dialect == "junos" {
 			translated := make(map[string]string, len(configs))
-			failed := false
 			for host, cfg := range configs {
 				res, err := ciscoparse.Parse(host, strings.NewReader(cfg))
 				if err != nil {
-					fatal(err)
+					return netResult{err: err}
 				}
 				out, err := junosemit.Emit(res.Device)
 				if err != nil {
-					fmt.Fprintf(os.Stderr, "netgen: skipping %s: %v\n", g.Name, err)
-					failed = true
-					break
+					return netResult{skipped: fmt.Sprintf("netgen: skipping %s: %v", g.Name, err)}
 				}
 				translated[host] = out
-			}
-			if failed {
-				continue
 			}
 			configs = translated
 		}
 		if *anon {
-			if *dialect == "junos" {
-				fatal(fmt.Errorf("the anonymizer is IOS-specific (as in the paper); use -dialect ios"))
-			}
 			var err error
 			configs, err = anonymize.New(*key).MapNetwork(configs)
 			if err != nil {
-				fatal(err)
+				return netResult{err: err}
 			}
 		}
 		names := make([]string, 0, len(configs))
@@ -100,18 +111,54 @@ func main() {
 			names = append(names, n)
 		}
 		sort.Strings(names)
+		wrote := 0
 		for _, n := range names {
 			fn := n
 			if !*anon {
 				fn += ".cfg"
 			}
 			if err := os.WriteFile(filepath.Join(dir, fn), []byte(configs[n]), 0o644); err != nil {
-				fatal(err)
+				return netResult{err: err}
 			}
 			wrote++
 		}
-		fmt.Printf("%s: %d routers (%s)\n", g.Name, g.Routers, g.Kind)
 		log.Debug("network written", "network", g.Name, "routers", g.Routers, "dir", dir)
+		return netResult{wrote: wrote}
+	}
+
+	workers := tele.Parallelism()
+	if workers > len(selected) {
+		workers = len(selected)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(selected) {
+					return
+				}
+				results[i] = writeOne(selected[i])
+			}
+		}()
+	}
+	wg.Wait()
+
+	wrote := 0
+	for i, r := range results {
+		if r.err != nil {
+			fatal(r.err)
+		}
+		if r.skipped != "" {
+			fmt.Fprintln(os.Stderr, r.skipped)
+			continue
+		}
+		g := selected[i]
+		fmt.Printf("%s: %d routers (%s)\n", g.Name, g.Routers, g.Kind)
+		wrote += r.wrote
 	}
 	if wrote == 0 {
 		fmt.Fprintf(os.Stderr, "netgen: no network named %q\n", *only)

@@ -25,6 +25,8 @@
 // stage-timing summary; -log-format json switches logs to JSON;
 // -metrics FILE exports run metrics (-metrics-format prom|json); and
 // -pprof ADDR serves net/http/pprof for the duration of the run.
+// -j N bounds the parse/analysis worker pool (0, the default, uses
+// GOMAXPROCS); the output is byte-identical whatever N.
 //
 // Both Cisco IOS and JunOS configuration files are accepted; the dialect
 // is detected per file.
@@ -80,7 +82,8 @@ func main() {
 		exit(tele, 2)
 	}
 
-	design, parseDiags, err := core.AnalyzeDirContext(context.Background(), *dir)
+	analyzer := core.NewAnalyzer(core.WithParallelism(tele.Parallelism()))
+	design, parseDiags, err := analyzer.AnalyzeDir(context.Background(), *dir)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rdesign: %v\n", err)
 		exit(tele, 1)
@@ -138,7 +141,7 @@ func main() {
 				in.ID, in.Label(), len(mp.Covers[in]))
 		}
 	case *diffDir != "":
-		older, _, err := core.AnalyzeDir(*diffDir)
+		older, _, err := analyzer.AnalyzeDir(context.Background(), *diffDir)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "rdesign: %v\n", err)
 			exit(tele, 1)

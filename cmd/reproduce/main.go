@@ -4,7 +4,11 @@
 //
 // Usage:
 //
-//	reproduce [-seed 2004] [-only F11] [-quiet]
+//	reproduce [-seed 2004] [-only F11] [-quiet] [-j N]
+//
+// -j bounds the worker pool used for per-network corpus analysis and for
+// running the experiments themselves (0, the default, uses GOMAXPROCS);
+// results are reported in paper order and are identical whatever N.
 //
 // Observability: -v/-vv raise the structured-log level and print an
 // end-of-run stage-timing summary (per-network analysis and per-
@@ -45,17 +49,18 @@ func main() {
 	}
 
 	t0 := time.Now()
-	ws, err := experiments.BuildWorkspaceContext(context.Background(), *seed)
+	ws, err := experiments.BuildWorkspaceParallel(context.Background(), *seed, tele.Parallelism())
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "reproduce: %v\n", err)
 		exit(1)
 	}
-	fmt.Printf("corpus: %d networks, %d routers (seed %d, analyzed in %v)\n\n",
-		len(ws.Corpus.Networks), ws.Corpus.TotalRouters(), *seed, time.Since(t0).Round(time.Millisecond))
+	fmt.Printf("corpus: %d networks, %d routers (seed %d, analyzed in %v, %d workers)\n\n",
+		len(ws.Corpus.Networks), ws.Corpus.TotalRouters(), *seed,
+		time.Since(t0).Round(time.Millisecond), tele.Parallelism())
 
 	failures := 0
 	ran := 0
-	for _, r := range experiments.All(ws) {
+	for _, r := range experiments.AllParallel(context.Background(), ws, tele.Parallelism()) {
 		if *only != "" && r.ID != *only {
 			continue
 		}

@@ -1,0 +1,353 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"routinglens/internal/addrspace"
+	"routinglens/internal/ciscoparse"
+	"routinglens/internal/classify"
+	"routinglens/internal/devmodel"
+	"routinglens/internal/filters"
+	"routinglens/internal/instance"
+	"routinglens/internal/junosparse"
+	"routinglens/internal/procgraph"
+	"routinglens/internal/telemetry"
+	"routinglens/internal/topology"
+)
+
+// Dialect hints accepted by WithDialectHint.
+const (
+	// DialectAuto sniffs each file: brace-structured configurations go to
+	// the JunOS front end, everything else to the Cisco IOS parser.
+	DialectAuto = "auto"
+	// DialectIOS forces every file through the Cisco IOS parser.
+	DialectIOS = "ios"
+	// DialectJunOS forces every file through the JunOS parser.
+	DialectJunOS = "junos"
+)
+
+// Analyzer runs the extraction pipeline with a fixed configuration. It is
+// the single entry point behind the public routinglens API: build one
+// with NewAnalyzer, then call AnalyzeDir, AnalyzeConfigs, or Analyze any
+// number of times, from any number of goroutines.
+//
+// Regardless of parallelism the output is deterministic: devices appear
+// in sorted file-name order, diagnostics are sorted by (file, line,
+// severity, message), and every Design field is identical to what a
+// sequential run produces.
+type Analyzer struct {
+	parallelism int    // 0 => GOMAXPROCS
+	dialect     string // "", "auto", "ios", or "junos"
+	logger      *slog.Logger
+}
+
+// AnalyzerOption configures an Analyzer.
+type AnalyzerOption func(*Analyzer)
+
+// WithParallelism bounds the worker pool used for per-file parsing and
+// independent analysis stages. n <= 0 means runtime.GOMAXPROCS(0);
+// n == 1 runs fully sequentially.
+func WithParallelism(n int) AnalyzerOption {
+	return func(a *Analyzer) { a.parallelism = n }
+}
+
+// WithLogger routes the analyzer's structured logs to l instead of the
+// process-wide telemetry logger.
+func WithLogger(l *slog.Logger) AnalyzerOption {
+	return func(a *Analyzer) { a.logger = l }
+}
+
+// WithDialectHint fixes the configuration dialect instead of sniffing
+// each file: DialectIOS, DialectJunOS, or DialectAuto (the default).
+// An unknown hint surfaces as an error from the Analyze* calls.
+func WithDialectHint(d string) AnalyzerOption {
+	return func(a *Analyzer) { a.dialect = d }
+}
+
+// NewAnalyzer builds an Analyzer from functional options.
+func NewAnalyzer(opts ...AnalyzerOption) *Analyzer {
+	a := &Analyzer{}
+	for _, o := range opts {
+		o(a)
+	}
+	return a
+}
+
+// Parallelism returns the resolved worker-pool size (always >= 1).
+func (a *Analyzer) Parallelism() int {
+	if a.parallelism > 0 {
+		return a.parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (a *Analyzer) log() *slog.Logger {
+	if a.logger != nil {
+		return a.logger
+	}
+	return telemetry.Logger()
+}
+
+func (a *Analyzer) checkDialect() error {
+	switch a.dialect {
+	case "", DialectAuto, DialectIOS, DialectJunOS:
+		return nil
+	}
+	return fmt.Errorf("core: unknown dialect hint %q (want %s, %s, or %s)",
+		a.dialect, DialectAuto, DialectIOS, DialectJunOS)
+}
+
+// parseFile dispatches one configuration to the dialect front end chosen
+// by the hint (or sniffed per file under DialectAuto) and reports which
+// dialect parsed it.
+func (a *Analyzer) parseFile(name, text string) (*devmodel.Device, []Diagnostic, string, error) {
+	junos := false
+	switch a.dialect {
+	case DialectJunOS:
+		junos = true
+	case DialectIOS:
+	default:
+		junos = junosparse.LooksLikeJunOS(text)
+	}
+	if junos {
+		res, err := junosparse.Parse(name, strings.NewReader(text))
+		if err != nil {
+			return nil, nil, DialectJunOS, err
+		}
+		return res.Device, fromJunos(res.Diagnostics), DialectJunOS, nil
+	}
+	res, err := ciscoparse.Parse(name, strings.NewReader(text))
+	if err != nil {
+		return nil, nil, DialectIOS, err
+	}
+	return res.Device, fromCisco(res.Diagnostics), DialectIOS, nil
+}
+
+// AnalyzeDir parses every regular file in dir as a router configuration
+// and extracts the network's routing design. The returned diagnostics
+// are warnings about individual malformed lines; they do not prevent
+// analysis.
+func (a *Analyzer) AnalyzeDir(ctx context.Context, dir string) (*Design, []Diagnostic, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	configs := make(map[string]string)
+	for _, e := range entries {
+		if !e.Type().IsRegular() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, nil, err
+		}
+		configs[e.Name()] = string(data)
+	}
+	return a.AnalyzeConfigs(ctx, filepath.Base(dir), configs)
+}
+
+// parsed is the outcome of one file parse, merged in input order after
+// the worker pool drains.
+type parsed struct {
+	dev     *devmodel.Device
+	diags   []Diagnostic
+	dialect string
+	dur     time.Duration
+	err     error
+}
+
+// AnalyzeConfigs parses an in-memory set of configurations (hostname or
+// file name -> text) and analyzes the network. Files are distributed
+// over the analyzer's worker pool; a "parse" span wraps the stage with
+// one "parse-worker" child per worker and one "parse-file" child per
+// configuration. Cancelling ctx stops the workers: no new file is picked
+// up and the call returns ctx's error.
+func (a *Analyzer) AnalyzeConfigs(ctx context.Context, name string, configs map[string]string) (*Design, []Diagnostic, error) {
+	if err := a.checkDialect(); err != nil {
+		return nil, nil, err
+	}
+	names := make([]string, 0, len(configs))
+	for k := range configs {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+
+	reg := telemetry.RegistryFrom(ctx)
+	registerHelp(reg)
+	log := a.log().With("network", name)
+	workers := a.Parallelism()
+	if workers > len(names) && len(names) > 0 {
+		workers = len(names)
+	}
+	reg.Gauge(MetricParallelism).Set(float64(workers))
+
+	pctx, parseSpan := telemetry.StartSpan(ctx, "parse")
+	results := make([]parsed, len(names))
+	if workers <= 1 {
+		for i, fn := range names {
+			if err := ctx.Err(); err != nil {
+				parseSpan.Fail(err)
+				parseSpan.End()
+				return nil, nil, err
+			}
+			results[i] = a.parseIndexed(pctx, fn, configs[fn])
+			if results[i].err != nil {
+				break
+			}
+		}
+	} else {
+		var next atomic.Int64
+		var failed atomic.Bool
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				wctx, wspan := telemetry.StartSpan(pctx, "parse-worker")
+				defer wspan.End()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(names) || failed.Load() {
+						return
+					}
+					if err := ctx.Err(); err != nil {
+						wspan.Fail(err)
+						return
+					}
+					fn := names[i]
+					results[i] = a.parseIndexed(wctx, fn, configs[fn])
+					if results[i].err != nil {
+						failed.Store(true)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	if err := ctx.Err(); err != nil {
+		parseSpan.Fail(err)
+		parseSpan.End()
+		return nil, nil, err
+	}
+
+	// Merge in input order so worker scheduling never shows in the output.
+	n := &devmodel.Network{Name: name}
+	var diags []Diagnostic
+	var totalLines int64
+	for i, r := range results {
+		if r.err != nil {
+			err := fmt.Errorf("core: parsing %s: %w", names[i], r.err)
+			parseSpan.Fail(err)
+			parseSpan.End()
+			sortDiagnostics(diags)
+			return nil, diags, err
+		}
+		if r.dev == nil { // sequential path stopped early; cannot happen without err
+			continue
+		}
+		reg.Counter(MetricDevicesParsed, telemetry.L("dialect", r.dialect)).Inc()
+		reg.Counter(MetricConfigLines).Add(int64(r.dev.RawLines))
+		totalLines += int64(r.dev.RawLines)
+		for _, d := range r.diags {
+			reg.Counter(MetricDiagnostics, telemetry.L("severity", d.Severity.String())).Inc()
+		}
+		log.Debug("parsed configuration",
+			"file", names[i], "dialect", r.dialect, "lines", r.dev.RawLines,
+			"diagnostics", len(r.diags), "duration", r.dur)
+		n.Devices = append(n.Devices, r.dev)
+		diags = append(diags, r.diags...)
+	}
+	sortDiagnostics(diags)
+	parseDur := parseSpan.End()
+	if secs := parseDur.Seconds(); secs > 0 {
+		reg.Gauge(MetricParseLinesRate).Set(float64(totalLines) / secs)
+	}
+	log.Info("parsed network",
+		"files", len(names), "lines", totalLines, "workers", workers,
+		"diagnostics", len(diags), "duration", parseDur.Round(time.Microsecond))
+	return a.Analyze(ctx, n), diags, nil
+}
+
+// parseIndexed parses one file under a "parse-file" span.
+func (a *Analyzer) parseIndexed(ctx context.Context, fn, text string) parsed {
+	_, fileSpan := telemetry.StartSpan(ctx, "parse-file")
+	dev, ds, dialect, err := a.parseFile(fn, text)
+	if err != nil {
+		fileSpan.Fail(err)
+	}
+	dur := fileSpan.End()
+	return parsed{dev: dev, diags: ds, dialect: dialect, dur: dur, err: err}
+}
+
+// Analyze runs the full extraction pipeline over a parsed network,
+// emitting one telemetry span per stage. With parallelism > 1 the
+// independent stages run concurrently: topology is built first, then the
+// procgraph -> instance -> classify chain, the address-space discovery,
+// and the filter analysis proceed in parallel. Each stage writes a
+// distinct Design field, so the result is identical to a sequential run.
+func (a *Analyzer) Analyze(ctx context.Context, n *devmodel.Network) *Design {
+	ctx, root := telemetry.StartSpan(ctx, "analyze")
+	defer root.End()
+	log := a.log().With("network", n.Name)
+	reg := telemetry.RegistryFrom(ctx)
+
+	stage := func(name string, f func()) {
+		_, sp := telemetry.StartSpan(ctx, name)
+		f()
+		d := sp.End()
+		log.Debug("stage complete", "stage", name, "duration", d)
+	}
+
+	d := &Design{Network: n}
+	stage("topology", func() { d.Topology = topology.Build(n) })
+
+	procChain := func() {
+		stage("procgraph", func() { d.ProcessGraph = procgraph.Build(n, d.Topology) })
+		stage("instance", func() { d.Instances = instance.Compute(d.ProcessGraph) })
+		stage("classify", func() { d.Classification = classify.ClassifyDesign(d.Instances) })
+	}
+	addrStage := func() {
+		stage("addrspace", func() {
+			d.AddressSpace = addrspace.Discover(addrspace.CollectSubnets(n), addrspace.Options{})
+		})
+	}
+	filterStage := func() {
+		stage("filters", func() { d.Filters = filters.Analyze(n, d.Topology) })
+	}
+
+	if a.Parallelism() > 1 {
+		var wg sync.WaitGroup
+		for _, f := range []func(){procChain, addrStage, filterStage} {
+			wg.Add(1)
+			go func(f func()) {
+				defer wg.Done()
+				f()
+			}(f)
+		}
+		wg.Wait()
+	} else {
+		procChain()
+		addrStage()
+		filterStage()
+	}
+
+	net := telemetry.L("network", n.Name)
+	reg.Gauge(MetricInstances, net).Set(float64(len(d.Instances.Instances)))
+	reg.Gauge(MetricProcesses, net).Set(float64(len(d.ProcessGraph.Nodes)))
+	log.Info("analysis complete",
+		"routers", len(n.Devices),
+		"instances", len(d.Instances.Instances),
+		"classification", d.Classification.String())
+	return d
+}

@@ -8,22 +8,16 @@ package core
 import (
 	"context"
 	"fmt"
-	"os"
-	"path/filepath"
-	"sort"
 	"strings"
-	"time"
 
 	"routinglens/internal/addrspace"
 	"routinglens/internal/audit"
-	"routinglens/internal/ciscoparse"
 	"routinglens/internal/classify"
 	"routinglens/internal/designdiff"
 	"routinglens/internal/devmodel"
 	"routinglens/internal/dot"
 	"routinglens/internal/filters"
 	"routinglens/internal/instance"
-	"routinglens/internal/junosparse"
 	"routinglens/internal/netaddr"
 	"routinglens/internal/pathway"
 	"routinglens/internal/procgraph"
@@ -44,6 +38,7 @@ const (
 	MetricParseLinesRate = "routinglens_parse_lines_per_second"
 	MetricInstances      = "routinglens_instances"
 	MetricProcesses      = "routinglens_processes"
+	MetricParallelism    = "routinglens_parallelism"
 )
 
 // registerHelp attaches export HELP strings to the pipeline metrics; it
@@ -55,6 +50,7 @@ func registerHelp(reg *telemetry.Registry) {
 	reg.SetHelp(MetricParseLinesRate, "Parse throughput of the last network, in lines per second.")
 	reg.SetHelp(MetricInstances, "Routing instances extracted, by network.")
 	reg.SetHelp(MetricProcesses, "Routing process graph nodes, by network.")
+	reg.SetHelp(MetricParallelism, "Worker-pool size of the last parse stage.")
 	reg.SetHelp(telemetry.StageSecondsMetric, "Pipeline stage latency, by stage.")
 }
 
@@ -70,7 +66,8 @@ type Design struct {
 	Classification classify.Evidence
 }
 
-// Analyze runs the full extraction pipeline over a parsed network.
+// Analyze runs the full extraction pipeline over a parsed network with
+// the default Analyzer configuration.
 func Analyze(n *devmodel.Network) *Design {
 	return AnalyzeContext(context.Background(), n)
 }
@@ -80,147 +77,43 @@ func Analyze(n *devmodel.Network) *Design {
 // instance, addrspace, filters, classify) into the context's collector
 // and recording instance/process gauges in its registry.
 func AnalyzeContext(ctx context.Context, n *devmodel.Network) *Design {
-	ctx, root := telemetry.StartSpan(ctx, "analyze")
-	defer root.End()
-	log := telemetry.Logger().With("network", n.Name)
-	reg := telemetry.RegistryFrom(ctx)
-
-	stage := func(name string, f func()) {
-		_, sp := telemetry.StartSpan(ctx, name)
-		f()
-		d := sp.End()
-		log.Debug("stage complete", "stage", name, "duration", d)
-	}
-
-	d := &Design{Network: n}
-	stage("topology", func() { d.Topology = topology.Build(n) })
-	stage("procgraph", func() { d.ProcessGraph = procgraph.Build(n, d.Topology) })
-	stage("instance", func() { d.Instances = instance.Compute(d.ProcessGraph) })
-	stage("addrspace", func() {
-		d.AddressSpace = addrspace.Discover(addrspace.CollectSubnets(n), addrspace.Options{})
-	})
-	stage("filters", func() { d.Filters = filters.Analyze(n, d.Topology) })
-	stage("classify", func() { d.Classification = classify.ClassifyDesign(d.Instances) })
-
-	net := telemetry.L("network", n.Name)
-	reg.Gauge(MetricInstances, net).Set(float64(len(d.Instances.Instances)))
-	reg.Gauge(MetricProcesses, net).Set(float64(len(d.ProcessGraph.Nodes)))
-	log.Info("analysis complete",
-		"routers", len(n.Devices),
-		"instances", len(d.Instances.Instances),
-		"classification", d.Classification.String())
-	return d
-}
-
-// parseOne dispatches a configuration to the right dialect front end:
-// JunOS-style brace-structured files go to junosparse, everything else to
-// the Cisco IOS parser. Both dialects' diagnostics are converted to the
-// shared core.Diagnostic, preserving file, line, and severity.
-func parseOne(name, text string) (*devmodel.Device, []Diagnostic, error) {
-	if junosparse.LooksLikeJunOS(text) {
-		res, err := junosparse.Parse(name, strings.NewReader(text))
-		if err != nil {
-			return nil, nil, err
-		}
-		return res.Device, fromJunos(res.Diagnostics), nil
-	}
-	res, err := ciscoparse.Parse(name, strings.NewReader(text))
-	if err != nil {
-		return nil, nil, err
-	}
-	return res.Device, fromCisco(res.Diagnostics), nil
+	return NewAnalyzer().Analyze(ctx, n)
 }
 
 // AnalyzeDir parses every file in dir as a router configuration —
 // detecting Cisco IOS and JunOS dialects per file — and analyzes the
 // resulting network. Parse diagnostics are returned alongside the design;
 // they are warnings, not errors.
+//
+// Deprecated: use NewAnalyzer().AnalyzeDir, which adds parallelism,
+// logger, and dialect control.
 func AnalyzeDir(dir string) (*Design, []Diagnostic, error) {
 	return AnalyzeDirContext(context.Background(), dir)
 }
 
 // AnalyzeDirContext is AnalyzeDir with the caller's telemetry context.
+//
+// Deprecated: use NewAnalyzer().AnalyzeDir.
 func AnalyzeDirContext(ctx context.Context, dir string) (*Design, []Diagnostic, error) {
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		return nil, nil, err
-	}
-	configs := make(map[string]string)
-	for _, e := range entries {
-		if !e.Type().IsRegular() {
-			continue
-		}
-		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
-		if err != nil {
-			return nil, nil, err
-		}
-		configs[e.Name()] = string(data)
-	}
-	return AnalyzeConfigsContext(ctx, filepath.Base(dir), configs)
+	return NewAnalyzer().AnalyzeDir(ctx, dir)
 }
 
 // AnalyzeConfigs parses an in-memory set of configurations (hostname or
 // filename -> text), auto-detecting the dialect of each, and analyzes the
 // network.
+//
+// Deprecated: use NewAnalyzer().AnalyzeConfigs, which adds parallelism,
+// logger, and dialect control.
 func AnalyzeConfigs(name string, configs map[string]string) (*Design, []Diagnostic, error) {
 	return AnalyzeConfigsContext(context.Background(), name, configs)
 }
 
 // AnalyzeConfigsContext is AnalyzeConfigs with the caller's telemetry
-// context: it emits a "parse" span (one "parse-file" child per
-// configuration), per-file debug logs, and parse-throughput metrics
-// before handing the network to AnalyzeContext.
+// context.
+//
+// Deprecated: use NewAnalyzer().AnalyzeConfigs.
 func AnalyzeConfigsContext(ctx context.Context, name string, configs map[string]string) (*Design, []Diagnostic, error) {
-	names := make([]string, 0, len(configs))
-	for k := range configs {
-		names = append(names, k)
-	}
-	sort.Strings(names)
-
-	reg := telemetry.RegistryFrom(ctx)
-	registerHelp(reg)
-	log := telemetry.Logger().With("network", name)
-	pctx, parseSpan := telemetry.StartSpan(ctx, "parse")
-	n := &devmodel.Network{Name: name}
-	var diags []Diagnostic
-	var totalLines int64
-	for _, fn := range names {
-		_, fileSpan := telemetry.StartSpan(pctx, "parse-file")
-		dev, ds, err := parseOne(fn, configs[fn])
-		if err != nil {
-			fileSpan.Fail(err)
-			fileSpan.End()
-			parseSpan.Fail(err)
-			parseSpan.End()
-			return nil, diags, fmt.Errorf("core: parsing %s: %w", fn, err)
-		}
-		fileDur := fileSpan.End()
-		dialect := "ios"
-		if len(ds) > 0 {
-			dialect = ds[0].Dialect
-		} else if junosparse.LooksLikeJunOS(configs[fn]) {
-			dialect = "junos"
-		}
-		reg.Counter(MetricDevicesParsed, telemetry.L("dialect", dialect)).Inc()
-		reg.Counter(MetricConfigLines).Add(int64(dev.RawLines))
-		totalLines += int64(dev.RawLines)
-		for _, d := range ds {
-			reg.Counter(MetricDiagnostics, telemetry.L("severity", d.Severity.String())).Inc()
-		}
-		log.Debug("parsed configuration",
-			"file", fn, "dialect", dialect, "lines", dev.RawLines,
-			"diagnostics", len(ds), "duration", fileDur)
-		n.Devices = append(n.Devices, dev)
-		diags = append(diags, ds...)
-	}
-	parseDur := parseSpan.End()
-	if secs := parseDur.Seconds(); secs > 0 {
-		reg.Gauge(MetricParseLinesRate).Set(float64(totalLines) / secs)
-	}
-	log.Info("parsed network",
-		"files", len(names), "lines", totalLines,
-		"diagnostics", len(diags), "duration", parseDur.Round(time.Microsecond))
-	return AnalyzeContext(ctx, n), diags, nil
+	return NewAnalyzer().AnalyzeConfigs(ctx, name, configs)
 }
 
 // Pathway computes the route pathway graph for the named router.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"routinglens/internal/ciscoparse"
 	"routinglens/internal/diag"
@@ -39,6 +40,25 @@ func fromJunos(ds []junosparse.Diagnostic) []Diagnostic {
 		out[i] = Diagnostic{File: d.File, Line: d.Line, Severity: d.Severity, Dialect: "junos", Msg: d.Msg}
 	}
 	return out
+}
+
+// sortDiagnostics orders diagnostics by (file, line, severity, message)
+// so the slice is identical whatever order the files were parsed in —
+// worker-pool scheduling and map iteration never show in the output.
+func sortDiagnostics(ds []Diagnostic) {
+	sort.SliceStable(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Severity != b.Severity {
+			return a.Severity < b.Severity
+		}
+		return a.Msg < b.Msg
+	})
 }
 
 // CountBySeverity tallies diagnostics per severity level.

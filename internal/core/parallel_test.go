@@ -1,0 +1,229 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+
+	"routinglens/internal/netgen"
+	"routinglens/internal/telemetry"
+)
+
+// junosTestConfig exercises the JunOS front end (with one deliberate
+// diagnostic) alongside the generated IOS files in the mixed corpus.
+const junosTestConfig = `system { host-name jmix; }
+interfaces {
+    ge-0/0/0 { unit 0 { family inet { address 10.99.0.1/30; } } }
+    ge-0/0/1 { unit 0 { family inet { address notanip; } } }
+}
+protocols {
+    ospf { area 0.0.0.0 { interface ge-0/0/0.0; } }
+}
+`
+
+// mixedConfigs returns a mid-size mixed-dialect network: a generated
+// enterprise plus a JunOS router that emits diagnostics.
+func mixedConfigs(t testing.TB) map[string]string {
+	t.Helper()
+	g := netgen.GenerateCorpus(7).ByName("net7")
+	if g == nil {
+		t.Fatal("corpus has no net7")
+	}
+	configs := make(map[string]string, len(g.Configs)+1)
+	for k, v := range g.Configs {
+		configs[k] = v
+	}
+	configs["jmix"] = junosTestConfig
+	return configs
+}
+
+// TestAnalyzerDeterminism is the PR's core guarantee: Summary() and the
+// diagnostics slice are byte-identical at parallelism 1, 4, and
+// GOMAXPROCS.
+func TestAnalyzerDeterminism(t *testing.T) {
+	configs := mixedConfigs(t)
+	levels := []int{1, 4, runtime.GOMAXPROCS(0)}
+
+	type run struct {
+		summary string
+		diags   []Diagnostic
+	}
+	var runs []run
+	for _, j := range levels {
+		an := NewAnalyzer(WithParallelism(j))
+		d, diags, err := an.AnalyzeConfigs(context.Background(), "mixed", configs)
+		if err != nil {
+			t.Fatalf("j=%d: %v", j, err)
+		}
+		runs = append(runs, run{summary: d.Summary(), diags: diags})
+	}
+	for i, j := range levels[1:] {
+		if runs[0].summary != runs[i+1].summary {
+			t.Errorf("Summary() differs between j=%d and j=%d:\n--- j=%d\n%s\n--- j=%d\n%s",
+				levels[0], j, levels[0], runs[0].summary, j, runs[i+1].summary)
+		}
+		if !reflect.DeepEqual(runs[0].diags, runs[i+1].diags) {
+			t.Errorf("diagnostics differ between j=%d and j=%d:\n%v\nvs\n%v",
+				levels[0], j, runs[0].diags, runs[i+1].diags)
+		}
+	}
+	if len(runs[0].diags) == 0 {
+		t.Fatal("mixed corpus produced no diagnostics; determinism check is vacuous")
+	}
+}
+
+// TestDiagnosticsSorted asserts the (file, line, severity, message)
+// ordering in every path, including the sequential one.
+func TestDiagnosticsSorted(t *testing.T) {
+	for _, j := range []int{1, 4} {
+		_, diags, err := NewAnalyzer(WithParallelism(j)).
+			AnalyzeConfigs(context.Background(), "mixed", mixedConfigs(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sorted := sort.SliceIsSorted(diags, func(a, b int) bool {
+			x, y := diags[a], diags[b]
+			if x.File != y.File {
+				return x.File < y.File
+			}
+			if x.Line != y.Line {
+				return x.Line < y.Line
+			}
+			return x.Severity < y.Severity
+		})
+		if !sorted {
+			t.Errorf("j=%d: diagnostics not sorted by (file, line, severity): %v", j, diags)
+		}
+	}
+}
+
+// TestAnalyzerCancellation: a cancelled context stops the worker pool and
+// surfaces context.Canceled instead of a half-built design.
+func TestAnalyzerCancellation(t *testing.T) {
+	configs := mixedConfigs(t)
+	for _, j := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		d, _, err := NewAnalyzer(WithParallelism(j)).AnalyzeConfigs(ctx, "mixed", configs)
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("j=%d: err = %v, want context.Canceled", j, err)
+		}
+		if d != nil {
+			t.Errorf("j=%d: got a design from a cancelled run", j)
+		}
+	}
+}
+
+// TestAnalyzerDialectHint: a fixed hint must bypass sniffing, and an
+// unknown hint must surface as an error.
+func TestAnalyzerDialectHint(t *testing.T) {
+	ios := map[string]string{
+		"r1": "hostname r1\ninterface Serial0\n ip address 10.0.0.1 255.255.255.252\n",
+	}
+	junos := map[string]string{
+		"j1": "system { host-name j1; }\ninterfaces {\n    ge-0/0/0 { unit 0 { family inet { address 10.0.0.1/30; } } }\n}\n",
+	}
+
+	d, _, err := NewAnalyzer(WithDialectHint(DialectIOS)).
+		AnalyzeConfigs(context.Background(), "ios", ios)
+	if err != nil || d.Network.Devices[0].Hostname != "r1" {
+		t.Errorf("ios hint: %v %v", d, err)
+	}
+	d, _, err = NewAnalyzer(WithDialectHint(DialectJunOS)).
+		AnalyzeConfigs(context.Background(), "junos", junos)
+	if err != nil || d.Network.Devices[0].Hostname != "j1" {
+		t.Errorf("junos hint: %v %v", d, err)
+	}
+	// Auto still handles both in one network.
+	both := map[string]string{"r1": ios["r1"], "j1": junos["j1"]}
+	d, _, err = NewAnalyzer(WithDialectHint(DialectAuto)).
+		AnalyzeConfigs(context.Background(), "both", both)
+	if err != nil || len(d.Network.Devices) != 2 {
+		t.Errorf("auto hint: %v %v", d, err)
+	}
+	if _, _, err := NewAnalyzer(WithDialectHint("vendorx")).
+		AnalyzeConfigs(context.Background(), "x", ios); err == nil {
+		t.Error("unknown dialect hint should error")
+	}
+	if _, _, err := NewAnalyzer(WithDialectHint("vendorx")).
+		AnalyzeDir(context.Background(), t.TempDir()); err == nil {
+		t.Error("unknown dialect hint should error via AnalyzeDir too")
+	}
+}
+
+// TestAnalyzerParseError: the parallel path must report the same
+// first-in-order parse error a sequential run reports.
+func TestAnalyzerParseError(t *testing.T) {
+	configs := mixedConfigs(t)
+	// junosparse fails hard on an unterminated block.
+	configs["a-broken"] = "system { host-name broken; }\nrouting-options { autonomous-system 1; }\nprotocols { ospf {\n"
+	var msgs []string
+	for _, j := range []int{1, 4} {
+		_, _, err := NewAnalyzer(WithParallelism(j)).
+			AnalyzeConfigs(context.Background(), "mixed", configs)
+		if err == nil {
+			t.Fatalf("j=%d: expected parse error", j)
+		}
+		msgs = append(msgs, err.Error())
+	}
+	if msgs[0] != msgs[1] {
+		t.Errorf("error differs by parallelism: %q vs %q", msgs[0], msgs[1])
+	}
+	if !strings.Contains(msgs[0], "a-broken") {
+		t.Errorf("error %q does not name the offending file", msgs[0])
+	}
+}
+
+// TestAnalyzerParallelTelemetry: under j>1 the parse stage reports one
+// parse-worker span per worker, one parse-file span per file, and the
+// parallelism gauge.
+func TestAnalyzerParallelTelemetry(t *testing.T) {
+	configs := mixedConfigs(t)
+	col := telemetry.NewCollector()
+	reg := telemetry.NewRegistry()
+	ctx := telemetry.WithRegistry(telemetry.WithCollector(context.Background(), col), reg)
+
+	const j = 3
+	if _, _, err := NewAnalyzer(WithParallelism(j)).AnalyzeConfigs(ctx, "mixed", configs); err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]int)
+	for _, r := range col.Records() {
+		counts[r.Name]++
+	}
+	if counts["parse-worker"] != j {
+		t.Errorf("parse-worker spans = %d, want %d", counts["parse-worker"], j)
+	}
+	if counts["parse-file"] != len(configs) {
+		t.Errorf("parse-file spans = %d, want %d", counts["parse-file"], len(configs))
+	}
+	for _, stage := range []string{"topology", "procgraph", "instance", "addrspace", "filters", "classify"} {
+		if counts[stage] != 1 {
+			t.Errorf("stage %q spans = %d, want 1", stage, counts[stage])
+		}
+	}
+	if got := reg.Gauge(MetricParallelism).Value(); got != j {
+		t.Errorf("parallelism gauge = %v, want %d", got, j)
+	}
+}
+
+// TestAnalyzeStageParallelRace drives the parallel stage fan-out of
+// Analyze repeatedly; under -race this is the worker-pool race test.
+func TestAnalyzeStageParallelRace(t *testing.T) {
+	configs := mixedConfigs(t)
+	an := NewAnalyzer(WithParallelism(4))
+	for i := 0; i < 3; i++ {
+		d, _, err := an.AnalyzeConfigs(context.Background(), fmt.Sprintf("run%d", i), configs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Topology == nil || d.Instances == nil || d.AddressSpace == nil || d.Filters == nil {
+			t.Fatal("incomplete design from parallel stages")
+		}
+	}
+}

@@ -95,9 +95,12 @@ interfaces {
     ge-0/0/0 { unit 0 { family inet { address notanip; } } }
 }
 `
-	dev, ds, err := parseOne("j1.conf", cfg)
+	dev, ds, dialect, err := NewAnalyzer().parseFile("j1.conf", cfg)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if dialect != DialectJunOS {
+		t.Errorf("dialect = %q, want junos", dialect)
 	}
 	if dev.Hostname != "j1" {
 		t.Errorf("hostname = %q", dev.Hostname)

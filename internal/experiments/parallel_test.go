@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestBuildWorkspaceParallelDeterminism: the workspace built on a pool
+// must be indistinguishable from the sequential one — same network
+// order, same derived models.
+func TestBuildWorkspaceParallelDeterminism(t *testing.T) {
+	seq, err := BuildWorkspaceParallel(context.Background(), DefaultSeed, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := BuildWorkspaceParallel(context.Background(), DefaultSeed, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Nets) != len(par.Nets) {
+		t.Fatalf("network count %d vs %d", len(seq.Nets), len(par.Nets))
+	}
+	for i := range seq.Nets {
+		a, b := seq.Nets[i], par.Nets[i]
+		if a.Gen.Name != b.Gen.Name {
+			t.Errorf("net %d: order differs: %s vs %s", i, a.Gen.Name, b.Gen.Name)
+			continue
+		}
+		if len(a.Net.Devices) != len(b.Net.Devices) {
+			t.Errorf("%s: devices %d vs %d", a.Gen.Name, len(a.Net.Devices), len(b.Net.Devices))
+		}
+		if len(a.Model.Instances) != len(b.Model.Instances) {
+			t.Errorf("%s: instances %d vs %d", a.Gen.Name, len(a.Model.Instances), len(b.Model.Instances))
+		}
+		if len(a.Model.Edges) != len(b.Model.Edges) {
+			t.Errorf("%s: instance edges %d vs %d", a.Gen.Name, len(a.Model.Edges), len(b.Model.Edges))
+		}
+		if a.Design.String() != b.Design.String() {
+			t.Errorf("%s: classification %q vs %q", a.Gen.Name, a.Design.String(), b.Design.String())
+		}
+		if par.ByName(a.Gen.Name) != b {
+			t.Errorf("%s: ByName index broken", a.Gen.Name)
+		}
+	}
+}
+
+// TestAllParallelDeterminism: experiment results must come back in paper
+// order with identical bodies and verdicts whatever the pool size.
+// Under -race this doubles as the concurrent-experiments race test.
+func TestAllParallelDeterminism(t *testing.T) {
+	ws := sharedWS(t)
+	seq := AllParallel(context.Background(), ws, 1)
+	par := AllParallel(context.Background(), ws, 4)
+	if len(seq) != len(par) {
+		t.Fatalf("result count %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i].ID != par[i].ID {
+			t.Errorf("result %d: order differs: %s vs %s", i, seq[i].ID, par[i].ID)
+			continue
+		}
+		if seq[i].Body != par[i].Body {
+			t.Errorf("%s: body differs between sequential and parallel runs", seq[i].ID)
+		}
+		if seq[i].OK() != par[i].OK() {
+			t.Errorf("%s: verdict differs: %v vs %v", seq[i].ID, seq[i].OK(), par[i].OK())
+		}
+	}
+}
+
+// TestBuildWorkspaceParallelCancelled: a cancelled context must surface
+// instead of a half-built workspace.
+func TestBuildWorkspaceParallelCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ws, err := BuildWorkspaceParallel(ctx, DefaultSeed, 4)
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if ws != nil {
+		t.Error("got a workspace from a cancelled build")
+	}
+}
+
+// TestAllParallelCancelled: a cancelled context must skip the experiments
+// rather than hang the pool.
+func TestAllParallelCancelled(t *testing.T) {
+	ws := sharedWS(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if rs := AllParallel(ctx, ws, 4); len(rs) != 0 {
+		t.Errorf("cancelled run returned %d results, want 0", len(rs))
+	}
+}

@@ -9,7 +9,10 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"routinglens/internal/classify"
 	"routinglens/internal/devmodel"
@@ -44,7 +47,7 @@ type Workspace struct {
 const DefaultSeed = 2004 // the paper's publication year
 
 // BuildWorkspace generates the corpus and runs the full extraction pipeline
-// on every network.
+// on every network, using every available core.
 func BuildWorkspace(seed int64) (*Workspace, error) {
 	return BuildWorkspaceContext(context.Background(), seed)
 }
@@ -53,6 +56,17 @@ func BuildWorkspace(seed int64) (*Workspace, error) {
 // context: a "workspace" span wraps the run, with one "corpus-generate"
 // child and a "network-analyze" child per network.
 func BuildWorkspaceContext(ctx context.Context, seed int64) (*Workspace, error) {
+	return BuildWorkspaceParallel(ctx, seed, 0)
+}
+
+// BuildWorkspaceParallel is BuildWorkspaceContext with a bounded worker
+// pool: up to parallelism networks (0 means GOMAXPROCS) are analyzed
+// concurrently, each under its own "network-analyze" span. Whatever the
+// pool size, ws.Nets holds the networks in corpus order and every
+// derived model is identical to a sequential run — the networks are
+// independent. Cancelling ctx stops the pool: no new network is picked
+// up and the call returns ctx's error.
+func BuildWorkspaceParallel(ctx context.Context, seed int64, parallelism int) (*Workspace, error) {
 	ctx, root := telemetry.StartSpan(ctx, "workspace")
 	defer root.End()
 	log := telemetry.Logger()
@@ -62,15 +76,15 @@ func BuildWorkspaceContext(ctx context.Context, seed int64) (*Workspace, error) 
 	genDur := genSpan.End()
 	log.Info("corpus generated", "networks", len(c.Networks), "seed", seed, "duration", genDur)
 
-	ws := &Workspace{Corpus: c, byName: make(map[string]*NetworkAnalysis)}
-	for _, g := range c.Networks {
+	analyses := make([]*NetworkAnalysis, len(c.Networks))
+	errs := make([]error, len(c.Networks))
+	analyzeOne := func(g *netgen.Generated) (*NetworkAnalysis, error) {
 		nctx, netSpan := telemetry.StartSpan(ctx, "network-analyze")
 		n, err := g.Build()
 		if err != nil {
 			err = fmt.Errorf("experiments: %w", err)
 			netSpan.Fail(err)
 			netSpan.End()
-			root.Fail(err)
 			return nil, err
 		}
 		var top *topology.Topology
@@ -91,10 +105,76 @@ func BuildWorkspaceContext(ctx context.Context, seed int64) (*Workspace, error) 
 		log.Debug("network analyzed",
 			"network", g.Name, "routers", g.Routers, "kind", g.Kind,
 			"instances", len(model.Instances), "duration", d)
+		return na, nil
+	}
+	runPool(ctx, parallelism, len(c.Networks), func(i int) {
+		analyses[i], errs[i] = analyzeOne(c.Networks[i])
+	})
+	if err := firstError(ctx, errs); err != nil {
+		root.Fail(err)
+		return nil, err
+	}
+
+	ws := &Workspace{Corpus: c, byName: make(map[string]*NetworkAnalysis)}
+	for _, na := range analyses {
 		ws.Nets = append(ws.Nets, na)
-		ws.byName[g.Name] = na
+		ws.byName[na.Gen.Name] = na
 	}
 	return ws, nil
+}
+
+// runPool distributes n index-addressed work items over a bounded worker
+// pool (parallelism <= 0 means GOMAXPROCS; a pool of 1 runs inline).
+// Work items must only touch their own index. A cancelled ctx drains the
+// queue early; already running items finish.
+func runPool(ctx context.Context, parallelism, n int, work func(i int)) {
+	workers := parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return
+			}
+			work(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || ctx.Err() != nil {
+					return
+				}
+				work(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// firstError returns ctx's error if it was cancelled, else the
+// lowest-index error recorded by a pool run — the same error a
+// sequential loop would have returned first.
+func firstError(ctx context.Context, errs []error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // ByName returns the analysis for a network.
@@ -147,39 +227,60 @@ func (r *Result) claim(ok bool, format string, args ...any) {
 	r.Claims = append(r.Claims, Claim{Text: fmt.Sprintf(format, args...), OK: ok})
 }
 
-// All runs every experiment in paper order, one telemetry span each.
+// drivers lists every experiment in paper order; All and AllParallel
+// report results in exactly this order.
+var drivers = []func(*Workspace) Result{
+	Figure4,
+	Figure5,
+	Figure7,
+	Figure8,
+	Table1,
+	Figure9,
+	Figure10,
+	Section5Net5,
+	Figure11,
+	Table2,
+	Figure12,
+	Section7Taxonomy,
+	Table3,
+	Section2Unnumbered,
+	AnonymizationInvariance,
+	AblationClosure,
+	AblationNextHop,
+	AblationJoinBits,
+}
+
+// All runs every experiment in paper order, one telemetry span each,
+// using every available core.
 func All(ws *Workspace) []Result {
-	drivers := []func(*Workspace) Result{
-		Figure4,
-		Figure5,
-		Figure7,
-		Figure8,
-		Table1,
-		Figure9,
-		Figure10,
-		Section5Net5,
-		Figure11,
-		Table2,
-		Figure12,
-		Section7Taxonomy,
-		Table3,
-		Section2Unnumbered,
-		AnonymizationInvariance,
-		AblationClosure,
-		AblationNextHop,
-		AblationJoinBits,
-	}
+	return AllParallel(context.Background(), ws, 0)
+}
+
+// AllParallel runs every experiment over a bounded worker pool
+// (parallelism <= 0 means GOMAXPROCS). The experiments only read the
+// workspace, so they are independent; results come back in paper order
+// whatever the pool size. A cancelled ctx skips the experiments not yet
+// started and returns only the completed prefix-in-order results.
+func AllParallel(ctx context.Context, ws *Workspace, parallelism int) []Result {
+	results := make([]Result, len(drivers))
+	done := make([]bool, len(drivers))
+	runPool(ctx, parallelism, len(drivers), func(i int) {
+		results[i] = runTimed(ctx, drivers[i], ws)
+		done[i] = true
+	})
 	out := make([]Result, 0, len(drivers))
-	for _, f := range drivers {
-		out = append(out, runTimed(f, ws))
+	for i, r := range results {
+		if done[i] {
+			out = append(out, r)
+		}
 	}
 	return out
 }
 
 // runTimed wraps one experiment driver in a span named after the
 // experiment id and logs its verdict.
-func runTimed(f func(*Workspace) Result, ws *Workspace) Result {
-	_, sp := telemetry.StartSpan(context.Background(), "experiment")
+func runTimed(ctx context.Context, f func(*Workspace) Result, ws *Workspace) Result {
+	_, sp := telemetry.StartSpan(ctx, "experiment")
 	r := f(ws)
 	sp.SetName("experiment:" + r.ID)
 	if !r.OK() {

@@ -7,15 +7,19 @@ import (
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
+	"runtime"
 )
 
-// CLI bundles the observability flags every binary in cmd/ exposes:
+// CLI bundles the observability and concurrency flags every binary in
+// cmd/ exposes:
 //
 //	-v / -vv            info / debug structured logs (stderr)
 //	-log-format FORMAT  text (default) or json
 //	-metrics FILE       write end-of-run metrics to FILE ("-" = stdout)
 //	-metrics-format F   prom (Prometheus text, default) or json
 //	-pprof ADDR         serve net/http/pprof on ADDR for the run
+//	-j N                parallel workers (0 = GOMAXPROCS); output is
+//	                    deterministic whatever N
 //
 // Use it as:
 //
@@ -31,6 +35,7 @@ type CLI struct {
 	MetricsPath   string
 	MetricsFormat string
 	PprofAddr     string
+	Jobs          int
 
 	prog      string
 	registry  *Registry
@@ -51,6 +56,15 @@ func (c *CLI) RegisterFlags(fs *flag.FlagSet) {
 	fs.StringVar(&c.MetricsPath, "metrics", "", "write end-of-run metrics to this file ('-' for stdout)")
 	fs.StringVar(&c.MetricsFormat, "metrics-format", "prom", "metrics export format: prom (Prometheus text) or json")
 	fs.StringVar(&c.PprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the duration of the run")
+	fs.IntVar(&c.Jobs, "j", 0, "parallel workers for parsing and analysis (0 = GOMAXPROCS, 1 = sequential; output is identical either way)")
+}
+
+// Parallelism resolves -j to a concrete worker count (always >= 1).
+func (c *CLI) Parallelism() int {
+	if c.Jobs > 0 {
+		return c.Jobs
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Verbosity returns 0, 1 (-v), or 2 (-vv).

@@ -3,28 +3,38 @@
 // implementing the methodology of "Routing Design in Operational Networks:
 // A Look from the Inside" (SIGCOMM 2004).
 //
-// The entry points take a directory (or in-memory set) of Cisco IOS-style
-// configuration files and return a Design: the network's link-level
-// topology, routing process graph, routing instances, address-space
-// structure, packet-filter statistics, and architecture classification.
-// From a Design you can compute route pathway graphs per router and run
-// static reachability analysis against injected external routes.
+// The entry point is the Analyzer: configured once with functional
+// options, it takes a directory (or in-memory set) of Cisco IOS- or
+// JunOS-style configuration files and returns a Design: the network's
+// link-level topology, routing process graph, routing instances,
+// address-space structure, packet-filter statistics, and architecture
+// classification. From a Design you can compute route pathway graphs per
+// router and run static reachability analysis against injected external
+// routes.
 //
-//	design, diags, err := routinglens.AnalyzeDir("testdata/mynet")
+//	an := routinglens.NewAnalyzer(routinglens.WithParallelism(8))
+//	design, diags, err := an.AnalyzeDir(ctx, "testdata/mynet")
 //	if err != nil { ... }
 //	fmt.Println(design.Summary())
 //	pw, _ := design.Pathway("edge-router-7")
 //	fmt.Println(pw)
+//
+// Configuration files are parsed concurrently on a worker pool bounded
+// by WithParallelism (GOMAXPROCS by default), but the output is
+// deterministic: devices appear in sorted file-name order, diagnostics
+// are sorted by (file, line, severity, message), and the Design — and
+// its Summary() — are byte-identical at every parallelism level.
 //
 // The heavy lifting lives in the internal packages; this package is the
 // stable public surface, re-exporting the types a consumer needs.
 package routinglens
 
 import (
+	"log/slog"
+
 	"routinglens/internal/addrspace"
 	"routinglens/internal/anonymize"
 	"routinglens/internal/audit"
-	"routinglens/internal/ciscoparse"
 	"routinglens/internal/classify"
 	"routinglens/internal/core"
 	"routinglens/internal/designdiff"
@@ -52,8 +62,10 @@ type (
 	// Diagnostic is a non-fatal configuration parsing issue, merged
 	// across dialects with file, line, and severity preserved.
 	Diagnostic = core.Diagnostic
-	// ParserDiagnostic is the Cisco IOS front end's native diagnostic.
-	ParserDiagnostic = ciscoparse.Diagnostic
+	// Analyzer runs the extraction pipeline; build one with NewAnalyzer.
+	Analyzer = core.Analyzer
+	// AnalyzerOption configures an Analyzer (see the With* functions).
+	AnalyzerOption = core.AnalyzerOption
 	// Topology is the inferred link-level view of a network.
 	Topology = topology.Topology
 	// Instance is one routing instance (paper Section 3.2).
@@ -102,15 +114,58 @@ const (
 	DesignOther      = classify.DesignOther
 )
 
+// Dialect hints for WithDialectHint.
+const (
+	// DialectAuto (the default) sniffs the dialect of each file.
+	DialectAuto = core.DialectAuto
+	// DialectIOS forces the Cisco IOS parser for every file.
+	DialectIOS = core.DialectIOS
+	// DialectJunOS forces the JunOS parser for every file.
+	DialectJunOS = core.DialectJunOS
+)
+
+// NewAnalyzer builds an Analyzer from functional options. The zero
+// configuration parses on GOMAXPROCS workers, logs through the process
+// default logger, and sniffs each file's dialect:
+//
+//	an := routinglens.NewAnalyzer(
+//		routinglens.WithParallelism(4),
+//		routinglens.WithDialectHint(routinglens.DialectIOS),
+//	)
+//	design, diags, err := an.AnalyzeConfigs(ctx, "mynet", configs)
+//
+// An Analyzer is immutable and safe for concurrent use. Whatever the
+// parallelism, the Design, its Summary(), and the diagnostics slice are
+// identical to a sequential run.
+func NewAnalyzer(opts ...AnalyzerOption) *Analyzer { return core.NewAnalyzer(opts...) }
+
+// WithParallelism bounds the analyzer's worker pool. n <= 0 means
+// GOMAXPROCS; 1 runs fully sequentially.
+func WithParallelism(n int) AnalyzerOption { return core.WithParallelism(n) }
+
+// WithLogger routes the analyzer's structured logs to l instead of the
+// process-wide default.
+func WithLogger(l *slog.Logger) AnalyzerOption { return core.WithLogger(l) }
+
+// WithDialectHint fixes the configuration dialect (DialectIOS,
+// DialectJunOS) instead of sniffing each file (DialectAuto).
+func WithDialectHint(d string) AnalyzerOption { return core.WithDialectHint(d) }
+
 // AnalyzeDir parses every file in dir as a router configuration and
 // extracts the network's routing design. The returned diagnostics are
 // warnings about individual malformed lines; they do not prevent analysis.
+//
+// Deprecated: use NewAnalyzer().AnalyzeDir, which takes a context and
+// adds parallelism, logger, and dialect control.
 func AnalyzeDir(dir string) (*Design, []Diagnostic, error) {
 	return core.AnalyzeDir(dir)
 }
 
 // AnalyzeConfigs extracts the routing design from an in-memory set of
 // configurations, keyed by hostname or file name.
+//
+// Deprecated: use NewAnalyzer().AnalyzeConfigs, which takes a context
+// and adds parallelism, logger, and dialect control.
 func AnalyzeConfigs(name string, configs map[string]string) (*Design, []Diagnostic, error) {
 	return core.AnalyzeConfigs(name, configs)
 }

@@ -3,6 +3,9 @@
 package routinglens_test
 
 import (
+	"context"
+	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"testing"
@@ -27,6 +30,35 @@ func TestPublicAnalyzeConfigs(t *testing.T) {
 	}
 	if _, err := design.Pathway("a"); err != nil {
 		t.Errorf("pathway: %v", err)
+	}
+}
+
+// TestPublicAnalyzer exercises the configurable entry point: functional
+// options, parallel parsing, and agreement with the deprecated wrappers.
+func TestPublicAnalyzer(t *testing.T) {
+	g := routinglens.GenerateCorpus(11).ByName("net7")
+	an := routinglens.NewAnalyzer(
+		routinglens.WithParallelism(4),
+		routinglens.WithDialectHint(routinglens.DialectIOS),
+		routinglens.WithLogger(slog.New(slog.NewTextHandler(io.Discard, nil))),
+	)
+	design, diags, err := an.AnalyzeConfigs(context.Background(), g.Name, g.Configs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("diags: %v", diags)
+	}
+	old, _, err := routinglens.AnalyzeConfigs(g.Name, g.Configs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if design.Summary() != old.Summary() {
+		t.Errorf("Analyzer and deprecated AnalyzeConfigs disagree:\n%s\nvs\n%s",
+			design.Summary(), old.Summary())
+	}
+	if an.Parallelism() != 4 {
+		t.Errorf("Parallelism() = %d, want 4", an.Parallelism())
 	}
 }
 

@@ -1,0 +1,149 @@
+// Command benchcmp turns `go test -bench` output into a machine-readable
+// speedup record. It reads benchmark output on stdin, extracts every
+// ns/op line, pairs the j1/jN sub-benchmarks of the parallel sweeps, and
+// writes a JSON report (BENCH_parallel.json via `make benchcmp`) that
+// records the host's GOMAXPROCS alongside each speedup — the 2x corpus
+// target only applies on machines with >= 4 cores, so a result is
+// meaningless without the core count that produced it.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'BenchmarkAnalyze|Parallel' . | go run ./tools/benchcmp -out BENCH_parallel.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchLine matches e.g. "BenchmarkCorpusParallel/j4-8   3   45678 ns/op ...".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op`)
+
+type benchmark struct {
+	Name    string  `json:"name"`
+	Runs    int     `json:"runs"`
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+type speedup struct {
+	Benchmark string  `json:"benchmark"`
+	Baseline  string  `json:"baseline"`
+	Parallel  string  `json:"parallel"`
+	Speedup   float64 `json:"speedup"`
+}
+
+type report struct {
+	GeneratedBy string      `json:"generated_by"`
+	GOOS        string      `json:"goos"`
+	GOARCH      string      `json:"goarch"`
+	GOMAXPROCS  int         `json:"gomaxprocs"`
+	Note        string      `json:"note"`
+	Benchmarks  []benchmark `json:"benchmarks"`
+	Speedups    []speedup   `json:"speedups"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_parallel.json", "output JSON path")
+	flag.Parse()
+
+	var rep report
+	rep.GeneratedBy = "make benchcmp"
+	rep.GOOS = runtime.GOOS
+	rep.GOARCH = runtime.GOARCH
+	rep.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	rep.Note = "the >=2x corpus speedup target applies on machines with >=4 cores; " +
+		"single-core hosts skip the jN sub-benchmarks entirely, so speedups is empty there"
+	rep.Speedups = []speedup{}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass through so the run stays readable
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		runs, _ := strconv.Atoi(m[2])
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			continue
+		}
+		rep.Benchmarks = append(rep.Benchmarks, benchmark{Name: m[1], Runs: runs, NsPerOp: ns})
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchcmp: reading stdin: %v\n", err)
+		os.Exit(1)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchcmp: no benchmark lines found on stdin")
+		os.Exit(1)
+	}
+
+	rep.Speedups = append(rep.Speedups, pairSpeedups(rep.Benchmarks)...)
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcmp: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchcmp: %v\n", err)
+		os.Exit(1)
+	}
+	for _, s := range rep.Speedups {
+		fmt.Printf("benchcmp: %s: %s -> %s = %.2fx\n", s.Benchmark, s.Baseline, s.Parallel, s.Speedup)
+	}
+	fmt.Printf("benchcmp: wrote %s (GOMAXPROCS=%d, %d benchmarks)\n", *out, rep.GOMAXPROCS, len(rep.Benchmarks))
+}
+
+// pairSpeedups finds benchmark families with /j1 and /jN sub-benchmarks
+// and reports ns(j1)/ns(jN) for the largest N in each family.
+func pairSpeedups(bs []benchmark) []speedup {
+	type entry struct {
+		j  int
+		ns float64
+	}
+	families := make(map[string][]entry)
+	for _, b := range bs {
+		base, sub, ok := strings.Cut(b.Name, "/")
+		if !ok || !strings.HasPrefix(sub, "j") {
+			continue
+		}
+		j, err := strconv.Atoi(sub[1:])
+		if err != nil {
+			continue
+		}
+		families[base] = append(families[base], entry{j: j, ns: b.NsPerOp})
+	}
+	names := make([]string, 0, len(families))
+	for name := range families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var out []speedup
+	for _, name := range names {
+		es := families[name]
+		sort.Slice(es, func(i, j int) bool { return es[i].j < es[j].j })
+		base, max := es[0], es[len(es)-1]
+		if base.j != 1 || max.j == 1 || max.ns == 0 {
+			continue
+		}
+		out = append(out, speedup{
+			Benchmark: name,
+			Baseline:  "j1",
+			Parallel:  fmt.Sprintf("j%d", max.j),
+			Speedup:   base.ns / max.ns,
+		})
+	}
+	return out
+}
