@@ -1,20 +1,33 @@
 # Verification tiers. tier1 is the gate every PR must keep green; tier2
-# adds vet and the race detector over every package — that includes the
-# worker pools in core/experiments and the telemetry layer they share;
+# adds vet, the race detector over every package — that includes the
+# worker pools in core/experiments and the telemetry layer they share —
+# and a short fuzz pass over every ingestion fuzz target (fuzzsmoke);
 # benchsmoke runs the instrumented pipeline benches once so
 # stage-instrumentation overhead stays visible in CI output; benchcmp
 # runs the sequential-vs-parallel sweeps and records the speedups (with
 # the host's GOMAXPROCS) in BENCH_parallel.json.
 
-.PHONY: tier1 tier2 benchsmoke benchcmp all
+.PHONY: tier1 tier2 fuzzsmoke benchsmoke benchcmp all
 
 all: tier1 tier2 benchsmoke
 
 tier1:
 	go build ./... && go test ./...
 
-tier2:
+tier2: fuzzsmoke
 	go vet ./... && go test -race ./...
+
+# fuzzsmoke gives each parser/anonymizer fuzz target ~10s of random
+# input; a real campaign uses -fuzztime 30s+ per target. Saved crashers
+# land in testdata/fuzz/ and replay under plain `go test` forever.
+FUZZTIME ?= 10s
+fuzzsmoke:
+	go test -run '^$$' -fuzz '^FuzzParseAddr$$' -fuzztime $(FUZZTIME) ./internal/netaddr
+	go test -run '^$$' -fuzz '^FuzzParseMask$$' -fuzztime $(FUZZTIME) ./internal/netaddr
+	go test -run '^$$' -fuzz '^FuzzParsePrefix$$' -fuzztime $(FUZZTIME) ./internal/netaddr
+	go test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME) ./internal/ciscoparse
+	go test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME) ./internal/junosparse
+	go test -run '^$$' -fuzz '^FuzzAnonymizeRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/anonymize
 
 benchsmoke:
 	go test -run '^$$' -bench BenchmarkAnalyze -benchtime=1x .

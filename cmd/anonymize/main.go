@@ -10,10 +10,10 @@
 //
 //	anonymize -in configs/ -out anon/ -key SECRET [-j N]
 //
-// The keyed rewriting itself is sequential — the Anonymizer keeps one
-// shared renaming table so the mapping is consistent across files — but
-// the configuration reads and writes fan out over -j workers (0, the
-// default, uses GOMAXPROCS).
+// The keyed mapping is a pure function of (key, input), so the rewriting
+// fans out over -j workers (0, the default, uses GOMAXPROCS) with
+// byte-identical output at any worker count. An unreadable input file is
+// skipped and reported by default; -fail-fast aborts on it instead.
 //
 // Observability: -v/-vv, -log-format, -metrics, and -pprof behave as in
 // cmd/rdesign.
@@ -23,10 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
-	"sort"
-	"sync"
-	"sync/atomic"
+	"strings"
 
 	"routinglens/internal/anonymize"
 	"routinglens/internal/telemetry"
@@ -50,61 +47,21 @@ func main() {
 		os.Exit(2)
 	}
 
-	entries, err := os.ReadDir(*in)
+	written, skipped, err := anonymize.New(*key).
+		AnonymizeDir(*in, *out, tele.Parallelism(), tele.FailFast)
 	if err != nil {
 		fatal(err)
 	}
-	var files []string
-	for _, e := range entries {
-		if e.Type().IsRegular() {
-			files = append(files, e.Name())
-		}
+	if len(skipped) > 0 {
+		fmt.Fprintf(os.Stderr, "anonymize: skipped %d unreadable file(s): %s\n",
+			len(skipped), strings.Join(skipped, ", "))
 	}
-	if len(files) == 0 {
-		fmt.Fprintf(os.Stderr, "anonymize: no regular files in %s\n", *in)
+	if written == 0 {
+		fmt.Fprintf(os.Stderr, "anonymize: no configurations written from %s\n", *in)
 		tele.Finish()
 		os.Exit(1)
 	}
-
-	texts := make([]string, len(files))
-	readErrs := make([]error, len(files))
-	forEach(tele.Parallelism(), len(files), func(i int) {
-		data, err := os.ReadFile(filepath.Join(*in, files[i]))
-		texts[i], readErrs[i] = string(data), err
-	})
-	for _, err := range readErrs {
-		if err != nil {
-			fatal(err)
-		}
-	}
-	configs := make(map[string]string, len(files))
-	for i, n := range files {
-		configs[n] = texts[i]
-	}
-	telemetry.Logger().Debug("read input configurations", "dir", *in, "files", len(configs))
-
-	anonConfigs, err := anonymize.New(*key).MapNetwork(configs)
-	if err != nil {
-		fatal(err)
-	}
-	if err := os.MkdirAll(*out, 0o755); err != nil {
-		fatal(err)
-	}
-	names := make([]string, 0, len(anonConfigs))
-	for n := range anonConfigs {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	writeErrs := make([]error, len(names))
-	forEach(tele.Parallelism(), len(names), func(i int) {
-		writeErrs[i] = os.WriteFile(filepath.Join(*out, names[i]), []byte(anonConfigs[names[i]]), 0o644)
-	})
-	for _, err := range writeErrs {
-		if err != nil {
-			fatal(err)
-		}
-	}
-	fmt.Printf("anonymized %d configurations into %s\n", len(anonConfigs), *out)
+	fmt.Printf("anonymized %d configurations into %s\n", written, *out)
 	if tele.Finish() != nil {
 		os.Exit(1)
 	}
@@ -114,34 +71,4 @@ func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "anonymize: %v\n", err)
 	tele.Finish()
 	os.Exit(1)
-}
-
-// forEach runs n index-addressed work items over a pool of workers; each
-// item writes only its own index, so results stay in input order.
-func forEach(workers, n int, work func(i int)) {
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			work(i)
-		}
-		return
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				work(i)
-			}
-		}()
-	}
-	wg.Wait()
 }

@@ -12,7 +12,8 @@
 // prefix-preservingly) and names files config1, config2, ... as in the
 // paper's methodology. -j bounds the worker pool writing the networks
 // (0, the default, uses GOMAXPROCS); the files and the printed summary
-// are identical whatever N.
+// are identical whatever N. A network that cannot be translated with
+// -dialect junos is skipped with a notice; -fail-fast aborts instead.
 //
 // Observability: -v/-vv, -log-format, -metrics, and -pprof behave as in
 // cmd/rdesign.
@@ -88,14 +89,19 @@ func main() {
 			translated := make(map[string]string, len(configs))
 			for host, cfg := range configs {
 				res, err := ciscoparse.Parse(host, strings.NewReader(cfg))
-				if err != nil {
-					return netResult{err: err}
+				if err == nil {
+					var out string
+					out, err = junosemit.Emit(res.Device)
+					translated[host] = out
 				}
-				out, err := junosemit.Emit(res.Device)
 				if err != nil {
-					return netResult{skipped: fmt.Sprintf("netgen: skipping %s: %v", g.Name, err)}
+					// A network that cannot be translated is skipped with a
+					// notice (lenient default); -fail-fast aborts instead.
+					if tele.FailFast {
+						return netResult{err: fmt.Errorf("%s/%s: %w", g.Name, host, err)}
+					}
+					return netResult{skipped: fmt.Sprintf("netgen: skipping %s: %s: %v", g.Name, host, err)}
 				}
-				translated[host] = out
 			}
 			configs = translated
 		}
@@ -147,21 +153,29 @@ func main() {
 	}
 	wg.Wait()
 
-	wrote := 0
+	wrote, skippedNets := 0, 0
 	for i, r := range results {
 		if r.err != nil {
 			fatal(r.err)
 		}
 		if r.skipped != "" {
 			fmt.Fprintln(os.Stderr, r.skipped)
+			skippedNets++
 			continue
 		}
 		g := selected[i]
 		fmt.Printf("%s: %d routers (%s)\n", g.Name, g.Routers, g.Kind)
 		wrote += r.wrote
 	}
+	if skippedNets > 0 {
+		fmt.Fprintf(os.Stderr, "netgen: skipped %d network(s)\n", skippedNets)
+	}
 	if wrote == 0 {
-		fmt.Fprintf(os.Stderr, "netgen: no network named %q\n", *only)
+		if *only != "" && len(selected) == 0 {
+			fmt.Fprintf(os.Stderr, "netgen: no network named %q\n", *only)
+		} else {
+			fmt.Fprintln(os.Stderr, "netgen: no configuration files written")
+		}
 		tele.Finish()
 		os.Exit(1)
 	}

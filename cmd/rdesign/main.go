@@ -28,6 +28,12 @@
 // -j N bounds the parse/analysis worker pool (0, the default, uses
 // GOMAXPROCS); the output is byte-identical whatever N.
 //
+// A file that fails to parse entirely is skipped by default: it surfaces
+// as a severity-error diagnostic, a "skipped N unparseable file(s)" line
+// on stderr, and the routinglens_files_skipped_total metric, while the
+// analysis continues with the remaining routers. -fail-fast restores
+// abort-on-first-error.
+//
 // Both Cisco IOS and JunOS configuration files are accepted; the dialect
 // is detected per file.
 package main
@@ -82,11 +88,18 @@ func main() {
 		exit(tele, 2)
 	}
 
-	analyzer := core.NewAnalyzer(core.WithParallelism(tele.Parallelism()))
+	analyzer := core.NewAnalyzer(
+		core.WithParallelism(tele.Parallelism()),
+		core.WithFailFast(tele.FailFast),
+	)
 	design, parseDiags, err := analyzer.AnalyzeDir(context.Background(), *dir)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rdesign: %v\n", err)
 		exit(tele, 1)
+	}
+	if skipped := core.SkippedFiles(parseDiags); len(skipped) > 0 {
+		fmt.Fprintf(os.Stderr, "rdesign: skipped %d unparseable file(s): %s\n",
+			len(skipped), strings.Join(skipped, ", "))
 	}
 	printDiagnostics(parseDiags, *diags)
 

@@ -23,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"routinglens/internal/experiments"
@@ -49,10 +50,14 @@ func main() {
 	}
 
 	t0 := time.Now()
-	ws, err := experiments.BuildWorkspaceParallel(context.Background(), *seed, tele.Parallelism())
+	ws, err := experiments.BuildWorkspaceOpts(context.Background(), *seed, tele.Parallelism(), tele.FailFast)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "reproduce: %v\n", err)
 		exit(1)
+	}
+	if len(ws.SkippedNetworks) > 0 {
+		fmt.Fprintf(os.Stderr, "reproduce: skipped %d network(s) whose analysis failed: %s\n",
+			len(ws.SkippedNetworks), strings.Join(ws.SkippedNetworks, ", "))
 	}
 	fmt.Printf("corpus: %d networks, %d routers (seed %d, analyzed in %v, %d workers)\n\n",
 		len(ws.Corpus.Networks), ws.Corpus.TotalRouters(), *seed,

@@ -26,20 +26,32 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 
+	"routinglens/internal/confio"
 	"routinglens/internal/netaddr"
 )
 
-// Anonymizer rewrites configuration text under a secret key.
+// Anonymizer rewrites configuration text under a secret key. It is safe
+// for concurrent use: the PRF cache and the renaming table are guarded,
+// and every mapping is a pure function of (key, input), so the output is
+// identical whatever the goroutine interleaving.
 type Anonymizer struct {
 	key []byte
-	// bitCache memoizes the PRF for address prefixes.
-	bitCache map[uint64]byte
 	// vocab is the set of lower-case tokens that need no anonymization.
 	vocab map[string]bool
+
+	mu sync.Mutex
+	// bitCache memoizes the PRF for address prefixes.
+	bitCache map[uint64]byte
+	// names records every identifier renamed so far (original -> anon).
+	names map[string]string
 }
 
 // New creates an Anonymizer with the given secret key. The same key yields
@@ -48,24 +60,44 @@ func New(key string) *Anonymizer {
 	return &Anonymizer{
 		key:      []byte(key),
 		bitCache: make(map[uint64]byte),
+		names:    make(map[string]string),
 		vocab:    iosVocabulary(),
 	}
 }
 
-// AnonymizeConfig rewrites one configuration. Comment lines are dropped;
-// every remaining line is rewritten token by token.
+// AnonymizeConfig rewrites one configuration. Line classification is
+// byte-for-byte the parser's (see ciscoparse.readLines): input is
+// normalized through confio, blank and comment lines are dropped, and a
+// banner block — identity-laden free prose — is replaced by a
+// self-closing "banner motd ^C^C" placeholder so the anonymized file
+// still closes any open section at the same spot. Every surviving line
+// is rewritten token by token.
 func (a *Anonymizer) AnonymizeConfig(r io.Reader, w io.Writer) error {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	sc := confio.NewScanner(r)
 	bw := bufio.NewWriter(w)
+	var banner confio.BannerSkipper
 	for sc.Scan() {
-		raw := sc.Text()
-		trimmed := strings.TrimSpace(raw)
-		if trimmed == "" || strings.HasPrefix(trimmed, "!") {
+		raw := confio.Normalize(sc.Text())
+		if banner.Skipping() {
+			banner.Consume(raw)
 			continue
 		}
-		indent := raw[:len(raw)-len(strings.TrimLeft(raw, " \t"))]
-		if _, err := bw.WriteString(indent + a.AnonymizeLine(trimmed) + "\n"); err != nil {
+		trimmed := strings.TrimRight(raw, " ")
+		if trimmed == "" {
+			continue
+		}
+		body := strings.TrimLeft(trimmed, " ")
+		if body[0] == '!' {
+			continue
+		}
+		indent := trimmed[:len(trimmed)-len(body)]
+		if banner.Open(body) {
+			if _, err := bw.WriteString(indent + "banner motd ^C^C\n"); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := bw.WriteString(indent + a.AnonymizeLine(body) + "\n"); err != nil {
 			return err
 		}
 	}
@@ -181,8 +213,13 @@ func isInterfaceName(tok string) bool {
 
 // HashName maps an identifier to a deterministic random-looking name of 11
 // characters starting with a digit-free position, like the paper's
-// anonymized route-map names.
+// anonymized route-map names. Every mapping is recorded; see NameTable.
 func (a *Anonymizer) HashName(tok string) string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if v, ok := a.names[tok]; ok {
+		return v
+	}
 	sum := sha1.Sum(append(append([]byte{}, a.key...), []byte("name:"+tok)...))
 	const alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"
 	var b strings.Builder
@@ -193,7 +230,22 @@ func (a *Anonymizer) HashName(tok string) string {
 		}
 		b.WriteByte(alphabet[idx])
 	}
-	return b.String()
+	out := b.String()
+	a.names[tok] = out
+	return out
+}
+
+// NameTable returns a copy of the identifier renaming table accumulated
+// so far (original token -> anonymized name). Operators keep it as the
+// confidential decoder ring for diagnostics that name anonymized objects.
+func (a *Anonymizer) NameTable() map[string]string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[string]string, len(a.names))
+	for k, v := range a.names {
+		out[k] = v
+	}
+	return out
 }
 
 // AnonymizeAddr applies class- and prefix-preserving anonymization. The
@@ -219,14 +271,19 @@ func (a *Anonymizer) AnonymizeAddr(addr netaddr.Addr) netaddr.Addr {
 }
 
 func (a *Anonymizer) prfBit(x uint64) byte {
+	a.mu.Lock()
 	if v, ok := a.bitCache[x]; ok {
+		a.mu.Unlock()
 		return v
 	}
+	a.mu.Unlock()
 	var buf [8]byte
 	binary.BigEndian.PutUint64(buf[:], x)
 	sum := sha1.Sum(append(append([]byte{}, a.key...), buf[:]...))
 	v := sum[0]
+	a.mu.Lock()
 	a.bitCache[x] = v
+	a.mu.Unlock()
 	return v
 }
 
@@ -315,4 +372,105 @@ func (a *Anonymizer) MapNetwork(configs map[string]string) (map[string]string, e
 		out[fmt.Sprintf("config%d", i+1)] = sb.String()
 	}
 	return out, nil
+}
+
+// AnonymizeDir anonymizes every regular file in the directory in into
+// out/config1, out/config2, ... (sorted original-name order). Reads and
+// rewrites fan out over workers goroutines (<=1 means sequential); every
+// mapping is a pure function of the key, so the output bytes are
+// identical at any worker count.
+//
+// With failFast false (lenient), a file that cannot be read is skipped
+// and reported in skipped; with failFast true the first failure aborts.
+// Output numbering covers only the files that made it through, and write
+// errors are always fatal — a broken output directory is not per-file
+// degradation.
+func (a *Anonymizer) AnonymizeDir(in, out string, workers int, failFast bool) (written int, skipped []string, err error) {
+	entries, err := os.ReadDir(in)
+	if err != nil {
+		return 0, nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if e.Type().IsRegular() {
+			files = append(files, e.Name())
+		}
+	}
+	sort.Strings(files)
+
+	texts := make([]string, len(files))
+	readErrs := make([]error, len(files))
+	forEach(workers, len(files), func(i int) {
+		data, err := os.ReadFile(filepath.Join(in, files[i]))
+		texts[i], readErrs[i] = string(data), err
+	})
+	var keep []int
+	for i, rerr := range readErrs {
+		if rerr != nil {
+			if failFast {
+				return 0, nil, fmt.Errorf("anonymize: %s: %w", files[i], rerr)
+			}
+			skipped = append(skipped, files[i])
+			continue
+		}
+		keep = append(keep, i)
+	}
+
+	outputs := make([]string, len(keep))
+	anonErrs := make([]error, len(keep))
+	forEach(workers, len(keep), func(i int) {
+		var sb strings.Builder
+		anonErrs[i] = a.AnonymizeConfig(strings.NewReader(texts[keep[i]]), &sb)
+		outputs[i] = sb.String()
+	})
+	for i, aerr := range anonErrs {
+		if aerr != nil { // unreachable for in-memory input; future-proofing
+			return 0, nil, fmt.Errorf("anonymize: %s: %w", files[keep[i]], aerr)
+		}
+	}
+
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return 0, nil, err
+	}
+	writeErrs := make([]error, len(outputs))
+	forEach(workers, len(outputs), func(i int) {
+		name := fmt.Sprintf("config%d", i+1)
+		writeErrs[i] = os.WriteFile(filepath.Join(out, name), []byte(outputs[i]), 0o644)
+	})
+	for _, werr := range writeErrs {
+		if werr != nil {
+			return 0, nil, werr
+		}
+	}
+	return len(outputs), skipped, nil
+}
+
+// forEach runs n index-addressed work items over a pool of workers; each
+// item writes only its own index, so results stay in input order.
+func forEach(workers, n int, work func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			work(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				work(i)
+			}
+		}()
+	}
+	wg.Wait()
 }

@@ -1,0 +1,247 @@
+package anonymize
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"routinglens/internal/ciscoparse"
+	"routinglens/internal/confio"
+	"routinglens/internal/devmodel"
+	"routinglens/internal/paperexample"
+)
+
+// FuzzAnonymizeRoundTrip drives the anonymizer's defining property on
+// arbitrary input: anonymize-then-parse must never panic or error, and
+// the extracted design must equal the design of the original — the
+// paper's Section 4.1 guarantee that operators can share anonymized
+// configurations without changing the analysis.
+//
+// The guarantee assumes the token renaming is injective. The keyed
+// mapping makes collisions astronomically unlikely for real corpora but
+// a fuzzer will happily synthesize them (two public AS numbers hashing
+// to the same remap, an address anonymizing onto a preserved mask-like
+// literal, identifiers differing only by case where the device model
+// folds case but the hash does not), so inputs with an ambiguous mapping
+// only assert the no-panic/no-error half.
+func FuzzAnonymizeRoundTrip(f *testing.F) {
+	for _, cfg := range paperexample.Configs() {
+		f.Add(cfg)
+	}
+	seeds := []string{
+		"hostname r1\nbanner motd ^C\nrouter ospf 1\n^C\nrouter bgp 65001\n neighbor 10.0.0.2 remote-as 65002\n",
+		"interface Serial0\n ip address 10.1.2.3 255.255.255.252\n ip access-group 101 in\naccess-list 101 permit tcp any host 10.9.9.9 eq www\n",
+		"router ospf 7\n network 10.0.0.0 0.255.255.255 area 0\n redistribute static route-map CORP\nroute-map CORP permit 10\n match ip address 5\n",
+		"ip route 10.0.0.0 255.0.0.0 192.0.2.1\nip prefix-list PL seq 5 permit 10.0.0.0/8 le 24\n",
+		"hostname a\r\n!\n! comment\nno router rip\ninterface Loopback0\n\tip address 172.16.0.1 255.255.255.255\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		a := New("fuzz-key")
+		var sb strings.Builder
+		if err := a.AnonymizeConfig(strings.NewReader(src), &sb); err != nil {
+			t.Fatalf("AnonymizeConfig on in-memory input: %v", err)
+		}
+		anonSrc := sb.String()
+
+		orig, err := ciscoparse.Parse("orig.cfg", strings.NewReader(src))
+		if err != nil {
+			t.Fatalf("parsing original: %v", err)
+		}
+		anon, err := ciscoparse.Parse("anon.cfg", strings.NewReader(anonSrc))
+		if err != nil {
+			t.Fatalf("parsing anonymized output: %v", err)
+		}
+
+		if tokenMappingAmbiguous(a, src) {
+			return
+		}
+		fo, fa := designFingerprint(orig.Device), designFingerprint(anon.Device)
+		if fo != fa {
+			t.Fatalf("design changed under anonymization\n--- original\n%s--- anonymized\n%s--- anon config\n%s",
+				fo, fa, anonSrc)
+		}
+	})
+}
+
+// tokenMappingAmbiguous replays the anonymizer's own line walk over src
+// and reports whether the token renaming is non-injective at the
+// case-folded granularity the device model uses: two fold-distinct
+// originals landing on fold-equal outputs (a merge), or fold-equal
+// originals landing on fold-distinct outputs (a split).
+func tokenMappingAmbiguous(a *Anonymizer, src string) bool {
+	fwd := make(map[string]string) // folded original -> folded anonymized
+	rev := make(map[string]string) // folded anonymized -> folded original
+	sc := confio.NewScanner(strings.NewReader(src))
+	var banner confio.BannerSkipper
+	for sc.Scan() {
+		raw := confio.Normalize(sc.Text())
+		if banner.Skipping() {
+			banner.Consume(raw)
+			continue
+		}
+		trimmed := strings.TrimRight(raw, " ")
+		if trimmed == "" {
+			continue
+		}
+		body := strings.TrimLeft(trimmed, " ")
+		if body[0] == '!' {
+			continue
+		}
+		if banner.Open(body) {
+			continue // replaced wholesale by the placeholder
+		}
+		of := strings.Fields(body)
+		af := strings.Fields(a.AnonymizeLine(body))
+		if len(of) != len(af) {
+			return true // cannot pair tokens; treat as ambiguous
+		}
+		for i := range of {
+			o, an := strings.ToLower(of[i]), strings.ToLower(af[i])
+			if prev, ok := fwd[o]; ok && prev != an {
+				return true
+			}
+			fwd[o] = an
+			if prev, ok := rev[an]; ok && prev != o {
+				return true
+			}
+			rev[an] = o
+		}
+	}
+	return false
+}
+
+// designFingerprint serializes the anonymization-invariant structure of
+// a parsed device: everything the design extraction consumes, with
+// identity (names, addresses, AS values) reduced to shape (counts,
+// flags, prefix lengths, distinctness).
+func designFingerprint(d *devmodel.Device) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "rawlines=%d ifaces=%d procs=%d statics=%d acls=%d rmaps=%d plists=%d\n",
+		d.RawLines, len(d.Interfaces), len(d.Processes), len(d.Statics),
+		len(d.AccessLists), len(d.RouteMaps), len(d.PrefixLists))
+
+	var ifaces []string
+	subnets := make(map[string]bool)
+	for _, i := range d.Interfaces {
+		bits := ""
+		for _, ad := range i.Addrs {
+			if p, ok := ad.Prefix(); ok {
+				bits += fmt.Sprintf("/%d", p.Bits())
+				subnets[p.String()] = true
+			} else {
+				bits += "/nc"
+			}
+			if ad.Secondary {
+				bits += "s"
+			}
+		}
+		// Interface type survives only for names the anonymizer preserves
+		// (well-formed type+unit tokens); a hashed junk name cannot keep
+		// whatever "type" devmodel derived from it.
+		ty := i.Type()
+		if !isInterfaceName(i.Name) {
+			ty = "other"
+		}
+		ifaces = append(ifaces, fmt.Sprintf("if type=%s addrs=%d%s unnum=%v shut=%v aclin=%v aclout=%v p2p=%v",
+			ty, len(i.Addrs), bits, i.Unnumbered, i.Shutdown,
+			i.AccessGroupIn != "", i.AccessGroupOut != "", i.PointToPoint))
+	}
+	writeSorted(&b, ifaces)
+	fmt.Fprintf(&b, "distinct-subnets=%d\n", len(subnets))
+
+	var procs []string
+	for _, p := range d.Processes {
+		areas := make(map[string]bool)
+		classful, wild, masked := 0, 0, 0
+		for _, ns := range p.Networks {
+			areas[ns.Area] = true
+			switch {
+			case ns.HasWild:
+				wild++
+			case ns.HasMask:
+				masked++
+			default:
+				classful++
+			}
+		}
+		redists := make([]string, 0, len(p.Redistributions))
+		for _, r := range p.Redistributions {
+			redists = append(redists, fmt.Sprintf("%s,rm=%v,sub=%v", r.From, r.RouteMap != "", r.Subnets))
+		}
+		sort.Strings(redists)
+		ibgp, policied, groups := 0, 0, 0
+		for _, nb := range p.Neighbors {
+			if nb.RemoteAS == p.ASN {
+				ibgp++
+			}
+			if nb.RouteMapIn != "" || nb.RouteMapOut != "" ||
+				nb.DistributeListIn != "" || nb.DistributeListOut != "" ||
+				nb.PrefixListIn != "" || nb.PrefixListOut != "" {
+				policied++
+			}
+			if nb.IsPeerGroupName {
+				groups++
+			}
+		}
+		procs = append(procs, fmt.Sprintf(
+			"proc %s nets=%d(c%d/w%d/m%d) areas=%d redists=[%s] nbrs=%d ibgp=%d pol=%d grp=%d dlists=%d passive=%d/%v dorig=%v rid=%v",
+			p.Protocol, len(p.Networks), classful, wild, masked, len(areas),
+			strings.Join(redists, ";"), len(p.Neighbors), ibgp, policied, groups,
+			len(p.DistributeLists), len(p.PassiveIntfs), p.PassiveDefault,
+			p.DefaultOriginate, p.HasRouterID))
+	}
+	writeSorted(&b, procs)
+
+	var statics []string
+	for _, s := range d.Statics {
+		statics = append(statics, fmt.Sprintf("static /%d hop=%v intf=%v dist=%d",
+			s.Prefix.Bits(), s.HasHop, s.ExitIntf != "", s.Distance))
+	}
+	writeSorted(&b, statics)
+
+	var acls []string
+	for _, l := range d.AccessLists {
+		cl := make([]string, 0, len(l.Clauses))
+		for _, c := range l.Clauses {
+			cl = append(cl, fmt.Sprintf("%s,p=%v,sa=%v,sh=%v,da=%v,dh=%v,log=%v",
+				c.Action, c.Proto != "", c.SrcAny, c.SrcHost, c.DstAny, c.DstHost, c.Log))
+		}
+		acls = append(acls, fmt.Sprintf("acl ext=%v clauses=[%s]", l.Extended, strings.Join(cl, ";")))
+	}
+	writeSorted(&b, acls)
+
+	var rmaps []string
+	for _, m := range d.RouteMaps {
+		en := make([]string, 0, len(m.Entries))
+		for _, e := range m.Entries {
+			en = append(en, fmt.Sprintf("%s,%d,acl=%d,tag=%d,pl=%d,set=%v%v%v%d",
+				e.Action, e.Sequence, len(e.MatchACLs), len(e.MatchTags), len(e.MatchPrefixLists),
+				e.SetTag != "", e.SetMetric != "", e.SetLocalPref != "", len(e.SetCommunity)))
+		}
+		rmaps = append(rmaps, fmt.Sprintf("rmap entries=[%s]", strings.Join(en, ";")))
+	}
+	writeSorted(&b, rmaps)
+
+	var plists []string
+	for _, l := range d.PrefixLists {
+		en := make([]string, 0, len(l.Entries))
+		for _, e := range l.Entries {
+			en = append(en, fmt.Sprintf("%s,%d,/%d,ge%d,le%d", e.Action, e.Seq, e.Prefix.Bits(), e.Ge, e.Le))
+		}
+		plists = append(plists, fmt.Sprintf("plist entries=[%s]", strings.Join(en, ";")))
+	}
+	writeSorted(&b, plists)
+	return b.String()
+}
+
+func writeSorted(b *strings.Builder, items []string) {
+	sort.Strings(items)
+	for _, s := range items {
+		b.WriteString(s)
+		b.WriteByte('\n')
+	}
+}

@@ -1,0 +1,110 @@
+package anonymize
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+
+	"routinglens/internal/paperexample"
+)
+
+// TestAnonymizeDirDeterminism: the anonymized bytes and the accumulated
+// renaming table are identical at any worker count — keyed hashing is a
+// pure function, so scheduling must never show in the output. Run under
+// -race this is also the concurrency-safety test for the shared caches.
+func TestAnonymizeDirDeterminism(t *testing.T) {
+	in := t.TempDir()
+	for name, cfg := range paperexample.Configs() {
+		if err := os.WriteFile(filepath.Join(in, name), []byte(cfg), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	type run struct {
+		files map[string]string
+		names map[string]string
+	}
+	runs := make(map[int]run)
+	levels := []int{1, 4, runtime.GOMAXPROCS(0)}
+	for _, j := range levels {
+		a := New("determinism-key")
+		out := t.TempDir()
+		written, skipped, err := a.AnonymizeDir(in, out, j, false)
+		if err != nil {
+			t.Fatalf("j=%d: %v", j, err)
+		}
+		if len(skipped) != 0 {
+			t.Fatalf("j=%d: unexpected skips %v", j, skipped)
+		}
+		if written != len(paperexample.Configs()) {
+			t.Fatalf("j=%d: written = %d, want %d", j, written, len(paperexample.Configs()))
+		}
+		files := make(map[string]string)
+		entries, err := os.ReadDir(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			data, err := os.ReadFile(filepath.Join(out, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			files[e.Name()] = string(data)
+		}
+		runs[j] = run{files: files, names: a.NameTable()}
+	}
+
+	base := runs[levels[0]]
+	if len(base.names) == 0 {
+		t.Fatal("no identifiers renamed; determinism check is vacuous")
+	}
+	for _, j := range levels[1:] {
+		if !reflect.DeepEqual(base.files, runs[j].files) {
+			t.Errorf("output bytes differ between j=%d and j=%d", levels[0], j)
+		}
+		if !reflect.DeepEqual(base.names, runs[j].names) {
+			t.Errorf("renaming table differs between j=%d and j=%d", levels[0], j)
+		}
+	}
+}
+
+// TestAnonymizeDirSkipsUnreadable: a directory entry that cannot be read
+// is skipped and reported in lenient mode and aborts under fail-fast.
+func TestAnonymizeDirSkipsUnreadable(t *testing.T) {
+	in := t.TempDir()
+	if err := os.WriteFile(filepath.Join(in, "good.cfg"), []byte("hostname ok\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A directory named like a config is not a regular file and is
+	// ignored; an unreadable regular file is the lenient-skip case.
+	bad := filepath.Join(in, "bad.cfg")
+	if err := os.WriteFile(bad, []byte("hostname secret\n"), 0o000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.ReadFile(bad); err == nil {
+		t.Skip("running with privileges that ignore file modes; cannot provoke a read error")
+	}
+
+	out := t.TempDir()
+	written, skipped, err := New("k").AnonymizeDir(in, out, 2, false)
+	if err != nil {
+		t.Fatalf("lenient run errored: %v", err)
+	}
+	if written != 1 || !reflect.DeepEqual(skipped, []string{"bad.cfg"}) {
+		t.Errorf("written=%d skipped=%v, want 1 and [bad.cfg]", written, skipped)
+	}
+	data, err := os.ReadFile(filepath.Join(out, "config1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "ok") {
+		t.Errorf("hostname leaked into %q", data)
+	}
+
+	if _, _, err := New("k").AnonymizeDir(in, t.TempDir(), 2, true); err == nil {
+		t.Error("fail-fast run should surface the read error")
+	}
+}

@@ -1,0 +1,36 @@
+package ciscoparse
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse: the IOS front end must never panic and never hard-error on
+// in-memory input — operational configuration dumps are full of debris,
+// and one broken file must not cost the caller the whole parse. Errors
+// are reserved for reader I/O failures, which strings.Reader cannot have.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		figure2,
+		"hostname r1\nbanner motd ^C\nrouter ospf 1\n^C\nrouter bgp 1\n",
+		"banner login #text#\nhostname x\n",
+		"hostname a\r\ninterface Serial0\r\n\tip address 10.0.0.1 255.255.255.0\r\n",
+		"no router ospf 1\nno\n!\n! comment\n",
+		"interface Ethernet0\n ip access-group 101 in\naccess-list 101 permit ip any any\n",
+		"ip route 10.0.0.0 255.0.0.0 192.0.2.1\nroute-map RM permit 10\n match ip address 1\n",
+		"hostname \x00weird\nbanner exec ^\nunterminated",
+		"router eigrp 7\n network 10.0.0.0\n redistribute static\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		res, err := Parse("fuzz.cfg", strings.NewReader(src))
+		if err != nil {
+			t.Fatalf("hard error on in-memory input: %v", err)
+		}
+		if res == nil || res.Device == nil {
+			t.Fatal("nil result without error")
+		}
+	})
+}

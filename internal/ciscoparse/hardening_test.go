@@ -1,0 +1,133 @@
+package ciscoparse
+
+import (
+	"strings"
+	"testing"
+
+	"routinglens/internal/confio"
+	"routinglens/internal/diag"
+)
+
+// Regression for the banner bug: a banner body containing column-0 text
+// that looks like configuration ("router ospf 1") must never be parsed
+// as real commands — before the fix it created a phantom OSPF process
+// and corrupted the extracted design.
+func TestBannerBodyNotParsed(t *testing.T) {
+	src := `hostname edge1
+banner motd ^C
+  Unauthorized access prohibited.
+router ospf 1
+  network 10.0.0.0 0.255.255.255 area 0
+^C
+router bgp 65001
+ neighbor 10.0.0.2 remote-as 65002
+`
+	res, err := Parse("banner.cfg", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Device.Processes) != 1 {
+		t.Fatalf("processes = %d, want 1 (banner text leaked into the design): %+v",
+			len(res.Device.Processes), res.Device.Processes)
+	}
+	p := res.Device.Processes[0]
+	if p.Key() != "bgp 65001" {
+		t.Errorf("surviving process = %q, want the real bgp 65001", p.Key())
+	}
+	if len(p.Neighbors) != 1 {
+		t.Errorf("bgp neighbors = %d, want 1", len(p.Neighbors))
+	}
+}
+
+// A banner opened and closed on one line must not swallow what follows.
+func TestBannerSingleLine(t *testing.T) {
+	src := "banner login #No trespassing#\nhostname r9\n"
+	res, err := Parse("b.cfg", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Device.Hostname != "r9" {
+		t.Errorf("hostname = %q; single-line banner swallowed the file", res.Device.Hostname)
+	}
+}
+
+// An unterminated banner swallows the rest of the file — free text, by
+// definition — without erroring.
+func TestBannerUnterminated(t *testing.T) {
+	src := "hostname r1\nbanner exec ^C\nrouter ospf 5\n"
+	res, err := Parse("b.cfg", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Device.Hostname != "r1" {
+		t.Errorf("hostname = %q", res.Device.Hostname)
+	}
+	if len(res.Device.Processes) != 0 {
+		t.Errorf("processes = %d, want 0 (unterminated banner body parsed)", len(res.Device.Processes))
+	}
+}
+
+// Regression for the oversized-line bug: a single line longer than the
+// old 1 MiB scanner buffer used to fail the whole file with
+// bufio.ErrTooLong. Now the line is truncated, a warn diagnostic names
+// it, and the rest of the file still parses.
+func TestOversizedLineTruncatedNotFatal(t *testing.T) {
+	src := "hostname big\ndescription " + strings.Repeat("x", confio.MaxLineBytes+100) +
+		"\nrouter ospf 1\n network 10.0.0.0 0.0.0.255 area 0\n"
+	res, err := Parse("big.cfg", strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("oversized line must not be fatal: %v", err)
+	}
+	if res.Device.Hostname != "big" {
+		t.Errorf("hostname = %q", res.Device.Hostname)
+	}
+	if len(res.Device.Processes) != 1 {
+		t.Errorf("processes after the oversized line = %d, want 1", len(res.Device.Processes))
+	}
+	found := false
+	for _, d := range res.Diagnostics {
+		if d.Severity == diag.SevWarn && d.Line == 2 && strings.Contains(d.Msg, "truncated") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no truncation warning for line 2 in %v", res.Diagnostics)
+	}
+}
+
+// CRLF-terminated and tab-indented files parse identically to their
+// LF/space counterparts.
+func TestCRLFAndTabNormalization(t *testing.T) {
+	unix := "hostname r1\ninterface Serial0\n ip address 10.0.0.1 255.255.255.252\n"
+	dos := strings.ReplaceAll(strings.ReplaceAll(unix, "\n", "\r\n"), " ip", "\tip")
+	a, err := Parse("a", strings.NewReader(unix))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Parse("b", strings.NewReader(dos))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Device.Interfaces) != 1 || len(b.Device.Interfaces) != 1 {
+		t.Fatalf("interfaces: unix=%d dos=%d", len(a.Device.Interfaces), len(b.Device.Interfaces))
+	}
+	if len(a.Device.Interfaces[0].Addrs) != len(b.Device.Interfaces[0].Addrs) {
+		t.Errorf("addrs differ: unix=%d dos=%d",
+			len(a.Device.Interfaces[0].Addrs), len(b.Device.Interfaces[0].Addrs))
+	}
+	if a.Device.RawLines != b.Device.RawLines {
+		t.Errorf("RawLines differ: unix=%d dos=%d", a.Device.RawLines, b.Device.RawLines)
+	}
+}
+
+// NUL bytes (interrupted transfers) vanish instead of corrupting tokens.
+func TestNULBytesDropped(t *testing.T) {
+	src := "hostname r\x001\n"
+	res, err := Parse("n.cfg", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Device.Hostname != "r1" {
+		t.Errorf("hostname = %q, want r1", res.Device.Hostname)
+	}
+}

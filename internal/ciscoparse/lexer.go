@@ -11,9 +11,10 @@
 package ciscoparse
 
 import (
-	"bufio"
 	"io"
 	"strings"
+
+	"routinglens/internal/confio"
 )
 
 // line is one logical configuration line.
@@ -30,29 +31,41 @@ type line struct {
 func (l line) fields() []string { return strings.Fields(l.text) }
 
 // readLines scans the reader into logical lines, dropping blank lines and
-// comment/separator lines ("!", "! text"). Banner blocks and other
-// free-text regions are not specially handled; their lines simply fail to
-// match any command and are ignored by the parser.
-func readLines(r io.Reader) ([]line, int, error) {
-	var out []line
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+// comment/separator lines ("!", "! text") and the free text of banner
+// blocks ("banner <type> <delim> ... <delim>"), which production configs
+// fill with login notices that would otherwise be parsed as commands.
+// Input is normalized first (CRLF, tabs, NUL bytes — see confio), and a
+// line longer than confio.MaxLineBytes is truncated rather than fatal;
+// its number is reported in truncated so the parser can emit a warning.
+func readLines(r io.Reader) (out []line, total int, truncated []int, err error) {
+	sc := confio.NewScanner(r)
+	var banner confio.BannerSkipper
 	n := 0
-	total := 0
 	for sc.Scan() {
 		n++
-		raw := sc.Text()
-		trimmed := strings.TrimRight(raw, " \t\r")
+		raw := confio.Normalize(sc.Text())
+		if sc.Truncated() {
+			truncated = append(truncated, n)
+		}
+		if banner.Skipping() {
+			banner.Consume(raw)
+			continue
+		}
+		trimmed := strings.TrimRight(raw, " ")
 		if trimmed == "" {
 			continue
 		}
-		body := strings.TrimLeft(trimmed, " \t")
+		body := strings.TrimLeft(trimmed, " ")
 		if body == "" || body[0] == '!' {
 			continue
 		}
+		// The banner command line itself stays a command (it closes the
+		// open section like any other top-level line); only the
+		// delimiter-bounded free text after it is swallowed.
+		banner.Open(body)
 		total++
 		indent := 0
-		for indent < len(trimmed) && (trimmed[indent] == ' ' || trimmed[indent] == '\t') {
+		for indent < len(trimmed) && trimmed[indent] == ' ' {
 			indent++
 		}
 		neg := false
@@ -66,7 +79,7 @@ func readLines(r io.Reader) ([]line, int, error) {
 		out = append(out, line{num: n, indent: indent, text: body, negated: neg, original: raw})
 	}
 	if err := sc.Err(); err != nil {
-		return nil, 0, err
+		return nil, 0, nil, err
 	}
-	return out, total, nil
+	return out, total, truncated, nil
 }

@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"strings"
 
+	"routinglens/internal/confio"
 	"routinglens/internal/devmodel"
 	"routinglens/internal/diag"
 	"routinglens/internal/netaddr"
@@ -40,7 +41,7 @@ type Result struct {
 // Parse parses a single configuration from r. name is used for diagnostics
 // and stored as the device's FileName.
 func Parse(name string, r io.Reader) (*Result, error) {
-	lines, total, err := readLines(r)
+	lines, total, truncated, err := readLines(r)
 	if err != nil {
 		return nil, err
 	}
@@ -50,6 +51,10 @@ func Parse(name string, r io.Reader) (*Result, error) {
 	}
 	p.dev.FileName = name
 	p.dev.RawLines = total
+	for _, n := range truncated {
+		p.diagSev(diag.SevWarn, line{num: n},
+			"line exceeds %d bytes; truncated", confio.MaxLineBytes)
+	}
 	p.run(lines)
 	if p.dev.Hostname == "" {
 		// Anonymized corpora name files "config1", "config2", ...; fall back

@@ -1,0 +1,127 @@
+package confio
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScannerBasicLines(t *testing.T) {
+	sc := NewScanner(strings.NewReader("a\nb\r\n\nlast"))
+	var got []string
+	for sc.Scan() {
+		got = append(got, Normalize(sc.Text()))
+		if sc.Truncated() {
+			t.Errorf("line %q flagged truncated", sc.Text())
+		}
+	}
+	if sc.Err() != nil {
+		t.Fatal(sc.Err())
+	}
+	want := []string{"a", "b", "", "last"}
+	if strings.Join(got, "|") != strings.Join(want, "|") {
+		t.Errorf("lines = %q, want %q", got, want)
+	}
+}
+
+func TestScannerOversizedLine(t *testing.T) {
+	// One line well past MaxLineBytes, followed by a normal line: the
+	// oversized line is truncated and flagged, the next line survives.
+	long := strings.Repeat("x", MaxLineBytes+4096)
+	sc := NewScanner(strings.NewReader(long + "\nhostname r1\n"))
+
+	if !sc.Scan() {
+		t.Fatal("no first line")
+	}
+	if !sc.Truncated() {
+		t.Error("oversized line not flagged truncated")
+	}
+	if len(sc.Text()) != MaxLineBytes {
+		t.Errorf("truncated length = %d, want %d", len(sc.Text()), MaxLineBytes)
+	}
+	if !sc.Scan() {
+		t.Fatal("line after the oversized one was lost")
+	}
+	if sc.Truncated() {
+		t.Error("normal line flagged truncated")
+	}
+	if sc.Text() != "hostname r1" {
+		t.Errorf("second line = %q", sc.Text())
+	}
+	if sc.Scan() {
+		t.Error("unexpected extra line")
+	}
+	if sc.Err() != nil {
+		t.Fatal(sc.Err())
+	}
+}
+
+func TestScannerNoFinalNewline(t *testing.T) {
+	sc := NewScanner(strings.NewReader("only"))
+	if !sc.Scan() || sc.Text() != "only" {
+		t.Fatalf("final line without newline lost: %q", sc.Text())
+	}
+	if sc.Scan() {
+		t.Error("extra line after EOF")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	cases := map[string]string{
+		"plain":           "plain",
+		"crlf\r":          "crlf",
+		"a\tb":            "a b",
+		"nul\x00byte":     "nulbyte",
+		"mix\r\n\tx\x00y": "mix\n xy",
+		"interface Se0/0": "interface Se0/0",
+	}
+	for in, want := range cases {
+		if got := Normalize(in); got != want {
+			t.Errorf("Normalize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestBannerSkipperMultiLine(t *testing.T) {
+	var b BannerSkipper
+	if !b.Open("banner motd ^C") {
+		t.Fatal("banner command not recognized")
+	}
+	if !b.Skipping() {
+		t.Fatal("skipper should be active")
+	}
+	b.Consume("router ospf 1")
+	if !b.Skipping() {
+		t.Fatal("free text ended the banner early")
+	}
+	b.Consume("end of notice ^C")
+	if b.Skipping() {
+		t.Fatal("closing delimiter not honored")
+	}
+}
+
+func TestBannerSkipperSameLine(t *testing.T) {
+	var b BannerSkipper
+	if !b.Open("banner login #Authorized access only#") {
+		t.Fatal("single-line banner not recognized")
+	}
+	if b.Skipping() {
+		t.Fatal("single-line banner should close immediately")
+	}
+}
+
+func TestBannerSkipperNonBanner(t *testing.T) {
+	var b BannerSkipper
+	for _, line := range []string{
+		"router ospf 1",
+		"banner motd", // no delimiter token
+		"no banner login",
+		"",
+	} {
+		if b.Open(line) {
+			t.Errorf("Open(%q) = true", line)
+		}
+		if b.Skipping() {
+			t.Errorf("skipper active after %q", line)
+		}
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"routinglens/internal/ciscoparse"
 	"routinglens/internal/classify"
 	"routinglens/internal/devmodel"
+	"routinglens/internal/diag"
 	"routinglens/internal/filters"
 	"routinglens/internal/instance"
 	"routinglens/internal/junosparse"
@@ -48,6 +49,7 @@ const (
 type Analyzer struct {
 	parallelism int    // 0 => GOMAXPROCS
 	dialect     string // "", "auto", "ios", or "junos"
+	failFast    bool   // abort on the first unparseable file
 	logger      *slog.Logger
 }
 
@@ -72,6 +74,18 @@ func WithLogger(l *slog.Logger) AnalyzerOption {
 // An unknown hint surfaces as an error from the Analyze* calls.
 func WithDialectHint(d string) AnalyzerOption {
 	return func(a *Analyzer) { a.dialect = d }
+}
+
+// WithFailFast controls what happens when one configuration file fails
+// to parse entirely (I/O error, unbalanced JunOS braces, ...). The
+// default is lenient: the file is skipped, the failure surfaces as a
+// severity-error Diagnostic plus the routinglens_files_skipped_total
+// counter, and the network analysis continues with the remaining
+// devices — the paper's pipeline survived 8,035 messy production dumps
+// exactly this way. WithFailFast(true) restores abort-on-first-error
+// for callers that prefer a hard failure over a partial design.
+func WithFailFast(ff bool) AnalyzerOption {
+	return func(a *Analyzer) { a.failFast = ff }
 }
 
 // NewAnalyzer builds an Analyzer from functional options.
@@ -201,7 +215,7 @@ func (a *Analyzer) AnalyzeConfigs(ctx context.Context, name string, configs map[
 				return nil, nil, err
 			}
 			results[i] = a.parseIndexed(pctx, fn, configs[fn])
-			if results[i].err != nil {
+			if results[i].err != nil && a.failFast {
 				break
 			}
 		}
@@ -226,7 +240,7 @@ func (a *Analyzer) AnalyzeConfigs(ctx context.Context, name string, configs map[
 					}
 					fn := names[i]
 					results[i] = a.parseIndexed(wctx, fn, configs[fn])
-					if results[i].err != nil {
+					if results[i].err != nil && a.failFast {
 						failed.Store(true)
 						return
 					}
@@ -247,13 +261,29 @@ func (a *Analyzer) AnalyzeConfigs(ctx context.Context, name string, configs map[
 	var totalLines int64
 	for i, r := range results {
 		if r.err != nil {
-			err := fmt.Errorf("core: parsing %s: %w", names[i], r.err)
-			parseSpan.Fail(err)
-			parseSpan.End()
-			sortDiagnostics(diags)
-			return nil, diags, err
+			if a.failFast {
+				err := fmt.Errorf("core: parsing %s: %w", names[i], r.err)
+				parseSpan.Fail(err)
+				parseSpan.End()
+				sortDiagnostics(diags)
+				return nil, diags, err
+			}
+			// Lenient (the default): the file is dropped from the network,
+			// the failure becomes a severity-error diagnostic, and analysis
+			// continues with whatever parsed. Deterministic at any -j: the
+			// diagnostic is emitted here, in sorted input order.
+			reg.Counter(MetricFilesSkipped).Inc()
+			log.Warn("skipping unparseable configuration",
+				"file", names[i], "dialect", r.dialect, "error", r.err)
+			diags = append(diags, Diagnostic{
+				File:     names[i],
+				Severity: diag.SevError,
+				Dialect:  r.dialect,
+				Msg:      skippedPrefix + r.err.Error(),
+			})
+			continue
 		}
-		if r.dev == nil { // sequential path stopped early; cannot happen without err
+		if r.dev == nil { // fail-fast sequential path stopped early
 			continue
 		}
 		reg.Counter(MetricDevicesParsed, telemetry.L("dialect", r.dialect)).Inc()

@@ -33,6 +33,7 @@ import (
 // Metric names the pipeline records into the run's telemetry registry.
 const (
 	MetricDevicesParsed  = "routinglens_devices_parsed_total"
+	MetricFilesSkipped   = "routinglens_files_skipped_total"
 	MetricConfigLines    = "routinglens_config_lines_total"
 	MetricDiagnostics    = "routinglens_diagnostics_total"
 	MetricParseLinesRate = "routinglens_parse_lines_per_second"
@@ -45,6 +46,7 @@ const (
 // is idempotent, so the hot path may call it per run.
 func registerHelp(reg *telemetry.Registry) {
 	reg.SetHelp(MetricDevicesParsed, "Router configurations parsed, by dialect.")
+	reg.SetHelp(MetricFilesSkipped, "Configuration files skipped by a lenient analysis because they failed to parse.")
 	reg.SetHelp(MetricConfigLines, "Configuration lines (or JunOS statements) parsed.")
 	reg.SetHelp(MetricDiagnostics, "Parse diagnostics emitted, by severity.")
 	reg.SetHelp(MetricParseLinesRate, "Parse throughput of the last network, in lines per second.")

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"routinglens/internal/ciscoparse"
 	"routinglens/internal/diag"
@@ -59,6 +60,26 @@ func sortDiagnostics(ds []Diagnostic) {
 		}
 		return a.Msg < b.Msg
 	})
+}
+
+// skippedPrefix marks the diagnostic a lenient Analyzer emits for a file
+// that failed to parse entirely; SkippedFiles recovers the file list.
+const skippedPrefix = "file skipped: "
+
+// SkippedFiles returns the sorted, deduplicated file names that a lenient
+// analysis dropped because they failed to parse entirely. Callers use it
+// for the per-run "N files skipped" summary line.
+func SkippedFiles(ds []Diagnostic) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, d := range ds {
+		if d.Severity == diag.SevError && strings.HasPrefix(d.Msg, skippedPrefix) && !seen[d.File] {
+			seen[d.File] = true
+			out = append(out, d.File)
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 // CountBySeverity tallies diagnostics per severity level.

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"context"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"routinglens/internal/diag"
+)
+
+// malformedDir is the on-disk regression corpus for ingestion hardening:
+// a banner whose free text mimics commands, a CRLF/tab file, and one
+// JunOS file with unbalanced braces that must be skipped, not fatal.
+var malformedDir = filepath.Join("..", "..", "testdata", "malformed")
+
+func TestAnalyzeDirMalformedCorpus(t *testing.T) {
+	d, diags, err := AnalyzeDir(malformedDir)
+	if err != nil {
+		t.Fatalf("lenient AnalyzeDir: %v", err)
+	}
+	if got := SkippedFiles(diags); !reflect.DeepEqual(got, []string{"bad-brace.cfg"}) {
+		t.Fatalf("SkippedFiles = %v, want [bad-brace.cfg]", got)
+	}
+	errs := 0
+	for _, dg := range diags {
+		if dg.Severity == diag.SevError {
+			errs++
+			if dg.Dialect != DialectJunOS {
+				t.Errorf("skip diagnostic dialect = %q, want junos", dg.Dialect)
+			}
+		}
+	}
+	if errs != 1 {
+		t.Errorf("severity-error diagnostics = %d, want exactly 1", errs)
+	}
+
+	if len(d.Network.Devices) != 3 {
+		t.Fatalf("devices = %d, want 3 (bad-brace.cfg dropped)", len(d.Network.Devices))
+	}
+	byHost := map[string]bool{}
+	for _, dev := range d.Network.Devices {
+		byHost[dev.Hostname] = true
+	}
+	for _, h := range []string{"r1", "r2", "r3"} {
+		if !byHost[h] {
+			t.Errorf("missing device %s", h)
+		}
+	}
+
+	// The banner's free text must never become configuration: r2 has one
+	// OSPF process (10) and no Ethernet9.
+	for _, dev := range d.Network.Devices {
+		switch dev.Hostname {
+		case "r2":
+			if len(dev.Processes) != 1 || dev.Processes[0].ID != "10" {
+				t.Errorf("r2 processes = %+v, want exactly ospf 10", dev.Processes)
+			}
+			if dev.Interface("Ethernet9") != nil {
+				t.Error("banner text leaked: r2 has interface Ethernet9")
+			}
+		case "r3":
+			// CRLF endings and tab indentation normalize away.
+			i := dev.Interface("Ethernet0")
+			if i == nil || !i.HasAddr() {
+				t.Errorf("r3 Ethernet0 not parsed from CRLF file: %+v", i)
+			}
+			if len(dev.Processes) != 1 {
+				t.Errorf("r3 processes = %d, want 1 (rip)", len(dev.Processes))
+			}
+		}
+	}
+
+	ff := NewAnalyzer(WithFailFast(true))
+	if _, _, err := ff.AnalyzeDir(context.Background(), malformedDir); err == nil {
+		t.Error("fail-fast AnalyzeDir should reject bad-brace.cfg")
+	} else if !strings.Contains(err.Error(), "bad-brace.cfg") {
+		t.Errorf("fail-fast error should name the file, got %v", err)
+	}
+}

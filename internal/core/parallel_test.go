@@ -10,6 +10,7 @@ import (
 	"strings"
 	"testing"
 
+	"routinglens/internal/diag"
 	"routinglens/internal/netgen"
 	"routinglens/internal/telemetry"
 )
@@ -44,36 +45,51 @@ func mixedConfigs(t testing.TB) map[string]string {
 
 // TestAnalyzerDeterminism is the PR's core guarantee: Summary() and the
 // diagnostics slice are byte-identical at parallelism 1, 4, and
-// GOMAXPROCS.
+// GOMAXPROCS — including when the lenient path skips a malformed file.
 func TestAnalyzerDeterminism(t *testing.T) {
-	configs := mixedConfigs(t)
-	levels := []int{1, 4, runtime.GOMAXPROCS(0)}
+	clean := mixedConfigs(t)
+	withBroken := mixedConfigs(t)
+	withBroken["m-broken"] = brokenJunos
 
-	type run struct {
-		summary string
-		diags   []Diagnostic
-	}
-	var runs []run
-	for _, j := range levels {
-		an := NewAnalyzer(WithParallelism(j))
-		d, diags, err := an.AnalyzeConfigs(context.Background(), "mixed", configs)
-		if err != nil {
-			t.Fatalf("j=%d: %v", j, err)
-		}
-		runs = append(runs, run{summary: d.Summary(), diags: diags})
-	}
-	for i, j := range levels[1:] {
-		if runs[0].summary != runs[i+1].summary {
-			t.Errorf("Summary() differs between j=%d and j=%d:\n--- j=%d\n%s\n--- j=%d\n%s",
-				levels[0], j, levels[0], runs[0].summary, j, runs[i+1].summary)
-		}
-		if !reflect.DeepEqual(runs[0].diags, runs[i+1].diags) {
-			t.Errorf("diagnostics differ between j=%d and j=%d:\n%v\nvs\n%v",
-				levels[0], j, runs[0].diags, runs[i+1].diags)
-		}
-	}
-	if len(runs[0].diags) == 0 {
-		t.Fatal("mixed corpus produced no diagnostics; determinism check is vacuous")
+	for name, configs := range map[string]map[string]string{
+		"clean":     clean,
+		"malformed": withBroken,
+	} {
+		t.Run(name, func(t *testing.T) {
+			levels := []int{1, 4, runtime.GOMAXPROCS(0)}
+
+			type run struct {
+				summary string
+				diags   []Diagnostic
+			}
+			var runs []run
+			for _, j := range levels {
+				an := NewAnalyzer(WithParallelism(j))
+				d, diags, err := an.AnalyzeConfigs(context.Background(), "mixed", configs)
+				if err != nil {
+					t.Fatalf("j=%d: %v", j, err)
+				}
+				runs = append(runs, run{summary: d.Summary(), diags: diags})
+			}
+			for i, j := range levels[1:] {
+				if runs[0].summary != runs[i+1].summary {
+					t.Errorf("Summary() differs between j=%d and j=%d:\n--- j=%d\n%s\n--- j=%d\n%s",
+						levels[0], j, levels[0], runs[0].summary, j, runs[i+1].summary)
+				}
+				if !reflect.DeepEqual(runs[0].diags, runs[i+1].diags) {
+					t.Errorf("diagnostics differ between j=%d and j=%d:\n%v\nvs\n%v",
+						levels[0], j, runs[0].diags, runs[i+1].diags)
+				}
+			}
+			if len(runs[0].diags) == 0 {
+				t.Fatal("mixed corpus produced no diagnostics; determinism check is vacuous")
+			}
+			if name == "malformed" {
+				if got := SkippedFiles(runs[0].diags); !reflect.DeepEqual(got, []string{"m-broken"}) {
+					t.Fatalf("SkippedFiles = %v, want [m-broken]", got)
+				}
+			}
+		})
 	}
 }
 
@@ -156,15 +172,17 @@ func TestAnalyzerDialectHint(t *testing.T) {
 	}
 }
 
-// TestAnalyzerParseError: the parallel path must report the same
-// first-in-order parse error a sequential run reports.
+// brokenJunos fails hard in junosparse: an unterminated block.
+const brokenJunos = "system { host-name broken; }\nrouting-options { autonomous-system 1; }\nprotocols { ospf {\n"
+
+// TestAnalyzerParseError: under WithFailFast the parallel path must
+// report the same first-in-order parse error a sequential run reports.
 func TestAnalyzerParseError(t *testing.T) {
 	configs := mixedConfigs(t)
-	// junosparse fails hard on an unterminated block.
-	configs["a-broken"] = "system { host-name broken; }\nrouting-options { autonomous-system 1; }\nprotocols { ospf {\n"
+	configs["a-broken"] = brokenJunos
 	var msgs []string
 	for _, j := range []int{1, 4} {
-		_, _, err := NewAnalyzer(WithParallelism(j)).
+		_, _, err := NewAnalyzer(WithParallelism(j), WithFailFast(true)).
 			AnalyzeConfigs(context.Background(), "mixed", configs)
 		if err == nil {
 			t.Fatalf("j=%d: expected parse error", j)
@@ -176,6 +194,58 @@ func TestAnalyzerParseError(t *testing.T) {
 	}
 	if !strings.Contains(msgs[0], "a-broken") {
 		t.Errorf("error %q does not name the offending file", msgs[0])
+	}
+}
+
+// TestAnalyzerLenientDefault: without WithFailFast, one unparseable file
+// must not abort the run. It surfaces as a severity-error diagnostic
+// ("file skipped: ..."), bumps routinglens_files_skipped_total, and the
+// design is built from the files that did parse.
+func TestAnalyzerLenientDefault(t *testing.T) {
+	configs := mixedConfigs(t)
+	configs["a-broken"] = brokenJunos
+
+	reg := telemetry.NewRegistry()
+	ctx := telemetry.WithRegistry(context.Background(), reg)
+	d, diags, err := NewAnalyzer(WithParallelism(4)).AnalyzeConfigs(ctx, "mixed", configs)
+	if err != nil {
+		t.Fatalf("lenient run errored: %v", err)
+	}
+	if len(d.Network.Devices) != len(configs)-1 {
+		t.Errorf("devices = %d, want %d (all but the broken file)",
+			len(d.Network.Devices), len(configs)-1)
+	}
+	skipped := SkippedFiles(diags)
+	if !reflect.DeepEqual(skipped, []string{"a-broken"}) {
+		t.Errorf("SkippedFiles = %v, want [a-broken]", skipped)
+	}
+	found := false
+	for _, dg := range diags {
+		if dg.File == "a-broken" && dg.Severity == diag.SevError && strings.HasPrefix(dg.Msg, "file skipped: ") {
+			found = true
+			if dg.Dialect != "junos" {
+				t.Errorf("skip diagnostic dialect = %q, want junos", dg.Dialect)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no file-skipped diagnostic for a-broken in %v", diags)
+	}
+	if got := reg.Counter(MetricFilesSkipped).Value(); got != 1 {
+		t.Errorf("%s = %d, want 1", MetricFilesSkipped, got)
+	}
+
+	// All files broken: an empty (but non-nil) design, every file skipped.
+	allBad := map[string]string{"x1": brokenJunos, "x2": brokenJunos}
+	d, diags, err = NewAnalyzer().AnalyzeConfigs(context.Background(), "bad", allBad)
+	if err != nil {
+		t.Fatalf("all-broken lenient run errored: %v", err)
+	}
+	if len(d.Network.Devices) != 0 {
+		t.Errorf("devices = %d, want 0", len(d.Network.Devices))
+	}
+	if got := SkippedFiles(diags); !reflect.DeepEqual(got, []string{"x1", "x2"}) {
+		t.Errorf("SkippedFiles = %v, want [x1 x2]", got)
 	}
 }
 

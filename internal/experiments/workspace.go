@@ -39,6 +39,9 @@ type NetworkAnalysis struct {
 type Workspace struct {
 	Corpus *netgen.Corpus
 	Nets   []*NetworkAnalysis
+	// SkippedNetworks names corpus networks a lenient build dropped
+	// because their analysis failed (empty for fail-fast builds).
+	SkippedNetworks []string
 
 	byName map[string]*NetworkAnalysis
 }
@@ -66,7 +69,20 @@ func BuildWorkspaceContext(ctx context.Context, seed int64) (*Workspace, error) 
 // derived model is identical to a sequential run — the networks are
 // independent. Cancelling ctx stops the pool: no new network is picked
 // up and the call returns ctx's error.
+//
+// The build is lenient: a network whose analysis fails is dropped and
+// recorded in ws.SkippedNetworks instead of failing the whole corpus.
+// Use BuildWorkspaceOpts with failFast to abort on the first failure.
 func BuildWorkspaceParallel(ctx context.Context, seed int64, parallelism int) (*Workspace, error) {
+	return BuildWorkspaceOpts(ctx, seed, parallelism, false)
+}
+
+// BuildWorkspaceOpts is BuildWorkspaceParallel with an explicit failure
+// policy: failFast aborts on the first network whose analysis fails
+// (lowest corpus index, as a sequential run would); lenient records it
+// in ws.SkippedNetworks and continues. Context cancellation is always
+// fatal.
+func BuildWorkspaceOpts(ctx context.Context, seed int64, parallelism int, failFast bool) (*Workspace, error) {
 	ctx, root := telemetry.StartSpan(ctx, "workspace")
 	defer root.End()
 	log := telemetry.Logger()
@@ -110,13 +126,28 @@ func BuildWorkspaceParallel(ctx context.Context, seed int64, parallelism int) (*
 	runPool(ctx, parallelism, len(c.Networks), func(i int) {
 		analyses[i], errs[i] = analyzeOne(c.Networks[i])
 	})
-	if err := firstError(ctx, errs); err != nil {
+	if err := ctx.Err(); err != nil {
 		root.Fail(err)
 		return nil, err
 	}
+	if failFast {
+		if err := firstError(ctx, errs); err != nil {
+			root.Fail(err)
+			return nil, err
+		}
+	}
 
 	ws := &Workspace{Corpus: c, byName: make(map[string]*NetworkAnalysis)}
-	for _, na := range analyses {
+	for i, na := range analyses {
+		if errs[i] != nil {
+			log.Warn("skipping network whose analysis failed",
+				"network", c.Networks[i].Name, "error", errs[i])
+			ws.SkippedNetworks = append(ws.SkippedNetworks, c.Networks[i].Name)
+			continue
+		}
+		if na == nil { // pool drained early; only possible with a cancelled ctx
+			continue
+		}
 		ws.Nets = append(ws.Nets, na)
 		ws.byName[na.Gen.Name] = na
 	}

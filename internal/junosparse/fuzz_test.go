@@ -1,0 +1,35 @@
+package junosparse
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse: the JunOS front end may reject malformed input with an
+// error (unbalanced braces are a structural failure, unlike IOS's
+// line-oriented debris), but it must never panic, and a nil error must
+// come with a usable device.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		sampleJunos,
+		"system { host-name r1; }\n",
+		"interfaces { ge-0/0/0 { unit 0 { family inet { address 10.0.0.1/30; } } } }",
+		"protocols { ospf { area 0.0.0.0 { interface ge-0/0/0.0; } } }",
+		"system { host-name broken; }\nprotocols { ospf {\n",
+		"/* comment */ system { host-name c; } # trailing\n",
+		"policy-options { policy-statement P { term t { then accept; } } }",
+		"a;;;;b;", "{", "}", "", "   \r\n\t\n", `system { host-name "unterminated`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		res, err := Parse("fuzz.conf", strings.NewReader(src))
+		if err != nil {
+			return // structural rejection is fine; panicking is not
+		}
+		if res == nil || res.Device == nil {
+			t.Fatal("nil result without error")
+		}
+	})
+}

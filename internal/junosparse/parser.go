@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"strings"
 
+	"routinglens/internal/confio"
 	"routinglens/internal/devmodel"
 	"routinglens/internal/diag"
 	"routinglens/internal/netaddr"
@@ -32,13 +33,16 @@ type Result struct {
 	Diagnostics []Diagnostic
 }
 
-// Parse converts a JunOS configuration into the device model.
+// Parse converts a JunOS configuration into the device model. Input is
+// normalized first (CRLF, tabs, NUL bytes) with the same rules as the
+// IOS front end, so a corrupted transfer degrades identically in both
+// dialects.
 func Parse(name string, r io.Reader) (*Result, error) {
 	src, err := io.ReadAll(r)
 	if err != nil {
 		return nil, err
 	}
-	root, err := parseTree(lex(string(src)))
+	root, err := parseTree(lex(confio.Normalize(string(src))))
 	if err != nil {
 		return nil, err
 	}

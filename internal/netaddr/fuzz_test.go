@@ -1,0 +1,88 @@
+package netaddr
+
+import "testing"
+
+// FuzzParseAddr: parsing any string must never panic, and an accepted
+// address must survive the String round trip exactly.
+func FuzzParseAddr(f *testing.F) {
+	for _, s := range []string{
+		"192.0.2.1", "0.0.0.0", "255.255.255.255", "10.0.0.1",
+		"256.0.0.1", "1.2.3", "1.2.3.4.5", "a.b.c.d", "", "1..2.3",
+		"01.002.3.4", "-1.0.0.0", "+1.0.0.0", "1.2.3.4 ", "999999999999.1.1.1",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		a, err := ParseAddr(s)
+		if err != nil {
+			return
+		}
+		back, err := ParseAddr(a.String())
+		if err != nil {
+			t.Fatalf("ParseAddr(%q) = %v but its String %q does not parse: %v", s, a, a.String(), err)
+		}
+		if back != a {
+			t.Fatalf("round trip of %q: %v -> %q -> %v", s, a, a.String(), back)
+		}
+	})
+}
+
+// FuzzParseMask: an accepted mask round-trips through String, a
+// contiguous mask reconstructs from its bit count, and double inversion
+// is the identity.
+func FuzzParseMask(f *testing.F) {
+	for _, s := range []string{
+		"255.255.255.0", "0.0.0.3", "255.255.255.255", "0.0.0.0",
+		"255.0.255.0", "128.0.0.0", "notamask", "255.255.255.256",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		m, err := ParseMask(s)
+		if err != nil {
+			return
+		}
+		back, err := ParseMask(m.String())
+		if err != nil || back != m {
+			t.Fatalf("round trip of %q: %v -> %q -> %v, %v", s, m, m.String(), back, err)
+		}
+		if bits, ok := m.Bits(); ok {
+			if MaskFromBits(bits) != m {
+				t.Fatalf("MaskFromBits(%d) != %v", bits, m)
+			}
+		}
+		if m.Invert().Invert() != m {
+			t.Fatalf("double inversion of %v is not the identity", m)
+		}
+	})
+}
+
+// FuzzParsePrefix: an accepted prefix is canonically masked, contains its
+// own network address, and survives the String round trip.
+func FuzzParsePrefix(f *testing.F) {
+	for _, s := range []string{
+		"10.0.0.0/8", "192.0.2.0/24", "0.0.0.0/0", "255.255.255.255/32",
+		"10.1.2.3/24", "10.0.0.0/33", "10.0.0.0/-1", "10.0.0.0", "/8", "1.2.3.4/08",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParsePrefix(s)
+		if err != nil {
+			return
+		}
+		if p.Addr()&Addr(p.Mask()) != p.Addr() {
+			t.Fatalf("ParsePrefix(%q) = %v not canonically masked", s, p)
+		}
+		if !p.Contains(p.Addr()) || !p.ContainsPrefix(p) {
+			t.Fatalf("%v does not contain itself", p)
+		}
+		if p.Last() < p.First() {
+			t.Fatalf("%v: Last %v < First %v", p, p.Last(), p.First())
+		}
+		back, err := ParsePrefix(p.String())
+		if err != nil || back != p {
+			t.Fatalf("round trip of %q: %v -> %q -> %v, %v", s, p, p.String(), back, err)
+		}
+	})
+}

@@ -20,6 +20,8 @@ import (
 //	-pprof ADDR         serve net/http/pprof on ADDR for the run
 //	-j N                parallel workers (0 = GOMAXPROCS); output is
 //	                    deterministic whatever N
+//	-fail-fast          abort on the first unreadable or unparseable
+//	                    input file instead of skipping it
 //
 // Use it as:
 //
@@ -36,6 +38,7 @@ type CLI struct {
 	MetricsFormat string
 	PprofAddr     string
 	Jobs          int
+	FailFast      bool
 
 	prog      string
 	registry  *Registry
@@ -57,6 +60,7 @@ func (c *CLI) RegisterFlags(fs *flag.FlagSet) {
 	fs.StringVar(&c.MetricsFormat, "metrics-format", "prom", "metrics export format: prom (Prometheus text) or json")
 	fs.StringVar(&c.PprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the duration of the run")
 	fs.IntVar(&c.Jobs, "j", 0, "parallel workers for parsing and analysis (0 = GOMAXPROCS, 1 = sequential; output is identical either way)")
+	fs.BoolVar(&c.FailFast, "fail-fast", false, "abort on the first unreadable or unparseable input file (default: skip it, report it, and continue)")
 }
 
 // Parallelism resolves -j to a concrete worker count (always >= 1).

@@ -33,11 +33,16 @@ type benchmark struct {
 	NsPerOp float64 `json:"ns_per_op"`
 }
 
+// speedup is one paired j1/jN result. On hosts that cannot run the
+// parallel leg (a single core skips the jN sub-benchmarks), the family
+// still gets a record with Speedup null and Cores recording why — an
+// absent field would be indistinguishable from a broken run.
 type speedup struct {
-	Benchmark string  `json:"benchmark"`
-	Baseline  string  `json:"baseline"`
-	Parallel  string  `json:"parallel"`
-	Speedup   float64 `json:"speedup"`
+	Benchmark string   `json:"benchmark"`
+	Cores     int      `json:"cores"`
+	Baseline  string   `json:"baseline"`
+	Parallel  string   `json:"parallel,omitempty"`
+	Speedup   *float64 `json:"speedup"`
 }
 
 type report struct {
@@ -60,7 +65,7 @@ func main() {
 	rep.GOARCH = runtime.GOARCH
 	rep.GOMAXPROCS = runtime.GOMAXPROCS(0)
 	rep.Note = "the >=2x corpus speedup target applies on machines with >=4 cores; " +
-		"single-core hosts skip the jN sub-benchmarks entirely, so speedups is empty there"
+		"single-core hosts skip the jN sub-benchmarks, so their families report speedup null"
 	rep.Speedups = []speedup{}
 
 	sc := bufio.NewScanner(os.Stdin)
@@ -100,7 +105,11 @@ func main() {
 		os.Exit(1)
 	}
 	for _, s := range rep.Speedups {
-		fmt.Printf("benchcmp: %s: %s -> %s = %.2fx\n", s.Benchmark, s.Baseline, s.Parallel, s.Speedup)
+		if s.Speedup == nil {
+			fmt.Printf("benchcmp: %s: %s only (cores=%d), speedup null\n", s.Benchmark, s.Baseline, s.Cores)
+			continue
+		}
+		fmt.Printf("benchcmp: %s: %s -> %s = %.2fx\n", s.Benchmark, s.Baseline, s.Parallel, *s.Speedup)
 	}
 	fmt.Printf("benchcmp: wrote %s (GOMAXPROCS=%d, %d benchmarks)\n", *out, rep.GOMAXPROCS, len(rep.Benchmarks))
 }
@@ -130,19 +139,29 @@ func pairSpeedups(bs []benchmark) []speedup {
 	}
 	sort.Strings(names)
 
+	cores := runtime.GOMAXPROCS(0)
 	var out []speedup
 	for _, name := range names {
 		es := families[name]
 		sort.Slice(es, func(i, j int) bool { return es[i].j < es[j].j })
 		base, max := es[0], es[len(es)-1]
-		if base.j != 1 || max.j == 1 || max.ns == 0 {
+		if base.j != 1 {
 			continue
 		}
+		if max.j == 1 || max.ns == 0 {
+			fmt.Fprintf(os.Stderr,
+				"benchcmp: %s: no j1/jN pair on this host (cores=%d); recording speedup null\n",
+				name, cores)
+			out = append(out, speedup{Benchmark: name, Cores: cores, Baseline: "j1"})
+			continue
+		}
+		s := base.ns / max.ns
 		out = append(out, speedup{
 			Benchmark: name,
+			Cores:     cores,
 			Baseline:  "j1",
 			Parallel:  fmt.Sprintf("j%d", max.j),
-			Speedup:   base.ns / max.ns,
+			Speedup:   &s,
 		})
 	}
 	return out
