@@ -1,13 +1,17 @@
 # Verification tiers. tier1 is the gate every PR must keep green; tier2
 # adds vet, the race detector over every package — that includes the
-# worker pools in core/experiments and the telemetry layer they share —
-# and a short fuzz pass over every ingestion fuzz target (fuzzsmoke);
-# benchsmoke runs the instrumented pipeline benches once so
-# stage-instrumentation overhead stays visible in CI output; benchcmp
-# runs the sequential-vs-parallel sweeps and records the speedups (with
-# the host's GOMAXPROCS) in BENCH_parallel.json.
+# worker pools in core/experiments, the telemetry layer they share, and
+# the serve daemon's swap/shed/drain paths (with an extra iteration-count
+# run of the concurrent-queries-during-reload stress) — and a short fuzz
+# pass over every ingestion fuzz target (fuzzsmoke); benchsmoke runs the
+# instrumented pipeline benches once so stage-instrumentation overhead
+# stays visible in CI output; benchcmp runs the sequential-vs-parallel
+# sweeps and records the speedups (with the host's GOMAXPROCS) in
+# BENCH_parallel.json; servesmoke load-tests the rlensd stack in-process
+# against net5 and records per-endpoint p50/p99 latency and shed counts
+# in BENCH_serve.json.
 
-.PHONY: tier1 tier2 fuzzsmoke benchsmoke benchcmp all
+.PHONY: tier1 tier2 fuzzsmoke benchsmoke benchcmp servesmoke all
 
 all: tier1 tier2 benchsmoke
 
@@ -16,6 +20,7 @@ tier1:
 
 tier2: fuzzsmoke
 	go vet ./... && go test -race ./...
+	go test -race -count=3 -run '^TestConcurrentQueriesDuringReload$$' ./internal/serve
 
 # fuzzsmoke gives each parser/anonymizer fuzz target ~10s of random
 # input; a real campaign uses -fuzztime 30s+ per target. Saved crashers
@@ -28,6 +33,7 @@ fuzzsmoke:
 	go test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME) ./internal/ciscoparse
 	go test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME) ./internal/junosparse
 	go test -run '^$$' -fuzz '^FuzzAnonymizeRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/anonymize
+	go test -run '^$$' -fuzz '^FuzzQueryParams$$' -fuzztime $(FUZZTIME) ./internal/serve
 
 benchsmoke:
 	go test -run '^$$' -bench BenchmarkAnalyze -benchtime=1x .
@@ -35,3 +41,7 @@ benchsmoke:
 benchcmp:
 	go test -run '^$$' -bench 'BenchmarkAnalyzeNet5$$|Parallel$$/j' -benchtime=2x . \
 		| go run ./tools/benchcmp -out BENCH_parallel.json
+
+servesmoke:
+	go run ./tools/servesmoke \
+		| go run ./tools/benchcmp -out BENCH_serve.json -generated-by "make servesmoke"

@@ -15,8 +15,9 @@
 // byte-identical output at any worker count. An unreadable input file is
 // skipped and reported by default; -fail-fast aborts on it instead.
 //
-// Observability: -v/-vv, -log-format, -metrics, and -pprof behave as in
-// cmd/rdesign.
+// Observability: -v/-vv, -log-format, -metrics, -pprof, and -timeout
+// behave as in cmd/rdesign; a timed-out or interrupted run aborts at the
+// next file boundary and never leaves a partially written file.
 package main
 
 import (
@@ -47,8 +48,10 @@ func main() {
 		os.Exit(2)
 	}
 
+	ctx, stop := tele.Context()
+	defer stop()
 	written, skipped, err := anonymize.New(*key).
-		AnonymizeDir(*in, *out, tele.Parallelism(), tele.FailFast)
+		AnonymizeDirContext(ctx, *in, *out, tele.Parallelism(), tele.FailFast)
 	if err != nil {
 		fatal(err)
 	}

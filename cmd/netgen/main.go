@@ -15,8 +15,9 @@
 // are identical whatever N. A network that cannot be translated with
 // -dialect junos is skipped with a notice; -fail-fast aborts instead.
 //
-// Observability: -v/-vv, -log-format, -metrics, and -pprof behave as in
-// cmd/rdesign.
+// Observability: -v/-vv, -log-format, -metrics, -pprof, and -timeout
+// behave as in cmd/rdesign; a timed-out or interrupted run stops at the
+// next network boundary, leaving already-written networks intact.
 package main
 
 import (
@@ -61,6 +62,9 @@ func main() {
 	if *anon && *dialect == "junos" {
 		fatal(fmt.Errorf("the anonymizer is IOS-specific (as in the paper); use -dialect ios"))
 	}
+
+	ctx, stop := tele.Context()
+	defer stop()
 
 	corpus := netgen.GenerateCorpus(*seed)
 	var selected []*netgen.Generated
@@ -145,6 +149,12 @@ func main() {
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(selected) {
+					return
+				}
+				// Cancellation (Ctrl-C, -timeout) stops at the next
+				// network boundary; finished networks stay on disk.
+				if err := ctx.Err(); err != nil {
+					results[i] = netResult{err: err}
 					return
 				}
 				results[i] = writeOne(selected[i])

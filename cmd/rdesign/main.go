@@ -26,7 +26,9 @@
 // -metrics FILE exports run metrics (-metrics-format prom|json); and
 // -pprof ADDR serves net/http/pprof for the duration of the run.
 // -j N bounds the parse/analysis worker pool (0, the default, uses
-// GOMAXPROCS); the output is byte-identical whatever N.
+// GOMAXPROCS); the output is byte-identical whatever N. -timeout D puts
+// a deadline on the whole run; on expiry — or on Ctrl-C — the analysis
+// cancels cleanly and reports the diagnostics gathered so far.
 //
 // A file that fails to parse entirely is skipped by default: it surfaces
 // as a severity-error diagnostic, a "skipped N unparseable file(s)" line
@@ -39,7 +41,6 @@
 package main
 
 import (
-	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -88,12 +89,22 @@ func main() {
 		exit(tele, 2)
 	}
 
+	ctx, stop := tele.Context()
+	defer stop()
+
 	analyzer := core.NewAnalyzer(
 		core.WithParallelism(tele.Parallelism()),
 		core.WithFailFast(tele.FailFast),
 	)
-	design, parseDiags, err := analyzer.AnalyzeDir(context.Background(), *dir)
+	design, parseDiags, err := analyzer.AnalyzeDir(ctx, *dir)
 	if err != nil {
+		// A cancelled or timed-out run still reports whatever diagnostics
+		// the finished workers produced, so an interrupt is a clean
+		// partial result instead of silence.
+		if ctx.Err() != nil && len(parseDiags) > 0 {
+			fmt.Fprintf(os.Stderr, "rdesign: interrupted; partial diagnostics from %s:\n", *dir)
+			printDiagnostics(parseDiags, true)
+		}
 		fmt.Fprintf(os.Stderr, "rdesign: %v\n", err)
 		exit(tele, 1)
 	}
@@ -154,7 +165,7 @@ func main() {
 				in.ID, in.Label(), len(mp.Covers[in]))
 		}
 	case *diffDir != "":
-		older, _, err := analyzer.AnalyzeDir(context.Background(), *diffDir)
+		older, _, err := analyzer.AnalyzeDir(ctx, *diffDir)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "rdesign: %v\n", err)
 			exit(tele, 1)

@@ -13,13 +13,13 @@
 // Observability: -v/-vv raise the structured-log level and print an
 // end-of-run stage-timing summary (per-network analysis and per-
 // experiment spans), -log-format json switches logs to JSON, -metrics
-// FILE exports run metrics, and -pprof ADDR serves net/http/pprof.
+// FILE exports run metrics, -pprof ADDR serves net/http/pprof, and
+// -timeout D bounds the whole run (Ctrl-C also cancels it cleanly).
 //
 // Exit status is nonzero if any claim fails.
 package main
 
 import (
-	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -49,8 +49,11 @@ func main() {
 		os.Exit(2)
 	}
 
+	ctx, stop := tele.Context()
+	defer stop()
+
 	t0 := time.Now()
-	ws, err := experiments.BuildWorkspaceOpts(context.Background(), *seed, tele.Parallelism(), tele.FailFast)
+	ws, err := experiments.BuildWorkspaceOpts(ctx, *seed, tele.Parallelism(), tele.FailFast)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "reproduce: %v\n", err)
 		exit(1)
@@ -65,7 +68,7 @@ func main() {
 
 	failures := 0
 	ran := 0
-	for _, r := range experiments.AllParallel(context.Background(), ws, tele.Parallelism()) {
+	for _, r := range experiments.AllParallel(ctx, ws, tele.Parallelism()) {
 		if *only != "" && r.ID != *only {
 			continue
 		}

@@ -1,0 +1,138 @@
+// Command rlensd is the routinglens daemon: it analyzes a directory of
+// router configuration files once at startup, keeps the extracted design
+// resident behind an atomically swappable last-good pointer, and answers
+// design queries over HTTP until told to stop.
+//
+// Usage:
+//
+//	rlensd -dir path/to/configs [-addr :7311] [flags]
+//
+// Endpoints:
+//
+//	GET  /v1/summary   design overview (add ?format=text for the CLI table)
+//	GET  /v1/pathway   route pathway graph (?router=NAME[&format=text])
+//	GET  /v1/reach     external reachability; ?src=P&dst=P for block-to-block
+//	GET  /v1/whatif    survivability / failure analysis ([?format=text])
+//	POST /v1/reload    re-analyze the directory (also: SIGHUP)
+//	GET  /healthz      process liveness (always 200 while up)
+//	GET  /readyz       design loaded and fresh (503 while degraded)
+//	GET  /metrics      Prometheus text metrics
+//
+// Robustness model: queries run under a per-request timeout
+// (-request-timeout) and a bounded concurrency limiter (-max-inflight)
+// that sheds overload with 429 + Retry-After; a panicking handler
+// returns 500 and never kills the process; a failed reload retries with
+// backoff (-reload-retries, -reload-backoff) and, if it still fails,
+// the daemon keeps serving the last-good design with /readyz degraded;
+// SIGTERM/SIGINT drain in-flight requests for up to -shutdown-grace
+// before exit. If the *initial* analysis fails, the daemon still comes
+// up (healthz 200, readyz 503, queries 503) so an operator can fix the
+// configs and POST /v1/reload.
+//
+// -faults arms the deterministic fault-injection layer (testing only):
+// a semicolon-separated rule list like
+//
+//	-faults 'handler.pathway:panic:count=1;analyze:error:after=1'
+//
+// (see internal/faultinject for the grammar). Faults are never armed
+// unless this flag is given.
+//
+// Observability flags (-v/-vv, -log-format, -metrics, -pprof, -j,
+// -fail-fast, -timeout) behave as in cmd/rdesign; -timeout bounds each
+// analysis attempt, not the daemon's lifetime.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"routinglens/internal/core"
+	"routinglens/internal/faultinject"
+	"routinglens/internal/serve"
+	"routinglens/internal/telemetry"
+)
+
+func main() {
+	dir := flag.String("dir", "", "directory of router configuration files (required)")
+	addr := flag.String("addr", ":7311", "listen address")
+	reqTimeout := flag.Duration("request-timeout", 10*time.Second, "per-request deadline; slower queries return 504")
+	maxInflight := flag.Int("max-inflight", 64, "concurrent query bound; excess load is shed with 429")
+	reloadRetries := flag.Int("reload-retries", 2, "retries (with exponential backoff) before a failed reload gives up")
+	reloadBackoff := flag.Duration("reload-backoff", 250*time.Millisecond, "first reload retry backoff; doubles per attempt")
+	shutdownGrace := flag.Duration("shutdown-grace", 10*time.Second, "how long SIGTERM/SIGINT waits for in-flight requests to drain")
+	faults := flag.String("faults", "", "arm fault injection (testing): 'SITE:KIND[:opts][;...]', e.g. 'handler.pathway:panic:count=1'")
+	tele := telemetry.NewCLI("rlensd")
+	tele.RegisterFlags(flag.CommandLine)
+	flag.Parse()
+
+	exit := func(code int) {
+		if tele.Finish() != nil && code == 0 {
+			code = 1
+		}
+		os.Exit(code)
+	}
+	if err := tele.Activate(); err != nil {
+		fmt.Fprintf(os.Stderr, "rlensd: %v\n", err)
+		os.Exit(2)
+	}
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "rlensd: -dir is required")
+		flag.Usage()
+		exit(2)
+	}
+
+	var injector *faultinject.Injector
+	if *faults != "" {
+		rules, err := faultinject.ParseAll(*faults)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rlensd: %v\n", err)
+			exit(2)
+		}
+		injector = faultinject.New(0, rules...)
+		telemetry.Logger().Warn("fault injection armed — this is a testing mode", "rules", *faults)
+	}
+
+	s := serve.New(serve.Config{
+		Dir: *dir,
+		Analyzer: core.NewAnalyzer(
+			core.WithParallelism(tele.Parallelism()),
+			core.WithFailFast(tele.FailFast),
+		),
+		RequestTimeout: *reqTimeout,
+		MaxInFlight:    *maxInflight,
+		ReloadRetries:  *reloadRetries,
+		ReloadBackoff:  *reloadBackoff,
+		LoadTimeout:    tele.Timeout,
+		ShutdownGrace:  *shutdownGrace,
+		Faults:         injector,
+	})
+
+	// A failed initial load is not fatal: the daemon comes up degraded
+	// (healthz 200, readyz 503) so the operator can fix the configuration
+	// directory and POST /v1/reload instead of crash-looping.
+	if err := s.Reload(context.Background()); err != nil {
+		fmt.Fprintf(os.Stderr, "rlensd: initial analysis failed (serving degraded): %v\n", err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rlensd: %v\n", err)
+		exit(1)
+	}
+	fmt.Printf("rlensd: serving %s on http://%s (healthz/readyz/metrics, /v1/{summary,pathway,reach,whatif,reload})\n",
+		*dir, ln.Addr())
+
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM, syscall.SIGHUP)
+	if err := s.Run(context.Background(), ln, sigs); err != nil {
+		fmt.Fprintf(os.Stderr, "rlensd: %v\n", err)
+		exit(1)
+	}
+	exit(0)
+}

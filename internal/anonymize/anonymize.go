@@ -22,6 +22,7 @@ package anonymize
 
 import (
 	"bufio"
+	"context"
 	"crypto/sha1"
 	"encoding/binary"
 	"fmt"
@@ -386,6 +387,15 @@ func (a *Anonymizer) MapNetwork(configs map[string]string) (map[string]string, e
 // errors are always fatal — a broken output directory is not per-file
 // degradation.
 func (a *Anonymizer) AnonymizeDir(in, out string, workers int, failFast bool) (written int, skipped []string, err error) {
+	return a.AnonymizeDirContext(context.Background(), in, out, workers, failFast)
+}
+
+// AnonymizeDirContext is AnonymizeDir bounded by a context: cancellation
+// (a -timeout expiry, a Ctrl-C) stops the fan-out at the next file
+// boundary and returns ctx.Err(). An aborted run may leave a partial
+// output directory; it never leaves a partially written file, because
+// each file is written in one WriteFile call.
+func (a *Anonymizer) AnonymizeDirContext(ctx context.Context, in, out string, workers int, failFast bool) (written int, skipped []string, err error) {
 	entries, err := os.ReadDir(in)
 	if err != nil {
 		return 0, nil, err
@@ -401,9 +411,15 @@ func (a *Anonymizer) AnonymizeDir(in, out string, workers int, failFast bool) (w
 	texts := make([]string, len(files))
 	readErrs := make([]error, len(files))
 	forEach(workers, len(files), func(i int) {
+		if ctx.Err() != nil {
+			return
+		}
 		data, err := os.ReadFile(filepath.Join(in, files[i]))
 		texts[i], readErrs[i] = string(data), err
 	})
+	if err := ctx.Err(); err != nil {
+		return 0, nil, err
+	}
 	var keep []int
 	for i, rerr := range readErrs {
 		if rerr != nil {
@@ -419,10 +435,16 @@ func (a *Anonymizer) AnonymizeDir(in, out string, workers int, failFast bool) (w
 	outputs := make([]string, len(keep))
 	anonErrs := make([]error, len(keep))
 	forEach(workers, len(keep), func(i int) {
+		if ctx.Err() != nil {
+			return
+		}
 		var sb strings.Builder
 		anonErrs[i] = a.AnonymizeConfig(strings.NewReader(texts[keep[i]]), &sb)
 		outputs[i] = sb.String()
 	})
+	if err := ctx.Err(); err != nil {
+		return 0, nil, err
+	}
 	for i, aerr := range anonErrs {
 		if aerr != nil { // unreachable for in-memory input; future-proofing
 			return 0, nil, fmt.Errorf("anonymize: %s: %w", files[keep[i]], aerr)
@@ -434,9 +456,15 @@ func (a *Anonymizer) AnonymizeDir(in, out string, workers int, failFast bool) (w
 	}
 	writeErrs := make([]error, len(outputs))
 	forEach(workers, len(outputs), func(i int) {
+		if ctx.Err() != nil {
+			return
+		}
 		name := fmt.Sprintf("config%d", i+1)
 		writeErrs[i] = os.WriteFile(filepath.Join(out, name), []byte(outputs[i]), 0o644)
 	})
+	if err := ctx.Err(); err != nil {
+		return 0, nil, err
+	}
 	for _, werr := range writeErrs {
 		if werr != nil {
 			return 0, nil, werr

@@ -185,7 +185,9 @@ type parsed struct {
 // over the analyzer's worker pool; a "parse" span wraps the stage with
 // one "parse-worker" child per worker and one "parse-file" child per
 // configuration. Cancelling ctx stops the workers: no new file is picked
-// up and the call returns ctx's error.
+// up and the call returns ctx's error alongside the (sorted) diagnostics
+// of the files that had already parsed, so interrupted runs can still
+// report partial findings.
 func (a *Analyzer) AnalyzeConfigs(ctx context.Context, name string, configs map[string]string) (*Design, []Diagnostic, error) {
 	if err := a.checkDialect(); err != nil {
 		return nil, nil, err
@@ -212,7 +214,7 @@ func (a *Analyzer) AnalyzeConfigs(ctx context.Context, name string, configs map[
 			if err := ctx.Err(); err != nil {
 				parseSpan.Fail(err)
 				parseSpan.End()
-				return nil, nil, err
+				return nil, partialDiags(results), err
 			}
 			results[i] = a.parseIndexed(pctx, fn, configs[fn])
 			if results[i].err != nil && a.failFast {
@@ -252,7 +254,7 @@ func (a *Analyzer) AnalyzeConfigs(ctx context.Context, name string, configs map[
 	if err := ctx.Err(); err != nil {
 		parseSpan.Fail(err)
 		parseSpan.End()
-		return nil, nil, err
+		return nil, partialDiags(results), err
 	}
 
 	// Merge in input order so worker scheduling never shows in the output.
@@ -307,6 +309,20 @@ func (a *Analyzer) AnalyzeConfigs(ctx context.Context, name string, configs map[
 		"files", len(names), "lines", totalLines, "workers", workers,
 		"diagnostics", len(diags), "duration", parseDur.Round(time.Microsecond))
 	return a.Analyze(ctx, n), diags, nil
+}
+
+// partialDiags salvages the diagnostics of whatever files finished
+// parsing before a cancellation, sorted — the "partial diagnostics" a
+// CLI can still print after SIGINT or a -timeout deadline.
+func partialDiags(results []parsed) []Diagnostic {
+	var diags []Diagnostic
+	for _, r := range results {
+		if r.err == nil && r.dev != nil {
+			diags = append(diags, r.diags...)
+		}
+	}
+	sortDiagnostics(diags)
+	return diags
 }
 
 // parseIndexed parses one file under a "parse-file" span.

@@ -2,26 +2,34 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"path/filepath"
 	"reflect"
+	"runtime"
+	"sort"
 	"strings"
 	"testing"
 
 	"routinglens/internal/diag"
+	"routinglens/internal/telemetry"
 )
 
 // malformedDir is the on-disk regression corpus for ingestion hardening:
-// a banner whose free text mimics commands, a CRLF/tab file, and one
-// JunOS file with unbalanced braces that must be skipped, not fatal.
+// a banner whose free text mimics commands, a CRLF/tab file, and three
+// JunOS files with unbalanced braces — named so they sort before, among,
+// and after the healthy files — that must be skipped, not fatal.
 var malformedDir = filepath.Join("..", "..", "testdata", "malformed")
+
+// malformedSkips is the corpus's expected skip list, in sorted order.
+var malformedSkips = []string{"aa-bad-brace.cfg", "bad-brace.cfg", "zz-bad-brace.cfg"}
 
 func TestAnalyzeDirMalformedCorpus(t *testing.T) {
 	d, diags, err := AnalyzeDir(malformedDir)
 	if err != nil {
 		t.Fatalf("lenient AnalyzeDir: %v", err)
 	}
-	if got := SkippedFiles(diags); !reflect.DeepEqual(got, []string{"bad-brace.cfg"}) {
-		t.Fatalf("SkippedFiles = %v, want [bad-brace.cfg]", got)
+	if got := SkippedFiles(diags); !reflect.DeepEqual(got, malformedSkips) {
+		t.Fatalf("SkippedFiles = %v, want %v", got, malformedSkips)
 	}
 	errs := 0
 	for _, dg := range diags {
@@ -32,12 +40,12 @@ func TestAnalyzeDirMalformedCorpus(t *testing.T) {
 			}
 		}
 	}
-	if errs != 1 {
-		t.Errorf("severity-error diagnostics = %d, want exactly 1", errs)
+	if errs != len(malformedSkips) {
+		t.Errorf("severity-error diagnostics = %d, want exactly %d", errs, len(malformedSkips))
 	}
 
 	if len(d.Network.Devices) != 3 {
-		t.Fatalf("devices = %d, want 3 (bad-brace.cfg dropped)", len(d.Network.Devices))
+		t.Fatalf("devices = %d, want 3 (the *bad-brace.cfg files dropped)", len(d.Network.Devices))
 	}
 	byHost := map[string]bool{}
 	for _, dev := range d.Network.Devices {
@@ -74,8 +82,44 @@ func TestAnalyzeDirMalformedCorpus(t *testing.T) {
 
 	ff := NewAnalyzer(WithFailFast(true))
 	if _, _, err := ff.AnalyzeDir(context.Background(), malformedDir); err == nil {
-		t.Error("fail-fast AnalyzeDir should reject bad-brace.cfg")
+		t.Error("fail-fast AnalyzeDir should reject the unparseable files")
 	} else if !strings.Contains(err.Error(), "bad-brace.cfg") {
 		t.Errorf("fail-fast error should name the file, got %v", err)
+	}
+}
+
+// TestSkippedFilesDeterministicAcrossParallelism pins the lenient-skip
+// contract at every worker count: the skip list is identical and sorted,
+// the per-file diagnostics keep their severity/dialect, and the
+// routinglens_files_skipped_total counter lands on exactly the corpus's
+// bad-file count whether the parse pool runs sequentially, with a small
+// fixed fan-out, or at GOMAXPROCS.
+func TestSkippedFilesDeterministicAcrossParallelism(t *testing.T) {
+	jobs := []int{1, 4, runtime.GOMAXPROCS(0)}
+	for _, j := range jobs {
+		t.Run(fmt.Sprintf("j%d", j), func(t *testing.T) {
+			reg := telemetry.NewRegistry()
+			ctx := telemetry.WithRegistry(context.Background(), reg)
+			an := NewAnalyzer(WithParallelism(j))
+			res, err := an.AnalyzeDirResult(ctx, malformedDir)
+			if err != nil {
+				t.Fatalf("AnalyzeDirResult(j=%d): %v", j, err)
+			}
+			if !reflect.DeepEqual(res.Skipped, malformedSkips) {
+				t.Errorf("j=%d: Skipped = %v, want %v", j, res.Skipped, malformedSkips)
+			}
+			if !sort.StringsAreSorted(res.Skipped) {
+				t.Errorf("j=%d: Skipped not sorted: %v", j, res.Skipped)
+			}
+			if got := SkippedFiles(res.Diagnostics); !reflect.DeepEqual(got, res.Skipped) {
+				t.Errorf("j=%d: SkippedFiles(diags) = %v disagrees with Result.Skipped %v", j, got, res.Skipped)
+			}
+			if got := reg.Counter(MetricFilesSkipped).Value(); got != int64(len(malformedSkips)) {
+				t.Errorf("j=%d: %s = %d, want %d", j, MetricFilesSkipped, got, len(malformedSkips))
+			}
+			if len(res.Design.Network.Devices) != 3 {
+				t.Errorf("j=%d: devices = %d, want 3", j, len(res.Design.Network.Devices))
+			}
+		})
 	}
 }

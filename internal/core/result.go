@@ -1,0 +1,42 @@
+package core
+
+import (
+	"context"
+	"time"
+)
+
+// Result bundles one complete analysis outcome: the design plus the parse
+// diagnostics and the skipped-file list already extracted from them. It
+// exists for callers that hold analyses and swap them atomically — the
+// serve daemon keeps its "last-good design" as a *Result — so the swap is
+// one pointer store instead of three coordinated fields.
+type Result struct {
+	Design      *Design
+	Diagnostics []Diagnostic
+	// Skipped names the files a lenient analysis dropped, sorted
+	// (SkippedFiles of Diagnostics, precomputed).
+	Skipped []string
+	// Elapsed is the wall-clock analysis duration.
+	Elapsed time.Duration
+}
+
+// AnalyzeDirResult is AnalyzeDir packaged as a single swappable Result.
+func (a *Analyzer) AnalyzeDirResult(ctx context.Context, dir string) (*Result, error) {
+	start := time.Now()
+	d, diags, err := a.AnalyzeDir(ctx, dir)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Design: d, Diagnostics: diags, Skipped: SkippedFiles(diags), Elapsed: time.Since(start)}, nil
+}
+
+// AnalyzeConfigsResult is AnalyzeConfigs packaged as a single swappable
+// Result.
+func (a *Analyzer) AnalyzeConfigsResult(ctx context.Context, name string, configs map[string]string) (*Result, error) {
+	start := time.Now()
+	d, diags, err := a.AnalyzeConfigs(ctx, name, configs)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Design: d, Diagnostics: diags, Skipped: SkippedFiles(diags), Elapsed: time.Since(start)}, nil
+}

@@ -1,0 +1,268 @@
+// Package faultinject turns failure modes into test inputs: it injects
+// delay, error, and panic faults at named sites (an analyzer boundary, an
+// HTTP handler) so that recovery paths — panic middleware, last-good
+// design retention, load shedding, graceful drains — are exercised in CI
+// instead of waiting for production to exercise them.
+//
+// Injection is deterministic and seed-driven. A Rule fires by visit
+// count (skip the first After visits, then fire Count times) or, when
+// Prob is set, by a Bernoulli draw from a PRNG seeded with (seed, site),
+// so a given seed always injects the same faults at the same visits.
+// The zero Injector — and a nil *Injector — injects nothing, which keeps
+// call sites unconditional and production paths fault-free unless an
+// explicit flag or test hook builds a non-empty injector.
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"routinglens/internal/telemetry"
+)
+
+// Kind is the fault class a rule injects.
+type Kind int
+
+const (
+	// KindDelay sleeps for Rule.Delay (bounded by the context deadline).
+	KindDelay Kind = iota
+	// KindError makes Fire return an error wrapping ErrInjected.
+	KindError
+	// KindPanic makes Fire panic with a *PanicValue.
+	KindPanic
+)
+
+// String names the kind the way the spec grammar spells it.
+func (k Kind) String() string {
+	switch k {
+	case KindDelay:
+		return "delay"
+	case KindError:
+		return "error"
+	default:
+		return "panic"
+	}
+}
+
+// ErrInjected is the sentinel every injected error wraps; recovery code
+// and tests match it with errors.Is.
+var ErrInjected = errors.New("faultinject: injected error")
+
+// PanicValue is what an injected panic carries, so recovery middleware
+// and tests can distinguish injected panics from real ones.
+type PanicValue struct{ Site string }
+
+// Error renders the panic value; implementing error makes recover()d
+// values printable through the usual paths.
+func (p *PanicValue) Error() string {
+	return fmt.Sprintf("faultinject: injected panic at %s", p.Site)
+}
+
+// Rule arms one fault at one site.
+type Rule struct {
+	// Site names the injection point, e.g. "analyze" or "handler.pathway".
+	Site string
+	// Kind selects delay, error, or panic.
+	Kind Kind
+	// After skips the first After visits to the site.
+	After int
+	// Count bounds how many visits fire after the skip; 0 means every one.
+	Count int
+	// Prob, when in (0,1), gates each eligible visit on a seeded
+	// Bernoulli draw; 0 (and >= 1) means fire deterministically.
+	Prob float64
+	// Delay is how long a KindDelay fault sleeps.
+	Delay time.Duration
+}
+
+// String renders the rule in the spec grammar Parse accepts.
+func (r Rule) String() string {
+	s := r.Site + ":" + r.Kind.String()
+	var opts []string
+	if r.After > 0 {
+		opts = append(opts, "after="+strconv.Itoa(r.After))
+	}
+	if r.Count > 0 {
+		opts = append(opts, "count="+strconv.Itoa(r.Count))
+	}
+	if r.Prob > 0 && r.Prob < 1 {
+		opts = append(opts, "p="+strconv.FormatFloat(r.Prob, 'g', -1, 64))
+	}
+	if r.Delay > 0 {
+		opts = append(opts, "delay="+r.Delay.String())
+	}
+	if len(opts) > 0 {
+		s += ":" + strings.Join(opts, ",")
+	}
+	return s
+}
+
+// Parse reads one rule in the grammar
+//
+//	SITE:KIND[:key=value[,key=value...]]
+//
+// where KIND is delay, error, or panic, and the keys are after=N,
+// count=N, p=FLOAT, and delay=DURATION (required for delay rules).
+func Parse(spec string) (Rule, error) {
+	parts := strings.SplitN(spec, ":", 3)
+	if len(parts) < 2 || parts[0] == "" {
+		return Rule{}, fmt.Errorf("faultinject: rule %q: want SITE:KIND[:opts]", spec)
+	}
+	r := Rule{Site: parts[0]}
+	switch parts[1] {
+	case "delay":
+		r.Kind = KindDelay
+	case "error":
+		r.Kind = KindError
+	case "panic":
+		r.Kind = KindPanic
+	default:
+		return Rule{}, fmt.Errorf("faultinject: rule %q: unknown kind %q (want delay, error, or panic)", spec, parts[1])
+	}
+	if len(parts) == 3 {
+		for _, opt := range strings.Split(parts[2], ",") {
+			key, val, ok := strings.Cut(opt, "=")
+			if !ok {
+				return Rule{}, fmt.Errorf("faultinject: rule %q: option %q is not key=value", spec, opt)
+			}
+			var err error
+			switch key {
+			case "after":
+				r.After, err = strconv.Atoi(val)
+			case "count":
+				r.Count, err = strconv.Atoi(val)
+			case "p":
+				r.Prob, err = strconv.ParseFloat(val, 64)
+				if err == nil && (r.Prob < 0 || r.Prob > 1) {
+					err = fmt.Errorf("probability %v outside [0,1]", r.Prob)
+				}
+			case "delay":
+				r.Delay, err = time.ParseDuration(val)
+			default:
+				err = fmt.Errorf("unknown option %q", key)
+			}
+			if err != nil {
+				return Rule{}, fmt.Errorf("faultinject: rule %q: %v", spec, err)
+			}
+		}
+	}
+	if r.After < 0 || r.Count < 0 {
+		return Rule{}, fmt.Errorf("faultinject: rule %q: after/count must be >= 0", spec)
+	}
+	if r.Kind == KindDelay && r.Delay <= 0 {
+		return Rule{}, fmt.Errorf("faultinject: rule %q: delay rules need delay=DURATION", spec)
+	}
+	return r, nil
+}
+
+// ParseAll reads a semicolon-separated rule list; empty segments are
+// ignored so trailing separators are harmless.
+func ParseAll(spec string) ([]Rule, error) {
+	var rules []Rule
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		r, err := Parse(part)
+		if err != nil {
+			return nil, err
+		}
+		rules = append(rules, r)
+	}
+	return rules, nil
+}
+
+// MetricFaultsInjected counts fired faults, labeled by site and kind.
+const MetricFaultsInjected = "routinglens_faults_injected_total"
+
+// ruleState is one armed rule plus its visit bookkeeping.
+type ruleState struct {
+	Rule
+	visits int
+	fired  int
+	rng    *rand.Rand
+}
+
+// Injector holds the armed rules of one process or test. All methods are
+// safe for concurrent use; a nil *Injector is valid and injects nothing.
+type Injector struct {
+	mu    sync.Mutex
+	rules map[string][]*ruleState
+}
+
+// New arms the given rules. The seed drives every probabilistic rule:
+// each (seed, site) pair gets its own PRNG stream, so runs with the same
+// seed inject identically however goroutines interleave other sites.
+func New(seed int64, rules ...Rule) *Injector {
+	in := &Injector{rules: make(map[string][]*ruleState, len(rules))}
+	for _, r := range rules {
+		h := fnv.New64a()
+		h.Write([]byte(r.Site))
+		in.rules[r.Site] = append(in.rules[r.Site],
+			&ruleState{Rule: r, rng: rand.New(rand.NewSource(seed ^ int64(h.Sum64())))})
+	}
+	return in
+}
+
+// Enabled reports whether any rule is armed; callers can use it to skip
+// site bookkeeping entirely in production.
+func (in *Injector) Enabled() bool { return in != nil && len(in.rules) > 0 }
+
+// Fire visits the named site: if an armed rule elects this visit, the
+// fault happens here — a delay sleeps (cut short if ctx ends, in which
+// case the ctx error is returned), an error returns a wrapped
+// ErrInjected, and a panic panics with *PanicValue. Returns nil when
+// nothing fires, including on a nil or empty Injector. Fired faults are
+// counted in the context's metrics registry.
+func (in *Injector) Fire(ctx context.Context, site string) error {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	states := in.rules[site]
+	var fire *ruleState
+	for _, st := range states {
+		st.visits++
+		if st.visits <= st.After {
+			continue
+		}
+		if st.Count > 0 && st.fired >= st.Count {
+			continue
+		}
+		if st.Prob > 0 && st.Prob < 1 && st.rng.Float64() >= st.Prob {
+			continue
+		}
+		st.fired++
+		fire = st
+		break
+	}
+	in.mu.Unlock()
+	if fire == nil {
+		return nil
+	}
+	telemetry.RegistryFrom(ctx).Counter(MetricFaultsInjected,
+		telemetry.L("site", site), telemetry.L("kind", fire.Kind.String())).Inc()
+	switch fire.Kind {
+	case KindDelay:
+		t := time.NewTimer(fire.Delay)
+		defer t.Stop()
+		select {
+		case <-t.C:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	case KindError:
+		return fmt.Errorf("%w (site %s)", ErrInjected, site)
+	default:
+		panic(&PanicValue{Site: site})
+	}
+}

@@ -1,0 +1,193 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"routinglens/internal/telemetry"
+)
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		spec string
+		want Rule
+	}{
+		{"analyze:error", Rule{Site: "analyze", Kind: KindError}},
+		{"handler.pathway:panic:count=1", Rule{Site: "handler.pathway", Kind: KindPanic, Count: 1}},
+		{"analyze:error:after=2,count=3", Rule{Site: "analyze", Kind: KindError, After: 2, Count: 3}},
+		{"h:delay:delay=50ms", Rule{Site: "h", Kind: KindDelay, Delay: 50 * time.Millisecond}},
+		{"h:error:p=0.5", Rule{Site: "h", Kind: KindError, Prob: 0.5}},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.spec, err)
+		}
+		if got != c.want {
+			t.Errorf("Parse(%q) = %+v, want %+v", c.spec, got, c.want)
+		}
+		// String must round-trip through Parse.
+		back, err := Parse(got.String())
+		if err != nil || back != got {
+			t.Errorf("round trip of %q via %q = %+v, %v", c.spec, got.String(), back, err)
+		}
+	}
+
+	for _, bad := range []string{
+		"", "siteonly", ":error", "s:unknownkind", "s:error:after=x",
+		"s:error:junk", "s:delay", "s:delay:count=1", "s:error:p=1.5",
+		"s:error:after=-1",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseAll(t *testing.T) {
+	rules, err := ParseAll("a:error; b:panic:count=1;;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 2 || rules[0].Site != "a" || rules[1].Site != "b" {
+		t.Fatalf("ParseAll = %+v", rules)
+	}
+	if _, err := ParseAll("a:error;bad"); err == nil {
+		t.Error("ParseAll with a bad segment should fail")
+	}
+}
+
+func TestNilAndEmptyInjectorAreInert(t *testing.T) {
+	var nilIn *Injector
+	if err := nilIn.Fire(context.Background(), "anything"); err != nil {
+		t.Fatalf("nil injector fired: %v", err)
+	}
+	if nilIn.Enabled() {
+		t.Error("nil injector reports Enabled")
+	}
+	empty := New(1)
+	if err := empty.Fire(context.Background(), "anything"); err != nil {
+		t.Fatalf("empty injector fired: %v", err)
+	}
+	if empty.Enabled() {
+		t.Error("empty injector reports Enabled")
+	}
+}
+
+func TestAfterCountWindow(t *testing.T) {
+	in := New(0, Rule{Site: "s", Kind: KindError, After: 2, Count: 2})
+	ctx := context.Background()
+	var errs []bool
+	for i := 0; i < 6; i++ {
+		errs = append(errs, in.Fire(ctx, "s") != nil)
+	}
+	want := []bool{false, false, true, true, false, false}
+	for i := range want {
+		if errs[i] != want[i] {
+			t.Fatalf("visit %d: fired=%v, want %v (all: %v)", i+1, errs[i], want[i], errs)
+		}
+	}
+	// Other sites never fire.
+	if err := in.Fire(ctx, "other"); err != nil {
+		t.Errorf("unrelated site fired: %v", err)
+	}
+}
+
+func TestErrorWrapsSentinelAndCounts(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	ctx := telemetry.WithRegistry(context.Background(), reg)
+	in := New(0, Rule{Site: "s", Kind: KindError, Count: 1})
+	err := in.Fire(ctx, "s")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	got := reg.Counter(MetricFaultsInjected,
+		telemetry.L("site", "s"), telemetry.L("kind", "error")).Value()
+	if got != 1 {
+		t.Errorf("faults counter = %d, want 1", got)
+	}
+}
+
+func TestPanicCarriesSite(t *testing.T) {
+	in := New(0, Rule{Site: "h", Kind: KindPanic, Count: 1})
+	defer func() {
+		p := recover()
+		pv, ok := p.(*PanicValue)
+		if !ok || pv.Site != "h" {
+			t.Fatalf("recovered %#v, want *PanicValue{Site: h}", p)
+		}
+	}()
+	in.Fire(context.Background(), "h")
+	t.Fatal("Fire should have panicked")
+}
+
+func TestDelayHonorsContext(t *testing.T) {
+	in := New(0, Rule{Site: "s", Kind: KindDelay, Delay: 10 * time.Second})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := in.Fire(ctx, "s")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("delay ignored the context deadline")
+	}
+}
+
+// TestProbDeterministicAcrossRuns is the seed guarantee: the same seed
+// produces the same fire pattern, a different seed (usually) another.
+func TestProbDeterministicAcrossRuns(t *testing.T) {
+	pattern := func(seed int64) []bool {
+		in := New(seed, Rule{Site: "s", Kind: KindError, Prob: 0.5})
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = in.Fire(context.Background(), "s") != nil
+		}
+		return out
+	}
+	a, b := pattern(42), pattern(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at visit %d", i)
+		}
+	}
+	fired := 0
+	for _, f := range a {
+		if f {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Errorf("p=0.5 fired %d/%d times; want a mix", fired, len(a))
+	}
+}
+
+// TestConcurrentFire exercises the visit bookkeeping under the race
+// detector: exactly Count faults fire however many goroutines visit.
+func TestConcurrentFire(t *testing.T) {
+	in := New(0, Rule{Site: "s", Kind: KindError, Count: 10})
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	fired := 0
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if in.Fire(context.Background(), "s") != nil {
+					mu.Lock()
+					fired++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if fired != 10 {
+		t.Fatalf("fired %d faults, want exactly 10", fired)
+	}
+}

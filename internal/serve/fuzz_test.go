@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"reflect"
+	"testing"
+
+	"routinglens/internal/netaddr"
+)
+
+// FuzzQueryParams drives ParseQuery — the daemon's first line of defense
+// against arbitrary client input — with random endpoint/query-string
+// pairs. The contract under fuzz: never panic, be deterministic
+// (identical input, identical outcome), and admit only validated values
+// (a known endpoint, a json/text format, a control-character-free router
+// name, real prefixes, src and dst together or not at all).
+//
+// Wired into `make fuzzsmoke`; saved crashers land in testdata/fuzz/ and
+// replay under plain `go test` forever.
+func FuzzQueryParams(f *testing.F) {
+	seeds := []struct{ endpoint, raw string }{
+		{"summary", ""},
+		{"summary", "format=json"},
+		{"summary", "format=text"},
+		{"summary", "format=xml"},
+		{"summary", "bogus=1"},
+		{"pathway", "router=r1"},
+		{"pathway", "router=r1&format=text"},
+		{"pathway", ""},
+		{"pathway", "router="},
+		{"pathway", "router=%00"},
+		{"pathway", "router=a&router=b"},
+		{"reach", ""},
+		{"reach", "src=10.0.0.0/8&dst=192.168.0.0/16"},
+		{"reach", "src=10.0.0.0/8"},
+		{"reach", "src=not-a-prefix&dst=10.0.0.0/8"},
+		{"whatif", "format=text"},
+		{"whatif", "format=text;injected"},
+		{"nosuch", "format=json"},
+		{"summary", "format=json&format=json"},
+		{"reach", "src=10.0.0.0%2F8&dst=10.0.0.0/33"},
+		{"pathway", "%gh&%ij"},
+	}
+	for _, s := range seeds {
+		f.Add(s.endpoint, s.raw)
+	}
+	f.Fuzz(func(t *testing.T, endpoint, raw string) {
+		q1, err1 := ParseQuery(endpoint, raw)
+		q2, err2 := ParseQuery(endpoint, raw)
+		if (err1 == nil) != (err2 == nil) || !reflect.DeepEqual(q1, q2) {
+			t.Fatalf("non-deterministic: (%+v, %v) vs (%+v, %v)", q1, err1, q2, err2)
+		}
+		if err1 != nil {
+			return
+		}
+		if _, known := queryParams[endpoint]; !known {
+			t.Fatalf("accepted unknown endpoint %q", endpoint)
+		}
+		if q1.Endpoint != endpoint {
+			t.Fatalf("endpoint mangled: %q -> %q", endpoint, q1.Endpoint)
+		}
+		if q1.Format != "json" && q1.Format != "text" {
+			t.Fatalf("accepted format %q", q1.Format)
+		}
+		if endpoint == "pathway" && q1.Router == "" {
+			t.Fatal("pathway accepted without a router")
+		}
+		for _, r := range q1.Router {
+			if r < 0x20 || r == 0x7f {
+				t.Fatalf("router %q passed with control character %#x", q1.Router, r)
+			}
+		}
+		if len(q1.Router) > maxParamLen {
+			t.Fatalf("router %d bytes long passed the %d-byte bound", len(q1.Router), maxParamLen)
+		}
+		if q1.HasBlocks {
+			// Accepted prefixes must round-trip through their canonical
+			// rendering — a prefix that doesn't reparse would poison
+			// downstream reach lookups.
+			for _, p := range []netaddr.Prefix{q1.Src, q1.Dst} {
+				if rt, err := netaddr.ParsePrefix(p.String()); err != nil || rt != p {
+					t.Fatalf("accepted prefix %v does not round-trip (%v, %v)", p, rt, err)
+				}
+			}
+		}
+	})
+}

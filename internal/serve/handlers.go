@@ -1,0 +1,297 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// buildHandler mounts the daemon's routes. Query endpoints get the full
+// robustness stack; the control plane (health, readiness, metrics,
+// reload) stays answerable under query saturation.
+func (s *Server) buildHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/healthz", s.plain("healthz", s.handleHealthz))
+	mux.Handle("/readyz", s.plain("readyz", s.handleReadyz))
+	mux.Handle("/metrics", s.plain("metrics", s.handleMetrics))
+	mux.Handle("/v1/reload", s.plain("reload", s.handleReload))
+	mux.Handle("/v1/summary", s.query("summary", s.handleSummary))
+	mux.Handle("/v1/pathway", s.query("pathway", s.handlePathway))
+	mux.Handle("/v1/reach", s.query("reach", s.handleReach))
+	mux.Handle("/v1/whatif", s.query("whatif", s.handleWhatif))
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+func writeText(w http.ResponseWriter, text string) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, text)
+}
+
+// parse runs ParseQuery for a handler and writes the 400 itself; the
+// bool reports whether the handler should proceed.
+func parse(w http.ResponseWriter, r *http.Request, endpoint string) (Query, bool) {
+	q, err := ParseQuery(endpoint, r.URL.RawQuery)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return Query{}, false
+	}
+	return q, true
+}
+
+// handleHealthz answers "the process is up" — nothing more. It is 200
+// from the first listen to the last drained request, design or not.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+}
+
+// readyzResponse is the /readyz body; ready distinguishes "design loaded
+// and fresh" from the weaker healthz liveness.
+type readyzResponse struct {
+	Ready    bool   `json:"ready"`
+	Degraded bool   `json:"degraded"`
+	Seq      int64  `json:"seq,omitempty"`
+	LoadedAt string `json:"loaded_at,omitempty"`
+	AgeSec   int64  `json:"age_seconds,omitempty"`
+	// LastError explains degradation: the most recent failed load.
+	LastError   string `json:"last_error,omitempty"`
+	LastErrorAt string `json:"last_error_at,omitempty"`
+}
+
+// handleReadyz is 200 only when a design is loaded and the most recent
+// (re)load succeeded. A degraded daemon — serving a stale last-good
+// design after a failed reload — answers 503 here while every /v1 query
+// endpoint keeps working, so load balancers rotate it out without
+// cutting off in-flight consumers.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	st := s.cur.Load()
+	resp := readyzResponse{Degraded: s.degraded.Load()}
+	if st != nil {
+		resp.Seq = st.Seq
+		resp.LoadedAt = st.LoadedAt.UTC().Format(time.RFC3339)
+		resp.AgeSec = int64(time.Since(st.LoadedAt).Seconds())
+	}
+	if f := s.lastFail.Load(); f != nil && resp.Degraded {
+		resp.LastError = f.Err
+		resp.LastErrorAt = f.At.UTC().Format(time.RFC3339)
+	}
+	resp.Ready = st != nil && !resp.Degraded
+	code := http.StatusOK
+	if !resp.Ready {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, resp)
+}
+
+// handleMetrics exports the registry in Prometheus text format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w)
+}
+
+// handleReload re-analyzes on demand. The reload runs detached from the
+// request context so a disconnecting client cannot half-cancel an
+// analysis, and failures keep the last-good design serving.
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	err := s.Reload(context.Background())
+	st := s.cur.Load()
+	if err != nil {
+		resp := map[string]any{
+			"error":    err.Error(),
+			"degraded": true,
+		}
+		if st != nil {
+			resp["serving_seq"] = st.Seq
+			resp["note"] = "still serving the last-good design"
+		}
+		writeJSON(w, http.StatusInternalServerError, resp)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":        true,
+		"seq":       st.Seq,
+		"loaded_at": st.LoadedAt.UTC().Format(time.RFC3339),
+	})
+}
+
+// summaryResponse is the /v1/summary JSON body.
+type summaryResponse struct {
+	Network        string   `json:"network"`
+	Routers        int      `json:"routers"`
+	Interfaces     int      `json:"interfaces"`
+	Unnumbered     int      `json:"unnumbered"`
+	Instances      int      `json:"instances"`
+	Classification string   `json:"classification"`
+	Diagnostics    int      `json:"diagnostics"`
+	SkippedFiles   []string `json:"skipped_files,omitempty"`
+	Seq            int64    `json:"seq"`
+	LoadedAt       string   `json:"loaded_at"`
+}
+
+func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request, st *State) {
+	q, ok := parse(w, r, "summary")
+	if !ok {
+		return
+	}
+	d := st.Res.Design
+	if q.Format == "text" {
+		writeText(w, d.Summary())
+		return
+	}
+	writeJSON(w, http.StatusOK, summaryResponse{
+		Network:        d.Network.Name,
+		Routers:        len(d.Network.Devices),
+		Interfaces:     d.Topology.TotalInterfaces,
+		Unnumbered:     d.Topology.UnnumberedInterfaces,
+		Instances:      len(d.Instances.Instances),
+		Classification: d.Classification.String(),
+		Diagnostics:    len(st.Res.Diagnostics),
+		SkippedFiles:   st.Res.Skipped,
+		Seq:            st.Seq,
+		LoadedAt:       st.LoadedAt.UTC().Format(time.RFC3339),
+	})
+}
+
+// pathwayResponse is the /v1/pathway JSON body.
+type pathwayResponse struct {
+	Router          string       `json:"router"`
+	Feeders         []string     `json:"feeders"`
+	Hops            []pathwayHop `json:"hops"`
+	MaxDepth        int          `json:"max_depth"`
+	PolicyPoints    int          `json:"policy_points"`
+	ReachesExternal bool         `json:"reaches_external"`
+	LocalOnly       bool         `json:"local_only"`
+	Seq             int64        `json:"seq"`
+}
+
+type pathwayHop struct {
+	Instance string `json:"instance"`
+	Depth    int    `json:"depth"`
+}
+
+func (s *Server) handlePathway(w http.ResponseWriter, r *http.Request, st *State) {
+	q, ok := parse(w, r, "pathway")
+	if !ok {
+		return
+	}
+	g, err := st.Res.Design.Pathway(q.Router)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	if q.Format == "text" {
+		writeText(w, g.String())
+		return
+	}
+	resp := pathwayResponse{
+		Router:          g.Router.Hostname,
+		Feeders:         []string{},
+		Hops:            []pathwayHop{},
+		MaxDepth:        g.MaxDepth(),
+		PolicyPoints:    len(g.PolicyPoints()),
+		ReachesExternal: g.ReachesExternal,
+		LocalOnly:       g.LocalOnly,
+		Seq:             st.Seq,
+	}
+	for _, in := range g.Feeders {
+		resp.Feeders = append(resp.Feeders, fmt.Sprintf("%d %s", in.ID, in.Label()))
+	}
+	for _, h := range g.Hops {
+		resp.Hops = append(resp.Hops, pathwayHop{Instance: h.Label(), Depth: h.Depth})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// reachResponse is the /v1/reach JSON body. Without src/dst it reports
+// the network-wide external view; with them, block-to-block
+// reachability.
+type reachResponse struct {
+	HasDefaultRoute  *bool    `json:"has_default_route,omitempty"`
+	AdmittedExternal []string `json:"admitted_external,omitempty"`
+	Src              string   `json:"src,omitempty"`
+	Dst              string   `json:"dst,omitempty"`
+	Reachable        *bool    `json:"reachable,omitempty"`
+	Seq              int64    `json:"seq"`
+}
+
+func (s *Server) handleReach(w http.ResponseWriter, r *http.Request, st *State) {
+	q, ok := parse(w, r, "reach")
+	if !ok {
+		return
+	}
+	an := st.Reach()
+	resp := reachResponse{Seq: st.Seq}
+	if q.HasBlocks {
+		reachable := an.BlockReachesBlock(q.Src, q.Dst)
+		resp.Src, resp.Dst, resp.Reachable = q.Src.String(), q.Dst.String(), &reachable
+	} else {
+		def := an.HasDefaultRoute()
+		resp.HasDefaultRoute = &def
+		resp.AdmittedExternal = []string{}
+		for _, p := range an.AdmittedExternalRoutes() {
+			resp.AdmittedExternal = append(resp.AdmittedExternal, p.String())
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// whatifResponse is the /v1/whatif JSON body: the survivability analysis
+// as counts plus the first entries of each failure class.
+type whatifResponse struct {
+	RouterFailures int      `json:"router_failures"`
+	LinkFailures   int      `json:"link_failures"`
+	BridgeFailures int      `json:"bridge_failures"`
+	StaticRisks    int      `json:"static_risks"`
+	Critical       []string `json:"critical_routers"`
+	Seq            int64    `json:"seq"`
+}
+
+// maxWhatifEntries caps the listed critical routers so the response
+// stays bounded on pathological networks.
+const maxWhatifEntries = 100
+
+func (s *Server) handleWhatif(w http.ResponseWriter, r *http.Request, st *State) {
+	q, ok := parse(w, r, "whatif")
+	if !ok {
+		return
+	}
+	wa := st.Whatif()
+	if q.Format == "text" {
+		writeText(w, wa.Summary())
+		return
+	}
+	resp := whatifResponse{
+		RouterFailures: len(wa.RouterFailures),
+		LinkFailures:   len(wa.LinkFailures),
+		BridgeFailures: len(wa.Bridges),
+		StaticRisks:    len(wa.StaticRisks),
+		Critical:       []string{},
+		Seq:            st.Seq,
+	}
+	for i, rf := range wa.RouterFailures {
+		if i >= maxWhatifEntries {
+			break
+		}
+		resp.Critical = append(resp.Critical, fmt.Sprintf(
+			"%s splits instance %d %s into %d pieces",
+			rf.Router.Hostname, rf.Instance.ID, rf.Instance.Label(), rf.Pieces))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,164 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+
+	"routinglens/internal/telemetry"
+)
+
+// query assembles the middleware stack of one /v1 query endpoint,
+// outermost first: metrics/span instrumentation, panic recovery, the
+// concurrency limiter, the per-request timeout, the fault-injection
+// hook, and finally the handler itself (which receives the pinned
+// design generation). /healthz, /readyz, /metrics, and /v1/reload use
+// the lighter plain stack — they must answer even when queries are
+// saturated or timing out.
+func (s *Server) query(name string, h func(http.ResponseWriter, *http.Request, *State)) http.Handler {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, "use GET")
+			return
+		}
+		if err := s.faults.Fire(r.Context(), "handler."+name); err != nil {
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		st := s.cur.Load()
+		if st == nil {
+			writeError(w, http.StatusServiceUnavailable, "no design loaded yet")
+			return
+		}
+		h(w, r, st)
+	})
+	stack := s.withTimeout(inner)
+	stack = s.withShed(stack)
+	stack = s.withRecovery(name, stack)
+	return telemetry.InstrumentHandler(s.reg, name, stack)
+}
+
+// plain is the control-plane stack: instrumentation and panic recovery
+// only, so health checks and reloads bypass the limiter and the query
+// deadline.
+func (s *Server) plain(name string, h http.HandlerFunc) http.Handler {
+	return telemetry.InstrumentHandler(s.reg, name, s.withRecovery(name, h))
+}
+
+// withRecovery turns a handler panic into a 500 response and a
+// routinglens_panics_recovered_total increment. The request dies; the
+// process — and every later request — does not.
+func (s *Server) withRecovery(name string, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &telemetry.StatusWriter{ResponseWriter: w}
+		defer func() {
+			if p := recover(); p != nil {
+				s.reg.Counter(MetricPanicsRecovered).Inc()
+				s.log.Error("panic recovered; request failed, server continues",
+					"endpoint", name, "panic", fmt.Sprint(p))
+				if !sw.Wrote() {
+					writeError(sw, http.StatusInternalServerError, "internal error (panic recovered)")
+				}
+			}
+		}()
+		next.ServeHTTP(sw, r)
+	})
+}
+
+// withShed bounds concurrently executing queries. A request that cannot
+// take a slot immediately is rejected 429 with Retry-After — shedding
+// keeps latency bounded for the requests that do get in, instead of
+// queueing everyone into timeout.
+func (s *Server) withShed(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.sem <- struct{}{}:
+			inflight := s.reg.Gauge(MetricInFlight)
+			inflight.Add(1)
+			defer func() {
+				inflight.Add(-1)
+				<-s.sem
+			}()
+			next.ServeHTTP(w, r)
+		default:
+			s.reg.Counter(MetricShed).Inc()
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "saturated; retry shortly")
+		}
+	})
+}
+
+// withTimeout bounds the client-visible latency of one request. The
+// handler runs in a child goroutine writing to a buffered response; if
+// it beats the deadline the buffer is flushed to the client, otherwise
+// the client gets 504 immediately (the goroutine's leftover work is
+// bounded by the handlers, which are short and allocation-only). A panic
+// in the child is re-raised in the serving goroutine so withRecovery
+// sees it.
+func (s *Server) withTimeout(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		bw := &bufferedResponse{header: make(http.Header)}
+		done := make(chan struct{})
+		panicked := make(chan any, 1)
+		go func() {
+			defer func() {
+				if p := recover(); p != nil {
+					panicked <- p
+				}
+			}()
+			next.ServeHTTP(bw, r.WithContext(ctx))
+			close(done)
+		}()
+		select {
+		case <-done:
+			bw.flushTo(w)
+		case p := <-panicked:
+			panic(p)
+		case <-ctx.Done():
+			s.reg.Counter(MetricTimeouts).Inc()
+			writeError(w, http.StatusGatewayTimeout,
+				fmt.Sprintf("request exceeded %v", s.cfg.RequestTimeout))
+		}
+	})
+}
+
+// bufferedResponse holds a handler's response until it is known to have
+// finished in time. The serving goroutine only reads it after the done
+// channel closes, which orders all handler writes before the read — no
+// locking needed; on timeout it is abandoned unread.
+type bufferedResponse struct {
+	header http.Header
+	body   bytes.Buffer
+	status int
+}
+
+func (b *bufferedResponse) Header() http.Header { return b.header }
+
+func (b *bufferedResponse) WriteHeader(code int) {
+	if b.status == 0 {
+		b.status = code
+	}
+}
+
+func (b *bufferedResponse) Write(p []byte) (int, error) {
+	if b.status == 0 {
+		b.status = http.StatusOK
+	}
+	return b.body.Write(p)
+}
+
+func (b *bufferedResponse) flushTo(w http.ResponseWriter) {
+	for k, vs := range b.header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	if b.status == 0 {
+		b.status = http.StatusOK
+	}
+	w.WriteHeader(b.status)
+	w.Write(b.body.Bytes())
+}

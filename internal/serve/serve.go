@@ -1,0 +1,356 @@
+// Package serve is the resident, fault-tolerant query daemon behind
+// cmd/rlensd: it analyzes a configuration directory once, keeps the
+// result behind an atomically swappable "last-good design" pointer, and
+// answers pathway/reachability/what-if/summary queries over HTTP.
+//
+// The robustness properties are the point of the package:
+//
+//   - A panicking query handler returns 500 and increments
+//     routinglens_panics_recovered_total; it never kills the process.
+//   - Every query runs under a per-request timeout and a bounded
+//     concurrency limiter that sheds load with 429 + Retry-After
+//     instead of queueing unboundedly.
+//   - Reload (POST /v1/reload or SIGHUP) re-analyzes with retry and
+//     exponential backoff; if every attempt fails the daemon keeps
+//     serving the last-good design and only /readyz degrades.
+//   - Shutdown (SIGTERM/SIGINT) drains in-flight requests under a
+//     deadline before exiting.
+//
+// Every one of those behaviors is exercised in CI through the
+// internal/faultinject hooks at the analyzer and handler boundaries.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"routinglens/internal/core"
+	"routinglens/internal/faultinject"
+	"routinglens/internal/netaddr"
+	"routinglens/internal/reach"
+	"routinglens/internal/simroute"
+	"routinglens/internal/telemetry"
+	"routinglens/internal/whatif"
+)
+
+// Serving metrics, alongside telemetry.MetricHTTPRequests/-Latency.
+const (
+	// MetricShed counts requests rejected 429 by the concurrency limiter.
+	MetricShed = "routinglens_http_shed_total"
+	// MetricTimeouts counts requests cut off 504 by the per-request deadline.
+	MetricTimeouts = "routinglens_http_timeouts_total"
+	// MetricPanicsRecovered counts handler panics turned into 500s.
+	MetricPanicsRecovered = "routinglens_panics_recovered_total"
+	// MetricReloads counts design (re)loads by result (ok | error).
+	MetricReloads = "routinglens_reloads_total"
+	// MetricDesignSeq is the sequence number of the design being served.
+	MetricDesignSeq = "routinglens_design_seq"
+	// MetricInFlight is the number of queries currently holding a
+	// concurrency slot.
+	MetricInFlight = "routinglens_http_in_flight"
+)
+
+// Fault-injection sites the daemon exposes. Handler sites are
+// "handler.<endpoint>" (e.g. "handler.pathway"), fired before the
+// handler runs; SiteAnalyze fires at the analyzer boundary of every
+// load and reload.
+const SiteAnalyze = "analyze"
+
+// Config assembles a Server. The zero value of every optional field has
+// a usable default; only Dir (or Load) is required.
+type Config struct {
+	// Dir is the configuration directory analyzed at startup and on
+	// every reload.
+	Dir string
+	// Load, when non-nil, replaces directory analysis entirely — tests
+	// and the in-process smoke harness load from memory through it.
+	Load func(ctx context.Context) (*core.Result, error)
+	// Analyzer runs the analyses; nil means core.NewAnalyzer().
+	Analyzer *core.Analyzer
+	// RequestTimeout bounds each query's latency (default 10s).
+	RequestTimeout time.Duration
+	// MaxInFlight bounds concurrently executing queries; excess load is
+	// shed with 429 (default 64).
+	MaxInFlight int
+	// ReloadRetries is how many times a failed (re)load is retried with
+	// exponential backoff before giving up (default 2).
+	ReloadRetries int
+	// ReloadBackoff is the first retry's backoff, doubling per attempt
+	// (default 250ms).
+	ReloadBackoff time.Duration
+	// LoadTimeout bounds one analysis attempt; 0 means unbounded.
+	LoadTimeout time.Duration
+	// ShutdownGrace is how long Run waits for in-flight requests to
+	// drain after SIGTERM/SIGINT (default 10s).
+	ShutdownGrace time.Duration
+	// Registry receives the daemon's metrics; nil means telemetry.Default.
+	Registry *telemetry.Registry
+	// Logger receives the daemon's logs; nil means telemetry.Logger().
+	Logger *slog.Logger
+	// Faults arms deliberate failures for testing; nil injects nothing.
+	// It is only ever set from an explicit flag or a test hook.
+	Faults *faultinject.Injector
+}
+
+// State is one immutable analysis generation. The server swaps whole
+// *State pointers, so a query sees one consistent design from first byte
+// to last even while a reload lands. Derived analyses (reachability,
+// survivability) are computed lazily, once per generation.
+type State struct {
+	Res      *core.Result
+	Seq      int64
+	LoadedAt time.Time
+
+	reachOnce  sync.Once
+	reached    *reach.Analysis
+	whatifOnce sync.Once
+	whatifed   *whatif.Analysis
+}
+
+// Reach returns the state's reachability analysis, computing it on first
+// use with a default route injected at every external peer (the same
+// injection rdesign -trace uses).
+func (st *State) Reach() *reach.Analysis {
+	st.reachOnce.Do(func() {
+		def := netaddr.PrefixFrom(0, 0)
+		st.reached = st.Res.Design.Reachability([]simroute.ExternalRoute{{Prefix: def}})
+	})
+	return st.reached
+}
+
+// Whatif returns the state's survivability analysis, computed on first use.
+func (st *State) Whatif() *whatif.Analysis {
+	st.whatifOnce.Do(func() { st.whatifed = st.Res.Design.Survivability() })
+	return st.whatifed
+}
+
+// reloadStatus records the outcome of the most recent failed reload, for
+// /readyz and logs.
+type reloadStatus struct {
+	Err string
+	At  time.Time
+}
+
+// Server is the daemon: an analyzer, the current design generation, and
+// the HTTP surface. Create with New, load with Reload, serve with Run
+// (or mount Handler on a server of your own).
+type Server struct {
+	cfg    Config
+	an     *core.Analyzer
+	reg    *telemetry.Registry
+	log    *slog.Logger
+	faults *faultinject.Injector
+
+	sem      chan struct{}
+	cur      atomic.Pointer[State]
+	seq      atomic.Int64
+	degraded atomic.Bool
+	lastFail atomic.Pointer[reloadStatus]
+	reloadMu sync.Mutex
+
+	handler http.Handler
+}
+
+// New builds a Server from cfg, resolving defaults.
+func New(cfg Config) *Server {
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 10 * time.Second
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 64
+	}
+	if cfg.ReloadRetries < 0 {
+		cfg.ReloadRetries = 0
+	}
+	if cfg.ReloadBackoff <= 0 {
+		cfg.ReloadBackoff = 250 * time.Millisecond
+	}
+	if cfg.ShutdownGrace <= 0 {
+		cfg.ShutdownGrace = 10 * time.Second
+	}
+	s := &Server{
+		cfg:    cfg,
+		an:     cfg.Analyzer,
+		reg:    cfg.Registry,
+		log:    cfg.Logger,
+		faults: cfg.Faults,
+		sem:    make(chan struct{}, cfg.MaxInFlight),
+	}
+	if s.an == nil {
+		s.an = core.NewAnalyzer()
+	}
+	if s.reg == nil {
+		s.reg = telemetry.Default
+	}
+	if s.log == nil {
+		s.log = telemetry.Logger()
+	}
+	s.log = s.log.With("component", "serve")
+	registerHelp(s.reg)
+	s.handler = s.buildHandler()
+	return s
+}
+
+func registerHelp(reg *telemetry.Registry) {
+	reg.SetHelp(telemetry.MetricHTTPRequests, "HTTP requests served, by endpoint and status code.")
+	reg.SetHelp(telemetry.MetricHTTPLatency, "HTTP request latency, by endpoint.")
+	reg.SetHelp(MetricShed, "Requests shed 429 by the concurrency limiter.")
+	reg.SetHelp(MetricTimeouts, "Requests cut off 504 by the per-request deadline.")
+	reg.SetHelp(MetricPanicsRecovered, "Handler panics recovered into 500 responses.")
+	reg.SetHelp(MetricReloads, "Design load attempts, by result.")
+	reg.SetHelp(MetricDesignSeq, "Sequence number of the design generation being served.")
+	reg.SetHelp(MetricInFlight, "Queries currently holding a concurrency slot.")
+	reg.SetHelp(faultinject.MetricFaultsInjected, "Deliberately injected faults, by site and kind.")
+}
+
+// Handler returns the daemon's HTTP surface.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// State returns the design generation currently served (nil before the
+// first successful load).
+func (s *Server) State() *State { return s.cur.Load() }
+
+// Degraded reports whether the most recent (re)load failed; the daemon
+// still serves its last-good design while degraded.
+func (s *Server) Degraded() bool { return s.degraded.Load() }
+
+// load runs one analysis attempt through the fault-injection boundary.
+func (s *Server) load(ctx context.Context) (*core.Result, error) {
+	ctx = telemetry.WithRegistry(ctx, s.reg)
+	if s.cfg.LoadTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.LoadTimeout)
+		defer cancel()
+	}
+	if err := s.faults.Fire(ctx, SiteAnalyze); err != nil {
+		return nil, err
+	}
+	if s.cfg.Load != nil {
+		return s.cfg.Load(ctx)
+	}
+	return s.an.AnalyzeDirResult(ctx, s.cfg.Dir)
+}
+
+// Reload (re)analyzes the configuration directory and swaps the new
+// design in atomically. A failed attempt is retried ReloadRetries times
+// with exponential backoff; if every attempt fails, the server keeps
+// serving the previous last-good design, marks itself degraded (visible
+// on /readyz), and returns the last error. Reloads serialize: concurrent
+// calls run one at a time. Also the initial load — cmd/rlensd calls it
+// once before serving.
+func (s *Server) Reload(ctx context.Context) error {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	var lastErr error
+	backoff := s.cfg.ReloadBackoff
+	for attempt := 0; attempt <= s.cfg.ReloadRetries; attempt++ {
+		if attempt > 0 {
+			s.log.Warn("load attempt failed; backing off",
+				"attempt", attempt, "backoff", backoff, "error", lastErr)
+			t := time.NewTimer(backoff)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				s.reg.Counter(MetricReloads, telemetry.L("result", "error")).Inc()
+				return s.failReload(ctx.Err())
+			}
+			backoff *= 2
+		}
+		res, err := s.load(ctx)
+		if err == nil {
+			st := &State{Res: res, Seq: s.seq.Add(1), LoadedAt: time.Now()}
+			s.cur.Store(st)
+			s.degraded.Store(false)
+			s.reg.Counter(MetricReloads, telemetry.L("result", "ok")).Inc()
+			s.reg.Gauge(MetricDesignSeq).Set(float64(st.Seq))
+			s.log.Info("design loaded",
+				"seq", st.Seq,
+				"network", res.Design.Network.Name,
+				"routers", len(res.Design.Network.Devices),
+				"instances", len(res.Design.Instances.Instances),
+				"skipped_files", len(res.Skipped),
+				"elapsed", res.Elapsed.Round(time.Millisecond))
+			return nil
+		}
+		lastErr = err
+		s.reg.Counter(MetricReloads, telemetry.L("result", "error")).Inc()
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	return s.failReload(lastErr)
+}
+
+// failReload records a given-up reload: degraded, last error kept for
+// /readyz, last-good design untouched.
+func (s *Server) failReload(err error) error {
+	s.degraded.Store(true)
+	s.lastFail.Store(&reloadStatus{Err: err.Error(), At: time.Now()})
+	s.log.Error("load failed; serving last-good design if any",
+		"error", err, "have_design", s.cur.Load() != nil)
+	return err
+}
+
+// Run serves on ln until a termination signal or ctx cancellation, then
+// shuts down gracefully: in-flight requests get ShutdownGrace to drain
+// before the listener is torn down. SIGHUP on sigs triggers a background
+// reload; SIGTERM/SIGINT (and ctx.Done) trigger the drain. The caller
+// owns sigs — cmd/rlensd passes an os/signal channel, tests pass their
+// own.
+func (s *Server) Run(ctx context.Context, ln net.Listener, sigs <-chan os.Signal) error {
+	srv := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	s.log.Info("serving", "addr", ln.Addr().String())
+	for {
+		select {
+		case err := <-errCh:
+			if errors.Is(err, http.ErrServerClosed) {
+				return nil
+			}
+			return err
+		case sig := <-sigs:
+			if sig == syscall.SIGHUP {
+				s.log.Info("SIGHUP received; reloading design in the background")
+				go func() { _ = s.Reload(context.Background()) }()
+				continue
+			}
+			s.log.Info("termination signal; draining in-flight requests",
+				"signal", fmt.Sprint(sig), "grace", s.cfg.ShutdownGrace)
+			return s.drain(srv, errCh)
+		case <-ctx.Done():
+			s.log.Info("context cancelled; draining in-flight requests",
+				"grace", s.cfg.ShutdownGrace)
+			return s.drain(srv, errCh)
+		}
+	}
+}
+
+// drain gives in-flight requests ShutdownGrace to finish, then closes
+// whatever is left.
+func (s *Server) drain(srv *http.Server, errCh <-chan error) error {
+	sctx, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownGrace)
+	defer cancel()
+	err := srv.Shutdown(sctx)
+	<-errCh // Serve has returned ErrServerClosed
+	if err != nil {
+		s.log.Warn("drain deadline exceeded; closing remaining connections", "error", err)
+		srv.Close()
+		return err
+	}
+	s.log.Info("drained cleanly")
+	return nil
+}

@@ -1,13 +1,16 @@
 package telemetry
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
+	"os/signal"
 	"runtime"
+	"time"
 )
 
 // CLI bundles the observability and concurrency flags every binary in
@@ -22,6 +25,9 @@ import (
 //	                    deterministic whatever N
 //	-fail-fast          abort on the first unreadable or unparseable
 //	                    input file instead of skipping it
+//	-timeout D          overall analysis deadline (0 = none); combined
+//	                    with SIGINT via Context() so interrupted runs
+//	                    exit cleanly with partial diagnostics
 //
 // Use it as:
 //
@@ -39,6 +45,7 @@ type CLI struct {
 	PprofAddr     string
 	Jobs          int
 	FailFast      bool
+	Timeout       time.Duration
 
 	prog      string
 	registry  *Registry
@@ -61,6 +68,22 @@ func (c *CLI) RegisterFlags(fs *flag.FlagSet) {
 	fs.StringVar(&c.PprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the duration of the run")
 	fs.IntVar(&c.Jobs, "j", 0, "parallel workers for parsing and analysis (0 = GOMAXPROCS, 1 = sequential; output is identical either way)")
 	fs.BoolVar(&c.FailFast, "fail-fast", false, "abort on the first unreadable or unparseable input file (default: skip it, report it, and continue)")
+	fs.DurationVar(&c.Timeout, "timeout", 0, "overall analysis deadline, e.g. 30s (0 = none); on expiry the run cancels cleanly and reports partial diagnostics")
+}
+
+// Context builds the run's root context: cancelled on SIGINT — so an
+// interrupted run unwinds through its deferred telemetry flush and can
+// print partial diagnostics instead of dying mid-write — and bounded by
+// -timeout when one was given. Defer the returned stop function from
+// main; after cancellation a second SIGINT falls back to the default
+// abrupt exit, so a wedged run can still be killed.
+func (c *CLI) Context() (context.Context, context.CancelFunc) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	if c.Timeout > 0 {
+		tctx, cancel := context.WithTimeout(ctx, c.Timeout)
+		return tctx, func() { cancel(); stop() }
+	}
+	return ctx, stop
 }
 
 // Parallelism resolves -j to a concrete worker count (always >= 1).

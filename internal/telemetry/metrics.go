@@ -149,7 +149,7 @@ type family struct {
 	name    string
 	help    string
 	kind    kind
-	kindSet bool // false while only SetHelp has touched the family
+	kindSet bool               // false while only SetHelp has touched the family
 	series  map[string]*series // keyed by rendered label set
 }
 

@@ -1,14 +1,16 @@
-// Command benchcmp turns `go test -bench` output into a machine-readable
-// speedup record. It reads benchmark output on stdin, extracts every
-// ns/op line, pairs the j1/jN sub-benchmarks of the parallel sweeps, and
-// writes a JSON report (BENCH_parallel.json via `make benchcmp`) that
-// records the host's GOMAXPROCS alongside each speedup — the 2x corpus
-// target only applies on machines with >= 4 cores, so a result is
-// meaningless without the core count that produced it.
+// Command benchcmp turns benchmark output into a machine-readable record.
+// It reads stdin, extracts every `go test -bench` ns/op line and every
+// servesmoke endpoint line, pairs the j1/jN sub-benchmarks of the
+// parallel sweeps, and writes a JSON report whose envelope (generated_by,
+// goos, goarch, gomaxprocs) is shared by BENCH_parallel.json (`make
+// benchcmp`) and BENCH_serve.json (`make servesmoke`) — speedup and
+// latency numbers are meaningless without the core count that produced
+// them, so the host facts ride along in both.
 //
 // Usage:
 //
 //	go test -run '^$' -bench 'BenchmarkAnalyze|Parallel' . | go run ./tools/benchcmp -out BENCH_parallel.json
+//	go run ./tools/servesmoke | go run ./tools/benchcmp -out BENCH_serve.json -generated-by "make servesmoke"
 package main
 
 import (
@@ -26,6 +28,10 @@ import (
 
 // benchLine matches e.g. "BenchmarkCorpusParallel/j4-8   3   45678 ns/op ...".
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op`)
+
+// serveLine matches tools/servesmoke's per-endpoint summary, e.g.
+// "servesmoke: endpoint=summary queries=200 ok=197 shed=3 p50_ns=81250 p99_ns=1220417".
+var serveLine = regexp.MustCompile(`^servesmoke: endpoint=(\S+) queries=(\d+) ok=(\d+) shed=(\d+) p50_ns=(\d+) p99_ns=(\d+)$`)
 
 type benchmark struct {
 	Name    string  `json:"name"`
@@ -45,34 +51,58 @@ type speedup struct {
 	Speedup   *float64 `json:"speedup"`
 }
 
+// serveRecord is one endpoint's result from a servesmoke run: how many
+// queries were admitted vs shed, and the latency spread of the admitted
+// ones.
+type serveRecord struct {
+	Endpoint string `json:"endpoint"`
+	Queries  int    `json:"queries"`
+	OK       int    `json:"ok"`
+	Shed     int    `json:"shed"`
+	P50Ns    int64  `json:"p50_ns"`
+	P99Ns    int64  `json:"p99_ns"`
+}
+
 type report struct {
-	GeneratedBy string      `json:"generated_by"`
-	GOOS        string      `json:"goos"`
-	GOARCH      string      `json:"goarch"`
-	GOMAXPROCS  int         `json:"gomaxprocs"`
-	Note        string      `json:"note"`
-	Benchmarks  []benchmark `json:"benchmarks"`
-	Speedups    []speedup   `json:"speedups"`
+	GeneratedBy string        `json:"generated_by"`
+	GOOS        string        `json:"goos"`
+	GOARCH      string        `json:"goarch"`
+	GOMAXPROCS  int           `json:"gomaxprocs"`
+	Note        string        `json:"note"`
+	Benchmarks  []benchmark   `json:"benchmarks,omitempty"`
+	Speedups    []speedup     `json:"speedups,omitempty"`
+	Serve       []serveRecord `json:"serve,omitempty"`
 }
 
 func main() {
 	out := flag.String("out", "BENCH_parallel.json", "output JSON path")
+	generatedBy := flag.String("generated-by", "make benchcmp", "generated_by value recorded in the report")
 	flag.Parse()
 
 	var rep report
-	rep.GeneratedBy = "make benchcmp"
+	rep.GeneratedBy = *generatedBy
 	rep.GOOS = runtime.GOOS
 	rep.GOARCH = runtime.GOARCH
 	rep.GOMAXPROCS = runtime.GOMAXPROCS(0)
 	rep.Note = "the >=2x corpus speedup target applies on machines with >=4 cores; " +
 		"single-core hosts skip the jN sub-benchmarks, so their families report speedup null"
-	rep.Speedups = []speedup{}
 
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := sc.Text()
 		fmt.Println(line) // pass through so the run stays readable
+		if m := serveLine.FindStringSubmatch(line); m != nil {
+			queries, _ := strconv.Atoi(m[2])
+			ok, _ := strconv.Atoi(m[3])
+			shed, _ := strconv.Atoi(m[4])
+			p50, _ := strconv.ParseInt(m[5], 10, 64)
+			p99, _ := strconv.ParseInt(m[6], 10, 64)
+			rep.Serve = append(rep.Serve, serveRecord{
+				Endpoint: m[1], Queries: queries, OK: ok, Shed: shed, P50Ns: p50, P99Ns: p99,
+			})
+			continue
+		}
 		m := benchLine.FindStringSubmatch(line)
 		if m == nil {
 			continue
@@ -88,12 +118,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchcmp: reading stdin: %v\n", err)
 		os.Exit(1)
 	}
-	if len(rep.Benchmarks) == 0 {
-		fmt.Fprintln(os.Stderr, "benchcmp: no benchmark lines found on stdin")
+	if len(rep.Benchmarks) == 0 && len(rep.Serve) == 0 {
+		fmt.Fprintln(os.Stderr, "benchcmp: no benchmark or servesmoke lines found on stdin")
 		os.Exit(1)
 	}
 
-	rep.Speedups = append(rep.Speedups, pairSpeedups(rep.Benchmarks)...)
+	rep.Speedups = pairSpeedups(rep.Benchmarks)
 
 	data, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
@@ -111,7 +141,12 @@ func main() {
 		}
 		fmt.Printf("benchcmp: %s: %s -> %s = %.2fx\n", s.Benchmark, s.Baseline, s.Parallel, *s.Speedup)
 	}
-	fmt.Printf("benchcmp: wrote %s (GOMAXPROCS=%d, %d benchmarks)\n", *out, rep.GOMAXPROCS, len(rep.Benchmarks))
+	for _, r := range rep.Serve {
+		fmt.Printf("benchcmp: serve %s: %d/%d ok, %d shed, p50 %dns, p99 %dns\n",
+			r.Endpoint, r.OK, r.Queries, r.Shed, r.P50Ns, r.P99Ns)
+	}
+	fmt.Printf("benchcmp: wrote %s (GOMAXPROCS=%d, %d benchmarks, %d serve records)\n",
+		*out, rep.GOMAXPROCS, len(rep.Benchmarks), len(rep.Serve))
 }
 
 // pairSpeedups finds benchmark families with /j1 and /jN sub-benchmarks

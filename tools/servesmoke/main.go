@@ -1,0 +1,181 @@
+// Command servesmoke load-tests the serve daemon in-process: it analyzes
+// one synthetic network (net5 by default, the 881-router backbone), mounts
+// the full rlensd middleware stack on a local listener, fires N concurrent
+// queries at the /v1 endpoints, and prints one machine-readable line per
+// endpoint with query counts, shed counts, and p50/p99 latency:
+//
+//	servesmoke: endpoint=summary queries=200 ok=197 shed=3 p50_ns=81250 p99_ns=1220417
+//
+// tools/benchcmp parses these lines into the "serve" section of its JSON
+// report, so `make servesmoke` lands a BENCH_serve.json next to
+// BENCH_parallel.json with the same envelope (generated_by, goos, goarch,
+// gomaxprocs). Shedding is expected under deliberate oversubscription —
+// the point of the run is proving the limiter sheds instead of queueing
+// while every admitted query completes.
+//
+// Usage:
+//
+//	go run ./tools/servesmoke | go run ./tools/benchcmp -out BENCH_serve.json -generated-by "make servesmoke"
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"routinglens/internal/core"
+	"routinglens/internal/netgen"
+	"routinglens/internal/serve"
+	"routinglens/internal/telemetry"
+)
+
+func main() {
+	netName := flag.String("net", "net5", "synthetic network to serve")
+	seed := flag.Int64("seed", 2004, "corpus generation seed")
+	queries := flag.Int("queries", 200, "queries per endpoint")
+	concurrency := flag.Int("concurrency", 32, "concurrent clients")
+	maxInflight := flag.Int("max-inflight", 16, "server concurrency bound (kept below client concurrency so shedding is exercised)")
+	flag.Parse()
+
+	g := netgen.GenerateCorpus(*seed).ByName(*netName)
+	if g == nil {
+		fmt.Fprintf(os.Stderr, "servesmoke: no network named %q\n", *netName)
+		os.Exit(2)
+	}
+
+	an := core.NewAnalyzer()
+	reg := telemetry.NewRegistry()
+	s := serve.New(serve.Config{
+		Load: func(ctx context.Context) (*core.Result, error) {
+			return an.AnalyzeConfigsResult(ctx, g.Name, g.Configs)
+		},
+		MaxInFlight: *maxInflight,
+		Registry:    reg,
+		Logger:      slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	t0 := time.Now()
+	if err := s.Reload(context.Background()); err != nil {
+		fmt.Fprintf(os.Stderr, "servesmoke: analyzing %s: %v\n", g.Name, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "servesmoke: %s analyzed in %v (%d routers)\n",
+		g.Name, time.Since(t0).Round(time.Millisecond), g.Routers)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// One warm-up query per endpoint computes the lazy per-generation
+	// analyses (reachability, survivability) outside the timed run.
+	endpoints := []struct{ name, path string }{
+		{"summary", "/v1/summary"},
+		{"pathway", "/v1/pathway?router=" + firstRouter(g)},
+		{"reach", "/v1/reach"},
+		{"whatif", "/v1/whatif"},
+	}
+	client := ts.Client()
+	for _, ep := range endpoints {
+		resp, err := client.Get(ts.URL + ep.path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "servesmoke: warm-up %s: %v\n", ep.name, err)
+			os.Exit(1)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			fmt.Fprintf(os.Stderr, "servesmoke: warm-up %s: status %d\n", ep.name, resp.StatusCode)
+			os.Exit(1)
+		}
+	}
+
+	exitCode := 0
+	for _, ep := range endpoints {
+		lat, ok, shed, errs := hammer(client, ts.URL+ep.path, *queries, *concurrency)
+		if errs > 0 || ok == 0 {
+			fmt.Fprintf(os.Stderr, "servesmoke: endpoint %s: %d ok, %d unexpected responses\n", ep.name, ok, errs)
+			exitCode = 1
+		}
+		fmt.Printf("servesmoke: endpoint=%s queries=%d ok=%d shed=%d p50_ns=%d p99_ns=%d\n",
+			ep.name, *queries, ok, shed, percentile(lat, 50), percentile(lat, 99))
+	}
+	fmt.Fprintf(os.Stderr, "servesmoke: server counted %d shed, %d timeouts, %d panics\n",
+		reg.Counter(serve.MetricShed).Value(),
+		reg.Counter(serve.MetricTimeouts).Value(),
+		reg.Counter(serve.MetricPanicsRecovered).Value())
+	os.Exit(exitCode)
+}
+
+// hammer fires n GETs at url from c concurrent clients and returns the
+// latencies of the 200s, the 200/429 counts, and anything else as errs.
+func hammer(client *http.Client, url string, n, c int) (lat []time.Duration, ok, shed, errs int) {
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	work := make(chan struct{})
+	for w := 0; w < c; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range work {
+				start := time.Now()
+				resp, err := client.Get(url)
+				d := time.Since(start)
+				if err != nil {
+					mu.Lock()
+					errs++
+					mu.Unlock()
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				mu.Lock()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					ok++
+					lat = append(lat, d)
+				case http.StatusTooManyRequests:
+					shed++
+				default:
+					errs++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		work <- struct{}{}
+	}
+	close(work)
+	wg.Wait()
+	return lat, ok, shed, errs
+}
+
+// percentile returns the p-th percentile latency in nanoseconds (0 when
+// no samples landed).
+func percentile(lat []time.Duration, p int) int64 {
+	if len(lat) == 0 {
+		return 0
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	idx := (len(lat)-1)*p/100 + 1
+	if idx > len(lat) {
+		idx = len(lat)
+	}
+	return int64(lat[idx-1])
+}
+
+// firstRouter picks a deterministic pathway target: the lexically first
+// hostname in the network.
+func firstRouter(g *netgen.Generated) string {
+	names := make([]string, 0, len(g.Configs))
+	for n := range g.Configs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names[0]
+}
