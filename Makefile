@@ -1,17 +1,20 @@
 # Verification tiers. tier1 is the gate every PR must keep green; tier2
 # adds vet, the race detector over every package — that includes the
 # worker pools in core/experiments, the telemetry layer they share, and
-# the serve daemon's swap/shed/drain paths (with an extra iteration-count
-# run of the concurrent-queries-during-reload stress) — and a short fuzz
-# pass over every ingestion fuzz target (fuzzsmoke); benchsmoke runs the
-# instrumented pipeline benches once so stage-instrumentation overhead
-# stays visible in CI output; benchcmp runs the sequential-vs-parallel
-# sweeps and records the speedups (with the host's GOMAXPROCS) in
-# BENCH_parallel.json; servesmoke load-tests the rlensd stack in-process
-# against net5 and records per-endpoint p50/p99 latency and shed counts
-# in BENCH_serve.json.
+# the serve daemon's swap/shed/drain paths (with extra iteration-count
+# runs of the concurrent-queries-during-reload stresses, query cache on
+# and off) — and a short fuzz pass over every ingestion fuzz target
+# (fuzzsmoke); benchsmoke runs the instrumented pipeline benches once so
+# stage-instrumentation overhead stays visible in CI output; benchcmp
+# runs the sequential-vs-parallel sweeps and records the speedups (with
+# the host's GOMAXPROCS) in BENCH_parallel.json; cachebench runs the
+# cold-vs-warm incremental-analysis benchmark and records the warm-path
+# speedup in BENCH_cache.json; servesmoke load-tests the rlensd stack
+# in-process against net5 and records per-endpoint p50/p99 latency
+# (cached and uncached) plus reload round-trip latency in
+# BENCH_serve.json.
 
-.PHONY: tier1 tier2 fuzzsmoke benchsmoke benchcmp servesmoke all
+.PHONY: tier1 tier2 fuzzsmoke benchsmoke benchcmp cachebench servesmoke all
 
 all: tier1 tier2 benchsmoke
 
@@ -21,6 +24,8 @@ tier1:
 tier2: fuzzsmoke
 	go vet ./... && go test -race ./...
 	go test -race -count=3 -run '^TestConcurrentQueriesDuringReload$$' ./internal/serve
+	go test -race -count=3 -run '^TestConcurrentQueriesAcrossSwapWithQueryCache$$' ./internal/serve
+	go test -race -run '^TestParseCacheConcurrent$$' ./internal/parsecache
 
 # fuzzsmoke gives each parser/anonymizer fuzz target ~10s of random
 # input; a real campaign uses -fuzztime 30s+ per target. Saved crashers
@@ -34,6 +39,7 @@ fuzzsmoke:
 	go test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME) ./internal/junosparse
 	go test -run '^$$' -fuzz '^FuzzAnonymizeRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/anonymize
 	go test -run '^$$' -fuzz '^FuzzQueryParams$$' -fuzztime $(FUZZTIME) ./internal/serve
+	go test -run '^$$' -fuzz '^FuzzCacheKey$$' -fuzztime $(FUZZTIME) ./internal/parsecache
 
 benchsmoke:
 	go test -run '^$$' -bench BenchmarkAnalyze -benchtime=1x .
@@ -41,6 +47,10 @@ benchsmoke:
 benchcmp:
 	go test -run '^$$' -bench 'BenchmarkAnalyzeNet5$$|Parallel$$/j' -benchtime=2x . \
 		| go run ./tools/benchcmp -out BENCH_parallel.json
+
+cachebench:
+	go test -run '^$$' -bench 'BenchmarkAnalyzeDirNet5OneFileEdit' -benchtime=10x . \
+		| go run ./tools/benchcmp -out BENCH_cache.json -generated-by "make cachebench"
 
 servesmoke:
 	go run ./tools/servesmoke \

@@ -49,6 +49,7 @@ import (
 	"routinglens/internal/core"
 	"routinglens/internal/diag"
 	"routinglens/internal/netaddr"
+	"routinglens/internal/parsecache"
 	"routinglens/internal/simroute"
 	"routinglens/internal/telemetry"
 )
@@ -92,9 +93,13 @@ func main() {
 	ctx, stop := tele.Context()
 	defer stop()
 
+	// One parse cache is shared across every analysis this run performs:
+	// -diff's second AnalyzeDir re-parses only the files that actually
+	// differ between the two snapshots.
 	analyzer := core.NewAnalyzer(
 		core.WithParallelism(tele.Parallelism()),
 		core.WithFailFast(tele.FailFast),
+		core.WithCache(parsecache.New(parsecache.DefaultMaxEntries, 0)),
 	)
 	design, parseDiags, err := analyzer.AnalyzeDir(ctx, *dir)
 	if err != nil {

@@ -29,6 +29,13 @@
 // up (healthz 200, readyz 503, queries 503) so an operator can fix the
 // configs and POST /v1/reload.
 //
+// Caching: reloads are incremental — a content-addressed parse cache
+// (-parse-cache, entries; 0 disables) re-parses only the files whose
+// normalized content changed, and each loaded generation fronts its
+// query endpoints with a response LRU (-query-cache, entries; negative
+// disables) that a reload swap invalidates wholesale. /v1/reach is
+// precomputed at load time, before the new generation is published.
+//
 // -faults arms the deterministic fault-injection layer (testing only):
 // a semicolon-separated rule list like
 //
@@ -54,6 +61,7 @@ import (
 
 	"routinglens/internal/core"
 	"routinglens/internal/faultinject"
+	"routinglens/internal/parsecache"
 	"routinglens/internal/serve"
 	"routinglens/internal/telemetry"
 )
@@ -66,6 +74,8 @@ func main() {
 	reloadRetries := flag.Int("reload-retries", 2, "retries (with exponential backoff) before a failed reload gives up")
 	reloadBackoff := flag.Duration("reload-backoff", 250*time.Millisecond, "first reload retry backoff; doubles per attempt")
 	shutdownGrace := flag.Duration("shutdown-grace", 10*time.Second, "how long SIGTERM/SIGINT waits for in-flight requests to drain")
+	parseCache := flag.Int("parse-cache", parsecache.DefaultMaxEntries, "parse-cache entry bound; reloads re-parse only changed files (0 disables)")
+	queryCache := flag.Int("query-cache", 0, "query-cache entry bound per generation (0 uses the default 1024; negative disables)")
 	faults := flag.String("faults", "", "arm fault injection (testing): 'SITE:KIND[:opts][;...]', e.g. 'handler.pathway:panic:count=1'")
 	tele := telemetry.NewCLI("rlensd")
 	tele.RegisterFlags(flag.CommandLine)
@@ -98,18 +108,24 @@ func main() {
 		telemetry.Logger().Warn("fault injection armed — this is a testing mode", "rules", *faults)
 	}
 
+	analyzerOpts := []core.AnalyzerOption{
+		core.WithParallelism(tele.Parallelism()),
+		core.WithFailFast(tele.FailFast),
+		core.WithFaults(injector),
+	}
+	if *parseCache > 0 {
+		analyzerOpts = append(analyzerOpts, core.WithCache(parsecache.New(*parseCache, 0)))
+	}
 	s := serve.New(serve.Config{
-		Dir: *dir,
-		Analyzer: core.NewAnalyzer(
-			core.WithParallelism(tele.Parallelism()),
-			core.WithFailFast(tele.FailFast),
-		),
+		Dir:            *dir,
+		Analyzer:       core.NewAnalyzer(analyzerOpts...),
 		RequestTimeout: *reqTimeout,
 		MaxInFlight:    *maxInflight,
 		ReloadRetries:  *reloadRetries,
 		ReloadBackoff:  *reloadBackoff,
 		LoadTimeout:    tele.Timeout,
 		ShutdownGrace:  *shutdownGrace,
+		QueryCacheSize: *queryCache,
 		Faults:         injector,
 	})
 

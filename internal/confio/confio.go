@@ -98,19 +98,29 @@ func (s *Scanner) Err() error { return s.err }
 // Normalize canonicalizes one line (or a whole blob) of configuration
 // text: carriage returns and NUL bytes are dropped, tabs become single
 // spaces. Newlines survive, so it is safe on multi-line input too.
+//
+// The transformation is byte-preserving for everything else — invalid
+// UTF-8 passes through untouched rather than being replaced with
+// U+FFFD. That makes Normalize idempotent on arbitrary bytes, which the
+// parse cache depends on: its keys hash normalized content, so two
+// byte-strings that normalize equal must hash equal no matter how
+// corrupted the rest of the file is.
 func Normalize(s string) string {
 	if !strings.ContainsAny(s, "\r\t\x00") {
 		return s
 	}
-	return strings.Map(func(r rune) rune {
-		switch r {
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
 		case '\r', 0:
-			return -1
 		case '\t':
-			return ' '
+			b.WriteByte(' ')
+		default:
+			b.WriteByte(s[i])
 		}
-		return r
-	}, s)
+	}
+	return b.String()
 }
 
 // BannerSkipper tracks IOS banner blocks: "banner <type> <delim>" starts

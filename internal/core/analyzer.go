@@ -18,12 +18,24 @@ import (
 	"routinglens/internal/classify"
 	"routinglens/internal/devmodel"
 	"routinglens/internal/diag"
+	"routinglens/internal/faultinject"
 	"routinglens/internal/filters"
 	"routinglens/internal/instance"
 	"routinglens/internal/junosparse"
+	"routinglens/internal/parsecache"
 	"routinglens/internal/procgraph"
 	"routinglens/internal/telemetry"
 	"routinglens/internal/topology"
+)
+
+// Fault-injection sites the analyzer's cache path exposes. Both degrade
+// rather than fail: an injected (or real) cache error or panic on load
+// is treated as a miss and the file is re-parsed; on store the result is
+// simply not cached. Either way the analysis output is byte-identical to
+// an uncached run — the cache can be poisoned, never the result.
+const (
+	SiteCacheLoad  = "parsecache.load"
+	SiteCacheStore = "parsecache.store"
 )
 
 // Dialect hints accepted by WithDialectHint.
@@ -51,6 +63,15 @@ type Analyzer struct {
 	dialect     string // "", "auto", "ios", or "junos"
 	failFast    bool   // abort on the first unparseable file
 	logger      *slog.Logger
+	cache       *parsecache.Cache
+	faults      *faultinject.Injector
+
+	// statMu guards stats, the per-directory stat signatures AnalyzeDir
+	// uses to skip re-reading files that provably did not change between
+	// loads (see the racily-clean rule at statSlack). Inner maps are
+	// immutable once published: updates replace them wholesale.
+	statMu sync.Mutex
+	stats  map[string]map[string]statRecord // dir -> file name -> record
 }
 
 // AnalyzerOption configures an Analyzer.
@@ -88,6 +109,26 @@ func WithFailFast(ff bool) AnalyzerOption {
 	return func(a *Analyzer) { a.failFast = ff }
 }
 
+// WithCache attaches an incremental parse cache: per-file parse results
+// are memoized under (dialect, file name, SHA-256 of normalized
+// content), so a re-analysis after editing one file re-parses only that
+// file. The cache may be shared between analyzers and across calls from
+// any number of goroutines. Caching never changes the output: a hit
+// replays the exact parse result (device and diagnostics) the file
+// would produce fresh, and the final diagnostics ordering is the same
+// sorted order as always. Parse failures are never cached. A nil cache
+// is valid and disables memoization.
+func WithCache(c *parsecache.Cache) AnalyzerOption {
+	return func(a *Analyzer) { a.cache = c }
+}
+
+// WithFaults arms the analyzer's fault-injection sites (SiteCacheLoad,
+// SiteCacheStore) for testing. A nil injector — the default — injects
+// nothing.
+func WithFaults(inj *faultinject.Injector) AnalyzerOption {
+	return func(a *Analyzer) { a.faults = inj }
+}
+
 // NewAnalyzer builds an Analyzer from functional options.
 func NewAnalyzer(opts ...AnalyzerOption) *Analyzer {
 	a := &Analyzer{}
@@ -121,19 +162,30 @@ func (a *Analyzer) checkDialect() error {
 		a.dialect, DialectAuto, DialectIOS, DialectJunOS)
 }
 
+// resolveDialect decides which front end a file goes to: the forced
+// hint, or a per-file sniff under DialectAuto. It is a pure function of
+// (hint, content), which is what lets the parse cache key on the
+// resolved dialect instead of the hint — an auto-sniffed IOS file and a
+// forced-IOS file take the same parse path, so they may share an entry.
+func (a *Analyzer) resolveDialect(text string) string {
+	switch a.dialect {
+	case DialectJunOS:
+		return DialectJunOS
+	case DialectIOS:
+		return DialectIOS
+	default:
+		if junosparse.LooksLikeJunOS(text) {
+			return DialectJunOS
+		}
+		return DialectIOS
+	}
+}
+
 // parseFile dispatches one configuration to the dialect front end chosen
 // by the hint (or sniffed per file under DialectAuto) and reports which
 // dialect parsed it.
 func (a *Analyzer) parseFile(name, text string) (*devmodel.Device, []Diagnostic, string, error) {
-	junos := false
-	switch a.dialect {
-	case DialectJunOS:
-		junos = true
-	case DialectIOS:
-	default:
-		junos = junosparse.LooksLikeJunOS(text)
-	}
-	if junos {
+	if a.resolveDialect(text) == DialectJunOS {
 		res, err := junosparse.Parse(name, strings.NewReader(text))
 		if err != nil {
 			return nil, nil, DialectJunOS, err
@@ -147,27 +199,124 @@ func (a *Analyzer) parseFile(name, text string) (*devmodel.Device, []Diagnostic,
 	return res.Device, fromCisco(res.Diagnostics), DialectIOS, nil
 }
 
+// statSlack is the racily-clean margin of the AnalyzeDir stat fast
+// path. A file whose (size, mtime) match the previous load is skipped
+// without re-reading it ONLY if its mtime was already at least this
+// much older than that load — exactly git's index rule. The margin
+// covers coarse filesystem timestamp granularity: a file modified
+// "around" the moment it was last read could keep its old (size,
+// mtime) signature despite new content, so recently-touched files are
+// always re-read and content-hashed. The content-hash parse cache
+// remains the correctness layer for everything read; the stat layer
+// only decides what must be read at all.
+const statSlack = 100 * time.Millisecond
+
+// statSig is the change signature AnalyzeDir records per on-disk file.
+type statSig struct {
+	size    int64
+	mtimeNS int64
+}
+
+// statRecord remembers how one file looked when its content was last
+// read and which parse-cache key that content resolved to. trusted
+// marks records old enough (statSlack) for a signature match to prove
+// the content unchanged.
+type statRecord struct {
+	sig     statSig
+	key     parsecache.Key
+	trusted bool
+}
+
 // AnalyzeDir parses every regular file in dir as a router configuration
 // and extracts the network's routing design. The returned diagnostics
 // are warnings about individual malformed lines; they do not prevent
 // analysis.
+//
+// With a parse cache attached, re-analysis of the same directory is
+// incremental twice over: files whose stat signature proves them
+// unchanged (see statSlack) are not even re-read from disk, and files
+// that are re-read but hash to known content are not re-parsed.
 func (a *Analyzer) AnalyzeDir(ctx context.Context, dir string) (*Design, []Diagnostic, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, nil, err
 	}
-	configs := make(map[string]string)
+	dir = filepath.Clean(dir)
+	loadStart := time.Now()
+	prev := a.statRecords(dir)
+	inputs := make([]fileInput, 0, len(entries))
+	sigs := make(map[string]statSig, len(entries))
 	for _, e := range entries {
 		if !e.Type().IsRegular() {
 			continue
 		}
-		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		path := filepath.Join(dir, e.Name())
+		if a.cache != nil {
+			if fi, err := e.Info(); err == nil {
+				sig := statSig{size: fi.Size(), mtimeNS: fi.ModTime().UnixNano()}
+				sigs[e.Name()] = sig
+				if rec, ok := prev[e.Name()]; ok && rec.trusted && rec.sig == sig {
+					key := rec.key
+					inputs = append(inputs, fileInput{name: e.Name(), path: path, pre: &key})
+					continue
+				}
+			}
+		}
+		data, err := os.ReadFile(path)
 		if err != nil {
 			return nil, nil, err
 		}
-		configs[e.Name()] = string(data)
+		inputs = append(inputs, fileInput{name: e.Name(), path: path, text: string(data)})
 	}
-	return a.AnalyzeConfigs(ctx, filepath.Base(dir), configs)
+	design, diags, results, err := a.analyzeInputs(ctx, filepath.Base(dir), inputs)
+	if a.cache != nil && err == nil {
+		a.statUpdate(dir, loadStart, sigs, inputs, results)
+	}
+	return design, diags, err
+}
+
+// statRecords returns the previous load's records for dir (nil if none).
+func (a *Analyzer) statRecords(dir string) map[string]statRecord {
+	a.statMu.Lock()
+	defer a.statMu.Unlock()
+	return a.stats[dir]
+}
+
+// statUpdate publishes this load's records for dir: one per successfully
+// parsed file, trusted only when the file's mtime predates the load by
+// the racily-clean margin.
+func (a *Analyzer) statUpdate(dir string, loadStart time.Time, sigs map[string]statSig, inputs []fileInput, results []parsed) {
+	cutoff := loadStart.Add(-statSlack).UnixNano()
+	recs := make(map[string]statRecord, len(inputs))
+	for i, in := range inputs {
+		r := results[i]
+		if r.err != nil || r.dev == nil || !r.hasKey {
+			continue
+		}
+		sig, ok := sigs[in.name]
+		if !ok {
+			continue
+		}
+		recs[in.name] = statRecord{sig: sig, key: r.key, trusted: sig.mtimeNS < cutoff}
+	}
+	a.statMu.Lock()
+	if a.stats == nil {
+		a.stats = make(map[string]map[string]statRecord)
+	}
+	a.stats[dir] = recs
+	a.statMu.Unlock()
+}
+
+// fileInput is one configuration handed to the parse stage. Exactly one
+// of text or pre is meaningful: an in-memory configuration carries its
+// text; a stat-trusted on-disk file carries only the parse-cache key its
+// unchanged content resolved to last load, plus the path to fall back to
+// reading should that entry have been evicted.
+type fileInput struct {
+	name string
+	path string // on-disk location, "" for in-memory configurations
+	text string
+	pre  *parsecache.Key // stat-trusted key; nil means text is authoritative
 }
 
 // parsed is the outcome of one file parse, merged in input order after
@@ -178,6 +327,24 @@ type parsed struct {
 	dialect string
 	dur     time.Duration
 	err     error
+	cached  bool // served from the parse cache instead of a fresh parse
+
+	// key is the parse-cache key the result lives under (hasKey guards
+	// it); AnalyzeDir pairs it with the file's stat signature so the next
+	// load can skip reading the file entirely.
+	key    parsecache.Key
+	hasKey bool
+}
+
+// cacheEntry is what one successful parse stores in the parse cache.
+// Everything in it is immutable after the parse: the pipeline stages
+// never mutate a Device, and the merge loop copies diagnostics out by
+// value, so replaying the same entry into any number of later analyses
+// is safe.
+type cacheEntry struct {
+	dev     *devmodel.Device
+	diags   []Diagnostic
+	dialect string
 }
 
 // AnalyzeConfigs parses an in-memory set of configurations (hostname or
@@ -189,34 +356,44 @@ type parsed struct {
 // of the files that had already parsed, so interrupted runs can still
 // report partial findings.
 func (a *Analyzer) AnalyzeConfigs(ctx context.Context, name string, configs map[string]string) (*Design, []Diagnostic, error) {
+	inputs := make([]fileInput, 0, len(configs))
+	for fn, text := range configs {
+		inputs = append(inputs, fileInput{name: fn, text: text})
+	}
+	design, diags, _, err := a.analyzeInputs(ctx, name, inputs)
+	return design, diags, err
+}
+
+// analyzeInputs is the shared parse+analyze engine under AnalyzeDir and
+// AnalyzeConfigs. It sorts inputs by name in place, fans the parses out
+// over the worker pool, merges deterministically, and — on success —
+// returns the per-input parse results aligned with the (sorted) inputs
+// so AnalyzeDir can record stat signatures.
+func (a *Analyzer) analyzeInputs(ctx context.Context, name string, inputs []fileInput) (*Design, []Diagnostic, []parsed, error) {
 	if err := a.checkDialect(); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	names := make([]string, 0, len(configs))
-	for k := range configs {
-		names = append(names, k)
-	}
-	sort.Strings(names)
+	sort.Slice(inputs, func(i, j int) bool { return inputs[i].name < inputs[j].name })
 
 	reg := telemetry.RegistryFrom(ctx)
 	registerHelp(reg)
 	log := a.log().With("network", name)
 	workers := a.Parallelism()
-	if workers > len(names) && len(names) > 0 {
-		workers = len(names)
+	if workers > len(inputs) && len(inputs) > 0 {
+		workers = len(inputs)
 	}
 	reg.Gauge(MetricParallelism).Set(float64(workers))
 
 	pctx, parseSpan := telemetry.StartSpan(ctx, "parse")
-	results := make([]parsed, len(names))
+	results := make([]parsed, len(inputs))
 	if workers <= 1 {
-		for i, fn := range names {
+		for i := range inputs {
 			if err := ctx.Err(); err != nil {
 				parseSpan.Fail(err)
 				parseSpan.End()
-				return nil, partialDiags(results), err
+				return nil, partialDiags(results), nil, err
 			}
-			results[i] = a.parseIndexed(pctx, fn, configs[fn])
+			results[i] = a.parseInput(pctx, inputs[i])
 			if results[i].err != nil && a.failFast {
 				break
 			}
@@ -233,15 +410,14 @@ func (a *Analyzer) AnalyzeConfigs(ctx context.Context, name string, configs map[
 				defer wspan.End()
 				for {
 					i := int(next.Add(1)) - 1
-					if i >= len(names) || failed.Load() {
+					if i >= len(inputs) || failed.Load() {
 						return
 					}
 					if err := ctx.Err(); err != nil {
 						wspan.Fail(err)
 						return
 					}
-					fn := names[i]
-					results[i] = a.parseIndexed(wctx, fn, configs[fn])
+					results[i] = a.parseInput(wctx, inputs[i])
 					if results[i].err != nil && a.failFast {
 						failed.Store(true)
 						return
@@ -254,21 +430,38 @@ func (a *Analyzer) AnalyzeConfigs(ctx context.Context, name string, configs map[
 	if err := ctx.Err(); err != nil {
 		parseSpan.Fail(err)
 		parseSpan.End()
-		return nil, partialDiags(results), err
+		return nil, partialDiags(results), nil, err
 	}
 
 	// Merge in input order so worker scheduling never shows in the output.
 	n := &devmodel.Network{Name: name}
 	var diags []Diagnostic
 	var totalLines int64
+	var cacheHits, reparsed int
+	for _, r := range results {
+		switch {
+		case r.cached:
+			cacheHits++
+		case r.err != nil || r.dev != nil: // actually parsed (fail-fast stubs are neither)
+			reparsed++
+		}
+	}
+	if a.cache != nil {
+		reg.Counter(MetricCacheHits).Add(int64(cacheHits))
+		reg.Counter(MetricCacheMisses).Add(int64(reparsed))
+		reg.Gauge(MetricCacheEntries).Set(float64(a.cache.Len()))
+	}
+	// How many files this run had to parse fresh — the incremental-reload
+	// signal: 881 on a cold net5 load, 1 after a one-file edit.
+	reg.Gauge(MetricFilesReparsed).Set(float64(reparsed))
 	for i, r := range results {
 		if r.err != nil {
 			if a.failFast {
-				err := fmt.Errorf("core: parsing %s: %w", names[i], r.err)
+				err := fmt.Errorf("core: parsing %s: %w", inputs[i].name, r.err)
 				parseSpan.Fail(err)
 				parseSpan.End()
 				sortDiagnostics(diags)
-				return nil, diags, err
+				return nil, diags, nil, err
 			}
 			// Lenient (the default): the file is dropped from the network,
 			// the failure becomes a severity-error diagnostic, and analysis
@@ -276,9 +469,9 @@ func (a *Analyzer) AnalyzeConfigs(ctx context.Context, name string, configs map[
 			// diagnostic is emitted here, in sorted input order.
 			reg.Counter(MetricFilesSkipped).Inc()
 			log.Warn("skipping unparseable configuration",
-				"file", names[i], "dialect", r.dialect, "error", r.err)
+				"file", inputs[i].name, "dialect", r.dialect, "error", r.err)
 			diags = append(diags, Diagnostic{
-				File:     names[i],
+				File:     inputs[i].name,
 				Severity: diag.SevError,
 				Dialect:  r.dialect,
 				Msg:      skippedPrefix + r.err.Error(),
@@ -295,7 +488,7 @@ func (a *Analyzer) AnalyzeConfigs(ctx context.Context, name string, configs map[
 			reg.Counter(MetricDiagnostics, telemetry.L("severity", d.Severity.String())).Inc()
 		}
 		log.Debug("parsed configuration",
-			"file", names[i], "dialect", r.dialect, "lines", r.dev.RawLines,
+			"file", inputs[i].name, "dialect", r.dialect, "lines", r.dev.RawLines,
 			"diagnostics", len(r.diags), "duration", r.dur)
 		n.Devices = append(n.Devices, r.dev)
 		diags = append(diags, r.diags...)
@@ -306,9 +499,10 @@ func (a *Analyzer) AnalyzeConfigs(ctx context.Context, name string, configs map[
 		reg.Gauge(MetricParseLinesRate).Set(float64(totalLines) / secs)
 	}
 	log.Info("parsed network",
-		"files", len(names), "lines", totalLines, "workers", workers,
+		"files", len(inputs), "lines", totalLines, "workers", workers,
+		"cache_hits", cacheHits, "reparsed", reparsed,
 		"diagnostics", len(diags), "duration", parseDur.Round(time.Microsecond))
-	return a.Analyze(ctx, n), diags, nil
+	return a.Analyze(ctx, n), diags, results, nil
 }
 
 // partialDiags salvages the diagnostics of whatever files finished
@@ -325,15 +519,85 @@ func partialDiags(results []parsed) []Diagnostic {
 	return diags
 }
 
-// parseIndexed parses one file under a "parse-file" span.
-func (a *Analyzer) parseIndexed(ctx context.Context, fn, text string) parsed {
+// parseInput parses one file under a "parse-file" span, consulting the
+// parse cache when one is attached. A stat-trusted input tries its
+// recorded key first; if the entry was evicted (or the cache faulted)
+// the file is read back from disk and takes the ordinary content-hash
+// path — slower, never wrong.
+func (a *Analyzer) parseInput(ctx context.Context, in fileInput) parsed {
 	_, fileSpan := telemetry.StartSpan(ctx, "parse-file")
-	dev, ds, dialect, err := a.parseFile(fn, text)
+	if in.pre != nil {
+		if p, ok := a.cacheLoad(ctx, *in.pre); ok {
+			p.key, p.hasKey = *in.pre, true
+			p.dur = fileSpan.End()
+			return p
+		}
+		data, err := os.ReadFile(in.path)
+		if err != nil {
+			fileSpan.Fail(err)
+			return parsed{err: err, dur: fileSpan.End()}
+		}
+		in.text = string(data)
+	}
+	var key parsecache.Key
+	var hasKey bool
+	if a.cache != nil {
+		key = parsecache.KeyFor(a.resolveDialect(in.text), in.name, in.text)
+		hasKey = true
+		if p, ok := a.cacheLoad(ctx, key); ok {
+			p.key, p.hasKey = key, true
+			p.dur = fileSpan.End()
+			return p
+		}
+	}
+	dev, ds, dialect, err := a.parseFile(in.name, in.text)
 	if err != nil {
 		fileSpan.Fail(err)
+	} else if a.cache != nil {
+		a.cacheStore(ctx, key, &cacheEntry{dev: dev, diags: ds, dialect: dialect}, int64(len(in.text)))
 	}
 	dur := fileSpan.End()
-	return parsed{dev: dev, diags: ds, dialect: dialect, dur: dur, err: err}
+	return parsed{dev: dev, diags: ds, dialect: dialect, dur: dur, err: err, key: key, hasKey: hasKey}
+}
+
+// cacheLoad looks one file up in the parse cache. It can only improve
+// on a fresh parse, never corrupt one: an injected or real error is a
+// miss, and even a panicking cache degrades to a re-parse.
+func (a *Analyzer) cacheLoad(ctx context.Context, key parsecache.Key) (p parsed, ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			a.log().Warn("parse cache load panicked; re-parsing", "file", key.Name, "panic", fmt.Sprint(r))
+			p, ok = parsed{}, false
+		}
+	}()
+	if err := a.faults.Fire(ctx, SiteCacheLoad); err != nil {
+		return parsed{}, false
+	}
+	v, hit := a.cache.Get(key)
+	if !hit {
+		return parsed{}, false
+	}
+	e, isEntry := v.(*cacheEntry)
+	if !isEntry { // a poisoned value degrades to a re-parse
+		return parsed{}, false
+	}
+	return parsed{dev: e.dev, diags: e.diags, dialect: e.dialect, cached: true}, true
+}
+
+// cacheStore writes one successful parse into the cache; failures (or
+// injected faults) just skip the store.
+func (a *Analyzer) cacheStore(ctx context.Context, key parsecache.Key, e *cacheEntry, cost int64) {
+	defer func() {
+		if r := recover(); r != nil {
+			a.log().Warn("parse cache store panicked; result not cached", "file", key.Name, "panic", fmt.Sprint(r))
+		}
+	}()
+	if err := a.faults.Fire(ctx, SiteCacheStore); err != nil {
+		return
+	}
+	if evicted := a.cache.Put(key, e, cost); evicted > 0 {
+		telemetry.RegistryFrom(ctx).Counter(MetricCacheEvictions).Add(int64(evicted))
+	}
 }
 
 // Analyze runs the full extraction pipeline over a parsed network,

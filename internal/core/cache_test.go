@@ -1,0 +1,300 @@
+package core
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"routinglens/internal/faultinject"
+	"routinglens/internal/parsecache"
+	"routinglens/internal/telemetry"
+)
+
+// writeConfigDir materializes an in-memory config set as one file per
+// device so AnalyzeDir tests run against real on-disk state.
+func writeConfigDir(t *testing.T, configs map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, text := range configs {
+		if err := os.WriteFile(filepath.Join(dir, name+".cfg"), []byte(text), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// markStatTrusted flips every stat record the analyzer holds for dir to
+// trusted, standing in for the statSlack aging a real deployment gets
+// between reloads. Tests use it instead of sleeping past the
+// racily-clean margin.
+func markStatTrusted(a *Analyzer, dir string) {
+	dir = filepath.Clean(dir)
+	a.statMu.Lock()
+	defer a.statMu.Unlock()
+	for name, rec := range a.stats[dir] {
+		rec.trusted = true
+		a.stats[dir][name] = rec
+	}
+}
+
+// gauge reads a gauge's current value from a registry.
+func gauge(reg *telemetry.Registry, name string) float64 {
+	return reg.Gauge(name).Value()
+}
+
+// TestCacheDeterminism is the cache's core guarantee: with the parse
+// cache off, cold, or warm, Summary() and the diagnostics slice are
+// byte-identical at parallelism 1, 4, and GOMAXPROCS — including when
+// the lenient path skips a malformed file.
+func TestCacheDeterminism(t *testing.T) {
+	configs := mixedConfigs(t)
+	configs["m-broken"] = brokenJunos
+
+	for _, j := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		an := NewAnalyzer(WithParallelism(j))
+		baseline, baseDiags, err := an.AnalyzeConfigs(context.Background(), "mixed", configs)
+		if err != nil {
+			t.Fatalf("uncached j=%d: %v", j, err)
+		}
+
+		cached := NewAnalyzer(WithParallelism(j), WithCache(parsecache.New(0, 0)))
+		for _, mode := range []string{"cold", "warm"} {
+			d, diags, err := cached.AnalyzeConfigs(context.Background(), "mixed", configs)
+			if err != nil {
+				t.Fatalf("%s j=%d: %v", mode, j, err)
+			}
+			if d.Summary() != baseline.Summary() {
+				t.Errorf("%s j=%d: Summary() differs from uncached run:\n--- uncached\n%s\n--- %s\n%s",
+					mode, j, baseline.Summary(), mode, d.Summary())
+			}
+			if !reflect.DeepEqual(diags, baseDiags) {
+				t.Errorf("%s j=%d: diagnostics differ from uncached run:\n%v\nvs\n%v",
+					mode, j, baseDiags, diags)
+			}
+		}
+	}
+}
+
+// TestCacheIncrementalAnalyzeDir is the incremental-reload contract: a
+// one-file edit between two AnalyzeDir calls re-parses exactly one file
+// (routinglens_reload_files_reparsed = 1), replays the rest from the
+// cache, and produces the same design a from-scratch analyzer sees.
+func TestCacheIncrementalAnalyzeDir(t *testing.T) {
+	configs := mixedConfigs(t)
+	dir := writeConfigDir(t, configs)
+	an := NewAnalyzer(WithCache(parsecache.New(0, 0)))
+
+	reg := telemetry.NewRegistry()
+	ctx := telemetry.WithRegistry(context.Background(), reg)
+	if _, _, err := an.AnalyzeDir(ctx, dir); err != nil {
+		t.Fatal(err)
+	}
+	if got := gauge(reg, MetricFilesReparsed); got != float64(len(configs)) {
+		t.Errorf("cold load reparsed %v files, want %d", got, len(configs))
+	}
+
+	// Edit one file. The rewrite's fresh mtime also means the stat fast
+	// path cannot trust it, so the change is seen no matter how quickly
+	// the reload follows the edit.
+	edited := filepath.Join(dir, "jmix.cfg")
+	if err := os.WriteFile(edited, []byte(junosTestConfig+"\n/* touched */\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reg = telemetry.NewRegistry()
+	ctx = telemetry.WithRegistry(context.Background(), reg)
+	d, diags, err := an.AnalyzeDir(ctx, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := gauge(reg, MetricFilesReparsed); got != 1 {
+		t.Errorf("warm load reparsed %v files, want 1", got)
+	}
+	if hits := reg.Counter(MetricCacheHits).Value(); hits != int64(len(configs)-1) {
+		t.Errorf("warm load hit cache %d times, want %d", hits, len(configs)-1)
+	}
+
+	fresh, freshDiags, err := NewAnalyzer().AnalyzeDir(context.Background(), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Summary() != fresh.Summary() {
+		t.Errorf("incremental Summary() differs from from-scratch analysis:\n--- incremental\n%s\n--- fresh\n%s",
+			d.Summary(), fresh.Summary())
+	}
+	if !reflect.DeepEqual(diags, freshDiags) {
+		t.Errorf("incremental diagnostics differ from from-scratch analysis:\n%v\nvs\n%v", diags, freshDiags)
+	}
+}
+
+// TestCacheStatFastPath drives the racily-clean stat layer end to end:
+// trusted unchanged files skip the disk entirely, an edited file's new
+// signature forces a re-read, and a purged cache entry falls back to
+// the ordinary read-and-hash path — slower, never wrong.
+func TestCacheStatFastPath(t *testing.T) {
+	configs := mixedConfigs(t)
+	dir := writeConfigDir(t, configs)
+	cache := parsecache.New(0, 0)
+	an := NewAnalyzer(WithCache(cache))
+
+	base, baseDiags, err := an.AnalyzeDir(context.Background(), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Trusted records + unchanged stat signatures: nothing is read, every
+	// file replays from the key recorded last load.
+	markStatTrusted(an, dir)
+	reg := telemetry.NewRegistry()
+	d, diags, err := an.AnalyzeDir(telemetry.WithRegistry(context.Background(), reg), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := gauge(reg, MetricFilesReparsed); got != 0 {
+		t.Errorf("stat-trusted load reparsed %v files, want 0", got)
+	}
+	if d.Summary() != base.Summary() || !reflect.DeepEqual(diags, baseDiags) {
+		t.Error("stat-trusted load produced a different design")
+	}
+
+	// An edit changes the stat signature, so trust in the old record is
+	// void and the file is re-read and re-parsed.
+	if err := os.WriteFile(filepath.Join(dir, "jmix.cfg"), []byte(junosTestConfig+"\n/* edit */\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	markStatTrusted(an, dir)
+	reg = telemetry.NewRegistry()
+	if _, _, err := an.AnalyzeDir(telemetry.WithRegistry(context.Background(), reg), dir); err != nil {
+		t.Fatal(err)
+	}
+	if got := gauge(reg, MetricFilesReparsed); got != 1 {
+		t.Errorf("post-edit load reparsed %v files, want 1", got)
+	}
+
+	// Eviction of a trusted file's entry must not lose the file: the
+	// stat layer's key misses, the file is read back from disk, and the
+	// content-hash path re-parses it.
+	cache.Purge()
+	markStatTrusted(an, dir)
+	reg = telemetry.NewRegistry()
+	d, diags, err = an.AnalyzeDir(telemetry.WithRegistry(context.Background(), reg), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := gauge(reg, MetricFilesReparsed); got != float64(len(configs)) {
+		t.Errorf("post-purge load reparsed %v files, want %d", got, len(configs))
+	}
+	fresh, freshDiags, err := NewAnalyzer().AnalyzeDir(context.Background(), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Summary() != fresh.Summary() || !reflect.DeepEqual(diags, freshDiags) {
+		t.Error("post-purge fallback produced a different design")
+	}
+}
+
+// TestCacheDialectSeparatesKeys guards the key's dialect component: the
+// same bytes parsed under different dialect hints must not replay each
+// other's entries, because the cached Device came out of a different
+// front end.
+func TestCacheDialectSeparatesKeys(t *testing.T) {
+	configs := map[string]string{
+		"r1": "hostname r1\ninterface Ethernet0\n ip address 10.0.0.1 255.255.255.0\n",
+		"r2": "hostname r2\ninterface Ethernet0\n ip address 10.0.0.2 255.255.255.0\n",
+	}
+	cache := parsecache.New(0, 0)
+
+	ios := NewAnalyzer(WithCache(cache), WithDialectHint("ios"))
+	if _, _, err := ios.AnalyzeConfigs(context.Background(), "net", configs); err != nil {
+		t.Fatal(err)
+	}
+
+	junos := NewAnalyzer(WithCache(cache), WithDialectHint("junos"))
+	reg := telemetry.NewRegistry()
+	ctx := telemetry.WithRegistry(context.Background(), reg)
+	if _, _, err := junos.AnalyzeConfigs(ctx, "net", configs); err != nil {
+		t.Fatal(err)
+	}
+	if hits := reg.Counter(MetricCacheHits).Value(); hits != 0 {
+		t.Errorf("junos run replayed %d ios cache entries, want 0", hits)
+	}
+	if misses := reg.Counter(MetricCacheMisses).Value(); misses != int64(len(configs)) {
+		t.Errorf("junos run missed %d times, want %d", misses, len(configs))
+	}
+}
+
+// TestCacheFaultsDegradeGracefully arms the parsecache.load and
+// parsecache.store fault sites with errors and panics and checks the
+// acceptance rule for every cache fault: analysis output is identical
+// to an uncached run — the cache degrades to a no-op, never to wrong
+// answers.
+func TestCacheFaultsDegradeGracefully(t *testing.T) {
+	configs := mixedConfigs(t)
+	configs["m-broken"] = brokenJunos
+	baseline, baseDiags, err := NewAnalyzer().AnalyzeConfigs(context.Background(), "mixed", configs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		rule faultinject.Rule
+	}{
+		{"load-error", faultinject.Rule{Site: SiteCacheLoad, Kind: faultinject.KindError}},
+		{"store-error", faultinject.Rule{Site: SiteCacheStore, Kind: faultinject.KindError}},
+		{"load-panic", faultinject.Rule{Site: SiteCacheLoad, Kind: faultinject.KindPanic}},
+		{"store-panic", faultinject.Rule{Site: SiteCacheStore, Kind: faultinject.KindPanic}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			an := NewAnalyzer(
+				WithCache(parsecache.New(0, 0)),
+				WithFaults(faultinject.New(1, tc.rule)),
+			)
+			// Two runs: the first exercises store faults, the second load
+			// faults on whatever the first managed to cache.
+			for _, pass := range []string{"cold", "warm"} {
+				d, diags, err := an.AnalyzeConfigs(context.Background(), "mixed", configs)
+				if err != nil {
+					t.Fatalf("%s: %v", pass, err)
+				}
+				if d.Summary() != baseline.Summary() {
+					t.Errorf("%s: Summary() differs from uncached baseline under injected faults", pass)
+				}
+				if !reflect.DeepEqual(diags, baseDiags) {
+					t.Errorf("%s: diagnostics differ from uncached baseline under injected faults", pass)
+				}
+			}
+		})
+	}
+}
+
+// TestCacheEvictionUnderPressure runs a network through a cache with
+// room for only two entries: constant eviction must never change the
+// analysis, only its cost.
+func TestCacheEvictionUnderPressure(t *testing.T) {
+	configs := mixedConfigs(t)
+	baseline, baseDiags, err := NewAnalyzer().AnalyzeConfigs(context.Background(), "mixed", configs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := parsecache.New(2, 0)
+	an := NewAnalyzer(WithCache(cache))
+	for pass := 0; pass < 3; pass++ {
+		d, diags, err := an.AnalyzeConfigs(context.Background(), "mixed", configs)
+		if err != nil {
+			t.Fatalf("pass %d: %v", pass, err)
+		}
+		if d.Summary() != baseline.Summary() || !reflect.DeepEqual(diags, baseDiags) {
+			t.Errorf("pass %d: thrashing cache changed the analysis", pass)
+		}
+	}
+	if n := cache.Len(); n > 2 {
+		t.Errorf("cache holds %d entries, bound is 2", n)
+	}
+	if cache.Stats().Evictions == 0 {
+		t.Error("expected evictions under a 2-entry bound")
+	}
+}

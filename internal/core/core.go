@@ -40,6 +40,19 @@ const (
 	MetricInstances      = "routinglens_instances"
 	MetricProcesses      = "routinglens_processes"
 	MetricParallelism    = "routinglens_parallelism"
+
+	// Incremental parse-cache metrics (only emitted when a WithCache
+	// analyzer runs). Hits and misses are counted per analysis in the
+	// deterministic merge loop, not in the workers, so the counters are
+	// exact at any parallelism.
+	MetricCacheHits      = "routinglens_parsecache_hits_total"
+	MetricCacheMisses    = "routinglens_parsecache_misses_total"
+	MetricCacheEvictions = "routinglens_parsecache_evictions_total"
+	MetricCacheEntries   = "routinglens_parsecache_entries"
+	// MetricFilesReparsed is how many files the most recent analysis
+	// parsed fresh (cache misses plus files that failed to parse) —
+	// after a one-file edit, an incremental reload reads 1 here.
+	MetricFilesReparsed = "routinglens_reload_files_reparsed"
 )
 
 // registerHelp attaches export HELP strings to the pipeline metrics; it
@@ -53,6 +66,11 @@ func registerHelp(reg *telemetry.Registry) {
 	reg.SetHelp(MetricInstances, "Routing instances extracted, by network.")
 	reg.SetHelp(MetricProcesses, "Routing process graph nodes, by network.")
 	reg.SetHelp(MetricParallelism, "Worker-pool size of the last parse stage.")
+	reg.SetHelp(MetricCacheHits, "Per-file parse results served from the incremental parse cache.")
+	reg.SetHelp(MetricCacheMisses, "Files parsed fresh because the parse cache had no entry.")
+	reg.SetHelp(MetricCacheEvictions, "Parse-cache entries evicted by the LRU bounds.")
+	reg.SetHelp(MetricCacheEntries, "Parse-cache resident entries after the last analysis.")
+	reg.SetHelp(MetricFilesReparsed, "Files the most recent analysis parsed fresh (1 after a one-file edit with a warm cache).")
 	reg.SetHelp(telemetry.StageSecondsMetric, "Pipeline stage latency, by stage.")
 }
 

@@ -1,0 +1,46 @@
+package parsecache
+
+import (
+	"strings"
+	"testing"
+
+	"routinglens/internal/confio"
+)
+
+// FuzzCacheKey checks the key contract on arbitrary content: hashing is
+// deterministic, normalization-equivalent content shares a key, and any
+// of the three identity components (dialect, name, normalized content)
+// differing splits the key.
+func FuzzCacheKey(f *testing.F) {
+	f.Add("hostname r1\ninterface e0\n")
+	f.Add("hostname\tr1\r\n")
+	f.Add("")
+	f.Add("system {\n\thost-name j1;\r\n}\x00")
+	f.Fuzz(func(t *testing.T, content string) {
+		key := KeyFor("ios", "a.cfg", content)
+		if again := KeyFor("ios", "a.cfg", content); again != key {
+			t.Fatal("KeyFor is not deterministic")
+		}
+		// Hashing the already-normalized content must land on the same
+		// key: normalization is idempotent, and the key is defined over
+		// the normalized bytes.
+		if norm := KeyFor("ios", "a.cfg", confio.Normalize(content)); norm != key {
+			t.Fatal("normalized content hashed to a different key")
+		}
+		// Injected CRLF/tab noise normalizes away.
+		noisy := strings.ReplaceAll(content, "\n", "\r\n")
+		if KeyFor("ios", "a.cfg", noisy) != key {
+			t.Fatal("CRLF noise changed the key")
+		}
+		if KeyFor("junos", "a.cfg", content) == key {
+			t.Fatal("dialect does not separate keys")
+		}
+		if KeyFor("ios", "b.cfg", content) == key {
+			t.Fatal("file name does not separate keys")
+		}
+		// Appending a byte that survives normalization must change the key.
+		if KeyFor("ios", "a.cfg", content+"x") == key {
+			t.Fatal("content change did not change the key")
+		}
+	})
+}

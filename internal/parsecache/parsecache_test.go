@@ -1,0 +1,171 @@
+package parsecache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func k(name string) Key { return KeyFor("ios", name, "hostname "+name+"\n") }
+
+func TestKeyForIdentity(t *testing.T) {
+	base := KeyFor("ios", "r1.cfg", "hostname r1\n")
+	if got := KeyFor("ios", "r1.cfg", "hostname r1\n"); got != base {
+		t.Error("identical inputs produced different keys")
+	}
+	if got := KeyFor("junos", "r1.cfg", "hostname r1\n"); got == base {
+		t.Error("dialect change did not change the key")
+	}
+	if got := KeyFor("ios", "r2.cfg", "hostname r1\n"); got == base {
+		t.Error("name change did not change the key")
+	}
+	if got := KeyFor("ios", "r1.cfg", "hostname r2\n"); got == base {
+		t.Error("content change did not change the key")
+	}
+}
+
+func TestKeyForNormalization(t *testing.T) {
+	// CRLF, tabs, and NULs are canonicalized away by both parsers, so
+	// files differing only in that noise must share a key.
+	clean := KeyFor("ios", "r1.cfg", "hostname r1\ninterface e0\n")
+	noisy := KeyFor("ios", "r1.cfg", "hostname\tr1\r\ninterface\te0\x00\r\n")
+	if clean != noisy {
+		t.Error("normalization-equivalent content produced different keys")
+	}
+}
+
+func TestGetPutAndLRUOrder(t *testing.T) {
+	c := New(3, 0)
+	for _, n := range []string{"a", "b", "c"} {
+		c.Put(k(n), n, 1)
+	}
+	// Touch "a" so "b" is the LRU victim when "d" arrives.
+	if v, ok := c.Get(k("a")); !ok || v != "a" {
+		t.Fatalf("Get(a) = %v, %v; want a, true", v, ok)
+	}
+	if ev := c.Put(k("d"), "d", 1); ev != 1 {
+		t.Fatalf("Put(d) evicted %d, want 1", ev)
+	}
+	if _, ok := c.Get(k("b")); ok {
+		t.Error("b survived eviction; LRU order wrong")
+	}
+	for _, n := range []string{"a", "c", "d"} {
+		if _, ok := c.Get(k(n)); !ok {
+			t.Errorf("%s missing after eviction", n)
+		}
+	}
+}
+
+func TestPutRefreshesExisting(t *testing.T) {
+	c := New(2, 0)
+	c.Put(k("a"), "old", 5)
+	c.Put(k("b"), "b", 1)
+	if ev := c.Put(k("a"), "new", 7); ev != 0 {
+		t.Fatalf("refreshing Put evicted %d, want 0", ev)
+	}
+	if v, _ := c.Get(k("a")); v != "new" {
+		t.Errorf("Get(a) = %v, want new", v)
+	}
+	if st := c.Stats(); st.Entries != 2 || st.Cost != 8 {
+		t.Errorf("stats = %+v, want 2 entries cost 8", st)
+	}
+}
+
+func TestCostBoundEvicts(t *testing.T) {
+	c := New(0, 10)
+	c.Put(k("a"), "a", 4)
+	c.Put(k("b"), "b", 4)
+	if ev := c.Put(k("c"), "c", 4); ev != 1 {
+		t.Fatalf("Put(c) evicted %d, want 1", ev)
+	}
+	if _, ok := c.Get(k("a")); ok {
+		t.Error("a survived cost eviction")
+	}
+	if st := c.Stats(); st.Cost > 10 {
+		t.Errorf("cost %d exceeds bound 10", st.Cost)
+	}
+}
+
+func TestOversizedValueRejected(t *testing.T) {
+	c := New(0, 10)
+	c.Put(k("a"), "a", 4)
+	if ev := c.Put(k("huge"), "huge", 11); ev != 0 {
+		t.Fatalf("oversized Put evicted %d, want 0", ev)
+	}
+	if _, ok := c.Get(k("huge")); ok {
+		t.Error("oversized value was admitted")
+	}
+	if _, ok := c.Get(k("a")); !ok {
+		t.Error("oversized Put displaced resident entries")
+	}
+}
+
+func TestStatsAndPurge(t *testing.T) {
+	c := New(4, 0)
+	c.Put(k("a"), "a", 2)
+	c.Get(k("a"))
+	c.Get(k("missing"))
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 || st.Cost != 2 {
+		t.Errorf("stats = %+v, want 1 hit, 1 miss, 1 entry, cost 2", st)
+	}
+	c.Purge()
+	if st := c.Stats(); st.Entries != 0 || st.Cost != 0 {
+		t.Errorf("post-purge stats = %+v, want empty", st)
+	}
+	if st := c.Stats(); st.Hits != 1 {
+		t.Errorf("purge reset hit counter: %+v", st)
+	}
+}
+
+func TestNilCacheIsValid(t *testing.T) {
+	var c *Cache
+	if _, ok := c.Get(k("a")); ok {
+		t.Error("nil cache reported a hit")
+	}
+	if ev := c.Put(k("a"), "a", 1); ev != 0 {
+		t.Error("nil cache evicted")
+	}
+	if c.Len() != 0 {
+		t.Error("nil cache has entries")
+	}
+	c.Purge() // must not panic
+	if st := c.Stats(); st != (Stats{}) {
+		t.Errorf("nil cache stats = %+v, want zero", st)
+	}
+}
+
+// TestParseCacheConcurrent exercises the cache from many goroutines under
+// -race: overlapping gets, puts, stats, and purges on a small cache that
+// is constantly evicting.
+func TestParseCacheConcurrent(t *testing.T) {
+	c := New(8, 64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := k(fmt.Sprintf("f%d", (g+i)%16))
+				if v, ok := c.Get(key); ok {
+					if v.(string) != key.Name {
+						t.Errorf("got %v under key %s", v, key.Name)
+						return
+					}
+				} else {
+					c.Put(key, key.Name, int64(i%8))
+				}
+				if i%97 == 0 {
+					c.Stats()
+				}
+				if g == 0 && i%251 == 0 {
+					c.Purge()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 8 {
+		t.Errorf("len %d exceeds entry bound 8", c.Len())
+	}
+}

@@ -12,6 +12,7 @@ package reach
 
 import (
 	"sort"
+	"sync"
 
 	"routinglens/internal/addrspace"
 	"routinglens/internal/devmodel"
@@ -20,11 +21,20 @@ import (
 	"routinglens/internal/simroute"
 )
 
-// Analysis bundles the models needed for reachability queries.
+// Analysis bundles the models needed for reachability queries. The
+// network-wide views (HasDefaultRoute, AdmittedExternalRoutes) are
+// memoized on first use: they walk every device through the simulator,
+// which on a large network costs far more than any single query, and
+// the underlying models never change after Analyze. Use by pointer.
 type Analysis struct {
 	Model *instance.Model
 	Sim   *simroute.Sim
 	Space *addrspace.Structure
+
+	defOnce sync.Once
+	def     bool
+	extOnce sync.Once
+	ext     []netaddr.Prefix
 }
 
 // Analyze runs the control-plane simulation with the given external route
@@ -162,31 +172,39 @@ func (a *Analysis) BlockReachesBlock(src, dst netaddr.Prefix) bool {
 // default route (0.0.0.0/0) — the precondition for "reachability to the
 // Internet at large".
 func (a *Analysis) HasDefaultRoute() bool {
-	def := netaddr.PrefixFrom(0, 0)
-	for _, d := range a.Model.Graph.Network.Devices {
-		if a.Sim.HasRoute(d, def) {
-			return true
+	a.defOnce.Do(func() {
+		def := netaddr.PrefixFrom(0, 0)
+		for _, d := range a.Model.Graph.Network.Devices {
+			if a.Sim.HasRoute(d, def) {
+				a.def = true
+				return
+			}
 		}
-	}
-	return false
+	})
+	return a.def
 }
 
 // AdmittedExternalRoutes returns the external-origin prefixes that made it
 // into any router RIB — the routes the network's ingress policies allowed
 // in.
 func (a *Analysis) AdmittedExternalRoutes() []netaddr.Prefix {
-	seen := make(map[netaddr.Prefix]bool)
-	var out []netaddr.Prefix
-	for _, d := range a.Model.Graph.Network.Devices {
-		for _, p := range a.Sim.ExternalRoutesAt(d) {
-			if !seen[p] {
-				seen[p] = true
-				out = append(out, p)
+	a.extOnce.Do(func() {
+		seen := make(map[netaddr.Prefix]bool)
+		var out []netaddr.Prefix
+		for _, d := range a.Model.Graph.Network.Devices {
+			for _, p := range a.Sim.ExternalRoutesAt(d) {
+				if !seen[p] {
+					seen[p] = true
+					out = append(out, p)
+				}
 			}
 		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
-	return out
+		sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+		a.ext = out
+	})
+	// Callers get their own copy; the memoized slice is shared across
+	// concurrent queries.
+	return append([]netaddr.Prefix(nil), a.ext...)
 }
 
 // AnnouncedRoutes returns the prefixes announced to each external AS.

@@ -41,17 +41,6 @@ func writeText(w http.ResponseWriter, text string) {
 	fmt.Fprint(w, text)
 }
 
-// parse runs ParseQuery for a handler and writes the 400 itself; the
-// bool reports whether the handler should proceed.
-func parse(w http.ResponseWriter, r *http.Request, endpoint string) (Query, bool) {
-	q, err := ParseQuery(endpoint, r.URL.RawQuery)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
-		return Query{}, false
-	}
-	return q, true
-}
-
 // handleHealthz answers "the process is up" — nothing more. It is 200
 // from the first listen to the last drained request, design or not.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -145,11 +134,7 @@ type summaryResponse struct {
 	LoadedAt       string   `json:"loaded_at"`
 }
 
-func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request, st *State) {
-	q, ok := parse(w, r, "summary")
-	if !ok {
-		return
-	}
+func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request, st *State, q Query) {
 	d := st.Res.Design
 	if q.Format == "text" {
 		writeText(w, d.Summary())
@@ -186,11 +171,7 @@ type pathwayHop struct {
 	Depth    int    `json:"depth"`
 }
 
-func (s *Server) handlePathway(w http.ResponseWriter, r *http.Request, st *State) {
-	q, ok := parse(w, r, "pathway")
-	if !ok {
-		return
-	}
+func (s *Server) handlePathway(w http.ResponseWriter, r *http.Request, st *State, q Query) {
 	g, err := st.Res.Design.Pathway(q.Router)
 	if err != nil {
 		writeError(w, http.StatusNotFound, err.Error())
@@ -231,11 +212,7 @@ type reachResponse struct {
 	Seq              int64    `json:"seq"`
 }
 
-func (s *Server) handleReach(w http.ResponseWriter, r *http.Request, st *State) {
-	q, ok := parse(w, r, "reach")
-	if !ok {
-		return
-	}
+func (s *Server) handleReach(w http.ResponseWriter, r *http.Request, st *State, q Query) {
 	an := st.Reach()
 	resp := reachResponse{Seq: st.Seq}
 	if q.HasBlocks {
@@ -267,11 +244,7 @@ type whatifResponse struct {
 // stays bounded on pathological networks.
 const maxWhatifEntries = 100
 
-func (s *Server) handleWhatif(w http.ResponseWriter, r *http.Request, st *State) {
-	q, ok := parse(w, r, "whatif")
-	if !ok {
-		return
-	}
+func (s *Server) handleWhatif(w http.ResponseWriter, r *http.Request, st *State, q Query) {
 	wa := st.Whatif()
 	if q.Format == "text" {
 		writeText(w, wa.Summary())

@@ -12,11 +12,12 @@ import (
 // query assembles the middleware stack of one /v1 query endpoint,
 // outermost first: metrics/span instrumentation, panic recovery, the
 // concurrency limiter, the per-request timeout, the fault-injection
-// hook, and finally the handler itself (which receives the pinned
-// design generation). /healthz, /readyz, /metrics, and /v1/reload use
+// hook, the per-generation query cache, and finally the handler itself
+// (which receives the pinned design generation and its validated,
+// canonicalized query). /healthz, /readyz, /metrics, and /v1/reload use
 // the lighter plain stack — they must answer even when queries are
 // saturated or timing out.
-func (s *Server) query(name string, h func(http.ResponseWriter, *http.Request, *State)) http.Handler {
+func (s *Server) query(name string, h func(http.ResponseWriter, *http.Request, *State, Query)) http.Handler {
 	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			writeError(w, http.StatusMethodNotAllowed, "use GET")
@@ -31,7 +32,40 @@ func (s *Server) query(name string, h func(http.ResponseWriter, *http.Request, *
 			writeError(w, http.StatusServiceUnavailable, "no design loaded yet")
 			return
 		}
-		h(w, r, st)
+		q, err := ParseQuery(name, r.URL.RawQuery)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		if s.qc == nil {
+			h(w, r, st, q)
+			return
+		}
+		// The key embeds the pinned generation's seq, so a response can
+		// only ever be served to requests of the generation that computed
+		// it — a reload swap makes every older entry unreachable.
+		key := qkey(st.Seq, q)
+		if e, ok := s.qc.get(key); ok {
+			s.reg.Counter(MetricQueryCacheHits, telemetry.L("endpoint", name)).Inc()
+			e.serveTo(w)
+			return
+		}
+		s.reg.Counter(MetricQueryCacheMisses, telemetry.L("endpoint", name)).Inc()
+		bw := &bufferedResponse{header: make(http.Header)}
+		h(bw, r, st, q)
+		if bw.status == 0 || bw.status == http.StatusOK {
+			// Only 200s are cached: errors stay cheap to recompute and a
+			// transient failure must not be pinned for a generation.
+			if ev := s.qc.put(key, &qentry{
+				status: http.StatusOK,
+				ctype:  bw.header.Get("Content-Type"),
+				body:   bw.body.Bytes(),
+			}); ev > 0 {
+				s.reg.Counter(MetricQueryCacheEvictions).Add(int64(ev))
+			}
+			s.reg.Gauge(MetricQueryCacheEntries).Set(float64(s.qc.len()))
+		}
+		bw.flushTo(w)
 	})
 	stack := s.withTimeout(inner)
 	stack = s.withShed(stack)

@@ -92,6 +92,10 @@ type Config struct {
 	// ShutdownGrace is how long Run waits for in-flight requests to
 	// drain after SIGTERM/SIGINT (default 10s).
 	ShutdownGrace time.Duration
+	// QueryCacheSize bounds the per-generation query-response LRU in
+	// front of the /v1 endpoints. 0 means the default (1024 entries);
+	// negative disables response caching entirely.
+	QueryCacheSize int
 	// Registry receives the daemon's metrics; nil means telemetry.Default.
 	Registry *telemetry.Registry
 	// Logger receives the daemon's logs; nil means telemetry.Logger().
@@ -118,13 +122,45 @@ type State struct {
 
 // Reach returns the state's reachability analysis, computing it on first
 // use with a default route injected at every external peer (the same
-// injection rdesign -trace uses).
+// injection rdesign -trace uses). On the daemon's serving path this is
+// only a fallback: Reload precomputes the analysis before publishing the
+// generation, so queries find it already resident.
 func (st *State) Reach() *reach.Analysis {
-	st.reachOnce.Do(func() {
-		def := netaddr.PrefixFrom(0, 0)
-		st.reached = st.Res.Design.Reachability([]simroute.ExternalRoute{{Prefix: def}})
-	})
+	st.reachOnce.Do(func() { st.reached = st.computeReach() })
 	return st.reached
+}
+
+// computeReach is the pure reachability computation shared by the lazy
+// Reach path and the eager precompute.
+func (st *State) computeReach() *reach.Analysis {
+	def := netaddr.PrefixFrom(0, 0)
+	return st.Res.Design.Reachability([]simroute.ExternalRoute{{Prefix: def}})
+}
+
+// precomputeReach eagerly builds the admitted-external reachability view
+// — the ~100x-costlier-than-anything-else analysis that used to run
+// lazily inside the first /v1/reach request of every generation, where
+// it monopolized limiter slots and shed load. Running it here, before
+// the generation is published, keeps the request path allocation-cheap.
+// The computation happens outside the sync.Once on purpose: a panic
+// inside Once.Do would mark the Once done with a nil result and poison
+// every later Reach() of the generation, whereas this way a panicking
+// precompute (e.g. a pathological design) just logs and degrades back
+// to the lazy path.
+func (st *State) precomputeReach(log *slog.Logger) {
+	defer func() {
+		if r := recover(); r != nil {
+			log.Warn("reach precompute panicked; falling back to lazy computation",
+				"seq", st.Seq, "panic", fmt.Sprint(r))
+		}
+	}()
+	an := st.computeReach()
+	// Warm the network-wide views too: they walk every device through
+	// the simulator, and the handler reads them on every paramless
+	// /v1/reach query.
+	an.HasDefaultRoute()
+	an.AdmittedExternalRoutes()
+	st.reachOnce.Do(func() { st.reached = an })
 }
 
 // Whatif returns the state's survivability analysis, computed on first use.
@@ -151,6 +187,7 @@ type Server struct {
 	faults *faultinject.Injector
 
 	sem      chan struct{}
+	qc       *qcache
 	cur      atomic.Pointer[State]
 	seq      atomic.Int64
 	degraded atomic.Bool
@@ -177,6 +214,9 @@ func New(cfg Config) *Server {
 	if cfg.ShutdownGrace <= 0 {
 		cfg.ShutdownGrace = 10 * time.Second
 	}
+	if cfg.QueryCacheSize == 0 {
+		cfg.QueryCacheSize = 1024
+	}
 	s := &Server{
 		cfg:    cfg,
 		an:     cfg.Analyzer,
@@ -184,6 +224,9 @@ func New(cfg Config) *Server {
 		log:    cfg.Logger,
 		faults: cfg.Faults,
 		sem:    make(chan struct{}, cfg.MaxInFlight),
+	}
+	if cfg.QueryCacheSize > 0 {
+		s.qc = newQCache(cfg.QueryCacheSize)
 	}
 	if s.an == nil {
 		s.an = core.NewAnalyzer()
@@ -209,6 +252,10 @@ func registerHelp(reg *telemetry.Registry) {
 	reg.SetHelp(MetricReloads, "Design load attempts, by result.")
 	reg.SetHelp(MetricDesignSeq, "Sequence number of the design generation being served.")
 	reg.SetHelp(MetricInFlight, "Queries currently holding a concurrency slot.")
+	reg.SetHelp(MetricQueryCacheHits, "Query responses served from the per-generation cache, by endpoint.")
+	reg.SetHelp(MetricQueryCacheMisses, "Queries computed because the per-generation cache had no entry, by endpoint.")
+	reg.SetHelp(MetricQueryCacheEvictions, "Query-cache entries evicted by the LRU bound.")
+	reg.SetHelp(MetricQueryCacheEntries, "Query-cache resident entries.")
 	reg.SetHelp(faultinject.MetricFaultsInjected, "Deliberately injected faults, by site and kind.")
 }
 
@@ -269,7 +316,19 @@ func (s *Server) Reload(ctx context.Context) error {
 		res, err := s.load(ctx)
 		if err == nil {
 			st := &State{Res: res, Seq: s.seq.Add(1), LoadedAt: time.Now()}
+			// Precompute the expensive per-generation analysis BEFORE the
+			// pointer swap: queries keep hitting the previous generation's
+			// resident view until the new one is fully warm, so a reload
+			// never exposes a cold (sheddable) /v1/reach window.
+			pstart := time.Now()
+			st.precomputeReach(s.log)
+			precomputeDur := time.Since(pstart)
 			s.cur.Store(st)
+			// Every older generation's cached responses are unreachable now
+			// (keys embed the seq); purge them rather than waiting for LRU
+			// pressure to age them out.
+			s.qc.purge()
+			s.reg.Gauge(MetricQueryCacheEntries).Set(0)
 			s.degraded.Store(false)
 			s.reg.Counter(MetricReloads, telemetry.L("result", "ok")).Inc()
 			s.reg.Gauge(MetricDesignSeq).Set(float64(st.Seq))
@@ -279,6 +338,8 @@ func (s *Server) Reload(ctx context.Context) error {
 				"routers", len(res.Design.Network.Devices),
 				"instances", len(res.Design.Instances.Instances),
 				"skipped_files", len(res.Skipped),
+				"files_reparsed", int64(s.reg.Gauge(core.MetricFilesReparsed).Value()),
+				"reach_precompute", precomputeDur.Round(time.Millisecond),
 				"elapsed", res.Elapsed.Round(time.Millisecond))
 			return nil
 		}

@@ -124,6 +124,7 @@ func main() {
 	}
 
 	rep.Speedups = pairSpeedups(rep.Benchmarks)
+	rep.Speedups = append(rep.Speedups, pairColdWarm(rep.Benchmarks)...)
 
 	data, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
@@ -147,6 +148,56 @@ func main() {
 	}
 	fmt.Printf("benchcmp: wrote %s (GOMAXPROCS=%d, %d benchmarks, %d serve records)\n",
 		*out, rep.GOMAXPROCS, len(rep.Benchmarks), len(rep.Serve))
+}
+
+// pairColdWarm finds benchmark families with /cold and /warm
+// sub-benchmarks — the incremental-cache benchmarks — and reports
+// ns(cold)/ns(warm), i.e. how much faster the warm (cached) leg is.
+// The record reuses the speedup shape with baseline "cold".
+func pairColdWarm(bs []benchmark) []speedup {
+	type legs struct{ cold, warm float64 }
+	families := make(map[string]*legs)
+	for _, b := range bs {
+		base, sub, ok := strings.Cut(b.Name, "/")
+		if !ok || (sub != "cold" && sub != "warm") {
+			continue
+		}
+		l := families[base]
+		if l == nil {
+			l = &legs{}
+			families[base] = l
+		}
+		if sub == "cold" {
+			l.cold = b.NsPerOp
+		} else {
+			l.warm = b.NsPerOp
+		}
+	}
+	names := make([]string, 0, len(families))
+	for name := range families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	cores := runtime.GOMAXPROCS(0)
+	var out []speedup
+	for _, name := range names {
+		l := families[name]
+		if l.cold == 0 || l.warm == 0 {
+			fmt.Fprintf(os.Stderr, "benchcmp: %s: missing cold or warm leg; recording speedup null\n", name)
+			out = append(out, speedup{Benchmark: name, Cores: cores, Baseline: "cold"})
+			continue
+		}
+		s := l.cold / l.warm
+		out = append(out, speedup{
+			Benchmark: name,
+			Cores:     cores,
+			Baseline:  "cold",
+			Parallel:  "warm",
+			Speedup:   &s,
+		})
+	}
+	return out
 }
 
 // pairSpeedups finds benchmark families with /j1 and /jN sub-benchmarks

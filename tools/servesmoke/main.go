@@ -6,6 +6,15 @@
 //
 //	servesmoke: endpoint=summary queries=200 ok=197 shed=3 p50_ns=81250 p99_ns=1220417
 //
+// Two servers are hammered from the same analyzed design: one with the
+// per-generation query cache disabled (rows endpoint=<name>, the
+// compute-every-request latency) and one with it enabled (rows
+// endpoint=<name>:warm, the cache-replay latency). A final
+// endpoint=reload row times POST /v1/reload round trips — incremental
+// thanks to the shared parse cache, and inclusive of the /v1/reach
+// precompute that now happens at swap time instead of on the first
+// query.
+//
 // tools/benchcmp parses these lines into the "serve" section of its JSON
 // report, so `make servesmoke` lands a BENCH_serve.json next to
 // BENCH_parallel.json with the same envelope (generated_by, goos, goarch,
@@ -33,6 +42,7 @@ import (
 
 	"routinglens/internal/core"
 	"routinglens/internal/netgen"
+	"routinglens/internal/parsecache"
 	"routinglens/internal/serve"
 	"routinglens/internal/telemetry"
 )
@@ -51,15 +61,27 @@ func main() {
 		os.Exit(2)
 	}
 
-	an := core.NewAnalyzer()
+	// The two servers share one analyzer, so the parse cache primed by the
+	// first load makes every later load incremental.
+	an := core.NewAnalyzer(core.WithCache(parsecache.New(parsecache.DefaultMaxEntries, 0)))
+	load := func(ctx context.Context) (*core.Result, error) {
+		return an.AnalyzeConfigsResult(ctx, g.Name, g.Configs)
+	}
+	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
 	reg := telemetry.NewRegistry()
 	s := serve.New(serve.Config{
-		Load: func(ctx context.Context) (*core.Result, error) {
-			return an.AnalyzeConfigsResult(ctx, g.Name, g.Configs)
-		},
+		Load:        load,
 		MaxInFlight: *maxInflight,
 		Registry:    reg,
-		Logger:      slog.New(slog.NewTextHandler(io.Discard, nil)),
+		Logger:      quiet,
+	})
+	coldReg := telemetry.NewRegistry()
+	sCold := serve.New(serve.Config{
+		Load:           load,
+		MaxInFlight:    *maxInflight,
+		Registry:       coldReg,
+		Logger:         quiet,
+		QueryCacheSize: -1, // compute every request: the pre-cache baseline
 	})
 	t0 := time.Now()
 	if err := s.Reload(context.Background()); err != nil {
@@ -68,47 +90,109 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "servesmoke: %s analyzed in %v (%d routers)\n",
 		g.Name, time.Since(t0).Round(time.Millisecond), g.Routers)
+	if err := sCold.Reload(context.Background()); err != nil {
+		fmt.Fprintf(os.Stderr, "servesmoke: analyzing %s (cold server): %v\n", g.Name, err)
+		os.Exit(1)
+	}
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
+	tsCold := httptest.NewServer(sCold.Handler())
+	defer tsCold.Close()
 
-	// One warm-up query per endpoint computes the lazy per-generation
-	// analyses (reachability, survivability) outside the timed run.
+	// One warm-up query per endpoint computes the remaining lazy
+	// per-generation analysis (survivability) outside the timed run —
+	// reachability is already precomputed at load time — and, on the
+	// cached server, populates the query cache so its rows measure
+	// replay.
 	endpoints := []struct{ name, path string }{
 		{"summary", "/v1/summary"},
 		{"pathway", "/v1/pathway?router=" + firstRouter(g)},
 		{"reach", "/v1/reach"},
 		{"whatif", "/v1/whatif"},
 	}
-	client := ts.Client()
-	for _, ep := range endpoints {
-		resp, err := client.Get(ts.URL + ep.path)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "servesmoke: warm-up %s: %v\n", ep.name, err)
-			os.Exit(1)
-		}
-		io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusOK {
-			fmt.Fprintf(os.Stderr, "servesmoke: warm-up %s: status %d\n", ep.name, resp.StatusCode)
-			os.Exit(1)
+	warmUp := func(ts *httptest.Server) {
+		client := ts.Client()
+		for _, ep := range endpoints {
+			resp, err := client.Get(ts.URL + ep.path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "servesmoke: warm-up %s: %v\n", ep.name, err)
+				os.Exit(1)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				fmt.Fprintf(os.Stderr, "servesmoke: warm-up %s: status %d\n", ep.name, resp.StatusCode)
+				os.Exit(1)
+			}
 		}
 	}
+	warmUp(tsCold)
+	warmUp(ts)
 
 	exitCode := 0
-	for _, ep := range endpoints {
-		lat, ok, shed, errs := hammer(client, ts.URL+ep.path, *queries, *concurrency)
+	run := func(ts *httptest.Server, suffix string) {
+		client := ts.Client()
+		for _, ep := range endpoints {
+			lat, ok, shed, errs := hammer(client, ts.URL+ep.path, *queries, *concurrency)
+			if errs > 0 || ok == 0 {
+				fmt.Fprintf(os.Stderr, "servesmoke: endpoint %s%s: %d ok, %d unexpected responses\n", ep.name, suffix, ok, errs)
+				exitCode = 1
+			}
+			fmt.Printf("servesmoke: endpoint=%s%s queries=%d ok=%d shed=%d p50_ns=%d p99_ns=%d\n",
+				ep.name, suffix, *queries, ok, shed, percentile(lat, 50), percentile(lat, 99))
+		}
+	}
+	run(tsCold, "")  // query cache disabled: every request computes
+	run(ts, ":warm") // query cache enabled: requests replay
+
+	// Time full reload round trips on the cached server: incremental
+	// re-analysis (parse cache), reach precompute, generation swap, and
+	// query-cache purge, all inside one POST.
+	{
+		const reloads = 5
+		client := ts.Client()
+		var lat []time.Duration
+		ok, errs := 0, 0
+		for i := 0; i < reloads; i++ {
+			start := time.Now()
+			resp, err := client.Post(ts.URL+"/v1/reload", "", nil)
+			d := time.Since(start)
+			if err != nil {
+				errs++
+				continue
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				ok++
+				lat = append(lat, d)
+			} else {
+				errs++
+			}
+		}
 		if errs > 0 || ok == 0 {
-			fmt.Fprintf(os.Stderr, "servesmoke: endpoint %s: %d ok, %d unexpected responses\n", ep.name, ok, errs)
+			fmt.Fprintf(os.Stderr, "servesmoke: endpoint reload: %d ok, %d unexpected responses\n", ok, errs)
 			exitCode = 1
 		}
-		fmt.Printf("servesmoke: endpoint=%s queries=%d ok=%d shed=%d p50_ns=%d p99_ns=%d\n",
-			ep.name, *queries, ok, shed, percentile(lat, 50), percentile(lat, 99))
+		fmt.Printf("servesmoke: endpoint=reload queries=%d ok=%d shed=0 p50_ns=%d p99_ns=%d\n",
+			reloads, ok, percentile(lat, 50), percentile(lat, 99))
 	}
-	fmt.Fprintf(os.Stderr, "servesmoke: server counted %d shed, %d timeouts, %d panics\n",
+
+	fmt.Fprintf(os.Stderr, "servesmoke: server counted %d shed, %d timeouts, %d panics, %d querycache hits\n",
 		reg.Counter(serve.MetricShed).Value(),
 		reg.Counter(serve.MetricTimeouts).Value(),
-		reg.Counter(serve.MetricPanicsRecovered).Value())
+		reg.Counter(serve.MetricPanicsRecovered).Value(),
+		querycacheHits(reg))
 	os.Exit(exitCode)
+}
+
+// querycacheHits sums the per-endpoint hit counters.
+func querycacheHits(reg *telemetry.Registry) int64 {
+	var total int64
+	for _, ep := range []string{"summary", "pathway", "reach", "whatif"} {
+		total += reg.Counter(serve.MetricQueryCacheHits, telemetry.L("endpoint", ep)).Value()
+	}
+	return total
 }
 
 // hammer fires n GETs at url from c concurrent clients and returns the
