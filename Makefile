@@ -1,4 +1,6 @@
-# Verification tiers. tier1 is the gate every PR must keep green; tier2
+# Verification tiers. tier1 is the gate every PR must keep green — build,
+# the full test suite, and the metriclint static check (metric naming
+# rules plus exactly-once event-type registration); tier2
 # adds vet, the race detector over every package — that includes the
 # worker pools in core/experiments, the telemetry layer they share, and
 # the serve daemon's swap/shed/drain paths (with extra iteration-count
@@ -20,11 +22,13 @@ all: tier1 tier2 benchsmoke
 
 tier1:
 	go build ./... && go test ./...
+	go run ./tools/metriclint
 
 tier2: fuzzsmoke
 	go vet ./... && go test -race ./...
 	go test -race -count=3 -run '^TestConcurrentQueriesDuringReload$$' ./internal/serve
 	go test -race -count=3 -run '^TestConcurrentQueriesAcrossSwapWithQueryCache$$' ./internal/serve
+	go test -race -count=3 -run '^TestWatchDuringConcurrentReloads$$' ./internal/serve
 	go test -race -run '^TestParseCacheConcurrent$$' ./internal/parsecache
 
 # fuzzsmoke gives each parser/anonymizer fuzz target ~10s of random

@@ -14,9 +14,21 @@
 //	GET  /v1/reach     external reachability; ?src=P&dst=P for block-to-block
 //	GET  /v1/whatif    survivability / failure analysis ([?format=text])
 //	POST /v1/reload    re-analyze the directory (also: SIGHUP)
+//	GET  /v1/events    design-drift event page (?since=CURSOR&limit=N)
+//	GET  /v1/watch     live design-drift stream (SSE; resumes via Last-Event-ID)
+//	GET  /v1/version   build identity and the serving design generation
 //	GET  /healthz      process liveness (always 200 while up)
 //	GET  /readyz       design loaded and fresh (503 while degraded)
 //	GET  /metrics      Prometheus text metrics
+//	GET  /debug/traces recent request traces; /debug/traces/<id> for one
+//
+// Observability: every design-changing reload is diffed against the
+// previous generation and published as structured events (ring bounded
+// by -events-buffer) that /v1/events pages by cursor and /v1/watch
+// streams live with -watch-heartbeat keepalives. Every data-plane
+// response carries an X-Trace-Id (inbound W3C traceparent honored)
+// resolvable at /debug/traces/<id>; requests slower than -slow-query
+// are logged, counted, and published as query.slow events.
 //
 // Robustness model: queries run under a per-request timeout
 // (-request-timeout) and a bounded concurrency limiter (-max-inflight)
@@ -76,6 +88,9 @@ func main() {
 	shutdownGrace := flag.Duration("shutdown-grace", 10*time.Second, "how long SIGTERM/SIGINT waits for in-flight requests to drain")
 	parseCache := flag.Int("parse-cache", parsecache.DefaultMaxEntries, "parse-cache entry bound; reloads re-parse only changed files (0 disables)")
 	queryCache := flag.Int("query-cache", 0, "query-cache entry bound per generation (0 uses the default 1024; negative disables)")
+	eventsBuffer := flag.Int("events-buffer", 0, "design-drift event ring bound, in events (0 uses the default 1024)")
+	slowQuery := flag.Duration("slow-query", 0, "latency threshold for slow-query logging and query.slow events (0 uses the default 500ms; negative disables)")
+	watchHeartbeat := flag.Duration("watch-heartbeat", 15*time.Second, "idle keep-alive interval of the /v1/watch stream")
 	faults := flag.String("faults", "", "arm fault injection (testing): 'SITE:KIND[:opts][;...]', e.g. 'handler.pathway:panic:count=1'")
 	tele := telemetry.NewCLI("rlensd")
 	tele.RegisterFlags(flag.CommandLine)
@@ -126,6 +141,9 @@ func main() {
 		LoadTimeout:    tele.Timeout,
 		ShutdownGrace:  *shutdownGrace,
 		QueryCacheSize: *queryCache,
+		EventsBuffer:   *eventsBuffer,
+		SlowQuery:      *slowQuery,
+		WatchHeartbeat: *watchHeartbeat,
 		Faults:         injector,
 	})
 
@@ -141,7 +159,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rlensd: %v\n", err)
 		exit(1)
 	}
-	fmt.Printf("rlensd: serving %s on http://%s (healthz/readyz/metrics, /v1/{summary,pathway,reach,whatif,reload})\n",
+	fmt.Printf("rlensd: serving %s on http://%s (healthz/readyz/metrics, /v1/{summary,pathway,reach,whatif,reload,events,watch,version})\n",
 		*dir, ln.Addr())
 
 	sigs := make(chan os.Signal, 2)

@@ -1,0 +1,105 @@
+package designdiff
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"routinglens/internal/paperexample"
+)
+
+func TestDeltaEmptyOnIdenticalSnapshots(t *testing.T) {
+	a := modelOf(t, paperexample.Configs())
+	b := modelOf(t, paperexample.Configs())
+	delta := Compare(a, b).Delta()
+	if !delta.Empty {
+		t.Fatalf("identical snapshots: Delta = %+v, want Empty", delta)
+	}
+	if delta.ClassificationBefore != delta.ClassificationAfter || delta.ClassificationBefore == "" {
+		t.Errorf("classifications = %q/%q", delta.ClassificationBefore, delta.ClassificationAfter)
+	}
+	if len(delta.Compartments) != 0 || len(delta.EdgesAdded) != 0 || len(delta.EdgesRemoved) != 0 {
+		t.Errorf("empty delta carries changes: %+v", delta)
+	}
+}
+
+func TestDeltaFlattensCompartmentChanges(t *testing.T) {
+	before := modelOf(t, paperexample.Configs())
+	cfgs := paperexample.Configs()
+	// Grow ospf 64 with a new router r8 (same edit as the Diff test) and
+	// drop the BGP->OSPF redistribution on the border.
+	cfgs["r8"] = "hostname r8\ninterface Ethernet0\n ip address 10.1.0.9 255.255.255.252\nrouter ospf 64\n network 10.1.0.8 0.0.0.3 area 0\n"
+	cfgs["r1"] = cfgs["r1"] + "interface Ethernet2\n ip address 10.1.0.10 255.255.255.252\nrouter ospf 64\n network 10.1.0.8 0.0.0.3 area 0\n"
+	cfgs["r2"] = strings.Replace(cfgs["r2"], " redistribute bgp 64780 metric 1 subnets\n", "", 1)
+	after := modelOf(t, cfgs)
+
+	delta := Compare(before, after).Delta()
+	if delta.Empty {
+		t.Fatal("changed design produced an Empty delta")
+	}
+	if len(delta.RoutersAdded) != 1 || delta.RoutersAdded[0] != "r8" {
+		t.Errorf("RoutersAdded = %v", delta.RoutersAdded)
+	}
+	var membership *CompartmentDelta
+	for i := range delta.Compartments {
+		c := &delta.Compartments[i]
+		if c.Compartment == "ospf 64" && c.Change == CompartmentMembership {
+			membership = c
+		}
+	}
+	if membership == nil {
+		t.Fatalf("no membership delta for ospf 64 in %+v", delta.Compartments)
+	}
+	if len(membership.Joined) != 1 || membership.Joined[0] != "r8" {
+		t.Errorf("Joined = %v, want [r8]", membership.Joined)
+	}
+	if membership.RoutersAfter != membership.RoutersBefore+1 {
+		t.Errorf("member counts %d -> %d, want +1", membership.RoutersBefore, membership.RoutersAfter)
+	}
+	foundEdge := false
+	for _, e := range delta.EdgesRemoved {
+		if e.From == "BGP AS 64780" && e.To == "ospf 64" && e.Kind == "redistribution" {
+			foundEdge = true
+		}
+	}
+	if !foundEdge {
+		t.Errorf("EdgesRemoved = %+v, want the dropped redistribution", delta.EdgesRemoved)
+	}
+
+	// The delta is self-contained JSON: round-trips without reference to
+	// the instance models it came from.
+	raw, err := json.Marshal(delta)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Delta
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back.RoutersAdded[0] != "r8" || len(back.Compartments) != len(delta.Compartments) {
+		t.Errorf("round trip lost data: %+v", back)
+	}
+}
+
+func TestDeltaAddedAndRemovedCompartments(t *testing.T) {
+	before := modelOf(t, paperexample.Configs())
+	cfgs := paperexample.Configs()
+	delete(cfgs, "r3")
+	cfgs["r2"] = strings.Replace(cfgs["r2"],
+		"router ospf 128\n redistribute connected metric-type 1 subnets\n network 10.1.0.4 0.0.0.3 area 11\n", "", 1)
+	after := modelOf(t, cfgs)
+
+	delta := Compare(before, after).Delta()
+	var removed *CompartmentDelta
+	for i := range delta.Compartments {
+		if delta.Compartments[i].Compartment == "ospf 128" && delta.Compartments[i].Change == CompartmentRemoved {
+			removed = &delta.Compartments[i]
+		}
+	}
+	if removed == nil {
+		t.Fatalf("ospf 128 removal missing from %+v", delta.Compartments)
+	}
+	if removed.RoutersBefore == 0 || removed.RoutersAfter != 0 {
+		t.Errorf("removed compartment counts %d -> %d, want n -> 0", removed.RoutersBefore, removed.RoutersAfter)
+	}
+}

@@ -17,6 +17,15 @@ func (s *Server) buildHandler() http.Handler {
 	mux.Handle("/readyz", s.plain("readyz", s.handleReadyz))
 	mux.Handle("/metrics", s.plain("metrics", s.handleMetrics))
 	mux.Handle("/v1/reload", s.plain("reload", s.handleReload))
+	mux.Handle("/v1/version", s.plain("version", s.handleVersion))
+	mux.Handle("/v1/events", s.plain("events", s.handleEvents))
+	// /v1/watch lives on the plain stack on purpose: a watch connection
+	// is long-lived by design, so it must bypass the query limiter and
+	// the per-request timeout, and it streams, so it cannot run behind
+	// the buffering timeout middleware.
+	mux.Handle("/v1/watch", s.plain("watch", s.handleWatch))
+	mux.Handle("/debug/traces", s.plain("traces", s.handleTraces))
+	mux.Handle("/debug/traces/", s.plain("trace", s.handleTrace))
 	mux.Handle("/v1/summary", s.query("summary", s.handleSummary))
 	mux.Handle("/v1/pathway", s.query("pathway", s.handlePathway))
 	mux.Handle("/v1/reach", s.query("reach", s.handleReach))

@@ -10,13 +10,16 @@ import (
 )
 
 // query assembles the middleware stack of one /v1 query endpoint,
-// outermost first: metrics/span instrumentation, panic recovery, the
-// concurrency limiter, the per-request timeout, the fault-injection
-// hook, the per-generation query cache, and finally the handler itself
-// (which receives the pinned design generation and its validated,
-// canonicalized query). /healthz, /readyz, /metrics, and /v1/reload use
-// the lighter plain stack — they must answer even when queries are
-// saturated or timing out.
+// outermost first: trace-ID assignment and span collection, metrics
+// instrumentation, panic recovery, the concurrency limiter, the
+// per-request timeout, the fault-injection hook, the per-generation
+// query cache, and finally the handler itself (which receives the
+// pinned design generation and its validated, canonicalized query).
+// withTrace sits outermost so every outcome the inner layers can
+// produce — a cache replay, a shed 429, a timeout 504, a recovered
+// panic — still gets a trace ID and a trace-store record. /healthz,
+// /readyz, /metrics, and /v1/reload use the lighter plain stack — they
+// must answer even when queries are saturated or timing out.
 func (s *Server) query(name string, h func(http.ResponseWriter, *http.Request, *State, Query)) http.Handler {
 	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
@@ -62,6 +65,9 @@ func (s *Server) query(name string, h func(http.ResponseWriter, *http.Request, *
 				body:   bw.body.Bytes(),
 			}); ev > 0 {
 				s.reg.Counter(MetricQueryCacheEvictions).Add(int64(ev))
+				if emit, n := s.cacheEvents.hit(int64(ev)); emit {
+					s.emit(EvtCachePressure, cachePressurePayload{Evicted: n})
+				}
 			}
 			s.reg.Gauge(MetricQueryCacheEntries).Set(float64(s.qc.len()))
 		}
@@ -70,7 +76,7 @@ func (s *Server) query(name string, h func(http.ResponseWriter, *http.Request, *
 	stack := s.withTimeout(inner)
 	stack = s.withShed(stack)
 	stack = s.withRecovery(name, stack)
-	return telemetry.InstrumentHandler(s.reg, name, stack)
+	return s.withTrace(name, telemetry.InstrumentHandler(s.reg, name, stack))
 }
 
 // plain is the control-plane stack: instrumentation and panic recovery
@@ -91,6 +97,10 @@ func (s *Server) withRecovery(name string, next http.Handler) http.Handler {
 				s.reg.Counter(MetricPanicsRecovered).Inc()
 				s.log.Error("panic recovered; request failed, server continues",
 					"endpoint", name, "panic", fmt.Sprint(p))
+				s.emit(EvtPanic, panicPayload{
+					Endpoint: name,
+					TraceID:  telemetry.TraceIDFrom(r.Context()),
+				})
 				if !sw.Wrote() {
 					writeError(sw, http.StatusInternalServerError, "internal error (panic recovered)")
 				}
@@ -117,6 +127,12 @@ func (s *Server) withShed(next http.Handler) http.Handler {
 			next.ServeHTTP(w, r)
 		default:
 			s.reg.Counter(MetricShed).Inc()
+			// A shed storm is one event per second, not one per rejection:
+			// the counter above keeps the true rate, the event stream keeps
+			// its bounded-history narrative.
+			if emit, n := s.shedEvents.hit(1); emit {
+				s.emit(EvtShed, shedPayload{Count: n})
+			}
 			w.Header().Set("Retry-After", "1")
 			writeError(w, http.StatusTooManyRequests, "saturated; retry shortly")
 		}

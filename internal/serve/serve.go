@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"routinglens/internal/core"
+	"routinglens/internal/events"
 	"routinglens/internal/faultinject"
 	"routinglens/internal/netaddr"
 	"routinglens/internal/reach"
@@ -57,6 +58,8 @@ const (
 	// MetricInFlight is the number of queries currently holding a
 	// concurrency slot.
 	MetricInFlight = "routinglens_http_in_flight"
+	// MetricSlowQueries counts requests over the slow-query threshold.
+	MetricSlowQueries = "routinglens_slow_queries_total"
 )
 
 // Fault-injection sites the daemon exposes. Handler sites are
@@ -96,6 +99,20 @@ type Config struct {
 	// front of the /v1 endpoints. 0 means the default (1024 entries);
 	// negative disables response caching entirely.
 	QueryCacheSize int
+	// EventsBuffer bounds the design-drift event ring served by
+	// /v1/events and /v1/watch. 0 means the default
+	// (events.DefaultBufferSize).
+	EventsBuffer int
+	// SlowQuery is the latency threshold above which a data-plane
+	// request is logged and emitted as a query.slow event. 0 means the
+	// default (500ms); negative disables slow-query reporting.
+	SlowQuery time.Duration
+	// WatchHeartbeat is the idle keep-alive interval of the /v1/watch
+	// SSE stream (default 15s).
+	WatchHeartbeat time.Duration
+	// TraceStoreSize bounds the in-memory request-trace ring behind
+	// /debug/traces. 0 means the default (telemetry.DefaultTraceStoreSize).
+	TraceStoreSize int
 	// Registry receives the daemon's metrics; nil means telemetry.Default.
 	Registry *telemetry.Registry
 	// Logger receives the daemon's logs; nil means telemetry.Logger().
@@ -194,6 +211,13 @@ type Server struct {
 	lastFail atomic.Pointer[reloadStatus]
 	reloadMu sync.Mutex
 
+	evts   *events.Buffer
+	traces *telemetry.TraceStore
+	build  telemetry.Build
+
+	shedEvents  coalescer
+	cacheEvents coalescer
+
 	handler http.Handler
 }
 
@@ -217,6 +241,12 @@ func New(cfg Config) *Server {
 	if cfg.QueryCacheSize == 0 {
 		cfg.QueryCacheSize = 1024
 	}
+	if cfg.SlowQuery == 0 {
+		cfg.SlowQuery = 500 * time.Millisecond
+	}
+	if cfg.WatchHeartbeat <= 0 {
+		cfg.WatchHeartbeat = 15 * time.Second
+	}
 	s := &Server{
 		cfg:    cfg,
 		an:     cfg.Analyzer,
@@ -238,10 +268,18 @@ func New(cfg Config) *Server {
 		s.log = telemetry.Logger()
 	}
 	s.log = s.log.With("component", "serve")
+	s.evts = events.NewBuffer(cfg.EventsBuffer, s.reg)
+	s.traces = telemetry.NewTraceStore(cfg.TraceStoreSize)
+	s.build = telemetry.RegisterBuildInfo(s.reg)
 	registerHelp(s.reg)
 	s.handler = s.buildHandler()
 	return s
 }
+
+// Events exposes the daemon's event buffer, so embedders (the smoke
+// harness, future push-ingestion front ends) can publish into and
+// observe the same stream the HTTP surface serves.
+func (s *Server) Events() *events.Buffer { return s.evts }
 
 func registerHelp(reg *telemetry.Registry) {
 	reg.SetHelp(telemetry.MetricHTTPRequests, "HTTP requests served, by endpoint and status code.")
@@ -257,6 +295,10 @@ func registerHelp(reg *telemetry.Registry) {
 	reg.SetHelp(MetricQueryCacheEvictions, "Query-cache entries evicted by the LRU bound.")
 	reg.SetHelp(MetricQueryCacheEntries, "Query-cache resident entries.")
 	reg.SetHelp(faultinject.MetricFaultsInjected, "Deliberately injected faults, by site and kind.")
+	reg.SetHelp(events.MetricPublished, "Design-drift events published, by type.")
+	reg.SetHelp(events.MetricDropped, "Events dropped at slow watch subscribers.")
+	reg.SetHelp(events.MetricSubscribers, "Live event-stream subscriptions.")
+	reg.SetHelp(MetricSlowQueries, "Data-plane requests slower than the slow-query threshold, by endpoint.")
 }
 
 // Handler returns the daemon's HTTP surface.
@@ -323,15 +365,22 @@ func (s *Server) Reload(ctx context.Context) error {
 			pstart := time.Now()
 			st.precomputeReach(s.log)
 			precomputeDur := time.Since(pstart)
+			prev := s.cur.Load()
 			s.cur.Store(st)
 			// Every older generation's cached responses are unreachable now
 			// (keys embed the seq); purge them rather than waiting for LRU
 			// pressure to age them out.
 			s.qc.purge()
 			s.reg.Gauge(MetricQueryCacheEntries).Set(0)
-			s.degraded.Store(false)
+			wasDegraded := s.degraded.Swap(false)
 			s.reg.Counter(MetricReloads, telemetry.L("result", "ok")).Inc()
 			s.reg.Gauge(MetricDesignSeq).Set(float64(st.Seq))
+			// Swap + design-diff events go out after the swap, so a
+			// watcher reacting to them queries the generation announced.
+			s.emitSwapEvents(prev, st)
+			if wasDegraded {
+				s.emit(EvtReadyRecovered, recoveredPayload{Seq: st.Seq})
+			}
 			s.log.Info("design loaded",
 				"seq", st.Seq,
 				"network", res.Design.Network.Name,
@@ -357,8 +406,13 @@ func (s *Server) Reload(ctx context.Context) error {
 func (s *Server) failReload(err error) error {
 	s.degraded.Store(true)
 	s.lastFail.Store(&reloadStatus{Err: err.Error(), At: time.Now()})
+	p := reloadFailedPayload{Error: err.Error()}
+	if st := s.cur.Load(); st != nil {
+		p.ServingSeq, p.HaveDesign = st.Seq, true
+	}
+	s.emit(EvtReloadFailed, p)
 	s.log.Error("load failed; serving last-good design if any",
-		"error", err, "have_design", s.cur.Load() != nil)
+		"error", err, "have_design", p.HaveDesign)
 	return err
 }
 

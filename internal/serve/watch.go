@@ -1,0 +1,213 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"routinglens/internal/events"
+)
+
+// maxEventsPage bounds one /v1/events response; a consumer pages with
+// the returned next cursor.
+const maxEventsPage = 500
+
+// eventsResponse is the /v1/events JSON body: one cursor-ordered page
+// plus the ring's bounds, so a consumer always knows whether it can
+// still resume losslessly (since >= oldest-1) or has to accept the
+// truncation flag.
+type eventsResponse struct {
+	// Oldest/Latest are the cursors of the oldest retained and newest
+	// published events (0 while nothing has been published).
+	Oldest uint64 `json:"oldest"`
+	Latest uint64 `json:"latest"`
+	// Next is the cursor to pass as ?since= for the following page.
+	Next uint64 `json:"next"`
+	// Truncated reports that events between the requested cursor and
+	// Oldest were discarded by the ring bound — the page restarts from
+	// the oldest survivor instead of silently skipping the gap.
+	Truncated bool           `json:"truncated"`
+	Types     []events.Type  `json:"types"`
+	Events    []events.Event `json:"events"`
+}
+
+// handleEvents serves one page of the event ring from a resume cursor:
+// GET /v1/events?since=<cursor>&limit=<n>. since=0 (the default) reads
+// from the beginning of retained history.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	q := r.URL.Query()
+	var since uint64
+	if v := q.Get("since"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "since: want a cursor (unsigned integer)")
+			return
+		}
+		since = n
+	}
+	limit := 100
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 || n > maxEventsPage {
+			writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("limit: want an integer in [1,%d]", maxEventsPage))
+			return
+		}
+		limit = n
+	}
+	evs, next, truncated := s.evts.Since(since, limit)
+	if evs == nil {
+		evs = []events.Event{}
+	}
+	writeJSON(w, http.StatusOK, eventsResponse{
+		Oldest:    s.evts.Oldest(),
+		Latest:    s.evts.Latest(),
+		Next:      next,
+		Truncated: truncated,
+		Types:     events.Types(),
+		Events:    evs,
+	})
+}
+
+// handleWatch streams the event ring as Server-Sent Events:
+// GET /v1/watch[?since=<cursor>]. Each frame carries the event cursor
+// as its SSE id, so a dropped connection resumes exactly where it left
+// off by reconnecting with Last-Event-ID (the header wins over ?since).
+// A resume point that has aged out of the ring yields a synthesized
+// stream.truncated event before the replay — a watcher is told it
+// missed history, never silently skipped past it. Heartbeat comments
+// flow every WatchHeartbeat so idle connections stay distinguishable
+// from dead ones.
+func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	rc := http.NewResponseController(w)
+	var cursor uint64
+	src := r.Header.Get("Last-Event-ID")
+	if src == "" {
+		src = r.URL.Query().Get("since")
+	}
+	if src != "" {
+		n, err := strconv.ParseUint(src, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "resume cursor: want an unsigned integer")
+			return
+		}
+		cursor = n
+	}
+
+	// Subscribe before the backfill: anything published between the two
+	// arrives on the channel and is deduped by cursor, so the seam
+	// between replayed history and the live feed loses nothing.
+	sub := s.evts.Subscribe(0)
+	defer sub.Close()
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	if err := rc.Flush(); err != nil {
+		// The stack cannot stream (no flusher below us); the client got a
+		// useless buffered 200 — nothing better to do than stop.
+		return
+	}
+
+	writeFrame := func(ev events.Event) bool {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return false
+		}
+		// Synthesized events (stream.truncated) have no ring cursor; they
+		// carry no id line so they never pollute a client's Last-Event-ID.
+		if ev.Cursor > 0 {
+			if _, err := fmt.Fprintf(w, "id: %d\n", ev.Cursor); err != nil {
+				return false
+			}
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data); err != nil {
+			return false
+		}
+		return rc.Flush() == nil
+	}
+
+	// backfill replays everything after cursor from the ring, emitting an
+	// explicit truncation notice if the resume point has aged out.
+	backfill := func() bool {
+		for {
+			evs, next, truncated := s.evts.Since(cursor, maxEventsPage)
+			if truncated {
+				if !writeFrame(events.Event{
+					Type: EvtTruncated,
+					Time: time.Now().UTC(),
+					Payload: truncatedPayload{
+						RequestedCursor: cursor,
+						OldestCursor:    s.evts.Oldest(),
+					},
+				}) {
+					return false
+				}
+			}
+			for _, ev := range evs {
+				if !writeFrame(ev) {
+					return false
+				}
+			}
+			cursor = next
+			if len(evs) < maxEventsPage {
+				return true
+			}
+		}
+	}
+	if !backfill() {
+		return
+	}
+
+	hb := time.NewTicker(s.cfg.WatchHeartbeat)
+	defer hb.Stop()
+	ctx := r.Context()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-hb.C:
+			if _, err := fmt.Fprint(w, ": heartbeat\n\n"); err != nil {
+				return
+			}
+			if rc.Flush() != nil {
+				return
+			}
+		case ev, ok := <-sub.Events():
+			if !ok {
+				return
+			}
+			if ev.Cursor <= cursor {
+				// Already replayed by the backfill.
+				continue
+			}
+			if ev.Cursor > cursor+1 {
+				// The fan-out dropped events while we were slow (or the
+				// subscribe/backfill seam skipped some): recover the gap
+				// from the ring so the stream stays cursor-contiguous.
+				if !backfill() {
+					return
+				}
+				if ev.Cursor <= cursor {
+					continue
+				}
+			}
+			if !writeFrame(ev) {
+				return
+			}
+			cursor = ev.Cursor
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package telemetry
+
+import (
+	"runtime/debug"
+	"sync"
+)
+
+// MetricBuildInfo is the conventional always-1 gauge whose labels carry
+// the build identity, so dashboards can join "which binary is this"
+// against every other series.
+const MetricBuildInfo = "routinglens_build_info"
+
+// Build is the process's build identity, read once from the embedded
+// module and VCS metadata.
+type Build struct {
+	// Version is the main module version ("(devel)" for plain builds).
+	Version string `json:"version"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+	// Revision is the VCS commit, "" when built without VCS stamping
+	// (e.g. go test binaries).
+	Revision string `json:"vcs_revision,omitempty"`
+	// Time is the commit timestamp (RFC3339), when stamped.
+	Time string `json:"vcs_time,omitempty"`
+	// Modified reports uncommitted changes at build time.
+	Modified bool `json:"vcs_modified,omitempty"`
+}
+
+var (
+	buildOnce sync.Once
+	buildInfo Build
+)
+
+// BuildDetails returns the process's build identity via
+// debug.ReadBuildInfo, computed once.
+func BuildDetails() Build {
+	buildOnce.Do(func() {
+		buildInfo = Build{Version: "unknown", GoVersion: "unknown"}
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		buildInfo.Version = bi.Main.Version
+		buildInfo.GoVersion = bi.GoVersion
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				buildInfo.Revision = s.Value
+			case "vcs.time":
+				buildInfo.Time = s.Value
+			case "vcs.modified":
+				buildInfo.Modified = s.Value == "true"
+			}
+		}
+	})
+	return buildInfo
+}
+
+// RegisterBuildInfo sets the routinglens_build_info gauge (value 1,
+// identity in the labels) on reg and returns the identity it recorded.
+func RegisterBuildInfo(reg *Registry) Build {
+	b := BuildDetails()
+	reg.SetHelp(MetricBuildInfo, "Build identity of this binary; always 1, labels carry the information.")
+	reg.Gauge(MetricBuildInfo,
+		L("version", b.Version),
+		L("goversion", b.GoVersion),
+		L("revision", b.Revision)).Set(1)
+	return b
+}

@@ -84,6 +84,14 @@ func CollectorFrom(ctx context.Context) *Collector {
 	return DefaultCollector
 }
 
+// CollectorFromContext returns the context's collector, or nil when none
+// was installed — middleware uses it to avoid shadowing an outer
+// layer's collector with a fresh one.
+func CollectorFromContext(ctx context.Context) *Collector {
+	c, _ := ctx.Value(collectorKey{}).(*Collector)
+	return c
+}
+
 // WithRegistry returns a context routing metrics to r.
 func WithRegistry(ctx context.Context, r *Registry) context.Context {
 	return context.WithValue(ctx, registryKey{}, r)

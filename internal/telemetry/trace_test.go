@@ -1,0 +1,189 @@
+package telemetry
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNewTraceIDShapeAndUniqueness(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 1000; i++ {
+		id := NewTraceID()
+		if !ValidTraceID(id) {
+			t.Fatalf("NewTraceID() = %q, not a valid trace ID", id)
+		}
+		if seen[id] {
+			t.Fatalf("NewTraceID() repeated %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestValidTraceID(t *testing.T) {
+	for _, tc := range []struct {
+		id   string
+		want bool
+	}{
+		{strings.Repeat("a", 32), true},
+		{strings.Repeat("0", 31) + "1", true},
+		{strings.Repeat("0", 32), false}, // all-zero forbidden
+		{strings.Repeat("A", 32), false}, // uppercase forbidden
+		{strings.Repeat("a", 31), false},
+		{strings.Repeat("a", 33), false},
+		{strings.Repeat("g", 32), false},
+		{"", false},
+	} {
+		if got := ValidTraceID(tc.id); got != tc.want {
+			t.Errorf("ValidTraceID(%q) = %v, want %v", tc.id, got, tc.want)
+		}
+	}
+}
+
+func TestParseTraceparent(t *testing.T) {
+	id := "4bf92f3577b34da6a3ce929d0e0e4736"
+	for _, tc := range []struct {
+		in     string
+		wantID string
+		wantOK bool
+	}{
+		{"00-" + id + "-00f067aa0ba902b7-01", id, true},
+		{"01-" + id + "-00f067aa0ba902b7-00", id, true}, // future version ok
+		{"ff-" + id + "-00f067aa0ba902b7-01", "", false},
+		{"00-" + strings.Repeat("0", 32) + "-00f067aa0ba902b7-01", "", false},
+		{"00-" + id + "-00f067aa0ba902b7", "", false},
+		{"00-" + id + "-short-01", "", false},
+		{"00-" + strings.ToUpper(id) + "-00f067aa0ba902b7-01", "", false},
+		{"", "", false},
+		{"garbage", "", false},
+	} {
+		gotID, gotOK := ParseTraceparent(tc.in)
+		if gotID != tc.wantID || gotOK != tc.wantOK {
+			t.Errorf("ParseTraceparent(%q) = %q, %v; want %q, %v", tc.in, gotID, gotOK, tc.wantID, tc.wantOK)
+		}
+	}
+}
+
+func TestTraceIDContext(t *testing.T) {
+	if got := TraceIDFrom(context.Background()); got != "" {
+		t.Errorf("TraceIDFrom(empty) = %q, want \"\"", got)
+	}
+	ctx := WithTraceID(context.Background(), "abc")
+	if got := TraceIDFrom(ctx); got != "abc" {
+		t.Errorf("TraceIDFrom = %q, want abc", got)
+	}
+}
+
+func TestTraceStoreBoundedRingAndLookup(t *testing.T) {
+	ts := NewTraceStore(3)
+	for i := 0; i < 5; i++ {
+		ts.Add(TraceRecord{ID: NewTraceID(), Endpoint: "summary", Status: 200,
+			Start: time.Now(), Duration: time.Duration(i) * time.Millisecond})
+	}
+	if ts.Total() != 5 {
+		t.Errorf("Total = %d, want 5", ts.Total())
+	}
+	recent := ts.Recent(0)
+	if len(recent) != 3 {
+		t.Fatalf("Recent retained %d, want 3", len(recent))
+	}
+	// Newest first, and the two oldest are gone — including from the ID
+	// index.
+	if recent[0].Duration != 4*time.Millisecond || recent[2].Duration != 2*time.Millisecond {
+		t.Errorf("Recent order: %v, %v", recent[0].Duration, recent[2].Duration)
+	}
+	for _, r := range recent {
+		if got, ok := ts.Get(r.ID); !ok || got.ID != r.ID {
+			t.Errorf("Get(%s): ok=%v", r.ID, ok)
+		}
+	}
+	if len(ts.Recent(2)) != 2 {
+		t.Errorf("Recent(2) = %d records", len(ts.Recent(2)))
+	}
+	if _, ok := ts.Get("not-a-trace"); ok {
+		t.Error("Get of unknown ID succeeded")
+	}
+}
+
+func TestTraceStoreReusedIDKeepsNewest(t *testing.T) {
+	ts := NewTraceStore(2)
+	ts.Add(TraceRecord{ID: "dup", Status: 200})
+	ts.Add(TraceRecord{ID: "dup", Status: 404})
+	got, ok := ts.Get("dup")
+	if !ok || got.Status != 404 {
+		t.Fatalf("Get(dup) = %+v ok=%v, want the newer 404 record", got, ok)
+	}
+	// Evicting the older duplicate must not unmap the newer one.
+	ts.Add(TraceRecord{ID: "other", Status: 200})
+	if got, ok := ts.Get("dup"); !ok || got.Status != 404 {
+		t.Fatalf("after eviction of older dup: Get(dup) = %+v ok=%v", got, ok)
+	}
+}
+
+func TestExemplarTracksWorstRecent(t *testing.T) {
+	ts := NewTraceStore(8)
+	ts.ObserveExemplar("pathway", "t1", 10*time.Millisecond)
+	ts.ObserveExemplar("pathway", "t2", 50*time.Millisecond)
+	ts.ObserveExemplar("pathway", "t3", 20*time.Millisecond) // not worse: ignored
+	ex := ts.Exemplars()["pathway"]
+	if ex.TraceID != "t2" {
+		t.Fatalf("exemplar = %+v, want t2 (the worst)", ex)
+	}
+	// Age the exemplar past the window: the next observation wins even
+	// though it is faster.
+	ts.mu.Lock()
+	cur := ts.exemplars["pathway"]
+	cur.At = time.Now().Add(-ExemplarWindow - time.Second)
+	ts.exemplars["pathway"] = cur
+	ts.mu.Unlock()
+	ts.ObserveExemplar("pathway", "t4", time.Millisecond)
+	if ex := ts.Exemplars()["pathway"]; ex.TraceID != "t4" {
+		t.Fatalf("stale exemplar not replaced: %+v", ex)
+	}
+	// Endpoints are independent.
+	ts.ObserveExemplar("reach", "r1", time.Microsecond)
+	if len(ts.Exemplars()) != 2 {
+		t.Errorf("exemplars = %v, want 2 endpoints", ts.Exemplars())
+	}
+}
+
+func TestTraceStoreConcurrent(t *testing.T) {
+	ts := NewTraceStore(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				id := NewTraceID()
+				ts.Add(TraceRecord{ID: id, Endpoint: "summary"})
+				ts.Get(id)
+				ts.ObserveExemplar("summary", id, time.Duration(i))
+				ts.Recent(4)
+			}
+		}()
+	}
+	wg.Wait()
+	if ts.Total() != 800 {
+		t.Errorf("Total = %d, want 800", ts.Total())
+	}
+}
+
+func TestBuildDetailsAndRegisterBuildInfo(t *testing.T) {
+	b := BuildDetails()
+	if b.GoVersion == "" || b.Version == "" {
+		t.Fatalf("BuildDetails = %+v, want version and go version populated", b)
+	}
+	reg := NewRegistry()
+	got := RegisterBuildInfo(reg)
+	if got != b {
+		t.Errorf("RegisterBuildInfo returned %+v, want %+v", got, b)
+	}
+	v := reg.Gauge(MetricBuildInfo,
+		L("version", b.Version), L("goversion", b.GoVersion), L("revision", b.Revision)).Value()
+	if v != 1 {
+		t.Errorf("%s = %v, want 1", MetricBuildInfo, v)
+	}
+}

@@ -1,0 +1,113 @@
+package telemetry
+
+import (
+	"context"
+	crand "crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"strings"
+	"sync/atomic"
+)
+
+// Request-tracing header names. TraceHeader carries the bare 32-hex
+// trace ID and is echoed on every data-plane response; inbound requests
+// may instead carry a W3C TraceparentHeader, whose trace-id field is
+// honored so a caller's distributed trace threads through the daemon.
+const (
+	TraceHeader       = "X-Trace-Id"
+	TraceparentHeader = "Traceparent"
+)
+
+// Trace IDs are 16 bytes hex-encoded (the W3C trace-context shape):
+// 8 random bytes fixed per process plus a 64-bit counter seeded
+// randomly, so generation is a single atomic add — cheap enough for
+// every request — while IDs stay unique across restarts and replicas.
+var (
+	traceHi uint64
+	traceLo atomic.Uint64
+)
+
+func init() {
+	// Entropy read failure is effectively unreachable; on error the
+	// zeroed seed degrades to the counter alone, which still yields
+	// process-unique IDs.
+	var seed [16]byte
+	crand.Read(seed[:])
+	traceHi = binary.BigEndian.Uint64(seed[:8])
+	if traceHi == 0 {
+		traceHi = 1 // the all-zero trace ID is invalid per W3C
+	}
+	traceLo.Store(binary.BigEndian.Uint64(seed[8:]))
+}
+
+// NewTraceID returns a fresh 32-hex-digit trace ID.
+func NewTraceID() string {
+	var b [16]byte
+	binary.BigEndian.PutUint64(b[:8], traceHi)
+	binary.BigEndian.PutUint64(b[8:], traceLo.Add(1))
+	return hex.EncodeToString(b[:])
+}
+
+// ValidTraceID reports whether s is a well-formed, non-zero 32-hex-digit
+// trace ID (lowercase hex, per the W3C trace-context grammar).
+func ValidTraceID(s string) bool {
+	if len(s) != 32 {
+		return false
+	}
+	nonzero := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+		if c != '0' {
+			nonzero = true
+		}
+	}
+	return nonzero
+}
+
+// ParseTraceparent extracts the trace-id field of a W3C traceparent
+// header value ("00-<32 hex trace-id>-<16 hex span-id>-<2 hex flags>").
+// It returns ok=false for anything malformed — the caller then mints a
+// fresh ID instead of propagating garbage.
+func ParseTraceparent(v string) (traceID string, ok bool) {
+	parts := strings.Split(v, "-")
+	if len(parts) != 4 || len(parts[0]) != 2 || len(parts[2]) != 16 || len(parts[3]) != 2 {
+		return "", false
+	}
+	if !isLowerHex(parts[0]) || !isLowerHex(parts[2]) || !isLowerHex(parts[3]) {
+		return "", false
+	}
+	if parts[0] == "ff" { // forbidden version
+		return "", false
+	}
+	if !ValidTraceID(parts[1]) {
+		return "", false
+	}
+	return parts[1], true
+}
+
+func isLowerHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+type traceIDKey struct{}
+
+// WithTraceID returns a context carrying the request's trace ID.
+func WithTraceID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, traceIDKey{}, id)
+}
+
+// TraceIDFrom returns the context's trace ID, or "" when the work is not
+// part of a traced request.
+func TraceIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(traceIDKey{}).(string)
+	return id
+}

@@ -1,0 +1,148 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// DefaultTraceStoreSize bounds the resident trace ring when the caller
+// passes none.
+const DefaultTraceStoreSize = 256
+
+// ExemplarWindow is how long a worst-latency exemplar stays
+// authoritative: an observation replaces the current exemplar when it is
+// slower, or when the current one has aged out of the window. "The worst
+// request of the last couple of minutes" is what an operator chasing a
+// latency spike wants, not the all-time record.
+const ExemplarWindow = 2 * time.Minute
+
+// TraceRecord is one finished request trace: identity, outcome, and the
+// spans the request's collector gathered. Records are immutable once
+// added.
+type TraceRecord struct {
+	ID       string        `json:"id"`
+	Endpoint string        `json:"endpoint"`
+	Status   int           `json:"status"`
+	CacheHit bool          `json:"cache_hit,omitempty"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration_ns"`
+	Slow     bool          `json:"slow,omitempty"`
+	Spans    []Record      `json:"-"`
+}
+
+// Exemplar ties a latency observation to the trace that produced it, so
+// a histogram's tail has a concrete request to click into.
+type Exemplar struct {
+	TraceID string    `json:"trace_id"`
+	Seconds float64   `json:"seconds"`
+	At      time.Time `json:"at"`
+}
+
+// TraceStore is a bounded in-memory ring of recent request traces plus
+// the per-endpoint worst-recent-latency exemplars. A resident daemon
+// must not grow with traffic: the ring overwrites oldest-first and the
+// exemplar map is bounded by endpoint cardinality. Safe for concurrent
+// use.
+type TraceStore struct {
+	mu        sync.Mutex
+	ring      []*TraceRecord
+	next      int // ring index of the next insert
+	total     uint64
+	byID      map[string]*TraceRecord
+	exemplars map[string]Exemplar
+}
+
+// NewTraceStore creates a store retaining the most recent size traces
+// (size <= 0 means DefaultTraceStoreSize).
+func NewTraceStore(size int) *TraceStore {
+	if size <= 0 {
+		size = DefaultTraceStoreSize
+	}
+	return &TraceStore{
+		ring:      make([]*TraceRecord, size),
+		byID:      make(map[string]*TraceRecord, size),
+		exemplars: make(map[string]Exemplar),
+	}
+}
+
+// Add inserts one finished trace, evicting the oldest when full.
+func (ts *TraceStore) Add(rec TraceRecord) {
+	r := &rec
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if old := ts.ring[ts.next]; old != nil && ts.byID[old.ID] == old {
+		// Only unmap the evicted record if the ID still points at it — a
+		// reused inbound trace ID may have a newer record under the same
+		// key.
+		delete(ts.byID, old.ID)
+	}
+	ts.ring[ts.next] = r
+	ts.byID[r.ID] = r
+	ts.next = (ts.next + 1) % len(ts.ring)
+	ts.total++
+}
+
+// Get returns the trace with the given ID, if still resident.
+func (ts *TraceStore) Get(id string) (TraceRecord, bool) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	r, ok := ts.byID[id]
+	if !ok {
+		return TraceRecord{}, false
+	}
+	return *r, true
+}
+
+// Recent returns up to max traces, newest first (max <= 0 means all
+// resident).
+func (ts *TraceStore) Recent(max int) []TraceRecord {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	n := len(ts.ring)
+	if max <= 0 || max > n {
+		max = n
+	}
+	out := make([]TraceRecord, 0, max)
+	for i := 1; i <= n && len(out) < max; i++ {
+		r := ts.ring[(ts.next-i+n)%n]
+		if r == nil {
+			break
+		}
+		out = append(out, *r)
+	}
+	return out
+}
+
+// Total returns how many traces have ever been added (resident or
+// already overwritten).
+func (ts *TraceStore) Total() uint64 {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return ts.total
+}
+
+// ObserveExemplar offers one latency observation as the endpoint's
+// exemplar. It wins when it is slower than the current exemplar or when
+// the current one is older than ExemplarWindow, so the exemplar tracks
+// the worst *recent* request.
+func (ts *TraceStore) ObserveExemplar(endpoint, traceID string, d time.Duration) {
+	now := time.Now()
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	cur, ok := ts.exemplars[endpoint]
+	if ok && now.Sub(cur.At) < ExemplarWindow && d.Seconds() <= cur.Seconds {
+		return
+	}
+	ts.exemplars[endpoint] = Exemplar{TraceID: traceID, Seconds: d.Seconds(), At: now}
+}
+
+// Exemplars snapshots the per-endpoint worst-recent exemplars.
+func (ts *TraceStore) Exemplars() map[string]Exemplar {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	out := make(map[string]Exemplar, len(ts.exemplars))
+	for k, v := range ts.exemplars {
+		out[k] = v
+	}
+	return out
+}

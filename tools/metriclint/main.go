@@ -1,0 +1,245 @@
+// Command metriclint is the repo's static observability-naming check,
+// run as part of `make tier1`. It parses every non-test Go file (no
+// type checking, so it stays fast and dependency-free) and enforces:
+//
+//   - Every metric name is "routinglens_"-prefixed snake_case. Names
+//     are found two ways: string constants whose value carries the
+//     prefix, and the first argument of Registry.Counter / .Gauge /
+//     .Histogram call sites (string literals and resolvable string
+//     constants; dynamic first arguments are skipped).
+//   - Counter names end in "_total"; gauge and histogram names do not.
+//   - Every events.MustType registration is a string literal (the ring
+//     vocabulary is static), is lowercase dotted words, and appears
+//     exactly once across the tree — the runtime panics on a duplicate
+//     only when both registrations actually execute; this catches them
+//     before any binary runs.
+//
+// Usage: metriclint [root] (default "."). Exits 1 with one line per
+// finding.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+var (
+	metricPattern = regexp.MustCompile(`^routinglens_[a-z0-9]+(_[a-z0-9]+)*$`)
+	typePattern   = regexp.MustCompile(`^[a-z0-9_]+(\.[a-z0-9_]+)+$`)
+)
+
+// skipDirs are never linted: fixtures are not our API surface.
+var skipDirs = map[string]bool{"testdata": true, ".git": true}
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	findings, err := run(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "metriclint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "metriclint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// callSite is one resolved metric-constructor call.
+type callSite struct {
+	pos  token.Position
+	kind string // "Counter", "Gauge", "Histogram"
+	name string
+}
+
+// typeReg is one events.MustType registration.
+type typeReg struct {
+	pos     token.Position
+	literal bool
+	value   string
+}
+
+// run lints every non-test .go file under root and returns the
+// findings, stably ordered.
+func run(root string) ([]string, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if skipDirs[d.Name()] {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return fmt.Errorf("parse %s: %w", path, err)
+		}
+		files = append(files, f)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Pass 1: every top-level string constant, by bare name. A name
+	// declared in several packages with different values is ambiguous and
+	// treated as unresolvable at call sites.
+	consts := map[string]map[string]bool{} // name -> set of values
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if i >= len(vs.Values) {
+						continue
+					}
+					if v, ok := stringLit(vs.Values[i]); ok {
+						if consts[name.Name] == nil {
+							consts[name.Name] = map[string]bool{}
+						}
+						consts[name.Name][v] = true
+					}
+				}
+			}
+		}
+	}
+	resolve := func(e ast.Expr) (string, bool) {
+		if v, ok := stringLit(e); ok {
+			return v, true
+		}
+		var name string
+		switch x := e.(type) {
+		case *ast.Ident:
+			name = x.Name
+		case *ast.SelectorExpr:
+			name = x.Sel.Name
+		default:
+			return "", false
+		}
+		vals := consts[name]
+		if len(vals) != 1 {
+			return "", false
+		}
+		for v := range vals {
+			return v, true
+		}
+		return "", false
+	}
+
+	// Pass 2: call sites.
+	var calls []callSite
+	var regs []typeReg
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Counter", "Gauge", "Histogram":
+				if name, ok := resolve(call.Args[0]); ok && strings.HasPrefix(name, "routinglens") {
+					calls = append(calls, callSite{fset.Position(call.Pos()), sel.Sel.Name, name})
+				}
+			case "MustType":
+				r := typeReg{pos: fset.Position(call.Pos())}
+				r.value, r.literal = stringLit(call.Args[0])
+				regs = append(regs, r)
+			}
+			return true
+		})
+	}
+
+	var findings []string
+	addf := func(pos token.Position, format string, args ...any) {
+		findings = append(findings, fmt.Sprintf("%s: %s", pos, fmt.Sprintf(format, args...)))
+	}
+
+	// Constants carrying the prefix must be well-formed even if no
+	// resolvable call site uses them yet.
+	for name, vals := range consts {
+		for v := range vals {
+			if strings.HasPrefix(v, "routinglens") && !metricPattern.MatchString(v) {
+				findings = append(findings, fmt.Sprintf(
+					"const %s: metric name %q is not routinglens_-prefixed snake_case", name, v))
+			}
+		}
+	}
+
+	for _, c := range calls {
+		if !metricPattern.MatchString(c.name) {
+			addf(c.pos, "%s(%q): not routinglens_-prefixed snake_case", c.kind, c.name)
+			continue
+		}
+		isTotal := strings.HasSuffix(c.name, "_total")
+		if c.kind == "Counter" && !isTotal {
+			addf(c.pos, "Counter(%q): counter names must end in _total", c.name)
+		}
+		if c.kind != "Counter" && isTotal {
+			addf(c.pos, "%s(%q): _total is reserved for counters", c.kind, c.name)
+		}
+	}
+
+	seen := map[string]token.Position{}
+	for _, r := range regs {
+		if !r.literal {
+			addf(r.pos, "MustType: event types must be registered with a string literal")
+			continue
+		}
+		if !typePattern.MatchString(r.value) {
+			addf(r.pos, "MustType(%q): not lowercase dotted words", r.value)
+		}
+		if first, dup := seen[r.value]; dup {
+			addf(r.pos, "MustType(%q): already registered at %s", r.value, first)
+		} else {
+			seen[r.value] = r.pos
+		}
+	}
+
+	sort.Strings(findings)
+	return findings, nil
+}
+
+// stringLit unquotes e if it is a string literal.
+func stringLit(e ast.Expr) (string, bool) {
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", false
+	}
+	v, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return "", false
+	}
+	return v, true
+}

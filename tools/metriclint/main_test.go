@@ -1,0 +1,156 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// lint writes files into a temp tree and runs the linter over it.
+func lint(t *testing.T, files map[string]string) []string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		p := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	findings, err := run(dir)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return findings
+}
+
+func wantFinding(t *testing.T, findings []string, substr string) {
+	t.Helper()
+	for _, f := range findings {
+		if strings.Contains(f, substr) {
+			return
+		}
+	}
+	t.Errorf("no finding containing %q in %v", substr, findings)
+}
+
+func TestCleanTreePasses(t *testing.T) {
+	findings := lint(t, map[string]string{
+		"a.go": `package a
+const MetricGood = "routinglens_requests_total"
+func f(reg Reg) {
+	reg.Counter(MetricGood).Inc()
+	reg.Gauge("routinglens_in_flight").Set(1)
+	reg.Histogram("routinglens_latency_seconds", nil).Observe(1)
+}
+`,
+		"b.go": `package a
+var EvtX = events.MustType("design.diff")
+`,
+	})
+	if len(findings) != 0 {
+		t.Fatalf("clean tree: %v", findings)
+	}
+}
+
+func TestCounterMustEndTotal(t *testing.T) {
+	findings := lint(t, map[string]string{"a.go": `package a
+func f(reg Reg) { reg.Counter("routinglens_requests").Inc() }
+`})
+	wantFinding(t, findings, "must end in _total")
+}
+
+func TestGaugeMustNotEndTotal(t *testing.T) {
+	findings := lint(t, map[string]string{"a.go": `package a
+func f(reg Reg) { reg.Gauge("routinglens_entries_total").Set(1) }
+`})
+	wantFinding(t, findings, "reserved for counters")
+}
+
+func TestBadNamesFlagged(t *testing.T) {
+	findings := lint(t, map[string]string{"a.go": `package a
+const MetricBad = "routinglens_CamelCase"
+func f(reg Reg) {
+	reg.Counter("myapp_requests_total").Inc() // wrong prefix: skipped (not ours)
+	reg.Counter("routinglens__double_total").Inc()
+}
+`})
+	wantFinding(t, findings, `"routinglens_CamelCase"`)
+	wantFinding(t, findings, `"routinglens__double_total"`)
+	for _, f := range findings {
+		if strings.Contains(f, "myapp") {
+			t.Errorf("foreign-prefix name flagged: %s", f)
+		}
+	}
+}
+
+func TestConstResolutionAcrossFiles(t *testing.T) {
+	findings := lint(t, map[string]string{
+		"consts.go": `package a
+const MetricOops = "routinglens_oops"
+`,
+		"use.go": `package b
+func f(reg Reg) { reg.Counter(pkg.MetricOops).Inc() }
+`,
+	})
+	wantFinding(t, findings, "must end in _total")
+}
+
+func TestDynamicFirstArgSkipped(t *testing.T) {
+	findings := lint(t, map[string]string{"a.go": `package a
+func f(r Rep) { r.Histogram(buckets(), 40) }
+`})
+	if len(findings) != 0 {
+		t.Fatalf("dynamic arg flagged: %v", findings)
+	}
+}
+
+func TestDuplicateMustType(t *testing.T) {
+	findings := lint(t, map[string]string{
+		"a.go": `package a
+var A = events.MustType("design.diff")
+`,
+		"b.go": `package b
+var B = events.MustType("design.diff")
+`,
+	})
+	wantFinding(t, findings, "already registered")
+}
+
+func TestMustTypeRequiresLiteral(t *testing.T) {
+	findings := lint(t, map[string]string{"a.go": `package a
+var A = events.MustType(someVar)
+`})
+	wantFinding(t, findings, "string literal")
+}
+
+func TestMustTypePattern(t *testing.T) {
+	findings := lint(t, map[string]string{"a.go": `package a
+var A = events.MustType("NotDotted")
+`})
+	wantFinding(t, findings, "lowercase dotted")
+}
+
+func TestTestFilesSkipped(t *testing.T) {
+	findings := lint(t, map[string]string{"a_test.go": `package a
+func f(reg Reg) { reg.Counter("routinglens_bad").Inc() }
+`})
+	if len(findings) != 0 {
+		t.Fatalf("test file linted: %v", findings)
+	}
+}
+
+// TestRepoIsClean pins the real tree to zero findings — the same check
+// `make tier1` runs, but breakable from `go test ./...` alone.
+func TestRepoIsClean(t *testing.T) {
+	findings, err := run(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatalf("run over repo: %v", err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("repo has metric-naming findings:\n%s", strings.Join(findings, "\n"))
+	}
+}

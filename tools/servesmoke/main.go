@@ -9,11 +9,15 @@
 // Two servers are hammered from the same analyzed design: one with the
 // per-generation query cache disabled (rows endpoint=<name>, the
 // compute-every-request latency) and one with it enabled (rows
-// endpoint=<name>:warm, the cache-replay latency). A final
+// endpoint=<name>:warm, the cache-replay latency). An
 // endpoint=reload row times POST /v1/reload round trips — incremental
 // thanks to the shared parse cache, and inclusive of the /v1/reach
 // precompute that now happens at swap time instead of on the first
-// query.
+// query. The observability plane is measured too: endpoint=events
+// hammers the /v1/events cursor page (the ring holds the swap events
+// the reloads just published) and endpoint=watch times
+// connect-to-first-SSE-byte of /v1/watch across sequential
+// connections.
 //
 // tools/benchcmp parses these lines into the "serve" section of its JSON
 // report, so `make servesmoke` lands a BENCH_serve.json next to
@@ -178,12 +182,69 @@ func main() {
 			reloads, ok, percentile(lat, 50), percentile(lat, 99))
 	}
 
+	// Observability plane, after the reloads so the event ring is
+	// populated with the generation swaps they published.
+	{
+		client := ts.Client()
+		lat, ok, shed, errs := hammer(client, ts.URL+"/v1/events", *queries, *concurrency)
+		if errs > 0 || ok == 0 {
+			fmt.Fprintf(os.Stderr, "servesmoke: endpoint events: %d ok, %d unexpected responses\n", ok, errs)
+			exitCode = 1
+		}
+		fmt.Printf("servesmoke: endpoint=events queries=%d ok=%d shed=%d p50_ns=%d p99_ns=%d\n",
+			*queries, ok, shed, percentile(lat, 50), percentile(lat, 99))
+
+		const conns = 50
+		var wlat []time.Duration
+		wok, werrs := 0, 0
+		for i := 0; i < conns; i++ {
+			d, err := watchFirstByte(client, ts.URL+"/v1/watch")
+			if err != nil {
+				werrs++
+				continue
+			}
+			wok++
+			wlat = append(wlat, d)
+		}
+		if werrs > 0 || wok == 0 {
+			fmt.Fprintf(os.Stderr, "servesmoke: endpoint watch: %d ok, %d failed connections\n", wok, werrs)
+			exitCode = 1
+		}
+		fmt.Printf("servesmoke: endpoint=watch queries=%d ok=%d shed=0 p50_ns=%d p99_ns=%d\n",
+			conns, wok, percentile(wlat, 50), percentile(wlat, 99))
+	}
+
 	fmt.Fprintf(os.Stderr, "servesmoke: server counted %d shed, %d timeouts, %d panics, %d querycache hits\n",
 		reg.Counter(serve.MetricShed).Value(),
 		reg.Counter(serve.MetricTimeouts).Value(),
 		reg.Counter(serve.MetricPanicsRecovered).Value(),
 		querycacheHits(reg))
 	os.Exit(exitCode)
+}
+
+// watchFirstByte opens one /v1/watch SSE connection and measures
+// connect to first streamed byte — the latency a drift watcher pays
+// before it is live — then tears the connection down.
+func watchFirstByte(client *http.Client, url string) (time.Duration, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	if _, err := resp.Body.Read(make([]byte, 1)); err != nil {
+		return 0, err
+	}
+	return time.Since(start), nil
 }
 
 // querycacheHits sums the per-endpoint hit counters.
