@@ -5,7 +5,9 @@
 # worker pools in core/experiments, the telemetry layer they share, and
 # the serve daemon's swap/shed/drain paths (with extra iteration-count
 # runs of the concurrent-queries-during-reload stresses, query cache on
-# and off) — and a short fuzz pass over every ingestion fuzz target
+# and off, plus the fleet isolation stress proving a failing or slow
+# reload of one network never blocks another) — and a short fuzz pass
+# over every ingestion fuzz target
 # (fuzzsmoke); benchsmoke runs the instrumented pipeline benches once so
 # stage-instrumentation overhead stays visible in CI output; benchcmp
 # runs the sequential-vs-parallel sweeps and records the speedups (with
@@ -14,7 +16,8 @@
 # speedup in BENCH_cache.json; servesmoke load-tests the rlensd stack
 # in-process against net5 and records per-endpoint p50/p99 latency
 # (cached and uncached) plus reload round-trip latency in
-# BENCH_serve.json.
+# BENCH_serve.json, then runs a three-network fleet phase (mixed load
+# against /v1/nets/<net>/..., shared parse cache) recording net= rows.
 
 .PHONY: tier1 tier2 fuzzsmoke benchsmoke benchcmp cachebench servesmoke all
 
@@ -29,6 +32,7 @@ tier2: fuzzsmoke
 	go test -race -count=3 -run '^TestConcurrentQueriesDuringReload$$' ./internal/serve
 	go test -race -count=3 -run '^TestConcurrentQueriesAcrossSwapWithQueryCache$$' ./internal/serve
 	go test -race -count=3 -run '^TestWatchDuringConcurrentReloads$$' ./internal/serve
+	go test -race -count=3 -run '^TestFleetReloadIsolationStress$$' ./internal/serve
 	go test -race -run '^TestParseCacheConcurrent$$' ./internal/parsecache
 
 # fuzzsmoke gives each parser/anonymizer fuzz target ~10s of random

@@ -1,60 +1,83 @@
-// Command rlensd is the routinglens daemon: it analyzes a directory of
-// router configuration files once at startup, keeps the extracted design
-// resident behind an atomically swappable last-good pointer, and answers
-// design queries over HTTP until told to stop.
+// Command rlensd is the routinglens daemon: it analyzes one network's
+// configuration directory — or a whole corpus of networks — once at
+// startup, keeps each extracted design resident behind an atomically
+// swappable last-good pointer, and answers design queries over HTTP
+// until told to stop.
 //
 // Usage:
 //
-//	rlensd -dir path/to/configs [-addr :7311] [flags]
+//	rlensd -dir path/to/configs [-addr :7311] [flags]         # one network
+//	rlensd -corpus path/to/corpus [-default-net NAME] [flags] # a fleet
 //
-// Endpoints:
+// A corpus root is one subdirectory per network, one configuration file
+// per router — the layout `netgen -out` writes. Every subdirectory
+// becomes a served network named after it.
 //
-//	GET  /v1/summary   design overview (add ?format=text for the CLI table)
-//	GET  /v1/pathway   route pathway graph (?router=NAME[&format=text])
-//	GET  /v1/reach     external reachability; ?src=P&dst=P for block-to-block
-//	GET  /v1/whatif    survivability / failure analysis ([?format=text])
-//	POST /v1/reload    re-analyze the directory (also: SIGHUP)
-//	GET  /v1/events    design-drift event page (?since=CURSOR&limit=N)
-//	GET  /v1/watch     live design-drift stream (SSE; resumes via Last-Event-ID)
-//	GET  /v1/version   build identity and the serving design generation
-//	GET  /healthz      process liveness (always 200 while up)
-//	GET  /readyz       design loaded and fresh (503 while degraded)
-//	GET  /metrics      Prometheus text metrics
-//	GET  /debug/traces recent request traces; /debug/traces/<id> for one
+// Endpoints (NET is a network name; GET /v1/nets lists them):
+//
+//	GET  /v1/nets                   fleet discovery: every network, its
+//	                                generation, readiness, reload facts,
+//	                                and the shared parse-cache counters
+//	GET  /v1/nets/NET/summary       design overview (?format=text for the CLI table)
+//	GET  /v1/nets/NET/pathway       route pathway graph (?router=NAME[&format=text])
+//	GET  /v1/nets/NET/reach         external reachability; ?src=P&dst=P for block-to-block
+//	GET  /v1/nets/NET/whatif        survivability / failure analysis ([?format=text])
+//	POST /v1/nets/NET/reload        re-analyze one network (SIGHUP reloads all)
+//	GET  /v1/nets/NET/events        design-drift event page (?since=CURSOR&limit=N)
+//	GET  /v1/nets/NET/watch         live design-drift stream (SSE; resumes via Last-Event-ID)
+//	GET  /v1/version                build identity and the serving design generation
+//	GET  /healthz                   process liveness (always 200 while up)
+//	GET  /readyz                    fleet readiness: 200 while any network serves
+//	                                fresh; ?net=NAME probes one network
+//	GET  /metrics                   Prometheus text metrics (per-net labels)
+//	GET  /debug/traces              recent request traces; /debug/traces/{id} for one
+//
+// The pre-fleet single-network paths (/v1/summary, /v1/pathway,
+// /v1/reach, /v1/whatif, /v1/reload, /v1/events, /v1/watch) still
+// answer, resolving to the default network (-default-net; else the sole
+// or first network) and carrying a "Deprecation: true" header plus a
+// Link to their canonical /v1/nets/... twin.
 //
 // Observability: every design-changing reload is diffed against the
-// previous generation and published as structured events (ring bounded
-// by -events-buffer) that /v1/events pages by cursor and /v1/watch
-// streams live with -watch-heartbeat keepalives. Every data-plane
-// response carries an X-Trace-Id (inbound W3C traceparent honored)
-// resolvable at /debug/traces/<id>; requests slower than -slow-query
-// are logged, counted, and published as query.slow events.
+// previous generation and published as structured events (one ring per
+// network, bounded by -events-buffer) that the events endpoint pages by
+// cursor and the watch endpoint streams live with -watch-heartbeat
+// keepalives; cursors are scoped per network. Every data-plane response
+// carries an X-Trace-Id (inbound W3C traceparent honored) resolvable at
+// /debug/traces/{id}; requests slower than -slow-query are logged,
+// counted, and published as query.slow events.
 //
 // Robustness model: queries run under a per-request timeout
-// (-request-timeout) and a bounded concurrency limiter (-max-inflight)
-// that sheds overload with 429 + Retry-After; a panicking handler
-// returns 500 and never kills the process; a failed reload retries with
-// backoff (-reload-retries, -reload-backoff) and, if it still fails,
-// the daemon keeps serving the last-good design with /readyz degraded;
-// SIGTERM/SIGINT drain in-flight requests for up to -shutdown-grace
-// before exit. If the *initial* analysis fails, the daemon still comes
-// up (healthz 200, readyz 503, queries 503) so an operator can fix the
-// configs and POST /v1/reload.
+// (-request-timeout) and a bounded per-network concurrency limiter
+// (-max-inflight) that sheds overload with 429 + Retry-After; a
+// panicking handler returns 500 and never kills the process; a failed
+// reload retries with backoff (-reload-retries, -reload-backoff) and,
+// if it still fails, that network keeps serving its last-good design
+// with its readiness degraded — the rest of the fleet is untouched.
+// Fleet-wide (re)analysis runs through a bounded pool of
+// -reload-workers, so SIGHUP against a large corpus loads a few
+// networks at a time. SIGTERM/SIGINT drain in-flight requests for up to
+// -shutdown-grace before exit. If an *initial* analysis fails, the
+// daemon still comes up (healthz 200, that network's queries 503) so an
+// operator can fix the configs and POST its reload.
 //
-// Caching: reloads are incremental — a content-addressed parse cache
-// (-parse-cache, entries; 0 disables) re-parses only the files whose
-// normalized content changed, and each loaded generation fronts its
-// query endpoints with a response LRU (-query-cache, entries; negative
-// disables) that a reload swap invalidates wholesale. /v1/reach is
-// precomputed at load time, before the new generation is published.
+// Caching: reloads are incremental — one content-addressed parse cache
+// (-parse-cache, entries; 0 disables) is shared by every network with
+// per-network origin tracking, so identical boilerplate files across
+// networks are parsed once (routinglens_parsecache_cross_net_hits
+// counts the sharing) and re-parsed only when their normalized content
+// changes. Each network's loaded generation fronts its query endpoints
+// with a response LRU (-query-cache, entries; negative disables) that a
+// reload swap invalidates wholesale. Reachability is precomputed at
+// load time, before the new generation is published.
 //
 // -faults arms the deterministic fault-injection layer (testing only):
 // a semicolon-separated rule list like
 //
-//	-faults 'handler.pathway:panic:count=1;analyze:error:after=1'
+//	-faults 'handler.pathway:panic:count=1;analyze.net3:error'
 //
-// (see internal/faultinject for the grammar). Faults are never armed
-// unless this flag is given.
+// (see internal/faultinject for the grammar; "analyze.NET" targets one
+// network's loads). Faults are never armed unless this flag is given.
 //
 // Observability flags (-v/-vv, -log-format, -metrics, -pprof, -j,
 // -fail-fast, -timeout) behave as in cmd/rdesign; -timeout bounds each
@@ -68,6 +91,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -79,19 +103,22 @@ import (
 )
 
 func main() {
-	dir := flag.String("dir", "", "directory of router configuration files (required)")
+	dir := flag.String("dir", "", "directory of one network's router configuration files")
+	corpus := flag.String("corpus", "", "corpus root: one subdirectory per network (overrides -dir)")
+	defaultNet := flag.String("default-net", "", "network the deprecated single-network endpoints resolve to (default: sole or first network)")
 	addr := flag.String("addr", ":7311", "listen address")
 	reqTimeout := flag.Duration("request-timeout", 10*time.Second, "per-request deadline; slower queries return 504")
-	maxInflight := flag.Int("max-inflight", 64, "concurrent query bound; excess load is shed with 429")
+	maxInflight := flag.Int("max-inflight", 64, "per-network concurrent query bound; excess load is shed with 429")
 	reloadRetries := flag.Int("reload-retries", 2, "retries (with exponential backoff) before a failed reload gives up")
 	reloadBackoff := flag.Duration("reload-backoff", 250*time.Millisecond, "first reload retry backoff; doubles per attempt")
+	reloadWorkers := flag.Int("reload-workers", 2, "fleet-wide bound on concurrently running analyses")
 	shutdownGrace := flag.Duration("shutdown-grace", 10*time.Second, "how long SIGTERM/SIGINT waits for in-flight requests to drain")
-	parseCache := flag.Int("parse-cache", parsecache.DefaultMaxEntries, "parse-cache entry bound; reloads re-parse only changed files (0 disables)")
-	queryCache := flag.Int("query-cache", 0, "query-cache entry bound per generation (0 uses the default 1024; negative disables)")
-	eventsBuffer := flag.Int("events-buffer", 0, "design-drift event ring bound, in events (0 uses the default 1024)")
+	parseCache := flag.Int("parse-cache", parsecache.DefaultMaxEntries, "shared parse-cache entry bound; reloads re-parse only changed files (0 disables)")
+	queryCache := flag.Int("query-cache", 0, "query-cache entry bound per network per generation (0 uses the default 1024; negative disables)")
+	eventsBuffer := flag.Int("events-buffer", 0, "per-network design-drift event ring bound, in events (0 uses the default 1024)")
 	slowQuery := flag.Duration("slow-query", 0, "latency threshold for slow-query logging and query.slow events (0 uses the default 500ms; negative disables)")
-	watchHeartbeat := flag.Duration("watch-heartbeat", 15*time.Second, "idle keep-alive interval of the /v1/watch stream")
-	faults := flag.String("faults", "", "arm fault injection (testing): 'SITE:KIND[:opts][;...]', e.g. 'handler.pathway:panic:count=1'")
+	watchHeartbeat := flag.Duration("watch-heartbeat", 15*time.Second, "idle keep-alive interval of the watch streams")
+	faults := flag.String("faults", "", "arm fault injection (testing): 'SITE:KIND[:opts][;...]', e.g. 'analyze.net3:error'")
 	tele := telemetry.NewCLI("rlensd")
 	tele.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -106,8 +133,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rlensd: %v\n", err)
 		os.Exit(2)
 	}
-	if *dir == "" {
-		fmt.Fprintln(os.Stderr, "rlensd: -dir is required")
+	if *dir == "" && *corpus == "" {
+		fmt.Fprintln(os.Stderr, "rlensd: one of -dir or -corpus is required")
 		flag.Usage()
 		exit(2)
 	}
@@ -123,17 +150,24 @@ func main() {
 		telemetry.Logger().Warn("fault injection armed — this is a testing mode", "rules", *faults)
 	}
 
-	analyzerOpts := []core.AnalyzerOption{
-		core.WithParallelism(tele.Parallelism()),
-		core.WithFailFast(tele.FailFast),
-		core.WithFaults(injector),
-	}
+	// One parse cache for the whole fleet: serve gives each network's
+	// analyzer its own origin, so /v1/nets can report how many parses
+	// crossed network boundaries.
+	var pc *parsecache.Cache
 	if *parseCache > 0 {
-		analyzerOpts = append(analyzerOpts, core.WithCache(parsecache.New(*parseCache, 0)))
+		pc = parsecache.New(*parseCache, 0)
 	}
-	s := serve.New(serve.Config{
-		Dir:            *dir,
-		Analyzer:       core.NewAnalyzer(analyzerOpts...),
+	s, err := serve.New(serve.Config{
+		Dir:        *dir,
+		CorpusDir:  *corpus,
+		DefaultNet: *defaultNet,
+		AnalyzerOptions: []core.AnalyzerOption{
+			core.WithParallelism(tele.Parallelism()),
+			core.WithFailFast(tele.FailFast),
+			core.WithFaults(injector),
+		},
+		ParseCache:     pc,
+		ReloadWorkers:  *reloadWorkers,
 		RequestTimeout: *reqTimeout,
 		MaxInFlight:    *maxInflight,
 		ReloadRetries:  *reloadRetries,
@@ -146,11 +180,16 @@ func main() {
 		WatchHeartbeat: *watchHeartbeat,
 		Faults:         injector,
 	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rlensd: %v\n", err)
+		exit(2)
+	}
 
-	// A failed initial load is not fatal: the daemon comes up degraded
-	// (healthz 200, readyz 503) so the operator can fix the configuration
-	// directory and POST /v1/reload instead of crash-looping.
-	if err := s.Reload(context.Background()); err != nil {
+	// A failed initial load is not fatal: the daemon comes up with the
+	// failing networks degraded (healthz 200, their readiness 503) so the
+	// operator can fix the configuration directories and reload them,
+	// while every network that did load serves normally.
+	if err := s.ReloadAll(context.Background()); err != nil {
 		fmt.Fprintf(os.Stderr, "rlensd: initial analysis failed (serving degraded): %v\n", err)
 	}
 
@@ -159,8 +198,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rlensd: %v\n", err)
 		exit(1)
 	}
-	fmt.Printf("rlensd: serving %s on http://%s (healthz/readyz/metrics, /v1/{summary,pathway,reach,whatif,reload,events,watch,version})\n",
-		*dir, ln.Addr())
+	source := *corpus
+	if source == "" {
+		source = *dir
+	}
+	fmt.Printf("rlensd: serving %d network(s) [%s] from %s on http://%s (GET /v1/nets to discover; /v1/nets/NET/{summary,pathway,reach,whatif,reload,events,watch})\n",
+		len(s.Nets()), strings.Join(s.Nets(), ","), source, ln.Addr())
 
 	sigs := make(chan os.Signal, 2)
 	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM, syscall.SIGHUP)

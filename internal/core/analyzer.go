@@ -64,6 +64,7 @@ type Analyzer struct {
 	failFast    bool   // abort on the first unparseable file
 	logger      *slog.Logger
 	cache       *parsecache.Cache
+	cacheOrigin string // cross-origin accounting name on a shared cache
 	faults      *faultinject.Injector
 
 	// statMu guards stats, the per-directory stat signatures AnalyzeDir
@@ -120,6 +121,16 @@ func WithFailFast(ff bool) AnalyzerOption {
 // is valid and disables memoization.
 func WithCache(c *parsecache.Cache) AnalyzerOption {
 	return func(a *Analyzer) { a.cache = c }
+}
+
+// WithCacheOrigin names this analyzer's traffic on a shared parse cache
+// (typically the network being analyzed). The origin changes nothing
+// about correctness — keys stay (dialect, name, content hash) — it only
+// feeds the cache's cross-origin accounting, so a fleet server sharing
+// one cache across networks can prove identical boilerplate files are
+// parsed once. The default (empty) origin opts out of that accounting.
+func WithCacheOrigin(origin string) AnalyzerOption {
+	return func(a *Analyzer) { a.cacheOrigin = origin }
 }
 
 // WithFaults arms the analyzer's fault-injection sites (SiteCacheLoad,
@@ -573,7 +584,7 @@ func (a *Analyzer) cacheLoad(ctx context.Context, key parsecache.Key) (p parsed,
 	if err := a.faults.Fire(ctx, SiteCacheLoad); err != nil {
 		return parsed{}, false
 	}
-	v, hit := a.cache.Get(key)
+	v, hit := a.cache.GetFrom(key, a.cacheOrigin)
 	if !hit {
 		return parsed{}, false
 	}
@@ -595,7 +606,7 @@ func (a *Analyzer) cacheStore(ctx context.Context, key parsecache.Key, e *cacheE
 	if err := a.faults.Fire(ctx, SiteCacheStore); err != nil {
 		return
 	}
-	if evicted := a.cache.Put(key, e, cost); evicted > 0 {
+	if evicted := a.cache.PutFrom(key, e, cost, a.cacheOrigin); evicted > 0 {
 		telemetry.RegistryFrom(ctx).Counter(MetricCacheEvictions).Add(int64(evicted))
 	}
 }

@@ -107,7 +107,8 @@ type Event struct {
 // Buffer is the bounded event ring plus its live subscribers. All
 // methods are safe for concurrent use.
 type Buffer struct {
-	reg *telemetry.Registry
+	reg    *telemetry.Registry
+	labels []telemetry.Label
 
 	mu   sync.Mutex
 	ring []Event
@@ -117,8 +118,10 @@ type Buffer struct {
 
 // NewBuffer creates a ring holding the most recent size events (size <=
 // 0 means DefaultBufferSize). reg receives the event metrics; nil means
-// telemetry.Default.
-func NewBuffer(size int, reg *telemetry.Registry) *Buffer {
+// telemetry.Default. Optional base labels are attached to every metric
+// the buffer emits — a fleet server running one ring per network labels
+// each with its network name, so stream metrics stay distinguishable.
+func NewBuffer(size int, reg *telemetry.Registry, labels ...telemetry.Label) *Buffer {
 	if size <= 0 {
 		size = DefaultBufferSize
 	}
@@ -126,11 +129,21 @@ func NewBuffer(size int, reg *telemetry.Registry) *Buffer {
 		reg = telemetry.Default
 	}
 	return &Buffer{
-		reg:  reg,
-		ring: make([]Event, size),
-		next: 1,
-		subs: make(map[*Subscription]struct{}),
+		reg:    reg,
+		labels: labels,
+		ring:   make([]Event, size),
+		next:   1,
+		subs:   make(map[*Subscription]struct{}),
 	}
+}
+
+// withLabels appends the buffer's base labels to extra (which may be
+// nil), never aliasing either slice.
+func (b *Buffer) withLabels(extra ...telemetry.Label) []telemetry.Label {
+	out := make([]telemetry.Label, 0, len(b.labels)+len(extra))
+	out = append(out, b.labels...)
+	out = append(out, extra...)
+	return out
 }
 
 // Publish appends one event, assigns its cursor, and fans it out to
@@ -151,9 +164,9 @@ func (b *Buffer) Publish(t Type, payload any) Event {
 		}
 	}
 	b.mu.Unlock()
-	b.reg.Counter(MetricPublished, telemetry.L("type", string(t))).Inc()
+	b.reg.Counter(MetricPublished, b.withLabels(telemetry.L("type", string(t)))...).Inc()
 	if dropped > 0 {
-		b.reg.Counter(MetricDropped).Add(dropped)
+		b.reg.Counter(MetricDropped, b.labels...).Add(dropped)
 	}
 	return ev
 }
@@ -245,7 +258,7 @@ func (b *Buffer) Subscribe(buf int) *Subscription {
 	b.subs[sub] = struct{}{}
 	n := len(b.subs)
 	b.mu.Unlock()
-	b.reg.Gauge(MetricSubscribers).Set(float64(n))
+	b.reg.Gauge(MetricSubscribers, b.labels...).Set(float64(n))
 	return sub
 }
 
@@ -270,7 +283,7 @@ func (s *Subscription) Close() {
 	// lock, and the subscription is already out of the map.
 	close(s.ch)
 	s.b.mu.Unlock()
-	s.b.reg.Gauge(MetricSubscribers).Set(float64(n))
+	s.b.reg.Gauge(MetricSubscribers, s.b.labels...).Set(float64(n))
 }
 
 // Subscribers returns the live subscription count.

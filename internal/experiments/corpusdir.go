@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// CorpusNet is one network discovered under a corpus root: its name (the
+// subdirectory name) and the directory of its configuration files.
+type CorpusNet struct {
+	Name string
+	Dir  string
+}
+
+// DiscoverCorpus lists the networks of an on-disk corpus root — the
+// layout `cmd/netgen -out` writes and the fleet server loads: one
+// subdirectory per network, one configuration file per router. Names
+// come back sorted so callers get a deterministic fleet whatever the
+// directory iteration order. Plain files at the root are ignored
+// (READMEs, manifests); an empty result is an error, because a corpus
+// root with no networks is always a mispointed path.
+func DiscoverCorpus(root string) ([]CorpusNet, error) {
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: reading corpus root: %w", err)
+	}
+	var nets []CorpusNet
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		nets = append(nets, CorpusNet{Name: e.Name(), Dir: filepath.Join(root, e.Name())})
+	}
+	if len(nets) == 0 {
+		return nil, fmt.Errorf("experiments: corpus root %s contains no network directories", root)
+	}
+	sort.Slice(nets, func(i, j int) bool { return nets[i].Name < nets[j].Name })
+	return nets, nil
+}

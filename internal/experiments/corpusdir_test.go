@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestDiscoverCorpus(t *testing.T) {
+	root := t.TempDir()
+	for _, n := range []string{"netB", "netA", "netC"} {
+		if err := os.Mkdir(filepath.Join(root, n), 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Plain files at the root (manifests, READMEs) are not networks.
+	if err := os.WriteFile(filepath.Join(root, "MANIFEST.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	nets, err := DiscoverCorpus(root)
+	if err != nil {
+		t.Fatalf("DiscoverCorpus: %v", err)
+	}
+	if len(nets) != 3 {
+		t.Fatalf("discovered %d networks, want 3", len(nets))
+	}
+	for i, want := range []string{"netA", "netB", "netC"} {
+		if nets[i].Name != want {
+			t.Errorf("nets[%d].Name = %q, want %q (sorted)", i, nets[i].Name, want)
+		}
+		if nets[i].Dir != filepath.Join(root, want) {
+			t.Errorf("nets[%d].Dir = %q", i, nets[i].Dir)
+		}
+	}
+
+	if _, err := DiscoverCorpus(t.TempDir()); err == nil {
+		t.Error("empty corpus root did not error")
+	}
+	if _, err := DiscoverCorpus(filepath.Join(root, "no-such-dir")); err == nil {
+		t.Error("missing corpus root did not error")
+	}
+}

@@ -70,11 +70,14 @@ func KeyFor(dialect, name, content string) Key {
 	}
 }
 
-// entry is one resident parse result.
+// entry is one resident parse result. origin remembers which network
+// paid for the parse (empty when the caller declared none), so a hit
+// from a different network can be counted as cross-network sharing.
 type entry struct {
-	key  Key
-	val  any
-	cost int64
+	key    Key
+	val    any
+	cost   int64
+	origin string
 }
 
 // Stats is a point-in-time snapshot of the cache's counters, used for
@@ -85,6 +88,10 @@ type Stats struct {
 	Hits      int64
 	Misses    int64
 	Evictions int64
+	// CrossHits counts hits where the reading origin differed from the
+	// origin that stored the entry (both non-empty) — the proof that two
+	// networks' identical boilerplate files share one parse.
+	CrossHits int64
 }
 
 // Cache is a bounded, concurrency-safe LRU of parse results. The zero
@@ -101,6 +108,7 @@ type Cache struct {
 	hits       int64
 	misses     int64
 	evictions  int64
+	crossHits  int64
 }
 
 // New builds a Cache bounded by maxEntries entries and maxCost summed
@@ -123,6 +131,14 @@ func New(maxEntries int, maxCost int64) *Cache {
 // Get returns the value stored under key and whether it was present,
 // promoting a hit to most-recently-used.
 func (c *Cache) Get(key Key) (any, bool) {
+	return c.GetFrom(key, "")
+}
+
+// GetFrom is Get with an origin (typically a network name). A hit whose
+// resident entry was stored by a different non-empty origin increments
+// the cross-origin hit counter — the fleet server uses this to prove
+// that networks sharing boilerplate configuration share parses.
+func (c *Cache) GetFrom(key Key, origin string) (any, bool) {
 	if c == nil {
 		return nil, false
 	}
@@ -134,8 +150,12 @@ func (c *Cache) Get(key Key) (any, bool) {
 		return nil, false
 	}
 	c.hits++
+	e := el.Value.(*entry)
+	if origin != "" && e.origin != "" && e.origin != origin {
+		c.crossHits++
+	}
 	c.ll.MoveToFront(el)
-	return el.Value.(*entry).val, true
+	return e.val, true
 }
 
 // Put stores val under key with the given cost (clamped to >= 0) and
@@ -144,6 +164,13 @@ func (c *Cache) Get(key Key) (any, bool) {
 // costlier than the cache's whole budget is not admitted at all —
 // evicting everything to hold one monster would just thrash.
 func (c *Cache) Put(key Key, val any, cost int64) (evicted int) {
+	return c.PutFrom(key, val, cost, "")
+}
+
+// PutFrom is Put with an origin recorded on the entry (see GetFrom).
+// Refreshing an existing key keeps the original origin: the first
+// network to pay for the parse stays the owner for accounting.
+func (c *Cache) PutFrom(key Key, val any, cost int64, origin string) (evicted int) {
 	if c == nil {
 		return 0
 	}
@@ -159,9 +186,12 @@ func (c *Cache) Put(key Key, val any, cost int64) (evicted int) {
 		e := el.Value.(*entry)
 		c.cost += cost - e.cost
 		e.val, e.cost = val, cost
+		if e.origin == "" {
+			e.origin = origin
+		}
 		c.ll.MoveToFront(el)
 	} else {
-		c.items[key] = c.ll.PushFront(&entry{key: key, val: val, cost: cost})
+		c.items[key] = c.ll.PushFront(&entry{key: key, val: val, cost: cost, origin: origin})
 		c.cost += cost
 	}
 	for (c.ll.Len() > c.maxEntries || c.cost > c.maxCost) && c.ll.Len() > 1 {
@@ -207,6 +237,7 @@ func (c *Cache) Stats() Stats {
 		Hits:      c.hits,
 		Misses:    c.misses,
 		Evictions: c.evictions,
+		CrossHits: c.crossHits,
 	}
 }
 

@@ -169,3 +169,49 @@ func TestParseCacheConcurrent(t *testing.T) {
 		t.Errorf("len %d exceeds entry bound 8", c.Len())
 	}
 }
+
+// TestCrossOriginHits: a hit by a different non-empty origin than the
+// one that stored the entry counts as cross-origin sharing; same-origin
+// and origin-less traffic never does.
+func TestCrossOriginHits(t *testing.T) {
+	c := New(8, 0)
+	c.PutFrom(k("boilerplate"), "v", 1, "net1")
+
+	if _, ok := c.GetFrom(k("boilerplate"), "net1"); !ok {
+		t.Fatal("same-origin hit missed")
+	}
+	if got := c.Stats().CrossHits; got != 0 {
+		t.Fatalf("same-origin hit counted as cross: CrossHits = %d", got)
+	}
+	if _, ok := c.Get(k("boilerplate")); !ok {
+		t.Fatal("origin-less hit missed")
+	}
+	if got := c.Stats().CrossHits; got != 0 {
+		t.Fatalf("origin-less hit counted as cross: CrossHits = %d", got)
+	}
+	for i := 0; i < 3; i++ {
+		if _, ok := c.GetFrom(k("boilerplate"), "net2"); !ok {
+			t.Fatal("cross-origin hit missed")
+		}
+	}
+	if got := c.Stats().CrossHits; got != 3 {
+		t.Fatalf("CrossHits = %d, want 3", got)
+	}
+
+	// A refresh by another origin does not steal ownership: the first
+	// network to pay for the parse stays the accounting owner.
+	c.PutFrom(k("boilerplate"), "v2", 1, "net2")
+	if _, ok := c.GetFrom(k("boilerplate"), "net2"); !ok {
+		t.Fatal("post-refresh hit missed")
+	}
+	if got := c.Stats().CrossHits; got != 4 {
+		t.Fatalf("CrossHits after refresh = %d, want 4 (net1 still owns the entry)", got)
+	}
+
+	// An entry stored without an origin never counts, whoever reads it.
+	c.Put(k("anon"), "v", 1)
+	c.GetFrom(k("anon"), "net1")
+	if got := c.Stats().CrossHits; got != 4 {
+		t.Fatalf("origin-less entry counted as cross: CrossHits = %d", got)
+	}
+}

@@ -93,6 +93,7 @@ type shedPayload struct {
 // panicPayload identifies a recovered handler panic.
 type panicPayload struct {
 	Endpoint string `json:"endpoint"`
+	Net      string `json:"net,omitempty"`
 	TraceID  string `json:"trace_id,omitempty"`
 }
 
@@ -117,11 +118,11 @@ type truncatedPayload struct {
 	OldestCursor    uint64 `json:"oldest_cursor"`
 }
 
-// emit publishes one event; it is a no-op on a zero-value Server so
-// internal helpers never have to nil-check.
-func (s *Server) emit(t events.Type, payload any) {
-	if s.evts != nil {
-		s.evts.Publish(t, payload)
+// emit publishes one event into the network's ring; it is a no-op on a
+// zero-value Network so internal helpers never have to nil-check.
+func (nw *Network) emit(t events.Type, payload any) {
+	if nw.evts != nil {
+		nw.evts.Publish(t, payload)
 	}
 }
 
@@ -157,9 +158,10 @@ func (c *coalescer) hit(n int64) (emit bool, count int64) {
 
 // emitSwapEvents publishes the generation-swap event and, when the
 // design changed, the design-diff event plus one event per changed
-// compartment. It runs after the pointer swap — consumers observing the
-// event can immediately query the generation it announces.
-func (s *Server) emitSwapEvents(prev, st *State) {
+// compartment, into the network's own ring. It runs after the pointer
+// swap — consumers observing the event can immediately query the
+// generation it announces.
+func (nw *Network) emitSwapEvents(prev, st *State) {
 	p := swapPayload{
 		Seq:          st.Seq,
 		Network:      st.Res.Design.Network.Name,
@@ -171,7 +173,7 @@ func (s *Server) emitSwapEvents(prev, st *State) {
 	if prev != nil {
 		p.PrevSeq = prev.Seq
 	}
-	s.emit(EvtSwap, p)
+	nw.emit(EvtSwap, p)
 	if prev == nil {
 		return
 	}
@@ -180,12 +182,12 @@ func (s *Server) emitSwapEvents(prev, st *State) {
 		return
 	}
 	delta := diff.Delta()
-	s.emit(EvtDesignDiff, diffPayload{FromSeq: prev.Seq, ToSeq: st.Seq, Delta: delta})
+	nw.emit(EvtDesignDiff, diffPayload{FromSeq: prev.Seq, ToSeq: st.Seq, Delta: delta})
 	for _, c := range delta.Compartments {
-		s.emit(EvtCompartment, compartmentPayload{FromSeq: prev.Seq, ToSeq: st.Seq, Compartment: c})
+		nw.emit(EvtCompartment, compartmentPayload{FromSeq: prev.Seq, ToSeq: st.Seq, Compartment: c})
 	}
-	s.log.Info("design drift detected",
-		"from_seq", prev.Seq, "to_seq", st.Seq,
+	nw.s.log.Info("design drift detected",
+		"net", nw.name, "from_seq", prev.Seq, "to_seq", st.Seq,
 		"compartments_changed", len(delta.Compartments),
 		"edges_added", len(delta.EdgesAdded), "edges_removed", len(delta.EdgesRemoved),
 		"routers_added", len(delta.RoutersAdded), "routers_removed", len(delta.RoutersRemoved))

@@ -6,31 +6,31 @@ import (
 	"fmt"
 	"net/http"
 	"time"
+
+	"routinglens/internal/telemetry"
 )
 
-// buildHandler mounts the daemon's routes. Query endpoints get the full
-// robustness stack; the control plane (health, readiness, metrics,
-// reload) stays answerable under query saturation.
-func (s *Server) buildHandler() http.Handler {
-	mux := http.NewServeMux()
-	mux.Handle("/healthz", s.plain("healthz", s.handleHealthz))
-	mux.Handle("/readyz", s.plain("readyz", s.handleReadyz))
-	mux.Handle("/metrics", s.plain("metrics", s.handleMetrics))
-	mux.Handle("/v1/reload", s.plain("reload", s.handleReload))
-	mux.Handle("/v1/version", s.plain("version", s.handleVersion))
-	mux.Handle("/v1/events", s.plain("events", s.handleEvents))
-	// /v1/watch lives on the plain stack on purpose: a watch connection
-	// is long-lived by design, so it must bypass the query limiter and
-	// the per-request timeout, and it streams, so it cannot run behind
-	// the buffering timeout middleware.
-	mux.Handle("/v1/watch", s.plain("watch", s.handleWatch))
-	mux.Handle("/debug/traces", s.plain("traces", s.handleTraces))
-	mux.Handle("/debug/traces/", s.plain("trace", s.handleTrace))
-	mux.Handle("/v1/summary", s.query("summary", s.handleSummary))
-	mux.Handle("/v1/pathway", s.query("pathway", s.handlePathway))
-	mux.Handle("/v1/reach", s.query("reach", s.handleReach))
-	mux.Handle("/v1/whatif", s.query("whatif", s.handleWhatif))
-	return mux
+// Error codes of the unified JSON error envelope. Every non-2xx body
+// the daemon writes is {"error": ..., "code": ..., "trace_id": ...}
+// with one of these machine-readable codes (trace_id present whenever
+// the request ran under the tracing stack).
+const (
+	codeBadRequest       = "bad_request"
+	codeNotFound         = "not_found"
+	codeUnknownNet       = "unknown_net"
+	codeNoDesign         = "no_design"
+	codeSaturated        = "saturated"
+	codeTimeout          = "timeout"
+	codeInternal         = "internal"
+	codeMethodNotAllowed = "method_not_allowed"
+	codeReloadFailed     = "reload_failed"
+)
+
+// errorBody is the unified error envelope.
+type errorBody struct {
+	Error   string `json:"error"`
+	Code    string `json:"code"`
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -41,8 +41,12 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, code int, msg string) {
-	writeJSON(w, code, map[string]string{"error": msg})
+func writeError(w http.ResponseWriter, r *http.Request, status int, code, msg string) {
+	writeJSON(w, status, errorBody{
+		Error:   msg,
+		Code:    code,
+		TraceID: telemetry.TraceIDFrom(r.Context()),
+	})
 }
 
 func writeText(w http.ResponseWriter, text string) {
@@ -51,42 +55,86 @@ func writeText(w http.ResponseWriter, text string) {
 }
 
 // handleHealthz answers "the process is up" — nothing more. It is 200
-// from the first listen to the last drained request, design or not.
+// from the first listen to the last drained request, designs or not.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"ok": true})
 }
 
-// readyzResponse is the /readyz body; ready distinguishes "design loaded
-// and fresh" from the weaker healthz liveness.
+// readyzResponse is the /readyz body. The top-level fields describe the
+// default network (the single-network compatibility view); Nets breaks
+// readiness down per network on the global probe.
 type readyzResponse struct {
+	Net      string `json:"net,omitempty"`
 	Ready    bool   `json:"ready"`
 	Degraded bool   `json:"degraded"`
 	Seq      int64  `json:"seq,omitempty"`
 	LoadedAt string `json:"loaded_at,omitempty"`
 	AgeSec   int64  `json:"age_seconds,omitempty"`
 	// LastError explains degradation: the most recent failed load.
-	LastError   string `json:"last_error,omitempty"`
-	LastErrorAt string `json:"last_error_at,omitempty"`
+	LastError   string           `json:"last_error,omitempty"`
+	LastErrorAt string           `json:"last_error_at,omitempty"`
+	Nets        []readyzResponse `json:"nets,omitempty"`
 }
 
-// handleReadyz is 200 only when a design is loaded and the most recent
-// (re)load succeeded. A degraded daemon — serving a stale last-good
-// design after a failed reload — answers 503 here while every /v1 query
-// endpoint keeps working, so load balancers rotate it out without
-// cutting off in-flight consumers.
-func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
-	st := s.cur.Load()
-	resp := readyzResponse{Degraded: s.degraded.Load()}
+// readyz snapshots one network's readiness.
+func (nw *Network) readyz() readyzResponse {
+	st := nw.cur.Load()
+	resp := readyzResponse{Net: nw.name, Degraded: nw.degraded.Load()}
 	if st != nil {
 		resp.Seq = st.Seq
 		resp.LoadedAt = st.LoadedAt.UTC().Format(time.RFC3339)
 		resp.AgeSec = int64(time.Since(st.LoadedAt).Seconds())
 	}
-	if f := s.lastFail.Load(); f != nil && resp.Degraded {
+	if f := nw.lastFail.Load(); f != nil && resp.Degraded {
 		resp.LastError = f.Err
 		resp.LastErrorAt = f.At.UTC().Format(time.RFC3339)
 	}
 	resp.Ready = st != nil && !resp.Degraded
+	return resp
+}
+
+// handleReadyz reports readiness. With ?net=<name> it is that network's
+// probe: 200 only when the network serves a design and its most recent
+// (re)load succeeded. Without the parameter it is the fleet probe: 200
+// while ANY network is ready (the daemon can still answer something),
+// and degraded only when EVERY network is degraded — one broken
+// network's reload must not make a load balancer rotate out a daemon
+// healthily serving the rest of the fleet. A degraded network keeps
+// answering queries from its last-good design either way.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if name := r.URL.Query().Get("net"); name != "" {
+		nw := s.nets[name]
+		if nw == nil {
+			writeError(w, r, http.StatusNotFound, codeUnknownNet,
+				fmt.Sprintf("unknown network %q; GET /v1/nets lists the fleet", name))
+			return
+		}
+		resp := nw.readyz()
+		code := http.StatusOK
+		if !resp.Ready {
+			code = http.StatusServiceUnavailable
+		}
+		writeJSON(w, code, resp)
+		return
+	}
+	// The top-level view keeps the historical single-network shape,
+	// reflecting the default network's generation, with the fleet
+	// aggregates layered on.
+	resp := s.defNet.readyz()
+	resp.Net = ""
+	anyReady, allDegraded := false, true
+	for _, name := range s.netNames {
+		nr := s.nets[name].readyz()
+		if nr.Ready {
+			anyReady = true
+		}
+		if !nr.Degraded {
+			allDegraded = false
+		}
+		resp.Nets = append(resp.Nets, nr)
+	}
+	resp.Ready = anyReady
+	resp.Degraded = allDegraded
 	code := http.StatusOK
 	if !resp.Ready {
 		code = http.StatusServiceUnavailable
@@ -100,20 +148,89 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.reg.WritePrometheus(w)
 }
 
-// handleReload re-analyzes on demand. The reload runs detached from the
-// request context so a disconnecting client cannot half-cancel an
-// analysis, and failures keep the last-good design serving.
-func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "use POST")
-		return
+// netInfo is one row of the /v1/nets listing.
+type netInfo struct {
+	Name         string `json:"name"`
+	Ready        bool   `json:"ready"`
+	Degraded     bool   `json:"degraded"`
+	Seq          int64  `json:"seq"`
+	Routers      int    `json:"routers,omitempty"`
+	LoadedAt     string `json:"loaded_at,omitempty"`
+	LastReloadMS int64  `json:"last_reload_ms,omitempty"`
+	LastError    string `json:"last_error,omitempty"`
+}
+
+// parseCacheInfo summarizes the shared parse cache on /v1/nets;
+// CrossNetHits is the fleet's proof that networks share parses.
+type parseCacheInfo struct {
+	Entries      int   `json:"entries"`
+	Hits         int64 `json:"hits"`
+	Misses       int64 `json:"misses"`
+	CrossNetHits int64 `json:"cross_net_hits"`
+}
+
+// netsResponse is the /v1/nets discovery body.
+type netsResponse struct {
+	DefaultNet string          `json:"default_net"`
+	Count      int             `json:"count"`
+	Nets       []netInfo       `json:"nets"`
+	ParseCache *parseCacheInfo `json:"parse_cache,omitempty"`
+}
+
+// handleNets lists the fleet: every served network with its generation,
+// readiness, and reload facts, plus the shared parse-cache counters.
+// This is the discovery endpoint a consumer starts from.
+func (s *Server) handleNets(w http.ResponseWriter, r *http.Request) {
+	resp := netsResponse{
+		DefaultNet: s.defNet.name,
+		Count:      len(s.netNames),
+		Nets:       make([]netInfo, 0, len(s.netNames)),
 	}
-	err := s.Reload(context.Background())
-	st := s.cur.Load()
+	for _, name := range s.netNames {
+		nw := s.nets[name]
+		info := netInfo{Name: name, Degraded: nw.degraded.Load()}
+		if st := nw.cur.Load(); st != nil {
+			info.Seq = st.Seq
+			info.Routers = len(st.Res.Design.Network.Devices)
+			info.LoadedAt = st.LoadedAt.UTC().Format(time.RFC3339)
+			info.Ready = !info.Degraded
+		}
+		if d := nw.lastReloadNS.Load(); d > 0 {
+			info.LastReloadMS = time.Duration(d).Milliseconds()
+		}
+		if f := nw.lastFail.Load(); f != nil && info.Degraded {
+			info.LastError = f.Err
+		}
+		resp.Nets = append(resp.Nets, info)
+	}
+	if s.pc != nil {
+		st := s.pc.Stats()
+		resp.ParseCache = &parseCacheInfo{
+			Entries:      st.Entries,
+			Hits:         st.Hits,
+			Misses:       st.Misses,
+			CrossNetHits: st.CrossHits,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleReload re-analyzes one network on demand. The reload runs
+// detached from the request context so a disconnecting client cannot
+// half-cancel an analysis, and failures keep the network's last-good
+// design serving.
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request, nw *Network) {
+	err := nw.Reload(context.Background())
+	st := nw.cur.Load()
 	if err != nil {
 		resp := map[string]any{
 			"error":    err.Error(),
+			"code":     codeReloadFailed,
+			"net":      nw.name,
 			"degraded": true,
+		}
+		if id := telemetry.TraceIDFrom(r.Context()); id != "" {
+			resp["trace_id"] = id
 		}
 		if st != nil {
 			resp["serving_seq"] = st.Seq
@@ -124,13 +241,15 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"ok":        true,
+		"net":       nw.name,
 		"seq":       st.Seq,
 		"loaded_at": st.LoadedAt.UTC().Format(time.RFC3339),
 	})
 }
 
-// summaryResponse is the /v1/summary JSON body.
+// summaryResponse is the summary endpoint's JSON body.
 type summaryResponse struct {
+	Net            string   `json:"net"`
 	Network        string   `json:"network"`
 	Routers        int      `json:"routers"`
 	Interfaces     int      `json:"interfaces"`
@@ -150,6 +269,7 @@ func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request, st *State
 		return
 	}
 	writeJSON(w, http.StatusOK, summaryResponse{
+		Net:            netFrom(r.Context()).name,
 		Network:        d.Network.Name,
 		Routers:        len(d.Network.Devices),
 		Interfaces:     d.Topology.TotalInterfaces,
@@ -163,7 +283,7 @@ func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request, st *State
 	})
 }
 
-// pathwayResponse is the /v1/pathway JSON body.
+// pathwayResponse is the pathway endpoint's JSON body.
 type pathwayResponse struct {
 	Router          string       `json:"router"`
 	Feeders         []string     `json:"feeders"`
@@ -183,7 +303,7 @@ type pathwayHop struct {
 func (s *Server) handlePathway(w http.ResponseWriter, r *http.Request, st *State, q Query) {
 	g, err := st.Res.Design.Pathway(q.Router)
 	if err != nil {
-		writeError(w, http.StatusNotFound, err.Error())
+		writeError(w, r, http.StatusNotFound, codeNotFound, err.Error())
 		return
 	}
 	if q.Format == "text" {
@@ -209,8 +329,8 @@ func (s *Server) handlePathway(w http.ResponseWriter, r *http.Request, st *State
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// reachResponse is the /v1/reach JSON body. Without src/dst it reports
-// the network-wide external view; with them, block-to-block
+// reachResponse is the reach endpoint's JSON body. Without src/dst it
+// reports the network-wide external view; with them, block-to-block
 // reachability.
 type reachResponse struct {
 	HasDefaultRoute  *bool    `json:"has_default_route,omitempty"`
@@ -238,8 +358,8 @@ func (s *Server) handleReach(w http.ResponseWriter, r *http.Request, st *State, 
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// whatifResponse is the /v1/whatif JSON body: the survivability analysis
-// as counts plus the first entries of each failure class.
+// whatifResponse is the whatif endpoint's JSON body: the survivability
+// analysis as counts plus the first entries of each failure class.
 type whatifResponse struct {
 	RouterFailures int      `json:"router_failures"`
 	LinkFailures   int      `json:"link_failures"`

@@ -1,9 +1,9 @@
 package serve
 
 import (
+	"context"
 	"net/http"
 	"strconv"
-	"strings"
 	"time"
 
 	"routinglens/internal/telemetry"
@@ -31,6 +31,8 @@ func (s *Server) withTrace(name string, next http.Handler) http.Handler {
 		}
 		col := telemetry.NewCollector()
 		ctx := telemetry.WithTraceID(telemetry.WithCollector(r.Context(), col), id)
+		hold := &netHolder{}
+		ctx = context.WithValue(ctx, netHolderKey{}, hold)
 		w.Header().Set(telemetry.TraceHeader, id)
 		sw := &telemetry.StatusWriter{ResponseWriter: w}
 		start := time.Now()
@@ -53,11 +55,15 @@ func (s *Server) withTrace(name string, next http.Handler) http.Handler {
 		})
 		s.traces.ObserveExemplar(name, id, d)
 		if slow {
+			nw := hold.nw
+			if nw == nil {
+				nw = s.defNet
+			}
 			s.reg.Counter(MetricSlowQueries, telemetry.L("endpoint", name)).Inc()
 			s.log.Warn("slow query",
-				"endpoint", name, "trace_id", id, "status", status,
+				"endpoint", name, "net", nw.name, "trace_id", id, "status", status,
 				"elapsed", d.Round(time.Microsecond), "threshold", s.cfg.SlowQuery)
-			s.emit(EvtSlowQuery, slowQueryPayload{
+			nw.emit(EvtSlowQuery, slowQueryPayload{
 				Endpoint: name, TraceID: id, Status: status, DurationMS: d.Milliseconds(),
 			})
 		}
@@ -103,15 +109,11 @@ func summarize(r telemetry.TraceRecord) traceSummary {
 // per-endpoint worst-recent latency exemplars — the trace IDs the
 // latency histograms point at.
 func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "use GET")
-		return
-	}
 	limit := 50
 	if v := r.URL.Query().Get("limit"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil || n < 1 || n > 1000 {
-			writeError(w, http.StatusBadRequest, "limit: want an integer in [1,1000]")
+			writeError(w, r, http.StatusBadRequest, codeBadRequest, "limit: want an integer in [1,1000]")
 			return
 		}
 		limit = n
@@ -132,21 +134,17 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-// handleTrace serves one trace by ID: /debug/traces/<id>, the target
+// handleTrace serves one trace by ID: /debug/traces/{id}, the target
 // every X-Trace-Id response header and slow-query event resolves at.
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "use GET")
-		return
-	}
-	id := strings.TrimPrefix(r.URL.Path, "/debug/traces/")
+	id := r.PathValue("id")
 	if !telemetry.ValidTraceID(id) {
-		writeError(w, http.StatusBadRequest, "malformed trace ID")
+		writeError(w, r, http.StatusBadRequest, codeBadRequest, "malformed trace ID")
 		return
 	}
 	rec, ok := s.traces.Get(id)
 	if !ok {
-		writeError(w, http.StatusNotFound, "trace not resident (aged out of the bounded store?)")
+		writeError(w, r, http.StatusNotFound, codeNotFound, "trace not resident (aged out of the bounded store?)")
 		return
 	}
 	out := struct {
@@ -167,17 +165,15 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleVersion reports the build identity (also exported as the
-// routinglens_build_info gauge) plus what the daemon is serving.
+// routinglens_build_info gauge) plus what the daemon is serving; the
+// design_seq is the default network's, for single-network consumers.
 func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "use GET")
-		return
-	}
 	out := struct {
 		telemetry.Build
 		DesignSeq int64 `json:"design_seq,omitempty"`
-	}{Build: s.build}
-	if st := s.cur.Load(); st != nil {
+		Nets      int   `json:"nets,omitempty"`
+	}{Build: s.build, Nets: len(s.netNames)}
+	if st := s.defNet.cur.Load(); st != nil {
 		out.DesignSeq = st.Seq
 	}
 	writeJSON(w, http.StatusOK, out)

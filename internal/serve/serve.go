@@ -1,18 +1,24 @@
 // Package serve is the resident, fault-tolerant query daemon behind
-// cmd/rlensd: it analyzes a configuration directory once, keeps the
-// result behind an atomically swappable "last-good design" pointer, and
-// answers pathway/reachability/what-if/summary queries over HTTP.
+// cmd/rlensd: it analyzes one or many configuration directories, keeps
+// each network's result behind an atomically swappable "last-good
+// design" pointer, and answers pathway/reachability/what-if/summary
+// queries over HTTP at /v1/nets/<net>/....
 //
 // The robustness properties are the point of the package:
 //
 //   - A panicking query handler returns 500 and increments
 //     routinglens_panics_recovered_total; it never kills the process.
 //   - Every query runs under a per-request timeout and a bounded
-//     concurrency limiter that sheds load with 429 + Retry-After
-//     instead of queueing unboundedly.
-//   - Reload (POST /v1/reload or SIGHUP) re-analyzes with retry and
-//     exponential backoff; if every attempt fails the daemon keeps
-//     serving the last-good design and only /readyz degrades.
+//     per-network concurrency limiter that sheds load with 429 +
+//     Retry-After instead of queueing unboundedly.
+//   - Reload (POST /v1/nets/<net>/reload or SIGHUP) re-analyzes with
+//     retry and exponential backoff; if every attempt fails that
+//     network keeps serving its last-good design and only its
+//     readiness degrades. Networks are isolated: a failing or slow
+//     reload of one never blocks queries against another.
+//   - Analysis runs through a bounded fleet-wide worker pool, so a
+//     SIGHUP against a large corpus re-analyzes a few networks at a
+//     time instead of all at once.
 //   - Shutdown (SIGTERM/SIGINT) drains in-flight requests under a
 //     deadline before exiting.
 //
@@ -28,6 +34,9 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"path/filepath"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -35,8 +44,10 @@ import (
 
 	"routinglens/internal/core"
 	"routinglens/internal/events"
+	"routinglens/internal/experiments"
 	"routinglens/internal/faultinject"
 	"routinglens/internal/netaddr"
+	"routinglens/internal/parsecache"
 	"routinglens/internal/reach"
 	"routinglens/internal/simroute"
 	"routinglens/internal/telemetry"
@@ -45,44 +56,93 @@ import (
 
 // Serving metrics, alongside telemetry.MetricHTTPRequests/-Latency.
 const (
-	// MetricShed counts requests rejected 429 by the concurrency limiter.
+	// MetricShed counts requests rejected 429 by a network's concurrency
+	// limiter, by net.
 	MetricShed = "routinglens_http_shed_total"
 	// MetricTimeouts counts requests cut off 504 by the per-request deadline.
 	MetricTimeouts = "routinglens_http_timeouts_total"
 	// MetricPanicsRecovered counts handler panics turned into 500s.
 	MetricPanicsRecovered = "routinglens_panics_recovered_total"
-	// MetricReloads counts design (re)loads by result (ok | error).
+	// MetricReloads counts design (re)loads by net and result (ok | error).
 	MetricReloads = "routinglens_reloads_total"
-	// MetricDesignSeq is the sequence number of the design being served.
+	// MetricDesignSeq is the sequence number of the design a network is
+	// serving, by net.
 	MetricDesignSeq = "routinglens_design_seq"
-	// MetricInFlight is the number of queries currently holding a
-	// concurrency slot.
+	// MetricInFlight is the number of queries currently holding one of a
+	// network's concurrency slots, by net.
 	MetricInFlight = "routinglens_http_in_flight"
 	// MetricSlowQueries counts requests over the slow-query threshold.
 	MetricSlowQueries = "routinglens_slow_queries_total"
+	// MetricNetReady is per-network readiness: 1 when the network has a
+	// design and its most recent (re)load succeeded, 0 otherwise.
+	MetricNetReady = "routinglens_net_ready"
+	// MetricNetLatency is per-network request latency, by net and endpoint.
+	MetricNetLatency = "routinglens_net_request_seconds"
+	// MetricCrossNetHits mirrors the shared parse cache's cross-network
+	// hit count: parses paid for by one network and reused by another.
+	MetricCrossNetHits = "routinglens_parsecache_cross_net_hits"
 )
 
 // Fault-injection sites the daemon exposes. Handler sites are
 // "handler.<endpoint>" (e.g. "handler.pathway"), fired before the
 // handler runs; SiteAnalyze fires at the analyzer boundary of every
-// load and reload.
+// load and reload, and "analyze.<net>" fires alongside it so a test can
+// fail one network's reloads while the rest of the fleet keeps loading.
 const SiteAnalyze = "analyze"
 
-// Config assembles a Server. The zero value of every optional field has
-// a usable default; only Dir (or Load) is required.
-type Config struct {
-	// Dir is the configuration directory analyzed at startup and on
-	// every reload.
-	Dir string
-	// Load, when non-nil, replaces directory analysis entirely — tests
-	// and the in-process smoke harness load from memory through it.
+// NetSource declares one served network: its name (the {net} path
+// segment) and where its design comes from — a configuration directory,
+// or a Load hook that replaces directory analysis entirely.
+type NetSource struct {
+	Name string
+	Dir  string
 	Load func(ctx context.Context) (*core.Result, error)
-	// Analyzer runs the analyses; nil means core.NewAnalyzer().
+}
+
+// Config assembles a Server. The zero value of every optional field has
+// a usable default; exactly one design source is required — Nets,
+// CorpusDir, or the single-network Dir/Load pair.
+type Config struct {
+	// Dir is the single-network configuration directory analyzed at
+	// startup and on every reload. The network is named DefaultNet if
+	// set, else after the directory's base name.
+	Dir string
+	// Load, when non-nil, replaces directory analysis for the single
+	// network — tests and the in-process smoke harness load from memory
+	// through it.
+	Load func(ctx context.Context) (*core.Result, error)
+	// CorpusDir is a corpus root — one subdirectory per network, one
+	// configuration file per router, the layout `cmd/netgen -out`
+	// writes. Every subdirectory becomes a served network named after
+	// it. Takes precedence over Dir/Load.
+	CorpusDir string
+	// Nets explicitly enumerates the served networks; takes precedence
+	// over CorpusDir and Dir/Load.
+	Nets []NetSource
+	// DefaultNet names the network the deprecated single-network
+	// endpoints (/v1/summary, ...) resolve to. Defaults to the sole
+	// network, or the first in name order.
+	DefaultNet string
+	// Analyzer runs the analyses for every network; nil means one
+	// core.NewAnalyzer per network built from AnalyzerOptions plus the
+	// shared ParseCache.
 	Analyzer *core.Analyzer
+	// AnalyzerOptions configure each per-network analyzer (ignored when
+	// Analyzer is set).
+	AnalyzerOptions []core.AnalyzerOption
+	// ParseCache, when non-nil, is shared by every per-network analyzer
+	// with per-network origin tracking, so identical boilerplate files
+	// across networks are parsed once (routinglens_parsecache_cross_net_hits
+	// counts the sharing). Ignored when Analyzer is set.
+	ParseCache *parsecache.Cache
+	// ReloadWorkers bounds concurrently running analysis attempts across
+	// the fleet (default 2): SIGHUP or startup against a large corpus
+	// re-analyzes a few networks at a time.
+	ReloadWorkers int
 	// RequestTimeout bounds each query's latency (default 10s).
 	RequestTimeout time.Duration
-	// MaxInFlight bounds concurrently executing queries; excess load is
-	// shed with 429 (default 64).
+	// MaxInFlight bounds concurrently executing queries per network;
+	// excess load is shed with 429 (default 64).
 	MaxInFlight int
 	// ReloadRetries is how many times a failed (re)load is retried with
 	// exponential backoff before giving up (default 2).
@@ -95,20 +155,20 @@ type Config struct {
 	// ShutdownGrace is how long Run waits for in-flight requests to
 	// drain after SIGTERM/SIGINT (default 10s).
 	ShutdownGrace time.Duration
-	// QueryCacheSize bounds the per-generation query-response LRU in
-	// front of the /v1 endpoints. 0 means the default (1024 entries);
-	// negative disables response caching entirely.
+	// QueryCacheSize bounds each network's per-generation query-response
+	// LRU in front of the /v1 endpoints. 0 means the default (1024
+	// entries); negative disables response caching entirely.
 	QueryCacheSize int
-	// EventsBuffer bounds the design-drift event ring served by
-	// /v1/events and /v1/watch. 0 means the default
+	// EventsBuffer bounds each network's design-drift event ring served
+	// by its events and watch endpoints. 0 means the default
 	// (events.DefaultBufferSize).
 	EventsBuffer int
 	// SlowQuery is the latency threshold above which a data-plane
 	// request is logged and emitted as a query.slow event. 0 means the
 	// default (500ms); negative disables slow-query reporting.
 	SlowQuery time.Duration
-	// WatchHeartbeat is the idle keep-alive interval of the /v1/watch
-	// SSE stream (default 15s).
+	// WatchHeartbeat is the idle keep-alive interval of the watch SSE
+	// streams (default 15s).
 	WatchHeartbeat time.Duration
 	// TraceStoreSize bounds the in-memory request-trace ring behind
 	// /debug/traces. 0 means the default (telemetry.DefaultTraceStoreSize).
@@ -156,7 +216,7 @@ func (st *State) computeReach() *reach.Analysis {
 
 // precomputeReach eagerly builds the admitted-external reachability view
 // — the ~100x-costlier-than-anything-else analysis that used to run
-// lazily inside the first /v1/reach request of every generation, where
+// lazily inside the first /v1 reach request of every generation, where
 // it monopolized limiter slots and shed load. Running it here, before
 // the generation is published, keeps the request path allocation-cheap.
 // The computation happens outside the sync.Once on purpose: a panic
@@ -174,7 +234,7 @@ func (st *State) precomputeReach(log *slog.Logger) {
 	an := st.computeReach()
 	// Warm the network-wide views too: they walk every device through
 	// the simulator, and the handler reads them on every paramless
-	// /v1/reach query.
+	// reach query.
 	an.HasDefaultRoute()
 	an.AdmittedExternalRoutes()
 	st.reachOnce.Do(func() { st.reached = an })
@@ -187,21 +247,24 @@ func (st *State) Whatif() *whatif.Analysis {
 }
 
 // reloadStatus records the outcome of the most recent failed reload, for
-// /readyz and logs.
+// readiness probes and logs.
 type reloadStatus struct {
 	Err string
 	At  time.Time
 }
 
-// Server is the daemon: an analyzer, the current design generation, and
-// the HTTP surface. Create with New, load with Reload, serve with Run
-// (or mount Handler on a server of your own).
-type Server struct {
-	cfg    Config
+// Network is one served network's full generation chain: its analyzer,
+// its current design generation, its query cache, its concurrency
+// limiter, and its event ring. Every field a reload or a query touches
+// lives here, which is the isolation argument — nothing about network A
+// failing, reloading, or saturating is visible from network B's chain
+// except contention on the bounded fleet-wide reload pool.
+type Network struct {
+	s      *Server
+	name   string
+	dir    string
+	loadFn func(ctx context.Context) (*core.Result, error)
 	an     *core.Analyzer
-	reg    *telemetry.Registry
-	log    *slog.Logger
-	faults *faultinject.Injector
 
 	sem      chan struct{}
 	qc       *qcache
@@ -210,19 +273,62 @@ type Server struct {
 	degraded atomic.Bool
 	lastFail atomic.Pointer[reloadStatus]
 	reloadMu sync.Mutex
+	// lastReloadNS is the wall time of the most recent successful
+	// (re)load, for the /v1/nets listing.
+	lastReloadNS atomic.Int64
 
-	evts   *events.Buffer
-	traces *telemetry.TraceStore
-	build  telemetry.Build
-
+	evts        *events.Buffer
 	shedEvents  coalescer
 	cacheEvents coalescer
+}
+
+// Name returns the network's name — its {net} path segment.
+func (nw *Network) Name() string { return nw.name }
+
+// State returns the design generation the network currently serves (nil
+// before its first successful load).
+func (nw *Network) State() *State { return nw.cur.Load() }
+
+// Degraded reports whether the network's most recent (re)load failed;
+// it still serves its last-good design while degraded.
+func (nw *Network) Degraded() bool { return nw.degraded.Load() }
+
+// Events exposes the network's event buffer, so embedders (the smoke
+// harness, future push-ingestion front ends) can publish into and
+// observe the same stream the HTTP surface serves.
+func (nw *Network) Events() *events.Buffer { return nw.evts }
+
+// Server is the daemon: a registry of independently reloading networks
+// plus the shared HTTP surface. Create with New, load with ReloadAll
+// (or per-network Reload), serve with Run (or mount Handler on a server
+// of your own).
+type Server struct {
+	cfg    Config
+	reg    *telemetry.Registry
+	log    *slog.Logger
+	faults *faultinject.Injector
+
+	nets     map[string]*Network
+	netNames []string // sorted
+	defNet   *Network
+	pc       *parsecache.Cache
+	// reloadSem bounds concurrently running analysis attempts across
+	// the whole fleet (capacity ReloadWorkers).
+	reloadSem chan struct{}
+
+	traces *telemetry.TraceStore
+	build  telemetry.Build
 
 	handler http.Handler
 }
 
-// New builds a Server from cfg, resolving defaults.
-func New(cfg Config) *Server {
+// New builds a Server from cfg, resolving defaults and discovering the
+// served networks. It returns an error when the network set itself is
+// unusable — an unreadable corpus root, duplicate or malformed network
+// names, an unknown DefaultNet; a network whose directory merely fails
+// to analyze is not an error here (that is Reload's business, and the
+// fleet serves around it).
+func New(cfg Config) (*Server, error) {
 	if cfg.RequestTimeout <= 0 {
 		cfg.RequestTimeout = 10 * time.Second
 	}
@@ -234,6 +340,9 @@ func New(cfg Config) *Server {
 	}
 	if cfg.ReloadBackoff <= 0 {
 		cfg.ReloadBackoff = 250 * time.Millisecond
+	}
+	if cfg.ReloadWorkers <= 0 {
+		cfg.ReloadWorkers = 2
 	}
 	if cfg.ShutdownGrace <= 0 {
 		cfg.ShutdownGrace = 10 * time.Second
@@ -248,18 +357,13 @@ func New(cfg Config) *Server {
 		cfg.WatchHeartbeat = 15 * time.Second
 	}
 	s := &Server{
-		cfg:    cfg,
-		an:     cfg.Analyzer,
-		reg:    cfg.Registry,
-		log:    cfg.Logger,
-		faults: cfg.Faults,
-		sem:    make(chan struct{}, cfg.MaxInFlight),
-	}
-	if cfg.QueryCacheSize > 0 {
-		s.qc = newQCache(cfg.QueryCacheSize)
-	}
-	if s.an == nil {
-		s.an = core.NewAnalyzer()
+		cfg:       cfg,
+		reg:       cfg.Registry,
+		log:       cfg.Logger,
+		faults:    cfg.Faults,
+		pc:        cfg.ParseCache,
+		nets:      make(map[string]*Network),
+		reloadSem: make(chan struct{}, cfg.ReloadWorkers),
 	}
 	if s.reg == nil {
 		s.reg = telemetry.Default
@@ -268,52 +372,177 @@ func New(cfg Config) *Server {
 		s.log = telemetry.Logger()
 	}
 	s.log = s.log.With("component", "serve")
-	s.evts = events.NewBuffer(cfg.EventsBuffer, s.reg)
 	s.traces = telemetry.NewTraceStore(cfg.TraceStoreSize)
 	s.build = telemetry.RegisterBuildInfo(s.reg)
 	registerHelp(s.reg)
+
+	srcs, err := cfg.netSources()
+	if err != nil {
+		return nil, err
+	}
+	for _, src := range srcs {
+		if err := s.addNet(src); err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(s.netNames)
+	if cfg.DefaultNet != "" {
+		nw, ok := s.nets[cfg.DefaultNet]
+		if !ok {
+			return nil, fmt.Errorf("serve: default net %q is not among the served networks %v",
+				cfg.DefaultNet, s.netNames)
+		}
+		s.defNet = nw
+	} else {
+		s.defNet = s.nets[s.netNames[0]]
+		if len(s.netNames) > 1 {
+			s.log.Info("no default net configured; deprecated single-network endpoints resolve to the first by name",
+				"net", s.defNet.name)
+		}
+	}
 	s.handler = s.buildHandler()
-	return s
+	return s, nil
 }
 
-// Events exposes the daemon's event buffer, so embedders (the smoke
-// harness, future push-ingestion front ends) can publish into and
-// observe the same stream the HTTP surface serves.
-func (s *Server) Events() *events.Buffer { return s.evts }
+// netSources resolves the configured design sources into the network
+// list, in precedence order: explicit Nets, then a corpus root, then
+// the single-network Dir/Load pair.
+func (cfg Config) netSources() ([]NetSource, error) {
+	if len(cfg.Nets) > 0 {
+		return cfg.Nets, nil
+	}
+	if cfg.CorpusDir != "" {
+		discovered, err := experiments.DiscoverCorpus(cfg.CorpusDir)
+		if err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		srcs := make([]NetSource, 0, len(discovered))
+		for _, d := range discovered {
+			srcs = append(srcs, NetSource{Name: d.Name, Dir: d.Dir})
+		}
+		return srcs, nil
+	}
+	name := cfg.DefaultNet
+	if name == "" && cfg.Dir != "" {
+		name = filepath.Base(filepath.Clean(cfg.Dir))
+	}
+	if name == "" {
+		name = "default"
+	}
+	return []NetSource{{Name: name, Dir: cfg.Dir, Load: cfg.Load}}, nil
+}
+
+// validNetName accepts names usable as a single {net} path segment and
+// as a metric label value.
+func validNetName(name string) bool {
+	if name == "" || name == "." || name == ".." {
+		return false
+	}
+	return !strings.ContainsAny(name, "/\\?#%\"' \t\n")
+}
+
+// addNet registers one network, building its analyzer against the
+// shared parse cache with the network's name as cache origin.
+func (s *Server) addNet(src NetSource) error {
+	if !validNetName(src.Name) {
+		return fmt.Errorf("serve: network name %q is not usable as a path segment", src.Name)
+	}
+	if _, dup := s.nets[src.Name]; dup {
+		return fmt.Errorf("serve: duplicate network name %q", src.Name)
+	}
+	an := s.cfg.Analyzer
+	if an == nil {
+		opts := append([]core.AnalyzerOption{}, s.cfg.AnalyzerOptions...)
+		if s.pc != nil {
+			opts = append(opts, core.WithCache(s.pc), core.WithCacheOrigin(src.Name))
+		}
+		an = core.NewAnalyzer(opts...)
+	}
+	nw := &Network{
+		s:      s,
+		name:   src.Name,
+		dir:    src.Dir,
+		loadFn: src.Load,
+		an:     an,
+		sem:    make(chan struct{}, s.cfg.MaxInFlight),
+		evts:   events.NewBuffer(s.cfg.EventsBuffer, s.reg, telemetry.L("net", src.Name)),
+	}
+	if s.cfg.QueryCacheSize > 0 {
+		nw.qc = newQCache(s.cfg.QueryCacheSize)
+	}
+	s.nets[src.Name] = nw
+	s.netNames = append(s.netNames, src.Name)
+	return nil
+}
+
+// Net returns one network by name (nil if unknown).
+func (s *Server) Net(name string) *Network { return s.nets[name] }
+
+// Nets returns the served network names, sorted.
+func (s *Server) Nets() []string { return append([]string(nil), s.netNames...) }
+
+// DefaultNet returns the network the deprecated single-network
+// endpoints resolve to.
+func (s *Server) DefaultNet() *Network { return s.defNet }
+
+// Events exposes the default network's event buffer; embedders serving
+// one network publish and observe through it.
+func (s *Server) Events() *events.Buffer { return s.defNet.evts }
 
 func registerHelp(reg *telemetry.Registry) {
 	reg.SetHelp(telemetry.MetricHTTPRequests, "HTTP requests served, by endpoint and status code.")
 	reg.SetHelp(telemetry.MetricHTTPLatency, "HTTP request latency, by endpoint.")
-	reg.SetHelp(MetricShed, "Requests shed 429 by the concurrency limiter.")
+	reg.SetHelp(MetricShed, "Requests shed 429 by a network's concurrency limiter, by net.")
 	reg.SetHelp(MetricTimeouts, "Requests cut off 504 by the per-request deadline.")
 	reg.SetHelp(MetricPanicsRecovered, "Handler panics recovered into 500 responses.")
-	reg.SetHelp(MetricReloads, "Design load attempts, by result.")
-	reg.SetHelp(MetricDesignSeq, "Sequence number of the design generation being served.")
-	reg.SetHelp(MetricInFlight, "Queries currently holding a concurrency slot.")
+	reg.SetHelp(MetricReloads, "Design load attempts, by net and result.")
+	reg.SetHelp(MetricDesignSeq, "Sequence number of the design generation served, by net.")
+	reg.SetHelp(MetricInFlight, "Queries currently holding a concurrency slot, by net.")
+	reg.SetHelp(MetricNetReady, "Per-network readiness: 1 serving fresh, 0 empty or degraded.")
+	reg.SetHelp(MetricNetLatency, "Request latency, by net and endpoint.")
+	reg.SetHelp(MetricCrossNetHits, "Shared parse-cache hits where the parse was paid for by a different network.")
 	reg.SetHelp(MetricQueryCacheHits, "Query responses served from the per-generation cache, by endpoint.")
 	reg.SetHelp(MetricQueryCacheMisses, "Queries computed because the per-generation cache had no entry, by endpoint.")
 	reg.SetHelp(MetricQueryCacheEvictions, "Query-cache entries evicted by the LRU bound.")
-	reg.SetHelp(MetricQueryCacheEntries, "Query-cache resident entries.")
+	reg.SetHelp(MetricQueryCacheEntries, "Query-cache resident entries, by net.")
 	reg.SetHelp(faultinject.MetricFaultsInjected, "Deliberately injected faults, by site and kind.")
-	reg.SetHelp(events.MetricPublished, "Design-drift events published, by type.")
-	reg.SetHelp(events.MetricDropped, "Events dropped at slow watch subscribers.")
-	reg.SetHelp(events.MetricSubscribers, "Live event-stream subscriptions.")
+	reg.SetHelp(events.MetricPublished, "Design-drift events published, by net and type.")
+	reg.SetHelp(events.MetricDropped, "Events dropped at slow watch subscribers, by net.")
+	reg.SetHelp(events.MetricSubscribers, "Live event-stream subscriptions, by net.")
 	reg.SetHelp(MetricSlowQueries, "Data-plane requests slower than the slow-query threshold, by endpoint.")
 }
 
 // Handler returns the daemon's HTTP surface.
 func (s *Server) Handler() http.Handler { return s.handler }
 
-// State returns the design generation currently served (nil before the
+// State returns the default network's served generation (nil before its
 // first successful load).
-func (s *Server) State() *State { return s.cur.Load() }
+func (s *Server) State() *State { return s.defNet.State() }
 
-// Degraded reports whether the most recent (re)load failed; the daemon
-// still serves its last-good design while degraded.
-func (s *Server) Degraded() bool { return s.degraded.Load() }
+// Degraded reports whether the default network's most recent (re)load
+// failed.
+func (s *Server) Degraded() bool { return s.defNet.Degraded() }
 
-// load runs one analysis attempt through the fault-injection boundary.
-func (s *Server) load(ctx context.Context) (*core.Result, error) {
+// observeCrossNetHits exports the shared parse cache's cross-network
+// hit count after load activity; a no-op without a shared cache.
+func (s *Server) observeCrossNetHits() {
+	if s.pc == nil {
+		return
+	}
+	s.reg.Gauge(MetricCrossNetHits).Set(float64(s.pc.Stats().CrossHits))
+}
+
+// load runs one analysis attempt through the fleet-wide reload pool and
+// the fault-injection boundary. The pool slot is held only for the
+// attempt itself, never across retry backoff sleeps.
+func (nw *Network) load(ctx context.Context) (*core.Result, error) {
+	s := nw.s
+	select {
+	case s.reloadSem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	defer func() { <-s.reloadSem }()
 	ctx = telemetry.WithRegistry(ctx, s.reg)
 	if s.cfg.LoadTimeout > 0 {
 		var cancel context.CancelFunc
@@ -323,65 +552,76 @@ func (s *Server) load(ctx context.Context) (*core.Result, error) {
 	if err := s.faults.Fire(ctx, SiteAnalyze); err != nil {
 		return nil, err
 	}
-	if s.cfg.Load != nil {
-		return s.cfg.Load(ctx)
+	if err := s.faults.Fire(ctx, SiteAnalyze+"."+nw.name); err != nil {
+		return nil, err
 	}
-	return s.an.AnalyzeDirResult(ctx, s.cfg.Dir)
+	if nw.loadFn != nil {
+		return nw.loadFn(ctx)
+	}
+	return nw.an.AnalyzeDirResult(ctx, nw.dir)
 }
 
-// Reload (re)analyzes the configuration directory and swaps the new
+// Reload re-analyzes the network's configuration and swaps the new
 // design in atomically. A failed attempt is retried ReloadRetries times
-// with exponential backoff; if every attempt fails, the server keeps
-// serving the previous last-good design, marks itself degraded (visible
-// on /readyz), and returns the last error. Reloads serialize: concurrent
-// calls run one at a time. Also the initial load — cmd/rlensd calls it
-// once before serving.
-func (s *Server) Reload(ctx context.Context) error {
-	s.reloadMu.Lock()
-	defer s.reloadMu.Unlock()
+// with exponential backoff; if every attempt fails, the network keeps
+// serving its previous last-good design, marks itself degraded (visible
+// on /readyz), and returns the last error. Reloads of one network
+// serialize; different networks reload independently, bounded only by
+// the fleet-wide worker pool. Also the initial load — cmd/rlensd
+// reloads every network once before serving.
+func (nw *Network) Reload(ctx context.Context) error {
+	s := nw.s
+	nw.reloadMu.Lock()
+	defer nw.reloadMu.Unlock()
+	lnet := telemetry.L("net", nw.name)
 	var lastErr error
 	backoff := s.cfg.ReloadBackoff
 	for attempt := 0; attempt <= s.cfg.ReloadRetries; attempt++ {
 		if attempt > 0 {
 			s.log.Warn("load attempt failed; backing off",
-				"attempt", attempt, "backoff", backoff, "error", lastErr)
+				"net", nw.name, "attempt", attempt, "backoff", backoff, "error", lastErr)
 			t := time.NewTimer(backoff)
 			select {
 			case <-t.C:
 			case <-ctx.Done():
 				t.Stop()
-				s.reg.Counter(MetricReloads, telemetry.L("result", "error")).Inc()
-				return s.failReload(ctx.Err())
+				s.reg.Counter(MetricReloads, lnet, telemetry.L("result", "error")).Inc()
+				return nw.failReload(ctx.Err())
 			}
 			backoff *= 2
 		}
-		res, err := s.load(ctx)
+		start := time.Now()
+		res, err := nw.load(ctx)
 		if err == nil {
-			st := &State{Res: res, Seq: s.seq.Add(1), LoadedAt: time.Now()}
+			st := &State{Res: res, Seq: nw.seq.Add(1), LoadedAt: time.Now()}
 			// Precompute the expensive per-generation analysis BEFORE the
 			// pointer swap: queries keep hitting the previous generation's
 			// resident view until the new one is fully warm, so a reload
-			// never exposes a cold (sheddable) /v1/reach window.
+			// never exposes a cold (sheddable) reach window.
 			pstart := time.Now()
 			st.precomputeReach(s.log)
 			precomputeDur := time.Since(pstart)
-			prev := s.cur.Load()
-			s.cur.Store(st)
+			prev := nw.cur.Load()
+			nw.cur.Store(st)
 			// Every older generation's cached responses are unreachable now
 			// (keys embed the seq); purge them rather than waiting for LRU
 			// pressure to age them out.
-			s.qc.purge()
-			s.reg.Gauge(MetricQueryCacheEntries).Set(0)
-			wasDegraded := s.degraded.Swap(false)
-			s.reg.Counter(MetricReloads, telemetry.L("result", "ok")).Inc()
-			s.reg.Gauge(MetricDesignSeq).Set(float64(st.Seq))
+			nw.qc.purge()
+			s.reg.Gauge(MetricQueryCacheEntries, lnet).Set(0)
+			wasDegraded := nw.degraded.Swap(false)
+			nw.lastReloadNS.Store(int64(time.Since(start)))
+			s.reg.Counter(MetricReloads, lnet, telemetry.L("result", "ok")).Inc()
+			s.reg.Gauge(MetricDesignSeq, lnet).Set(float64(st.Seq))
+			s.reg.Gauge(MetricNetReady, lnet).Set(1)
+			s.observeCrossNetHits()
 			// Swap + design-diff events go out after the swap, so a
 			// watcher reacting to them queries the generation announced.
-			s.emitSwapEvents(prev, st)
+			nw.emitSwapEvents(prev, st)
 			if wasDegraded {
-				s.emit(EvtReadyRecovered, recoveredPayload{Seq: st.Seq})
+				nw.emit(EvtReadyRecovered, recoveredPayload{Seq: st.Seq})
 			}
 			s.log.Info("design loaded",
+				"net", nw.name,
 				"seq", st.Seq,
 				"network", res.Design.Network.Name,
 				"routers", len(res.Design.Network.Devices),
@@ -393,35 +633,63 @@ func (s *Server) Reload(ctx context.Context) error {
 			return nil
 		}
 		lastErr = err
-		s.reg.Counter(MetricReloads, telemetry.L("result", "error")).Inc()
+		s.reg.Counter(MetricReloads, lnet, telemetry.L("result", "error")).Inc()
 		if ctx.Err() != nil {
 			break
 		}
 	}
-	return s.failReload(lastErr)
+	return nw.failReload(lastErr)
 }
 
-// failReload records a given-up reload: degraded, last error kept for
-// /readyz, last-good design untouched.
-func (s *Server) failReload(err error) error {
-	s.degraded.Store(true)
-	s.lastFail.Store(&reloadStatus{Err: err.Error(), At: time.Now()})
+// failReload records a given-up reload: the network degrades, keeps the
+// last error for readiness probes, and leaves its last-good design
+// untouched.
+func (nw *Network) failReload(err error) error {
+	s := nw.s
+	nw.degraded.Store(true)
+	nw.lastFail.Store(&reloadStatus{Err: err.Error(), At: time.Now()})
+	s.reg.Gauge(MetricNetReady, telemetry.L("net", nw.name)).Set(0)
+	s.observeCrossNetHits()
 	p := reloadFailedPayload{Error: err.Error()}
-	if st := s.cur.Load(); st != nil {
+	if st := nw.cur.Load(); st != nil {
 		p.ServingSeq, p.HaveDesign = st.Seq, true
 	}
-	s.emit(EvtReloadFailed, p)
+	nw.emit(EvtReloadFailed, p)
 	s.log.Error("load failed; serving last-good design if any",
-		"error", err, "have_design", p.HaveDesign)
+		"net", nw.name, "error", err, "have_design", p.HaveDesign)
 	return err
+}
+
+// Reload reloads the default network — the single-network compatibility
+// surface tests and embedders use.
+func (s *Server) Reload(ctx context.Context) error { return s.defNet.Reload(ctx) }
+
+// ReloadAll (re)loads every network through the bounded fleet-wide
+// worker pool, in name order, and returns the first failure by name
+// order (every network still gets its attempt — one bad network must
+// not stop the rest of the fleet from loading).
+func (s *Server) ReloadAll(ctx context.Context) error {
+	errs := make([]error, len(s.netNames))
+	experiments.RunPool(ctx, s.cfg.ReloadWorkers, len(s.netNames), func(i int) {
+		errs[i] = s.nets[s.netNames[i]].Reload(ctx)
+	})
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("net %s: %w", s.netNames[i], err)
+		}
+	}
+	return nil
 }
 
 // Run serves on ln until a termination signal or ctx cancellation, then
 // shuts down gracefully: in-flight requests get ShutdownGrace to drain
 // before the listener is torn down. SIGHUP on sigs triggers a background
-// reload; SIGTERM/SIGINT (and ctx.Done) trigger the drain. The caller
-// owns sigs — cmd/rlensd passes an os/signal channel, tests pass their
-// own.
+// reload of the whole fleet; SIGTERM/SIGINT (and ctx.Done) trigger the
+// drain. The caller owns sigs — cmd/rlensd passes an os/signal channel,
+// tests pass their own.
 func (s *Server) Run(ctx context.Context, ln net.Listener, sigs <-chan os.Signal) error {
 	srv := &http.Server{
 		Handler:           s.Handler(),
@@ -429,7 +697,7 @@ func (s *Server) Run(ctx context.Context, ln net.Listener, sigs <-chan os.Signal
 	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ln) }()
-	s.log.Info("serving", "addr", ln.Addr().String())
+	s.log.Info("serving", "addr", ln.Addr().String(), "nets", len(s.netNames))
 	for {
 		select {
 		case err := <-errCh:
@@ -439,8 +707,8 @@ func (s *Server) Run(ctx context.Context, ln net.Listener, sigs <-chan os.Signal
 			return err
 		case sig := <-sigs:
 			if sig == syscall.SIGHUP {
-				s.log.Info("SIGHUP received; reloading design in the background")
-				go func() { _ = s.Reload(context.Background()) }()
+				s.log.Info("SIGHUP received; reloading every network in the background")
+				go func() { _ = s.ReloadAll(context.Background()) }()
 				continue
 			}
 			s.log.Info("termination signal; draining in-flight requests",

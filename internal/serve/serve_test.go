@@ -40,8 +40,17 @@ func newTestServer(t *testing.T, mutate func(*Config)) *Server {
 	if mutate != nil {
 		mutate(&cfg)
 	}
-	return New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return s
 }
+
+// lnet labels a metric lookup with the test server's single network
+// (named after its configuration directory, or "default" for Load-hook
+// servers with no directory).
+func lnet(name string) telemetry.Label { return telemetry.L("net", name) }
 
 // get issues one GET and returns status, parsed-if-JSON body, and headers.
 func get(t *testing.T, url string) (int, map[string]any, http.Header) {
@@ -330,7 +339,7 @@ func TestShedUnderSaturation(t *testing.T) {
 	}
 	// Wait for both to hold their slots before probing.
 	deadline := time.Now().Add(3 * time.Second)
-	for reg.Gauge(MetricInFlight).Value() < 2 {
+	for reg.Gauge(MetricInFlight, lnet("example")).Value() < 2 {
 		if time.Now().After(deadline) {
 			t.Fatal("in-flight requests never took their limiter slots")
 		}
@@ -344,7 +353,7 @@ func TestShedUnderSaturation(t *testing.T) {
 	if hdr.Get("Retry-After") == "" {
 		t.Error("saturated request: missing Retry-After header")
 	}
-	if got := reg.Counter(MetricShed).Value(); got < 1 {
+	if got := reg.Counter(MetricShed, lnet("example")).Value(); got < 1 {
 		t.Errorf("%s = %d, want >= 1", MetricShed, got)
 	}
 
@@ -414,7 +423,7 @@ func TestRunDrainsOnSIGTERM(t *testing.T) {
 		reqDone <- code
 	}()
 	deadline := time.Now().Add(3 * time.Second)
-	for reg.Gauge(MetricInFlight).Value() < 1 {
+	for reg.Gauge(MetricInFlight, lnet("example")).Value() < 1 {
 		if time.Now().After(deadline) {
 			t.Fatal("request never became in-flight")
 		}

@@ -10,15 +10,17 @@ import (
 	"routinglens/internal/events"
 )
 
-// maxEventsPage bounds one /v1/events response; a consumer pages with
-// the returned next cursor.
+// maxEventsPage bounds one events-endpoint response; a consumer pages
+// with the returned next cursor.
 const maxEventsPage = 500
 
-// eventsResponse is the /v1/events JSON body: one cursor-ordered page
-// plus the ring's bounds, so a consumer always knows whether it can
+// eventsResponse is the events endpoint's JSON body: one cursor-ordered
+// page plus the ring's bounds, so a consumer always knows whether it can
 // still resume losslessly (since >= oldest-1) or has to accept the
-// truncation flag.
+// truncation flag. Cursors are per network — each network's ring counts
+// its own history from 1.
 type eventsResponse struct {
+	Net string `json:"net"`
 	// Oldest/Latest are the cursors of the oldest retained and newest
 	// published events (0 while nothing has been published).
 	Oldest uint64 `json:"oldest"`
@@ -33,20 +35,17 @@ type eventsResponse struct {
 	Events    []events.Event `json:"events"`
 }
 
-// handleEvents serves one page of the event ring from a resume cursor:
-// GET /v1/events?since=<cursor>&limit=<n>. since=0 (the default) reads
-// from the beginning of retained history.
-func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "use GET")
-		return
-	}
+// handleEvents serves one page of the network's event ring from a
+// resume cursor: GET /v1/nets/<net>/events?since=<cursor>&limit=<n>.
+// since=0 (the default) reads from the beginning of retained history.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request, nw *Network) {
 	q := r.URL.Query()
 	var since uint64
 	if v := q.Get("since"); v != "" {
 		n, err := strconv.ParseUint(v, 10, 64)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "since: want a cursor (unsigned integer)")
+			writeError(w, r, http.StatusBadRequest, codeBadRequest,
+				"since: want a cursor (unsigned integer)")
 			return
 		}
 		since = n
@@ -55,19 +54,20 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	if v := q.Get("limit"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil || n < 1 || n > maxEventsPage {
-			writeError(w, http.StatusBadRequest,
+			writeError(w, r, http.StatusBadRequest, codeBadRequest,
 				fmt.Sprintf("limit: want an integer in [1,%d]", maxEventsPage))
 			return
 		}
 		limit = n
 	}
-	evs, next, truncated := s.evts.Since(since, limit)
+	evs, next, truncated := nw.evts.Since(since, limit)
 	if evs == nil {
 		evs = []events.Event{}
 	}
 	writeJSON(w, http.StatusOK, eventsResponse{
-		Oldest:    s.evts.Oldest(),
-		Latest:    s.evts.Latest(),
+		Net:       nw.name,
+		Oldest:    nw.evts.Oldest(),
+		Latest:    nw.evts.Latest(),
 		Next:      next,
 		Truncated: truncated,
 		Types:     events.Types(),
@@ -75,20 +75,18 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleWatch streams the event ring as Server-Sent Events:
-// GET /v1/watch[?since=<cursor>]. Each frame carries the event cursor
-// as its SSE id, so a dropped connection resumes exactly where it left
-// off by reconnecting with Last-Event-ID (the header wins over ?since).
-// A resume point that has aged out of the ring yields a synthesized
-// stream.truncated event before the replay — a watcher is told it
-// missed history, never silently skipped past it. Heartbeat comments
-// flow every WatchHeartbeat so idle connections stay distinguishable
-// from dead ones.
-func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "use GET")
-		return
-	}
+// handleWatch streams the network's event ring as Server-Sent Events:
+// GET /v1/nets/<net>/watch[?since=<cursor>]. Each frame carries the
+// event cursor as its SSE id, so a dropped connection resumes exactly
+// where it left off by reconnecting with Last-Event-ID (the header wins
+// over ?since). Cursors are scoped to the network: a cursor taken from
+// one network's stream means nothing on another's. A resume point that
+// has aged out of the ring yields a synthesized stream.truncated event
+// before the replay — a watcher is told it missed history, never
+// silently skipped past it. Heartbeat comments flow every
+// WatchHeartbeat so idle connections stay distinguishable from dead
+// ones.
+func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request, nw *Network) {
 	rc := http.NewResponseController(w)
 	var cursor uint64
 	src := r.Header.Get("Last-Event-ID")
@@ -98,7 +96,8 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 	if src != "" {
 		n, err := strconv.ParseUint(src, 10, 64)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "resume cursor: want an unsigned integer")
+			writeError(w, r, http.StatusBadRequest, codeBadRequest,
+				"resume cursor: want an unsigned integer")
 			return
 		}
 		cursor = n
@@ -107,7 +106,7 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 	// Subscribe before the backfill: anything published between the two
 	// arrives on the channel and is deduped by cursor, so the seam
 	// between replayed history and the live feed loses nothing.
-	sub := s.evts.Subscribe(0)
+	sub := nw.evts.Subscribe(0)
 	defer sub.Close()
 
 	h := w.Header()
@@ -143,14 +142,14 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 	// explicit truncation notice if the resume point has aged out.
 	backfill := func() bool {
 		for {
-			evs, next, truncated := s.evts.Since(cursor, maxEventsPage)
+			evs, next, truncated := nw.evts.Since(cursor, maxEventsPage)
 			if truncated {
 				if !writeFrame(events.Event{
 					Type: EvtTruncated,
 					Time: time.Now().UTC(),
 					Payload: truncatedPayload{
 						RequestedCursor: cursor,
-						OldestCursor:    s.evts.Oldest(),
+						OldestCursor:    nw.evts.Oldest(),
 					},
 				}) {
 					return false

@@ -360,7 +360,7 @@ func TestWatchSubscriberDisconnect(t *testing.T) {
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
-	if g := s.reg.Gauge(events.MetricSubscribers).Value(); g != 0 {
+	if g := s.reg.Gauge(events.MetricSubscribers, lnet("default")).Value(); g != 0 {
 		t.Errorf("%s = %v after disconnect, want 0", events.MetricSubscribers, g)
 	}
 }

@@ -31,7 +31,9 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+
 
 // serveLine matches tools/servesmoke's per-endpoint summary, e.g.
 // "servesmoke: endpoint=summary queries=200 ok=197 shed=3 p50_ns=81250 p99_ns=1220417".
-var serveLine = regexp.MustCompile(`^servesmoke: endpoint=(\S+) queries=(\d+) ok=(\d+) shed=(\d+) p50_ns=(\d+) p99_ns=(\d+)$`)
+// Multi-network fleet rows carry a leading net= field:
+// "servesmoke: net=net25 endpoint=summary queries=100 ok=100 shed=0 p50_ns=41000 p99_ns=310000".
+var serveLine = regexp.MustCompile(`^servesmoke: (?:net=(\S+) )?endpoint=(\S+) queries=(\d+) ok=(\d+) shed=(\d+) p50_ns=(\d+) p99_ns=(\d+)$`)
 
 type benchmark struct {
 	Name    string  `json:"name"`
@@ -55,6 +57,9 @@ type speedup struct {
 // queries were admitted vs shed, and the latency spread of the admitted
 // ones.
 type serveRecord struct {
+	// Net is the served network of a fleet-phase row; empty for the
+	// single-network rows.
+	Net      string `json:"net,omitempty"`
 	Endpoint string `json:"endpoint"`
 	Queries  int    `json:"queries"`
 	OK       int    `json:"ok"`
@@ -93,13 +98,13 @@ func main() {
 		line := sc.Text()
 		fmt.Println(line) // pass through so the run stays readable
 		if m := serveLine.FindStringSubmatch(line); m != nil {
-			queries, _ := strconv.Atoi(m[2])
-			ok, _ := strconv.Atoi(m[3])
-			shed, _ := strconv.Atoi(m[4])
-			p50, _ := strconv.ParseInt(m[5], 10, 64)
-			p99, _ := strconv.ParseInt(m[6], 10, 64)
+			queries, _ := strconv.Atoi(m[3])
+			ok, _ := strconv.Atoi(m[4])
+			shed, _ := strconv.Atoi(m[5])
+			p50, _ := strconv.ParseInt(m[6], 10, 64)
+			p99, _ := strconv.ParseInt(m[7], 10, 64)
 			rep.Serve = append(rep.Serve, serveRecord{
-				Endpoint: m[1], Queries: queries, OK: ok, Shed: shed, P50Ns: p50, P99Ns: p99,
+				Net: m[1], Endpoint: m[2], Queries: queries, OK: ok, Shed: shed, P50Ns: p50, P99Ns: p99,
 			})
 			continue
 		}
@@ -143,8 +148,12 @@ func main() {
 		fmt.Printf("benchcmp: %s: %s -> %s = %.2fx\n", s.Benchmark, s.Baseline, s.Parallel, *s.Speedup)
 	}
 	for _, r := range rep.Serve {
+		label := r.Endpoint
+		if r.Net != "" {
+			label = r.Net + "/" + r.Endpoint
+		}
 		fmt.Printf("benchcmp: serve %s: %d/%d ok, %d shed, p50 %dns, p99 %dns\n",
-			r.Endpoint, r.OK, r.Queries, r.Shed, r.P50Ns, r.P99Ns)
+			label, r.OK, r.Queries, r.Shed, r.P50Ns, r.P99Ns)
 	}
 	fmt.Printf("benchcmp: wrote %s (GOMAXPROCS=%d, %d benchmarks, %d serve records)\n",
 		*out, rep.GOMAXPROCS, len(rep.Benchmarks), len(rep.Serve))

@@ -11,13 +11,21 @@
 // compute-every-request latency) and one with it enabled (rows
 // endpoint=<name>:warm, the cache-replay latency). An
 // endpoint=reload row times POST /v1/reload round trips — incremental
-// thanks to the shared parse cache, and inclusive of the /v1/reach
+// thanks to the shared parse cache, and inclusive of the reach
 // precompute that now happens at swap time instead of on the first
 // query. The observability plane is measured too: endpoint=events
 // hammers the /v1/events cursor page (the ring holds the swap events
 // the reloads just published) and endpoint=watch times
 // connect-to-first-SSE-byte of /v1/watch across sequential
 // connections.
+//
+// A fleet phase follows: one server hosting three networks (two small
+// corpus networks plus a replica of the first, so the shared parse
+// cache provably crosses network boundaries) under mixed concurrent
+// load against the canonical /v1/nets/<net>/ endpoints, one row per
+// network per endpoint:
+//
+//	servesmoke: net=net25 endpoint=summary queries=100 ok=100 shed=0 p50_ns=41000 p99_ns=310000
 //
 // tools/benchcmp parses these lines into the "serve" section of its JSON
 // report, so `make servesmoke` lands a BENCH_serve.json next to
@@ -59,7 +67,8 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 16, "server concurrency bound (kept below client concurrency so shedding is exercised)")
 	flag.Parse()
 
-	g := netgen.GenerateCorpus(*seed).ByName(*netName)
+	corpus := netgen.GenerateCorpus(*seed)
+	g := corpus.ByName(*netName)
 	if g == nil {
 		fmt.Fprintf(os.Stderr, "servesmoke: no network named %q\n", *netName)
 		os.Exit(2)
@@ -73,20 +82,30 @@ func main() {
 	}
 	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
 	reg := telemetry.NewRegistry()
-	s := serve.New(serve.Config{
+	s, err := serve.New(serve.Config{
 		Load:        load,
+		DefaultNet:  g.Name,
 		MaxInFlight: *maxInflight,
 		Registry:    reg,
 		Logger:      quiet,
 	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "servesmoke: %v\n", err)
+		os.Exit(1)
+	}
 	coldReg := telemetry.NewRegistry()
-	sCold := serve.New(serve.Config{
+	sCold, err := serve.New(serve.Config{
 		Load:           load,
+		DefaultNet:     g.Name,
 		MaxInFlight:    *maxInflight,
 		Registry:       coldReg,
 		Logger:         quiet,
 		QueryCacheSize: -1, // compute every request: the pre-cache baseline
 	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "servesmoke: %v\n", err)
+		os.Exit(1)
+	}
 	t0 := time.Now()
 	if err := s.Reload(context.Background()); err != nil {
 		fmt.Fprintf(os.Stderr, "servesmoke: analyzing %s: %v\n", g.Name, err)
@@ -215,11 +234,118 @@ func main() {
 	}
 
 	fmt.Fprintf(os.Stderr, "servesmoke: server counted %d shed, %d timeouts, %d panics, %d querycache hits\n",
-		reg.Counter(serve.MetricShed).Value(),
+		reg.Counter(serve.MetricShed, telemetry.L("net", g.Name)).Value(),
 		reg.Counter(serve.MetricTimeouts).Value(),
 		reg.Counter(serve.MetricPanicsRecovered).Value(),
 		querycacheHits(reg))
+
+	if code := fleetPhase(corpus, quiet, *queries, *concurrency, *maxInflight); code != 0 {
+		exitCode = code
+	}
 	os.Exit(exitCode)
+}
+
+// fleetPhase load-tests the multi-network registry: one server hosting
+// net25, net27, and net25-replica (the same configurations as net25
+// under a second name — a staging copy, in operational terms), all
+// analyzed through ONE shared parse cache with per-network origins. The
+// three networks are hammered concurrently against their canonical
+// /v1/nets/<net>/ endpoints — the mixed load the fleet API exists for —
+// and the phase fails if the shared cache records no cross-network
+// hits, because the replica's load must have replayed net25's parses.
+func fleetPhase(corpus *netgen.Corpus, quiet *slog.Logger, queries, concurrency, maxInflight int) int {
+	g25, g27 := corpus.ByName("net25"), corpus.ByName("net27")
+	if g25 == nil || g27 == nil {
+		fmt.Fprintln(os.Stderr, "servesmoke: fleet networks net25/net27 missing from corpus")
+		return 1
+	}
+	pc := parsecache.New(parsecache.DefaultMaxEntries, 0)
+	mk := func(name string, g *netgen.Generated) serve.NetSource {
+		an := core.NewAnalyzer(core.WithCache(pc), core.WithCacheOrigin(name))
+		return serve.NetSource{Name: name, Load: func(ctx context.Context) (*core.Result, error) {
+			return an.AnalyzeConfigsResult(ctx, g.Name, g.Configs)
+		}}
+	}
+	reg := telemetry.NewRegistry()
+	fleet, err := serve.New(serve.Config{
+		Nets:        []serve.NetSource{mk("net25", g25), mk("net27", g27), mk("net25-replica", g25)},
+		ParseCache:  pc,
+		MaxInFlight: maxInflight,
+		Registry:    reg,
+		Logger:      quiet,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "servesmoke: fleet: %v\n", err)
+		return 1
+	}
+	t0 := time.Now()
+	if err := fleet.ReloadAll(context.Background()); err != nil {
+		fmt.Fprintf(os.Stderr, "servesmoke: fleet load: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "servesmoke: fleet of %d networks analyzed in %v\n",
+		len(fleet.Nets()), time.Since(t0).Round(time.Millisecond))
+	ts := httptest.NewServer(fleet.Handler())
+	defer ts.Close()
+
+	type fleetNet struct {
+		name string
+		g    *netgen.Generated
+	}
+	nets := []fleetNet{{"net25", g25}, {"net27", g27}, {"net25-replica", g25}}
+	type row struct {
+		net, ep           string
+		queries, ok, shed int
+		p50, p99          int64
+	}
+	code := 0
+	var mu sync.Mutex
+	var rows []row
+	var wg sync.WaitGroup
+	for _, fn := range nets {
+		wg.Add(1)
+		go func(fn fleetNet) {
+			defer wg.Done()
+			client := ts.Client()
+			base := ts.URL + "/v1/nets/" + fn.name
+			for _, ep := range []struct{ name, path string }{
+				{"summary", base + "/summary"},
+				{"pathway", base + "/pathway?router=" + firstRouter(fn.g)},
+				{"reach", base + "/reach"},
+				{"whatif", base + "/whatif"},
+			} {
+				lat, ok, shed, errs := hammer(client, ep.path, queries, concurrency)
+				mu.Lock()
+				if errs > 0 || ok == 0 {
+					fmt.Fprintf(os.Stderr, "servesmoke: net %s endpoint %s: %d ok, %d unexpected responses\n",
+						fn.name, ep.name, ok, errs)
+					code = 1
+				}
+				rows = append(rows, row{fn.name, ep.name, queries, ok, shed,
+					percentile(lat, 50), percentile(lat, 99)})
+				mu.Unlock()
+			}
+		}(fn)
+	}
+	wg.Wait()
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].net != rows[j].net {
+			return rows[i].net < rows[j].net
+		}
+		return rows[i].ep < rows[j].ep
+	})
+	for _, r := range rows {
+		fmt.Printf("servesmoke: net=%s endpoint=%s queries=%d ok=%d shed=%d p50_ns=%d p99_ns=%d\n",
+			r.net, r.ep, r.queries, r.ok, r.shed, r.p50, r.p99)
+	}
+	st := pc.Stats()
+	fmt.Fprintf(os.Stderr, "servesmoke: fleet parse cache: %d entries, %d hits, %d cross-network hits\n",
+		st.Entries, st.Hits, st.CrossHits)
+	if st.CrossHits == 0 {
+		fmt.Fprintln(os.Stderr, "servesmoke: fleet: expected cross-network parse-cache hits > 0 (replica shares every file)")
+		code = 1
+	}
+	return code
 }
 
 // watchFirstByte opens one /v1/watch SSE connection and measures
