@@ -17,9 +17,12 @@
 # in-process against net5 and records per-endpoint p50/p99 latency
 # (cached and uncached) plus reload round-trip latency in
 # BENCH_serve.json, then runs a three-network fleet phase (mixed load
-# against /v1/nets/<net>/..., shared parse cache) recording net= rows.
+# against /v1/nets/<net>/..., shared parse cache) recording net= rows and
+# a snapshot phase recording coldstart{,:snapshot} and reload:snapshot
+# rows; snapbench reruns just that comparison (servesmoke writes the
+# whole report either way).
 
-.PHONY: tier1 tier2 fuzzsmoke benchsmoke benchcmp cachebench servesmoke all
+.PHONY: tier1 tier2 fuzzsmoke benchsmoke benchcmp cachebench servesmoke snapbench all
 
 all: tier1 tier2 benchsmoke
 
@@ -33,6 +36,7 @@ tier2: fuzzsmoke
 	go test -race -count=3 -run '^TestConcurrentQueriesAcrossSwapWithQueryCache$$' ./internal/serve
 	go test -race -count=3 -run '^TestWatchDuringConcurrentReloads$$' ./internal/serve
 	go test -race -count=3 -run '^TestFleetReloadIsolationStress$$' ./internal/serve
+	go test -race -count=3 -run '^TestSnapshotLoadDuringReloadStress$$' ./internal/serve
 	go test -race -run '^TestParseCacheConcurrent$$' ./internal/parsecache
 
 # fuzzsmoke gives each parser/anonymizer fuzz target ~10s of random
@@ -48,6 +52,7 @@ fuzzsmoke:
 	go test -run '^$$' -fuzz '^FuzzAnonymizeRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/anonymize
 	go test -run '^$$' -fuzz '^FuzzQueryParams$$' -fuzztime $(FUZZTIME) ./internal/serve
 	go test -run '^$$' -fuzz '^FuzzCacheKey$$' -fuzztime $(FUZZTIME) ./internal/parsecache
+	go test -run '^$$' -fuzz '^FuzzSnapshotLoad$$' -fuzztime $(FUZZTIME) ./internal/snapshot
 
 benchsmoke:
 	go test -run '^$$' -bench BenchmarkAnalyze -benchtime=1x .
@@ -63,3 +68,8 @@ cachebench:
 servesmoke:
 	go run ./tools/servesmoke \
 		| go run ./tools/benchcmp -out BENCH_serve.json -generated-by "make servesmoke"
+
+# snapbench: the cold-start-vs-snapshot comparison on the standard net5
+# corpus. servesmoke always writes the complete report; this target
+# exists so the snapshot numbers can be refreshed by name.
+snapbench: servesmoke

@@ -76,6 +76,7 @@ func main() {
 	monitors := flag.Bool("monitors", false, "suggest route-monitor placement covering all external entry points")
 	traceSpec := flag.String("trace", "", "static traceroute: 'SRC-ROUTER,DEST-ADDR' (injects a default route at every external peer)")
 	diags := flag.Bool("diags", false, "print parse diagnostics grouped by severity")
+	snapshotDir := flag.String("snapshot-dir", "", "directory of analyzed-design snapshots: repeat runs over an unchanged corpus restore in milliseconds instead of re-analyzing")
 	tele := telemetry.NewCLI("rdesign")
 	tele.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -96,11 +97,15 @@ func main() {
 	// One parse cache is shared across every analysis this run performs:
 	// -diff's second AnalyzeDir re-parses only the files that actually
 	// differ between the two snapshots.
-	analyzer := core.NewAnalyzer(
+	opts := []core.AnalyzerOption{
 		core.WithParallelism(tele.Parallelism()),
 		core.WithFailFast(tele.FailFast),
 		core.WithCache(parsecache.New(parsecache.DefaultMaxEntries, 0)),
-	)
+	}
+	if *snapshotDir != "" {
+		opts = append(opts, core.WithSnapshotDir(*snapshotDir))
+	}
+	analyzer := core.NewAnalyzer(opts...)
 	design, parseDiags, err := analyzer.AnalyzeDir(ctx, *dir)
 	if err != nil {
 		// A cancelled or timed-out run still reports whatever diagnostics

@@ -118,6 +118,7 @@ func main() {
 	eventsBuffer := flag.Int("events-buffer", 0, "per-network design-drift event ring bound, in events (0 uses the default 1024)")
 	slowQuery := flag.Duration("slow-query", 0, "latency threshold for slow-query logging and query.slow events (0 uses the default 500ms; negative disables)")
 	watchHeartbeat := flag.Duration("watch-heartbeat", 15*time.Second, "idle keep-alive interval of the watch streams")
+	snapshotDir := flag.String("snapshot-dir", "", "directory of analyzed-design snapshots (one per network): cold starts restore from them in milliseconds, no-change reloads keep the warm generation, and every full analysis refreshes them")
 	faults := flag.String("faults", "", "arm fault injection (testing): 'SITE:KIND[:opts][;...]', e.g. 'analyze.net3:error'")
 	tele := telemetry.NewCLI("rlensd")
 	tele.RegisterFlags(flag.CommandLine)
@@ -167,6 +168,7 @@ func main() {
 			core.WithFaults(injector),
 		},
 		ParseCache:     pc,
+		SnapshotDir:    *snapshotDir,
 		ReloadWorkers:  *reloadWorkers,
 		RequestTimeout: *reqTimeout,
 		MaxInFlight:    *maxInflight,

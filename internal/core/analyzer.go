@@ -24,6 +24,7 @@ import (
 	"routinglens/internal/junosparse"
 	"routinglens/internal/parsecache"
 	"routinglens/internal/procgraph"
+	"routinglens/internal/snapshot"
 	"routinglens/internal/telemetry"
 	"routinglens/internal/topology"
 )
@@ -65,14 +66,17 @@ type Analyzer struct {
 	logger      *slog.Logger
 	cache       *parsecache.Cache
 	cacheOrigin string // cross-origin accounting name on a shared cache
+	snapDir     string // analyzed-design snapshot directory, "" disables
 	faults      *faultinject.Injector
 
 	// statMu guards stats, the per-directory stat signatures AnalyzeDir
 	// uses to skip re-reading files that provably did not change between
-	// loads (see the racily-clean rule at statSlack). Inner maps are
-	// immutable once published: updates replace them wholesale.
+	// loads (see the racily-clean rule at statSlack), and memos, the
+	// per-directory last analysis keyed by snapshot content key. Inner
+	// maps are immutable once published: updates replace them wholesale.
 	statMu sync.Mutex
 	stats  map[string]map[string]statRecord // dir -> file name -> record
+	memos  map[string]snapMemo              // dir -> last analysis (snapshot mode only)
 }
 
 // AnalyzerOption configures an Analyzer.
@@ -133,9 +137,24 @@ func WithCacheOrigin(origin string) AnalyzerOption {
 	return func(a *Analyzer) { a.cacheOrigin = origin }
 }
 
+// WithSnapshotDir attaches an analyzed-design snapshot directory.
+// AnalyzeDir first computes the content key of the directory's file
+// signatures and tries to restore the analysis from the network's
+// `<name>.rlsnap` file; on a hit the design is rebuilt from the
+// snapshotted device tree in milliseconds, and the parse cache and stat
+// records are warmed so the next reload stays incremental. On a miss —
+// or on any corrupt, truncated, or version-skewed snapshot, which is
+// refused and counted in routinglens_snapshot_invalid_total — the full
+// analysis runs and its result refreshes the snapshot. Either way the
+// output is byte-identical to an un-snapshotted run: slower, never
+// wrong, the same policy as the stat fast path. Empty disables.
+func WithSnapshotDir(dir string) AnalyzerOption {
+	return func(a *Analyzer) { a.snapDir = dir }
+}
+
 // WithFaults arms the analyzer's fault-injection sites (SiteCacheLoad,
-// SiteCacheStore) for testing. A nil injector — the default — injects
-// nothing.
+// SiteCacheStore, SiteSnapshotLoad, SiteSnapshotStore) for testing. A
+// nil injector — the default — injects nothing.
 func WithFaults(inj *faultinject.Injector) AnalyzerOption {
 	return func(a *Analyzer) { a.faults = inj }
 }
@@ -246,44 +265,97 @@ type statRecord struct {
 // With a parse cache attached, re-analysis of the same directory is
 // incremental twice over: files whose stat signature proves them
 // unchanged (see statSlack) are not even re-read from disk, and files
-// that are re-read but hash to known content are not re-parsed.
+// that are re-read but hash to known content are not re-parsed. With a
+// snapshot directory attached (WithSnapshotDir), an unchanged signature
+// set skips the analysis entirely and restores the design from the
+// snapshot (or the in-memory copy of the last identical load).
 func (a *Analyzer) AnalyzeDir(ctx context.Context, dir string) (*Design, []Diagnostic, error) {
+	design, diags, _, _, err := a.analyzeDir(ctx, dir)
+	return design, diags, err
+}
+
+// keyed reports whether per-file content keys are worth computing: the
+// parse cache memoizes on them, and the snapshot content key is built
+// from them. Either consumer also activates the stat fast path, whose
+// records exist to hand back those keys without re-reading files.
+func (a *Analyzer) keyed() bool { return a.cache != nil || a.snapDir != "" }
+
+// analyzeDir is AnalyzeDir plus the snapshot bookkeeping: it returns
+// the content key of the signature set it saw (empty without a snapshot
+// directory) and whether the design was restored rather than analyzed.
+//
+// The signature set is computed from exactly the same evidence the stat
+// fast path trusts: a stat-trusted file contributes the parse-cache key
+// recorded when its content was last read, every other file is re-read
+// and content-hashed. A file edited within the racily-clean slack is
+// therefore re-hashed here too, so the snapshot key changes whenever
+// the fast path would re-parse — a warm snapshot can never mask an
+// in-slack edit.
+func (a *Analyzer) analyzeDir(ctx context.Context, dir string) (*Design, []Diagnostic, string, bool, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, "", false, err
 	}
 	dir = filepath.Clean(dir)
 	loadStart := time.Now()
 	prev := a.statRecords(dir)
 	inputs := make([]fileInput, 0, len(entries))
 	sigs := make(map[string]statSig, len(entries))
+	var fsigs []snapshot.FileSig
 	for _, e := range entries {
 		if !e.Type().IsRegular() {
 			continue
 		}
 		path := filepath.Join(dir, e.Name())
-		if a.cache != nil {
+		if a.keyed() {
 			if fi, err := e.Info(); err == nil {
 				sig := statSig{size: fi.Size(), mtimeNS: fi.ModTime().UnixNano()}
 				sigs[e.Name()] = sig
 				if rec, ok := prev[e.Name()]; ok && rec.trusted && rec.sig == sig {
 					key := rec.key
 					inputs = append(inputs, fileInput{name: e.Name(), path: path, pre: &key})
+					if a.snapDir != "" {
+						fsigs = append(fsigs, snapshot.FileSig{Dialect: key.Dialect, Name: key.Name, Sum: key.Sum, Size: sig.size})
+					}
 					continue
 				}
 			}
 		}
 		data, err := os.ReadFile(path)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, "", false, err
 		}
-		inputs = append(inputs, fileInput{name: e.Name(), path: path, text: string(data)})
+		text := string(data)
+		if a.snapDir != "" {
+			k := parsecache.KeyFor(a.resolveDialect(text), e.Name(), text)
+			fsigs = append(fsigs, snapshot.FileSig{Dialect: k.Dialect, Name: k.Name, Sum: k.Sum, Size: int64(len(text))})
+		}
+		inputs = append(inputs, fileInput{name: e.Name(), path: path, text: text})
 	}
-	design, diags, results, err := a.analyzeInputs(ctx, filepath.Base(dir), inputs)
-	if a.cache != nil && err == nil {
+
+	netName := filepath.Base(dir)
+	var snapKey string
+	if a.snapDir != "" {
+		snapKey = snapshot.Key(AnalysisVersion, fsigs)
+		if design, diags, ok := a.memoGet(ctx, dir, netName, snapKey); ok {
+			a.statSeedFromFiles(dir, loadStart, sigs, fsigs, skippedSet(diags))
+			return design, diags, snapKey, true, nil
+		}
+		if design, diags, ok := a.snapshotLoad(ctx, netName, snapKey, dir, loadStart, sigs); ok {
+			a.memoPut(dir, snapKey, design, diags)
+			return design, diags, snapKey, true, nil
+		}
+	}
+
+	design, diags, results, err := a.analyzeInputs(ctx, netName, inputs)
+	if a.keyed() && err == nil {
 		a.statUpdate(dir, loadStart, sigs, inputs, results)
 	}
-	return design, diags, err
+	if a.snapDir != "" && err == nil {
+		a.snapshotStore(ctx, netName, snapKey, design, diags, fsigs)
+		a.memoPut(dir, snapKey, design, diags)
+	}
+	return design, diags, snapKey, false, err
 }
 
 // statRecords returns the previous load's records for dir (nil if none).
@@ -552,13 +624,15 @@ func (a *Analyzer) parseInput(ctx context.Context, in fileInput) parsed {
 	}
 	var key parsecache.Key
 	var hasKey bool
-	if a.cache != nil {
+	if a.keyed() {
 		key = parsecache.KeyFor(a.resolveDialect(in.text), in.name, in.text)
 		hasKey = true
-		if p, ok := a.cacheLoad(ctx, key); ok {
-			p.key, p.hasKey = key, true
-			p.dur = fileSpan.End()
-			return p
+		if a.cache != nil {
+			if p, ok := a.cacheLoad(ctx, key); ok {
+				p.key, p.hasKey = key, true
+				p.dur = fileSpan.End()
+				return p
+			}
 		}
 	}
 	dev, ds, dialect, err := a.parseFile(in.name, in.text)

@@ -53,6 +53,16 @@ const (
 	// parsed fresh (cache misses plus files that failed to parse) —
 	// after a one-file edit, an incremental reload reads 1 here.
 	MetricFilesReparsed = "routinglens_reload_files_reparsed"
+
+	// Snapshot metrics (only emitted when WithSnapshotDir is set),
+	// labeled by net. Every load attempt ends in exactly one of
+	// loads (restored), misses (absent or stale key), or invalid
+	// (corrupt, truncated, or version-skewed payload — refused, full
+	// re-analysis); writes count refreshed snapshot files.
+	MetricSnapshotLoads   = "routinglens_snapshot_loads_total"
+	MetricSnapshotMisses  = "routinglens_snapshot_misses_total"
+	MetricSnapshotWrites  = "routinglens_snapshot_writes_total"
+	MetricSnapshotInvalid = "routinglens_snapshot_invalid_total"
 )
 
 // registerHelp attaches export HELP strings to the pipeline metrics; it
@@ -71,6 +81,10 @@ func registerHelp(reg *telemetry.Registry) {
 	reg.SetHelp(MetricCacheEvictions, "Parse-cache entries evicted by the LRU bounds.")
 	reg.SetHelp(MetricCacheEntries, "Parse-cache resident entries after the last analysis.")
 	reg.SetHelp(MetricFilesReparsed, "Files the most recent analysis parsed fresh (1 after a one-file edit with a warm cache).")
+	reg.SetHelp(MetricSnapshotLoads, "Analyzed designs restored from a snapshot instead of full re-analysis, by net.")
+	reg.SetHelp(MetricSnapshotMisses, "Snapshot load attempts that found no snapshot or a stale content key, by net.")
+	reg.SetHelp(MetricSnapshotWrites, "Snapshot files written after a full analysis, by net.")
+	reg.SetHelp(MetricSnapshotInvalid, "Snapshots refused as corrupt, truncated, or version-skewed (full re-analysis instead), by net.")
 	reg.SetHelp(telemetry.StageSecondsMetric, "Pipeline stage latency, by stage.")
 }
 

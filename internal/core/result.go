@@ -18,16 +18,29 @@ type Result struct {
 	Skipped []string
 	// Elapsed is the wall-clock analysis duration.
 	Elapsed time.Duration
+	// SnapshotKey is the content address of the input signature set —
+	// non-empty only for AnalyzeDirResult on an analyzer with a snapshot
+	// directory. Two results of the same directory with equal keys are
+	// analyses of byte-identical content, which is what lets a server
+	// keep its warm generation on a no-change reload.
+	SnapshotKey string
+	// FromSnapshot reports whether the design was restored from a
+	// snapshot (or the in-memory copy of the last identical load)
+	// rather than parsed from configuration text.
+	FromSnapshot bool
 }
 
 // AnalyzeDirResult is AnalyzeDir packaged as a single swappable Result.
 func (a *Analyzer) AnalyzeDirResult(ctx context.Context, dir string) (*Result, error) {
 	start := time.Now()
-	d, diags, err := a.AnalyzeDir(ctx, dir)
+	d, diags, snapKey, fromSnap, err := a.analyzeDir(ctx, dir)
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Design: d, Diagnostics: diags, Skipped: SkippedFiles(diags), Elapsed: time.Since(start)}, nil
+	return &Result{
+		Design: d, Diagnostics: diags, Skipped: SkippedFiles(diags), Elapsed: time.Since(start),
+		SnapshotKey: snapKey, FromSnapshot: fromSnap,
+	}, nil
 }
 
 // AnalyzeConfigsResult is AnalyzeConfigs packaged as a single swappable

@@ -1,0 +1,411 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"routinglens/internal/faultinject"
+	"routinglens/internal/parsecache"
+	"routinglens/internal/snapshot"
+	"routinglens/internal/telemetry"
+)
+
+// writeNamedConfigDir is writeConfigDir with a fixed directory base
+// name: the snapshot file and its content key are derived from
+// filepath.Base(dir), so tests that compare snapshots across
+// directories need the name pinned.
+func writeNamedConfigDir(t *testing.T, name string, configs map[string]string) string {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), name)
+	if err := os.Mkdir(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for fn, text := range configs {
+		if err := os.WriteFile(filepath.Join(dir, fn+".cfg"), []byte(text), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func netCounter(reg *telemetry.Registry, name, net string) int64 {
+	return reg.Counter(name, telemetry.L("net", net)).Value()
+}
+
+func snapPath(snapDir, net string) string {
+	return filepath.Join(snapDir, net+snapshot.FileExt)
+}
+
+// TestSnapshotColdStartRoundTrip is the tentpole contract: analyze once
+// with a snapshot directory, then a brand-new analyzer (fresh process,
+// in effect) restores the identical design and diagnostics from the
+// snapshot instead of re-analyzing — including the lenient skipped-file
+// markers for an unparseable config.
+func TestSnapshotColdStartRoundTrip(t *testing.T) {
+	configs := mixedConfigs(t)
+	configs["m-broken"] = brokenJunos
+	dir := writeNamedConfigDir(t, "netsnap", configs)
+	snapDir := t.TempDir()
+
+	baseline, baseDiags, err := NewAnalyzer().AnalyzeDir(context.Background(), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := telemetry.NewRegistry()
+	ctx := telemetry.WithRegistry(context.Background(), reg)
+	writer := NewAnalyzer(WithSnapshotDir(snapDir))
+	res, err := writer.AnalyzeDirResult(ctx, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FromSnapshot {
+		t.Errorf("first analysis claims FromSnapshot")
+	}
+	if res.SnapshotKey == "" {
+		t.Errorf("SnapshotKey empty with a snapshot dir attached")
+	}
+	if got := netCounter(reg, MetricSnapshotWrites, "netsnap"); got != 1 {
+		t.Errorf("snapshot writes = %d, want 1", got)
+	}
+	if got := netCounter(reg, MetricSnapshotMisses, "netsnap"); got != 1 {
+		t.Errorf("snapshot misses = %d, want 1 (no snapshot yet)", got)
+	}
+	if _, err := os.Stat(snapPath(snapDir, "netsnap")); err != nil {
+		t.Fatalf("snapshot file not written: %v", err)
+	}
+
+	reg = telemetry.NewRegistry()
+	ctx = telemetry.WithRegistry(context.Background(), reg)
+	reader := NewAnalyzer(WithSnapshotDir(snapDir), WithCache(parsecache.New(0, 0)))
+	res2, err := reader.AnalyzeDirResult(ctx, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.FromSnapshot {
+		t.Fatalf("fresh analyzer did not restore from snapshot")
+	}
+	if res2.SnapshotKey != res.SnapshotKey {
+		t.Errorf("snapshot key changed across identical loads")
+	}
+	if got := netCounter(reg, MetricSnapshotLoads, "netsnap"); got != 1 {
+		t.Errorf("snapshot loads = %d, want 1", got)
+	}
+	if res2.Design.Summary() != baseline.Summary() {
+		t.Errorf("restored Summary() differs from un-snapshotted analysis")
+	}
+	if !reflect.DeepEqual(res2.Diagnostics, baseDiags) {
+		t.Errorf("restored diagnostics differ from un-snapshotted analysis:\n%v\nvs\n%v", baseDiags, res2.Diagnostics)
+	}
+	if !reflect.DeepEqual(res2.Skipped, SkippedFiles(baseDiags)) {
+		t.Errorf("restored skipped list differs: %v", res2.Skipped)
+	}
+
+	// The restore must also warm the incremental layers: after marking
+	// the stat records trusted (standing in for statSlack aging), a
+	// one-file edit re-parses exactly two files — the edited one plus
+	// the unparseable one, which is re-diagnosed every load because
+	// parse failures are never cached (same as a warm parse cache).
+	markStatTrusted(reader, dir)
+	if err := os.WriteFile(filepath.Join(dir, "jmix.cfg"), []byte(junosTestConfig+"\n/* touched */\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reg = telemetry.NewRegistry()
+	ctx = telemetry.WithRegistry(context.Background(), reg)
+	res3, err := reader.AnalyzeDirResult(ctx, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.FromSnapshot {
+		t.Errorf("edited load claims FromSnapshot")
+	}
+	if got := gauge(reg, MetricFilesReparsed); got != 2 {
+		t.Errorf("post-restore one-file edit reparsed %v files, want 2 (parse cache not seeded?)", got)
+	}
+}
+
+// TestSnapshotUnchangedReloadIsMemoized: a reload whose signature set
+// is unchanged returns the in-memory design — same pointer, no swap
+// material — and counts as a snapshot load.
+func TestSnapshotUnchangedReloadIsMemoized(t *testing.T) {
+	dir := writeNamedConfigDir(t, "netmemo", mixedConfigs(t))
+	an := NewAnalyzer(WithSnapshotDir(t.TempDir()))
+
+	res1, err := an.AnalyzeDirResult(context.Background(), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	ctx := telemetry.WithRegistry(context.Background(), reg)
+	res2, err := an.AnalyzeDirResult(ctx, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.FromSnapshot {
+		t.Fatalf("unchanged reload was not served from snapshot state")
+	}
+	if res2.Design != res1.Design {
+		t.Errorf("unchanged reload rebuilt the design instead of reusing it")
+	}
+	if res2.SnapshotKey != res1.SnapshotKey {
+		t.Errorf("snapshot key changed without an edit")
+	}
+	if got := netCounter(reg, MetricSnapshotLoads, "netmemo"); got != 1 {
+		t.Errorf("snapshot loads = %d, want 1", got)
+	}
+}
+
+// TestSnapshotInSlackEditInvalidates is the satellite-2 regression: a
+// file edited so soon after a load that its stat record is still inside
+// the racily-clean slack must change the snapshot key — the racily-
+// clean rule re-reads the file, and the re-read hash feeds the key, so
+// a warm snapshot (or memo) can never mask the edit.
+func TestSnapshotInSlackEditInvalidates(t *testing.T) {
+	configs := mixedConfigs(t)
+	dir := writeNamedConfigDir(t, "netslack", configs)
+	snapDir := t.TempDir()
+	an := NewAnalyzer(WithSnapshotDir(snapDir), WithCache(parsecache.New(0, 0)))
+
+	res1, err := an.AnalyzeDirResult(context.Background(), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Edit immediately: the file's new mtime is within statSlack of the
+	// next load, so its stat record cannot be trusted and the file is
+	// re-read. Keep the size identical to rule out the size signal.
+	cfgPath := filepath.Join(dir, "jmix.cfg")
+	orig, err := os.ReadFile(cfgPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edited := bytes.Replace(orig, []byte("host-name jmix;"), []byte("host-name jmax;"), 1)
+	if len(edited) != len(orig) {
+		t.Fatalf("fixture: edit changed the size (%d -> %d)", len(orig), len(edited))
+	}
+	if err := os.WriteFile(cfgPath, edited, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := telemetry.NewRegistry()
+	ctx := telemetry.WithRegistry(context.Background(), reg)
+	res2, err := an.AnalyzeDirResult(ctx, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.FromSnapshot {
+		t.Fatalf("in-slack edit was masked by a snapshot restore")
+	}
+	if res2.SnapshotKey == res1.SnapshotKey {
+		t.Fatalf("in-slack edit did not change the snapshot key")
+	}
+	if got := netCounter(reg, MetricSnapshotMisses, "netslack"); got != 1 {
+		t.Errorf("snapshot misses = %d, want 1 (stale key)", got)
+	}
+	renamed := false
+	for _, dev := range res2.Design.Network.Devices {
+		if dev.Hostname == "jmax" {
+			renamed = true
+		}
+	}
+	if !renamed {
+		t.Errorf("edited hostname jmax missing from the re-analyzed design")
+	}
+}
+
+// TestSnapshotCorruptionFallsBack covers every refusal class end to
+// end: truncated, bit-flipped, version-skewed (format and analysis
+// version), and outright garbage snapshot files must each fall back to
+// full re-analysis with byte-identical output and exactly one
+// snapshot_invalid_total increment — and the full analysis then
+// rewrites a valid snapshot.
+func TestSnapshotCorruptionFallsBack(t *testing.T) {
+	configs := mixedConfigs(t)
+	configs["m-broken"] = brokenJunos
+	dir := writeNamedConfigDir(t, "netcorrupt", configs)
+	baseline, baseDiags, err := NewAnalyzer().AnalyzeDir(context.Background(), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	corruptions := []struct {
+		name   string
+		mutate func(t *testing.T, path string)
+	}{
+		{"truncated", func(t *testing.T, path string) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, data[:len(data)/3], 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"bit-flip", func(t *testing.T, path string) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data[len(data)/2] ^= 0x20
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"garbage", func(t *testing.T, path string) {
+			if err := os.WriteFile(path, []byte("not a snapshot at all"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"analysis-version-skew", func(t *testing.T, path string) {
+			s, err := snapshot.Load(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.AnalysisVersion = "0-obsolete"
+			if err := snapshot.Write(path, s); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+	for _, tc := range corruptions {
+		t.Run(tc.name, func(t *testing.T) {
+			snapDir := t.TempDir()
+			if _, err := NewAnalyzer(WithSnapshotDir(snapDir)).AnalyzeDirResult(context.Background(), dir); err != nil {
+				t.Fatal(err)
+			}
+			path := snapPath(snapDir, "netcorrupt")
+			tc.mutate(t, path)
+
+			reg := telemetry.NewRegistry()
+			ctx := telemetry.WithRegistry(context.Background(), reg)
+			res, err := NewAnalyzer(WithSnapshotDir(snapDir)).AnalyzeDirResult(ctx, dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.FromSnapshot {
+				t.Fatalf("corrupted snapshot was restored")
+			}
+			if got := netCounter(reg, MetricSnapshotInvalid, "netcorrupt"); got != 1 {
+				t.Errorf("snapshot invalid = %d, want 1", got)
+			}
+			if res.Design.Summary() != baseline.Summary() {
+				t.Errorf("fallback Summary() differs from un-snapshotted analysis")
+			}
+			if !reflect.DeepEqual(res.Diagnostics, baseDiags) {
+				t.Errorf("fallback diagnostics differ from un-snapshotted analysis")
+			}
+			if got := netCounter(reg, MetricSnapshotWrites, "netcorrupt"); got != 1 {
+				t.Errorf("snapshot writes = %d, want 1 (refused snapshot should be refreshed)", got)
+			}
+
+			// The rewrite healed the snapshot: the next cold analyzer
+			// restores from it.
+			reg = telemetry.NewRegistry()
+			ctx = telemetry.WithRegistry(context.Background(), reg)
+			res2, err := NewAnalyzer(WithSnapshotDir(snapDir)).AnalyzeDirResult(ctx, dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res2.FromSnapshot || netCounter(reg, MetricSnapshotLoads, "netcorrupt") != 1 {
+				t.Errorf("refreshed snapshot did not restore on the next load")
+			}
+		})
+	}
+}
+
+// TestSnapshotDeterministicAcrossParallelism: the snapshot bytes are a
+// pure function of the analyzed content — two corpora with identical
+// files and network name, analyzed at different -j, produce
+// byte-identical snapshot files.
+func TestSnapshotDeterministicAcrossParallelism(t *testing.T) {
+	configs := mixedConfigs(t)
+	configs["m-broken"] = brokenJunos
+
+	var first []byte
+	for i, j := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		dir := writeNamedConfigDir(t, "netdet", configs)
+		snapDir := t.TempDir()
+		an := NewAnalyzer(WithParallelism(j), WithSnapshotDir(snapDir))
+		if _, err := an.AnalyzeDirResult(context.Background(), dir); err != nil {
+			t.Fatalf("j=%d: %v", j, err)
+		}
+		data, err := os.ReadFile(snapPath(snapDir, "netdet"))
+		if err != nil {
+			t.Fatalf("j=%d: %v", j, err)
+		}
+		if i == 0 {
+			first = data
+			continue
+		}
+		if !bytes.Equal(data, first) {
+			t.Errorf("snapshot bytes differ between j=1 and j=%d", j)
+		}
+	}
+}
+
+// TestSnapshotFaultsDegradeGracefully arms the snapshot.load and
+// snapshot.store fault sites: a load fault (error or panic) falls back
+// to full analysis with identical output; a store fault skips the
+// write. Same acceptance rule as the parse-cache faults.
+func TestSnapshotFaultsDegradeGracefully(t *testing.T) {
+	configs := mixedConfigs(t)
+	dir := writeNamedConfigDir(t, "netfault", configs)
+	baseline, baseDiags, err := NewAnalyzer().AnalyzeDir(context.Background(), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("store-error", func(t *testing.T) {
+		snapDir := t.TempDir()
+		an := NewAnalyzer(
+			WithSnapshotDir(snapDir),
+			WithFaults(faultinject.New(1, faultinject.Rule{Site: SiteSnapshotStore, Kind: faultinject.KindError})),
+		)
+		res, err := an.AnalyzeDirResult(context.Background(), dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Design.Summary() != baseline.Summary() {
+			t.Errorf("Summary() differs under store fault")
+		}
+		if _, err := os.Stat(snapPath(snapDir, "netfault")); !os.IsNotExist(err) {
+			t.Errorf("snapshot written despite store fault (stat err %v)", err)
+		}
+	})
+
+	for _, kind := range []faultinject.Kind{faultinject.KindError, faultinject.KindPanic} {
+		t.Run("load-"+kind.String(), func(t *testing.T) {
+			snapDir := t.TempDir()
+			if _, err := NewAnalyzer(WithSnapshotDir(snapDir)).AnalyzeDirResult(context.Background(), dir); err != nil {
+				t.Fatal(err)
+			}
+			reg := telemetry.NewRegistry()
+			ctx := telemetry.WithRegistry(context.Background(), reg)
+			an := NewAnalyzer(
+				WithSnapshotDir(snapDir),
+				WithFaults(faultinject.New(1, faultinject.Rule{Site: SiteSnapshotLoad, Kind: kind})),
+			)
+			res, err := an.AnalyzeDirResult(ctx, dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.FromSnapshot {
+				t.Errorf("restore claimed despite load fault")
+			}
+			if got := netCounter(reg, MetricSnapshotInvalid, "netfault"); got != 1 {
+				t.Errorf("snapshot invalid = %d, want 1", got)
+			}
+			if res.Design.Summary() != baseline.Summary() {
+				t.Errorf("Summary() differs under load fault")
+			}
+			if !reflect.DeepEqual(res.Diagnostics, baseDiags) {
+				t.Errorf("diagnostics differ under load fault")
+			}
+		})
+	}
+}

@@ -220,6 +220,7 @@ func (s *Server) handleNets(w http.ResponseWriter, r *http.Request) {
 // half-cancel an analysis, and failures keep the network's last-good
 // design serving.
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request, nw *Network) {
+	before := nw.cur.Load()
 	err := nw.Reload(context.Background())
 	st := nw.cur.Load()
 	if err != nil {
@@ -240,9 +241,12 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request, nw *Networ
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"ok":        true,
-		"net":       nw.name,
-		"seq":       st.Seq,
+		"ok":  true,
+		"net": nw.name,
+		"seq": st.Seq,
+		// unchanged: the signature set matched the serving generation,
+		// so the reload kept it (no swap, caches stay warm).
+		"unchanged": st == before && before != nil,
 		"loaded_at": st.LoadedAt.UTC().Format(time.RFC3339),
 	})
 }

@@ -21,14 +21,7 @@ import (
 // latency observation.
 func (s *Server) withTrace(name string, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		id, ok := telemetry.ParseTraceparent(r.Header.Get(telemetry.TraceparentHeader))
-		if !ok {
-			if v := r.Header.Get(telemetry.TraceHeader); telemetry.ValidTraceID(v) {
-				id = v
-			} else {
-				id = telemetry.NewTraceID()
-			}
-		}
+		id := resolveTraceID(r)
 		col := telemetry.NewCollector()
 		ctx := telemetry.WithTraceID(telemetry.WithCollector(r.Context(), col), id)
 		hold := &netHolder{}
@@ -67,6 +60,33 @@ func (s *Server) withTrace(name string, next http.Handler) http.Handler {
 				Endpoint: name, TraceID: id, Status: status, DurationMS: d.Milliseconds(),
 			})
 		}
+	})
+}
+
+// resolveTraceID picks the request's trace ID: an inbound W3C
+// traceparent wins, then a bare X-Trace-Id, then a fresh ID — so a
+// caller's distributed trace threads through whichever header it uses.
+func resolveTraceID(r *http.Request) string {
+	if id, ok := telemetry.ParseTraceparent(r.Header.Get(telemetry.TraceparentHeader)); ok {
+		return id
+	}
+	if v := r.Header.Get(telemetry.TraceHeader); telemetry.ValidTraceID(v) {
+		return v
+	}
+	return telemetry.NewTraceID()
+}
+
+// withTraceID is the lightweight sibling of withTrace for routes outside
+// the data-plane stack (reload, events, watch, and the global control
+// plane): it assigns and echoes the trace ID — so every error envelope
+// carries a non-empty trace_id — without the span collector or the
+// trace-store filing, which would record connection lifetimes for
+// streams like watch rather than service time.
+func (s *Server) withTraceID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := resolveTraceID(r)
+		w.Header().Set(telemetry.TraceHeader, id)
+		next.ServeHTTP(w, r.WithContext(telemetry.WithTraceID(r.Context(), id)))
 	})
 }
 

@@ -94,10 +94,10 @@ func (s *Server) buildHandler() http.Handler {
 	for _, rt := range routes {
 		mux.Handle(rt.pattern, s.stackFor(rt))
 	}
-	mux.Handle("/", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	mux.Handle("/", s.withTraceID(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		writeError(w, r, http.StatusNotFound, codeNotFound,
 			"no such endpoint; GET /v1/nets lists the fleet")
-	}))
+	})))
 	return mux
 }
 
@@ -117,11 +117,13 @@ func (s *Server) stackFor(rt routeSpec) http.Handler {
 		stack := s.withRecovery(rt.endpoint, inner)
 		stack = s.withNet(alias, rt.endpoint, rt.endpoint != "watch", stack)
 		stack = s.withMethod(rt.method, stack)
+		stack = s.withTraceID(stack)
 		return telemetry.InstrumentHandler(s.reg, rt.endpoint, stack)
 	default:
 		h := s.globalHandler(rt.endpoint)
 		stack := s.withRecovery(rt.endpoint, h)
 		stack = s.withMethod(rt.method, stack)
+		stack = s.withTraceID(stack)
 		return telemetry.InstrumentHandler(s.reg, rt.endpoint, stack)
 	}
 }

@@ -135,6 +135,12 @@ type Config struct {
 	// across networks are parsed once (routinglens_parsecache_cross_net_hits
 	// counts the sharing). Ignored when Analyzer is set.
 	ParseCache *parsecache.Cache
+	// SnapshotDir, when non-empty, holds one analyzed-design snapshot
+	// per network (`<net>.rlsnap`): cold starts restore from it in
+	// milliseconds instead of re-analyzing, reloads whose signature set
+	// is unchanged keep the warm generation, and every full analysis
+	// refreshes it. Ignored when Analyzer is set.
+	SnapshotDir string
 	// ReloadWorkers bounds concurrently running analysis attempts across
 	// the fleet (default 2): SIGHUP or startup against a large corpus
 	// re-analyzes a few networks at a time.
@@ -456,6 +462,9 @@ func (s *Server) addNet(src NetSource) error {
 		if s.pc != nil {
 			opts = append(opts, core.WithCache(s.pc), core.WithCacheOrigin(src.Name))
 		}
+		if s.cfg.SnapshotDir != "" {
+			opts = append(opts, core.WithSnapshotDir(s.cfg.SnapshotDir))
+		}
 		an = core.NewAnalyzer(opts...)
 	}
 	nw := &Network{
@@ -593,14 +602,44 @@ func (nw *Network) Reload(ctx context.Context) error {
 		start := time.Now()
 		res, err := nw.load(ctx)
 		if err == nil {
+			if prev := nw.cur.Load(); prev != nil && res.SnapshotKey != "" &&
+				prev.Res.SnapshotKey == res.SnapshotKey {
+				// The signature set is unchanged: equal content keys mean the
+				// new analysis is of byte-identical input, so the serving
+				// generation — with its warm reach views and query cache —
+				// already answers it. Keep it; swapping would only pay the
+				// reach precompute and cache purge to arrive at the same
+				// answers.
+				wasDegraded := nw.degraded.Swap(false)
+				nw.lastReloadNS.Store(int64(time.Since(start)))
+				s.reg.Counter(MetricReloads, lnet, telemetry.L("result", "unchanged")).Inc()
+				s.reg.Gauge(MetricNetReady, lnet).Set(1)
+				s.observeCrossNetHits()
+				if wasDegraded {
+					nw.emit(EvtReadyRecovered, recoveredPayload{Seq: prev.Seq})
+				}
+				s.log.Info("design unchanged; keeping warm generation",
+					"net", nw.name, "seq", prev.Seq,
+					"elapsed", res.Elapsed.Round(time.Millisecond))
+				return nil
+			}
 			st := &State{Res: res, Seq: nw.seq.Add(1), LoadedAt: time.Now()}
-			// Precompute the expensive per-generation analysis BEFORE the
-			// pointer swap: queries keep hitting the previous generation's
-			// resident view until the new one is fully warm, so a reload
-			// never exposes a cold (sheddable) reach window.
 			pstart := time.Now()
-			st.precomputeReach(s.log)
-			precomputeDur := time.Since(pstart)
+			var precomputeDur time.Duration
+			if res.FromSnapshot {
+				// Snapshot cold start: publish in milliseconds and warm the
+				// reach views in the background. A query racing the warm-up
+				// falls back to the generation's lazy compute, which is
+				// slower but identical.
+				go st.precomputeReach(s.log)
+			} else {
+				// Precompute the expensive per-generation analysis BEFORE the
+				// pointer swap: queries keep hitting the previous generation's
+				// resident view until the new one is fully warm, so a reload
+				// never exposes a cold (sheddable) reach window.
+				st.precomputeReach(s.log)
+				precomputeDur = time.Since(pstart)
+			}
 			prev := nw.cur.Load()
 			nw.cur.Store(st)
 			// Every older generation's cached responses are unreachable now

@@ -1,0 +1,32 @@
+package snapshot
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzSnapshotLoad drives Decode with arbitrary bytes. Two properties:
+// Decode never panics, and when it accepts an input the re-encoding is
+// byte-identical — i.e. the format has exactly one encoding per value,
+// so a corrupted-but-accepted snapshot cannot exist. Together with the
+// checksum trailer this is the "never wrong" half of the fallback
+// policy: anything Decode lets through is a snapshot Encode could have
+// written.
+func FuzzSnapshotLoad(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("RLSNAP01"))
+	f.Add(Encode(sample()))
+	f.Add(Encode(&Snapshot{AnalysisVersion: "1", Key: "k", NetworkName: "n"}))
+	trunc := Encode(sample())
+	f.Add(trunc[:len(trunc)/2])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if got := Encode(s); !bytes.Equal(got, data) {
+			t.Fatalf("accepted non-canonical input: re-encode differs (%d vs %d bytes)", len(got), len(data))
+		}
+	})
+}

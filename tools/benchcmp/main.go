@@ -130,6 +130,7 @@ func main() {
 
 	rep.Speedups = pairSpeedups(rep.Benchmarks)
 	rep.Speedups = append(rep.Speedups, pairColdWarm(rep.Benchmarks)...)
+	rep.Speedups = append(rep.Speedups, pairServeSnapshots(rep.Serve)...)
 
 	data, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
@@ -205,6 +206,58 @@ func pairColdWarm(bs []benchmark) []speedup {
 			Parallel:  "warm",
 			Speedup:   &s,
 		})
+	}
+	return out
+}
+
+// pairServeSnapshots pairs servesmoke's snapshot-phase rows: an
+// endpoint E against its E:snapshot twin (per network), p50(full) /
+// p50(snapshot). A family exists as soon as either a ":snapshot" row or
+// a coldstart row appears, so a run whose other leg went missing still
+// records an explicit speedup null instead of silently omitting the
+// pair. The record reuses the speedup shape with baseline "full".
+func pairServeSnapshots(rs []serveRecord) []speedup {
+	p50 := make(map[string]int64, len(rs))
+	for _, r := range rs {
+		p50[r.Net+"|"+r.Endpoint] = r.P50Ns
+	}
+	type fam struct{ net, base string }
+	fams := make(map[string]fam)
+	var names []string
+	for _, r := range rs {
+		base, isSnap := strings.CutSuffix(r.Endpoint, ":snapshot")
+		if !isSnap && r.Endpoint != "coldstart" {
+			continue
+		}
+		label := base
+		if r.Net != "" {
+			label = r.Net + "/" + base
+		}
+		name := "serve:" + label
+		if _, dup := fams[name]; dup {
+			continue
+		}
+		fams[name] = fam{net: r.Net, base: base}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	cores := runtime.GOMAXPROCS(0)
+	var out []speedup
+	for _, name := range names {
+		f := fams[name]
+		full, okFull := p50[f.net+"|"+f.base]
+		snap, okSnap := p50[f.net+"|"+f.base+":snapshot"]
+		rec := speedup{Benchmark: name, Cores: cores, Baseline: "full"}
+		if !okFull || !okSnap || snap == 0 {
+			fmt.Fprintf(os.Stderr, "benchcmp: %s: missing full or snapshot leg; recording speedup null\n", name)
+			out = append(out, rec)
+			continue
+		}
+		s := float64(full) / float64(snap)
+		rec.Parallel = "snapshot"
+		rec.Speedup = &s
+		out = append(out, rec)
 	}
 	return out
 }

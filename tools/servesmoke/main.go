@@ -19,6 +19,14 @@
 // connect-to-first-SSE-byte of /v1/watch across sequential
 // connections.
 //
+// A snapshot phase writes the corpus to disk and measures what analyzed-
+// design snapshots buy: endpoint=coldstart is the full-analysis cold
+// start that seeds the snapshot, endpoint=coldstart:snapshot restores
+// fresh servers from it, and endpoint=reload:snapshot times no-change
+// POST /v1/reload round trips against the snapshotted server (the
+// unchanged short-circuit keeps the warm generation). benchcmp pairs
+// these rows into full-vs-snapshot speedups.
+//
 // A fleet phase follows: one server hosting three networks (two small
 // corpus networks plus a replica of the first, so the shared parse
 // cache provably crosses network boundaries) under mixed concurrent
@@ -48,6 +56,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"time"
@@ -239,10 +248,148 @@ func main() {
 		reg.Counter(serve.MetricPanicsRecovered).Value(),
 		querycacheHits(reg))
 
+	if code := snapshotPhase(g, quiet); code != 0 {
+		exitCode = code
+	}
 	if code := fleetPhase(corpus, quiet, *queries, *concurrency, *maxInflight); code != 0 {
 		exitCode = code
 	}
 	os.Exit(exitCode)
+}
+
+// snapshotPhase measures what analyzed-design snapshots buy: the corpus
+// is written to disk (snapshots address directories, not in-memory
+// configs), one server pays the full analysis and leaves a snapshot
+// behind (endpoint=coldstart), fresh servers then cold-start from it
+// (endpoint=coldstart:snapshot), and no-change reloads against the
+// snapshotted server time the unchanged short-circuit
+// (endpoint=reload:snapshot). benchcmp pairs the rows into full-vs-
+// snapshot speedups.
+func snapshotPhase(g *netgen.Generated, quiet *slog.Logger) int {
+	root, err := os.MkdirTemp("", "servesmoke-snap-")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "servesmoke: snapshot phase: %v\n", err)
+		return 1
+	}
+	defer os.RemoveAll(root)
+	dir := filepath.Join(root, g.Name) // base name becomes the network (and snapshot) name
+	snapDir := filepath.Join(root, "snapshots")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "servesmoke: snapshot phase: %v\n", err)
+		return 1
+	}
+	for name, text := range g.Configs {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(text), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "servesmoke: snapshot phase: %v\n", err)
+			return 1
+		}
+	}
+
+	mkServer := func() (*serve.Server, *telemetry.Registry, error) {
+		reg := telemetry.NewRegistry()
+		s, err := serve.New(serve.Config{
+			Dir:         dir,
+			SnapshotDir: snapDir,
+			Registry:    reg,
+			Logger:      quiet,
+		})
+		return s, reg, err
+	}
+
+	// Cold start without a snapshot: the full analysis (plus the snapshot
+	// write it leaves behind — milliseconds against seconds of analysis).
+	seed, _, err := mkServer()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "servesmoke: snapshot phase: %v\n", err)
+		return 1
+	}
+	t0 := time.Now()
+	if err := seed.Reload(context.Background()); err != nil {
+		fmt.Fprintf(os.Stderr, "servesmoke: snapshot phase: full cold start: %v\n", err)
+		return 1
+	}
+	full := time.Since(t0)
+	fmt.Printf("servesmoke: endpoint=coldstart queries=1 ok=1 shed=0 p50_ns=%d p99_ns=%d\n",
+		int64(full), int64(full))
+
+	// Cold start with the snapshot present: a fresh server (fresh
+	// analyzer, empty parse cache) restores and publishes from disk. One
+	// sample on purpose: each snapshot cold start leaves a background
+	// reach warm-up running, and a second timed start would contend with
+	// it for cores instead of measuring a clean restore.
+	last, reg, err := mkServer()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "servesmoke: snapshot phase: %v\n", err)
+		return 1
+	}
+	t0 = time.Now()
+	if err := last.Reload(context.Background()); err != nil {
+		fmt.Fprintf(os.Stderr, "servesmoke: snapshot phase: snapshot cold start: %v\n", err)
+		return 1
+	}
+	clat := []time.Duration{time.Since(t0)}
+	if reg.Counter(core.MetricSnapshotLoads, telemetry.L("net", g.Name)).Value() == 0 {
+		fmt.Fprintln(os.Stderr, "servesmoke: snapshot phase: cold start did not load the snapshot")
+		return 1
+	}
+	fmt.Printf("servesmoke: endpoint=coldstart:snapshot queries=%d ok=%d shed=0 p50_ns=%d p99_ns=%d\n",
+		len(clat), len(clat), percentile(clat, 50), percentile(clat, 99))
+
+	// No-change reloads: the signature set matches the serving generation,
+	// so the server re-hashes the corpus, recognizes it, and keeps the
+	// warm generation — no re-analysis, no reach precompute, no purge.
+	ts := httptest.NewServer(last.Handler())
+	defer ts.Close()
+	const reloads = 5
+	client := ts.Client()
+	// Drain the cold start's background reach warm-up first, so the timed
+	// reloads measure the short-circuit, not scheduler contention with
+	// the warm-up: poll /v1/reach until it answers from the resident
+	// precomputed view (fast 200) instead of computing.
+	for i := 0; i < 30; i++ {
+		start := time.Now()
+		resp, err := client.Get(ts.URL + "/v1/reach")
+		if err != nil {
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK && time.Since(start) < 500*time.Millisecond {
+			break
+		}
+	}
+	var rlat []time.Duration
+	ok := 0
+	for i := 0; i < reloads; i++ {
+		start := time.Now()
+		resp, err := client.Post(ts.URL+"/v1/reload", "", nil)
+		d := time.Since(start)
+		if err != nil {
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			ok++
+			rlat = append(rlat, d)
+		}
+	}
+	if ok < reloads {
+		fmt.Fprintf(os.Stderr, "servesmoke: snapshot phase: %d/%d no-change reloads ok\n", ok, reloads)
+		return 1
+	}
+	fmt.Printf("servesmoke: endpoint=reload:snapshot queries=%d ok=%d shed=0 p50_ns=%d p99_ns=%d\n",
+		reloads, ok, percentile(rlat, 50), percentile(rlat, 99))
+	fmt.Fprintf(os.Stderr, "servesmoke: snapshot cold start %v vs full %v (%.0fx); no-change reload p50 %v\n",
+		percentileDur(clat, 50), full,
+		float64(full)/float64(percentile(clat, 50)),
+		percentileDur(rlat, 50))
+	return 0
+}
+
+// percentileDur is percentile as a time.Duration, for human-facing logs.
+func percentileDur(lat []time.Duration, p int) time.Duration {
+	return time.Duration(percentile(lat, p))
 }
 
 // fleetPhase load-tests the multi-network registry: one server hosting
