@@ -6,8 +6,10 @@
 # the serve daemon's swap/shed/drain paths (with extra iteration-count
 # runs of the concurrent-queries-during-reload stresses, query cache on
 # and off, plus the fleet isolation stress proving a failing or slow
-# reload of one network never blocks another) — and a short fuzz pass
-# over every ingestion fuzz target
+# reload of one network never blocks another, and the ingest convergence
+# stress racing the config watcher against pushes and manual reloads) —
+# and a short fuzz pass over every ingestion fuzz target including the
+# tar.gz push extractor
 # (fuzzsmoke); benchsmoke runs the instrumented pipeline benches once so
 # stage-instrumentation overhead stays visible in CI output; benchcmp
 # runs the sequential-vs-parallel sweeps and records the speedups (with
@@ -17,10 +19,12 @@
 # in-process against net5 and records per-endpoint p50/p99 latency
 # (cached and uncached) plus reload round-trip latency in
 # BENCH_serve.json, then runs a three-network fleet phase (mixed load
-# against /v1/nets/<net>/..., shared parse cache) recording net= rows and
+# against /v1/nets/<net>/..., shared parse cache) recording net= rows,
 # a snapshot phase recording coldstart{,:snapshot} and reload:snapshot
-# rows; snapbench reruns just that comparison (servesmoke writes the
-# whole report either way).
+# rows, and an ingestion phase recording ingest:push / ingest:rejected /
+# ingest:rollback rows against an admission-gated server; snapbench
+# reruns just that comparison (servesmoke writes the whole report either
+# way).
 
 .PHONY: tier1 tier2 fuzzsmoke benchsmoke benchcmp cachebench servesmoke snapbench all
 
@@ -37,6 +41,7 @@ tier2: fuzzsmoke
 	go test -race -count=3 -run '^TestWatchDuringConcurrentReloads$$' ./internal/serve
 	go test -race -count=3 -run '^TestFleetReloadIsolationStress$$' ./internal/serve
 	go test -race -count=3 -run '^TestSnapshotLoadDuringReloadStress$$' ./internal/serve
+	go test -race -count=3 -run '^TestIngestConvergenceStress$$' ./internal/serve
 	go test -race -run '^TestParseCacheConcurrent$$' ./internal/parsecache
 
 # fuzzsmoke gives each parser/anonymizer fuzz target ~10s of random
@@ -53,6 +58,7 @@ fuzzsmoke:
 	go test -run '^$$' -fuzz '^FuzzQueryParams$$' -fuzztime $(FUZZTIME) ./internal/serve
 	go test -run '^$$' -fuzz '^FuzzCacheKey$$' -fuzztime $(FUZZTIME) ./internal/parsecache
 	go test -run '^$$' -fuzz '^FuzzSnapshotLoad$$' -fuzztime $(FUZZTIME) ./internal/snapshot
+	go test -run '^$$' -fuzz '^FuzzTarIngest$$' -fuzztime $(FUZZTIME) ./internal/ingest
 
 benchsmoke:
 	go test -run '^$$' -bench BenchmarkAnalyze -benchtime=1x .

@@ -22,7 +22,14 @@
 //	GET  /v1/nets/NET/pathway       route pathway graph (?router=NAME[&format=text])
 //	GET  /v1/nets/NET/reach         external reachability; ?src=P&dst=P for block-to-block
 //	GET  /v1/nets/NET/whatif        survivability / failure analysis ([?format=text])
-//	POST /v1/nets/NET/reload        re-analyze one network (SIGHUP reloads all)
+//	POST /v1/nets/NET/reload        re-analyze one network (SIGHUP reloads all;
+//	                                ?force=1 bypasses the admission gate)
+//	POST /v1/nets/NET/configs       push a tar.gz of router configs: extracted
+//	                                into a staged generation under hard limits,
+//	                                analyzed, admission-checked, then swapped in
+//	POST /v1/nets/NET/configs/rollback  restore the previous pushed generation
+//	                                (the next reload analyzes it)
+//	GET  /v1/nets/NET/quarantine    the retained admission-rejection record, if any
 //	GET  /v1/nets/NET/events        design-drift event page (?since=CURSOR&limit=N)
 //	GET  /v1/nets/NET/watch         live design-drift stream (SSE; resumes via Last-Event-ID)
 //	GET  /v1/version                build identity and the serving design generation
@@ -70,6 +77,20 @@
 // with a response LRU (-query-cache, entries; negative disables) that a
 // reload swap invalidates wholesale. Reachability is precomputed at
 // load time, before the new generation is published.
+//
+// Continuous ingestion: -watch-configs polls every directory-backed
+// network's config source on a jittered interval and reloads on change;
+// a source that keeps failing circuit-breaks (ingest.suspended event,
+// polls continue at a backoff capped by -watch-max-backoff) and resumes
+// on the next good signature. Pushed archives land in a per-network
+// generation chain under -ingest-dir; the previous generation is
+// retained for rollback. Every reload — manual, watched, or pushed —
+// passes an admission gate before the swap: a candidate design that
+// removes more than -admit-max-router-loss-pct of the serving routers,
+// falls below -admit-min-routers, or carries more than
+// -admit-max-error-diags error diagnostics is quarantined (422,
+// design.rejected event) while the last-good design keeps serving;
+// ?force=1 overrides per call.
 //
 // -faults arms the deterministic fault-injection layer (testing only):
 // a semicolon-separated rule list like
@@ -119,6 +140,12 @@ func main() {
 	slowQuery := flag.Duration("slow-query", 0, "latency threshold for slow-query logging and query.slow events (0 uses the default 500ms; negative disables)")
 	watchHeartbeat := flag.Duration("watch-heartbeat", 15*time.Second, "idle keep-alive interval of the watch streams")
 	snapshotDir := flag.String("snapshot-dir", "", "directory of analyzed-design snapshots (one per network): cold starts restore from them in milliseconds, no-change reloads keep the warm generation, and every full analysis refreshes them")
+	ingestDir := flag.String("ingest-dir", "", "root of the pushed-configuration generation chains, one subdirectory per network (default: a process-lifetime temp dir)")
+	watchConfigs := flag.Duration("watch-configs", 0, "poll each network's config directory on this jittered interval and reload on change (0 disables)")
+	watchMaxBackoff := flag.Duration("watch-max-backoff", 2*time.Minute, "cap on a failing config watcher's exponential poll backoff")
+	admitMaxLoss := flag.Float64("admit-max-router-loss-pct", 50, "reject a reload that removes more than this percentage of the serving design's routers (0 disables)")
+	admitMinRouters := flag.Int("admit-min-routers", 1, "reject a reload whose design has fewer routers than this floor (0 disables)")
+	admitMaxErrDiags := flag.Int("admit-max-error-diags", -1, "reject a reload whose analysis produced more than this many error-severity diagnostics (negative disables; 0 tolerates none)")
 	faults := flag.String("faults", "", "arm fault injection (testing): 'SITE:KIND[:opts][;...]', e.g. 'analyze.net3:error'")
 	tele := telemetry.NewCLI("rlensd")
 	tele.RegisterFlags(flag.CommandLine)
@@ -167,20 +194,28 @@ func main() {
 			core.WithFailFast(tele.FailFast),
 			core.WithFaults(injector),
 		},
-		ParseCache:     pc,
-		SnapshotDir:    *snapshotDir,
-		ReloadWorkers:  *reloadWorkers,
-		RequestTimeout: *reqTimeout,
-		MaxInFlight:    *maxInflight,
-		ReloadRetries:  *reloadRetries,
-		ReloadBackoff:  *reloadBackoff,
-		LoadTimeout:    tele.Timeout,
-		ShutdownGrace:  *shutdownGrace,
-		QueryCacheSize: *queryCache,
-		EventsBuffer:   *eventsBuffer,
-		SlowQuery:      *slowQuery,
-		WatchHeartbeat: *watchHeartbeat,
-		Faults:         injector,
+		ParseCache:  pc,
+		SnapshotDir: *snapshotDir,
+		Admission: &serve.AdmissionPolicy{
+			MaxRouterLossPct: *admitMaxLoss,
+			MinRouters:       *admitMinRouters,
+			MaxErrorDiags:    *admitMaxErrDiags,
+		},
+		IngestDir:       *ingestDir,
+		WatchInterval:   *watchConfigs,
+		WatchMaxBackoff: *watchMaxBackoff,
+		ReloadWorkers:   *reloadWorkers,
+		RequestTimeout:  *reqTimeout,
+		MaxInFlight:     *maxInflight,
+		ReloadRetries:   *reloadRetries,
+		ReloadBackoff:   *reloadBackoff,
+		LoadTimeout:     tele.Timeout,
+		ShutdownGrace:   *shutdownGrace,
+		QueryCacheSize:  *queryCache,
+		EventsBuffer:    *eventsBuffer,
+		SlowQuery:       *slowQuery,
+		WatchHeartbeat:  *watchHeartbeat,
+		Faults:          injector,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rlensd: %v\n", err)

@@ -41,6 +41,12 @@ type EdgeChange struct {
 type Diff struct {
 	RoutersAdded   []string
 	RoutersRemoved []string
+	// RoutersBefore/RoutersAfter are the snapshot sizes the router
+	// deltas were computed against, so a consumer (the serve layer's
+	// admission gate) can reason about proportional loss without
+	// re-walking the models.
+	RoutersBefore int
+	RoutersAfter  int
 
 	InstancesAdded   []*instance.Instance
 	InstancesRemoved []*instance.Instance
@@ -61,6 +67,34 @@ func (d *Diff) Empty() bool {
 		len(d.InstancesChanged) == 0 &&
 		len(d.EdgesAdded) == 0 && len(d.EdgesRemoved) == 0 &&
 		d.ClassificationBefore == d.ClassificationAfter
+}
+
+// LossSummary quantifies how much of the serving design a candidate
+// snapshot would discard — the admission-control view of a diff, where
+// "half the routers vanished" matters more than which ones.
+type LossSummary struct {
+	// RoutersBefore/RoutersAfter are the router counts of the two
+	// snapshots.
+	RoutersBefore int `json:"routers_before"`
+	RoutersAfter  int `json:"routers_after"`
+	// RoutersRemoved is how many serving routers the candidate drops.
+	RoutersRemoved int `json:"routers_removed"`
+	// RemovedPct is RoutersRemoved as a percentage of RoutersBefore
+	// (0 when the before snapshot was empty).
+	RemovedPct float64 `json:"removed_pct"`
+}
+
+// Loss summarizes the diff's router loss for guardrail checks.
+func (d *Diff) Loss() LossSummary {
+	ls := LossSummary{
+		RoutersBefore:  d.RoutersBefore,
+		RoutersAfter:   d.RoutersAfter,
+		RoutersRemoved: len(d.RoutersRemoved),
+	}
+	if ls.RoutersBefore > 0 {
+		ls.RemovedPct = 100 * float64(ls.RoutersRemoved) / float64(ls.RoutersBefore)
+	}
+	return ls
 }
 
 // Compare diffs two instance models of (snapshots of) the same network.
@@ -85,6 +119,7 @@ func hostSet(m *instance.Model) map[string]bool {
 
 func (d *Diff) diffRouters(before, after *instance.Model) {
 	b, a := hostSet(before), hostSet(after)
+	d.RoutersBefore, d.RoutersAfter = len(b), len(a)
 	for h := range a {
 		if !b[h] {
 			d.RoutersAdded = append(d.RoutersAdded, h)

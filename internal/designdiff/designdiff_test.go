@@ -1,6 +1,7 @@
 package designdiff
 
 import (
+	"sort"
 	"strings"
 	"testing"
 
@@ -162,5 +163,43 @@ func TestClassificationChange(t *testing.T) {
 	}
 	if !strings.Contains(d.String(), "classification:") {
 		t.Errorf("rendered diff missing classification change:\n%s", d)
+	}
+}
+
+// TestLossSummary: the admission-control view of a diff — proportional
+// router loss against the before snapshot.
+func TestLossSummary(t *testing.T) {
+	full := paperexample.Configs()
+	before := modelOf(t, full)
+	half := map[string]string{}
+	kept := 0
+	names := make([]string, 0, len(full))
+	for name := range full {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if kept < (len(full)+1)/2 {
+			half[name] = full[name]
+			kept++
+		}
+	}
+	after := modelOf(t, half)
+	d := Compare(before, after)
+	ls := d.Loss()
+	if ls.RoutersBefore != len(full) || ls.RoutersAfter != kept {
+		t.Fatalf("LossSummary sizes = %+v, want before=%d after=%d", ls, len(full), kept)
+	}
+	wantRemoved := len(full) - kept
+	if ls.RoutersRemoved != wantRemoved {
+		t.Errorf("RoutersRemoved = %d, want %d", ls.RoutersRemoved, wantRemoved)
+	}
+	wantPct := 100 * float64(wantRemoved) / float64(len(full))
+	if ls.RemovedPct != wantPct {
+		t.Errorf("RemovedPct = %v, want %v", ls.RemovedPct, wantPct)
+	}
+	// The empty-before edge: no division by zero, pct 0.
+	if ls := Compare(after, after).Loss(); ls.RemovedPct != 0 || ls.RoutersRemoved != 0 {
+		t.Errorf("no-change loss = %+v, want zero", ls)
 	}
 }

@@ -1,0 +1,143 @@
+package ingest
+
+import (
+	"archive/tar"
+	"bytes"
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzTarIngest is the push ingestion oracle: whatever bytes arrive,
+// the extractor must never panic, never write outside the staging
+// directory (traversal, absolute paths, links, lying sizes), never
+// leave a symlink behind, and — when it accepts an archive — extract it
+// deterministically (two extractions of the same bytes produce
+// identical trees), which is what makes a pushed generation's
+// re-analysis reproducible.
+func FuzzTarIngest(f *testing.F) {
+	f.Add([]byte("not a gzip stream"))
+	f.Add(tarGz(f, []tarEntry{{name: "r1.conf", body: "hostname r1\n"}}))
+	f.Add(tarGz(f, []tarEntry{
+		{name: "d/", typeflag: tar.TypeDir},
+		{name: "d/r2.conf", body: "hostname r2\nrouter ospf 1\n"},
+	}))
+	f.Add(tarGz(f, []tarEntry{{name: "../escape.conf", body: "x"}}))
+	f.Add(tarGz(f, []tarEntry{{name: "/abs.conf", body: "x"}}))
+	f.Add(tarGz(f, []tarEntry{{name: "ln", typeflag: tar.TypeSymlink, link: "/etc/passwd"}}))
+	f.Add(tarGz(f, []tarEntry{{name: "big", size: 1 << 40}}))
+	// A gzip header with corrupt tar innards.
+	f.Add(tarGz(f, []tarEntry{{name: "ok.conf", body: "x"}})[:20])
+
+	lim := Limits{MaxBytes: 1 << 20, MaxEntries: 64, MaxFileBytes: 1 << 18}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		parent := t.TempDir()
+		// Canary: the classic traversal target one level above staging.
+		canary := filepath.Join(parent, "escape.conf")
+		staging := filepath.Join(parent, "staging")
+		if err := os.Mkdir(staging, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		res, err := ExtractTarGz(bytes.NewReader(data), staging, lim)
+
+		if _, serr := os.Lstat(canary); !errors.Is(serr, fs.ErrNotExist) {
+			t.Fatalf("extraction escaped the staging dir: %s exists", canary)
+		}
+		assertCleanTree(t, staging, lim)
+		if err != nil {
+			if !errors.Is(err, ErrArchive) && !errors.Is(err, ErrTooLarge) {
+				t.Fatalf("error outside the ingest vocabulary: %v", err)
+			}
+			return
+		}
+		if res.Files <= 0 {
+			t.Fatalf("accepted archive reported %d files", res.Files)
+		}
+
+		// Accepted archives re-extract deterministically.
+		staging2 := filepath.Join(parent, "staging2")
+		if err := os.Mkdir(staging2, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		res2, err2 := ExtractTarGz(bytes.NewReader(data), staging2, lim)
+		if err2 != nil {
+			t.Fatalf("second extraction of an accepted archive failed: %v", err2)
+		}
+		if res2 != res {
+			t.Fatalf("extraction not deterministic: %+v vs %+v", res, res2)
+		}
+		t1, t2 := treeOf(t, staging), treeOf(t, staging2)
+		if t1 != t2 {
+			t.Fatalf("trees differ across extractions:\n%s\nvs\n%s", t1, t2)
+		}
+	})
+}
+
+// assertCleanTree walks an extraction output and fails on anything that
+// is not a directory or a regular file within the limits.
+func assertCleanTree(t *testing.T, root string, lim Limits) {
+	t.Helper()
+	var total int64
+	files := 0
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		info, err := d.Info()
+		if err != nil {
+			return err
+		}
+		mode := info.Mode()
+		if !mode.IsDir() && !mode.IsRegular() {
+			t.Errorf("non-regular entry in staging output: %s (%v)", path, mode)
+		}
+		if mode.IsRegular() {
+			files++
+			total += info.Size()
+			if info.Size() > lim.MaxFileBytes {
+				t.Errorf("file %s is %d bytes, over the per-file limit", path, info.Size())
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walking staging output: %v", err)
+	}
+	if files > lim.MaxEntries {
+		t.Errorf("%d files extracted, over the entry limit", files)
+	}
+	if total > lim.MaxBytes {
+		t.Errorf("%d bytes extracted, over the total limit", total)
+	}
+}
+
+// treeOf renders an extraction output as "relpath size sha-free" lines
+// plus content, for byte-identical comparison.
+func treeOf(t *testing.T, root string) string {
+	t.Helper()
+	var b bytes.Buffer
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, _ := filepath.Rel(root, path)
+		if d.IsDir() {
+			b.WriteString("dir " + rel + "\n")
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		b.WriteString("file " + rel + " ")
+		b.Write(data)
+		b.WriteString("\n")
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("rendering tree: %v", err)
+	}
+	return b.String()
+}

@@ -1,0 +1,175 @@
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ErrNoRollback is returned by Store.Rollback when no previous
+// generation is retained. The HTTP layer maps it to 409.
+var ErrNoRollback = errors.New("ingest: no previous generation to roll back to")
+
+// Store is one network's pushed-configuration generation chain, rooted
+// at a directory the store owns:
+//
+//	<root>/staging-*   in-flight extractions (discarded on any failure)
+//	<root>/gen-000001  promoted generations, one directory each
+//	<root>/gen-000002
+//
+// Current() is the directory reloads should analyze. It starts at the
+// network's original source directory (generation zero, external, never
+// written to or deleted by the store) and advances to gen-N on each
+// Promote. Exactly one previous generation is retained for one-call
+// Rollback; older promoted generations are pruned. Promotion is a
+// single os.Rename, so a generation is either absent or complete —
+// never half-written. The chain is in-process state: a restarted daemon
+// begins again from the original source directory, which is the
+// conservative choice (pushes are an overlay, the source is the truth
+// an operator can always rebuild from).
+type Store struct {
+	root string
+
+	mu   sync.Mutex
+	seq  int
+	cur  string
+	prev string
+}
+
+// NewStore opens (creating if needed) a generation chain under root,
+// with initial — the network's live source directory — as generation
+// zero. Stale staging dirs and promoted generations from a previous
+// process are swept: they are unreachable state, and generation
+// numbering restarts above whatever survived the sweep.
+func NewStore(root, initial string) (*Store, error) {
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Store{root: root, cur: initial}
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasPrefix(name, "staging-") {
+			os.RemoveAll(filepath.Join(root, name))
+			continue
+		}
+		if n, ok := genSeq(name); ok {
+			if n > s.seq {
+				s.seq = n
+			}
+			os.RemoveAll(filepath.Join(root, name))
+		}
+	}
+	return s, nil
+}
+
+// genSeq parses a gen-N directory name.
+func genSeq(name string) (int, bool) {
+	var n int
+	if _, err := fmt.Sscanf(name, "gen-%06d", &n); err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// Begin creates a fresh staging directory for one extraction. The
+// caller either Promotes it or Discards it.
+func (s *Store) Begin() (string, error) {
+	return os.MkdirTemp(s.root, "staging-")
+}
+
+// Discard removes a staging directory (idempotent, best-effort).
+func (s *Store) Discard(staging string) {
+	if staging != "" && strings.HasPrefix(filepath.Base(staging), "staging-") {
+		os.RemoveAll(staging)
+	}
+}
+
+// Promote atomically renames a validated staging directory into the
+// chain as the next generation and makes it Current. The displaced
+// current directory becomes the retained rollback target; the
+// generation it displaced in turn is pruned (unless it is the external
+// generation-zero source, which the store never deletes).
+func (s *Store) Promote(staging string) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	gen := filepath.Join(s.root, fmt.Sprintf("gen-%06d", s.seq))
+	if err := os.Rename(staging, gen); err != nil {
+		s.seq--
+		return "", err
+	}
+	s.prune(s.prev)
+	s.prev = s.cur
+	s.cur = gen
+	return gen, nil
+}
+
+// Rollback swaps Current and the retained previous generation: the
+// prior configuration set is restored as Current (for the next reload
+// to analyze) and the rolled-back one is retained, so a second Rollback
+// rolls forward again. It never touches the filesystem — both
+// directories stay intact.
+func (s *Store) Rollback() (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.prev == "" {
+		return "", ErrNoRollback
+	}
+	s.cur, s.prev = s.prev, s.cur
+	return s.cur, nil
+}
+
+// Current returns the directory reloads should analyze.
+func (s *Store) Current() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cur
+}
+
+// Previous returns the retained rollback target ("" when none).
+func (s *Store) Previous() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.prev
+}
+
+// Generations lists the promoted generation directories still on disk,
+// sorted — the observability view, not an API the reload path uses.
+func (s *Store) Generations() []string {
+	entries, err := os.ReadDir(s.root)
+	if err != nil {
+		return nil
+	}
+	var gens []string
+	for _, e := range entries {
+		if _, ok := genSeq(e.Name()); ok {
+			gens = append(gens, filepath.Join(s.root, e.Name()))
+		}
+	}
+	sort.Strings(gens)
+	return gens
+}
+
+// prune deletes one displaced generation directory, refusing to touch
+// anything outside the chain (the generation-zero source directory
+// lives wherever the operator put it).
+func (s *Store) prune(dir string) {
+	if dir == "" {
+		return
+	}
+	if _, ok := genSeq(filepath.Base(dir)); !ok {
+		return
+	}
+	if filepath.Dir(dir) != filepath.Clean(s.root) {
+		return
+	}
+	os.RemoveAll(dir)
+}

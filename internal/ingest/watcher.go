@@ -1,0 +1,175 @@
+package ingest
+
+import (
+	"context"
+	"math/rand"
+	"time"
+)
+
+// Poll results, reported through Watcher.OnPoll and counted by the
+// serve layer under MetricPolls.
+const (
+	// PollOK: the signature changed and the reload swapped (or kept) a
+	// good design.
+	PollOK = "ok"
+	// PollUnchanged: the signature matches the last good (or last
+	// rejected) content; nothing to do.
+	PollUnchanged = "unchanged"
+	// PollError: the signature could not be read or the reload failed
+	// (analysis error); counts toward the circuit breaker.
+	PollError = "error"
+	// PollRejected: the reload analyzed cleanly but admission control
+	// quarantined the design; the content is remembered so identical
+	// polls do not re-analyze it.
+	PollRejected = "rejected"
+)
+
+// Watcher autonomously drives one network's reloads from its
+// configuration source. Every Interval (jittered ±Jitter/2 so a fleet
+// of watchers never stampedes the bounded reload pool in phase) it
+// reads Signature; on change it calls Reload. Failures double the poll
+// interval up to MaxBackoff, and TripAfter consecutive failures trip
+// the circuit breaker — OnSuspend fires once, polling continues at the
+// capped cadence, and the watcher resumes (OnResume) on the next good
+// outcome: a successful reload, or the source reverting to the
+// last-good signature (the operator un-broke the configs, so there is
+// nothing left to retry).
+//
+// All fields are read-only after Run starts. The zero value is not
+// usable; Signature, Reload, and Interval are required.
+type Watcher struct {
+	// Net names the watched network (for callbacks and logs).
+	Net string
+	// Signature reads the source's current change-detection signature
+	// (DirSignature of the active configuration directory).
+	Signature func() (string, error)
+	// Reload triggers one reload attempt of the network.
+	Reload func(ctx context.Context) error
+	// IsRejection classifies a Reload error as an admission rejection
+	// (quarantined design) rather than an analysis failure. Rejections
+	// are remembered by signature so identical content is not
+	// re-analyzed every poll; nil means no error is a rejection.
+	IsRejection func(error) bool
+	// Interval is the healthy poll cadence (required, > 0).
+	Interval time.Duration
+	// MaxBackoff caps the failure backoff (default 16×Interval).
+	MaxBackoff time.Duration
+	// TripAfter is how many consecutive failures trip the breaker
+	// (default 3).
+	TripAfter int
+	// Jitter is the fractional spread applied to every wait (default
+	// 0.2: waits land in [0.9, 1.1]×nominal).
+	Jitter float64
+
+	// OnPoll, OnSuspend, and OnResume observe the loop (all optional).
+	// OnSuspend reports the consecutive-failure count, the capped poll
+	// interval in force, and the last error; OnResume the failure count
+	// the recovery cleared.
+	OnPoll    func(result string)
+	OnSuspend func(failures int, backoff time.Duration, err error)
+	OnResume  func(failures int)
+}
+
+// Run polls until ctx is cancelled. The first poll waits one interval —
+// the caller has just loaded the network, so the baseline signature
+// taken here describes the design being served.
+func (w *Watcher) Run(ctx context.Context) {
+	maxBackoff := w.MaxBackoff
+	if maxBackoff <= 0 {
+		maxBackoff = 16 * w.Interval
+	}
+	tripAfter := w.TripAfter
+	if tripAfter <= 0 {
+		tripAfter = 3
+	}
+	jitter := w.Jitter
+	if jitter <= 0 {
+		jitter = 0.2
+	}
+
+	// Baseline: assume the serving design matches the source right now
+	// (Run is started immediately after the initial load). An unreadable
+	// baseline leaves lastGood empty, so the first poll reconciles by
+	// reloading.
+	lastGood, _ := w.Signature()
+	lastRejected := ""
+	failures := 0
+	suspended := false
+	wait := w.Interval
+
+	report := func(result string) {
+		if w.OnPoll != nil {
+			w.OnPoll(result)
+		}
+	}
+	fail := func(result string, err error) {
+		failures++
+		wait = min(wait*2, maxBackoff)
+		if failures >= tripAfter && !suspended {
+			suspended = true
+			if w.OnSuspend != nil {
+				w.OnSuspend(failures, wait, err)
+			}
+		}
+		report(result)
+	}
+	recovered := func() {
+		wait = w.Interval
+		if suspended {
+			suspended = false
+			if w.OnResume != nil {
+				w.OnResume(failures)
+			}
+		}
+		failures = 0
+	}
+
+	t := time.NewTimer(jittered(wait, jitter))
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		sig, err := w.Signature()
+		switch {
+		case err != nil:
+			fail(PollError, err)
+		case sig == lastGood:
+			// Healthy content — including a source reverted after a streak
+			// of failures, which is a recovery even though nothing reloads.
+			recovered()
+			report(PollUnchanged)
+		case sig == lastRejected:
+			// Content we already quarantined; re-analyzing it would reach
+			// the same verdict. Not a recovery: the breaker stays where
+			// it is until something actually good shows up.
+			report(PollUnchanged)
+		default:
+			switch rerr := w.Reload(ctx); {
+			case rerr == nil:
+				lastGood, lastRejected = sig, ""
+				recovered()
+				report(PollOK)
+			case ctx.Err() != nil:
+				return
+			case w.IsRejection != nil && w.IsRejection(rerr):
+				lastRejected = sig
+				fail(PollRejected, rerr)
+			default:
+				fail(PollError, rerr)
+			}
+		}
+		t.Reset(jittered(wait, jitter))
+	}
+}
+
+// jittered spreads d to [1-j/2, 1+j/2]×d.
+func jittered(d time.Duration, j float64) time.Duration {
+	if d <= 0 {
+		return time.Millisecond
+	}
+	f := 1 + j*(rand.Float64()-0.5)
+	return time.Duration(float64(d) * f)
+}

@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"routinglens/internal/core"
+	"routinglens/internal/designdiff"
+	"routinglens/internal/diag"
+)
+
+// AdmissionPolicy is the guardrail set evaluated between analysis and
+// generation swap. A reload that parses cleanly can still be
+// operationally catastrophic — a push that deletes half the routers
+// swaps in as happily as a one-line tweak — so the gate compares every
+// candidate design against the *serving* generation and quarantines the
+// ones that would gut it, while the last-good generation keeps
+// answering queries. A nil policy (the Config default) disables the
+// gate entirely; ?force=1 on a reload or push bypasses it per-call.
+type AdmissionPolicy struct {
+	// MaxRouterLossPct rejects a candidate that removes more than this
+	// percentage of the serving design's routers (0 or negative
+	// disables).
+	MaxRouterLossPct float64
+	// MinRouters rejects a candidate whose design has fewer routers
+	// than this floor (0 or negative disables).
+	MinRouters int
+	// MaxErrorDiags rejects a candidate whose analysis produced more
+	// than this many error-severity diagnostics — whole constructs the
+	// pipeline dropped (negative disables; 0 tolerates none).
+	MaxErrorDiags int
+}
+
+// enabled reports whether any guardrail is armed.
+func (p *AdmissionPolicy) enabled() bool {
+	return p != nil && (p.MaxRouterLossPct > 0 || p.MinRouters > 0 || p.MaxErrorDiags >= 0)
+}
+
+// evaluate applies the guardrails to a candidate design given its diff
+// against the serving generation. Empty reasons means admitted.
+func (p *AdmissionPolicy) evaluate(diff *designdiff.Diff, cand *core.Result) (reasons []string, loss designdiff.LossSummary, errDiags int) {
+	loss = diff.Loss()
+	for _, d := range cand.Diagnostics {
+		if d.Severity == diag.SevError {
+			errDiags++
+		}
+	}
+	if p.MaxRouterLossPct > 0 && loss.RemovedPct > p.MaxRouterLossPct {
+		reasons = append(reasons, fmt.Sprintf(
+			"router loss %.1f%% (%d of %d) exceeds the %.1f%% guardrail",
+			loss.RemovedPct, loss.RoutersRemoved, loss.RoutersBefore, p.MaxRouterLossPct))
+	}
+	if p.MinRouters > 0 && loss.RoutersAfter < p.MinRouters {
+		reasons = append(reasons, fmt.Sprintf(
+			"design has %d routers, below the %d-router floor", loss.RoutersAfter, p.MinRouters))
+	}
+	if p.MaxErrorDiags >= 0 && errDiags > p.MaxErrorDiags {
+		reasons = append(reasons, fmt.Sprintf(
+			"%d error-severity diagnostics exceed the %d allowed", errDiags, p.MaxErrorDiags))
+	}
+	return reasons, loss, errDiags
+}
+
+// QuarantineRecord is the retained verdict of a rejected reload, served
+// at GET /v1/nets/{net}/quarantine until the next successful swap
+// clears it. It is stored behind one atomic pointer, so readers always
+// see a complete record or none.
+type QuarantineRecord struct {
+	// Trigger is what drove the rejected reload: manual | watch | push.
+	Trigger string `json:"trigger"`
+	// Reasons are the guardrails the candidate tripped.
+	Reasons []string `json:"reasons"`
+	// Loss is the candidate's router loss against the serving design.
+	Loss designdiff.LossSummary `json:"loss"`
+	// ErrorDiags counts the candidate's error-severity diagnostics.
+	ErrorDiags int `json:"error_diags"`
+	// ServingSeq is the generation that kept serving.
+	ServingSeq int64 `json:"serving_seq"`
+	// At is when the rejection happened (RFC3339).
+	At string `json:"at"`
+	// Note explains the escape hatch.
+	Note string `json:"note"`
+}
+
+// newQuarantineRecord assembles one rejection verdict.
+func newQuarantineRecord(trigger string, reasons []string, loss designdiff.LossSummary, errDiags int, servingSeq int64) *QuarantineRecord {
+	return &QuarantineRecord{
+		Trigger:    trigger,
+		Reasons:    reasons,
+		Loss:       loss,
+		ErrorDiags: errDiags,
+		ServingSeq: servingSeq,
+		At:         time.Now().UTC().Format(time.RFC3339),
+		Note:       "last-good design still serving; reload with ?force=1 to override, or push corrected configs",
+	}
+}
+
+// AdmissionError is the typed rejection a gated reload returns: the
+// analyzer produced a design, but admission control refused to serve
+// it. Callers distinguish it from analysis failure (errors.As), because
+// the network is NOT degraded — the serving design is fine, the
+// candidate is quarantined.
+type AdmissionError struct {
+	Reasons []string
+	Record  *QuarantineRecord
+}
+
+// Error renders the guardrail verdict.
+func (e *AdmissionError) Error() string {
+	return "design rejected by admission control: " + strings.Join(e.Reasons, "; ")
+}
+
+// Quarantine returns the network's retained rejection verdict (nil when
+// nothing is quarantined).
+func (nw *Network) Quarantine() *QuarantineRecord { return nw.quarantine.Load() }

@@ -43,6 +43,24 @@ var (
 	// synthesizes it per-subscriber when a resume cursor has aged out,
 	// so truncation is an explicit event, not a silent skip.
 	EvtTruncated = events.MustType("stream.truncated")
+	// EvtDesignRejected: admission control refused a cleanly analyzed
+	// candidate; it is quarantined while the last-good design keeps
+	// serving. Payload: rejectedPayload.
+	EvtDesignRejected = events.MustType("design.rejected")
+	// EvtIngestSuspended: a config-source watcher's circuit breaker
+	// tripped after consecutive failures; polls continue at the capped
+	// backoff. Payload: ingestSuspendedPayload.
+	EvtIngestSuspended = events.MustType("ingest.suspended")
+	// EvtIngestResumed: a suspended watcher saw a good signature (or a
+	// revert) and resumed its normal interval. Payload:
+	// ingestResumedPayload.
+	EvtIngestResumed = events.MustType("ingest.resumed")
+	// EvtConfigPushed: a pushed archive was admitted and promoted into
+	// the generation chain. Payload: configPushedPayload.
+	EvtConfigPushed = events.MustType("config.pushed")
+	// EvtConfigRolledBack: the previous pushed generation was restored
+	// as the active directory. Payload: configRolledbackPayload.
+	EvtConfigRolledBack = events.MustType("config.rolledback")
 )
 
 // swapPayload announces a published generation.
@@ -118,6 +136,39 @@ type truncatedPayload struct {
 	OldestCursor    uint64 `json:"oldest_cursor"`
 }
 
+// rejectedPayload explains an admission-control rejection.
+type rejectedPayload struct {
+	Trigger    string                 `json:"trigger"`
+	Reasons    []string               `json:"reasons"`
+	Loss       designdiff.LossSummary `json:"loss"`
+	ErrorDiags int                    `json:"error_diags"`
+	ServingSeq int64                  `json:"serving_seq"`
+}
+
+// ingestSuspendedPayload marks a tripped watcher circuit breaker.
+type ingestSuspendedPayload struct {
+	Failures  int    `json:"failures"`
+	BackoffMS int64  `json:"backoff_ms"`
+	Error     string `json:"error,omitempty"`
+}
+
+// ingestResumedPayload marks a watcher recovery.
+type ingestResumedPayload struct {
+	FailuresCleared int `json:"failures_cleared"`
+}
+
+// configPushedPayload announces an admitted, promoted push.
+type configPushedPayload struct {
+	Generation string `json:"generation"`
+	Files      int    `json:"files"`
+	Bytes      int64  `json:"bytes"`
+}
+
+// configRolledbackPayload announces a restored generation.
+type configRolledbackPayload struct {
+	Restored string `json:"restored"`
+}
+
 // emit publishes one event into the network's ring; it is a no-op on a
 // zero-value Network so internal helpers never have to nil-check.
 func (nw *Network) emit(t events.Type, payload any) {
@@ -160,8 +211,10 @@ func (c *coalescer) hit(n int64) (emit bool, count int64) {
 // design changed, the design-diff event plus one event per changed
 // compartment, into the network's own ring. It runs after the pointer
 // swap — consumers observing the event can immediately query the
-// generation it announces.
-func (nw *Network) emitSwapEvents(prev, st *State) {
+// generation it announces. diff, when non-nil, is the already-computed
+// delta against prev (the admission gate computes it anyway); nil means
+// compute it here.
+func (nw *Network) emitSwapEvents(prev, st *State, diff *designdiff.Diff) {
 	p := swapPayload{
 		Seq:          st.Seq,
 		Network:      st.Res.Design.Network.Name,
@@ -177,7 +230,9 @@ func (nw *Network) emitSwapEvents(prev, st *State) {
 	if prev == nil {
 		return
 	}
-	diff := st.Res.Design.DiffFrom(prev.Res.Design)
+	if diff == nil {
+		diff = st.Res.Design.DiffFrom(prev.Res.Design)
+	}
 	if diff.Empty() {
 		return
 	}

@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"time"
@@ -24,6 +25,14 @@ const (
 	codeInternal         = "internal"
 	codeMethodNotAllowed = "method_not_allowed"
 	codeReloadFailed     = "reload_failed"
+	// Ingestion codes: a rejected design (admission control), an archive
+	// over the push limits, a malformed/hostile archive, a rollback with
+	// no generation to restore, and a push at a non-directory network.
+	codeDesignRejected  = "design_rejected"
+	codeTooLarge        = "too_large"
+	codeBadArchive      = "bad_archive"
+	codeNoRollback      = "no_rollback"
+	codePushUnsupported = "push_unsupported"
 )
 
 // errorBody is the unified error envelope.
@@ -71,8 +80,11 @@ type readyzResponse struct {
 	LoadedAt string `json:"loaded_at,omitempty"`
 	AgeSec   int64  `json:"age_seconds,omitempty"`
 	// LastError explains degradation: the most recent failed load.
-	LastError   string           `json:"last_error,omitempty"`
-	LastErrorAt string           `json:"last_error_at,omitempty"`
+	LastError   string `json:"last_error,omitempty"`
+	LastErrorAt string `json:"last_error_at,omitempty"`
+	// Quarantined: the most recent reload was rejected by admission
+	// control (the serving design is intact; see /v1/nets/{net}/quarantine).
+	Quarantined bool             `json:"quarantined,omitempty"`
 	Nets        []readyzResponse `json:"nets,omitempty"`
 }
 
@@ -89,6 +101,7 @@ func (nw *Network) readyz() readyzResponse {
 		resp.LastError = f.Err
 		resp.LastErrorAt = f.At.UTC().Format(time.RFC3339)
 	}
+	resp.Quarantined = nw.quarantine.Load() != nil
 	resp.Ready = st != nil && !resp.Degraded
 	return resp
 }
@@ -158,6 +171,7 @@ type netInfo struct {
 	LoadedAt     string `json:"loaded_at,omitempty"`
 	LastReloadMS int64  `json:"last_reload_ms,omitempty"`
 	LastError    string `json:"last_error,omitempty"`
+	Quarantined  bool   `json:"quarantined,omitempty"`
 }
 
 // parseCacheInfo summarizes the shared parse cache on /v1/nets;
@@ -201,6 +215,7 @@ func (s *Server) handleNets(w http.ResponseWriter, r *http.Request) {
 		if f := nw.lastFail.Load(); f != nil && info.Degraded {
 			info.LastError = f.Err
 		}
+		info.Quarantined = nw.quarantine.Load() != nil
 		resp.Nets = append(resp.Nets, info)
 	}
 	if s.pc != nil {
@@ -218,16 +233,46 @@ func (s *Server) handleNets(w http.ResponseWriter, r *http.Request) {
 // handleReload re-analyzes one network on demand. The reload runs
 // detached from the request context so a disconnecting client cannot
 // half-cancel an analysis, and failures keep the network's last-good
-// design serving.
+// design serving. Every response carries a "result" discriminator:
+// swapped | unchanged on success, rejected (422, admission control
+// refused a cleanly analyzed candidate — the network is NOT degraded)
+// or failed (500, analysis gave up — the network IS degraded) on
+// error. ?force=1 bypasses the admission gate.
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request, nw *Network) {
+	force, ferr := parseForce(r)
+	if ferr != nil {
+		writeError(w, r, http.StatusBadRequest, codeBadRequest, ferr.Error())
+		return
+	}
 	before := nw.cur.Load()
-	err := nw.Reload(context.Background())
+	err := nw.reload(context.Background(), reloadReq{force: force, trigger: "manual"})
 	st := nw.cur.Load()
 	if err != nil {
+		var adm *AdmissionError
+		if errors.As(err, &adm) {
+			resp := map[string]any{
+				"error":      err.Error(),
+				"code":       codeDesignRejected,
+				"net":        nw.name,
+				"result":     "rejected",
+				"reasons":    adm.Reasons,
+				"quarantine": "/v1/nets/" + nw.name + "/quarantine",
+				"note":       "last-good design still serving; retry with ?force=1 to override",
+			}
+			if id := telemetry.TraceIDFrom(r.Context()); id != "" {
+				resp["trace_id"] = id
+			}
+			if st != nil {
+				resp["serving_seq"] = st.Seq
+			}
+			writeJSON(w, http.StatusUnprocessableEntity, resp)
+			return
+		}
 		resp := map[string]any{
 			"error":    err.Error(),
 			"code":     codeReloadFailed,
 			"net":      nw.name,
+			"result":   "failed",
 			"degraded": true,
 		}
 		if id := telemetry.TraceIDFrom(r.Context()); id != "" {
@@ -240,13 +285,20 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request, nw *Networ
 		writeJSON(w, http.StatusInternalServerError, resp)
 		return
 	}
+	unchanged := st == before && before != nil
+	result := "swapped"
+	if unchanged {
+		result = "unchanged"
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"ok":  true,
-		"net": nw.name,
-		"seq": st.Seq,
+		"ok":     true,
+		"net":    nw.name,
+		"seq":    st.Seq,
+		"result": result,
 		// unchanged: the signature set matched the serving generation,
-		// so the reload kept it (no swap, caches stay warm).
-		"unchanged": st == before && before != nil,
+		// so the reload kept it (no swap, caches stay warm). Kept
+		// alongside result for response-schema compatibility.
+		"unchanged": unchanged,
 		"loaded_at": st.LoadedAt.UTC().Format(time.RFC3339),
 	})
 }

@@ -60,6 +60,9 @@ var routes = []routeSpec{
 	{method: "GET", pattern: "/v1/nets/{net}/reach", endpoint: "reach", kind: routeQuery},
 	{method: "GET", pattern: "/v1/nets/{net}/whatif", endpoint: "whatif", kind: routeQuery},
 	{method: "POST", pattern: "/v1/nets/{net}/reload", endpoint: "reload", kind: routeNetCtl},
+	{method: "POST", pattern: "/v1/nets/{net}/configs", endpoint: "configs", kind: routeNetCtl},
+	{method: "POST", pattern: "/v1/nets/{net}/configs/rollback", endpoint: "rollback", kind: routeNetCtl},
+	{method: "GET", pattern: "/v1/nets/{net}/quarantine", endpoint: "quarantine", kind: routeNetCtl},
 	{method: "GET", pattern: "/v1/nets/{net}/events", endpoint: "events", kind: routeNetCtl},
 	{method: "GET", pattern: "/v1/nets/{net}/watch", endpoint: "watch", kind: routeNetCtl},
 
@@ -148,6 +151,12 @@ func (s *Server) netCtlHandler(endpoint string) func(http.ResponseWriter, *http.
 	switch endpoint {
 	case "reload":
 		return s.handleReload
+	case "configs":
+		return s.handleConfigs
+	case "rollback":
+		return s.handleRollback
+	case "quarantine":
+		return s.handleQuarantine
 	case "events":
 		return s.handleEvents
 	case "watch":

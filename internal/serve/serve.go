@@ -43,9 +43,11 @@ import (
 	"time"
 
 	"routinglens/internal/core"
+	"routinglens/internal/designdiff"
 	"routinglens/internal/events"
 	"routinglens/internal/experiments"
 	"routinglens/internal/faultinject"
+	"routinglens/internal/ingest"
 	"routinglens/internal/netaddr"
 	"routinglens/internal/parsecache"
 	"routinglens/internal/reach"
@@ -63,7 +65,10 @@ const (
 	MetricTimeouts = "routinglens_http_timeouts_total"
 	// MetricPanicsRecovered counts handler panics turned into 500s.
 	MetricPanicsRecovered = "routinglens_panics_recovered_total"
-	// MetricReloads counts design (re)loads by net and result (ok | error).
+	// MetricReloads counts design (re)loads by net and result
+	// (ok | error | unchanged | rejected). "rejected" is admission
+	// control refusing a cleanly analyzed candidate; "error" is the
+	// analysis itself failing.
 	MetricReloads = "routinglens_reloads_total"
 	// MetricDesignSeq is the sequence number of the design a network is
 	// serving, by net.
@@ -156,6 +161,27 @@ type Config struct {
 	// ReloadBackoff is the first retry's backoff, doubling per attempt
 	// (default 250ms).
 	ReloadBackoff time.Duration
+	// Admission, when non-nil, gates every reload between analysis and
+	// generation swap: a candidate design that trips a guardrail is
+	// quarantined (GET /v1/nets/{net}/quarantine) while the last-good
+	// generation keeps serving. Nil disables the gate.
+	Admission *AdmissionPolicy
+	// IngestDir roots the pushed-configuration generation chains (one
+	// subdirectory per network). Empty means a process-lifetime temp
+	// dir created on the first push.
+	IngestDir string
+	// WatchInterval, when positive, runs a config-source watcher per
+	// directory-backed network: the directory's stat signature is
+	// polled on this jittered interval and a change triggers a reload
+	// through the usual retry/backoff/admission machinery. 0 disables
+	// watching.
+	WatchInterval time.Duration
+	// WatchMaxBackoff caps a failing watcher's exponential poll backoff
+	// (default 16×WatchInterval).
+	WatchMaxBackoff time.Duration
+	// WatchTripAfter is how many consecutive watcher failures trip its
+	// circuit breaker and emit ingest.suspended (default 3).
+	WatchTripAfter int
 	// LoadTimeout bounds one analysis attempt; 0 means unbounded.
 	LoadTimeout time.Duration
 	// ShutdownGrace is how long Run waits for in-flight requests to
@@ -286,6 +312,20 @@ type Network struct {
 	evts        *events.Buffer
 	shedEvents  coalescer
 	cacheEvents coalescer
+
+	// activeDir is the directory reloads analyze: the source directory
+	// until a push promotes a generation, then the promoted generation
+	// (or, after a rollback, the restored one). Atomic because the
+	// watcher reads it outside reloadMu.
+	activeDir atomic.Pointer[string]
+	// quarantine retains the most recent admission rejection, cleared
+	// by the next successful swap. One atomic pointer: readers see a
+	// whole record or none, never a half-written one.
+	quarantine atomic.Pointer[QuarantineRecord]
+	// store is the network's pushed-config generation chain, created
+	// lazily on the first push.
+	storeMu sync.Mutex
+	store   *ingest.Store
 }
 
 // Name returns the network's name — its {net} path segment.
@@ -324,6 +364,14 @@ type Server struct {
 
 	traces *telemetry.TraceStore
 	build  telemetry.Build
+
+	// ingestRoot lazily resolves the directory the per-net generation
+	// stores live under (cfg.IngestDir, or a process-lifetime temp dir).
+	ingestOnce sync.Once
+	ingestDir  string
+	ingestErr  error
+	// watchWG tracks the per-network config-source watchers Run starts.
+	watchWG sync.WaitGroup
 
 	handler http.Handler
 }
@@ -476,6 +524,7 @@ func (s *Server) addNet(src NetSource) error {
 		sem:    make(chan struct{}, s.cfg.MaxInFlight),
 		evts:   events.NewBuffer(s.cfg.EventsBuffer, s.reg, telemetry.L("net", src.Name)),
 	}
+	nw.setActiveDir(src.Dir)
 	if s.cfg.QueryCacheSize > 0 {
 		nw.qc = newQCache(s.cfg.QueryCacheSize)
 	}
@@ -519,6 +568,10 @@ func registerHelp(reg *telemetry.Registry) {
 	reg.SetHelp(events.MetricDropped, "Events dropped at slow watch subscribers, by net.")
 	reg.SetHelp(events.MetricSubscribers, "Live event-stream subscriptions, by net.")
 	reg.SetHelp(MetricSlowQueries, "Data-plane requests slower than the slow-query threshold, by endpoint.")
+	reg.SetHelp(ingest.MetricPolls, "Config-source watcher polls, by net and result.")
+	reg.SetHelp(ingest.MetricWatchSuspended, "Config-source watcher circuit breaker: 1 while suspended, by net.")
+	reg.SetHelp(ingest.MetricPushes, "Pushed configuration archives, by net and result.")
+	reg.SetHelp(ingest.MetricRollbacks, "Generation rollbacks applied, by net.")
 }
 
 // Handler returns the daemon's HTTP surface.
@@ -541,10 +594,21 @@ func (s *Server) observeCrossNetHits() {
 	s.reg.Gauge(MetricCrossNetHits).Set(float64(s.pc.Stats().CrossHits))
 }
 
-// load runs one analysis attempt through the fleet-wide reload pool and
-// the fault-injection boundary. The pool slot is held only for the
-// attempt itself, never across retry backoff sleeps.
-func (nw *Network) load(ctx context.Context) (*core.Result, error) {
+// activeDirPath returns the directory reloads currently analyze.
+func (nw *Network) activeDirPath() string {
+	if p := nw.activeDir.Load(); p != nil {
+		return *p
+	}
+	return nw.dir
+}
+
+// setActiveDir repoints future reloads (and watcher polls) at dir.
+func (nw *Network) setActiveDir(dir string) { nw.activeDir.Store(&dir) }
+
+// load runs one analysis attempt against dir through the fleet-wide
+// reload pool and the fault-injection boundary. The pool slot is held
+// only for the attempt itself, never across retry backoff sleeps.
+func (nw *Network) load(ctx context.Context, dir string) (*core.Result, error) {
 	s := nw.s
 	select {
 	case s.reloadSem <- struct{}{}:
@@ -567,21 +631,53 @@ func (nw *Network) load(ctx context.Context) (*core.Result, error) {
 	if nw.loadFn != nil {
 		return nw.loadFn(ctx)
 	}
-	return nw.an.AnalyzeDirResult(ctx, nw.dir)
+	return nw.an.AnalyzeDirResult(ctx, dir)
+}
+
+// reloadReq parameterizes one reload: what drove it, whether to bypass
+// the admission gate, which directory to analyze (empty means the
+// network's active directory), and — for pushes — the hook that
+// promotes the staged directory into the generation chain once the
+// candidate design has been admitted.
+type reloadReq struct {
+	force   bool
+	trigger string // manual | watch | push
+	// dir overrides the analyzed directory (a push's staging dir).
+	dir string
+	// promote, when non-nil, runs after admission and before the swap;
+	// it returns the promoted generation directory, which becomes the
+	// network's active directory. A promote failure fails the reload
+	// without swapping.
+	promote func() (string, error)
+	// pushFiles/pushBytes annotate the config.pushed event.
+	pushFiles int
+	pushBytes int64
 }
 
 // Reload re-analyzes the network's configuration and swaps the new
 // design in atomically. A failed attempt is retried ReloadRetries times
 // with exponential backoff; if every attempt fails, the network keeps
 // serving its previous last-good design, marks itself degraded (visible
-// on /readyz), and returns the last error. Reloads of one network
-// serialize; different networks reload independently, bounded only by
-// the fleet-wide worker pool. Also the initial load — cmd/rlensd
-// reloads every network once before serving.
+// on /readyz), and returns the last error. When Config.Admission is
+// set, a candidate that analyzed cleanly but trips a guardrail is
+// rejected instead (the typed *AdmissionError): the network is NOT
+// degraded, the rejection is quarantined, and the last-good generation
+// keeps serving. Reloads of one network serialize; different networks
+// reload independently, bounded only by the fleet-wide worker pool.
+// Also the initial load — cmd/rlensd reloads every network once before
+// serving.
 func (nw *Network) Reload(ctx context.Context) error {
+	return nw.reload(ctx, reloadReq{trigger: "manual"})
+}
+
+func (nw *Network) reload(ctx context.Context, req reloadReq) error {
 	s := nw.s
 	nw.reloadMu.Lock()
 	defer nw.reloadMu.Unlock()
+	dir := req.dir
+	if dir == "" {
+		dir = nw.activeDirPath()
+	}
 	lnet := telemetry.L("net", nw.name)
 	var lastErr error
 	backoff := s.cfg.ReloadBackoff
@@ -600,16 +696,18 @@ func (nw *Network) Reload(ctx context.Context) error {
 			backoff *= 2
 		}
 		start := time.Now()
-		res, err := nw.load(ctx)
+		res, err := nw.load(ctx, dir)
 		if err == nil {
-			if prev := nw.cur.Load(); prev != nil && res.SnapshotKey != "" &&
+			prev := nw.cur.Load()
+			if prev != nil && res.SnapshotKey != "" &&
 				prev.Res.SnapshotKey == res.SnapshotKey {
 				// The signature set is unchanged: equal content keys mean the
 				// new analysis is of byte-identical input, so the serving
 				// generation — with its warm reach views and query cache —
 				// already answers it. Keep it; swapping would only pay the
 				// reach precompute and cache purge to arrive at the same
-				// answers.
+				// answers. A pushed staging dir is simply discarded by the
+				// caller (promote never runs).
 				wasDegraded := nw.degraded.Swap(false)
 				nw.lastReloadNS.Store(int64(time.Since(start)))
 				s.reg.Counter(MetricReloads, lnet, telemetry.L("result", "unchanged")).Inc()
@@ -622,6 +720,29 @@ func (nw *Network) Reload(ctx context.Context) error {
 					"net", nw.name, "seq", prev.Seq,
 					"elapsed", res.Elapsed.Round(time.Millisecond))
 				return nil
+			}
+			// Admission gate: the candidate analyzed, but is it safe to
+			// serve? Compare against the serving design; a rejected
+			// candidate is quarantined and the reload fails typed —
+			// without degrading, because the last-good design is intact.
+			var diff *designdiff.Diff
+			if prev != nil {
+				diff = res.Design.DiffFrom(prev.Res.Design)
+			}
+			if pol := s.cfg.Admission; pol.enabled() && prev != nil && !req.force {
+				if reasons, loss, errDiags := pol.evaluate(diff, res); len(reasons) > 0 {
+					rec := newQuarantineRecord(req.trigger, reasons, loss, errDiags, prev.Seq)
+					nw.quarantine.Store(rec)
+					s.reg.Counter(MetricReloads, lnet, telemetry.L("result", "rejected")).Inc()
+					nw.emit(EvtDesignRejected, rejectedPayload{
+						Trigger: req.trigger, Reasons: reasons, Loss: loss,
+						ErrorDiags: errDiags, ServingSeq: prev.Seq,
+					})
+					s.log.Warn("design rejected by admission control; last-good keeps serving",
+						"net", nw.name, "trigger", req.trigger,
+						"reasons", strings.Join(reasons, "; "), "serving_seq", prev.Seq)
+					return &AdmissionError{Reasons: reasons, Record: rec}
+				}
 			}
 			st := &State{Res: res, Seq: nw.seq.Add(1), LoadedAt: time.Now()}
 			pstart := time.Now()
@@ -640,13 +761,27 @@ func (nw *Network) Reload(ctx context.Context) error {
 				st.precomputeReach(s.log)
 				precomputeDur = time.Since(pstart)
 			}
-			prev := nw.cur.Load()
+			if req.promote != nil {
+				// Pushed configs: move the admitted staging dir into the
+				// generation chain before the swap, so the swapped-in design
+				// and the active directory change together or not at all.
+				gen, perr := req.promote()
+				if perr != nil {
+					s.reg.Counter(MetricReloads, lnet, telemetry.L("result", "error")).Inc()
+					return nw.failReload(fmt.Errorf("promoting pushed configs: %w", perr))
+				}
+				nw.setActiveDir(gen)
+				nw.emit(EvtConfigPushed, configPushedPayload{
+					Generation: filepath.Base(gen), Files: req.pushFiles, Bytes: req.pushBytes,
+				})
+			}
 			nw.cur.Store(st)
 			// Every older generation's cached responses are unreachable now
 			// (keys embed the seq); purge them rather than waiting for LRU
 			// pressure to age them out.
 			nw.qc.purge()
 			s.reg.Gauge(MetricQueryCacheEntries, lnet).Set(0)
+			nw.quarantine.Store(nil)
 			wasDegraded := nw.degraded.Swap(false)
 			nw.lastReloadNS.Store(int64(time.Since(start)))
 			s.reg.Counter(MetricReloads, lnet, telemetry.L("result", "ok")).Inc()
@@ -655,13 +790,14 @@ func (nw *Network) Reload(ctx context.Context) error {
 			s.observeCrossNetHits()
 			// Swap + design-diff events go out after the swap, so a
 			// watcher reacting to them queries the generation announced.
-			nw.emitSwapEvents(prev, st)
+			nw.emitSwapEvents(prev, st, diff)
 			if wasDegraded {
 				nw.emit(EvtReadyRecovered, recoveredPayload{Seq: st.Seq})
 			}
 			s.log.Info("design loaded",
 				"net", nw.name,
 				"seq", st.Seq,
+				"trigger", req.trigger,
 				"network", res.Design.Network.Name,
 				"routers", len(res.Design.Network.Devices),
 				"instances", len(res.Design.Instances.Instances),
@@ -734,6 +870,12 @@ func (s *Server) Run(ctx context.Context, ln net.Listener, sigs <-chan os.Signal
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
+	wctx, wcancel := context.WithCancel(ctx)
+	defer func() {
+		wcancel()
+		s.watchWG.Wait()
+	}()
+	s.StartWatchers(wctx)
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ln) }()
 	s.log.Info("serving", "addr", ln.Addr().String(), "nets", len(s.netNames))

@@ -35,6 +35,14 @@
 //
 //	servesmoke: net=net25 endpoint=summary queries=100 ok=100 shed=0 p50_ns=41000 p99_ns=310000
 //
+// An ingestion phase closes the run: a directory-backed net25 server
+// with the admission gate armed takes admitted tar.gz pushes
+// (endpoint=ingest:push, the full stream-extract-analyze-admit-promote-
+// swap round trip), catastrophic pushes (endpoint=ingest:rejected, the
+// cost of a 422 guardrail verdict), and one generation rollback
+// (endpoint=ingest:rollback), cross-checking the routinglens_ingest_*
+// counters against what actually happened.
+//
 // tools/benchcmp parses these lines into the "serve" section of its JSON
 // report, so `make servesmoke` lands a BENCH_serve.json next to
 // BENCH_parallel.json with the same envelope (generated_by, goos, goarch,
@@ -48,6 +56,9 @@
 package main
 
 import (
+	"archive/tar"
+	"bytes"
+	"compress/gzip"
 	"context"
 	"flag"
 	"fmt"
@@ -62,6 +73,7 @@ import (
 	"time"
 
 	"routinglens/internal/core"
+	"routinglens/internal/ingest"
 	"routinglens/internal/netgen"
 	"routinglens/internal/parsecache"
 	"routinglens/internal/serve"
@@ -254,7 +266,170 @@ func main() {
 	if code := fleetPhase(corpus, quiet, *queries, *concurrency, *maxInflight); code != 0 {
 		exitCode = code
 	}
+	if code := ingestPhase(corpus, quiet); code != 0 {
+		exitCode = code
+	}
 	os.Exit(exitCode)
+}
+
+// tarGzOf packs a name->content config set into a tar.gz push body.
+func tarGzOf(configs map[string]string) []byte {
+	var buf bytes.Buffer
+	gz := gzip.NewWriter(&buf)
+	tw := tar.NewWriter(gz)
+	names := make([]string, 0, len(configs))
+	for name := range configs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		body := configs[name]
+		tw.WriteHeader(&tar.Header{Name: name, Typeflag: tar.TypeReg, Mode: 0o644, Size: int64(len(body))})
+		io.WriteString(tw, body)
+	}
+	tw.Close()
+	gz.Close()
+	return buf.Bytes()
+}
+
+// ingestPhase times the continuous-ingestion surface against a
+// directory-backed net25 server with the admission gate armed the way
+// cmd/rlensd arms it: endpoint=ingest:push is the full admitted-push
+// round trip (stream + extract + analyze + admit + promote + swap),
+// endpoint=ingest:rejected is the cost of refusing a catastrophic push
+// (analysis plus the guardrail verdict, no swap), and
+// endpoint=ingest:rollback is the generation-pointer flip. The phase
+// fails if an admitted push does not swap, a catastrophic one is not
+// rejected 422, or the ingest metrics do not count what happened.
+func ingestPhase(corpus *netgen.Corpus, quiet *slog.Logger) int {
+	g := corpus.ByName("net25")
+	if g == nil {
+		fmt.Fprintln(os.Stderr, "servesmoke: ingest network net25 missing from corpus")
+		return 1
+	}
+	root, err := os.MkdirTemp("", "servesmoke-ingest-")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "servesmoke: ingest phase: %v\n", err)
+		return 1
+	}
+	defer os.RemoveAll(root)
+	dir := filepath.Join(root, g.Name)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "servesmoke: ingest phase: %v\n", err)
+		return 1
+	}
+	for name, text := range g.Configs {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(text), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "servesmoke: ingest phase: %v\n", err)
+			return 1
+		}
+	}
+	reg := telemetry.NewRegistry()
+	s, err := serve.New(serve.Config{
+		Dir:       dir,
+		IngestDir: filepath.Join(root, "ingest"),
+		Admission: &serve.AdmissionPolicy{MaxRouterLossPct: 50, MinRouters: 1, MaxErrorDiags: -1},
+		Registry:  reg,
+		Logger:    quiet,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "servesmoke: ingest phase: %v\n", err)
+		return 1
+	}
+	if err := s.Reload(context.Background()); err != nil {
+		fmt.Fprintf(os.Stderr, "servesmoke: ingest phase: initial load: %v\n", err)
+		return 1
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := ts.Client()
+	code := 0
+
+	post := func(body []byte) (int, time.Duration) {
+		start := time.Now()
+		resp, err := client.Post(ts.URL+"/v1/nets/"+g.Name+"/configs", "application/gzip", bytes.NewReader(body))
+		d := time.Since(start)
+		if err != nil {
+			return 0, d
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, d
+	}
+
+	// Admitted pushes: the whole corpus re-pushed, swapping every time
+	// (no snapshot dir, so no unchanged short-circuit).
+	good := tarGzOf(g.Configs)
+	const pushes = 5
+	var plat []time.Duration
+	ok := 0
+	for i := 0; i < pushes; i++ {
+		status, d := post(good)
+		if status == http.StatusOK {
+			ok++
+			plat = append(plat, d)
+		}
+	}
+	if ok < pushes {
+		fmt.Fprintf(os.Stderr, "servesmoke: ingest phase: %d/%d admitted pushes ok\n", ok, pushes)
+		code = 1
+	}
+	fmt.Printf("servesmoke: endpoint=ingest:push queries=%d ok=%d shed=0 p50_ns=%d p99_ns=%d\n",
+		pushes, ok, percentile(plat, 50), percentile(plat, 99))
+
+	// Catastrophic pushes: a handful of survivors, rejected 422 by the
+	// loss guardrail while the last-good generation keeps serving.
+	few := make(map[string]string)
+	for _, name := range []string{firstRouter(g)} {
+		few[name] = g.Configs[name]
+	}
+	bad := tarGzOf(few)
+	var rlat []time.Duration
+	rejected := 0
+	for i := 0; i < pushes; i++ {
+		status, d := post(bad)
+		if status == http.StatusUnprocessableEntity {
+			rejected++
+			rlat = append(rlat, d)
+		}
+	}
+	if rejected < pushes {
+		fmt.Fprintf(os.Stderr, "servesmoke: ingest phase: %d/%d catastrophic pushes rejected\n", rejected, pushes)
+		code = 1
+	}
+	fmt.Printf("servesmoke: endpoint=ingest:rejected queries=%d ok=%d shed=0 p50_ns=%d p99_ns=%d\n",
+		pushes, rejected, percentile(rlat, 50), percentile(rlat, 99))
+
+	// Rollback: the generation-pointer flip (no reload inside).
+	start := time.Now()
+	resp, err := client.Post(ts.URL+"/v1/nets/"+g.Name+"/configs/rollback", "", nil)
+	rd := time.Since(start)
+	rok := 0
+	if err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			rok = 1
+		}
+	}
+	if rok == 0 {
+		fmt.Fprintln(os.Stderr, "servesmoke: ingest phase: rollback failed")
+		code = 1
+	}
+	fmt.Printf("servesmoke: endpoint=ingest:rollback queries=1 ok=%d shed=0 p50_ns=%d p99_ns=%d\n",
+		rok, int64(rd), int64(rd))
+
+	lnet := telemetry.L("net", g.Name)
+	okPushes := reg.Counter(ingest.MetricPushes, lnet, telemetry.L("result", "ok")).Value()
+	rejPushes := reg.Counter(ingest.MetricPushes, lnet, telemetry.L("result", "rejected")).Value()
+	rollbacks := reg.Counter(ingest.MetricRollbacks, lnet).Value()
+	fmt.Fprintf(os.Stderr, "servesmoke: ingest metrics: %d pushes ok, %d rejected, %d rollbacks\n",
+		okPushes, rejPushes, rollbacks)
+	if okPushes != pushes || rejPushes != pushes || rollbacks != 1 {
+		fmt.Fprintln(os.Stderr, "servesmoke: ingest phase: routinglens_ingest_* counters disagree with the run")
+		code = 1
+	}
+	return code
 }
 
 // snapshotPhase measures what analyzed-design snapshots buy: the corpus
