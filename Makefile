@@ -21,12 +21,17 @@
 # BENCH_serve.json, then runs a three-network fleet phase (mixed load
 # against /v1/nets/<net>/..., shared parse cache) recording net= rows,
 # a snapshot phase recording coldstart{,:snapshot} and reload:snapshot
-# rows, and an ingestion phase recording ingest:push / ingest:rejected /
-# ingest:rollback rows against an admission-gated server; snapbench
+# rows, an ingestion phase recording ingest:push / ingest:rejected /
+# ingest:rollback rows against an admission-gated server, and a
+# compression phase recording paired compress:* rows from a provider-tier
+# network served plain and quotiented; snapbench
 # reruns just that comparison (servesmoke writes the whole report either
-# way).
+# way); compressbench times cold reach and what-if on a 10k-router
+# provider network against the behavior-preserving quotient and records
+# the speedups (and the quotient build cost) in BENCH_compress.json,
+# failing if the ratio drops below 10x or cold reach gains below 5x.
 
-.PHONY: tier1 tier2 fuzzsmoke benchsmoke benchcmp cachebench servesmoke snapbench all
+.PHONY: tier1 tier2 fuzzsmoke benchsmoke benchcmp cachebench servesmoke snapbench compressbench all
 
 all: tier1 tier2 benchsmoke
 
@@ -43,6 +48,7 @@ tier2: fuzzsmoke
 	go test -race -count=3 -run '^TestSnapshotLoadDuringReloadStress$$' ./internal/serve
 	go test -race -count=3 -run '^TestIngestConvergenceStress$$' ./internal/serve
 	go test -race -run '^TestParseCacheConcurrent$$' ./internal/parsecache
+	go test -race -count=3 -run '^TestQuotientDeterministic$$' ./internal/compress
 
 # fuzzsmoke gives each parser/anonymizer fuzz target ~10s of random
 # input; a real campaign uses -fuzztime 30s+ per target. Saved crashers
@@ -79,3 +85,7 @@ servesmoke:
 # corpus. servesmoke always writes the complete report; this target
 # exists so the snapshot numbers can be refreshed by name.
 snapbench: servesmoke
+
+compressbench:
+	go run ./tools/compressbench \
+		| go run ./tools/benchcmp -out BENCH_compress.json -generated-by "make compressbench"

@@ -6,8 +6,11 @@
 // Usage:
 //
 //	netgen -out corpus/ [-seed 2004] [-net net5] [-anon] [-j N]
+//	netgen -out dir/ -provider 10000   # one provider-scale pod fabric
 //
-// -net restricts output to one network; -anon additionally anonymizes
+// -net restricts output to one network; -provider N replaces the corpus
+// with a single provider-scale network of ~N routers (the
+// internal/compress benchmark subject); -anon additionally anonymizes
 // every file (comments stripped, names hashed, addresses remapped
 // prefix-preservingly) and names files config1, config2, ... as in the
 // paper's methodology. -j bounds the worker pool writing the networks
@@ -43,6 +46,7 @@ func main() {
 	out := flag.String("out", "", "output directory (required)")
 	seed := flag.Int64("seed", 2004, "corpus generation seed")
 	only := flag.String("net", "", "write only this network (e.g. net5)")
+	provider := flag.Int("provider", 0, "instead of the corpus, write one provider-scale pod fabric with this many routers (rounded to whole pods)")
 	anon := flag.Bool("anon", false, "anonymize the emitted configurations")
 	key := flag.String("key", "netgen-default-key", "anonymization secret (with -anon)")
 	dialect := flag.String("dialect", "ios", "emit configurations as 'ios' or 'junos' (junos requires EIGRP-free networks)")
@@ -66,11 +70,18 @@ func main() {
 	ctx, stop := tele.Context()
 	defer stop()
 
-	corpus := netgen.GenerateCorpus(*seed)
 	var selected []*netgen.Generated
-	for _, g := range corpus.Networks {
-		if *only == "" || g.Name == *only {
-			selected = append(selected, g)
+	if *provider > 0 {
+		// The provider fabric is deliberately not part of the corpus (it
+		// would distort the paper-calibrated statistics); -provider emits
+		// it standalone for compression walkthroughs and benchmarks.
+		selected = []*netgen.Generated{netgen.GenerateProvider(*seed, *provider)}
+	} else {
+		corpus := netgen.GenerateCorpus(*seed)
+		for _, g := range corpus.Networks {
+			if *only == "" || g.Name == *only {
+				selected = append(selected, g)
+			}
 		}
 	}
 

@@ -78,19 +78,29 @@
 // reload swap invalidates wholesale. Reachability is precomputed at
 // load time, before the new generation is published.
 //
+// Compression: -compress quotients every loaded design at swap time
+// (internal/compress): behaviorally identical routers collapse into
+// equivalence classes, reach and what-if queries simulate the reduced
+// class graph, and answers expand back to concrete routers —
+// byte-identical to the full analysis, interactive at provider scale.
+// The quotient's shape is exported per network as
+// routinglens_compress_{routers,classes,ratio} and its cost as
+// routinglens_compress_build_seconds.
+//
 // Continuous ingestion: -watch-configs polls every directory-backed
 // network's config source on a jittered interval and reloads on change;
 // a source that keeps failing circuit-breaks (ingest.suspended event,
 // polls continue at a backoff capped by -watch-max-backoff) and resumes
 // on the next good signature. Pushed archives land in a per-network
-// generation chain under -ingest-dir; the previous generation is
-// retained for rollback. Every reload — manual, watched, or pushed —
-// passes an admission gate before the swap: a candidate design that
-// removes more than -admit-max-router-loss-pct of the serving routers,
-// falls below -admit-min-routers, or carries more than
-// -admit-max-error-diags error diagnostics is quarantined (422,
-// design.rejected event) while the last-good design keeps serving;
-// ?force=1 overrides per call.
+// generation chain under -ingest-dir; the -ingest-retain most recently
+// displaced generations are retained for rollback. Every reload —
+// manual, watched, or pushed — passes an admission gate before the
+// swap: a candidate design that removes more than
+// -admit-max-router-loss-pct of the serving routers, falls below
+// -admit-min-routers, carries more than -admit-max-error-diags error
+// diagnostics, or churns more than -admit-max-compartment-delta routing
+// compartments is quarantined (422, design.rejected event) while the
+// last-good design keeps serving; ?force=1 overrides per call.
 //
 // -faults arms the deterministic fault-injection layer (testing only):
 // a semicolon-separated rule list like
@@ -146,6 +156,9 @@ func main() {
 	admitMaxLoss := flag.Float64("admit-max-router-loss-pct", 50, "reject a reload that removes more than this percentage of the serving design's routers (0 disables)")
 	admitMinRouters := flag.Int("admit-min-routers", 1, "reject a reload whose design has fewer routers than this floor (0 disables)")
 	admitMaxErrDiags := flag.Int("admit-max-error-diags", -1, "reject a reload whose analysis produced more than this many error-severity diagnostics (negative disables; 0 tolerates none)")
+	admitMaxCompartmentDelta := flag.Int("admit-max-compartment-delta", -1, "reject a reload that adds or removes more than this many routing compartments (negative disables; 0 tolerates none)")
+	compress := flag.Bool("compress", false, "quotient every loaded design at swap time and answer reach/what-if queries on the reduced class graph (answers are byte-identical to the full analysis)")
+	ingestRetain := flag.Int("ingest-retain", 1, "displaced pushed-config generations each network retains on disk as rollback targets")
 	faults := flag.String("faults", "", "arm fault injection (testing): 'SITE:KIND[:opts][;...]', e.g. 'analyze.net3:error'")
 	tele := telemetry.NewCLI("rlensd")
 	tele.RegisterFlags(flag.CommandLine)
@@ -197,11 +210,14 @@ func main() {
 		ParseCache:  pc,
 		SnapshotDir: *snapshotDir,
 		Admission: &serve.AdmissionPolicy{
-			MaxRouterLossPct: *admitMaxLoss,
-			MinRouters:       *admitMinRouters,
-			MaxErrorDiags:    *admitMaxErrDiags,
+			MaxRouterLossPct:    *admitMaxLoss,
+			MinRouters:          *admitMinRouters,
+			MaxErrorDiags:       *admitMaxErrDiags,
+			MaxCompartmentDelta: *admitMaxCompartmentDelta,
 		},
+		Compress:        *compress,
 		IngestDir:       *ingestDir,
+		IngestRetain:    *ingestRetain,
 		WatchInterval:   *watchConfigs,
 		WatchMaxBackoff: *watchMaxBackoff,
 		ReloadWorkers:   *reloadWorkers,

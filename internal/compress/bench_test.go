@@ -1,0 +1,75 @@
+package compress_test
+
+import (
+	"context"
+	"testing"
+
+	"routinglens/internal/compress"
+	"routinglens/internal/core"
+	"routinglens/internal/netaddr"
+	"routinglens/internal/netgen"
+	"routinglens/internal/reach"
+	"routinglens/internal/simroute"
+)
+
+// BenchmarkQuotientBuild times Compute on a provider-tier network — the
+// once-per-generation cost rlensd -compress pays at swap time. Scale it
+// up against tools/compressbench numbers when chasing build regressions:
+//
+//	go test -run '^$' -bench QuotientBuild -benchtime 5x ./internal/compress
+func BenchmarkQuotientBuild(b *testing.B) {
+	g := netgen.GenerateProvider(2004, 10000)
+	design, _, err := core.NewAnalyzer().AnalyzeConfigs(context.Background(), g.Name, g.Configs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := compress.Compute(design.Instances)
+		if q.Identity {
+			b.Fatal("provider quotient unexpectedly identity")
+		}
+	}
+}
+
+// BenchmarkQuotientReach times the cold reachability analysis on an
+// already-built quotient: reduced-graph simulation plus the forced
+// device-walk views — the per-generation reach precompute rlensd
+// -compress pays after the quotient build.
+func BenchmarkQuotientReach(b *testing.B) {
+	g := netgen.GenerateProvider(2004, 10000)
+	design, _, err := core.NewAnalyzer().AnalyzeConfigs(context.Background(), g.Name, g.Configs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := design.Compress()
+	if q.Identity {
+		b.Fatal("provider quotient unexpectedly identity")
+	}
+	ext := []simroute.ExternalRoute{{Prefix: netaddr.PrefixFrom(0, 0)}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := q.Reach(design.AddressSpace, ext)
+		a.HasDefaultRoute()
+		a.AdmittedExternalRoutes()
+	}
+}
+
+// BenchmarkFullReach is the uncompressed baseline for
+// BenchmarkQuotientReach: the same cold analysis over the full instance
+// graph. The ratio between the two is the speedup tools/compressbench
+// records as the compress:reach family.
+func BenchmarkFullReach(b *testing.B) {
+	g := netgen.GenerateProvider(2004, 10000)
+	design, _, err := core.NewAnalyzer().AnalyzeConfigs(context.Background(), g.Name, g.Configs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ext := []simroute.ExternalRoute{{Prefix: netaddr.PrefixFrom(0, 0)}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := reach.Analyze(design.Instances, design.AddressSpace, ext)
+		a.HasDefaultRoute()
+		a.AdmittedExternalRoutes()
+	}
+}

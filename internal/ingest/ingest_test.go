@@ -247,6 +247,72 @@ func TestStorePromoteRollbackPrune(t *testing.T) {
 	}
 }
 
+// TestStoreRetainDepth: a retain-N chain keeps exactly the N most
+// recently displaced generations on disk, prunes what falls off the
+// tail, and never deletes the external generation-zero source.
+func TestStoreRetainDepth(t *testing.T) {
+	root := t.TempDir()
+	src := t.TempDir()
+	st, err := NewStoreRetain(root, src, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gens []string
+	for i := 0; i < 6; i++ {
+		staging, err := st.Begin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(staging, "r1.conf"), []byte{byte('a' + i)}, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		gen, err := st.Promote(staging)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gens = append(gens, gen)
+	}
+	// Displaced so far: src, gen1..gen5. The chain retains the newest
+	// three, most recent first.
+	want := []string{gens[4], gens[3], gens[2]}
+	got := st.Retained()
+	if len(got) != len(want) {
+		t.Fatalf("Retained() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Retained()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	// On disk: the current generation plus the retained three; gen1 and
+	// gen2 swept, the external source untouched.
+	disk := st.Generations()
+	if len(disk) != 4 {
+		t.Fatalf("on-disk generations = %v, want 4 entries", disk)
+	}
+	for _, gen := range gens[:2] {
+		if _, err := os.Stat(gen); !errors.Is(err, fs.ErrNotExist) {
+			t.Errorf("%s should be pruned, stat err = %v", filepath.Base(gen), err)
+		}
+	}
+	if _, err := os.Stat(src); err != nil {
+		t.Fatalf("source dir deleted by retention sweep: %v", err)
+	}
+	// Rollback walks one step back and roll-forward still works; the
+	// deeper retained generations stay put.
+	back, err := st.Rollback()
+	if err != nil || back != gens[4] {
+		t.Fatalf("Rollback = %q, %v; want %q", back, err, gens[4])
+	}
+	if got := st.Retained(); got[1] != gens[3] || got[2] != gens[2] {
+		t.Errorf("rollback disturbed the deeper chain: %v", got)
+	}
+	fwd, err := st.Rollback()
+	if err != nil || fwd != gens[5] {
+		t.Fatalf("second Rollback (roll forward) = %q, %v; want %q", fwd, err, gens[5])
+	}
+}
+
 func TestStoreRollbackWithoutPrevious(t *testing.T) {
 	st, err := NewStore(t.TempDir(), "src")
 	if err != nil {

@@ -24,20 +24,23 @@ var ErrNoRollback = errors.New("ingest: no previous generation to roll back to")
 // Current() is the directory reloads should analyze. It starts at the
 // network's original source directory (generation zero, external, never
 // written to or deleted by the store) and advances to gen-N on each
-// Promote. Exactly one previous generation is retained for one-call
-// Rollback; older promoted generations are pruned. Promotion is a
-// single os.Rename, so a generation is either absent or complete —
-// never half-written. The chain is in-process state: a restarted daemon
-// begins again from the original source directory, which is the
-// conservative choice (pushes are an overlay, the source is the truth
-// an operator can always rebuild from).
+// Promote. The most recent `retain` displaced generations are kept for
+// Rollback; older promoted generations are pruned as they fall off the
+// chain. Promotion is a single os.Rename, so a generation is either
+// absent or complete — never half-written. The chain is in-process
+// state: a restarted daemon begins again from the original source
+// directory, which is the conservative choice (pushes are an overlay,
+// the source is the truth an operator can always rebuild from).
 type Store struct {
-	root string
+	root   string
+	retain int
 
-	mu   sync.Mutex
-	seq  int
-	cur  string
-	prev string
+	mu  sync.Mutex
+	seq int
+	cur string
+	// prevs is the displaced-generation chain, most recent first, at
+	// most retain entries.
+	prevs []string
 }
 
 // NewStore opens (creating if needed) a generation chain under root,
@@ -46,10 +49,21 @@ type Store struct {
 // process are swept: they are unreachable state, and generation
 // numbering restarts above whatever survived the sweep.
 func NewStore(root, initial string) (*Store, error) {
+	return NewStoreRetain(root, initial, 1)
+}
+
+// NewStoreRetain is NewStore with an explicit retention depth: the
+// store keeps the `retain` most recently displaced generations on disk
+// as rollback targets instead of just one. Depths below 1 are raised to
+// 1 — a chain that retains nothing cannot honor Rollback.
+func NewStoreRetain(root, initial string, retain int) (*Store, error) {
+	if retain < 1 {
+		retain = 1
+	}
 	if err := os.MkdirAll(root, 0o755); err != nil {
 		return nil, err
 	}
-	s := &Store{root: root, cur: initial}
+	s := &Store{root: root, retain: retain, cur: initial}
 	entries, err := os.ReadDir(root)
 	if err != nil {
 		return nil, err
@@ -94,9 +108,9 @@ func (s *Store) Discard(staging string) {
 
 // Promote atomically renames a validated staging directory into the
 // chain as the next generation and makes it Current. The displaced
-// current directory becomes the retained rollback target; the
-// generation it displaced in turn is pruned (unless it is the external
-// generation-zero source, which the store never deletes).
+// current directory joins the head of the retained rollback chain;
+// generations falling off the chain's tail are pruned (unless one is
+// the external generation-zero source, which the store never deletes).
 func (s *Store) Promote(staging string) (string, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -106,24 +120,29 @@ func (s *Store) Promote(staging string) (string, error) {
 		s.seq--
 		return "", err
 	}
-	s.prune(s.prev)
-	s.prev = s.cur
+	s.prevs = append([]string{s.cur}, s.prevs...)
+	for len(s.prevs) > s.retain {
+		last := s.prevs[len(s.prevs)-1]
+		s.prevs = s.prevs[:len(s.prevs)-1]
+		s.prune(last)
+	}
 	s.cur = gen
 	return gen, nil
 }
 
-// Rollback swaps Current and the retained previous generation: the
-// prior configuration set is restored as Current (for the next reload
-// to analyze) and the rolled-back one is retained, so a second Rollback
-// rolls forward again. It never touches the filesystem — both
-// directories stay intact.
+// Rollback swaps Current and the most recently displaced generation:
+// the prior configuration set is restored as Current (for the next
+// reload to analyze) and the rolled-back one takes its place at the
+// head of the chain, so a second Rollback rolls forward again. Deeper
+// retained generations are untouched. It never touches the filesystem —
+// every directory stays intact.
 func (s *Store) Rollback() (string, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.prev == "" {
+	if len(s.prevs) == 0 {
 		return "", ErrNoRollback
 	}
-	s.cur, s.prev = s.prev, s.cur
+	s.cur, s.prevs[0] = s.prevs[0], s.cur
 	return s.cur, nil
 }
 
@@ -134,11 +153,23 @@ func (s *Store) Current() string {
 	return s.cur
 }
 
-// Previous returns the retained rollback target ("" when none).
+// Previous returns the newest retained rollback target ("" when none).
 func (s *Store) Previous() string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.prev
+	if len(s.prevs) == 0 {
+		return ""
+	}
+	return s.prevs[0]
+}
+
+// Retained returns the displaced-generation chain, most recent first —
+// the rollback targets still on disk (or the external generation-zero
+// source, which may appear once).
+func (s *Store) Retained() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.prevs...)
 }
 
 // Generations lists the promoted generation directories still on disk,

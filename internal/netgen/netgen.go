@@ -44,6 +44,7 @@ const (
 	KindCompartments // net5-like multi-AS designs at smaller scale
 	KindRIPEdge      // enterprises using RIP/OSPF as the edge protocol
 	KindHubSpoke     // hub-and-spoke with staging spokes
+	KindProvider     // provider-scale stamped pod fabric (GenerateProvider)
 )
 
 // String names the kind.
@@ -65,6 +66,8 @@ func (k Kind) String() string {
 		return "rip-edge"
 	case KindHubSpoke:
 		return "hub-spoke"
+	case KindProvider:
+		return "provider"
 	}
 	return "?"
 }

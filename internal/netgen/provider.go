@@ -1,0 +1,176 @@
+package netgen
+
+import (
+	"fmt"
+
+	"routinglens/internal/netaddr"
+)
+
+// GenerateProvider emits the provider-scale tier: a pod fabric of the
+// size the paper could only gesture at, built by stamping one pod design
+// P times. It is deliberately regular — the regularity the paper reports
+// ("a handful of design patterns repeated") is exactly what
+// internal/compress quotients away, so this network is the compression
+// benchmark's subject. It is NOT part of GenerateCorpus: the corpus
+// stays pinned at the paper's 31 networks.
+//
+// Topology, stamped per pod p:
+//
+//	borders (2, singletons)  — shared external DMZ, EBGP to AS 65001,
+//	    static default, BGP<->OSPF mutual redistribution with tags
+//	cores (4, two twin pairs) — core LAN; pair A uplinks even pods,
+//	    pair B odd pods
+//	aggs (2 twins per pod)    — OSPF uplink + pod EIGRP, mutual
+//	    redistribution gated by tag (in) and pod-ACL (out)
+//	access (4 blocks x 16 twins per pod) — pod EIGRP on a shared block
+//	    LAN plus a stub server LAN
+//
+// Every pod stamps 66 routers into 5 equivalence classes, so the ideal
+// quotient collapses 6+66P routers to 4+5P classes (~13x).
+//
+// Route visibility is bounded the way the paper's Section 6 networks
+// bound it: only tag-900 routes (default + externals + the aggregate)
+// enter a pod, and only the pod's own /22 ranges (tag 700) leave it.
+//
+// The seed parameter exists for API symmetry with GenerateCorpus; the
+// layout is fully determined by the router count, so any seed yields
+// byte-identical configurations.
+func GenerateProvider(seed int64, routers int) *Generated {
+	_ = seed
+	pods := (routers - 6) / podRouters
+	if pods < 1 {
+		pods = 1
+	}
+	g := &Generated{
+		Name:    fmt.Sprintf("provider%d", 6+pods*podRouters),
+		Kind:    KindProvider,
+		Routers: 6 + pods*podRouters,
+		// Both borders hold an EBGP session to the shared upstream peer.
+		ExternalPeerSessions: 2,
+	}
+
+	const (
+		coreLAN  = 0x0A000000 // 10.0.0.0/24
+		uplinkAt = 0x0A400000 // 10.64.0.0 + p<<8
+		blockAt  = 0x0A800000 // 10.128.0.0 + (4p+b)<<8
+		serverAt = 0x0AC00000 // 10.192.0.0 + (4p+b)<<8
+		dmzLAN   = 0xAC1F0000 // 172.31.0.0/24
+		peerAS   = 65001
+		selfAS   = 65000
+	)
+	addr := func(base uint32, host uint32) netaddr.Addr { return netaddr.Addr(base + host) }
+
+	var rs []*router
+
+	// Borders. The two differ only in their IBGP neighbor statement (each
+	// points at the other), which correctly keeps them singleton classes:
+	// their core-LAN addresses are referenced network-wide.
+	borderAddrs := []netaddr.Addr{addr(coreLAN, 1), addr(coreLAN, 2)}
+	for i := 0; i < 2; i++ {
+		r := newRouter(fmt.Sprintf("bd%d", i+1))
+		r.addIface("GigabitEthernet", borderAddrs[i], maskLAN)
+		r.addIface("FastEthernet", addr(dmzLAN, uint32(1+i)), maskLAN)
+		peer := addr(dmzLAN, 254)
+		r.tail.line("router ospf 100")
+		r.tail.line(" network 10.0.0.0 0.127.255.255 area 0")
+		r.tail.line(" redistribute static route-map RL-DEF")
+		r.tail.f(" redistribute bgp %d route-map RL-EXT\n", selfAS)
+		r.tail.f("router bgp %d\n", selfAS)
+		r.tail.line(" network 10.0.0.0 mask 255.0.0.0")
+		r.tail.line(" redistribute ospf 100 route-map RL-ANN")
+		r.tail.f(" neighbor %s remote-as %d\n", peer, peerAS)
+		r.tail.f(" neighbor %s remote-as %d\n", borderAddrs[1-i], selfAS)
+		r.tail.f("ip route 0.0.0.0 0.0.0.0 %s\n", peer)
+		r.tail.line("access-list 99 permit 0.0.0.0")
+		r.tail.line("route-map RL-DEF permit 10")
+		r.tail.line(" match ip address 99")
+		r.tail.line(" set tag 900")
+		// Externals get tag 900 too, but pod routes returning via BGP
+		// (tag 700) must not re-enter OSPF as tag-900 routes.
+		r.tail.line("route-map RL-EXT deny 5")
+		r.tail.line(" match tag 700")
+		r.tail.line("route-map RL-EXT permit 10")
+		r.tail.line(" set tag 900")
+		r.tail.line("route-map RL-ANN permit 10")
+		r.tail.line(" match tag 700")
+		rs = append(rs, r)
+	}
+
+	// Cores: two twin pairs splitting uplink duty by pod parity.
+	cores := make([]*router, 4)
+	for i := range cores {
+		cores[i] = newRouter(fmt.Sprintf("co%d", i+1))
+		cores[i].addIface("GigabitEthernet", addr(coreLAN, uint32(11+i)), maskLAN)
+	}
+	for p := 0; p < pods; p++ {
+		pair := cores[0:2]
+		if p%2 == 1 {
+			pair = cores[2:4]
+		}
+		up := uplinkAt + uint32(p)<<8
+		pair[0].addIface("GigabitEthernet", addr(up, 1), maskLAN)
+		pair[1].addIface("GigabitEthernet", addr(up, 2), maskLAN)
+	}
+	for _, r := range cores {
+		r.tail.line("router ospf 100")
+		r.tail.line(" network 10.0.0.0 0.127.255.255 area 0")
+		rs = append(rs, r)
+	}
+
+	// Pods.
+	for p := 0; p < pods; p++ {
+		up := uplinkAt + uint32(p)<<8
+		eigrpID := 1000 + p
+		aggs := make([]*router, 2)
+		for i := range aggs {
+			r := newRouter(fmt.Sprintf("agg%04d-%d", p, i+1))
+			r.addIface("GigabitEthernet", addr(up, uint32(11+i)), maskLAN)
+			for b := 0; b < podBlocks; b++ {
+				blk := blockAt + uint32(4*p+b)<<8
+				r.addIface("GigabitEthernet", addr(blk, uint32(1+i)), maskLAN)
+			}
+			r.tail.line("router ospf 100")
+			r.tail.line(" network 10.0.0.0 0.127.255.255 area 0")
+			r.tail.f(" redistribute eigrp %d route-map P%d-OUT\n", eigrpID, p)
+			r.tail.f("router eigrp %d\n", eigrpID)
+			r.tail.line(" network 10.128.0.0 0.63.255.255")
+			r.tail.f(" redistribute ospf 100 route-map P%d-IN\n", p)
+			// The pod's block and server /24s each sit in one /22.
+			r.tail.f("access-list 10 permit %s 0.0.3.255\n", addr(blockAt+uint32(4*p)<<8, 0))
+			r.tail.f("access-list 10 permit %s 0.0.3.255\n", addr(serverAt+uint32(4*p)<<8, 0))
+			r.tail.f("route-map P%d-OUT permit 10\n", p)
+			r.tail.line(" match ip address 10")
+			r.tail.line(" set tag 700")
+			r.tail.f("route-map P%d-IN permit 10\n", p)
+			r.tail.line(" match tag 900")
+			aggs[i] = r
+			rs = append(rs, r)
+		}
+		for b := 0; b < podBlocks; b++ {
+			blk := blockAt + uint32(4*p+b)<<8
+			srv := serverAt + uint32(4*p+b)<<8
+			for k := 0; k < podAccess; k++ {
+				r := newRouter(fmt.Sprintf("ac%04d-%d-%02d", p, b, k))
+				r.addIface("FastEthernet", addr(blk, uint32(11+k)), maskLAN)
+				r.addIface("FastEthernet", addr(srv, uint32(11+k)), maskLAN)
+				r.tail.f("router eigrp %d\n", eigrpID)
+				r.tail.line(" network 10.128.0.0 0.127.255.255")
+				rs = append(rs, r)
+			}
+		}
+	}
+
+	g.Configs = make(map[string]string, len(rs))
+	for _, r := range rs {
+		g.Configs[r.name] = r.config()
+	}
+	return g
+}
+
+// Pod shape constants: 2 aggs + 4 blocks x 16 access routers = 66
+// routers per pod, collapsing to 5 classes.
+const (
+	podBlocks  = 4
+	podAccess  = 16
+	podRouters = 2 + podBlocks*podAccess
+)

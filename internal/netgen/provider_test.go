@@ -1,0 +1,68 @@
+package netgen
+
+import (
+	"strings"
+	"testing"
+
+	"routinglens/internal/ciscoparse"
+)
+
+func TestProviderConfigsParseCleanly(t *testing.T) {
+	g := GenerateProvider(1, 400)
+	if g.Kind != KindProvider {
+		t.Fatalf("kind = %v, want provider", g.Kind)
+	}
+	for h, cfg := range g.Configs {
+		res, err := ciscoparse.Parse(h, strings.NewReader(cfg))
+		if err != nil {
+			t.Fatalf("%s/%s: %v", g.Name, h, err)
+		}
+		if len(res.Diagnostics) != 0 {
+			t.Errorf("%s/%s: unexpected diagnostics %v", g.Name, h,
+				res.Diagnostics[:min(3, len(res.Diagnostics))])
+		}
+	}
+}
+
+func TestProviderGroundTruth(t *testing.T) {
+	g := GenerateProvider(7, 1000)
+	n, err := g.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Devices) != g.Routers {
+		t.Errorf("parsed %d devices, ground truth %d", len(n.Devices), g.Routers)
+	}
+	// Pod arithmetic: 6 shared routers plus whole 66-router pods.
+	if (g.Routers-6)%podRouters != 0 {
+		t.Errorf("router count %d is not 6 + k*%d", g.Routers, podRouters)
+	}
+	if g.Routers > 1000 || g.Routers < 1000-podRouters {
+		t.Errorf("requested 1000 routers, got %d", g.Routers)
+	}
+}
+
+// TestProviderDeterministic: the layout is a pure function of the router
+// count — any seed, same bytes.
+func TestProviderDeterministic(t *testing.T) {
+	a, b := GenerateProvider(1, 268), GenerateProvider(99, 268)
+	if a.Name != b.Name || len(a.Configs) != len(b.Configs) {
+		t.Fatalf("shape differs: %s/%d vs %s/%d", a.Name, len(a.Configs), b.Name, len(b.Configs))
+	}
+	for h, cfg := range a.Configs {
+		if b.Configs[h] != cfg {
+			t.Fatalf("config %s differs between seeds", h)
+		}
+	}
+}
+
+// TestProviderNotInCorpus pins the corpus contract: GenerateCorpus stays
+// the paper's 31 networks; the provider tier is standalone.
+func TestProviderNotInCorpus(t *testing.T) {
+	c := GenerateCorpus(2004)
+	for _, g := range c.Networks {
+		if g.Kind == KindProvider {
+			t.Fatalf("corpus must not contain provider-tier networks, found %s", g.Name)
+		}
+	}
+}

@@ -45,6 +45,17 @@ func Analyze(m *instance.Model, space *addrspace.Structure, external []simroute.
 	return &Analysis{Model: m, Sim: sim, Space: space}
 }
 
+// AnalyzeReduced prepares reachability queries for the full model from a
+// simulation that ran over a compressed (quotient) graph. The sim must
+// already have run and carry query aliases mapping collapsed devices and
+// processes onto their class representatives (internal/compress sets
+// both up); the device walks below then iterate the full device list
+// while every RIB lookup lands on a representative's table. Policy and
+// instance views read the full model directly.
+func AnalyzeReduced(full *instance.Model, sim *simroute.Sim, space *addrspace.Structure) *Analysis {
+	return &Analysis{Model: full, Sim: sim, Space: space}
+}
+
 // PolicyRow is one row of the paper's Table 2: a policy (ACL or route-map)
 // applied to inter-instance route exchange, and the address blocks its
 // permit clauses mention.
@@ -175,6 +186,12 @@ func (a *Analysis) HasDefaultRoute() bool {
 	a.defOnce.Do(func() {
 		def := netaddr.PrefixFrom(0, 0)
 		for _, d := range a.Model.Graph.Network.Devices {
+			// Under a quotient an aliased device answers from its
+			// representative's table; for an any-device view the
+			// representative's visit already decided it.
+			if a.Sim.Canonical(d) != d {
+				continue
+			}
 			if a.Sim.HasRoute(d, def) {
 				a.def = true
 				return
@@ -192,6 +209,11 @@ func (a *Analysis) AdmittedExternalRoutes() []netaddr.Prefix {
 		seen := make(map[netaddr.Prefix]bool)
 		var out []netaddr.Prefix
 		for _, d := range a.Model.Graph.Network.Devices {
+			// Aliased devices hold their representative's table; the union
+			// over representatives is the union over everyone.
+			if a.Sim.Canonical(d) != d {
+				continue
+			}
 			for _, p := range a.Sim.ExternalRoutesAt(d) {
 				if !seen[p] {
 					seen[p] = true
@@ -210,7 +232,10 @@ func (a *Analysis) AdmittedExternalRoutes() []netaddr.Prefix {
 // AnnouncedRoutes returns the prefixes announced to each external AS.
 func (a *Analysis) AnnouncedRoutes() map[uint32][]netaddr.Prefix {
 	out := make(map[uint32][]netaddr.Prefix)
-	for _, ext := range a.Model.Graph.ExternalNodes() {
+	// Iterate the sim's own graph: under a quotient the sim holds the
+	// reduced graph's external nodes (the peer set is verified identical
+	// to the full model's); in the ordinary case the graphs coincide.
+	for _, ext := range a.Sim.Graph.ExternalNodes() {
 		ann := a.Sim.AnnouncedToExternal(ext)
 		out[ext.ExtAS] = append(out[ext.ExtAS], ann...)
 	}

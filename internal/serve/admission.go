@@ -30,11 +30,18 @@ type AdmissionPolicy struct {
 	// than this many error-severity diagnostics — whole constructs the
 	// pipeline dropped (negative disables; 0 tolerates none).
 	MaxErrorDiags int
+	// MaxCompartmentDelta rejects a candidate that adds or removes more
+	// than this many routing compartments (protocol instances) relative
+	// to the serving design — the paper's Section 6 failure mode, where
+	// a bad push dissolves or spawns whole compartments at once
+	// (negative disables; 0 tolerates none).
+	MaxCompartmentDelta int
 }
 
 // enabled reports whether any guardrail is armed.
 func (p *AdmissionPolicy) enabled() bool {
-	return p != nil && (p.MaxRouterLossPct > 0 || p.MinRouters > 0 || p.MaxErrorDiags >= 0)
+	return p != nil && (p.MaxRouterLossPct > 0 || p.MinRouters > 0 ||
+		p.MaxErrorDiags >= 0 || p.MaxCompartmentDelta >= 0)
 }
 
 // evaluate applies the guardrails to a candidate design given its diff
@@ -58,6 +65,13 @@ func (p *AdmissionPolicy) evaluate(diff *designdiff.Diff, cand *core.Result) (re
 	if p.MaxErrorDiags >= 0 && errDiags > p.MaxErrorDiags {
 		reasons = append(reasons, fmt.Sprintf(
 			"%d error-severity diagnostics exceed the %d allowed", errDiags, p.MaxErrorDiags))
+	}
+	if p.MaxCompartmentDelta >= 0 {
+		if delta := len(diff.InstancesAdded) + len(diff.InstancesRemoved); delta > p.MaxCompartmentDelta {
+			reasons = append(reasons, fmt.Sprintf(
+				"%d routing compartments added or removed exceed the %d allowed",
+				delta, p.MaxCompartmentDelta))
+		}
 	}
 	return reasons, loss, errDiags
 }

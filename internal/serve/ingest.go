@@ -56,7 +56,7 @@ func (nw *Network) ingestStore() (*ingest.Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	st, err := ingest.NewStore(filepath.Join(root, nw.name), nw.dir)
+	st, err := ingest.NewStoreRetain(filepath.Join(root, nw.name), nw.dir, nw.s.cfg.IngestRetain)
 	if err != nil {
 		return nil, err
 	}

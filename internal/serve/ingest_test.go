@@ -127,7 +127,7 @@ func newIngestServer(t *testing.T, mutate func(*Config)) (*Server, string) {
 		c.Dir = dir
 		c.DefaultNet = "push"
 		c.IngestDir = t.TempDir()
-		c.Admission = &AdmissionPolicy{MaxRouterLossPct: 50, MinRouters: 1, MaxErrorDiags: -1}
+		c.Admission = &AdmissionPolicy{MaxRouterLossPct: 50, MinRouters: 1, MaxErrorDiags: -1, MaxCompartmentDelta: -1}
 		if mutate != nil {
 			mutate(c)
 		}

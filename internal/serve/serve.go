@@ -42,6 +42,7 @@ import (
 	"syscall"
 	"time"
 
+	"routinglens/internal/compress"
 	"routinglens/internal/core"
 	"routinglens/internal/designdiff"
 	"routinglens/internal/events"
@@ -146,6 +147,15 @@ type Config struct {
 	// is unchanged keep the warm generation, and every full analysis
 	// refreshes it. Ignored when Analyzer is set.
 	SnapshotDir string
+	// Compress, when true, builds the behavior-preserving quotient of
+	// every loaded design at swap time (internal/compress): reach and
+	// what-if queries run on the reduced class graph and expand back to
+	// concrete routers, byte-identically to the full analysis. On
+	// designs with no behavioral symmetry the quotient is the identity
+	// and queries take the ordinary path. Exposed per net as
+	// routinglens_compress_{routers,classes,ratio} and
+	// routinglens_compress_build_seconds.
+	Compress bool
 	// ReloadWorkers bounds concurrently running analysis attempts across
 	// the fleet (default 2): SIGHUP or startup against a large corpus
 	// re-analyzes a few networks at a time.
@@ -170,6 +180,11 @@ type Config struct {
 	// subdirectory per network). Empty means a process-lifetime temp
 	// dir created on the first push.
 	IngestDir string
+	// IngestRetain is how many displaced pushed-config generations each
+	// network's chain keeps on disk as rollback targets; generations
+	// falling off the chain are pruned. 0 means the default (1, the
+	// previous-only behavior).
+	IngestRetain int
 	// WatchInterval, when positive, runs a config-source watcher per
 	// directory-backed network: the directory's stat signature is
 	// polled on this jittered interval and a change triggers a reload
@@ -227,6 +242,51 @@ type State struct {
 	reached    *reach.Analysis
 	whatifOnce sync.Once
 	whatifed   *whatif.Analysis
+
+	// compressOn marks generations loaded under Config.Compress: their
+	// reach and what-if queries run on the design's quotient. Set before
+	// the generation is published and never written after.
+	compressOn bool
+	quotOnce   sync.Once
+	quot       *compress.Quotient
+}
+
+// Quotient returns the generation's design quotient, building it on
+// first use, or nil when the server runs uncompressed. On the serving
+// path Reload builds it at swap time, so queries find it resident.
+func (st *State) Quotient() *compress.Quotient {
+	if !st.compressOn {
+		return nil
+	}
+	st.quotOnce.Do(func() { st.quot = compress.Compute(st.Res.Design.Instances) })
+	return st.quot
+}
+
+// buildQuotient eagerly builds the generation's quotient and exports its
+// shape as per-net gauges. Like precomputeReach, the computation runs
+// outside the sync.Once so a panicking build degrades to the full
+// (uncompressed) query path instead of poisoning the generation.
+func (st *State) buildQuotient(reg *telemetry.Registry, lnet telemetry.Label, log *slog.Logger) {
+	defer func() {
+		if r := recover(); r != nil {
+			log.Warn("quotient build panicked; queries fall back to the full design",
+				"seq", st.Seq, "panic", fmt.Sprint(r))
+			st.quotOnce.Do(func() { st.quot = nil })
+		}
+	}()
+	start := time.Now()
+	q := compress.Compute(st.Res.Design.Instances)
+	dur := time.Since(start)
+	st.quotOnce.Do(func() { st.quot = q })
+	stats := q.Stats()
+	reg.Gauge(compress.MetricRouters, lnet).Set(float64(stats.Routers))
+	reg.Gauge(compress.MetricClasses, lnet).Set(float64(stats.Classes))
+	reg.Gauge(compress.MetricRatio, lnet).Set(stats.Ratio)
+	reg.Gauge(compress.MetricBuildSeconds, lnet).Set(dur.Seconds())
+	log.Info("design quotiented",
+		"seq", st.Seq, "routers", stats.Routers, "classes", stats.Classes,
+		"ratio", fmt.Sprintf("%.2f", stats.Ratio), "identity", stats.Identity,
+		"elapsed", dur.Round(time.Millisecond))
 }
 
 // Reach returns the state's reachability analysis, computing it on first
@@ -243,7 +303,11 @@ func (st *State) Reach() *reach.Analysis {
 // Reach path and the eager precompute.
 func (st *State) computeReach() *reach.Analysis {
 	def := netaddr.PrefixFrom(0, 0)
-	return st.Res.Design.Reachability([]simroute.ExternalRoute{{Prefix: def}})
+	ext := []simroute.ExternalRoute{{Prefix: def}}
+	if q := st.Quotient(); q != nil {
+		return q.Reach(st.Res.Design.AddressSpace, ext)
+	}
+	return st.Res.Design.Reachability(ext)
 }
 
 // precomputeReach eagerly builds the admitted-external reachability view
@@ -274,7 +338,13 @@ func (st *State) precomputeReach(log *slog.Logger) {
 
 // Whatif returns the state's survivability analysis, computed on first use.
 func (st *State) Whatif() *whatif.Analysis {
-	st.whatifOnce.Do(func() { st.whatifed = st.Res.Design.Survivability() })
+	st.whatifOnce.Do(func() {
+		if q := st.Quotient(); q != nil {
+			st.whatifed = q.Whatif()
+			return
+		}
+		st.whatifed = st.Res.Design.Survivability()
+	})
 	return st.whatifed
 }
 
@@ -572,6 +642,10 @@ func registerHelp(reg *telemetry.Registry) {
 	reg.SetHelp(ingest.MetricWatchSuspended, "Config-source watcher circuit breaker: 1 while suspended, by net.")
 	reg.SetHelp(ingest.MetricPushes, "Pushed configuration archives, by net and result.")
 	reg.SetHelp(ingest.MetricRollbacks, "Generation rollbacks applied, by net.")
+	reg.SetHelp(compress.MetricRouters, "Routers in the served design the quotient was built from, by net.")
+	reg.SetHelp(compress.MetricClasses, "Behavioral equivalence classes in the served design's quotient, by net.")
+	reg.SetHelp(compress.MetricRatio, "Router-to-class compression ratio of the served quotient, by net.")
+	reg.SetHelp(compress.MetricBuildSeconds, "Wall time spent building the most recent quotient, by net.")
 }
 
 // Handler returns the daemon's HTTP surface.
@@ -744,20 +818,31 @@ func (nw *Network) reload(ctx context.Context, req reloadReq) error {
 					return &AdmissionError{Reasons: reasons, Record: rec}
 				}
 			}
-			st := &State{Res: res, Seq: nw.seq.Add(1), LoadedAt: time.Now()}
+			st := &State{Res: res, Seq: nw.seq.Add(1), LoadedAt: time.Now(),
+				compressOn: s.cfg.Compress}
 			pstart := time.Now()
 			var precomputeDur time.Duration
 			if res.FromSnapshot {
 				// Snapshot cold start: publish in milliseconds and warm the
-				// reach views in the background. A query racing the warm-up
-				// falls back to the generation's lazy compute, which is
-				// slower but identical.
-				go st.precomputeReach(s.log)
+				// quotient and reach views in the background. A query racing
+				// the warm-up falls back to the generation's lazy compute,
+				// which is slower but identical.
+				go func() {
+					if st.compressOn {
+						st.buildQuotient(s.reg, lnet, s.log)
+					}
+					st.precomputeReach(s.log)
+				}()
 			} else {
-				// Precompute the expensive per-generation analysis BEFORE the
+				// Precompute the expensive per-generation analyses BEFORE the
 				// pointer swap: queries keep hitting the previous generation's
 				// resident view until the new one is fully warm, so a reload
-				// never exposes a cold (sheddable) reach window.
+				// never exposes a cold (sheddable) reach window. The quotient
+				// goes first — computeReach simulates on it when compression
+				// is on.
+				if st.compressOn {
+					st.buildQuotient(s.reg, lnet, s.log)
+				}
 				st.precomputeReach(s.log)
 				precomputeDur = time.Since(pstart)
 			}

@@ -20,28 +20,57 @@ import (
 	"routinglens/internal/procgraph"
 )
 
+// LabelSet is a small set of string labels stored as a sorted slice.
+// Routes carry at most a handful of tags and origins, and the fixpoint
+// loop merges label sets once per (edge, route change) — millions of
+// times at provider scale — where a short slice beats a map on both
+// iteration and allocation. The zero value is the empty set.
+type LabelSet []string
+
+// Has reports membership.
+func (s LabelSet) Has(v string) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// add inserts v in sorted position, reporting whether it was new.
+func (s *LabelSet) add(v string) bool {
+	i := sort.SearchStrings(*s, v)
+	if i < len(*s) && (*s)[i] == v {
+		return false
+	}
+	*s = append(*s, "")
+	copy((*s)[i+1:], (*s)[i:])
+	(*s)[i] = v
+	return true
+}
+
 // Route is one routing-table entry in a RIB. Tags and origins accumulate
 // monotonically as the same prefix is learned over multiple pathways.
 type Route struct {
 	Prefix netaddr.Prefix
 	// Tags carries route tags applied by route-maps ("set tag"); IGPs that
 	// transport tags (OSPF, EIGRP) propagate them.
-	Tags map[string]bool
+	Tags LabelSet
 	// Origins records where the route entered the model: "connected",
 	// "static", or "external:AS<n>".
-	Origins map[string]bool
+	Origins LabelSet
 }
 
 func newRoute(p netaddr.Prefix) *Route {
-	return &Route{Prefix: p, Tags: make(map[string]bool), Origins: make(map[string]bool)}
+	return &Route{Prefix: p}
 }
 
 // HasOrigin reports whether the route carries the origin label.
-func (r *Route) HasOrigin(o string) bool { return r.Origins[o] }
+func (r *Route) HasOrigin(o string) bool { return r.Origins.Has(o) }
 
 // ExternalOrigin reports whether any origin is external.
 func (r *Route) ExternalOrigin() bool {
-	for o := range r.Origins {
+	for _, o := range r.Origins {
 		if len(o) > 9 && o[:9] == "external:" {
 			return true
 		}
@@ -69,19 +98,16 @@ func (rb *rib) merge(src *Route, setTag string) bool {
 		rb.routes[src.Prefix] = dst
 	}
 	changed := !ok
-	for t := range src.Tags {
-		if !dst.Tags[t] {
-			dst.Tags[t] = true
+	for _, t := range src.Tags {
+		if dst.Tags.add(t) {
 			changed = true
 		}
 	}
-	if setTag != "" && !dst.Tags[setTag] {
-		dst.Tags[setTag] = true
+	if setTag != "" && dst.Tags.add(setTag) {
 		changed = true
 	}
-	for o := range src.Origins {
-		if !dst.Origins[o] {
-			dst.Origins[o] = true
+	for _, o := range src.Origins {
+		if dst.Origins.add(o) {
 			changed = true
 		}
 	}
@@ -97,10 +123,9 @@ func (rb *rib) addOrigin(p netaddr.Prefix, origin string) bool {
 		r = newRoute(p)
 		rb.routes[p] = r
 	}
-	if r.Origins[origin] {
-		return !ok
+	if !r.Origins.add(origin) {
+		return false
 	}
-	r.Origins[origin] = true
 	rb.log = append(rb.log, r)
 	return true
 }
@@ -123,6 +148,45 @@ type Sim struct {
 	// the prefix. Used by the trace package to reconstruct a plausible
 	// forwarding path.
 	provenance map[*procgraph.Node]map[netaddr.Prefix]*procgraph.Node
+	// devAlias/procAlias redirect device- and process-keyed queries onto
+	// class representatives when the sim runs over a compressed graph
+	// (see internal/compress). Nil in the ordinary full-graph case.
+	devAlias  map[*devmodel.Device]*devmodel.Device
+	procAlias map[*devmodel.RoutingProcess]*devmodel.RoutingProcess
+}
+
+// SetAliases installs query aliases: lookups for a device or routing
+// process present in the maps are answered from the mapped target's
+// tables instead. internal/compress uses this to serve full-model
+// queries from a simulation of the reduced graph — a collapsed router's
+// RIB is, by construction of the quotient, identical to its class
+// representative's. Call before querying; the sim itself is unaffected.
+func (s *Sim) SetAliases(dev map[*devmodel.Device]*devmodel.Device, proc map[*devmodel.RoutingProcess]*devmodel.RoutingProcess) {
+	s.devAlias = dev
+	s.procAlias = proc
+}
+
+// Canonical returns the device whose tables answer queries about d: d
+// itself normally, its class representative when d is aliased. Walks
+// that aggregate an existential or union view over every device can
+// skip devices whose canonical form they have already visited — the
+// aliased ones contribute exactly their representative's rows.
+func (s *Sim) Canonical(d *devmodel.Device) *devmodel.Device {
+	return s.dev(d)
+}
+
+func (s *Sim) dev(d *devmodel.Device) *devmodel.Device {
+	if r, ok := s.devAlias[d]; ok {
+		return r
+	}
+	return d
+}
+
+func (s *Sim) proc(p *devmodel.RoutingProcess) *devmodel.RoutingProcess {
+	if r, ok := s.procAlias[p]; ok {
+		return r
+	}
+	return p
 }
 
 // Selected is one router-RIB entry after route selection.
@@ -300,7 +364,7 @@ func (s *Sim) SelectedAt(d *devmodel.Device, addr netaddr.Addr) (Selected, netad
 	var best Selected
 	var bestPfx netaddr.Prefix
 	found := false
-	for p, sel := range s.routerRIB[d] {
+	for p, sel := range s.routerRIB[s.dev(d)] {
 		if !p.Contains(addr) {
 			continue
 		}
@@ -368,7 +432,7 @@ func entryMatches(dev *devmodel.Device, ent devmodel.RouteMapEntry, r *Route) bo
 		}
 	}
 	for _, tag := range ent.MatchTags {
-		if r.Tags[tag] {
+		if r.Tags.Has(tag) {
 			return true
 		}
 	}
@@ -407,7 +471,7 @@ func (s *Sim) selectRoutes() {
 
 // ProcRoutes returns the routes in a process RIB, sorted by prefix.
 func (s *Sim) ProcRoutes(p *devmodel.RoutingProcess) []*Route {
-	n := s.Graph.ProcNode(p)
+	n := s.Graph.ProcNode(s.proc(p))
 	if n == nil {
 		return nil
 	}
@@ -418,7 +482,7 @@ func (s *Sim) ProcRoutes(p *devmodel.RoutingProcess) []*Route {
 // sorted by prefix.
 func (s *Sim) RouterRoutes(d *devmodel.Device) []Selected {
 	var out []Selected
-	for _, sel := range s.routerRIB[d] {
+	for _, sel := range s.routerRIB[s.dev(d)] {
 		out = append(out, sel)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Route.Prefix.Less(out[j].Route.Prefix) })
@@ -428,7 +492,7 @@ func (s *Sim) RouterRoutes(d *devmodel.Device) []Selected {
 // CanReach reports whether the device's router RIB contains a route
 // covering the address.
 func (s *Sim) CanReach(d *devmodel.Device, a netaddr.Addr) bool {
-	for p := range s.routerRIB[d] {
+	for p := range s.routerRIB[s.dev(d)] {
 		if p.Contains(a) {
 			return true
 		}
@@ -439,7 +503,7 @@ func (s *Sim) CanReach(d *devmodel.Device, a netaddr.Addr) bool {
 // HasRoute reports whether the device's router RIB contains exactly the
 // prefix.
 func (s *Sim) HasRoute(d *devmodel.Device, p netaddr.Prefix) bool {
-	_, ok := s.routerRIB[d][p]
+	_, ok := s.routerRIB[s.dev(d)][p]
 	return ok
 }
 
@@ -447,7 +511,7 @@ func (s *Sim) HasRoute(d *devmodel.Device, p netaddr.Prefix) bool {
 // device's router RIB.
 func (s *Sim) ExternalRoutesAt(d *devmodel.Device) []netaddr.Prefix {
 	var out []netaddr.Prefix
-	for p, sel := range s.routerRIB[d] {
+	for p, sel := range s.routerRIB[s.dev(d)] {
 		if sel.Route.ExternalOrigin() {
 			out = append(out, p)
 		}
@@ -469,7 +533,7 @@ func (s *Sim) AnnouncedToExternal(ext *procgraph.Node) []netaddr.Prefix {
 		// Exclude what the peer itself injected: keep routes carrying any
 		// origin other than the peer's own announcements.
 		announced := false
-		for o := range r.Origins {
+		for _, o := range r.Origins {
 			if o != self {
 				announced = true
 				break

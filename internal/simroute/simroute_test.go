@@ -150,7 +150,7 @@ route-map TAGIT permit 10
 	a := n.Device("a")
 	var tagged bool
 	for _, r := range s.ProcRoutes(a.Process("ospf 1")) {
-		if r.Prefix.String() == "10.5.0.0/24" && r.Tags["777"] {
+		if r.Prefix.String() == "10.5.0.0/24" && r.Tags.Has("777") {
 			tagged = true
 		}
 	}

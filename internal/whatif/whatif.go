@@ -82,6 +82,77 @@ func Analyze(m *instance.Model) *Analysis {
 	return a
 }
 
+// Expansion tells AnalyzeExpanded how to translate a reduced
+// (quotient) model's answers back to the full network. internal/compress
+// provides all three hooks.
+type Expansion struct {
+	// FullNetwork is the uncompressed device set; static-route risks are
+	// computed directly on it.
+	FullNetwork *devmodel.Network
+	// FullInstance maps a reduced-model instance to its full-model
+	// counterpart (the quotient verified this correspondence is 1:1).
+	FullInstance func(*instance.Instance) *instance.Instance
+	// Members expands a class representative to the devices it stands
+	// for (and any other device to itself).
+	Members func(*devmodel.Device) []*devmodel.Device
+}
+
+// AnalyzeExpanded computes the survivability report for the full network
+// from its quotient: the graph algorithms run on the reduced instance
+// model m, and the answers are translated through ex.
+//
+// Soundness rests on the quotient's construction. Each multi-member
+// class is a clique inside every instance it belongs to, with all
+// members sharing the representative's external neighborhood, so the
+// full instance graph is the reduced one with some vertices blown up
+// into cliques. Blown-up vertices can never be articulation points or
+// bridge endpoints (their twins keep every neighborhood connected), so
+// those findings are dropped rather than expanded; findings about
+// singleton devices have identical articulation/bridge status and piece
+// counts in both graphs. Redistribution bridge router sets expand
+// member-wise because twins replicate the representative's
+// redistributions exactly.
+func AnalyzeExpanded(m *instance.Model, ex Expansion) *Analysis {
+	a := &Analysis{}
+	multi := func(d *devmodel.Device) bool { return len(ex.Members(d)) > 1 }
+	for _, in := range m.Instances {
+		if in.Size() < 2 {
+			continue
+		}
+		g := adjacencyOf(m.Graph, in)
+		fi := ex.FullInstance(in)
+		for _, rf := range articulations(in, g) {
+			if multi(rf.Router) {
+				continue
+			}
+			rf.Instance = fi
+			a.RouterFailures = append(a.RouterFailures, rf)
+		}
+		for _, lf := range bridges(in, g) {
+			if multi(lf.A) || multi(lf.B) {
+				continue
+			}
+			lf.Instance = fi
+			a.LinkFailures = append(a.LinkFailures, lf)
+		}
+	}
+	for _, b := range instanceBridges(m) {
+		var routers []*devmodel.Device
+		for _, r := range b.Routers {
+			routers = append(routers, ex.Members(r)...)
+		}
+		sort.Slice(routers, func(i, j int) bool { return routers[i].Hostname < routers[j].Hostname })
+		a.Bridges = append(a.Bridges, BridgeFailure{
+			From:    ex.FullInstance(b.From),
+			To:      ex.FullInstance(b.To),
+			Routers: routers,
+		})
+	}
+	a.StaticRisks = staticRisks(ex.FullNetwork)
+	sortAnalysis(a)
+	return a
+}
+
 // adjGraph is the per-instance router adjacency graph.
 type adjGraph struct {
 	nodes []*devmodel.Device

@@ -33,7 +33,9 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+
 // "servesmoke: endpoint=summary queries=200 ok=197 shed=3 p50_ns=81250 p99_ns=1220417".
 // Multi-network fleet rows carry a leading net= field:
 // "servesmoke: net=net25 endpoint=summary queries=100 ok=100 shed=0 p50_ns=41000 p99_ns=310000".
-var serveLine = regexp.MustCompile(`^servesmoke: (?:net=(\S+) )?endpoint=(\S+) queries=(\d+) ok=(\d+) shed=(\d+) p50_ns=(\d+) p99_ns=(\d+)$`)
+// tools/compressbench emits the same shape under its own prefix, with
+// compress:* endpoints.
+var serveLine = regexp.MustCompile(`^(?:servesmoke|compressbench): (?:net=(\S+) )?endpoint=(\S+) queries=(\d+) ok=(\d+) shed=(\d+) p50_ns=(\d+) p99_ns=(\d+)$`)
 
 type benchmark struct {
 	Name    string  `json:"name"`
@@ -131,6 +133,7 @@ func main() {
 	rep.Speedups = pairSpeedups(rep.Benchmarks)
 	rep.Speedups = append(rep.Speedups, pairColdWarm(rep.Benchmarks)...)
 	rep.Speedups = append(rep.Speedups, pairServeSnapshots(rep.Serve)...)
+	rep.Speedups = append(rep.Speedups, pairCompress(rep.Serve)...)
 
 	data, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
@@ -256,6 +259,53 @@ func pairServeSnapshots(rs []serveRecord) []speedup {
 		}
 		s := float64(full) / float64(snap)
 		rec.Parallel = "snapshot"
+		rec.Speedup = &s
+		out = append(out, rec)
+	}
+	return out
+}
+
+// pairCompress pairs tools/compressbench's rows: a compress:E row (the
+// analysis running on the full design) against its compress:E:quotient
+// twin (the same analysis on the quotient, expansion included),
+// p50(full) / p50(quotient). A family exists as soon as either leg
+// appears, so a run whose other leg went missing records an explicit
+// speedup null instead of silently omitting the pair. compress:build —
+// the quotient construction cost — is a standalone row, not a family.
+// The record reuses the speedup shape with baseline "full".
+func pairCompress(rs []serveRecord) []speedup {
+	p50 := make(map[string]int64, len(rs))
+	for _, r := range rs {
+		p50[r.Endpoint] = r.P50Ns
+	}
+	seen := make(map[string]bool)
+	var names []string
+	for _, r := range rs {
+		if !strings.HasPrefix(r.Endpoint, "compress:") || r.Endpoint == "compress:build" {
+			continue
+		}
+		base := strings.TrimSuffix(r.Endpoint, ":quotient")
+		if seen[base] {
+			continue
+		}
+		seen[base] = true
+		names = append(names, base)
+	}
+	sort.Strings(names)
+
+	cores := runtime.GOMAXPROCS(0)
+	var out []speedup
+	for _, base := range names {
+		full, okFull := p50[base]
+		quot, okQuot := p50[base+":quotient"]
+		rec := speedup{Benchmark: base, Cores: cores, Baseline: "full"}
+		if !okFull || !okQuot || quot == 0 {
+			fmt.Fprintf(os.Stderr, "benchcmp: %s: missing full or quotient leg; recording speedup null\n", base)
+			out = append(out, rec)
+			continue
+		}
+		s := float64(full) / float64(quot)
+		rec.Parallel = "quotient"
 		rec.Speedup = &s
 		out = append(out, rec)
 	}

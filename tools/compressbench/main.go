@@ -1,0 +1,148 @@
+// Command compressbench measures what the behavior-preserving design
+// quotient (internal/compress) buys at provider scale. It generates a
+// KindProvider network (10k routers by default), analyzes it once, then
+// times the two interactive analyses cold — first on the full instance
+// graph, then on the quotient — and prints one machine-readable row per
+// leg in the servesmoke line format benchcmp already parses:
+//
+//	compressbench: endpoint=compress:reach queries=1 ok=1 shed=0 p50_ns=... p99_ns=...
+//
+// Rows and what they time:
+//
+//	compress:build            partition refinement + reduced-model
+//	                          construction (the once-per-generation cost
+//	                          rlensd pays at swap time with -compress)
+//	compress:reach            cold full-graph reachability: simulate every
+//	                          router, then the default-route and
+//	                          admitted-external-routes device walks
+//	compress:reach:quotient   the same cold reach on the quotient: reduced
+//	                          simulation plus the device walks. The build
+//	                          is not re-counted here — the daemon pays it
+//	                          once at swap time (the compress:build row),
+//	                          and every post-swap cold analysis starts from
+//	                          the built quotient
+//	compress:whatif           cold full-graph survivability analysis
+//	compress:whatif:quotient  survivability on the already-built quotient
+//	                          (build amortized, as in the daemon)
+//
+// tools/benchcmp pairs compress:E against compress:E:quotient into a
+// "compress:E" speedup family with baseline "full"; compress:build stays
+// a standalone row. The run itself enforces the compression contract and
+// exits nonzero if the quotient reduces routers to classes by less than
+// 10x, speeds cold reach by less than 5x, or disagrees with the full
+// analysis on the forced reach views.
+//
+// Usage:
+//
+//	go run ./tools/compressbench | go run ./tools/benchcmp -out BENCH_compress.json -generated-by "make compressbench"
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"reflect"
+	"time"
+
+	"routinglens/internal/compress"
+	"routinglens/internal/core"
+	"routinglens/internal/netaddr"
+	"routinglens/internal/netgen"
+	"routinglens/internal/reach"
+	"routinglens/internal/simroute"
+	"routinglens/internal/whatif"
+)
+
+func main() {
+	routers := flag.Int("routers", 10000, "provider network size (router count, rounded to whole pods)")
+	seed := flag.Int64("seed", 2004, "generation seed")
+	flag.Parse()
+
+	g := netgen.GenerateProvider(*seed, *routers)
+	t0 := time.Now()
+	design, diags, err := core.NewAnalyzer().AnalyzeConfigs(context.Background(), g.Name, g.Configs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "compressbench: analyzing %s: %v\n", g.Name, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "compressbench: %s analyzed in %v (%d routers, %d diagnostics)\n",
+		g.Name, time.Since(t0).Round(time.Millisecond), g.Routers, len(diags))
+
+	row := func(endpoint string, d time.Duration) {
+		fmt.Printf("compressbench: endpoint=%s queries=1 ok=1 shed=0 p50_ns=%d p99_ns=%d\n",
+			endpoint, d.Nanoseconds(), d.Nanoseconds())
+	}
+	ext := []simroute.ExternalRoute{{Prefix: netaddr.PrefixFrom(0, 0)}}
+	// forceReach computes the memoized device walks so both legs pay the
+	// whole cold-reach cost, and returns the views for cross-checking.
+	forceReach := func(a *reach.Analysis) (bool, []netaddr.Prefix) {
+		return a.HasDefaultRoute(), a.AdmittedExternalRoutes()
+	}
+
+	code := 0
+
+	// Cold full-graph reach: the baseline every rlensd generation without
+	// -compress pays before its first reachability answer.
+	t0 = time.Now()
+	fullReach := reach.Analyze(design.Instances, design.AddressSpace, ext)
+	fullDef, fullExt := forceReach(fullReach)
+	dFullReach := time.Since(t0)
+	row("compress:reach", dFullReach)
+
+	// Quotient build (once per generation, at swap time in the daemon),
+	// then cold reach over the reduced graph.
+	t0 = time.Now()
+	q := compress.Compute(design.Instances)
+	dBuild := time.Since(t0)
+	row("compress:build", dBuild)
+	st := q.Stats()
+	if st.Identity {
+		fmt.Fprintf(os.Stderr, "compressbench: quotient is the identity on %s — no compression to measure\n", g.Name)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "compressbench: quotient %d routers -> %d classes (%.2fx) in %v\n",
+		st.Routers, st.Classes, st.Ratio, dBuild.Round(time.Millisecond))
+
+	t0 = time.Now()
+	quotReach := q.Reach(design.AddressSpace, ext)
+	quotDef, quotExt := forceReach(quotReach)
+	dQuotReach := time.Since(t0)
+	row("compress:reach:quotient", dQuotReach)
+
+	if fullDef != quotDef || !reflect.DeepEqual(fullExt, quotExt) {
+		fmt.Fprintln(os.Stderr, "compressbench: quotient reach views differ from the full analysis")
+		code = 1
+	}
+
+	// Cold survivability, full then quotient (quotient already built —
+	// the daemon computes what-if lazily against the swap-time quotient).
+	t0 = time.Now()
+	fullWhatif := whatif.Analyze(design.Instances)
+	dFullWhatif := time.Since(t0)
+	row("compress:whatif", dFullWhatif)
+
+	t0 = time.Now()
+	quotWhatif := q.Whatif()
+	dQuotWhatif := time.Since(t0)
+	row("compress:whatif:quotient", dQuotWhatif)
+
+	if fullWhatif.Summary() != quotWhatif.Summary() {
+		fmt.Fprintln(os.Stderr, "compressbench: quotient what-if summary differs from the full analysis")
+		code = 1
+	}
+
+	// Acceptance floors: the quotient must earn its keep at this scale.
+	if st.Ratio < 10 {
+		fmt.Fprintf(os.Stderr, "compressbench: FAIL compression ratio %.2fx < 10x\n", st.Ratio)
+		code = 1
+	}
+	reachSpeedup := float64(dFullReach) / float64(dQuotReach)
+	if reachSpeedup < 5 {
+		fmt.Fprintf(os.Stderr, "compressbench: FAIL cold reach speedup %.2fx < 5x\n", reachSpeedup)
+		code = 1
+	}
+	fmt.Fprintf(os.Stderr, "compressbench: cold reach %.2fx faster, what-if %.2fx faster (build %v, paid once per swap)\n",
+		reachSpeedup, float64(dFullWhatif)/float64(dQuotWhatif), dBuild.Round(time.Millisecond))
+	os.Exit(code)
+}

@@ -35,13 +35,20 @@
 //
 //	servesmoke: net=net25 endpoint=summary queries=100 ok=100 shed=0 p50_ns=41000 p99_ns=310000
 //
-// An ingestion phase closes the run: a directory-backed net25 server
+// An ingestion phase: a directory-backed net25 server
 // with the admission gate armed takes admitted tar.gz pushes
 // (endpoint=ingest:push, the full stream-extract-analyze-admit-promote-
 // swap round trip), catastrophic pushes (endpoint=ingest:rejected, the
 // cost of a 422 guardrail verdict), and one generation rollback
 // (endpoint=ingest:rollback), cross-checking the routinglens_ingest_*
 // counters against what actually happened.
+//
+// A compression phase closes the run: a provider-tier network
+// (netgen.KindProvider, 600 routers) is served twice — plain and with
+// the design quotient on — recording paired compress:swap,
+// compress:reach, and compress:whatif rows (":quotient" suffix on the
+// compressed leg) and cross-checking that both servers return
+// byte-identical /v1/reach and /v1/whatif bodies.
 //
 // tools/benchcmp parses these lines into the "serve" section of its JSON
 // report, so `make servesmoke` lands a BENCH_serve.json next to
@@ -72,6 +79,7 @@ import (
 	"sync"
 	"time"
 
+	"routinglens/internal/compress"
 	"routinglens/internal/core"
 	"routinglens/internal/ingest"
 	"routinglens/internal/netgen"
@@ -269,7 +277,121 @@ func main() {
 	if code := ingestPhase(corpus, quiet); code != 0 {
 		exitCode = code
 	}
+	if code := compressPhase(*seed, quiet); code != 0 {
+		exitCode = code
+	}
 	os.Exit(exitCode)
+}
+
+// compressPhase serves a provider-tier network (netgen.KindProvider)
+// twice from one primed parse cache — once plain, once with Compress on —
+// and records paired compress:* rows that benchcmp turns into the
+// compress speedup family: endpoint=compress:swap{,:quotient} is the
+// generation swap round trip (analysis, quotient build on the :quotient
+// leg, reach precompute), endpoint=compress:reach{,:quotient} serves the
+// precomputed reachability analysis, and
+// endpoint=compress:whatif{,:quotient} is the cold survivability compute
+// the first what-if query triggers. The phase fails if the two servers
+// disagree on a single byte of /v1/reach or /v1/whatif output, or if the
+// compressed server's quotient gauges say it did not actually reduce the
+// graph.
+func compressPhase(seed int64, quiet *slog.Logger) int {
+	const routers = 600
+	g := netgen.GenerateProvider(seed, routers)
+	an := core.NewAnalyzer(core.WithCache(parsecache.New(parsecache.DefaultMaxEntries, 0)))
+	load := func(ctx context.Context) (*core.Result, error) {
+		return an.AnalyzeConfigsResult(ctx, g.Name, g.Configs)
+	}
+	// Prime the parse cache so both legs time a warm analysis and the
+	// swap comparison isolates what compression changes.
+	if _, err := load(context.Background()); err != nil {
+		fmt.Fprintf(os.Stderr, "servesmoke: compress phase: priming analysis: %v\n", err)
+		return 1
+	}
+	code := 0
+	type legResult struct {
+		reach, whatif []byte
+		reg           *telemetry.Registry
+	}
+	legs := []struct {
+		suffix   string
+		compress bool
+	}{{"", false}, {":quotient", true}}
+	results := make([]legResult, len(legs))
+	for i, l := range legs {
+		reg := telemetry.NewRegistry()
+		s, err := serve.New(serve.Config{
+			Load:           load,
+			DefaultNet:     g.Name,
+			Compress:       l.compress,
+			Registry:       reg,
+			Logger:         quiet,
+			QueryCacheSize: -1, // compute every request: latency must come from analysis, not replay
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "servesmoke: compress phase: %v\n", err)
+			return 1
+		}
+		start := time.Now()
+		if err := s.Reload(context.Background()); err != nil {
+			fmt.Fprintf(os.Stderr, "servesmoke: compress phase: loading %s: %v\n", g.Name, err)
+			return 1
+		}
+		swap := time.Since(start)
+		fmt.Printf("servesmoke: endpoint=compress:swap%s queries=1 ok=1 shed=0 p50_ns=%d p99_ns=%d\n",
+			l.suffix, swap.Nanoseconds(), swap.Nanoseconds())
+
+		ts := httptest.NewServer(s.Handler())
+		client := ts.Client()
+		get := func(path string) ([]byte, time.Duration) {
+			start := time.Now()
+			resp, err := client.Get(ts.URL + path)
+			d := time.Since(start)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "servesmoke: compress phase: GET %s: %v\n", path, err)
+				code = 1
+				return nil, d
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				fmt.Fprintf(os.Stderr, "servesmoke: compress phase: GET %s: status %d\n", path, resp.StatusCode)
+				code = 1
+				return nil, d
+			}
+			return body, d
+		}
+		var d time.Duration
+		results[i].reach, d = get("/v1/reach")
+		fmt.Printf("servesmoke: endpoint=compress:reach%s queries=1 ok=1 shed=0 p50_ns=%d p99_ns=%d\n",
+			l.suffix, d.Nanoseconds(), d.Nanoseconds())
+		results[i].whatif, d = get("/v1/whatif")
+		fmt.Printf("servesmoke: endpoint=compress:whatif%s queries=1 ok=1 shed=0 p50_ns=%d p99_ns=%d\n",
+			l.suffix, d.Nanoseconds(), d.Nanoseconds())
+		results[i].reg = reg
+		ts.Close()
+	}
+
+	// The whole point of the quotient is exactness: a compressed server
+	// that answers differently from the full one is broken, not fast.
+	if !bytes.Equal(results[0].reach, results[1].reach) {
+		fmt.Fprintln(os.Stderr, "servesmoke: compress phase: /v1/reach answers differ between full and quotient servers")
+		code = 1
+	}
+	if !bytes.Equal(results[0].whatif, results[1].whatif) {
+		fmt.Fprintln(os.Stderr, "servesmoke: compress phase: /v1/whatif answers differ between full and quotient servers")
+		code = 1
+	}
+	lnet := telemetry.L("net", g.Name)
+	nr := results[1].reg.Gauge(compress.MetricRouters, lnet).Value()
+	nc := results[1].reg.Gauge(compress.MetricClasses, lnet).Value()
+	if nc <= 0 || nc >= nr {
+		fmt.Fprintf(os.Stderr, "servesmoke: compress phase: quotient gauges report %v routers -> %v classes (no reduction)\n", nr, nc)
+		code = 1
+	}
+	fmt.Fprintf(os.Stderr, "servesmoke: compress phase: %s quotiented %v routers -> %v classes (%.2fx)\n",
+		g.Name, nr, nc, results[1].reg.Gauge(compress.MetricRatio, lnet).Value())
+	return code
 }
 
 // tarGzOf packs a name->content config set into a tar.gz push body.
@@ -328,7 +450,7 @@ func ingestPhase(corpus *netgen.Corpus, quiet *slog.Logger) int {
 	s, err := serve.New(serve.Config{
 		Dir:       dir,
 		IngestDir: filepath.Join(root, "ingest"),
-		Admission: &serve.AdmissionPolicy{MaxRouterLossPct: 50, MinRouters: 1, MaxErrorDiags: -1},
+		Admission: &serve.AdmissionPolicy{MaxRouterLossPct: 50, MinRouters: 1, MaxErrorDiags: -1, MaxCompartmentDelta: -1},
 		Registry:  reg,
 		Logger:    quiet,
 	})
